@@ -1,0 +1,265 @@
+(* rikit — command-line driver for the RI-tree reproduction.
+
+   Subcommands:
+     generate   print a sample of a Table-1 distribution (optionally CSV)
+     explain    show the backbone node lists and plan for a query
+     compare    build every access method on a dataset and compare
+                physical I/O and response time for a query batch
+     sql        run a SQL script through the engine *)
+
+open Cmdliner
+
+let kind_conv =
+  let parse s =
+    match Workload.Distribution.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  Arg.conv (parse, fun ppf k ->
+      Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
+
+let kind_arg =
+  Arg.(value & opt kind_conv Workload.Distribution.D1
+       & info [ "k"; "kind" ] ~doc:"Distribution kind (D1..D4, Table 1).")
+
+let n_arg =
+  Arg.(value & opt int 10_000 & info [ "n" ] ~doc:"Number of intervals.")
+
+let d_arg =
+  Arg.(value & opt int 2000
+       & info [ "d" ] ~doc:"Duration parameter d of Table 1.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+(* ---- generate ---- *)
+
+let generate kind n d seed csv =
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  if csv then begin
+    print_endline "lower,upper";
+    Array.iter
+      (fun i ->
+        Printf.printf "%d,%d\n" (Interval.Ivl.lower i) (Interval.Ivl.upper i))
+      data
+  end
+  else begin
+    Format.printf "%s(%d,%d): %a@."
+      (Workload.Distribution.kind_to_string kind)
+      n d Workload.Distribution.pp_summary data;
+    Array.iteri
+      (fun i ivl ->
+        if i < 10 then Format.printf "  %a@." Interval.Ivl.pp ivl)
+      data;
+    if n > 10 then Format.printf "  ... (%d more)@." (n - 10)
+  end
+
+let generate_cmd =
+  let csv =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit the full dataset as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Sample a Table-1 interval distribution")
+    Term.(const generate $ kind_arg $ n_arg $ d_arg $ seed_arg $ csv)
+
+(* ---- explain ---- *)
+
+let explain kind n d seed qlow qup =
+  if qlow > qup then failwith "query lower exceeds upper";
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let q = Interval.Ivl.make qlow qup in
+  let p = Ritree.Ri_tree.params tree in
+  Printf.printf
+    "dataset %s(%d,%d); backbone offset=%s leftRoot=%d rightRoot=%d \
+     minLevel=%d height=%d\n\n"
+    (Workload.Distribution.kind_to_string kind)
+    n d
+    (match p.Ritree.Ri_tree.offset with
+    | Some o -> string_of_int o
+    | None -> "unset")
+    p.Ritree.Ri_tree.left_root p.Ritree.Ri_tree.right_root
+    p.Ritree.Ri_tree.min_level
+    (Ritree.Ri_tree.height tree);
+  print_string (Ritree.Ri_tree.explain tree q);
+  let ids, blocks =
+    Harness.Measure.io db (fun () -> Ritree.Ri_tree.intersecting_ids tree q)
+  in
+  Printf.printf "\n%d results, %d physical I/Os\n" (List.length ids) blocks
+
+let explain_cmd =
+  let qlow =
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"LOWER")
+  in
+  let qup = Arg.(required & pos 1 (some int) None & info [] ~docv:"UPPER") in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the RI-tree plan and I/O for an intersection query")
+    Term.(const explain $ kind_arg $ n_arg $ d_arg $ seed_arg $ qlow $ qup)
+
+(* ---- compare ---- *)
+
+let compare_methods kind n d seed selectivity queries_n =
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let queries =
+    Workload.Query_gen.queries ~data ~count:queries_n (selectivity /. 100.)
+  in
+  let level = Harness.Methods.calibrated_tile_level data ~queries in
+  let methods =
+    [ Harness.Methods.ri_tree (); Harness.Methods.tile ~level ();
+      Harness.Methods.ist (); Harness.Methods.map21 () ]
+  in
+  let table =
+    Harness.Tbl.create
+      ~title:
+        (Printf.sprintf "%s(%d,%d), %d queries at %.2f%% selectivity"
+           (Workload.Distribution.kind_to_string kind)
+           n d queries_n selectivity)
+      ~columns:
+        [ "method"; "index entries"; "avg I/O"; "avg time (ms)"; "results" ]
+  in
+  List.iter
+    (fun (m : Harness.Methods.t) ->
+      Harness.Methods.load m data;
+      let b = Harness.Measure.query_batch m.catalog m.count_query queries in
+      Harness.Tbl.add_row table
+        [ m.label; string_of_int (m.index_entries ());
+          Harness.Tbl.fmt_f b.Harness.Measure.avg_io;
+          Harness.Tbl.fmt_f (1000. *. b.Harness.Measure.avg_seconds);
+          string_of_int b.Harness.Measure.total_results ])
+    methods;
+  Harness.Tbl.print table
+
+let compare_cmd =
+  let sel =
+    Arg.(value & opt float 1.0
+         & info [ "s"; "selectivity" ] ~doc:"Query selectivity in percent.")
+  in
+  let qn =
+    Arg.(value & opt int 20 & info [ "q"; "queries" ] ~doc:"Query count.")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare RI-tree, T-index, IST and MAP21 on one workload")
+    Term.(const compare_methods $ kind_arg $ n_arg $ d_arg $ seed_arg $ sel $ qn)
+
+(* ---- topo ---- *)
+
+let topo kind n d seed relation qlow qup =
+  if qlow > qup then failwith "query lower exceeds upper";
+  let rel =
+    match Interval.Allen.of_string relation with
+    | Some r -> r
+    | None ->
+        failwith
+          (Printf.sprintf "unknown relation %S (one of: %s)" relation
+             (String.concat ", "
+                (List.map Interval.Allen.to_string Interval.Allen.all)))
+  in
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let q = Interval.Ivl.make qlow qup in
+  let hits = Ritree.Topological.query tree rel q in
+  Printf.printf "%d stored intervals %s %s:\n" (List.length hits)
+    (Interval.Allen.to_string rel)
+    (Interval.Ivl.to_string q);
+  List.iteri
+    (fun i (ivl, id) ->
+      if i < 20 then
+        Printf.printf "  id %d: %s\n" id (Interval.Ivl.to_string ivl))
+    hits;
+  if List.length hits > 20 then
+    Printf.printf "  ... (%d more)\n" (List.length hits - 20)
+
+let topo_cmd =
+  let rel =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"RELATION")
+  in
+  let qlow = Arg.(required & pos 1 (some int) None & info [] ~docv:"LOWER") in
+  let qup = Arg.(required & pos 2 (some int) None & info [] ~docv:"UPPER") in
+  Cmd.v
+    (Cmd.info "topo"
+       ~doc:"Run an Allen-relation query (Sec. 4.5) on a generated dataset")
+    Term.(const topo $ kind_arg $ n_arg $ d_arg $ seed_arg $ rel $ qlow $ qup)
+
+(* ---- join ---- *)
+
+let join kind n d seed =
+  let left_data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let right_data =
+    Workload.Distribution.generate ~seed:(seed + 1) kind ~n:(n / 2) ~d
+  in
+  let db = Relation.Catalog.create () in
+  let left = Ritree.Ri_tree.create ~name:"left" db in
+  let right = Ritree.Ri_tree.create ~name:"right" db in
+  Array.iteri (fun i ivl -> ignore (Ritree.Ri_tree.insert ~id:i left ivl)) left_data;
+  Array.iteri (fun i ivl -> ignore (Ritree.Ri_tree.insert ~id:i right ivl)) right_data;
+  let run label f =
+    Relation.Catalog.flush db;
+    Relation.Catalog.drop_cache db;
+    Relation.Catalog.reset_io_stats db;
+    let pairs, secs = Harness.Measure.wall f in
+    let s = Relation.Catalog.io_stats db in
+    Printf.printf "%-18s %8d pairs  %6d I/O  %.3f s\n" label
+      (List.length pairs)
+      (s.Storage.Block_device.Stats.reads + s.Storage.Block_device.Stats.writes)
+      secs
+  in
+  Printf.printf "intersection join %s(%d,%d) x %s(%d,%d)\n"
+    (Workload.Distribution.kind_to_string kind)
+    n d
+    (Workload.Distribution.kind_to_string kind)
+    (n / 2) d;
+  run "index nested loop" (fun () -> Ritree.Join.index_nested_ids left right);
+  run "plane sweep" (fun () -> Ritree.Join.sweep_ids left right)
+
+let join_cmd =
+  Cmd.v
+    (Cmd.info "join"
+       ~doc:"Compare intersection-join strategies on generated data")
+    Term.(const join $ kind_arg $ n_arg $ d_arg $ seed_arg)
+
+(* ---- sql ---- *)
+
+let run_sql file =
+  let src =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    s
+  in
+  let db = Relation.Catalog.create () in
+  let session = Sqlfront.Engine.session db in
+  List.iter
+    (function
+      | Sqlfront.Engine.Done msg -> Printf.printf "%s\n" msg
+      | Sqlfront.Engine.Rows { columns; rows } ->
+          Printf.printf "%s\n" (String.concat " | " columns);
+          List.iter
+            (fun r ->
+              Printf.printf "%s\n"
+                (String.concat " | "
+                   (Array.to_list (Array.map string_of_int r))))
+            rows)
+    (Sqlfront.Engine.exec_script session src)
+
+let sql_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SCRIPT.sql")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Execute a SQL script against a fresh database")
+    Term.(const run_sql $ file)
+
+let () =
+  let info =
+    Cmd.info "rikit" ~version:"1.0.0"
+      ~doc:"Relational Interval Tree toolkit (VLDB 2000 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd ]))

@@ -1,0 +1,1 @@
+examples/crash_recovery.ml: Interval List Printf Relation Ritree

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Harness Interval List Printf Relation Ritree String

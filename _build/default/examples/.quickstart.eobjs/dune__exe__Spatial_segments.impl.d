@@ -1,0 +1,1 @@
+examples/spatial_segments.ml: Hashtbl List Printf Relation Ritree Spatial String

@@ -1,0 +1,1 @@
+examples/spatial_segments.mli:

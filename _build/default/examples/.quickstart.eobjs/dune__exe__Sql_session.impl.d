@@ -1,0 +1,1 @@
+examples/sql_session.ml: Array Interval List Printf Relation Ritree Sqlfront String

@@ -1,0 +1,1 @@
+examples/temporal_db.ml: Format Hashtbl Interval List Printf Relation Ritree

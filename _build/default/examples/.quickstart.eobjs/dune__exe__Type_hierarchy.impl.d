@@ -1,0 +1,1 @@
+examples/type_hierarchy.ml: Hierarchy Interval List Printf Relation Ritree String

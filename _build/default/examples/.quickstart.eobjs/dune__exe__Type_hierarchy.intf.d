@@ -1,0 +1,1 @@
+examples/type_hierarchy.mli:

@@ -1,0 +1,66 @@
+(* Spatial example: 2-D window queries served by the RI-tree.
+
+   The paper's introduction motivates intervals as "line segments on a
+   space-filling curve in spatial applications" [FR 89]: the Spatial
+   library decomposes each rectangle into maximal Z-order curve segments
+   (an exact cover), registers them in an RI-tree, and answers window
+   queries as interval-intersection queries.
+
+   Run with:  dune exec examples/spatial_segments.exe *)
+
+module Z = Spatial.Zcurve
+module SI = Spatial.Spatial_index
+
+type shape = { name : string; r : Z.rect }
+
+let shapes =
+  [
+    { name = "lake"; r = { Z.x0 = 10; y0 = 10; x1 = 60; y1 = 40 } };
+    { name = "forest"; r = { Z.x0 = 50; y0 = 30; x1 = 120; y1 = 90 } };
+    { name = "town"; r = { Z.x0 = 100; y0 = 80; x1 = 140; y1 = 130 } };
+    { name = "road"; r = { Z.x0 = 0; y0 = 64; x1 = 255; y1 = 65 } };
+  ]
+
+let () =
+  let bits = 8 (* a 256 x 256 grid *) in
+  let db = Relation.Catalog.create () in
+  let idx = SI.create ~bits db in
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let segs = Z.rect_segments ~bits s.r in
+      let id = SI.insert idx s.r in
+      Hashtbl.replace names id s.name;
+      Printf.printf "%-8s -> %3d maximal curve segments\n" s.name
+        (List.length segs))
+    shapes;
+  Printf.printf "objects: %d, stored segments: %d\n\n" (SI.count idx)
+    (SI.segment_count idx);
+
+  let show w =
+    let hits =
+      List.map (fun id -> Hashtbl.find names id) (SI.window_ids idx w)
+      |> List.sort compare
+    in
+    Printf.printf "window (%d,%d)-(%d,%d) intersects: %s\n" w.Z.x0 w.Z.y0
+      w.Z.x1 w.Z.y1
+      (if hits = [] then "(nothing)" else String.concat ", " hits)
+  in
+  show { Z.x0 = 55; y0 = 35; x1 = 70; y1 = 50 };
+  show { Z.x0 = 130; y0 = 120; x1 = 150; y1 = 140 };
+  show { Z.x0 = 0; y0 = 60; x1 = 10; y1 = 70 };
+  show { Z.x0 = 200; y0 = 200; x1 = 210; y1 = 210 };
+
+  (* a point probe: which shapes cover cell (110, 85)? *)
+  Printf.printf "\npoint (110,85): %s\n"
+    (String.concat ", "
+       (List.map (fun id -> Hashtbl.find names id) (SI.point_ids idx 110 85)));
+
+  (* the underlying RI-tree is an ordinary one — inspect it *)
+  let p = Ritree.Ri_tree.params (SI.ri idx) in
+  Printf.printf
+    "underlying RI-tree: %d segment intervals, backbone height %d, \
+     rightRoot %d\n"
+    (Ritree.Ri_tree.count (SI.ri idx))
+    (Ritree.Ri_tree.height (SI.ri idx))
+    p.Ritree.Ri_tree.right_root

@@ -1,0 +1,49 @@
+(* Type-hierarchy example: "hierarchical type systems in object-oriented
+   databases" [KRVV 93], one of the interval applications the paper's
+   introduction lists.
+
+   Every type is labelled with the integer range of its subtree; the
+   RI-tree then answers subtype, supertype and least-common-ancestor
+   queries through the relational engine.
+
+   Run with:  dune exec examples/type_hierarchy.exe *)
+
+module TH = Hierarchy.Type_hierarchy
+
+let () =
+  let db = Relation.Catalog.create () in
+  let t = TH.create ~root:"animal" db in
+  List.iter
+    (fun (parent, child) -> TH.add t ~parent child)
+    [ ("animal", "mammal"); ("animal", "bird"); ("animal", "reptile");
+      ("mammal", "carnivore"); ("mammal", "primate"); ("mammal", "rodent");
+      ("carnivore", "cat"); ("carnivore", "dog"); ("primate", "human");
+      ("bird", "raptor"); ("raptor", "eagle"); ("bird", "penguin");
+      ("reptile", "snake") ];
+  Printf.printf "%d types registered; label ranges:\n" (TH.type_count t);
+  List.iter
+    (fun name ->
+      Printf.printf "  %-10s %s\n" name
+        (Interval.Ivl.to_string (TH.interval_of t name)))
+    [ "animal"; "mammal"; "carnivore"; "cat" ];
+
+  Printf.printf "\nsubtypes of mammal: %s\n"
+    (String.concat ", " (TH.subtypes t "mammal"));
+  Printf.printf "supertypes of eagle: %s\n"
+    (String.concat ", " (TH.supertypes t "eagle"));
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "is %s a %s?  %b\n" a b (TH.is_subtype t ~sub:a ~super:b))
+    [ ("cat", "mammal"); ("cat", "bird"); ("eagle", "animal") ];
+  List.iter
+    (fun (a, b) ->
+      Printf.printf "least common ancestor of %s and %s: %s\n" a b
+        (TH.common_supertype t a b))
+    [ ("cat", "dog"); ("cat", "human"); ("cat", "penguin") ];
+
+  (* the relational guts are ordinary RI-tree machinery: re-attach to the
+     same table by name and inspect it *)
+  let ri = Ritree.Ri_tree.open_existing ~name:"types" db in
+  Printf.printf "\nrelational footprint: %d interval rows, %d index entries\n"
+    (Ritree.Ri_tree.count ri)
+    (Ritree.Ri_tree.index_entries ri)

@@ -1,0 +1,1 @@
+lib/baselines/ist.ml: Array Btree Interval List Relation

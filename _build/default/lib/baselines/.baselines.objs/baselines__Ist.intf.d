@@ -1,0 +1,1 @@
+lib/baselines/ist.mli: Interval Relation

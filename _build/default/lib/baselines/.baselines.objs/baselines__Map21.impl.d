@@ -1,0 +1,1 @@
+lib/baselines/map21.ml: Array Btree Interval List Relation

@@ -1,0 +1,1 @@
+lib/baselines/map21.mli: Interval Relation

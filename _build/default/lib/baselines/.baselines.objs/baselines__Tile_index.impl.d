@@ -1,0 +1,1 @@
+lib/baselines/tile_index.ml: Array Btree Hashtbl Interval List Option Relation

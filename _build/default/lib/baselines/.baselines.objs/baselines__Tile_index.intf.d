@@ -1,0 +1,1 @@
+lib/baselines/tile_index.mli: Interval Relation

@@ -1,0 +1,1 @@
+lib/baselines/window_list.ml: Array Btree Int Interval List Relation Storage

@@ -1,0 +1,1 @@
+lib/baselines/window_list.mli: Interval Relation

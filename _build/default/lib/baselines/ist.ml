@@ -1,0 +1,105 @@
+module Ivl = Interval.Ivl
+
+type order = D_order | V_order
+
+type t = {
+  order : order;
+  table : Relation.Table.t;
+  index : Relation.Table.Index.t;
+  mutable next_id : int;
+}
+
+let index_columns = function
+  | D_order -> [ "upper"; "lower"; "id" ]
+  | V_order -> [ "lower"; "upper"; "id" ]
+
+let create ?(name = "ist") ?(order = D_order) catalog =
+  let table =
+    Relation.Catalog.create_table catalog ~name
+      ~columns:[ "lower"; "upper"; "id" ]
+  in
+  let index =
+    Relation.Table.create_index table ~name:(name ^ "_idx")
+      ~columns:(index_columns order)
+  in
+  { order; table; index; next_id = 0 }
+
+let bulk_load ?(name = "ist") ?(order = D_order) catalog data =
+  let table =
+    Relation.Catalog.create_table catalog ~name
+      ~columns:[ "lower"; "upper"; "id" ]
+  in
+  let next_id = ref 0 in
+  Array.iter
+    (fun (ivl, id) ->
+      if id >= !next_id then next_id := id + 1;
+      ignore
+        (Relation.Table.insert table [| Ivl.lower ivl; Ivl.upper ivl; id |]))
+    data;
+  let index =
+    Relation.Table.create_index ~bulk:true table ~name:(name ^ "_idx")
+      ~columns:(index_columns order)
+  in
+  { order; table; index; next_id = !next_id }
+
+let order t = t.order
+
+let insert ?id t ivl =
+  let id =
+    match id with
+    | Some i ->
+        if i >= t.next_id then t.next_id <- i + 1;
+        i
+    | None ->
+        let i = t.next_id in
+        t.next_id <- i + 1;
+        i
+  in
+  ignore (Relation.Table.insert t.table [| Ivl.lower ivl; Ivl.upper ivl; id |]);
+  id
+
+let delete t ~id ivl =
+  let tree = Relation.Table.Index.tree t.index in
+  let k1, k2 =
+    match t.order with
+    | D_order -> (Ivl.upper ivl, Ivl.lower ivl)
+    | V_order -> (Ivl.lower ivl, Ivl.upper ivl)
+  in
+  let victim =
+    Btree.fold_range tree ~lo:[| k1; k2; id; min_int |]
+      ~hi:[| k1; k2; id; max_int |]
+      (fun acc key -> match acc with Some _ -> acc | None -> Some key.(3))
+      None
+  in
+  match victim with
+  | Some rowid -> Relation.Table.delete_row t.table rowid
+  | None -> false
+
+let count t = Relation.Table.row_count t.table
+let index_entries t = Relation.Table.Index.entry_count t.index
+
+(* Fig. 11: one range scan; the filter on the secondary bound cannot be
+   pushed into the scan range, which is the structural weakness the
+   paper exposes. *)
+let intersection_iter t q =
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  match t.order with
+  | D_order ->
+      (* upper >= qlow, scanning to the end of the index. *)
+      Relation.Iter.filter
+        (fun k -> k.(1) <= qup)
+        (Relation.Iter.index_range t.index
+           ~lo:[| qlow; min_int; min_int; min_int |]
+           ~hi:[| max_int; max_int; max_int; max_int |])
+  | V_order ->
+      Relation.Iter.filter
+        (fun k -> k.(1) >= qlow)
+        (Relation.Iter.index_range t.index
+           ~lo:[| min_int; min_int; min_int; min_int |]
+           ~hi:[| qup; max_int; max_int; max_int |])
+
+let intersecting_ids t q =
+  Relation.Iter.fold (fun acc k -> k.(2) :: acc) [] (intersection_iter t q)
+  |> List.rev
+
+let count_intersecting t q = Relation.Iter.count (intersection_iter t q)

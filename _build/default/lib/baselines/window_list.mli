@@ -1,0 +1,38 @@
+(** A static Window-List (after Ramaswamy 1997) — Sec. 2.3 / 6.1.
+
+    The paper used the Window-List as the static competitor: optimal
+    [O(n/b)] space and [O(log_b n + r/b)] stabbing queries over built-in
+    B+-trees, but no non-trivial update bounds ("queries on Window-Lists
+    produced twice as many I/O operations than on the dynamic RI-tree").
+
+    This implementation bulk-builds the structure from a snapshot:
+    window boundaries are chosen every [~window_rows] sorted interval
+    endpoints and stored in their own B+-tree (so locating a window costs
+    counted I/O), and every interval is registered in each window it
+    intersects, clustered by window in a covering composite index. A
+    stabbing query locates one window ([O(log_b n)]) and scans its list;
+    range queries scan the windows covered by the query and de-duplicate.
+    The structure is static: {!insert} raises, mirroring the paper's
+    reason for excluding it from the dynamic comparison. *)
+
+type t
+
+val build :
+  ?name:string ->
+  ?window_rows:int ->
+  Relation.Catalog.t ->
+  Interval.Ivl.t array ->
+  t
+(** Build from a snapshot; interval [i] of the array gets id [i].
+    [window_rows] controls the endpoint count per window (default: one
+    heap page worth of rows). *)
+
+val window_count : t -> int
+val count : t -> int
+val index_entries : t -> int
+
+val stabbing_ids : t -> int -> int list
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+(** @raise Failure always — the Window-List is static. *)

@@ -1,0 +1,1 @@
+lib/core/cost_model.ml: Array Btree Float Interval List Relation Ri_tree Storage

@@ -1,0 +1,1 @@
+lib/core/join.ml: Array Interval List Relation Ri_tree

@@ -1,0 +1,1 @@
+lib/core/join.mli: Ri_tree

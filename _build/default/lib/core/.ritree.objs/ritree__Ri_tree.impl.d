@@ -1,0 +1,1 @@
+lib/core/ri_tree.ml: Array Backbone Btree Buffer Format Interval List Option Printf Relation

@@ -1,0 +1,1 @@
+lib/core/ri_tree.mli: Interval Relation

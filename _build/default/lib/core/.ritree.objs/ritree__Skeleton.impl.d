@@ -1,0 +1,1 @@
+lib/core/skeleton.ml: Array Format Hashtbl Interval Option Relation Ri_tree

@@ -1,0 +1,1 @@
+lib/core/skeleton.mli: Interval Relation Ri_tree

@@ -1,0 +1,1 @@
+lib/core/temporal_store.ml: Interval List Ri_tree

@@ -1,0 +1,1 @@
+lib/core/temporal_store.mli: Interval Relation Ri_tree

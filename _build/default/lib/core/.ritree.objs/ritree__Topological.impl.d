@@ -1,0 +1,1 @@
+lib/core/topological.ml: Array Backbone Interval List Relation Ri_tree

@@ -1,0 +1,1 @@
+lib/core/topological.mli: Interval Ri_tree

@@ -1,0 +1,121 @@
+module Ivl = Interval.Ivl
+
+(* Equi-width histogram with running min/max. *)
+module Histogram = struct
+  type t = {
+    lo : int;
+    hi : int;
+    counts : int array;
+    total : int;
+  }
+
+  let build ~buckets values =
+    match values with
+    | [] -> { lo = 0; hi = 0; counts = Array.make buckets 0; total = 0 }
+    | v :: _ ->
+        let lo = List.fold_left min v values in
+        let hi = List.fold_left max v values in
+        let counts = Array.make buckets 0 in
+        let span = max 1 (hi - lo + 1) in
+        List.iter
+          (fun x ->
+            let b = (x - lo) * buckets / span in
+            let b = min (buckets - 1) (max 0 b) in
+            counts.(b) <- counts.(b) + 1)
+          values;
+        { lo; hi; counts; total = List.length values }
+
+  (* Estimated number of values strictly below [x], assuming uniformity
+     within buckets. *)
+  let count_below t x =
+    if t.total = 0 || x <= t.lo then 0.0
+    else if x > t.hi then float_of_int t.total
+    else begin
+      let buckets = Array.length t.counts in
+      let span = max 1 (t.hi - t.lo + 1) in
+      let pos = float_of_int (x - t.lo) *. float_of_int buckets /. float_of_int span in
+      let full = int_of_float pos in
+      let frac = pos -. float_of_int full in
+      let acc = ref 0.0 in
+      for b = 0 to min (buckets - 1) (full - 1) do
+        acc := !acc +. float_of_int t.counts.(b)
+      done;
+      if full < buckets then acc := !acc +. (frac *. float_of_int t.counts.(full));
+      !acc
+    end
+end
+
+module Stats = struct
+  type t = {
+    n : int;
+    lowers : Histogram.t;
+    uppers : Histogram.t;
+  }
+
+  let analyze ?(buckets = 64) tree =
+    let lowers = ref [] and uppers = ref [] in
+    Relation.Table.iter (Ri_tree.table tree) (fun _ row ->
+        lowers := row.(1) :: !lowers;
+        uppers := row.(2) :: !uppers);
+    { n = Ri_tree.count tree;
+      lowers = Histogram.build ~buckets !lowers;
+      uppers = Histogram.build ~buckets !uppers }
+
+  let row_count t = t.n
+
+  (* Misses: upper < qlow, or lower > qup. *)
+  let estimate_result_size t q =
+    if t.n = 0 then 0
+    else begin
+      let ends_before = Histogram.count_below t.uppers (Ivl.lower q) in
+      let starts_after =
+        float_of_int t.n
+        -. Histogram.count_below t.lowers (Ivl.upper q + 1)
+      in
+      let est = float_of_int t.n -. ends_before -. starts_after in
+      max 0 (min t.n (int_of_float (Float.round est)))
+    end
+
+  let estimate_selectivity t q =
+    if t.n = 0 then 0.0
+    else float_of_int (estimate_result_size t q) /. float_of_int t.n
+end
+
+type plan_choice = Index_plan | Full_scan
+
+let plan_to_string = function
+  | Index_plan -> "index"
+  | Full_scan -> "scan"
+
+(* Entries per leaf for the 4-wide index keys, and rows per heap page,
+   derived from the block size. *)
+let index_leaf_capacity tree =
+  let bs =
+    Storage.Buffer_pool.block_size
+      (Btree.pool (Relation.Table.Index.tree (Ri_tree.lower_index tree)))
+  in
+  max 1 ((bs - 16) / 32)
+
+let index_cost tree stats q =
+  let n = max 2 (Stats.row_count stats) in
+  let probes = float_of_int (Ri_tree.probe_count tree q + 1) in
+  let fanout = float_of_int (index_leaf_capacity tree) in
+  let depth = Float.max 1.0 (log (float_of_int n) /. log fanout) in
+  let r = float_of_int (Stats.estimate_result_size stats q) in
+  (probes *. depth) +. (r /. fanout)
+
+let scan_cost tree =
+  float_of_int (Relation.Heap.page_count (Relation.Table.heap (Ri_tree.table tree)))
+
+let choose tree stats q =
+  if index_cost tree stats q <= scan_cost tree then Index_plan else Full_scan
+
+let adaptive_ids tree stats q =
+  match choose tree stats q with
+  | Index_plan -> Ri_tree.intersecting_ids tree q
+  | Full_scan ->
+      let acc = ref [] in
+      Relation.Table.iter (Ri_tree.table tree) (fun _ row ->
+          if row.(1) <= Ivl.upper q && row.(2) >= Ivl.lower q then
+            acc := row.(3) :: !acc);
+      List.rev !acc

@@ -1,0 +1,45 @@
+(** Statistics and a cost model for RI-tree queries.
+
+    Sec. 5 of the paper: "With a cost model registered at the optimizer,
+    the server is able to generate efficient execution plans for queries
+    on interval data types." This module provides that piece for our
+    engine: equi-width histograms over the stored lower and upper bounds
+    estimate an intersection query's result size (an interval misses the
+    query iff it ends before it or starts after it), and a block-level
+    cost formula compares the RI-tree plan against a full table scan. At
+    very high selectivities the scan is cheaper — the optimizer's choice,
+    not the index's failure — and {!adaptive_ids} switches plans
+    accordingly. *)
+
+module Stats : sig
+  type t
+
+  val analyze : ?buckets:int -> Ri_tree.t -> t
+  (** One scan of the interval table (default 64 buckets per
+      histogram). *)
+
+  val row_count : t -> int
+
+  val estimate_result_size : t -> Interval.Ivl.t -> int
+  (** Histogram estimate of the number of intersecting intervals. *)
+
+  val estimate_selectivity : t -> Interval.Ivl.t -> float
+end
+
+type plan_choice = Index_plan | Full_scan
+
+val index_cost : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> float
+(** Estimated physical blocks for the Fig. 9 plan: one [O(log_b n)]
+    descent per transient-node probe plus the leaves holding the
+    estimated results. *)
+
+val scan_cost : Ri_tree.t -> float
+(** Blocks of a full heap scan. *)
+
+val choose : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> plan_choice
+
+val adaptive_ids : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> int list
+(** Execute whichever plan {!choose} picks; both return exactly the
+    intersecting ids. *)
+
+val plan_to_string : plan_choice -> string

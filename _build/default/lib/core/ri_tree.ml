@@ -1,0 +1,378 @@
+module Ivl = Interval.Ivl
+
+let max_bound_magnitude = 1 lsl 40
+let fork_infinity = max_int
+let fork_now = max_int - 1
+
+type t = {
+  name : string;
+  table : Relation.Table.t;
+  lower_index : Relation.Table.Index.t;
+  upper_index : Relation.Table.Index.t;
+  params_table : Relation.Table.t;
+  mutable params_rowid : int option;
+  mutable offset : int option;
+  mutable roots : Backbone.roots;
+  mutable min_level : int;
+  mutable next_id : int;
+}
+
+type params = {
+  offset : int option;
+  left_root : int;
+  right_root : int;
+  min_level : int;
+}
+
+(* Column positions in the base table (node, lower, upper, id). *)
+let col_lower = 1
+let col_upper = 2
+let col_id = 3
+
+let create_tables ?(bulk = false) ~name catalog =
+  let table =
+    Relation.Catalog.create_table catalog ~name
+      ~columns:[ "node"; "lower"; "upper"; "id" ]
+  in
+  let mk_indexes () =
+    let lower_index =
+      Relation.Table.create_index ~bulk table ~name:(name ^ "_lower")
+        ~columns:[ "node"; "lower"; "id" ]
+    in
+    let upper_index =
+      Relation.Table.create_index ~bulk table ~name:(name ^ "_upper")
+        ~columns:[ "node"; "upper"; "id" ]
+    in
+    (lower_index, upper_index)
+  in
+  let params_table =
+    Relation.Catalog.create_table catalog ~name:(name ^ "_params")
+      ~columns:
+        [ "offset_set"; "offset"; "left_root"; "right_root"; "min_level";
+          "next_id" ]
+  in
+  (table, mk_indexes, params_table)
+
+let create ?(name = "intervals") catalog =
+  let table, mk_indexes, params_table = create_tables ~name catalog in
+  let lower_index, upper_index = mk_indexes () in
+  { name; table; lower_index; upper_index; params_table;
+    params_rowid = None; offset = None; roots = Backbone.empty_roots;
+    min_level = Backbone.max_level; next_id = 0 }
+
+(* The persistent O(1) data dictionary of Sec. 3.4: one row, updated in
+   place. *)
+let save_params (t : t) =
+  let offset_set, offset =
+    match t.offset with None -> (0, 0) | Some o -> (1, o)
+  in
+  let row =
+    [| offset_set; offset; t.roots.Backbone.left_root;
+       t.roots.Backbone.right_root; t.min_level; t.next_id |]
+  in
+  match t.params_rowid with
+  | Some rowid -> ignore (Relation.Table.update_row t.params_table rowid row)
+  | None -> t.params_rowid <- Some (Relation.Table.insert t.params_table row)
+
+let name t = t.name
+let table t = t.table
+let lower_index t = t.lower_index
+let upper_index t = t.upper_index
+let count t = Relation.Table.row_count t.table
+
+let index_entries t =
+  Relation.Table.Index.entry_count t.lower_index
+  + Relation.Table.Index.entry_count t.upper_index
+
+let relation_pages t =
+  Relation.Heap.page_count (Relation.Table.heap t.table)
+  + Btree.page_count (Relation.Table.Index.tree t.lower_index)
+  + Btree.page_count (Relation.Table.Index.tree t.upper_index)
+
+let params (t : t) =
+  { offset = t.offset; left_root = t.roots.Backbone.left_root;
+    right_root = t.roots.Backbone.right_root; min_level = t.min_level }
+
+let height t = Backbone.height t.roots ~min_level:t.min_level
+
+let check_bound v =
+  if abs v > max_bound_magnitude then
+    invalid_arg
+      (Printf.sprintf "Ri_tree: bound %d exceeds the supported magnitude" v)
+
+let shifted (t : t) ivl =
+  match t.offset with
+  | None -> invalid_arg "Ri_tree: empty tree has no data space yet"
+  | Some off -> (Ivl.lower ivl - off, Ivl.upper ivl - off)
+
+let fork_node t ivl =
+  let l, u = shifted t ivl in
+  Backbone.fork (Backbone.expand t.roots ~l ~u) ~l ~u
+
+let insert ?id (t : t) ivl =
+  check_bound (Ivl.lower ivl);
+  check_bound (Ivl.upper ivl);
+  let id =
+    match id with
+    | Some i ->
+        if i >= t.next_id then t.next_id <- i + 1;
+        i
+    | None ->
+        let i = t.next_id in
+        t.next_id <- i + 1;
+        i
+  in
+  (* Fig. 6: fix the offset at the first insertion, expand the subtree
+     roots, then descend to the fork node. *)
+  if t.offset = None then t.offset <- Some (Ivl.lower ivl);
+  let l, u = shifted t ivl in
+  t.roots <- Backbone.expand t.roots ~l ~u;
+  let fork, flevel = Backbone.fork_level t.roots ~l ~u in
+  if fork <> 0 && flevel < t.min_level then t.min_level <- flevel;
+  ignore
+    (Relation.Table.insert t.table [| fork; Ivl.lower ivl; Ivl.upper ivl; id |]);
+  save_params t;
+  id
+
+let open_existing ?(name = "intervals") catalog =
+  let table = Relation.Catalog.table catalog name in
+  let params_table = Relation.Catalog.table catalog (name ^ "_params") in
+  let find_index n =
+    match Relation.Table.find_index table n with
+    | Some i -> i
+    | None -> failwith (Printf.sprintf "Ri_tree.open_existing: no index %s" n)
+  in
+  let lower_index = find_index (name ^ "_lower") in
+  let upper_index = find_index (name ^ "_upper") in
+  let t =
+    { name; table; lower_index; upper_index; params_table;
+      params_rowid = None; offset = None; roots = Backbone.empty_roots;
+      min_level = Backbone.max_level; next_id = 0 }
+  in
+  (* Reload the persistent O(1) data dictionary. *)
+  Relation.Table.iter params_table (fun rowid row ->
+      t.params_rowid <- Some rowid;
+      t.offset <- (if row.(0) = 1 then Some row.(1) else None);
+      t.roots <- { Backbone.left_root = row.(2); right_root = row.(3) };
+      t.min_level <- row.(4);
+      t.next_id <- row.(5));
+  t
+
+let bulk_load ?(name = "intervals") catalog data =
+  let table, mk_indexes, params_table =
+    create_tables ~bulk:true ~name catalog
+  in
+  let offset = ref None in
+  let roots = ref Backbone.empty_roots in
+  let min_level = ref Backbone.max_level in
+  let next_id = ref 0 in
+  (* First pass: fix the offset and grow the roots exactly as sequential
+     insertion would. *)
+  Array.iter
+    (fun (ivl, id) ->
+      check_bound (Ivl.lower ivl);
+      check_bound (Ivl.upper ivl);
+      if !offset = None then offset := Some (Ivl.lower ivl);
+      let off = Option.get !offset in
+      roots :=
+        Backbone.expand !roots ~l:(Ivl.lower ivl - off)
+          ~u:(Ivl.upper ivl - off);
+      if id >= !next_id then next_id := id + 1)
+    data;
+  (* Second pass: forks under the final roots coincide with the forks
+     sequential insertion would have computed (node values are absolute),
+     so the loaded table is bit-identical to the incremental one. *)
+  Array.iter
+    (fun (ivl, id) ->
+      let off = Option.get !offset in
+      let l = Ivl.lower ivl - off and u = Ivl.upper ivl - off in
+      let fork, flevel = Backbone.fork_level !roots ~l ~u in
+      if fork <> 0 && flevel < !min_level then min_level := flevel;
+      ignore
+        (Relation.Table.insert table
+           [| fork; Ivl.lower ivl; Ivl.upper ivl; id |]))
+    data;
+  let lower_index, upper_index = mk_indexes () in
+  let t =
+    { name; table; lower_index; upper_index; params_table;
+      params_rowid = None; offset = !offset; roots = !roots;
+      min_level = !min_level; next_id = !next_id }
+  in
+  save_params t;
+  t
+
+let delete (t : t) ~id ivl =
+  match t.offset with
+  | None -> false
+  | Some _ ->
+      let fork = fork_node t ivl in
+      let tree = Relation.Table.Index.tree t.lower_index in
+      (* Index key: (node, lower, id, rowid). *)
+      let lo = [| fork; Ivl.lower ivl; id; min_int |] in
+      let hi = [| fork; Ivl.lower ivl; id; max_int |] in
+      let victim =
+        Btree.fold_range tree ~lo ~hi
+          (fun acc key ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                let rowid = key.(3) in
+                match Relation.Table.fetch t.table rowid with
+                | Some row when row.(col_upper) = Ivl.upper ivl -> Some rowid
+                | Some _ | None -> None))
+          None
+      in
+      (match victim with
+      | Some rowid -> Relation.Table.delete_row t.table rowid
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Intersection queries: the two-branch UNION ALL plan of Fig. 9. *)
+
+type node_lists = {
+  left_nodes : (int * int) list;  (* (min, max); scanned on upperIndex *)
+  right_nodes : int list;         (* scanned on lowerIndex *)
+}
+
+let node_lists (t : t) ivl =
+  match t.offset with
+  | None -> { left_nodes = []; right_nodes = [] }
+  | Some off ->
+      let ql = Ivl.lower ivl - off and qu = Ivl.upper ivl - off in
+      let lefts = ref [] and rights = ref [] in
+      Backbone.collect t.roots ~min_level:t.min_level ~ql ~qu
+        ~left:(fun w -> lefts := (w, w) :: !lefts)
+        ~right:(fun w -> rights := w :: !rights);
+      (* Sec. 4.3: the BETWEEN range joins the leftNodes table as the
+         pair (ql, qu); the guard upper >= :lower is implied for it. *)
+      { left_nodes = (ql, qu) :: !lefts; right_nodes = !rights }
+
+(* The plan of Fig. 10: two nested-loop joins of collection iterators
+   with index range scans, concatenated by UNION ALL. Both indexes are
+   covering — (node, bound, id, rowid) — so no base-table access.
+   [node_filter] lets the skeleton extension drop probes of single nodes
+   known to hold no intervals; the BETWEEN pair is never filtered. *)
+let intersection_iter ?node_filter t ivl =
+  let { left_nodes; right_nodes } = node_lists t ivl in
+  let left_nodes, right_nodes =
+    match node_filter with
+    | None -> (left_nodes, right_nodes)
+    | Some keep ->
+        ( List.filter (fun (a, b) -> a <> b || keep a) left_nodes,
+          List.filter keep right_nodes )
+  in
+  let qlow = Ivl.lower ivl and qup = Ivl.upper ivl in
+  let upper_branch =
+    Relation.Iter.nested_loop
+      ~outer:(Relation.Iter.of_list (List.map (fun (a, b) -> [| a; b |]) left_nodes))
+      ~inner:(fun pair ->
+        Relation.Iter.index_range t.upper_index
+          ~lo:[| pair.(0); qlow; min_int; min_int |]
+          ~hi:[| pair.(1); max_int; max_int; max_int |])
+  in
+  let lower_branch =
+    Relation.Iter.nested_loop
+      ~outer:(Relation.Iter.of_list (List.map (fun w -> [| w |]) right_nodes))
+      ~inner:(fun node ->
+        Relation.Iter.index_range t.lower_index
+          ~lo:[| node.(0); min_int; min_int; min_int |]
+          ~hi:[| node.(0); qup; max_int; max_int |])
+  in
+  Relation.Iter.union_all [ upper_branch; lower_branch ]
+
+let intersecting_ids ?node_filter t ivl =
+  Relation.Iter.fold (fun acc key -> key.(2) :: acc) []
+    (intersection_iter ?node_filter t ivl)
+  |> List.rev
+
+let intersecting t ivl =
+  let rows =
+    Relation.Iter.fetch t.table (intersection_iter t ivl)
+    |> Relation.Iter.to_list
+  in
+  List.map
+    (fun row -> (Ivl.make row.(col_lower) row.(col_upper), row.(col_id)))
+    rows
+
+let stabbing_ids t p = intersecting_ids t (Ivl.point p)
+
+let count_intersecting ?node_filter t ivl =
+  Relation.Iter.count (intersection_iter ?node_filter t ivl)
+
+(* Number of single-node probes the plan would perform (diagnostic for
+   the skeleton extension). *)
+let probe_count ?node_filter t ivl =
+  let { left_nodes; right_nodes } = node_lists t ivl in
+  let keep = match node_filter with None -> fun _ -> true | Some f -> f in
+  List.length (List.filter (fun (a, b) -> a <> b || keep a) left_nodes)
+  + List.length (List.filter keep right_nodes)
+
+let explain t ivl =
+  let { left_nodes; right_nodes } = node_lists t ivl in
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "SELECT STATEMENT\n";
+  add "  UNION-ALL\n";
+  add "    NESTED LOOPS\n";
+  add "      COLLECTION ITERATOR leftNodes(min, max): ";
+  List.iter (fun (a, b) -> add "(%d,%d) " a b) left_nodes;
+  add "\n      INDEX RANGE SCAN %s (node, upper, id)\n"
+    (Relation.Table.Index.name t.upper_index);
+  add "    NESTED LOOPS\n";
+  add "      COLLECTION ITERATOR rightNodes(node): ";
+  List.iter (fun w -> add "%d " w) right_nodes;
+  add "\n      INDEX RANGE SCAN %s (node, lower, id)\n"
+    (Relation.Table.Index.name t.lower_index);
+  Buffer.contents buf
+
+let check_invariants t =
+  Relation.Table.check_invariants t.table;
+  let fail fmt = Format.kasprintf failwith fmt in
+  (let lr = -t.roots.Backbone.left_root and rr = t.roots.Backbone.right_root in
+   if lr <> 0 && lr land (lr - 1) <> 0 then fail "left_root not a power of 2";
+   if rr <> 0 && rr land (rr - 1) <> 0 then fail "right_root not a power of 2");
+  Relation.Table.iter t.table (fun _ row ->
+      let node = row.(0) in
+      if node = fork_infinity || node = fork_now then ()
+      else begin
+        let ivl = Ivl.make row.(col_lower) row.(col_upper) in
+        let expected = fork_node t ivl in
+        if node <> expected then
+          fail "row %s registered at node %d, fork is %d" (Ivl.to_string ivl)
+            node expected;
+        if node <> 0 && Backbone.level node < t.min_level then
+          fail "row at node %d below min_level %d" node t.min_level
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Temporal sentinel hooks (Sec. 4.6) *)
+
+let insert_sentinel_row (t : t) ~node ~lower ~upper_code ~id =
+  if node <> fork_infinity && node <> fork_now then
+    invalid_arg "Ri_tree.insert_sentinel_row: not a sentinel node";
+  let id =
+    match id with
+    | Some i ->
+        if i >= t.next_id then t.next_id <- i + 1;
+        i
+    | None ->
+        let i = t.next_id in
+        t.next_id <- i + 1;
+        i
+  in
+  if t.offset = None then t.offset <- Some lower;
+  ignore (Relation.Table.insert t.table [| node; lower; upper_code; id |]);
+  save_params t;
+  id
+
+let sentinel_scan t ~node ~max_lower =
+  let it =
+    Relation.Iter.index_range t.lower_index
+      ~lo:[| node; min_int; min_int; min_int |]
+      ~hi:[| node; max_lower; max_int; max_int |]
+  in
+  Relation.Iter.fetch t.table it
+  |> Relation.Iter.fold
+       (fun acc row -> (row.(col_lower), row.(col_upper), row.(col_id)) :: acc)
+       []
+  |> List.rev

@@ -1,0 +1,148 @@
+(** The Relational Interval Tree (Kriegel, Pötke, Seidl — VLDB 2000).
+
+    An RI-tree instance is nothing but a relational table
+
+    {v
+    CREATE TABLE <name> (node int, lower int, upper int, id int);
+    CREATE INDEX <name>_lower ON <name> (node, lower, id);
+    CREATE INDEX <name>_upper ON <name> (node, upper, id);
+    v}
+
+    plus an [O(1)] parameter dictionary ([offset], [leftRoot],
+    [rightRoot], [minstep]) persisted in [<name>_params]. Insertion
+    computes the fork node of the interval on the virtual backbone
+    ({!Backbone}) and executes a single relational insert; an
+    intersection query descends the virtual backbone (no I/O), fills the
+    transient node tables [leftNodes(min, max)] and [rightNodes(node)],
+    and runs the two-branch UNION ALL plan of Fig. 9 / Fig. 10 as index
+    range scans. Storing [n] intervals takes [O(n/b)] blocks; updates
+    cost [O(log_b n)] I/Os; an intersection query reporting [r] results
+    costs [O(h · log_b n + r/b)] I/Os. *)
+
+type t
+
+val create : ?name:string -> Relation.Catalog.t -> t
+(** Create the interval table, its two composite indexes and the
+    parameter dictionary in the given database (default name
+    ["intervals"]). *)
+
+val open_existing : ?name:string -> Relation.Catalog.t -> t
+(** Re-attach to an RI-tree previously created in this catalog (for
+    durable catalogs: typically after {!Relation.Catalog.simulate_crash}
+    or {!Relation.Catalog.reopen}): finds the interval table and its
+    indexes by name and reloads the parameter dictionary from the
+    persisted [<name>_params] row.
+    @raise Not_found if the tables are missing.
+    @raise Failure if the schema does not look like an RI-tree. *)
+
+val bulk_load :
+  ?name:string ->
+  Relation.Catalog.t ->
+  (Interval.Ivl.t * int) array ->
+  t
+(** Build an RI-tree from a snapshot of [(interval, id)] pairs: heap rows
+    are written sequentially and both indexes are bulk-loaded bottom-up,
+    giving the tightly clustered pages the paper attributes to
+    bulk-loaded competitors. The resulting tree is indistinguishable from
+    one built by repeated {!insert} of the same data (same fork nodes,
+    same parameters, same query answers) and remains fully dynamic. *)
+
+val name : t -> string
+val table : t -> Relation.Table.t
+val lower_index : t -> Relation.Table.Index.t
+val upper_index : t -> Relation.Table.Index.t
+
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+(** Register an interval; returns its id (fresh ids are assigned from a
+    counter when not supplied). Duplicate (interval, id) pairs may be
+    stored; they are distinct rows.
+    @raise Invalid_argument if a bound exceeds {!max_bound_magnitude}
+    (node values must stay clear of the temporal sentinels). *)
+
+val delete : t -> id:int -> Interval.Ivl.t -> bool
+(** Remove one row matching the interval and id exactly; [false] if no
+    such row exists. *)
+
+val count : t -> int
+
+val index_entries : t -> int
+(** Total entries across both indexes — [2 * count] (Fig. 12 reports this
+    measure of storage redundancy). *)
+
+val relation_pages : t -> int
+(** Pages of the base table plus both indexes. *)
+
+(** {2 Queries} *)
+
+val intersecting_ids :
+  ?node_filter:(int -> bool) -> t -> Interval.Ivl.t -> int list
+(** Ids of all stored intervals intersecting the query interval, via the
+    paper's two-branch plan. No duplicates are produced (the branches are
+    provably disjoint — Sec. 4.2). [node_filter] drops the probes of
+    single backbone nodes for which it returns [false]; it must only
+    reject nodes that hold no intervals (used by {!Skeleton}). *)
+
+val intersecting : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** Same, but fetches the base rows to return the intervals. *)
+
+val stabbing_ids : t -> int -> int list
+(** Point query: intervals containing the given value (degenerate query
+    interval, Sec. 4.1). *)
+
+val count_intersecting :
+  ?node_filter:(int -> bool) -> t -> Interval.Ivl.t -> int
+
+val probe_count : ?node_filter:(int -> bool) -> t -> Interval.Ivl.t -> int
+(** Single-node index probes the intersection plan performs for this
+    query (excluding the BETWEEN range scan) — the quantity the skeleton
+    extension reduces. *)
+
+(** {2 Introspection} *)
+
+type params = {
+  offset : int option;  (** data-space shift, fixed at first insertion *)
+  left_root : int;
+  right_root : int;
+  min_level : int;      (** lowest backbone level holding an interval *)
+}
+
+val params : t -> params
+
+val height : t -> int
+(** Current height of the virtual backbone (Sec. 3.5); independent of the
+    number of stored intervals. *)
+
+val fork_node : t -> Interval.Ivl.t -> int
+(** The (shifted) backbone node at which this interval is or would be
+    registered — exposed for tests and examples. *)
+
+val explain : t -> Interval.Ivl.t -> string
+(** A textual execution plan for the intersection query, in the spirit of
+    the paper's Fig. 10, including the transient node tables. *)
+
+val check_invariants : t -> unit
+(** Table/index consistency plus RI-tree-specific invariants: every row's
+    node is the fork node of its interval under the current parameters,
+    and no row sits below [min_level]. *)
+
+(** {2 Hooks for the temporal extension (Sec. 4.6)} *)
+
+val max_bound_magnitude : int
+(** Bounds must satisfy [abs bound <= max_bound_magnitude]; keeps shifted
+    node values clear of the sentinels below. *)
+
+val fork_infinity : int
+(** Reserved node value for intervals ending at [infinity]. *)
+
+val fork_now : int
+(** Reserved node value for intervals ending at [now]. *)
+
+val insert_sentinel_row :
+  t -> node:int -> lower:int -> upper_code:int -> id:int option -> int
+(** Insert a row at a reserved fork value, bypassing the backbone; used
+    by {!Temporal_store}. Returns the id. *)
+
+val sentinel_scan : t -> node:int -> max_lower:int -> (int * int * int) list
+(** [(lower, upper_code, id)] of sentinel rows with
+    [lower <= max_lower] — the extra [rightNodes] probe the temporal
+    extension adds at query time. *)

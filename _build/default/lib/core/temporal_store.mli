@@ -1,0 +1,28 @@
+(** Valid-time intervals with [now] and [infinity] upper bounds over an
+    RI-tree (Sec. 4.6).
+
+    Intervals ending at [infinity] are registered under the reserved fork
+    value {!Ri_tree.fork_infinity}; intervals ending at [now] under
+    {!Ri_tree.fork_now}. Neither requires any change to the backbone or
+    to the SQL plan: at query time the reserved values are simply
+    appended to the transient [rightNodes] table — [fork_now] only when
+    the query begins in the past ([query lower <= now]) — so the plan's
+    lower-bound scans test exactly the right predicate. *)
+
+type t
+
+val create : ?name:string -> Relation.Catalog.t -> t
+
+val ri : t -> Ri_tree.t
+(** The underlying RI-tree (finite intervals live there normally). *)
+
+val insert : ?id:int -> t -> Interval.Temporal.t -> int
+
+val intersecting_ids : t -> now:int -> Interval.Ivl.t -> int list
+(** Ids of stored valid-time intervals that, evaluated at time [now],
+    intersect the concrete query interval. *)
+
+val intersecting :
+  t -> now:int -> Interval.Ivl.t -> (Interval.Temporal.t * int) list
+
+val count : t -> int

@@ -1,0 +1,82 @@
+module Ivl = Interval.Ivl
+module Allen = Interval.Allen
+
+let fetch_matches t r q it =
+  let table = Ri_tree.table t in
+  Relation.Iter.fetch table it
+  |> Relation.Iter.fold
+       (fun acc row ->
+         let ivl = Ivl.make row.(1) row.(2) in
+         if Allen.holds r ivl q then (ivl, row.(3)) :: acc else acc)
+       []
+  |> List.rev
+
+(* Every interval with a bound equal to value [x] is registered on the
+   backbone path of [x], so O(h) exact probes cover Meets/Met_by. *)
+let path_nodes t x =
+  let p = Ri_tree.params t in
+  match p.Ri_tree.offset with
+  | None -> []
+  | Some off ->
+      let roots =
+        { Backbone.left_root = p.Ri_tree.left_root;
+          right_root = p.Ri_tree.right_root }
+      in
+      Backbone.path roots ~min_level:p.Ri_tree.min_level (x - off)
+
+let query t r q =
+  let p = Ri_tree.params t in
+  match p.Ri_tree.offset with
+  | None -> []
+  | Some off -> (
+      let qlow = Ivl.lower q and qup = Ivl.upper q in
+      match r with
+      | Allen.Before ->
+          (* i.upper < qlow implies node <= i.upper - offset < ql: one
+             ordered scan over all nodes strictly left of the query. *)
+          let ql = qlow - off in
+          let it =
+            Relation.Iter.index_range (Ri_tree.upper_index t)
+              ~lo:[| min_int; min_int; min_int; min_int |]
+              ~hi:[| ql - 1; max_int; max_int; max_int |]
+          in
+          fetch_matches t r q (Relation.Iter.filter (fun k -> k.(1) < qlow) it)
+      | Allen.After ->
+          (* i.lower > qup implies node >= i.lower - offset > qu. Stop
+             short of the temporal sentinel nodes. *)
+          let qu = qup - off in
+          let it =
+            Relation.Iter.index_range (Ri_tree.lower_index t)
+              ~lo:[| qu + 1; min_int; min_int; min_int |]
+              ~hi:[| Ri_tree.fork_now - 1; max_int; max_int; max_int |]
+          in
+          fetch_matches t r q (Relation.Iter.filter (fun k -> k.(1) > qup) it)
+      | Allen.Meets ->
+          let probes =
+            List.map
+              (fun w ->
+                Relation.Iter.index_range (Ri_tree.upper_index t)
+                  ~lo:[| w; qlow; min_int; min_int |]
+                  ~hi:[| w; qlow; max_int; max_int |])
+              (path_nodes t qlow)
+          in
+          fetch_matches t r q (Relation.Iter.union_all probes)
+      | Allen.Met_by ->
+          let probes =
+            List.map
+              (fun w ->
+                Relation.Iter.index_range (Ri_tree.lower_index t)
+                  ~lo:[| w; qup; min_int; min_int |]
+                  ~hi:[| w; qup; max_int; max_int |])
+              (path_nodes t qup)
+          in
+          fetch_matches t r q (Relation.Iter.union_all probes)
+      | Allen.Overlaps | Allen.Finished_by | Allen.Contains | Allen.Starts
+      | Allen.Equals | Allen.Started_by | Allen.During | Allen.Finishes
+      | Allen.Overlapped_by ->
+          (* These imply intersection: filter the intersection candidates
+             exactly. *)
+          List.filter (fun (ivl, _) -> Allen.holds r ivl q)
+            (Ri_tree.intersecting t q))
+
+let query_ids t r q = List.map snd (query t r q)

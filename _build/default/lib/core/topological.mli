@@ -1,0 +1,27 @@
+(** General topological queries over an RI-tree (Sec. 4.5).
+
+    Beyond plain intersection, the paper notes that all thirteen Allen
+    relations are efficiently supported because — unlike the IB+-tree or
+    the IST — the RI-tree indexes {e both} interval bounds. The
+    strategies used here:
+
+    - [Before]/[After] touch only one bound: a single range scan over the
+      node range strictly left (right) of the query, filtered on the
+      bound — the total number of entries visited is the answer size plus
+      the intersecting intervals on that side;
+    - [Meets]/[Met_by] need intervals whose bound {e equals} a query
+      bound; every interval containing a value lies on that value's
+      backbone path, so [O(h)] exact index probes suffice;
+    - the nine remaining relations imply intersection, so the candidate
+      set from the intersection plan is fetched and filtered exactly.
+
+    Results are [(interval, id)] pairs of stored intervals [i] such that
+    [Allen.holds r i q]. *)
+
+val query :
+  Ri_tree.t ->
+  Interval.Allen.relation ->
+  Interval.Ivl.t ->
+  (Interval.Ivl.t * int) list
+
+val query_ids : Ri_tree.t -> Interval.Allen.relation -> Interval.Ivl.t -> int list

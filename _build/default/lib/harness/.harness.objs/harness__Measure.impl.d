@@ -1,0 +1,1 @@
+lib/harness/measure.ml: Array Format Relation Storage Sys

@@ -1,0 +1,1 @@
+lib/harness/measure.mli: Format Interval Relation

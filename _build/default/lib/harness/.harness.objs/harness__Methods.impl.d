@@ -1,0 +1,1 @@
+lib/harness/methods.ml: Array Baselines Interval List Printf Relation Ritree

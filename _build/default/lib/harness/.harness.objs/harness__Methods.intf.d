@@ -1,0 +1,1 @@
+lib/harness/methods.mli: Baselines Interval Relation

@@ -1,0 +1,1 @@
+lib/harness/tbl.ml: Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/hierarchy/type_hierarchy.ml: Hashtbl Int Interval List Printf Ritree

@@ -1,0 +1,1 @@
+lib/hierarchy/type_hierarchy.mli: Interval Relation

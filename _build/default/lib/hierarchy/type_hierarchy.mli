@@ -1,0 +1,42 @@
+(** Interval encoding of type/class hierarchies.
+
+    The paper's introduction lists "hierarchical type systems in
+    object-oriented databases" [KRVV 93] among the interval applications:
+    give every type the interval spanned by its subtree in the hierarchy
+    and subtyping becomes interval containment, so an RI-tree answers
+    hierarchy queries through the relational engine.
+
+    Types are labelled dynamically: every node owns an integer range and
+    hands each new child a fresh quarter of its remaining space, so
+    subtrees can grow without relabelling (a gap-based nested-interval
+    scheme). The root owns [\[0, 2^40\]], giving comfortably deep
+    hierarchies before the space runs out. *)
+
+type t
+
+val create : ?name:string -> root:string -> Relation.Catalog.t -> t
+
+val add : t -> parent:string -> string -> unit
+(** Add a new type under [parent].
+    @raise Invalid_argument if the child already exists, the parent is
+    unknown, or the parent's label space is exhausted. *)
+
+val mem : t -> string -> bool
+val type_count : t -> int
+
+val interval_of : t -> string -> Interval.Ivl.t
+(** The type's label range. @raise Not_found *)
+
+val is_subtype : t -> sub:string -> super:string -> bool
+(** Reflexive: every type is a subtype of itself. *)
+
+val subtypes : t -> string -> string list
+(** All types at or below the given type, via an RI-tree intersection
+    query on its label range (sorted). *)
+
+val supertypes : t -> string -> string list
+(** The path to the root, computed by a stabbing query on the type's
+    label (sorted). *)
+
+val common_supertype : t -> string -> string -> string
+(** The least common ancestor. @raise Not_found on unknown types. *)

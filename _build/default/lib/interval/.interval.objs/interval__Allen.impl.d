@@ -1,0 +1,1 @@
+lib/interval/allen.ml: Format Ivl List String

@@ -1,0 +1,1 @@
+lib/interval/allen.mli: Format Ivl

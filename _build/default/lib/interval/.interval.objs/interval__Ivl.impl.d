@@ -1,0 +1,1 @@
+lib/interval/ivl.ml: Format Hashtbl Int Printf

@@ -1,0 +1,1 @@
+lib/interval/ivl.mli: Format

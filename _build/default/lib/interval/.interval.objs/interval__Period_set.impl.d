@@ -1,0 +1,1 @@
+lib/interval/period_set.ml: Format Ivl List

@@ -1,0 +1,1 @@
+lib/interval/period_set.mli: Format Ivl

@@ -1,0 +1,1 @@
+lib/interval/temporal.ml: Format Int Ivl Printf

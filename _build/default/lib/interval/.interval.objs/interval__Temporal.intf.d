@@ -1,0 +1,1 @@
+lib/interval/temporal.mli: Format Ivl

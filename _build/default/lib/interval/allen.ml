@@ -1,0 +1,91 @@
+type relation =
+  | Before
+  | Meets
+  | Overlaps
+  | Finished_by
+  | Contains
+  | Starts
+  | Equals
+  | Started_by
+  | During
+  | Finishes
+  | Overlapped_by
+  | Met_by
+  | After
+
+let all =
+  [
+    Before; Meets; Overlaps; Finished_by; Contains; Starts; Equals;
+    Started_by; During; Finishes; Overlapped_by; Met_by; After;
+  ]
+
+(* Meets requires both operands to be non-degenerate at the touching
+   bound; otherwise a point sharing a bound with an interval would
+   satisfy both Meets and Starts/Finishes, breaking exclusivity. *)
+let holds r a b =
+  let al = Ivl.lower a and au = Ivl.upper a in
+  let bl = Ivl.lower b and bu = Ivl.upper b in
+  match r with
+  | Before -> au < bl
+  | Meets -> au = bl && al < au && bl < bu
+  | Overlaps -> al < bl && bl < au && au < bu
+  | Finished_by -> au = bu && al < bl
+  | Contains -> al < bl && bu < au
+  | Starts -> al = bl && au < bu
+  | Equals -> al = bl && au = bu
+  | Started_by -> al = bl && bu < au
+  | During -> bl < al && au < bu
+  | Finishes -> au = bu && bl < al
+  | Overlapped_by -> bl < al && al < bu && bu < au
+  | Met_by -> bu = al && bl < bu && al < au
+  | After -> bu < al
+
+let relate a b =
+  match List.find_opt (fun r -> holds r a b) all with
+  | Some r -> r
+  | None ->
+      (* Unreachable: the thirteen relations partition all pairs of
+         closed intervals (verified exhaustively in the test suite). *)
+      assert false
+
+let inverse = function
+  | Before -> After
+  | Meets -> Met_by
+  | Overlaps -> Overlapped_by
+  | Finished_by -> Finishes
+  | Contains -> During
+  | Starts -> Started_by
+  | Equals -> Equals
+  | Started_by -> Starts
+  | During -> Contains
+  | Finishes -> Finished_by
+  | Overlapped_by -> Overlaps
+  | Met_by -> Meets
+  | After -> Before
+
+let implies_intersection = function
+  | Before | After -> false
+  | Meets | Overlaps | Finished_by | Contains | Starts | Equals | Started_by
+  | During | Finishes | Overlapped_by | Met_by ->
+      true
+
+let to_string = function
+  | Before -> "before"
+  | Meets -> "meets"
+  | Overlaps -> "overlaps"
+  | Finished_by -> "finished-by"
+  | Contains -> "contains"
+  | Starts -> "starts"
+  | Equals -> "equals"
+  | Started_by -> "started-by"
+  | During -> "during"
+  | Finishes -> "finishes"
+  | Overlapped_by -> "overlapped-by"
+  | Met_by -> "met-by"
+  | After -> "after"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun r -> to_string r = s) all
+
+let pp ppf r = Format.pp_print_string ppf (to_string r)

@@ -1,0 +1,56 @@
+(** Allen's thirteen topological relations between intervals.
+
+    Sec. 4.5 of the RI-tree paper notes that "in addition to the
+    intersection query predicate, there are 13 more fine-grained temporal
+    relationships between intervals" and that all of them are supported
+    by the RI-tree. This module defines those relations on closed integer
+    intervals and is used both by the query layer
+    ({!Ritree.Topological}) and as a specification oracle in tests.
+
+    For non-degenerate intervals the thirteen predicates are mutually
+    exclusive and exhaustive (classical Allen algebra). Degenerate
+    intervals (points) are handled by requiring, in {!const-Meets} and
+    {!const-Met_by}, that both operands be non-degenerate at the touching
+    bound; with that convention the partition property extends to all
+    pairs of closed intervals, which the test suite verifies
+    exhaustively. *)
+
+type relation =
+  | Before        (** [a] ends strictly before [b] starts (with a gap). *)
+  | Meets         (** [a] ends exactly where [b] starts. *)
+  | Overlaps      (** proper partial overlap, [a] first. *)
+  | Finished_by   (** [b] finishes [a]: same upper, [a] starts first. *)
+  | Contains      (** [b] lies strictly inside [a]. *)
+  | Starts        (** same lower, [a] ends first. *)
+  | Equals
+  | Started_by    (** same lower, [b] ends first. *)
+  | During        (** [a] lies strictly inside [b]. *)
+  | Finishes      (** same upper, [b] starts first. *)
+  | Overlapped_by (** proper partial overlap, [b] first. *)
+  | Met_by        (** [b] ends exactly where [a] starts. *)
+  | After         (** [a] starts strictly after [b] ends (with a gap). *)
+
+val all : relation list
+(** The thirteen relations, in the order of the type definition. *)
+
+val holds : relation -> Ivl.t -> Ivl.t -> bool
+(** [holds r a b] tests whether [a r b]. *)
+
+val relate : Ivl.t -> Ivl.t -> relation
+(** [relate a b] is the unique relation holding between [a] and [b]. *)
+
+val inverse : relation -> relation
+(** [inverse r] is the converse relation: [holds r a b] iff
+    [holds (inverse r) b a]. *)
+
+val implies_intersection : relation -> bool
+(** True for the eleven relations under which the two closed intervals
+    share at least one point — every relation except {!const-Before} and
+    {!const-After}. [Meets]/[Met_by] intervals share their touching
+    bound because intervals are closed. *)
+
+val to_string : relation -> string
+val of_string : string -> relation option
+(** Case-insensitive parse of the name as printed by {!to_string}. *)
+
+val pp : Format.formatter -> relation -> unit

@@ -1,0 +1,33 @@
+type t = { lower : int; upper : int }
+
+let make lower upper =
+  if lower > upper then
+    invalid_arg
+      (Printf.sprintf "Ivl.make: lower %d exceeds upper %d" lower upper);
+  { lower; upper }
+
+let of_pair (l, u) = make l u
+let point p = { lower = p; upper = p }
+let lower i = i.lower
+let upper i = i.upper
+let length i = i.upper - i.lower
+let is_point i = i.lower = i.upper
+let contains i p = i.lower <= p && p <= i.upper
+let intersects a b = a.lower <= b.upper && b.lower <= a.upper
+
+let intersection a b =
+  let lo = max a.lower b.lower and hi = min a.upper b.upper in
+  if lo <= hi then Some { lower = lo; upper = hi } else None
+
+let hull a b = { lower = min a.lower b.lower; upper = max a.upper b.upper }
+let subset a b = b.lower <= a.lower && a.upper <= b.upper
+let shift i d = { lower = i.lower + d; upper = i.upper + d }
+
+let compare a b =
+  let c = Int.compare a.lower b.lower in
+  if c <> 0 then c else Int.compare a.upper b.upper
+
+let equal a b = a.lower = b.lower && a.upper = b.upper
+let hash i = Hashtbl.hash (i.lower, i.upper)
+let pp ppf i = Format.fprintf ppf "[%d, %d]" i.lower i.upper
+let to_string i = Format.asprintf "%a" pp i

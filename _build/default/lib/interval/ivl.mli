@@ -1,0 +1,60 @@
+(** Closed integer intervals [lower, upper].
+
+    This is the fundamental datatype of the whole library: the RI-tree of
+    Kriegel, Pötke and Seidl (VLDB 2000) indexes exactly these objects.
+    Degenerate intervals with [lower = upper] represent points, as in
+    Sec. 3.3 of the paper. *)
+
+type t = private { lower : int; upper : int }
+(** A closed interval. The invariant [lower <= upper] is enforced by
+    {!make}. *)
+
+val make : int -> int -> t
+(** [make lower upper] builds the interval [\[lower, upper\]].
+    @raise Invalid_argument if [lower > upper]. *)
+
+val of_pair : int * int -> t
+(** [of_pair (l, u)] is [make l u]. *)
+
+val point : int -> t
+(** [point p] is the degenerate interval [\[p, p\]]. *)
+
+val lower : t -> int
+val upper : t -> int
+
+val length : t -> int
+(** [length i] is [upper i - lower i]; a point has length [0]. *)
+
+val is_point : t -> bool
+
+val contains : t -> int -> bool
+(** [contains i p] tests [lower i <= p <= upper i]. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] is the paper's intersection predicate:
+    [lower a <= upper b && lower b <= upper a]. Touching intervals
+    (sharing a single point) intersect. *)
+
+val intersection : t -> t -> t option
+(** [intersection a b] is the common sub-interval, if any. *)
+
+val hull : t -> t -> t
+(** Smallest interval covering both arguments. *)
+
+val subset : t -> t -> bool
+(** [subset a b] holds when [a] lies fully inside [b] (not necessarily
+    strictly). *)
+
+val shift : t -> int -> t
+(** [shift i d] translates both bounds by [d]. *)
+
+val compare : t -> t -> int
+(** Lexicographic order on [(lower, upper)]. *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["[l, u]"]. *)
+
+val to_string : t -> string

@@ -1,0 +1,95 @@
+type t = Ivl.t list (* ascending, disjoint, non-adjacent *)
+
+let empty = []
+let is_empty t = t = []
+let singleton i = [ i ]
+let to_list t = t
+
+(* Merge a sorted-by-lower list into canonical form. *)
+let coalesce sorted =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | i :: rest -> (
+        match acc with
+        | prev :: tl when Ivl.lower i <= Ivl.upper prev + 1 ->
+            let merged =
+              Ivl.make (Ivl.lower prev) (max (Ivl.upper prev) (Ivl.upper i))
+            in
+            go (merged :: tl) rest
+        | _ -> go (i :: acc) rest)
+  in
+  go [] sorted
+
+let of_list l = coalesce (List.sort Ivl.compare l)
+let add i t = of_list (i :: t)
+
+let mem p t = List.exists (fun i -> Ivl.contains i p) t
+let intersects t q = List.exists (fun i -> Ivl.intersects i q) t
+
+let union a b = coalesce (List.merge Ivl.compare a b)
+
+let inter a b =
+  let rec go a b acc =
+    match (a, b) with
+    | [], _ | _, [] -> List.rev acc
+    | x :: xs, y :: ys ->
+        let acc =
+          match Ivl.intersection x y with
+          | Some i -> i :: acc
+          | None -> acc
+        in
+        if Ivl.upper x < Ivl.upper y then go xs b acc else go a ys acc
+  in
+  go a b []
+
+(* Subtract b from a: walk a, carving out the b-intervals. *)
+let diff a b =
+  let rec carve x b acc =
+    (* x is the not-yet-emitted remainder of the current a-interval *)
+    match b with
+    | [] -> (x :: acc, b)
+    | y :: ys ->
+        if Ivl.upper y < Ivl.lower x then carve x ys acc
+        else if Ivl.lower y > Ivl.upper x then (x :: acc, b)
+        else begin
+          let acc =
+            if Ivl.lower y > Ivl.lower x then
+              Ivl.make (Ivl.lower x) (Ivl.lower y - 1) :: acc
+            else acc
+          in
+          if Ivl.upper y >= Ivl.upper x then (acc, b)
+          else carve (Ivl.make (Ivl.upper y + 1) (Ivl.upper x)) ys acc
+        end
+  in
+  let rec go a b acc =
+    match a with
+    | [] -> List.rev acc
+    | x :: xs ->
+        let acc, b = carve x b acc in
+        go xs b acc
+  in
+  go a b []
+
+let complement_within universe t = diff [ universe ] t
+
+let cardinal t =
+  List.fold_left (fun acc i -> acc + Ivl.length i + 1) 0 t
+
+let interval_count t = List.length t
+
+let hull = function
+  | [] -> None
+  | first :: _ as l ->
+      let rec last = function [ x ] -> x | _ :: tl -> last tl | [] -> first in
+      Some (Ivl.make (Ivl.lower first) (Ivl.upper (last l)))
+
+let equal a b = List.length a = List.length b && List.for_all2 Ivl.equal a b
+
+let subset a b = equal (inter a b) a
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Ivl.pp)
+    t

@@ -1,0 +1,46 @@
+(** Finite unions of closed integer intervals, kept sorted, disjoint and
+    coalesced.
+
+    Temporal databases attach such "temporal elements" (period sets) to
+    facts [TCG+ 93]: the valid time of a tuple is rarely one interval.
+    This module provides the set algebra the examples and tests use on
+    top of the interval stores: membership, union, intersection,
+    difference, complement, and aggregation-style measures.
+
+    The canonical form — ascending, pairwise disjoint, no two intervals
+    adjacent (touching or overlapping intervals are merged) — makes
+    structural equality equal set equality, which the property tests
+    exploit. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+
+val singleton : Ivl.t -> t
+val of_list : Ivl.t list -> t
+(** Any list; normalised on construction. *)
+
+val to_list : t -> Ivl.t list
+(** Canonical form: ascending, disjoint, non-adjacent. *)
+
+val add : Ivl.t -> t -> t
+val mem : int -> t -> bool
+val intersects : t -> Ivl.t -> bool
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val complement_within : Ivl.t -> t -> t
+(** The part of the universe interval not covered by the set. *)
+
+val cardinal : t -> int
+(** Number of covered integer points. *)
+
+val interval_count : t -> int
+val hull : t -> Ivl.t option
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,43 @@
+type upper = Finite of int | Now | Infinity
+type t = { lower : int; upper : upper }
+
+let infinity_sentinel = max_int / 4
+
+let make lower upper =
+  (match upper with
+  | Finite u when u < lower ->
+      invalid_arg
+        (Printf.sprintf "Temporal.make: upper %d precedes lower %d" u lower)
+  | Finite _ | Now | Infinity -> ());
+  { lower; upper }
+
+let fixed i = { lower = Ivl.lower i; upper = Finite (Ivl.upper i) }
+
+let resolve ~now t =
+  match t.upper with
+  | Finite u -> Some (Ivl.make t.lower u)
+  | Infinity -> Some (Ivl.make t.lower infinity_sentinel)
+  | Now -> if t.lower <= now then Some (Ivl.make t.lower now) else None
+
+let intersects ~now t q =
+  match resolve ~now t with
+  | None -> false
+  | Some i -> Ivl.intersects i q
+
+let pp ppf t =
+  match t.upper with
+  | Finite u -> Format.fprintf ppf "[%d, %d]" t.lower u
+  | Now -> Format.fprintf ppf "[%d, now]" t.lower
+  | Infinity -> Format.fprintf ppf "[%d, inf)" t.lower
+
+let equal a b = a.lower = b.lower && a.upper = b.upper
+
+let upper_rank = function Finite _ -> 0 | Now -> 1 | Infinity -> 2
+
+let compare a b =
+  let c = Int.compare a.lower b.lower in
+  if c <> 0 then c
+  else
+    match (a.upper, b.upper) with
+    | Finite x, Finite y -> Int.compare x y
+    | x, y -> Int.compare (upper_rank x) (upper_rank y)

@@ -1,0 +1,41 @@
+(** Valid-time intervals with the special upper bounds [now] and
+    [infinity] (Sec. 4.6 of the paper).
+
+    A valid-time interval starts at a fixed instant and ends either at a
+    fixed instant, at the continuously moving current time ([Now]), or
+    never ([Infinity]). The RI-tree stores such intervals under reserved
+    fork-node values so that a single SQL query still answers
+    intersection queries; this module provides the value-level
+    representation and the semantics used by tests and by
+    {!Ritree.Temporal_store}. *)
+
+type upper =
+  | Finite of int
+  | Now        (** upper bound follows the current time. *)
+  | Infinity   (** interval never ends. *)
+
+type t = { lower : int; upper : upper }
+
+val make : int -> upper -> t
+(** @raise Invalid_argument if [upper] is [Finite u] with [u < lower]. *)
+
+val fixed : Ivl.t -> t
+(** Embed an ordinary interval. *)
+
+val resolve : now:int -> t -> Ivl.t option
+(** [resolve ~now t] is the concrete interval denoted by [t] at time
+    [now]. [Infinity] resolves to an interval ending at [max_int / 4]
+    (an effectively unbounded sentinel well above any data-space value).
+    A [Now]-ending interval whose start lies in the future ([lower >
+    now]) denotes no valid instants yet and resolves to [None]. *)
+
+val intersects : now:int -> t -> Ivl.t -> bool
+(** [intersects ~now t q] tests whether [t], evaluated at time [now],
+    intersects the concrete query interval [q]. *)
+
+val infinity_sentinel : int
+(** The concrete upper bound used to resolve [Infinity]. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int

@@ -1,0 +1,1 @@
+lib/memindex/interval_tree.ml: Hashtbl Int Interval List Seq Set

@@ -1,0 +1,1 @@
+lib/memindex/interval_tree.mli: Interval

@@ -1,0 +1,1 @@
+lib/memindex/naive.mli: Interval

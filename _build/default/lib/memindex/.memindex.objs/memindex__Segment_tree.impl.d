@@ -1,0 +1,1 @@
+lib/memindex/segment_tree.ml: Array Int Interval List

@@ -1,0 +1,1 @@
+lib/memindex/segment_tree.mli: Interval

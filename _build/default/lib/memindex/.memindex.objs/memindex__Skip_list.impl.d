@@ -1,0 +1,1 @@
+lib/memindex/skip_list.ml: Array Format Int64 Interval List

@@ -1,0 +1,1 @@
+lib/memindex/skip_list.mli: Interval

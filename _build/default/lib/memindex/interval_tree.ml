@@ -1,0 +1,179 @@
+module Ivl = Interval.Ivl
+module ISet = Set.Make (Int)
+
+type node_rec = {
+  mutable by_lower : (int * int) list; (* (lower, id) ascending by lower *)
+  mutable by_upper : (int * int) list; (* (upper, id) descending by upper *)
+  mutable ivls : (Ivl.t * int) list;   (* registered intervals *)
+}
+
+type t = {
+  offset : int; (* raw value v maps to internal v - offset + 1 >= 1 *)
+  root : int;
+  nodes : (int, node_rec) Hashtbl.t;
+  mutable nonempty : ISet.t;
+  mutable count : int;
+}
+
+let create ~lo ~hi =
+  if lo > hi then invalid_arg "Interval_tree.create: empty universe";
+  let span = hi - lo + 1 in
+  let rec pow2 r = if 2 * r - 1 >= span then r else pow2 (2 * r) in
+  { offset = lo - 1; root = pow2 1; nodes = Hashtbl.create 1024;
+    nonempty = ISet.empty; count = 0 }
+
+let internal t v = v - t.offset
+
+let check_universe t ivl =
+  let l = internal t (Ivl.lower ivl) and u = internal t (Ivl.upper ivl) in
+  if l < 1 || u > (2 * t.root) - 1 then
+    invalid_arg "Interval_tree: interval outside the universe";
+  (l, u)
+
+let fork t (l, u) =
+  let node = ref t.root and step = ref (t.root / 2) in
+  (try
+     while !step >= 1 do
+       if u < !node then node := !node - !step
+       else if !node < l then node := !node + !step
+       else raise Exit;
+       step := !step / 2
+     done
+   with Exit -> ());
+  !node
+
+let fork_node t ivl = fork t (check_universe t ivl)
+
+let node_rec t w =
+  match Hashtbl.find_opt t.nodes w with
+  | Some r -> r
+  | None ->
+      let r = { by_lower = []; by_upper = []; ivls = [] } in
+      Hashtbl.replace t.nodes w r;
+      r
+
+let insert_sorted cmp x l =
+  let rec go = function
+    | [] -> [ x ]
+    | y :: rest -> if cmp x y <= 0 then x :: y :: rest else y :: go rest
+  in
+  go l
+
+let insert ?id t ivl =
+  let l, u = check_universe t ivl in
+  let id = match id with Some i -> i | None -> t.count in
+  let w = fork t (l, u) in
+  let r = node_rec t w in
+  r.by_lower <-
+    insert_sorted (fun (a, _) (b, _) -> Int.compare a b) (Ivl.lower ivl, id)
+      r.by_lower;
+  r.by_upper <-
+    insert_sorted (fun (a, _) (b, _) -> Int.compare b a) (Ivl.upper ivl, id)
+      r.by_upper;
+  r.ivls <- (ivl, id) :: r.ivls;
+  t.nonempty <- ISet.add w t.nonempty;
+  t.count <- t.count + 1;
+  id
+
+let delete t ~id ivl =
+  let l, u = check_universe t ivl in
+  let w = fork t (l, u) in
+  match Hashtbl.find_opt t.nodes w with
+  | None -> false
+  | Some r ->
+      if List.exists (fun (i, j) -> j = id && Ivl.equal i ivl) r.ivls then begin
+        let remove_first pred l =
+          let rec go acc = function
+            | [] -> List.rev acc
+            | x :: rest ->
+                if pred x then List.rev_append acc rest else go (x :: acc) rest
+          in
+          go [] l
+        in
+        r.ivls <- remove_first (fun (i, j) -> j = id && Ivl.equal i ivl) r.ivls;
+        r.by_lower <-
+          remove_first (fun (v, j) -> j = id && v = Ivl.lower ivl) r.by_lower;
+        r.by_upper <-
+          remove_first (fun (v, j) -> j = id && v = Ivl.upper ivl) r.by_upper;
+        if r.ivls = [] then begin
+          Hashtbl.remove t.nodes w;
+          t.nonempty <- ISet.remove w t.nonempty
+        end;
+        t.count <- t.count - 1;
+        true
+      end
+      else false
+
+let count t = t.count
+let node_count t = ISet.cardinal t.nonempty
+
+(* The classic query: scan U(w) on nodes left of the query, L(w) on
+   nodes right of it, and report every interval of the nodes covered by
+   the query range (found through the tertiary structure). *)
+let intersecting_ids t q =
+  let ql = internal t (Ivl.lower q) and qu = internal t (Ivl.upper q) in
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  let acc = ref [] in
+  let scan_upper w =
+    match Hashtbl.find_opt t.nodes w with
+    | None -> ()
+    | Some r ->
+        (* descending by upper: stop at the first miss *)
+        let rec go = function
+          | (u, id) :: rest when u >= qlow ->
+              acc := id :: !acc;
+              go rest
+          | _ -> ()
+        in
+        go r.by_upper
+  in
+  let scan_lower w =
+    match Hashtbl.find_opt t.nodes w with
+    | None -> ()
+    | Some r ->
+        (* ascending by lower: stop at the first miss *)
+        let rec go = function
+          | (l, id) :: rest when l <= qup ->
+              acc := id :: !acc;
+              go rest
+          | _ -> ()
+        in
+        go r.by_lower
+  in
+  let classify w = if w < ql then scan_upper w else if w > qu then scan_lower w in
+  (* Descent identical to the backbone traversal of the RI-tree. *)
+  let node = ref t.root and step = ref (t.root / 2) in
+  classify !node;
+  while (not (ql <= !node && !node <= qu)) && !step >= 1 do
+    if qu < !node then node := !node - !step else node := !node + !step;
+    classify !node;
+    step := !step / 2
+  done;
+  if ql <= !node && !node <= qu then begin
+    let descend target =
+      let n = ref !node and st = ref !step in
+      while !n <> target && !st >= 1 do
+        if target < !n then n := !n - !st else n := !n + !st;
+        classify !n;
+        st := !st / 2
+      done
+    in
+    descend ql;
+    descend qu
+  end;
+  (* Report-all nodes inside [ql, qu] via the tertiary structure. *)
+  let rec drain seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons (w, rest) ->
+        if w <= qu then begin
+          (match Hashtbl.find_opt t.nodes w with
+          | None -> ()
+          | Some r -> List.iter (fun (_, id) -> acc := id :: !acc) r.ivls);
+          drain rest
+        end
+  in
+  drain (ISet.to_seq_from ql t.nonempty);
+  List.rev !acc
+
+let stabbing_ids t p = intersecting_ids t (Ivl.point p)

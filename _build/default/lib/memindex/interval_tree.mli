@@ -1,0 +1,34 @@
+(** Edelsbrunner's main-memory interval tree — the structure the RI-tree
+    virtualises (Sec. 3.1).
+
+    Explicit three-fold structure over a bounded universe: a binary
+    backbone addressed arithmetically, secondary per-node lists of the
+    registered intervals sorted by lower and by upper bound, and a
+    tertiary ordered set of the non-empty nodes supporting the
+    "report-all" range of a query. Space is [O(n)]; an intersection
+    query costs [O(log m + r)] comparisons for universe size [m].
+
+    Besides serving as a CPU-resident comparison point, this module
+    cross-validates the RI-tree: both must return identical result sets
+    on identical data (they implement the same query algorithm — one in
+    memory, one in SQL). *)
+
+type t
+
+val create : lo:int -> hi:int -> t
+(** Universe of admissible bound values, inclusive.
+    @raise Invalid_argument if [lo > hi]. *)
+
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+(** @raise Invalid_argument if a bound leaves the universe. *)
+
+val delete : t -> id:int -> Interval.Ivl.t -> bool
+val count : t -> int
+val node_count : t -> int
+(** Non-empty backbone nodes (tertiary-structure size). *)
+
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+val stabbing_ids : t -> int -> int list
+val fork_node : t -> Interval.Ivl.t -> int
+(** Internal (shifted) fork value — exposed for the cross-validation
+    tests. *)

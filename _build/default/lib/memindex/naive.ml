@@ -1,0 +1,47 @@
+module Ivl = Interval.Ivl
+
+type t = {
+  mutable items : (Ivl.t * int) list; (* reverse insertion order *)
+  mutable next_id : int;
+}
+
+let create () = { items = []; next_id = 0 }
+
+let insert ?id t ivl =
+  let id =
+    match id with
+    | Some i ->
+        if i >= t.next_id then t.next_id <- i + 1;
+        i
+    | None ->
+        let i = t.next_id in
+        t.next_id <- i + 1;
+        i
+  in
+  t.items <- (ivl, id) :: t.items;
+  id
+
+let delete t ~id ivl =
+  let rec go acc = function
+    | [] -> None
+    | (i, j) :: rest when j = id && Ivl.equal i ivl ->
+        Some (List.rev_append acc rest)
+    | x :: rest -> go (x :: acc) rest
+  in
+  match go [] t.items with
+  | Some items ->
+      t.items <- items;
+      true
+  | None -> false
+
+let count t = List.length t.items
+
+let select t pred =
+  List.rev (List.filter_map (fun (i, id) -> if pred i then Some id else None) t.items)
+
+let intersecting_ids t q = select t (fun i -> Ivl.intersects i q)
+let stabbing_ids t p = select t (fun i -> Ivl.contains i p)
+
+let relation_ids t r q = select t (fun i -> Interval.Allen.holds r i q)
+
+let to_list t = List.rev t.items

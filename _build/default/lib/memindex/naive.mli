@@ -1,0 +1,18 @@
+(** Brute-force interval store: the specification every other structure
+    is tested against. *)
+
+type t
+
+val create : unit -> t
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+val delete : t -> id:int -> Interval.Ivl.t -> bool
+val count : t -> int
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+(** In insertion order. *)
+
+val stabbing_ids : t -> int -> int list
+val relation_ids :
+  t -> Interval.Allen.relation -> Interval.Ivl.t -> int list
+(** Stored ids [i] with [Allen.holds r i q]. *)
+
+val to_list : t -> (Interval.Ivl.t * int) list

@@ -1,0 +1,109 @@
+module Ivl = Interval.Ivl
+
+type t = {
+  coords : int array; (* sorted unique endpoint values *)
+  m : int;            (* elementary positions: 2 * #coords - 1 *)
+  lists : int list array; (* heap-layout node lists, size 4m *)
+  by_lower : (int * int) array; (* (lower, id) sorted *)
+  count : int;
+  entries : int;
+}
+
+(* Position encoding: coordinate i -> 2i, open gap (x_i, x_{i+1}) ->
+   2i + 1. Closed intervals then map to contiguous position ranges. *)
+let coord_index coords x =
+  let lo = ref 0 and hi = ref (Array.length coords) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if coords.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let position coords x =
+  let i = coord_index coords x in
+  if i < Array.length coords && coords.(i) = x then Some (2 * i)
+  else if i = 0 || i = Array.length coords then None (* outside *)
+  else Some ((2 * (i - 1)) + 1)
+
+let build data =
+  let coords =
+    Array.concat [ Array.map Ivl.lower data; Array.map Ivl.upper data ]
+  in
+  Array.sort Int.compare coords;
+  let uniq = ref [] in
+  Array.iter
+    (fun x -> match !uniq with y :: _ when y = x -> () | _ -> uniq := x :: !uniq)
+    coords;
+  let coords = Array.of_list (List.rev !uniq) in
+  let k = Array.length coords in
+  let m = max 1 ((2 * k) - 1) in
+  let lists = Array.make (4 * m) [] in
+  let entries = ref 0 in
+  (* Canonical insertion of [a, b] into node covering [nl, nr]. *)
+  let rec insert node nl nr a b id =
+    if a <= nl && nr <= b then begin
+      lists.(node) <- id :: lists.(node);
+      incr entries
+    end
+    else begin
+      let mid = (nl + nr) / 2 in
+      if a <= mid then insert (2 * node) nl mid a b id;
+      if b > mid then insert ((2 * node) + 1) (mid + 1) nr a b id
+    end
+  in
+  Array.iteri
+    (fun id ivl ->
+      match (position coords (Ivl.lower ivl), position coords (Ivl.upper ivl))
+      with
+      | Some a, Some b -> insert 1 0 (m - 1) a b id
+      | _ -> assert false (* endpoints are coordinates by construction *))
+    data;
+  let by_lower = Array.mapi (fun id ivl -> (Ivl.lower ivl, id)) data in
+  Array.sort compare by_lower;
+  { coords; m; lists; by_lower; count = Array.length data; entries = !entries }
+
+let count t = t.count
+let canonical_entries t = t.entries
+
+let stab_positions t p =
+  match position t.coords p with
+  | None -> None
+  | Some pos -> Some pos
+
+let stabbing_ids t p =
+  match stab_positions t p with
+  | None -> []
+  | Some pos ->
+      let acc = ref [] in
+      let rec go node nl nr =
+        List.iter (fun id -> acc := id :: !acc) t.lists.(node);
+        if nl <> nr then begin
+          let mid = (nl + nr) / 2 in
+          if pos <= mid then go (2 * node) nl mid
+          else go ((2 * node) + 1) (mid + 1) nr
+        end
+      in
+      go 1 0 (t.m - 1);
+      List.sort_uniq Int.compare !acc
+
+let intersecting_ids t q =
+  let stab = stabbing_ids t (Ivl.lower q) in
+  (* Intervals not containing the query's lower bound intersect exactly
+     when their lower bound lies within (qlow, qup]. *)
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  let n = Array.length t.by_lower in
+  let first_gt x =
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.by_lower.(mid) <= x then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  let acc = ref [] in
+  let i = ref (first_gt qlow) in
+  while !i < n && fst t.by_lower.(!i) <= qup do
+    acc := snd t.by_lower.(!i) :: !acc;
+    incr i
+  done;
+  List.sort_uniq Int.compare (stab @ !acc)

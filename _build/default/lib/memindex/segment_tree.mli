@@ -1,0 +1,27 @@
+(** A static segment tree (Bentley) — Sec. 2.1.
+
+    The classic redundant competitor of the interval tree: each stored
+    interval is decomposed over [O(log m)] canonical nodes of a balanced
+    tree over the elementary slabs between endpoint coordinates, so space
+    is [O(n log n)] while a stabbing query collects the lists on a single
+    root-to-leaf path. Intersection queries combine a stab of the query's
+    lower bound with the intervals whose lower bound lies inside the
+    query (found through a sorted endpoint array) — every intersecting
+    interval either covers the query's left edge or starts within the
+    query. *)
+
+type t
+
+val build : Interval.Ivl.t array -> t
+(** Interval [i] of the array gets id [i]. *)
+
+val count : t -> int
+val canonical_entries : t -> int
+(** Total canonical-node registrations (the segment tree's storage
+    redundancy). *)
+
+val stabbing_ids : t -> int -> int list
+(** Sorted ids of intervals containing the point. *)
+
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+(** Sorted ids of intervals intersecting the query. *)

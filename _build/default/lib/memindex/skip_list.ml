@@ -1,0 +1,206 @@
+module Ivl = Interval.Ivl
+
+let levels = 16 (* enough for millions of entries at p = 1/4 *)
+
+type node = {
+  lower : int;
+  upper : int;
+  id : int;
+  forward : node option array; (* length = tower height *)
+  edge_max : int array; (* edge_max.(i): max upper over [self, forward.(i)) *)
+}
+
+type t = {
+  header : node;
+  mutable rng : int64;
+  mutable count : int;
+}
+
+let key n = (n.lower, n.upper, n.id)
+
+let mk_node ~lower ~upper ~id height =
+  { lower; upper; id; forward = Array.make height None;
+    edge_max = Array.make height min_int }
+
+let create ?(seed = 0x5eed) () =
+  { header = mk_node ~lower:min_int ~upper:min_int ~id:min_int levels;
+    rng = Int64.of_int (seed lxor 0x9E3779B9); count = 0 }
+
+(* xorshift64 for tower heights *)
+let rand_bits t =
+  let x = t.rng in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  t.rng <- x;
+  x
+
+let random_height t =
+  let rec go h bits =
+    if h >= levels then levels
+    else if Int64.logand bits 3L = 0L then
+      go (h + 1) (Int64.shift_right_logical bits 2)
+    else h
+  in
+  go 1 (rand_bits t)
+
+let height n = Array.length n.forward
+
+(* Recompute edge_max.(lvl) of [n] from the level below (or from the
+   node itself at level 0). *)
+let recompute_edge n lvl =
+  if lvl = 0 then n.edge_max.(0) <- n.upper
+  else begin
+    let stop = n.forward.(lvl) in
+    let m = ref min_int in
+    let cur = ref (Some n) in
+    let continue = ref true in
+    while !continue do
+      match !cur with
+      | Some c when (match stop with Some s -> c != s | None -> true) ->
+          if !m < c.edge_max.(lvl - 1) then m := c.edge_max.(lvl - 1);
+          cur := c.forward.(lvl - 1)
+      | _ -> continue := false
+    done;
+    n.edge_max.(lvl) <- !m
+  end
+
+(* Collect the update path: update.(i) is the rightmost node at level i
+   whose key precedes [k]. *)
+let find_update t k =
+  let update = Array.make levels t.header in
+  let cur = ref t.header in
+  for lvl = levels - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !cur.forward.(lvl) with
+      | Some next when compare (key next) k < 0 -> cur := next
+      | Some _ | None -> continue := false
+    done;
+    update.(lvl) <- !cur
+  done;
+  update
+
+let refresh_path update extra =
+  (* Bottom-up: lower-level maxima feed the higher levels. *)
+  for lvl = 0 to levels - 1 do
+    List.iter
+      (fun n -> if lvl < height n then recompute_edge n lvl)
+      extra;
+    if lvl < height update.(lvl) then recompute_edge update.(lvl) lvl
+  done
+
+let insert ?id t ivl =
+  let id = match id with Some i -> i | None -> t.count in
+  let k = (Ivl.lower ivl, Ivl.upper ivl, id) in
+  let update = find_update t k in
+  let h = random_height t in
+  let n = mk_node ~lower:(Ivl.lower ivl) ~upper:(Ivl.upper ivl) ~id h in
+  for lvl = 0 to h - 1 do
+    n.forward.(lvl) <- update.(lvl).forward.(lvl);
+    update.(lvl).forward.(lvl) <- Some n
+  done;
+  t.count <- t.count + 1;
+  refresh_path update [ n ];
+  id
+
+let delete t ~id ivl =
+  let k = (Ivl.lower ivl, Ivl.upper ivl, id) in
+  let update = find_update t k in
+  match update.(0).forward.(0) with
+  | Some victim when compare (key victim) k = 0 ->
+      for lvl = 0 to height victim - 1 do
+        (match update.(lvl).forward.(lvl) with
+        | Some n when n == victim ->
+            update.(lvl).forward.(lvl) <- victim.forward.(lvl)
+        | Some _ | None -> ());
+        ()
+      done;
+      t.count <- t.count - 1;
+      refresh_path update [];
+      true
+  | Some _ | None -> false
+
+let count t = t.count
+
+let max_level t =
+  let rec top lvl =
+    if lvl < 0 then 0
+    else if t.header.forward.(lvl) <> None then lvl + 1
+    else top (lvl - 1)
+  in
+  top (levels - 1)
+
+let intersecting_ids t q =
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  let acc = ref [] in
+  (* process all nodes in [a, forward_{lvl+1}(a)) via levels below *)
+  let rec edge a lvl =
+    if a.edge_max.(lvl) >= qlow then
+      if lvl = 0 then begin
+        if a != t.header && a.lower <= qup && a.upper >= qlow then
+          acc := a.id :: !acc
+      end
+      else begin
+        let stop = a.forward.(lvl) in
+        let cur = ref (Some a) in
+        let continue = ref true in
+        while !continue do
+          match !cur with
+          | Some c
+            when (match stop with Some s -> c != s | None -> true)
+                 && c.lower <= qup ->
+              edge c (lvl - 1);
+              cur := c.forward.(lvl - 1)
+          | _ -> continue := false
+        done
+      end
+  in
+  let top = max 1 (max_level t) in
+  let cur = ref (Some t.header) in
+  let continue = ref true in
+  while !continue do
+    match !cur with
+    | Some c when c.lower <= qup ->
+        edge c (top - 1);
+        cur := c.forward.(top - 1)
+    | _ -> continue := false
+  done;
+  List.rev !acc
+
+let stabbing_ids t p = intersecting_ids t (Ivl.point p)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* level-0 ordering and count *)
+  let rec walk n acc =
+    match n.forward.(0) with
+    | None -> acc
+    | Some next ->
+        if compare (key n) (key next) >= 0 then fail "keys out of order";
+        walk next (acc + 1)
+  in
+  let total = walk t.header 0 in
+  if total <> t.count then fail "count %d, recorded %d" total t.count;
+  (* every level is a subsequence of level 0, and maxima are exact *)
+  let rec check_node n =
+    for lvl = 0 to height n - 1 do
+      (* brute-force recompute the span maximum *)
+      let stop = n.forward.(lvl) in
+      let m = ref (if n == t.header then min_int else n.upper) in
+      let cur = ref n.forward.(0) in
+      let continue = ref true in
+      while !continue do
+        match !cur with
+        | Some c when (match stop with Some s -> c != s | None -> true) ->
+            if c.upper > !m then m := c.upper;
+            cur := c.forward.(0)
+        | _ -> continue := false
+      done;
+      if n.edge_max.(lvl) <> !m && not (n == t.header && !m = min_int) then
+        fail "edge max at level %d: stored %d, actual %d" lvl
+          n.edge_max.(lvl) !m
+    done;
+    match n.forward.(0) with Some next -> check_node next | None -> ()
+  in
+  check_node t.header

@@ -1,0 +1,33 @@
+(** A dynamic interval skip list (after Hanson & Johnson's IS-list,
+    Sec. 2.1 of the paper's related work).
+
+    A randomised skip list over intervals ordered by (lower, upper, id),
+    where every forward edge is augmented with the maximum upper bound of
+    the interval span it skips. Queries descend the tower structure,
+    pruning every span whose maximum upper bound ends before the query
+    begins — the same pruning idea as the augmented interval tree of
+    [CLR 90], on a probabilistically balanced structure that supports
+    O(log n) expected insertion and deletion.
+
+    Expected query cost is O(log n + k') where k' counts the intervals
+    with lower bound below the query's end that survive pruning; for the
+    temporal workloads of the paper this is close to the output size. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+val delete : t -> id:int -> Interval.Ivl.t -> bool
+val count : t -> int
+
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+(** Ascending by (lower, upper, id). *)
+
+val stabbing_ids : t -> int -> int list
+
+val max_level : t -> int
+(** Height of the tallest tower (diagnostic). *)
+
+val check_invariants : t -> unit
+(** Ordering, tower consistency, and exactness of every edge's
+    max-upper augmentation. @raise Failure on violation. *)

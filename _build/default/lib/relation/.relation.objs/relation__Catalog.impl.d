@@ -1,0 +1,1 @@
+lib/relation/catalog.ml: Array Btree Codec Hashtbl Heap Int List Option Printf Storage Table

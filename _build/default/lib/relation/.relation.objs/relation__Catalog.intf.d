@@ -1,0 +1,1 @@
+lib/relation/catalog.mli: Storage Table

@@ -1,0 +1,1 @@
+lib/relation/codec.ml: Array Bytes Char Printf String

@@ -1,0 +1,1 @@
+lib/relation/heap.ml: Array Bytes Char Format Int64 List Printf Storage

@@ -1,0 +1,1 @@
+lib/relation/heap.mli: Storage

@@ -1,0 +1,1 @@
+lib/relation/iter.ml: Array Btree Hashtbl Heap List Option Table

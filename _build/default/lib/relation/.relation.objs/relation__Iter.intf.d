@@ -1,0 +1,1 @@
+lib/relation/iter.mli: Table

@@ -1,0 +1,1 @@
+lib/relation/table.ml: Array Btree Format Heap List Printf Storage

@@ -1,0 +1,72 @@
+(** A database instance: one block device, one buffer pool, a table
+    dictionary, and the physical-I/O counters the experiments report.
+
+    With [~durable:true] the instance also gets what the paper says a
+    real RDBMS contributes for free — recovery. A write-ahead journal
+    records every page write; {!commit} makes the current state durable;
+    {!simulate_crash} throws away the buffer pool, runs journal recovery
+    on the device, and returns a {e fresh} catalog handle whose tables
+    are re-opened from the on-device system dictionary. Anything
+    committed survives; everything else vanishes atomically. *)
+
+type t
+
+val create : ?durable:bool -> ?block_size:int -> ?cache_blocks:int -> unit -> t
+(** Defaults match the paper's setup: 2 KB blocks, 200-block cache,
+    [durable:false] (no journaling overhead in benchmarks). *)
+
+val durable : t -> bool
+val pool : t -> Storage.Buffer_pool.t
+val device : t -> Storage.Block_device.t
+
+val create_table : t -> name:string -> columns:string list -> Table.t
+(** In a durable catalog the table, its columns, and every index later
+    created on it are registered in the on-device system dictionary.
+    @raise Invalid_argument if the table already exists (or, in a durable
+    catalog, if a name exceeds {!Codec.max_name_length}). *)
+
+val find_table : t -> string -> Table.t option
+
+val table : t -> string -> Table.t
+(** @raise Not_found *)
+
+val tables : t -> Table.t list
+
+val io_stats : t -> Storage.Block_device.Stats.t
+(** Physical reads/writes since the last {!reset_io_stats}. *)
+
+val reset_io_stats : t -> unit
+(** Zero the device counters. The buffer-pool contents are untouched, so
+    a measured query run sees whatever cache state preceding operations
+    left behind — the same warm-cache regime the paper measures. *)
+
+val flush : t -> unit
+(** Write back all dirty cached pages. *)
+
+val drop_cache : t -> unit
+(** Flush and empty the buffer pool: the next accesses run against a cold
+    cache. Used by benchmarks that measure cold-start behaviour. *)
+
+(** {2 Durability} *)
+
+val commit : t -> unit
+(** Force-log all dirty pages and a commit marker. On a non-durable
+    catalog this is {!flush}. *)
+
+val checkpoint : t -> unit
+(** Commit, write everything back, and truncate the journal. *)
+
+val journal_stats : t -> (int * int) option
+(** [(records, payload bytes)] currently in the journal, when durable. *)
+
+val simulate_crash : t -> t
+(** Durable catalogs only: drop the buffer pool without writing anything
+    back, run recovery on the device, and re-open every table and index
+    from the system dictionary. The returned catalog is the surviving
+    database; the old handle (and any [Table.t] obtained from it) must
+    not be used again.
+    @raise Failure on a non-durable catalog. *)
+
+val reopen : t -> t
+(** Like the recovery half of {!simulate_crash}, but after a clean
+    {!checkpoint}: rebuild all handles from persistent storage. *)

@@ -1,0 +1,39 @@
+(* Names are packed 7 bytes per integer: OCaml ints hold 63 bits, so a
+   full 8-byte packing would lose the top bit of each word. *)
+
+let width = 4
+let bytes_per_int = 7
+let max_name_length = (width * bytes_per_int) - 1
+
+let encode_name s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Codec.encode_name: empty name";
+  if n > max_name_length then
+    invalid_arg
+      (Printf.sprintf "Codec.encode_name: %S longer than %d bytes" s
+         max_name_length);
+  let buf = Bytes.make (width * bytes_per_int) '\000' in
+  Bytes.set buf 0 (Char.chr n);
+  Bytes.blit_string s 0 buf 1 n;
+  Array.init width (fun i ->
+      let v = ref 0 in
+      for j = 0 to bytes_per_int - 1 do
+        v := (!v lsl 8) lor Char.code (Bytes.get buf ((i * bytes_per_int) + j))
+      done;
+      !v)
+
+let decode_name packed =
+  if Array.length packed <> width then
+    invalid_arg "Codec.decode_name: wrong packet width";
+  let buf = Bytes.create (width * bytes_per_int) in
+  Array.iteri
+    (fun i v ->
+      for j = bytes_per_int - 1 downto 0 do
+        Bytes.set buf ((i * bytes_per_int) + j)
+          (Char.chr ((v lsr (8 * (bytes_per_int - 1 - j))) land 0xff))
+      done)
+    packed;
+  let n = Char.code (Bytes.get buf 0) in
+  if n = 0 || n > max_name_length then
+    invalid_arg "Codec.decode_name: malformed packet";
+  Bytes.sub_string buf 1 n

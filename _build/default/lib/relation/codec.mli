@@ -1,0 +1,18 @@
+(** Packing short names into fixed-width integer rows.
+
+    The storage engine stores integers only; the system dictionary needs
+    table, index and column names. A name of up to {!max_name_length}
+    bytes is packed length-prefixed into {!width} integers. *)
+
+val width : int
+(** Integers per packed name (4). *)
+
+val max_name_length : int
+(** 27 bytes (7 payload bytes per 63-bit integer). *)
+
+val encode_name : string -> int array
+(** @raise Invalid_argument if the name is too long or empty. *)
+
+val decode_name : int array -> string
+(** Inverse of {!encode_name}.
+    @raise Invalid_argument on a malformed packet. *)

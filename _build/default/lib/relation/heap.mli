@@ -1,0 +1,52 @@
+(** Slotted-page heap files for fixed-width integer rows.
+
+    Base-table storage of the relational substrate. Each page carries an
+    occupancy bitmap and a chain pointer; rows are identified by a stable
+    rowid derived from their page and slot. Deleted slots go on a free
+    list and are refilled by subsequent insertions, so heavily updated
+    tables do not grow without bound. *)
+
+type t
+
+type rowid = int
+(** Stable identifier: [page_id * slots_per_page + slot]. Slots freed by
+    deletions are reused by later insertions. *)
+
+val create : Storage.Buffer_pool.t -> row_width:int -> t
+(** A heap for rows of [row_width] integers.
+    @raise Invalid_argument if a page cannot hold at least 4 rows. *)
+
+val open_existing : Storage.Buffer_pool.t -> meta_page:int -> t
+(** Re-open a heap persisted on the pool's device from its meta page;
+    scans the page chain once to rebuild the in-memory free-slot list.
+    @raise Invalid_argument if the page is not a heap meta page. *)
+
+val meta_page : t -> int
+
+val row_width : t -> int
+val count : t -> int
+val page_count : t -> int
+val slots_per_page : t -> int
+
+val insert : t -> int array -> rowid
+(** Insert a row, filling a freed slot if one exists, otherwise appending
+    to the last page.
+    @raise Invalid_argument on wrong row width. *)
+
+val update : t -> rowid -> int array -> bool
+(** Overwrite the row in place; [false] if the slot is empty. *)
+
+val fetch : t -> rowid -> int array option
+(** [None] if the slot is empty or the rowid is out of range. *)
+
+val delete : t -> rowid -> bool
+(** Clear the slot; [false] if it was already empty. *)
+
+val iter : t -> (rowid -> int array -> unit) -> unit
+(** Full scan in page order. *)
+
+val fold : t -> ('a -> rowid -> int array -> 'a) -> 'a -> 'a
+
+val check_invariants : t -> unit
+(** Verify the page chain, per-page occupancy counts and the global row
+    count. @raise Failure on violation. *)

@@ -1,0 +1,1 @@
+lib/spatial/spatial_index.ml: Hashtbl Interval List Ritree Zcurve

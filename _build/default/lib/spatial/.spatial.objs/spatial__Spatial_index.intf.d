@@ -1,0 +1,1 @@
+lib/spatial/spatial_index.mli: Relation Ritree Zcurve

@@ -1,0 +1,1 @@
+lib/spatial/zcurve.ml: Interval List Printf

@@ -1,0 +1,37 @@
+(** A 2-D window-query index built on the RI-tree.
+
+    Rectangles are decomposed into maximal Z-curve segments
+    ({!Zcurve.rect_segments}) and the segments registered in one RI-tree
+    under the object's id. Because the decomposition covers exactly the
+    object's cells, two rectangles intersect iff some pair of their curve
+    segments intersects — window queries are exact, with duplicates from
+    multi-segment objects eliminated. This is the paper's own spatial
+    use-case for interval indexing, end to end. *)
+
+type t
+
+val create : ?name:string -> bits:int -> Relation.Catalog.t -> t
+(** Grid of [2^bits x 2^bits] cells. *)
+
+val bits : t -> int
+
+val insert : ?id:int -> t -> Zcurve.rect -> int
+(** Register a rectangle; returns its id. *)
+
+val delete : t -> id:int -> Zcurve.rect -> bool
+(** Remove a previously inserted rectangle (the same rect must be
+    given). *)
+
+val count : t -> int
+(** Registered rectangles. *)
+
+val segment_count : t -> int
+(** Stored curve segments (the storage redundancy of the mapping). *)
+
+val window_ids : t -> Zcurve.rect -> int list
+(** Ids of rectangles intersecting the window, each once, ascending. *)
+
+val point_ids : t -> int -> int -> int list
+(** Rectangles containing the cell [(x, y)]. *)
+
+val ri : t -> Ritree.Ri_tree.t

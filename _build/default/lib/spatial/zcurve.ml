@@ -1,0 +1,77 @@
+module Ivl = Interval.Ivl
+
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let max_bits = 20
+
+let check_bits bits =
+  if bits < 1 || bits > max_bits then
+    invalid_arg (Printf.sprintf "Zcurve: bits %d outside [1, %d]" bits max_bits)
+
+let spread ~bits v =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    r := !r lor (((v lsr i) land 1) lsl (2 * i))
+  done;
+  !r
+
+let unspread ~bits v =
+  let r = ref 0 in
+  for i = 0 to bits - 1 do
+    r := !r lor (((v lsr (2 * i)) land 1) lsl i)
+  done;
+  !r
+
+let encode ~bits x y =
+  check_bits bits;
+  let side = 1 lsl bits in
+  if x < 0 || y < 0 || x >= side || y >= side then
+    invalid_arg
+      (Printf.sprintf "Zcurve.encode: (%d, %d) outside the %dx%d grid" x y
+         side side);
+  spread ~bits x lor (spread ~bits y lsl 1)
+
+let decode ~bits z =
+  check_bits bits;
+  (unspread ~bits z, unspread ~bits (z lsr 1))
+
+let rect_valid ~bits r =
+  let side = 1 lsl bits in
+  r.x0 >= 0 && r.y0 >= 0 && r.x0 <= r.x1 && r.y0 <= r.y1 && r.x1 < side
+  && r.y1 < side
+
+(* Recursive quadtree descent. The cell (cx, cy, size) with curve base
+   [z] covers curve values [z, z + size^2 - 1]; quadrants visited in
+   curve order, so emitted segments ascend and adjacent runs can be
+   merged on the fly. *)
+let rect_segments ~bits r =
+  check_bits bits;
+  if not (rect_valid ~bits r) then
+    invalid_arg "Zcurve.rect_segments: invalid rectangle";
+  let acc = ref [] in
+  let emit lo hi =
+    match !acc with
+    | (plo, phi) :: rest when phi + 1 = lo -> acc := (plo, hi) :: rest
+    | _ -> acc := (lo, hi) :: !acc
+  in
+  let rec go cx cy size z =
+    let cx1 = cx + size - 1 and cy1 = cy + size - 1 in
+    if r.x0 <= cx && cx1 <= r.x1 && r.y0 <= cy && cy1 <= r.y1 then
+      emit z (z + (size * size) - 1)
+    else if cx1 < r.x0 || cx > r.x1 || cy1 < r.y0 || cy > r.y1 then ()
+    else begin
+      let half = size / 2 in
+      let quarter = half * half in
+      (* curve order: (0,0), (1,0), (0,1), (1,1) — x in the even bits *)
+      go cx cy half z;
+      go (cx + half) cy half (z + quarter);
+      go cx (cy + half) half (z + (2 * quarter));
+      go (cx + half) (cy + half) half (z + (3 * quarter))
+    end
+  in
+  go 0 0 (1 lsl bits) 0;
+  List.rev_map (fun (lo, hi) -> Ivl.make lo hi) !acc
+
+let segment_count_bound ~bits r =
+  ignore bits;
+  (4 * ((r.x1 - r.x0 + 1) + (r.y1 - r.y0 + 1))) + 8

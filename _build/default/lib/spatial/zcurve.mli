@@ -1,0 +1,36 @@
+(** Z-order (Morton) space-filling curve over a [2^bits x 2^bits] grid.
+
+    The paper's introduction motivates intervals as "line segments on a
+    space-filling curve in spatial applications" [FR 89] [BKK 99]: a 2-D
+    region maps to a small set of 1-D curve intervals, turning window
+    queries into interval-intersection queries. This module provides the
+    curve and the exact decomposition of axis-aligned rectangles into
+    maximal curve segments (recursive quadtree descent, adjacent runs
+    merged), so that two regions overlap iff their segment sets
+    intersect. *)
+
+type rect = { x0 : int; y0 : int; x1 : int; y1 : int }
+(** Inclusive cell coordinates; [x0 <= x1], [y0 <= y1]. *)
+
+val max_bits : int
+(** 20 — a curve value then fits in 40 bits, within
+    {!Ritree.Ri_tree.max_bound_magnitude}. *)
+
+val encode : bits:int -> int -> int -> int
+(** [encode ~bits x y] interleaves the coordinates (x in the even bit
+    positions). @raise Invalid_argument if a coordinate leaves the
+    grid. *)
+
+val decode : bits:int -> int -> int * int
+(** Inverse of {!encode}. *)
+
+val rect_valid : bits:int -> rect -> bool
+
+val rect_segments : bits:int -> rect -> Interval.Ivl.t list
+(** The maximal Z-curve intervals covering exactly the cells of the
+    rectangle, ascending and non-adjacent (already merged). The list has
+    [O((x1-x0) + (y1-y0))] segments.
+    @raise Invalid_argument on an invalid rectangle. *)
+
+val segment_count_bound : bits:int -> rect -> int
+(** Cheap upper bound on the decomposition size (diagnostic). *)

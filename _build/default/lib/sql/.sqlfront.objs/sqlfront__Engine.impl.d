@@ -1,0 +1,1 @@
+lib/sql/engine.ml: Array Ast Btree Buffer Hashtbl Int List Obj Option Parser Printf Relation String

@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Array Ast Lexer List Option Printf String

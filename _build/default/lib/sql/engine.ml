@@ -1,0 +1,896 @@
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+type session = {
+  catalog : Relation.Catalog.t;
+  collections : (string, string array * int array list) Hashtbl.t;
+}
+
+let session catalog = { catalog; collections = Hashtbl.create 8 }
+
+let set_collection s name ~columns rows =
+  Hashtbl.replace s.collections name (Array.of_list columns, rows)
+
+let clear_collection s name = Hashtbl.remove s.collections name
+
+type result =
+  | Done of string
+  | Rows of { columns : string list; rows : int array list }
+
+(* ---------------- environments and evaluation ---------------- *)
+
+type env = {
+  binds : (string * int) list;
+  (* alias -> (visible columns, current row) *)
+  bound : (string * (string array * int array)) list;
+}
+
+let col_position columns c =
+  let rec go i =
+    if i >= Array.length columns then None
+    else if columns.(i) = c then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lookup_col env alias col =
+  match alias with
+  | Some a -> (
+      match List.assoc_opt a env.bound with
+      | None -> fail "unknown alias %s" a
+      | Some (columns, row) -> (
+          match col_position columns col with
+          | Some i -> row.(i)
+          | None -> fail "alias %s has no column %s" a col))
+  | None -> (
+      let hits =
+        List.filter_map
+          (fun (_, (columns, row)) ->
+            Option.map (fun i -> row.(i)) (col_position columns col))
+          env.bound
+      in
+      match hits with
+      | [ v ] -> v
+      | [] -> fail "unknown column %s" col
+      | _ -> fail "ambiguous column %s" col)
+
+let rec eval_value env = function
+  | Ast.Int n -> n
+  | Ast.Host h -> (
+      match List.assoc_opt h env.binds with
+      | Some v -> v
+      | None -> fail "missing host variable :%s" h)
+  | Ast.Col (alias, col) -> lookup_col env alias col
+  | Ast.Cmp _ | Ast.Between _ | Ast.And _ | Ast.Or _ | Ast.Not _ ->
+      fail "boolean expression used as a value"
+
+and eval_bool env = function
+  | Ast.Cmp (op, a, b) ->
+      let va = eval_value env a and vb = eval_value env b in
+      (match op with
+      | Ast.Eq -> va = vb
+      | Ast.Ne -> va <> vb
+      | Ast.Lt -> va < vb
+      | Ast.Le -> va <= vb
+      | Ast.Gt -> va > vb
+      | Ast.Ge -> va >= vb)
+  | Ast.Between (e, lo, hi) ->
+      let v = eval_value env e in
+      eval_value env lo <= v && v <= eval_value env hi
+  | Ast.And (a, b) -> eval_bool env a && eval_bool env b
+  | Ast.Or (a, b) -> eval_bool env a || eval_bool env b
+  | Ast.Not e -> not (eval_bool env e)
+  | Ast.Int _ | Ast.Host _ | Ast.Col _ ->
+      fail "value expression used as a predicate"
+
+(* Aliases referenced by an expression. *)
+let rec expr_aliases acc = function
+  | Ast.Col (Some a, _) -> if List.mem a acc then acc else a :: acc
+  | Ast.Col (None, _) | Ast.Int _ | Ast.Host _ -> acc
+  | Ast.Cmp (_, a, b) -> expr_aliases (expr_aliases acc a) b
+  | Ast.Between (e, lo, hi) ->
+      expr_aliases (expr_aliases (expr_aliases acc e) lo) hi
+  | Ast.And (a, b) | Ast.Or (a, b) -> expr_aliases (expr_aliases acc a) b
+  | Ast.Not e -> expr_aliases acc e
+
+let rec split_and = function
+  | Ast.And (a, b) -> split_and a @ split_and b
+  | e -> [ e ]
+
+(* ---------------- plans ---------------- *)
+
+type source =
+  | Base of Relation.Table.t
+  | Collection of string (* resolved from the session at run time *)
+
+type bound_expr = { e : Ast.expr; inclusive : bool }
+
+type access =
+  | Seq_scan
+  | Index_scan of {
+      index : Relation.Table.Index.t;
+      eq : Ast.expr list; (* probes for the leading key columns *)
+      lo : bound_expr option; (* range on the next key column *)
+      hi : bound_expr option;
+      (* Start/stop-key refinement on the column after the range column
+         (the paper's Sec. 4.3 lemma: "i.upper >= :lower" tightens the
+         start key of the BETWEEN scan). The conjunct stays in the
+         residual filter; the refinement only skips entries. *)
+      refine_lo : bound_expr option;
+      refine_hi : bound_expr option;
+      covering : bool; (* no base-table fetch needed *)
+    }
+
+type step = {
+  alias : string;
+  source : source;
+  columns : string array; (* columns the binding exposes *)
+  access : access;
+  filters : Ast.expr list; (* residual conjuncts evaluated here *)
+}
+
+type branch_plan = {
+  steps : step list;
+  projections : Ast.projection list;
+  group_by : (string option * string) list;
+}
+
+(* Columns of [alias] referenced anywhere in the branch. [None]-alias
+   column references are conservatively attributed to every alias that
+   has such a column. *)
+let referenced_columns select alias columns =
+  let refs = ref [] in
+  let note c = if not (List.mem c !refs) then refs := c :: !refs in
+  let rec walk = function
+    | Ast.Col (Some a, c) -> if a = alias then note c
+    | Ast.Col (None, c) -> if Array.exists (fun x -> x = c) columns then note c
+    | Ast.Int _ | Ast.Host _ -> ()
+    | Ast.Cmp (_, a, b) ->
+        walk a;
+        walk b
+    | Ast.Between (e, lo, hi) ->
+        walk e;
+        walk lo;
+        walk hi
+    | Ast.And (a, b) | Ast.Or (a, b) ->
+        walk a;
+        walk b
+    | Ast.Not e -> walk e
+  in
+  Option.iter walk select.Ast.where;
+  List.iter (fun (a, c) -> walk (Ast.Col (a, c))) select.Ast.group_by;
+  List.iter
+    (function
+      | Ast.Star -> Array.iter note columns
+      | Ast.Count_star -> ()
+      | Ast.Proj_col (Some a, c) | Ast.Agg (_, (Some a, c)) ->
+          if a = alias then note c
+      | Ast.Proj_col (None, c) | Ast.Agg (_, (None, c)) ->
+          if Array.exists (fun x -> x = c) columns then note c)
+    select.Ast.projections;
+  !refs
+
+(* Does the expression only depend on host variables, constants, and the
+   already-bound aliases? Unqualified columns resolve against the bound
+   aliases' schemas. *)
+let outer_only bound_aliases e =
+  let rec ok = function
+    | Ast.Int _ | Ast.Host _ -> true
+    | Ast.Col (Some a, _) -> List.exists (fun (n, _) -> n = a) bound_aliases
+    | Ast.Col (None, c) ->
+        List.exists
+          (fun (_, cols) -> Array.exists (fun x -> x = c) cols)
+          bound_aliases
+    | Ast.Cmp (_, a, b) -> ok a && ok b
+    | Ast.Between (x, lo, hi) -> ok x && ok lo && ok hi
+    | Ast.And (a, b) | Ast.Or (a, b) -> ok a && ok b
+    | Ast.Not x -> ok x
+  in
+  ok e
+
+(* Is [e] a reference to column [c] of [alias] (qualified or not)? *)
+let is_col_of alias columns c = function
+  | Ast.Col (Some a, x) -> a = alias && x = c
+  | Ast.Col (None, x) -> x = c && Array.exists (fun y -> y = c) columns
+  | _ -> false
+
+type candidate = {
+  c_score : int;
+  c_access : access;
+  c_marks : Ast.expr list; (* conjuncts consumed by the access path *)
+}
+
+(* Collect the lo/hi bounds available on column [c] from [conjuncts];
+   each kind is taken at most once. *)
+let range_bounds_on alias columns c ~outer ~usable conjuncts =
+  let lo = ref None and hi = ref None and marks = ref [] in
+  List.iter
+    (fun conj ->
+      if usable conj then
+        match conj with
+        | Ast.Cmp (op, a, b) when is_col_of alias columns c a && outer_only outer b
+          -> (
+            match op with
+            | Ast.Ge when !lo = None ->
+                lo := Some { e = b; inclusive = true };
+                marks := conj :: !marks
+            | Ast.Gt when !lo = None ->
+                lo := Some { e = b; inclusive = false };
+                marks := conj :: !marks
+            | Ast.Le when !hi = None ->
+                hi := Some { e = b; inclusive = true };
+                marks := conj :: !marks
+            | Ast.Lt when !hi = None ->
+                hi := Some { e = b; inclusive = false };
+                marks := conj :: !marks
+            | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> ())
+        | Ast.Cmp (op, a, b) when is_col_of alias columns c b && outer_only outer a
+          -> (
+            (* mirrored: e op col *)
+            match op with
+            | Ast.Le when !lo = None ->
+                lo := Some { e = a; inclusive = true };
+                marks := conj :: !marks
+            | Ast.Lt when !lo = None ->
+                lo := Some { e = a; inclusive = false };
+                marks := conj :: !marks
+            | Ast.Ge when !hi = None ->
+                hi := Some { e = a; inclusive = true };
+                marks := conj :: !marks
+            | Ast.Gt when !hi = None ->
+                hi := Some { e = a; inclusive = false };
+                marks := conj :: !marks
+            | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> ())
+        | Ast.Between (e, b_lo, b_hi)
+          when is_col_of alias columns c e && outer_only outer b_lo
+               && outer_only outer b_hi ->
+            if !lo = None && !hi = None then begin
+              lo := Some { e = b_lo; inclusive = true };
+              hi := Some { e = b_hi; inclusive = true };
+              marks := conj :: !marks
+            end
+        | _ -> ())
+    conjuncts;
+  (!lo, !hi, !marks)
+
+(* Best index access for a base table given the bound outer aliases. *)
+let best_index_access select tbl alias columns ~outer ~usable conjuncts =
+  let candidates =
+    List.filter_map
+      (fun idx ->
+        let icols = Relation.Table.Index.columns idx in
+        (* longest equality prefix *)
+        let eq = ref [] and eq_marks = ref [] in
+        let pos = ref 0 in
+        let continue = ref true in
+        while !continue && !pos < Array.length icols do
+          let c = icols.(!pos) in
+          match
+            List.find_opt
+              (fun conj ->
+                usable conj
+                &&
+                match conj with
+                | Ast.Cmp (Ast.Eq, a, b) ->
+                    (is_col_of alias columns c a && outer_only outer b)
+                    || (is_col_of alias columns c b && outer_only outer a)
+                | _ -> false)
+              conjuncts
+          with
+          | Some (Ast.Cmp (Ast.Eq, a, b) as conj) ->
+              let probe = if is_col_of alias columns c a then b else a in
+              eq := probe :: !eq;
+              eq_marks := conj :: !eq_marks;
+              incr pos
+          | _ -> continue := false
+        done;
+        let eq = List.rev !eq in
+        (* range on the next key column *)
+        let lo, hi, range_marks =
+          if !pos < Array.length icols then
+            range_bounds_on alias columns icols.(!pos) ~outer ~usable conjuncts
+          else (None, None, [])
+        in
+        (* start/stop-key refinement on the column after the range; only
+           meaningful when a range (or eq prefix) was found, and the
+           conjunct is NOT consumed — it stays as a filter. *)
+        let refine_lo, refine_hi =
+          let rpos = !pos + if lo <> None || hi <> None then 1 else 0 in
+          if rpos > !pos && rpos < Array.length icols then begin
+            let rl, rh, _ =
+              range_bounds_on alias columns icols.(rpos) ~outer ~usable
+                conjuncts
+            in
+            (rl, rh)
+          end
+          else (None, None)
+        in
+        let score =
+          (4 * List.length eq)
+          + (if lo <> None then 2 else 0)
+          + (if hi <> None then 2 else 0)
+          + (if refine_lo <> None then 1 else 0)
+          + if refine_hi <> None then 1 else 0
+        in
+        if score = 0 then None
+        else begin
+          let needed = referenced_columns select alias columns in
+          let covering =
+            List.for_all (fun c -> Array.exists (fun x -> x = c) icols) needed
+          in
+          Some
+            { c_score = score;
+              c_access =
+                Index_scan { index = idx; eq; lo; hi; refine_lo; refine_hi;
+                             covering };
+              c_marks = !eq_marks @ range_marks }
+        end)
+      (Relation.Table.indexes tbl)
+  in
+  List.fold_left
+    (fun acc c ->
+      match acc with
+      | Some best when best.c_score >= c.c_score -> acc
+      | _ -> Some c)
+    None candidates
+
+let plan_branch session (select : Ast.select) =
+  let conjuncts =
+    match select.Ast.where with None -> [] | Some w -> split_and w
+  in
+  let consumed : (Obj.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  let is_consumed c = Hashtbl.mem consumed (Obj.repr c) in
+  let usable c = not (is_consumed c) in
+  let consume c = Hashtbl.replace consumed (Obj.repr c) () in
+  let resolve (tname, alias_opt) =
+    let alias = Option.value ~default:tname alias_opt in
+    match Relation.Catalog.find_table session.catalog tname with
+    | Some tbl -> (alias, Base tbl, Relation.Table.columns tbl)
+    | None -> (
+        match Hashtbl.find_opt session.collections tname with
+        | Some (cols, _) -> (alias, Collection tname, cols)
+        | None -> fail "unknown table %s" tname)
+  in
+  let items = List.map resolve select.Ast.froms in
+  (* Greedy join ordering: at each position take the item with the best
+     access path given what is already bound; transient collections rank
+     just above an unindexed scan, so they become the outer loops of the
+     Fig. 10 plan shape. *)
+  let ordered = ref [] and bound = ref [] in
+  let remaining = ref items in
+  while !remaining <> [] do
+    let scored =
+      List.map
+        (fun ((alias, source, columns) as item) ->
+          match source with
+          | Collection _ -> (1, item, None)
+          | Base tbl -> (
+              match
+                best_index_access select tbl alias columns ~outer:!bound
+                  ~usable conjuncts
+              with
+              | Some cand -> (cand.c_score, item, Some cand)
+              | None -> (0, item, None)))
+        !remaining
+    in
+    let best =
+      List.fold_left
+        (fun acc (score, _, _ as entry) ->
+          match acc with
+          | Some (bs, _, _) when bs >= score -> acc
+          | _ -> Some entry)
+        None scored
+    in
+    match best with
+    | None -> assert false
+    | Some (_, ((alias, source, columns) as item), cand) ->
+        let access =
+          match cand with
+          | Some c ->
+              List.iter consume c.c_marks;
+              c.c_access
+          | None -> Seq_scan
+        in
+        ordered := (alias, source, columns, access) :: !ordered;
+        bound := !bound @ [ (alias, columns) ];
+        remaining := List.filter (fun i -> i != item) !remaining
+  done;
+  let ordered = List.rev !ordered in
+  (* Attach each unconsumed conjunct to the earliest step where all its
+     aliases are bound. *)
+  let alias_order = List.map (fun (a, _, _, _) -> a) ordered in
+  let step_filters = Array.make (List.length ordered) [] in
+  List.iter
+    (fun conj ->
+      if not (is_consumed conj) then begin
+        let aliases = expr_aliases [] conj in
+        let position a =
+          let rec go i = function
+            | [] -> fail "unknown alias %s in WHERE" a
+            | x :: rest -> if x = a then i else go (i + 1) rest
+          in
+          go 0 alias_order
+        in
+        let slot =
+          List.fold_left (fun acc a -> max acc (position a)) 0 aliases
+        in
+        step_filters.(slot) <- step_filters.(slot) @ [ conj ]
+      end)
+    conjuncts;
+  let steps =
+    List.mapi
+      (fun i (alias, source, columns, access) ->
+        let columns =
+          match access with
+          | Index_scan { index; covering = true; _ } ->
+              Relation.Table.Index.columns index
+          | Index_scan _ | Seq_scan -> columns
+        in
+        { alias; source; columns; access; filters = step_filters.(i) })
+      ordered
+  in
+  { steps; projections = select.Ast.projections;
+    group_by = select.Ast.group_by }
+
+(* ---------------- execution ---------------- *)
+
+let run_step session env step (emit : env -> unit) =
+  let bind columns row =
+    { env with bound = env.bound @ [ (step.alias, (columns, row)) ] }
+  in
+  let visit columns row =
+    let e2 = bind columns row in
+    if List.for_all (fun f -> eval_bool e2 f) step.filters then emit e2
+  in
+  match (step.source, step.access) with
+  | Collection name, _ -> (
+      match Hashtbl.find_opt session.collections name with
+      | None -> fail "collection %s disappeared" name
+      | Some (columns, rows) -> List.iter (fun r -> visit columns r) rows)
+  | Base tbl, Seq_scan ->
+      Relation.Table.iter tbl (fun _ row ->
+          visit (Relation.Table.columns tbl) row)
+  | Base tbl, Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering }
+    ->
+      let tree = Relation.Table.Index.tree index in
+      let width = Btree.key_width tree in
+      let eq_vals = List.map (eval_value env) eq in
+      let k = List.length eq_vals in
+      let lo_key = Array.make width min_int in
+      let hi_key = Array.make width max_int in
+      List.iteri
+        (fun i v ->
+          lo_key.(i) <- v;
+          hi_key.(i) <- v)
+        eq_vals;
+      (match lo with
+      | Some { e; inclusive } ->
+          lo_key.(k) <- (eval_value env e + if inclusive then 0 else 1)
+      | None -> ());
+      (match hi with
+      | Some { e; inclusive } ->
+          hi_key.(k) <- (eval_value env e - if inclusive then 0 else 1)
+      | None -> ());
+      let rpos = k + if lo <> None || hi <> None then 1 else 0 in
+      if rpos > k && rpos < width then begin
+        (match refine_lo with
+        | Some { e; inclusive } ->
+            lo_key.(rpos) <- (eval_value env e + if inclusive then 0 else 1)
+        | None -> ());
+        match refine_hi with
+        | Some { e; inclusive } ->
+            hi_key.(rpos) <- (eval_value env e - if inclusive then 0 else 1)
+        | None -> ()
+      end;
+      Btree.iter_range tree ~lo:lo_key ~hi:hi_key (fun key ->
+          if covering then
+            visit
+              (Relation.Table.Index.columns index)
+              (Array.sub key 0 (Array.length key - 1))
+          else
+            let rowid = key.(Array.length key - 1) in
+            match Relation.Table.fetch tbl rowid with
+            | Some row -> visit (Relation.Table.columns tbl) row
+            | None -> ())
+
+let run_branch session binds plan =
+  let rows = ref [] in
+  let count = ref 0 in
+  let rec loop env = function
+    | [] ->
+        incr count;
+        let row =
+          List.concat_map
+            (function
+              | Ast.Star ->
+                  List.concat_map
+                    (fun (_, (_, row)) -> Array.to_list row)
+                    env.bound
+              | Ast.Count_star -> []
+              | Ast.Agg _ -> fail "aggregate outside an aggregate query"
+              | Ast.Proj_col (alias, c) -> [ lookup_col env alias c ])
+            plan.projections
+        in
+        rows := Array.of_list row :: !rows
+    | step :: rest -> run_step session env step (fun e2 -> loop e2 rest)
+  in
+  loop { binds; bound = [] } plan.steps;
+  (List.rev !rows, !count)
+
+let projection_columns plan =
+  List.concat_map
+    (function
+      | Ast.Star -> List.concat_map (fun s -> Array.to_list s.columns) plan.steps
+      | Ast.Count_star -> [ "count" ]
+      | Ast.Agg (a, (_, c)) ->
+          [ Printf.sprintf "%s(%s)"
+              (String.lowercase_ascii (Ast.aggregate_to_string a))
+              c ]
+      | Ast.Proj_col (_, c) -> [ c ])
+    plan.projections
+
+let is_aggregate_projection = function
+  | Ast.Count_star | Ast.Agg _ -> true
+  | Ast.Star | Ast.Proj_col _ -> false
+
+(* ---------------- explain ---------------- *)
+
+let explain_plan plans =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "SELECT STATEMENT\n";
+  let indent0 = if List.length plans > 1 then "    " else "  " in
+  if List.length plans > 1 then add "  UNION-ALL\n";
+  List.iter
+    (fun plan ->
+      let rec nest indent = function
+        | [] -> ()
+        | [ step ] -> describe indent step
+        | step :: rest ->
+            add "%sNESTED LOOPS\n" indent;
+            describe (indent ^ "  ") step;
+            nest (indent ^ "  ") rest
+      and describe indent step =
+        (match (step.source, step.access) with
+        | Collection name, _ -> add "%sCOLLECTION ITERATOR %s\n" indent name
+        | Base tbl, Seq_scan ->
+            add "%sTABLE ACCESS FULL %s\n" indent (Relation.Table.name tbl)
+        | Base _, Index_scan { index; eq; lo; hi; refine_lo; refine_hi;
+                               covering } ->
+            let icols = Relation.Table.Index.columns index in
+            let parts = ref [] in
+            List.iteri
+              (fun i e ->
+                parts :=
+                  Printf.sprintf "%s = %s" icols.(i) (Ast.expr_to_string e)
+                  :: !parts)
+              eq;
+            let rc = List.length eq in
+            let bound_part col { e; inclusive } ge =
+              Printf.sprintf "%s %s %s" col
+                (match (ge, inclusive) with
+                | true, true -> ">="
+                | true, false -> ">"
+                | false, true -> "<="
+                | false, false -> "<")
+                (Ast.expr_to_string e)
+            in
+            Option.iter
+              (fun b -> parts := bound_part icols.(rc) b true :: !parts)
+              lo;
+            Option.iter
+              (fun b -> parts := bound_part icols.(rc) b false :: !parts)
+              hi;
+            let rpos = rc + if lo <> None || hi <> None then 1 else 0 in
+            if rpos > rc && rpos < Array.length icols then begin
+              Option.iter
+                (fun b ->
+                  parts :=
+                    (bound_part icols.(rpos) b true ^ " [start key]")
+                    :: !parts)
+                refine_lo;
+              Option.iter
+                (fun b ->
+                  parts :=
+                    (bound_part icols.(rpos) b false ^ " [stop key]")
+                    :: !parts)
+                refine_hi
+            end;
+            add "%sINDEX RANGE SCAN %s (%s)%s\n" indent
+              (String.uppercase_ascii (Relation.Table.Index.name index))
+              (String.concat ", " (List.rev !parts))
+              (if covering then "" else " + TABLE ACCESS BY ROWID"));
+        if step.filters <> [] then
+          add "%s  FILTER %s\n" indent
+            (String.concat " AND " (List.map Ast.expr_to_string step.filters))
+      in
+      nest indent0 plan.steps)
+    plans;
+  Buffer.contents buf
+
+(* ---------------- statement dispatch ---------------- *)
+
+(* GROUP BY: one pass over the branch's rows, accumulating per group
+   key. Plain projections must be grouping columns; aggregate order-by
+   keys are not supported. *)
+let run_group_by session binds plan =
+  let group = plan.group_by in
+  let is_group_col (alias, c) =
+    List.exists (fun (_, gc) -> gc = c) group
+    && match alias with _ -> true
+  in
+  List.iter
+    (function
+      | Ast.Proj_col (a, c) when not (is_group_col (a, c)) ->
+          fail "column %s is not in GROUP BY" c
+      | Ast.Star -> fail "SELECT * cannot be combined with GROUP BY"
+      | Ast.Proj_col _ | Ast.Count_star | Ast.Agg _ -> ())
+    plan.projections;
+  let agg_cols =
+    List.filter_map
+      (function
+        | Ast.Agg (_, target) -> Some target
+        | Ast.Count_star | Ast.Star | Ast.Proj_col _ -> None)
+      plan.projections
+  in
+  let plan' =
+    { plan with
+      projections =
+        List.map (fun (a, c) -> Ast.Proj_col (a, c)) group
+        @ List.map (fun (a, c) -> Ast.Proj_col (a, c)) agg_cols }
+  in
+  let rows, _ = run_branch session binds plan' in
+  let karity = List.length group in
+  let groups : (int list, int * int list array) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let key = Array.to_list (Array.sub row 0 karity) in
+      let vals =
+        Array.init (List.length agg_cols) (fun i -> row.(karity + i))
+      in
+      match Hashtbl.find_opt groups key with
+      | Some (count, lists) ->
+          Array.iteri (fun i v -> lists.(i) <- v :: lists.(i)) vals;
+          Hashtbl.replace groups key (count + 1, lists)
+      | None ->
+          order := key :: !order;
+          Hashtbl.replace groups key
+            (1, Array.map (fun v -> [ v ]) vals))
+    rows;
+  List.rev_map
+    (fun key ->
+      let count, lists = Hashtbl.find groups key in
+      let next = ref 0 in
+      let cells =
+        List.map
+          (fun p ->
+            match p with
+            | Ast.Proj_col (a, c) ->
+                let rec pos i = function
+                  | [] -> fail "grouping column %s missing" c
+                  | (ga, gc) :: rest ->
+                      if gc = c && (a = None || ga = None || a = ga) then i
+                      else pos (i + 1) rest
+                in
+                List.nth key (pos 0 group)
+            | Ast.Count_star -> count
+            | Ast.Agg (agg, _) -> (
+                let vs = lists.(!next) in
+                incr next;
+                match agg with
+                | Ast.Count -> List.length vs
+                | Ast.Sum -> List.fold_left ( + ) 0 vs
+                | Ast.Min -> List.fold_left min (List.hd vs) vs
+                | Ast.Max -> List.fold_left max (List.hd vs) vs)
+            | Ast.Star -> assert false)
+          plan.projections
+      in
+      Array.of_list cells)
+    !order
+
+(* Aggregates without GROUP BY are computed over the concatenation of
+   all UNION ALL branches; mixing aggregate and plain projections is
+   rejected. *)
+let run_aggregate session binds plans projections =
+  (* per branch, project the columns the aggregates read *)
+  let agg_cols =
+    List.filter_map
+      (function
+        | Ast.Agg (_, target) -> Some target
+        | Ast.Count_star | Ast.Star | Ast.Proj_col _ -> None)
+      projections
+  in
+  let count = ref 0 in
+  let values = Array.make (List.length agg_cols) [] in
+  List.iter
+    (fun plan ->
+      let plan' =
+        { plan with
+          projections = List.map (fun t -> Ast.Proj_col (fst t, snd t)) agg_cols }
+      in
+      let rows, c = run_branch session binds plan' in
+      count := !count + c;
+      List.iter
+        (fun row -> Array.iteri (fun i _ -> values.(i) <- row.(i) :: values.(i)) values)
+        rows)
+    plans;
+  let next_value = ref 0 in
+  let cells =
+    List.map
+      (fun p ->
+        match p with
+        | Ast.Count_star -> !count
+        | Ast.Agg (a, _) -> (
+            let vs = values.(!next_value) in
+            incr next_value;
+            match a with
+            | Ast.Count -> List.length vs
+            | Ast.Sum -> List.fold_left ( + ) 0 vs
+            | Ast.Min -> (
+                match vs with
+                | [] -> fail "MIN over an empty result"
+                | v :: rest -> List.fold_left min v rest)
+            | Ast.Max -> (
+                match vs with
+                | [] -> fail "MAX over an empty result"
+                | v :: rest -> List.fold_left max v rest))
+        | Ast.Star | Ast.Proj_col _ -> assert false)
+      projections
+  in
+  [ Array.of_list cells ]
+
+let order_and_limit plan (q : Ast.query) rows =
+  let rows =
+    if q.Ast.order_by = [] then rows
+    else begin
+      let names = projection_columns plan in
+      let position { Ast.key = _, col; descending } =
+        let rec go i = function
+          | [] -> fail "ORDER BY column %s is not in the projection" col
+          | c :: rest -> if c = col then (i, descending) else go (i + 1) rest
+        in
+        go 0 names
+      in
+      let keys = List.map position q.Ast.order_by in
+      List.stable_sort
+        (fun (a : int array) b ->
+          let rec cmp = function
+            | [] -> 0
+            | (i, desc) :: rest ->
+                let c = Int.compare a.(i) b.(i) in
+                if c <> 0 then if desc then -c else c else cmp rest
+          in
+          cmp keys)
+        rows
+    end
+  in
+  match q.Ast.limit with
+  | None -> rows
+  | Some n -> List.filteri (fun i _ -> i < n) rows
+
+let run_select session binds (q : Ast.query) =
+  let plans = List.map (plan_branch session) q.Ast.branches in
+  match plans with
+  | [] -> Rows { columns = []; rows = [] }
+  | first :: _ when first.group_by <> [] ->
+      if List.length plans > 1 then
+        fail "GROUP BY cannot be combined with UNION ALL";
+      let rows = run_group_by session binds first in
+      Rows
+        { columns = projection_columns first;
+          rows = order_and_limit first q rows }
+  | first :: _ ->
+      let aggs = List.filter is_aggregate_projection first.projections in
+      if aggs <> [] then begin
+        if List.length aggs <> List.length first.projections then
+          fail "cannot mix aggregate and plain projections";
+        if q.Ast.order_by <> [] then
+          fail "ORDER BY does not apply to an aggregate query";
+        Rows
+          { columns = projection_columns first;
+            rows = run_aggregate session binds plans first.projections }
+      end
+      else begin
+        let all_rows = ref [] in
+        List.iter
+          (fun plan ->
+            let rows, _ = run_branch session binds plan in
+            all_rows := !all_rows @ rows)
+          plans;
+        Rows
+          { columns = projection_columns first;
+            rows = order_and_limit first q !all_rows }
+      end
+
+let rec run_stmt session binds = function
+  | Ast.Create_table (name, cols) ->
+      ignore
+        (Relation.Catalog.create_table session.catalog ~name ~columns:cols);
+      Done (Printf.sprintf "table %s created" name)
+  | Ast.Create_index (iname, tname, cols) -> (
+      match Relation.Catalog.find_table session.catalog tname with
+      | None -> fail "unknown table %s" tname
+      | Some tbl ->
+          ignore (Relation.Table.create_index tbl ~name:iname ~columns:cols);
+          Done (Printf.sprintf "index %s created" iname))
+  | Ast.Insert (tname, values) -> (
+      match Relation.Catalog.find_table session.catalog tname with
+      | None -> fail "unknown table %s" tname
+      | Some tbl ->
+          let env = { binds; bound = [] } in
+          let row = Array.of_list (List.map (eval_value env) values) in
+          if Array.length row <> Array.length (Relation.Table.columns tbl)
+          then fail "INSERT arity mismatch for %s" tname;
+          ignore (Relation.Table.insert tbl row);
+          Done "1 row inserted")
+  | Ast.Delete (tname, where) -> (
+      match Relation.Catalog.find_table session.catalog tname with
+      | None -> fail "unknown table %s" tname
+      | Some tbl ->
+          let columns = Relation.Table.columns tbl in
+          let pred row =
+            match where with
+            | None -> true
+            | Some w ->
+                eval_bool { binds; bound = [ (tname, (columns, row)) ] } w
+          in
+          let n = Relation.Table.delete_where tbl pred in
+          Done (Printf.sprintf "%d rows deleted" n))
+  | Ast.Update (tname, sets, where) -> (
+      match Relation.Catalog.find_table session.catalog tname with
+      | None -> fail "unknown table %s" tname
+      | Some tbl ->
+          let columns = Relation.Table.columns tbl in
+          let set_positions =
+            List.map
+              (fun (c, e) ->
+                match col_position columns c with
+                | Some i -> (i, e)
+                | None -> fail "unknown column %s in UPDATE" c)
+              sets
+          in
+          let victims = ref [] in
+          Relation.Table.iter tbl (fun rowid row ->
+              let env = { binds; bound = [ (tname, (columns, row)) ] } in
+              let matches =
+                match where with None -> true | Some w -> eval_bool env w
+              in
+              if matches then begin
+                let row' = Array.copy row in
+                List.iter
+                  (fun (i, e) -> row'.(i) <- eval_value env e)
+                  set_positions;
+                victims := (rowid, row') :: !victims
+              end);
+          List.iter
+            (fun (rowid, row') ->
+              ignore (Relation.Table.update_row tbl rowid row'))
+            !victims;
+          Done (Printf.sprintf "%d rows updated" (List.length !victims)))
+  | Ast.Select q -> run_select session binds q
+  | Ast.Explain stmt -> (
+      match stmt with
+      | Ast.Select q ->
+          Done (explain_plan (List.map (plan_branch session) q.Ast.branches))
+      | _ -> run_stmt session binds stmt)
+
+let exec ?(binds = []) session src = run_stmt session binds (Parser.parse src)
+
+let exec_script ?(binds = []) session src =
+  List.map (run_stmt session binds) (Parser.parse_script src)
+
+let query ?binds session src =
+  match exec ?binds session src with
+  | Rows { rows; _ } -> rows
+  | Done _ -> fail "query: statement did not return rows"
+
+let explain ?(binds = []) session src =
+  ignore binds;
+  match Parser.parse src with
+  | Ast.Select q ->
+      explain_plan (List.map (plan_branch session) q.Ast.branches)
+  | _ -> fail "explain: only SELECT is supported"

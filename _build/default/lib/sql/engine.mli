@@ -1,0 +1,44 @@
+(** Planner and executor for the SQL subset.
+
+    The engine implements what the paper relies the host DBMS for:
+    rule-based index selection (equality prefix plus one range on the
+    next key column), left-deep nested-loop joins, predicate pushdown,
+    covering-index scans (a base-table fetch is skipped when every
+    referenced column lives in the chosen index), transient collection
+    tables for session state (the paper's [leftNodes]/[rightNodes]), host
+    variables, and UNION ALL. [EXPLAIN] renders plans in the style of
+    the paper's Fig. 10. *)
+
+type session
+
+val session : Relation.Catalog.t -> session
+
+val set_collection :
+  session -> string -> columns:string list -> int array list -> unit
+(** Register (or replace) a transient collection table visible to
+    queries in this session; lives outside the catalog and costs no
+    I/O. *)
+
+val clear_collection : session -> string -> unit
+
+type result =
+  | Done of string  (** DDL/DML acknowledgement *)
+  | Rows of { columns : string list; rows : int array list }
+
+exception Error of string
+
+val exec : ?binds:(string * int) list -> session -> string -> result
+(** Parse and execute one statement. [binds] supplies host-variable
+    values. @raise Error on unknown tables/columns, ambiguity, or
+    missing binds (parse errors raise {!Parser.Error}). *)
+
+val exec_script :
+  ?binds:(string * int) list -> session -> string -> result list
+
+val query :
+  ?binds:(string * int) list -> session -> string -> int array list
+(** [exec] specialised to SELECT; returns the rows.
+    @raise Error if the statement is not a SELECT. *)
+
+val explain : ?binds:(string * int) list -> session -> string -> string
+(** The plan text for a SELECT, without executing it. *)

@@ -1,0 +1,387 @@
+exception Error of string
+
+type state = { tokens : Lexer.token array; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let peek st =
+  if st.pos < Array.length st.tokens then Some st.tokens.(st.pos) else None
+
+let advance st = st.pos <- st.pos + 1
+
+let next st =
+  match peek st with
+  | Some t ->
+      advance st;
+      t
+  | None -> fail "unexpected end of statement"
+
+let is_kw t kw =
+  match t with
+  | Lexer.Ident s -> String.uppercase_ascii s = kw
+  | _ -> false
+
+let peek_kw st kw = match peek st with Some t -> is_kw t kw | None -> false
+
+let expect_kw st kw =
+  match peek st with
+  | Some t when is_kw t kw -> advance st
+  | Some t -> fail "expected %s, found %s" kw (Lexer.token_to_string t)
+  | None -> fail "expected %s at end of statement" kw
+
+let expect st tok =
+  match peek st with
+  | Some t when t = tok -> advance st
+  | Some t ->
+      fail "expected %s, found %s"
+        (Lexer.token_to_string tok)
+        (Lexer.token_to_string t)
+  | None -> fail "expected %s at end of statement" (Lexer.token_to_string tok)
+
+let keywords =
+  [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "UNION";
+    "ALL"; "CREATE"; "TABLE"; "INDEX"; "ON"; "INSERT"; "INTO"; "VALUES";
+    "UPDATE"; "SET"; "DELETE"; "EXPLAIN"; "ORDER"; "GROUP"; "LIMIT" ]
+
+let ident st =
+  match next st with
+  | Lexer.Ident s when not (List.mem (String.uppercase_ascii s) keywords) -> s
+  | t -> fail "expected identifier, found %s" (Lexer.token_to_string t)
+
+let rec sep_by st sep f =
+  let first = f st in
+  if peek st = Some sep then begin
+    advance st;
+    first :: sep_by st sep f
+  end
+  else [ first ]
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek_kw st "OR" then begin
+    advance st;
+    Ast.Or (lhs, parse_or st)
+  end
+  else lhs
+
+and parse_and st =
+  let lhs = parse_not st in
+  if peek_kw st "AND" then begin
+    advance st;
+    Ast.And (lhs, parse_and st)
+  end
+  else lhs
+
+and parse_not st =
+  if peek_kw st "NOT" then begin
+    advance st;
+    Ast.Not (parse_not st)
+  end
+  else parse_predicate st
+
+and parse_predicate st =
+  let lhs = parse_primary st in
+  match peek st with
+  | Some Lexer.Op_eq ->
+      advance st;
+      Ast.Cmp (Ast.Eq, lhs, parse_primary st)
+  | Some Lexer.Op_ne ->
+      advance st;
+      Ast.Cmp (Ast.Ne, lhs, parse_primary st)
+  | Some Lexer.Op_lt ->
+      advance st;
+      Ast.Cmp (Ast.Lt, lhs, parse_primary st)
+  | Some Lexer.Op_le ->
+      advance st;
+      Ast.Cmp (Ast.Le, lhs, parse_primary st)
+  | Some Lexer.Op_gt ->
+      advance st;
+      Ast.Cmp (Ast.Gt, lhs, parse_primary st)
+  | Some Lexer.Op_ge ->
+      advance st;
+      Ast.Cmp (Ast.Ge, lhs, parse_primary st)
+  | Some t when is_kw t "BETWEEN" ->
+      advance st;
+      let lo = parse_primary st in
+      expect_kw st "AND";
+      let hi = parse_primary st in
+      Ast.Between (lhs, lo, hi)
+  | _ -> lhs
+
+and parse_primary st =
+  match next st with
+  | Lexer.Number n -> Ast.Int n
+  | Lexer.Host_var h -> Ast.Host h
+  | Lexer.Lparen ->
+      let e = parse_expr st in
+      expect st Lexer.Rparen;
+      e
+  | Lexer.Ident "-" -> (
+      match next st with
+      | Lexer.Number n -> Ast.Int (-n)
+      | t -> fail "expected number after unary minus, found %s"
+               (Lexer.token_to_string t))
+  | Lexer.Ident s when not (List.mem (String.uppercase_ascii s) keywords) ->
+      if peek st = Some Lexer.Dot then begin
+        advance st;
+        let col = ident st in
+        Ast.Col (Some s, col)
+      end
+      else Ast.Col (None, s)
+  | t -> fail "unexpected token %s in expression" (Lexer.token_to_string t)
+
+(* ---------------- statements ---------------- *)
+
+(* Aggregates are recognised contextually — NAME '(' — so that "count",
+   "min" and "max" stay available as column names (the paper's transient
+   leftNodes table has columns min and max). *)
+let peek2 st =
+  if st.pos + 1 < Array.length st.tokens then Some st.tokens.(st.pos + 1)
+  else None
+
+let aggregate_of_name s =
+  match String.uppercase_ascii s with
+  | "COUNT" -> Some Ast.Count
+  | "MIN" -> Some Ast.Min
+  | "MAX" -> Some Ast.Max
+  | "SUM" -> Some Ast.Sum
+  | _ -> None
+
+let parse_projection st =
+  match peek st with
+  | Some Lexer.Star ->
+      advance st;
+      Ast.Star
+  | Some (Lexer.Ident name)
+    when aggregate_of_name name <> None && peek2 st = Some Lexer.Lparen -> (
+      advance st;
+      advance st;
+      let agg = Option.get (aggregate_of_name name) in
+      match (agg, peek st) with
+      | Ast.Count, Some Lexer.Star ->
+          advance st;
+          expect st Lexer.Rparen;
+          Ast.Count_star
+      | _ ->
+          let col = ident st in
+          let target =
+            if peek st = Some Lexer.Dot then begin
+              advance st;
+              let c = ident st in
+              (Some col, c)
+            end
+            else (None, col)
+          in
+          expect st Lexer.Rparen;
+          Ast.Agg (agg, target))
+  | _ -> (
+      let name = ident st in
+      if peek st = Some Lexer.Dot then begin
+        advance st;
+        let col = ident st in
+        Ast.Proj_col (Some name, col)
+      end
+      else Ast.Proj_col (None, name))
+
+let parse_from_item st =
+  let table = ident st in
+  match peek st with
+  | Some (Lexer.Ident s) when not (List.mem (String.uppercase_ascii s) keywords)
+    ->
+      advance st;
+      (table, Some s)
+  | _ -> (table, None)
+
+let parse_select_branch st =
+  expect_kw st "SELECT";
+  let projections = sep_by st Lexer.Comma parse_projection in
+  expect_kw st "FROM";
+  let froms = sep_by st Lexer.Comma parse_from_item in
+  let where =
+    if peek_kw st "WHERE" then begin
+      advance st;
+      Some (parse_expr st)
+    end
+    else None
+  in
+  let group_by =
+    if peek_kw st "GROUP" then begin
+      advance st;
+      expect_kw st "BY";
+      sep_by st Lexer.Comma (fun st ->
+          let name = ident st in
+          if peek st = Some Lexer.Dot then begin
+            advance st;
+            let col = ident st in
+            (Some name, col)
+          end
+          else (None, name))
+    end
+    else []
+  in
+  { Ast.projections; froms; where; group_by }
+
+let rec parse_branches st =
+  let branch = parse_select_branch st in
+  if peek_kw st "UNION" then begin
+    advance st;
+    expect_kw st "ALL";
+    branch :: parse_branches st
+  end
+  else [ branch ]
+
+let parse_order_key st =
+  let name = ident st in
+  let key =
+    if peek st = Some Lexer.Dot then begin
+      advance st;
+      let col = ident st in
+      (Some name, col)
+    end
+    else (None, name)
+  in
+  let descending =
+    match peek st with
+    | Some (Lexer.Ident d) when String.uppercase_ascii d = "DESC" ->
+        advance st;
+        true
+    | Some (Lexer.Ident a) when String.uppercase_ascii a = "ASC" ->
+        advance st;
+        false
+    | _ -> false
+  in
+  { Ast.key; descending }
+
+let parse_select st =
+  let branches = parse_branches st in
+  let order_by =
+    if peek_kw st "ORDER" then begin
+      advance st;
+      expect_kw st "BY";
+      sep_by st Lexer.Comma parse_order_key
+    end
+    else []
+  in
+  let limit =
+    if peek_kw st "LIMIT" then begin
+      advance st;
+      match next st with
+      | Lexer.Number n when n >= 0 -> Some n
+      | t -> fail "LIMIT expects a number, found %s" (Lexer.token_to_string t)
+    end
+    else None
+  in
+  Ast.Select { branches; order_by; limit }
+
+(* Column definitions accept an optional type word which is ignored —
+   the engine is integer-only, matching the paper's schemas. *)
+let parse_column_def st =
+  let name = ident st in
+  (match peek st with
+  | Some (Lexer.Ident s) when not (List.mem (String.uppercase_ascii s) keywords)
+    ->
+      advance st
+  | _ -> ());
+  name
+
+let rec parse_stmt st =
+  match peek st with
+  | Some t when is_kw t "EXPLAIN" ->
+      advance st;
+      Ast.Explain (parse_stmt st)
+  | Some t when is_kw t "CREATE" -> (
+      advance st;
+      match peek st with
+      | Some t when is_kw t "TABLE" ->
+          advance st;
+          let name = ident st in
+          expect st Lexer.Lparen;
+          let cols = sep_by st Lexer.Comma parse_column_def in
+          expect st Lexer.Rparen;
+          Ast.Create_table (name, cols)
+      | Some t when is_kw t "INDEX" ->
+          advance st;
+          let iname = ident st in
+          expect_kw st "ON";
+          let tname = ident st in
+          expect st Lexer.Lparen;
+          let cols = sep_by st Lexer.Comma ident in
+          expect st Lexer.Rparen;
+          Ast.Create_index (iname, tname, cols)
+      | _ -> fail "expected TABLE or INDEX after CREATE")
+  | Some t when is_kw t "INSERT" ->
+      advance st;
+      expect_kw st "INTO";
+      let name = ident st in
+      expect_kw st "VALUES";
+      expect st Lexer.Lparen;
+      let values = sep_by st Lexer.Comma parse_expr in
+      expect st Lexer.Rparen;
+      Ast.Insert (name, values)
+  | Some t when is_kw t "UPDATE" ->
+      advance st;
+      let name = ident st in
+      expect_kw st "SET";
+      let assignment st =
+        let col = ident st in
+        expect st Lexer.Op_eq;
+        let e = parse_expr st in
+        (col, e)
+      in
+      let sets = sep_by st Lexer.Comma assignment in
+      let where =
+        if peek_kw st "WHERE" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Ast.Update (name, sets, where)
+  | Some t when is_kw t "DELETE" ->
+      advance st;
+      expect_kw st "FROM";
+      let name = ident st in
+      let where =
+        if peek_kw st "WHERE" then begin
+          advance st;
+          Some (parse_expr st)
+        end
+        else None
+      in
+      Ast.Delete (name, where)
+  | Some t when is_kw t "SELECT" -> parse_select st
+  | Some t -> fail "unexpected token %s" (Lexer.token_to_string t)
+  | None -> fail "empty statement"
+
+let of_tokens tokens = { tokens = Array.of_list tokens; pos = 0 }
+
+let parse src =
+  let st = of_tokens (Lexer.tokenize src) in
+  let stmt = parse_stmt st in
+  (match peek st with Some Lexer.Semicolon -> advance st | _ -> ());
+  (match peek st with
+  | None -> ()
+  | Some t -> fail "trailing input: %s" (Lexer.token_to_string t));
+  stmt
+
+let parse_script src =
+  let st = of_tokens (Lexer.tokenize src) in
+  let rec go acc =
+    match peek st with
+    | None -> List.rev acc
+    | Some Lexer.Semicolon ->
+        advance st;
+        go acc
+    | Some _ ->
+        let stmt = parse_stmt st in
+        (match peek st with
+        | Some Lexer.Semicolon -> advance st
+        | None -> ()
+        | Some t -> fail "expected ';', found %s" (Lexer.token_to_string t));
+        go (stmt :: acc)
+  in
+  go []

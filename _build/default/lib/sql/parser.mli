@@ -1,0 +1,10 @@
+(** Recursive-descent parser for the SQL subset (see {!Ast}). *)
+
+exception Error of string
+
+val parse : string -> Ast.stmt
+(** Parse a single statement (a trailing [;] is allowed).
+    @raise Error on syntax errors. *)
+
+val parse_script : string -> Ast.stmt list
+(** Parse a [;]-separated sequence of statements. *)

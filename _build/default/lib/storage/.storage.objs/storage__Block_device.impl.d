@@ -1,0 +1,1 @@
+lib/storage/block_device.ml: Array Bytes Format Printf

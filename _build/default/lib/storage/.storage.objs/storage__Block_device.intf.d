@@ -1,0 +1,1 @@
+lib/storage/block_device.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Block_device Bytes Format Hashtbl Journal Printf

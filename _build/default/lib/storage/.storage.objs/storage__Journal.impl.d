@@ -1,0 +1,1 @@
+lib/storage/journal.ml: Array Block_device Bytes Hashtbl List

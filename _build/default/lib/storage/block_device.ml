@@ -1,0 +1,67 @@
+type t = {
+  block_size : int;
+  mutable blocks : Bytes.t array;
+  mutable allocated : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?(block_size = 2048) () =
+  if block_size < 64 then
+    invalid_arg
+      (Printf.sprintf "Block_device.create: block size %d too small"
+         block_size);
+  { block_size; blocks = Array.make 64 Bytes.empty; allocated = 0;
+    reads = 0; writes = 0 }
+
+let block_size t = t.block_size
+let allocated t = t.allocated
+
+let grow t =
+  let cap = Array.length t.blocks in
+  if t.allocated >= cap then begin
+    let blocks = Array.make (2 * cap) Bytes.empty in
+    Array.blit t.blocks 0 blocks 0 cap;
+    t.blocks <- blocks
+  end
+
+let alloc t =
+  grow t;
+  let id = t.allocated in
+  t.blocks.(id) <- Bytes.make t.block_size '\000';
+  t.allocated <- id + 1;
+  id
+
+let check t id buf op =
+  if id < 0 || id >= t.allocated then
+    invalid_arg (Printf.sprintf "Block_device.%s: bad block id %d" op id);
+  if Bytes.length buf <> t.block_size then
+    invalid_arg
+      (Printf.sprintf "Block_device.%s: buffer size %d, expected %d" op
+         (Bytes.length buf) t.block_size)
+
+let read t id buf =
+  check t id buf "read";
+  Bytes.blit t.blocks.(id) 0 buf 0 t.block_size;
+  t.reads <- t.reads + 1
+
+let write t id buf =
+  check t id buf "write";
+  Bytes.blit buf 0 t.blocks.(id) 0 t.block_size;
+  t.writes <- t.writes + 1
+
+module Stats = struct
+  type device = t
+  type t = { reads : int; writes : int }
+
+  let total s = s.reads + s.writes
+  let get (d : device) = { reads = d.reads; writes = d.writes }
+
+  let reset (d : device) =
+    d.reads <- 0;
+    d.writes <- 0
+
+  let pp ppf s =
+    Format.fprintf ppf "reads=%d writes=%d total=%d" s.reads s.writes
+      (total s)
+end

@@ -1,0 +1,47 @@
+(** Simulated block device.
+
+    The paper's primary experimental metric is the number of physical
+    disk block accesses (Figs. 13, 14). This module stands in for the
+    U-SCSI disk of the paper's testbed: an array of fixed-size blocks
+    with explicit read/write counters. Every transfer between the buffer
+    pool and the device is counted as one physical I/O. *)
+
+type t
+
+val create : ?block_size:int -> unit -> t
+(** [create ~block_size ()] makes an empty device. The default block
+    size is 2048 bytes — the 2 KB blocks of the paper's Oracle setup.
+    @raise Invalid_argument if [block_size < 64]. *)
+
+val block_size : t -> int
+
+val allocated : t -> int
+(** Number of blocks allocated so far. Block ids are [0 ..
+    allocated - 1]. *)
+
+val alloc : t -> int
+(** Allocate a fresh zero-filled block and return its id. Allocation is
+    not counted as an I/O; the subsequent write-back is. *)
+
+val read : t -> int -> Bytes.t -> unit
+(** [read t id buf] copies block [id] into [buf] and counts one physical
+    read. [buf] must be exactly [block_size t] long.
+    @raise Invalid_argument on a bad id or buffer size. *)
+
+val write : t -> int -> Bytes.t -> unit
+(** [write t id buf] stores [buf] as block [id] and counts one physical
+    write. Same size discipline as {!read}. *)
+
+(** Physical I/O counters. *)
+module Stats : sig
+  type device = t
+
+  type t = { reads : int; writes : int }
+
+  val total : t -> int
+
+  val get : device -> t
+  val reset : device -> unit
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,181 @@
+type frame = {
+  page_id : int;
+  data : Bytes.t;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_use : int;
+}
+
+type t = {
+  dev : Block_device.t;
+  capacity : int;
+  frames : (int, frame) Hashtbl.t; (* page id -> frame *)
+  mutable journal : Journal.t option;
+  mutable clock : int;
+  mutable logical_reads : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 200) dev =
+  if capacity < 1 then
+    invalid_arg "Buffer_pool.create: capacity must be positive";
+  { dev; capacity; frames = Hashtbl.create (2 * capacity); journal = None;
+    clock = 0; logical_reads = 0; hits = 0; misses = 0; evictions = 0 }
+
+let attach_journal t j = t.journal <- Some j
+let journal t = t.journal
+
+let device t = t.dev
+let block_size t = Block_device.block_size t.dev
+let capacity t = t.capacity
+let cached t = Hashtbl.length t.frames
+
+let touch t frame =
+  t.clock <- t.clock + 1;
+  frame.last_use <- t.clock
+
+(* Journal the before- and after-image of a page about to be written
+   back (steal policy: uncommitted pages may reach the device, and
+   recovery undoes them from the before-image). *)
+let log_write t frame =
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      let before = Bytes.create (Block_device.block_size t.dev) in
+      Block_device.read t.dev frame.page_id before;
+      Journal.append j
+        (Journal.Write
+           { page = frame.page_id; before; after = Bytes.copy frame.data })
+
+let write_back t frame =
+  if frame.dirty then begin
+    log_write t frame;
+    Block_device.write t.dev frame.page_id frame.data;
+    frame.dirty <- false
+  end
+
+(* Evict the least-recently-used unpinned frame to make room. *)
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun _ f acc ->
+        if f.pins > 0 then acc
+        else
+          match acc with
+          | Some best when best.last_use <= f.last_use -> acc
+          | _ -> Some f)
+      t.frames None
+  in
+  match victim with
+  | None -> failwith "Buffer_pool: all frames pinned, cannot evict"
+  | Some f ->
+      write_back t f;
+      Hashtbl.remove t.frames f.page_id;
+      t.evictions <- t.evictions + 1
+
+let install t page_id data dirty =
+  if Hashtbl.length t.frames >= t.capacity then evict_one t;
+  let frame = { page_id; data; dirty; pins = 1; last_use = 0 } in
+  touch t frame;
+  Hashtbl.replace t.frames page_id frame;
+  frame
+
+let alloc t =
+  let id = Block_device.alloc t.dev in
+  let frame = install t id (Bytes.make (block_size t) '\000') true in
+  frame.pins <- 0;
+  id
+
+let pin t page_id =
+  t.logical_reads <- t.logical_reads + 1;
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame ->
+      t.hits <- t.hits + 1;
+      frame.pins <- frame.pins + 1;
+      touch t frame;
+      frame.data
+  | None ->
+      t.misses <- t.misses + 1;
+      let data = Bytes.create (block_size t) in
+      Block_device.read t.dev page_id data;
+      let frame = install t page_id data false in
+      frame.data
+
+let unpin t page_id ~dirty =
+  match Hashtbl.find_opt t.frames page_id with
+  | Some frame when frame.pins > 0 ->
+      frame.pins <- frame.pins - 1;
+      if dirty then frame.dirty <- true
+  | Some _ | None ->
+      invalid_arg
+        (Printf.sprintf "Buffer_pool.unpin: page %d is not pinned" page_id)
+
+let with_page t page_id ~dirty f =
+  let data = pin t page_id in
+  match f data with
+  | v ->
+      unpin t page_id ~dirty;
+      v
+  | exception e ->
+      unpin t page_id ~dirty;
+      raise e
+
+let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let clear t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.pins > 0 then
+        failwith
+          (Printf.sprintf "Buffer_pool.clear: page %d is still pinned"
+             f.page_id);
+      write_back t f)
+    t.frames;
+  Hashtbl.reset t.frames
+
+let commit t =
+  match t.journal with
+  | None -> flush t
+  | Some j ->
+      (* Log force, lazy data pages: every dirty page image becomes
+         durable, then the commit marker; the pages themselves stay
+         cached and dirty. *)
+      Hashtbl.iter (fun _ f -> if f.dirty then log_write t f) t.frames;
+      Journal.append j Journal.Commit
+
+let crash t =
+  Hashtbl.iter
+    (fun _ f ->
+      if f.pins > 0 then
+        failwith
+          (Printf.sprintf "Buffer_pool.crash: page %d is still pinned"
+             f.page_id))
+    t.frames;
+  Hashtbl.reset t.frames
+
+module Stats = struct
+  type pool = t
+
+  type t = {
+    logical_reads : int;
+    hits : int;
+    misses : int;
+    evictions : int;
+  }
+
+  let get (p : pool) =
+    { logical_reads = p.logical_reads; hits = p.hits; misses = p.misses;
+      evictions = p.evictions }
+
+  let reset (p : pool) =
+    p.logical_reads <- 0;
+    p.hits <- 0;
+    p.misses <- 0;
+    p.evictions <- 0
+
+  let pp ppf s =
+    Format.fprintf ppf "logical=%d hits=%d misses=%d evictions=%d"
+      s.logical_reads s.hits s.misses s.evictions
+end

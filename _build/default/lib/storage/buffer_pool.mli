@@ -1,0 +1,87 @@
+(** LRU buffer pool over a {!Block_device}.
+
+    Models the database block cache of the paper's setup ("the database
+    block cache was set to the default value of 200 database blocks with
+    a block size of 2 KB"). Pages are pinned while in use; unpinned pages
+    are evicted in least-recently-used order, writing dirty pages back to
+    the device. All structures above the pool (heap tables, B+-trees)
+    perform their page accesses through it, so the device counters report
+    exactly the physical I/O the paper measures. *)
+
+type t
+
+val create : ?capacity:int -> Block_device.t -> t
+(** [create ~capacity dev] caches up to [capacity] blocks (default 200).
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val device : t -> Block_device.t
+val block_size : t -> int
+val capacity : t -> int
+
+val alloc : t -> int
+(** Allocate a fresh page on the device and install it, dirty and
+    zero-filled, in the cache. Returns the page id. *)
+
+val pin : t -> int -> Bytes.t
+(** [pin t id] returns the in-cache bytes of page [id], faulting it in
+    from the device if necessary. The page cannot be evicted until every
+    {!pin} is matched by an {!unpin}. Mutating the returned bytes is
+    allowed; pass [~dirty:true] to the matching unpin so the mutation
+    survives eviction.
+    @raise Failure if every frame is pinned (pool exhausted). *)
+
+val unpin : t -> int -> dirty:bool -> unit
+(** Release one pin of page [id]. [dirty:true] marks the page for
+    write-back on eviction or flush.
+    @raise Invalid_argument if the page is not pinned. *)
+
+val with_page : t -> int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
+(** [with_page t id ~dirty f] pins, applies [f], and unpins (also on
+    exception). *)
+
+val flush : t -> unit
+(** Write all dirty pages back to the device; pages stay cached. *)
+
+val clear : t -> unit
+(** Flush, then drop every frame: the cache becomes cold.
+    @raise Failure if any page is still pinned. *)
+
+(** {2 Durability (write-ahead journal)} *)
+
+val attach_journal : t -> Journal.t -> unit
+(** From now on every write-back logs the page's before- and after-image
+    to the journal (steal policy with undo information). *)
+
+val journal : t -> Journal.t option
+
+val commit : t -> unit
+(** Make the current logical state durable: force-log every dirty page
+    followed by a commit marker. Data pages stay cached and dirty (lazy
+    write-back). Without an attached journal this degrades to
+    {!flush}. *)
+
+val crash : t -> unit
+(** Simulate a crash: drop every frame {e without} writing anything
+    back. Dirty, uncommitted state is lost; {!Journal.recover} restores
+    the device to the last commit.
+    @raise Failure if any page is still pinned. *)
+
+val cached : t -> int
+(** Number of pages currently resident. *)
+
+(** Cache behaviour counters (logical accesses), distinct from the
+    device's physical counters. *)
+module Stats : sig
+  type pool = t
+
+  type t = {
+    logical_reads : int;  (** number of [pin] calls. *)
+    hits : int;           (** pins satisfied from the cache. *)
+    misses : int;         (** pins requiring a device read. *)
+    evictions : int;
+  }
+
+  val get : pool -> t
+  val reset : pool -> unit
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,53 @@
+type record =
+  | Write of { page : int; before : Bytes.t; after : Bytes.t }
+  | Commit
+
+type t = {
+  mutable rev_records : record list;
+  mutable count : int;
+  mutable bytes : int;
+}
+
+let create () = { rev_records = []; count = 0; bytes = 0 }
+
+let append t r =
+  t.rev_records <- r :: t.rev_records;
+  t.count <- t.count + 1;
+  match r with
+  | Write { before; after; _ } ->
+      t.bytes <- t.bytes + Bytes.length before + Bytes.length after
+  | Commit -> ()
+
+let records t = List.rev t.rev_records
+let record_count t = t.count
+let byte_size t = t.bytes
+
+let truncate t =
+  t.rev_records <- [];
+  t.count <- 0;
+  t.bytes <- 0
+
+let recover t device =
+  let rs = Array.of_list (records t) in
+  let last_commit = ref (-1) in
+  Array.iteri (fun i r -> if r = Commit then last_commit := i) rs;
+  (* For each page: the last committed after-image, or — if the page was
+     only written after the last commit — its first before-image. *)
+  let target : (int, Bytes.t) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Commit -> ()
+      | Write { page; before; after } ->
+          if i <= !last_commit then Hashtbl.replace target page after
+          else if not (Hashtbl.mem target page) then
+            Hashtbl.replace target page before)
+    rs;
+  let restored = ref 0 in
+  Hashtbl.iter
+    (fun page image ->
+      Block_device.write device page image;
+      incr restored)
+    target;
+  truncate t;
+  !restored

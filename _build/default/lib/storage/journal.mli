@@ -1,0 +1,40 @@
+(** Write-ahead journal for crash recovery.
+
+    The paper sells the RI-tree on inheriting the host RDBMS's
+    "industrial strength" recovery services for free; this journal is
+    that service in our bundled engine. It is a physical full-page-image
+    log: every write-back of a dirty page appends its before- and
+    after-image, {!Buffer_pool.commit} force-logs all dirty pages
+    followed by a commit marker (log-force, lazy data pages), and
+    {!recover} reconstructs the last committed image of every page:
+
+    - a page whose last pre-commit record exists gets that record's
+      after-image (redo);
+    - a page touched only after the last commit gets its first
+      post-commit before-image (undo of stolen, uncommitted writes);
+    - untouched pages keep their device content.
+
+    Everything uncommitted at the crash vanishes atomically. *)
+
+type t
+
+type record =
+  | Write of { page : int; before : Bytes.t; after : Bytes.t }
+  | Commit
+
+val create : unit -> t
+val append : t -> record -> unit
+val records : t -> record list
+(** Oldest first. *)
+
+val record_count : t -> int
+val byte_size : t -> int
+(** Payload bytes logged (diagnostic). *)
+
+val truncate : t -> unit
+(** Drop all records (after a checkpoint made the device current). *)
+
+val recover : t -> Block_device.t -> int
+(** Restore every page of the device to its last committed image and
+    truncate the journal; returns the number of pages restored. The
+    device writes performed here are counted I/O. *)

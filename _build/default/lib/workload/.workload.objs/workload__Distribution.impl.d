@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Array Format Interval Prng String

@@ -1,0 +1,1 @@
+lib/workload/oracle.ml: Array Int Interval List

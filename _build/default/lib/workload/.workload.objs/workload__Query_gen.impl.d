@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Array Distribution Interval Oracle Prng

@@ -1,0 +1,85 @@
+module Ivl = Interval.Ivl
+
+type kind = D1 | D2 | D3 | D4
+
+let all_kinds = [ D1; D2; D3; D4 ]
+
+let kind_to_string = function
+  | D1 -> "D1"
+  | D2 -> "D2"
+  | D3 -> "D3"
+  | D4 -> "D4"
+
+let kind_of_string s =
+  match String.uppercase_ascii s with
+  | "D1" -> Some D1
+  | "D2" -> Some D2
+  | "D3" -> Some D3
+  | "D4" -> Some D4
+  | _ -> None
+
+let domain_max = (1 lsl 20) - 1
+
+let clamp v = max 0 (min domain_max v)
+
+(* Starting points: uniform for D1/D2; Poisson arrivals for D3/D4 with
+   the rate chosen so the n-th arrival lands near the end of the
+   domain. *)
+let starts rng kind n =
+  match kind with
+  | D1 | D2 -> Array.init n (fun _ -> Prng.int rng (domain_max + 1))
+  | D3 | D4 ->
+      let mean_gap = float_of_int (domain_max + 1) /. float_of_int n in
+      let t = ref 0.0 in
+      Array.init n (fun _ ->
+          t := !t +. Prng.exponential rng ~mean:mean_gap;
+          clamp (int_of_float !t))
+
+let durations rng kind n ~d =
+  if d < 0 then invalid_arg "Distribution: negative duration parameter";
+  if d = 0 then Array.make n 0 (* a pure point database *)
+  else
+    match kind with
+    | D1 | D3 -> Array.init n (fun _ -> Prng.int rng ((2 * d) + 1))
+    | D2 | D4 ->
+        Array.init n (fun _ ->
+            int_of_float (Prng.exponential rng ~mean:(float_of_int d)))
+
+let assemble starts durations =
+  Array.map2
+    (fun s len -> Ivl.make s (clamp (s + len)))
+    starts durations
+
+let generate ?(seed = 42) kind ~n ~d =
+  let rng = Prng.create ~seed in
+  let s = starts rng kind n in
+  let l = durations rng kind n ~d in
+  assemble s l
+
+let generate_restricted ?(seed = 42) kind ~n ~min_len ~max_len =
+  if min_len > max_len || min_len < 0 then
+    invalid_arg "Distribution.generate_restricted: bad length range";
+  let rng = Prng.create ~seed in
+  let s = starts rng kind n in
+  let l = Array.init n (fun _ -> Prng.int_in rng min_len max_len) in
+  assemble s l
+
+let mean_length data =
+  if Array.length data = 0 then 0.0
+  else
+    let total =
+      Array.fold_left (fun acc i -> acc + Ivl.length i) 0 data
+    in
+    float_of_int total /. float_of_int (Array.length data)
+
+let pp_summary ppf data =
+  let n = Array.length data in
+  let min_len, max_len =
+    Array.fold_left
+      (fun (mn, mx) i -> (min mn (Ivl.length i), max mx (Ivl.length i)))
+      (max_int, 0) data
+  in
+  Format.fprintf ppf "n=%d mean_len=%.1f len_range=[%d,%d]" n
+    (mean_length data)
+    (if n = 0 then 0 else min_len)
+    max_len

@@ -1,0 +1,34 @@
+(** The interval distributions of Table 1.
+
+    All bounding points lie in the domain [\[0, 2^20 - 1\]]. Starting
+    points are either uniform over the domain (D1, D2) or the arrival
+    times of a Poisson process spanning it (D3, D4 — "the arrival of
+    temporal tuples follows a Poisson process. Thus the inter-arrival
+    time is distributed exponentially"). Durations are either uniform in
+    [\[0, 2d\]] (D1, D3) or exponential with mean [d] (D2, D4). The
+    paper's experiments use [d = 2000] ("2k"). *)
+
+type kind = D1 | D2 | D3 | D4
+
+val all_kinds : kind list
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+
+val domain_max : int
+(** [2^20 - 1]. *)
+
+val generate : ?seed:int -> kind -> n:int -> d:int -> Interval.Ivl.t array
+(** [n] intervals with duration parameter [d]; upper bounds are clamped
+    to the domain. Deterministic in [seed] (default 42). *)
+
+val generate_restricted :
+  ?seed:int -> kind -> n:int -> min_len:int -> max_len:int ->
+  Interval.Ivl.t array
+(** The restricted-granularity variant of Fig. 15: durations uniform in
+    [\[min_len, max_len\]] instead of the kind's own duration law (the
+    starting-point law still follows [kind]). *)
+
+val mean_length : Interval.Ivl.t array -> float
+
+val pp_summary : Format.formatter -> Interval.Ivl.t array -> unit
+(** One-line length/coverage summary used by the benchmark logs. *)

@@ -1,0 +1,36 @@
+module Ivl = Interval.Ivl
+
+type t = { lowers : int array; uppers : int array }
+
+let build data =
+  let lowers = Array.map Ivl.lower data in
+  let uppers = Array.map Ivl.upper data in
+  Array.sort Int.compare lowers;
+  Array.sort Int.compare uppers;
+  { lowers; uppers }
+
+let size t = Array.length t.lowers
+
+(* Number of elements of the sorted array strictly less than [x]. *)
+let count_lt arr x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_gt arr x = Array.length arr - count_lt arr (x + 1)
+
+let count_intersecting t q =
+  let n = Array.length t.lowers in
+  n - count_lt t.uppers (Ivl.lower q) - count_gt t.lowers (Ivl.upper q)
+
+let selectivity t q =
+  if size t = 0 then 0.0
+  else float_of_int (count_intersecting t q) /. float_of_int (size t)
+
+let ids_intersecting data q =
+  let acc = ref [] in
+  Array.iteri (fun i ivl -> if Ivl.intersects ivl q then acc := i :: !acc) data;
+  List.rev !acc

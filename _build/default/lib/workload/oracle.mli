@@ -1,0 +1,21 @@
+(** Exact interval-intersection counting in [O(log n)] per query.
+
+    For a closed query [q], the intervals {e not} intersecting it are
+    exactly those with [upper < lower q] plus those with
+    [lower > upper q], so two sorted endpoint arrays answer counting
+    queries by binary search. Used to calibrate query selectivities
+    (Sec. 6.3 fixes target selectivities per figure) and as a trusted
+    result-set oracle in the test suite. *)
+
+type t
+
+val build : Interval.Ivl.t array -> t
+val size : t -> int
+
+val count_intersecting : t -> Interval.Ivl.t -> int
+val selectivity : t -> Interval.Ivl.t -> float
+(** Fraction of stored intervals intersecting [q]. *)
+
+val ids_intersecting : Interval.Ivl.t array -> Interval.Ivl.t -> int list
+(** Brute force over an array where the id of an interval is its array
+    position; returns sorted ids. For test comparison. *)

@@ -1,0 +1,38 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create ~seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let int_in t a b =
+  if a > b then invalid_arg "Prng.int_in: empty range";
+  a + int t (b - a + 1)
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  let u = 1.0 -. float t in
+  -.mean *. log u
+
+let bool t = Int64.logand (int64 t) 1L = 1L

@@ -1,0 +1,59 @@
+module Ivl = Interval.Ivl
+
+let domain_max = Distribution.domain_max
+let clamp v = max 0 (min domain_max v)
+
+let make_query start len = Ivl.make start (clamp (start + len))
+
+let measured_selectivity ~data queries =
+  if Array.length queries = 0 then 0.0
+  else
+    let oracle = Oracle.build data in
+    let total =
+      Array.fold_left (fun acc q -> acc +. Oracle.selectivity oracle q) 0.0
+        queries
+    in
+    total /. float_of_int (Array.length queries)
+
+let queries ?(seed = 123) ~data ~count selectivity =
+  if count <= 0 then [||]
+  else begin
+    let oracle = Oracle.build data in
+    let rng = Prng.create ~seed in
+    let starts = Array.init count (fun _ -> Prng.int rng (domain_max + 1)) in
+    let avg_sel len =
+      let total =
+        Array.fold_left
+          (fun acc s -> acc +. Oracle.selectivity oracle (make_query s len))
+          0.0 starts
+      in
+      total /. float_of_int count
+    in
+    (* Average selectivity grows monotonically with the query length:
+       bisect for the smallest length reaching the target. *)
+    let len =
+      if selectivity <= 0.0 then 0
+      else if avg_sel 0 >= selectivity then 0
+      else if avg_sel domain_max < selectivity then domain_max
+      else begin
+        let lo = ref 0 and hi = ref domain_max in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if avg_sel mid >= selectivity then hi := mid else lo := mid
+        done;
+        !hi
+      end
+    in
+    Array.map (fun s -> make_query s len) starts
+  end
+
+let point_queries ?(seed = 123) ~count () =
+  let rng = Prng.create ~seed in
+  Array.init count (fun _ -> Ivl.point (Prng.int rng (domain_max + 1)))
+
+let sweep_points ~count =
+  if count <= 0 then [||]
+  else
+    Array.init count (fun i ->
+        let p = domain_max - (i * domain_max / max 1 (count - 1)) in
+        Ivl.point (clamp p))

@@ -1,0 +1,31 @@
+(** Query workloads with calibrated selectivity.
+
+    The paper's figures fix the query selectivity (e.g. "query
+    selectivity = 0.6 %" in Fig. 14): query intervals follow a
+    distribution "compatible to the respective interval database" while
+    their length is chosen so that the average fraction of reported
+    intervals matches the target. We calibrate the query length by
+    bisection against the exact counting {!Oracle}. *)
+
+val queries :
+  ?seed:int ->
+  data:Interval.Ivl.t array ->
+  count:int ->
+  float ->
+  Interval.Ivl.t array
+(** [queries ~data ~count sel]: [count] query intervals with uniformly
+    distributed starting points whose measured average selectivity over
+    the dataset approximates [sel] (a fraction, e.g. [0.005]). A zero selectivity yields
+    point queries. *)
+
+val point_queries :
+  ?seed:int -> count:int -> unit -> Interval.Ivl.t array
+(** Degenerate query intervals uniform over the domain. *)
+
+val sweep_points : count:int -> Interval.Ivl.t array
+(** Point queries sweeping the domain from its upper bound downwards —
+    the "sweeping point query" of Fig. 17. Evenly spaced, descending. *)
+
+val measured_selectivity :
+  data:Interval.Ivl.t array -> Interval.Ivl.t array -> float
+(** Average selectivity of a query batch over a dataset. *)

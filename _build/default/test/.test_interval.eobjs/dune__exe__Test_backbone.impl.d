@@ -1,0 +1,1 @@
+test/test_backbone.ml: Alcotest List Printf QCheck QCheck_alcotest Ritree Workload

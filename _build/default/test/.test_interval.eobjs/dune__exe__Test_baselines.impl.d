@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Harness Interval List Memindex Printf Relation Workload

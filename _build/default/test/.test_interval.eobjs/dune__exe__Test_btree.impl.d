@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Fun List Option QCheck QCheck_alcotest Seq Set Storage String Workload

@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Interval List Printf Relation Ritree Storage Workload

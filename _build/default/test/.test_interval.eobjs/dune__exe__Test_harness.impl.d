@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Float Harness Interval List Relation Ritree String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Fun List Relation Storage

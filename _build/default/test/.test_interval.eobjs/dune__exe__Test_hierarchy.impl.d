@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Hierarchy List Printf Relation

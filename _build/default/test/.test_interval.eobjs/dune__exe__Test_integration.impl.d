@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Baselines Harness Hashtbl Interval List Memindex Option Printf Relation Ritree Sqlfront Workload

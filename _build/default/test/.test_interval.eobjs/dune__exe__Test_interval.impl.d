@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Fun Interval List Printf QCheck QCheck_alcotest String

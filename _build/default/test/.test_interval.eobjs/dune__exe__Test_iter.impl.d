@@ -1,0 +1,1 @@
+test/test_iter.ml: Alcotest Array List Relation

@@ -1,0 +1,1 @@
+test/test_join.ml: Alcotest Interval List Relation Ritree Workload

@@ -1,0 +1,1 @@
+test/test_memindex.ml: Alcotest Array Interval List Memindex Relation Ritree Workload

@@ -1,0 +1,1 @@
+test/test_period_set.ml: Alcotest Array Interval List QCheck QCheck_alcotest

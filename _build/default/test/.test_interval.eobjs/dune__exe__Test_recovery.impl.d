@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Array Bytes Hashtbl Interval List Option Printf Relation Ritree Storage Workload

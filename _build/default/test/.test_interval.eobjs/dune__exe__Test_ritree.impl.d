@@ -1,0 +1,1 @@
+test/test_ritree.ml: Alcotest Array Interval List Memindex Option Printf Relation Ritree String Workload

@@ -1,0 +1,1 @@
+test/test_skeleton.ml: Alcotest Interval List Memindex Printf Relation Ritree Workload

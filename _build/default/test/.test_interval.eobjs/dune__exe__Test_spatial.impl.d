@@ -1,0 +1,1 @@
+test/test_spatial.ml: Alcotest Interval List Printf Relation Spatial Workload

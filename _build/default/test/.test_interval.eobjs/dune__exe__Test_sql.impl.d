@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Printf QCheck QCheck_alcotest Relation Sqlfront String Workload

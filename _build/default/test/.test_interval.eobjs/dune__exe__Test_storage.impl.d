@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Int32 Printf Storage Workload

@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest Array Btree Relation Storage Workload

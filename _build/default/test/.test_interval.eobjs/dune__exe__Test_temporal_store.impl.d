@@ -1,0 +1,1 @@
+test/test_temporal_store.ml: Alcotest Interval List Relation Ritree Workload

@@ -1,0 +1,1 @@
+test/test_topological.ml: Alcotest Hashtbl Interval List Memindex Relation Ritree Workload

@@ -1,0 +1,282 @@
+(* B+-tree: oracle-based randomized tests plus structural edge cases. *)
+
+let check = Alcotest.check
+
+let mk_pool ?(block_size = 256) ?(capacity = 64) () =
+  Storage.Buffer_pool.create ~capacity (Storage.Block_device.create ~block_size ())
+
+module KeySet = Set.Make (struct
+  type t = int list
+
+  let compare = compare
+end)
+
+let key_of_list = Array.of_list
+let list_of_key = Array.to_list
+
+(* ---- basic operations ---- *)
+
+let test_empty () =
+  let t = Btree.create (mk_pool ()) ~key_width:2 in
+  check Alcotest.int "count" 0 (Btree.count t);
+  check Alcotest.int "height" 1 (Btree.height t);
+  check Alcotest.bool "mem" false (Btree.mem t [| 1; 2 |]);
+  check (Alcotest.list (Alcotest.list Alcotest.int)) "to_list" []
+    (List.map list_of_key (Btree.to_list t));
+  check Alcotest.bool "min" true (Btree.min_key t = None);
+  check Alcotest.bool "max" true (Btree.max_key t = None);
+  Btree.check_invariants t
+
+let test_insert_dup () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  check Alcotest.bool "first" true (Btree.insert t [| 7 |]);
+  check Alcotest.bool "dup" false (Btree.insert t [| 7 |]);
+  check Alcotest.int "count" 1 (Btree.count t)
+
+let test_key_width_validation () =
+  let t = Btree.create (mk_pool ()) ~key_width:2 in
+  Alcotest.check_raises "wrong width"
+    (Invalid_argument "Btree: key width 1, expected 2") (fun () ->
+      ignore (Btree.insert t [| 1 |]));
+  Alcotest.check_raises "geometry"
+    (Invalid_argument "Btree: key width 0 out of range 1..15") (fun () ->
+      ignore (Btree.create (mk_pool ()) ~key_width:0))
+
+let test_sequential_ascending () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  for i = 0 to 999 do
+    ignore (Btree.insert t [| i |])
+  done;
+  Btree.check_invariants t;
+  check Alcotest.int "count" 1000 (Btree.count t);
+  check Alcotest.bool "height grew" true (Btree.height t > 1);
+  check
+    (Alcotest.list Alcotest.int)
+    "ordered" (List.init 1000 Fun.id)
+    (List.map (fun k -> k.(0)) (Btree.to_list t))
+
+let test_sequential_descending_then_delete_all () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  for i = 999 downto 0 do
+    ignore (Btree.insert t [| i |])
+  done;
+  Btree.check_invariants t;
+  (* delete everything, evens first then odds descending; the tree must
+     rebalance all the way down *)
+  for i = 0 to 499 do
+    ignore (Btree.delete t [| 2 * i |])
+  done;
+  for i = 499 downto 0 do
+    ignore (Btree.delete t [| (2 * i) + 1 |])
+  done;
+  check Alcotest.int "empty" 0 (Btree.count t);
+  check Alcotest.int "height back to 1" 1 (Btree.height t);
+  Btree.check_invariants t
+
+let test_page_reuse () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  for i = 0 to 2000 do
+    ignore (Btree.insert t [| i |])
+  done;
+  let pages_full = Btree.page_count t in
+  for i = 0 to 2000 do
+    ignore (Btree.delete t [| i |])
+  done;
+  check Alcotest.int "one leaf left" 1 (Btree.page_count t);
+  (* freed pages must be recycled *)
+  for i = 0 to 2000 do
+    ignore (Btree.insert t [| i |])
+  done;
+  check Alcotest.bool "no unbounded growth"
+    true
+    (Btree.page_count t <= pages_full);
+  Btree.check_invariants t
+
+let test_range_scan_bounds () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  List.iter (fun i -> ignore (Btree.insert t [| i |])) [ 2; 4; 6; 8; 10 ];
+  let range lo hi =
+    List.map (fun k -> k.(0)) (Btree.range_list t ~lo:[| lo |] ~hi:[| hi |])
+  in
+  check (Alcotest.list Alcotest.int) "inclusive" [ 4; 6; 8 ] (range 4 8);
+  check (Alcotest.list Alcotest.int) "between keys" [ 4; 6; 8 ] (range 3 9);
+  check (Alcotest.list Alcotest.int) "empty" [] (range 11 20);
+  check (Alcotest.list Alcotest.int) "below" [] (range (-5) 1);
+  check (Alcotest.list Alcotest.int) "single" [ 6 ] (range 6 6);
+  check (Alcotest.list Alcotest.int) "all" [ 2; 4; 6; 8; 10 ]
+    (range min_int max_int)
+
+let test_prefix_pads () =
+  let t = Btree.create (mk_pool ()) ~key_width:3 in
+  List.iter
+    (fun (a, b, c) -> ignore (Btree.insert t [| a; b; c |]))
+    [ (1, 5, 0); (1, 7, 1); (2, 1, 2); (2, 9, 3); (3, 0, 4) ];
+  let hits =
+    Btree.range_list t ~lo:(Btree.lo_pad t [ 2 ]) ~hi:(Btree.hi_pad t [ 2 ])
+  in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "prefix 2"
+    [ [ 2; 1; 2 ]; [ 2; 9; 3 ] ]
+    (List.map list_of_key hits)
+
+let test_negative_keys () =
+  let t = Btree.create (mk_pool ()) ~key_width:2 in
+  List.iter
+    (fun (a, b) -> ignore (Btree.insert t [| a; b |]))
+    [ (-5, 3); (-5, -9); (0, 0); (7, -2); (min_int + 1, 4) ];
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "sorted with negatives"
+    [ [ min_int + 1; 4 ]; [ -5; -9 ]; [ -5; 3 ]; [ 0; 0 ]; [ 7; -2 ] ]
+    (List.map list_of_key (Btree.to_list t))
+
+(* ---- bulk loading ---- *)
+
+let test_bulk_load_matches_inserts () =
+  let keys = List.init 5000 (fun i -> [| (i * 37) mod 100_000; i |]) in
+  let sorted = List.sort Btree.compare_keys keys in
+  let bulk =
+    Btree.bulk_load (mk_pool ~capacity:300 ()) ~key_width:2
+      (List.to_seq sorted)
+  in
+  Btree.check_invariants ~occupancy:false bulk;
+  check Alcotest.int "count" 5000 (Btree.count bulk);
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "same contents"
+    (List.map list_of_key sorted)
+    (List.map list_of_key (Btree.to_list bulk));
+  (* the bulk tree stays fully operational *)
+  ignore (Btree.insert bulk [| -1; -1 |]);
+  ignore (Btree.delete bulk (List.hd sorted));
+  Btree.check_invariants ~occupancy:false bulk
+
+let test_bulk_load_rejects_unsorted () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Btree.bulk_load: keys not strictly increasing")
+    (fun () ->
+      ignore
+        (Btree.bulk_load (mk_pool ()) ~key_width:1
+           (List.to_seq [ [| 2 |]; [| 1 |] ])))
+
+let test_bulk_load_empty () =
+  let t = Btree.bulk_load (mk_pool ()) ~key_width:2 Seq.empty in
+  check Alcotest.int "count" 0 (Btree.count t);
+  Btree.check_invariants t
+
+(* ---- randomized oracle comparison ---- *)
+
+let random_ops_agree_with_set seed n =
+  let rng = Workload.Prng.create ~seed in
+  let t = Btree.create (mk_pool ~capacity:128 ()) ~key_width:2 in
+  let model = ref KeySet.empty in
+  for _ = 1 to n do
+    let k = [ Workload.Prng.int rng 50; Workload.Prng.int rng 50 ] in
+    if Workload.Prng.int rng 3 = 0 then begin
+      let removed = Btree.delete t (key_of_list k) in
+      let expected = KeySet.mem k !model in
+      if removed <> expected then
+        Alcotest.failf "delete %s: got %b" (String.concat "," (List.map string_of_int k)) removed;
+      model := KeySet.remove k !model
+    end
+    else begin
+      let added = Btree.insert t (key_of_list k) in
+      let expected = not (KeySet.mem k !model) in
+      if added <> expected then
+        Alcotest.failf "insert %s: got %b" (String.concat "," (List.map string_of_int k)) added;
+      model := KeySet.add k !model
+    end
+  done;
+  Btree.check_invariants t;
+  let got = List.map list_of_key (Btree.to_list t) in
+  let expected = KeySet.elements !model in
+  if got <> expected then Alcotest.fail "final contents differ";
+  (* random range scans *)
+  for _ = 1 to 50 do
+    let a = Workload.Prng.int rng 50 and b = Workload.Prng.int rng 50 in
+    let lo = [ min a b; min_int ] and hi = [ max a b; max_int ] in
+    let got =
+      List.map list_of_key
+        (Btree.range_list t ~lo:(key_of_list lo) ~hi:(key_of_list hi))
+    in
+    let expected =
+      KeySet.elements
+        (KeySet.filter (fun k -> k >= lo && k <= hi) !model)
+    in
+    if got <> expected then Alcotest.fail "range scan differs"
+  done
+
+let test_random_small () = random_ops_agree_with_set 1 2_000
+let test_random_larger () = random_ops_agree_with_set 2 8_000
+
+let prop_insert_then_mem =
+  QCheck.Test.make ~count:60 ~name:"insert implies mem; delete implies not mem"
+    QCheck.(list (pair (int_range 0 200) (int_range 0 200)))
+    (fun pairs ->
+      let t = Btree.create (mk_pool ()) ~key_width:2 in
+      List.iter (fun (a, b) -> ignore (Btree.insert t [| a; b |])) pairs;
+      List.for_all (fun (a, b) -> Btree.mem t [| a; b |]) pairs
+      && begin
+           List.iter (fun (a, b) -> ignore (Btree.delete t [| a; b |])) pairs;
+           List.for_all (fun (a, b) -> not (Btree.mem t [| a; b |])) pairs
+           && Btree.count t = 0
+         end)
+
+(* Wide keys and tiny pages force deep trees. *)
+let test_deep_tree_small_pages () =
+  let pool = mk_pool ~block_size:256 ~capacity:512 () in
+  let t = Btree.create pool ~key_width:6 in
+  let rng = Workload.Prng.create ~seed:5 in
+  let inserted = ref [] in
+  for i = 0 to 3000 do
+    let k = Array.init 6 (fun j -> if j < 5 then Workload.Prng.int rng 10 else i) in
+    ignore (Btree.insert t k);
+    inserted := Array.copy k :: !inserted
+  done;
+  Btree.check_invariants t;
+  check Alcotest.bool "deep" true (Btree.height t >= 4);
+  List.iter
+    (fun k ->
+      if not (Btree.mem t k) then Alcotest.fail "lost key in deep tree")
+    !inserted
+
+let test_min_max () =
+  let t = Btree.create (mk_pool ()) ~key_width:1 in
+  List.iter (fun i -> ignore (Btree.insert t [| i |])) [ 42; -3; 17; 100 ];
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "min" (Some [ -3 ])
+    (Option.map list_of_key (Btree.min_key t));
+  check (Alcotest.option (Alcotest.list Alcotest.int)) "max" (Some [ 100 ])
+    (Option.map list_of_key (Btree.max_key t))
+
+let () =
+  Alcotest.run "btree"
+    [
+      ("basic",
+       [ Alcotest.test_case "empty tree" `Quick test_empty;
+         Alcotest.test_case "duplicate insert" `Quick test_insert_dup;
+         Alcotest.test_case "width validation" `Quick
+           test_key_width_validation;
+         Alcotest.test_case "min/max" `Quick test_min_max;
+         Alcotest.test_case "negative components" `Quick test_negative_keys ]);
+      ("structure",
+       [ Alcotest.test_case "ascending fill" `Quick test_sequential_ascending;
+         Alcotest.test_case "descending fill + full delete" `Quick
+           test_sequential_descending_then_delete_all;
+         Alcotest.test_case "page free list reuse" `Quick test_page_reuse;
+         Alcotest.test_case "deep tree, wide keys" `Quick
+           test_deep_tree_small_pages ]);
+      ("scans",
+       [ Alcotest.test_case "range bounds" `Quick test_range_scan_bounds;
+         Alcotest.test_case "prefix pads" `Quick test_prefix_pads ]);
+      ("bulk",
+       [ Alcotest.test_case "bulk load = inserts" `Quick
+           test_bulk_load_matches_inserts;
+         Alcotest.test_case "rejects unsorted" `Quick
+           test_bulk_load_rejects_unsorted;
+         Alcotest.test_case "empty bulk" `Quick test_bulk_load_empty ]);
+      ("oracle",
+       [ Alcotest.test_case "random ops vs Set (2k)" `Quick test_random_small;
+         Alcotest.test_case "random ops vs Set (8k)" `Slow test_random_larger;
+         QCheck_alcotest.to_alcotest prop_insert_then_mem ]);
+    ]

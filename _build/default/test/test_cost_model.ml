@@ -1,0 +1,127 @@
+(* Statistics and the plan-choice cost model. *)
+
+module Ivl = Interval.Ivl
+module Ri = Ritree.Ri_tree
+module CM = Ritree.Cost_model
+
+let check = Alcotest.check
+let sorted = List.sort compare
+
+let build ~seed ~n ~len =
+  let rng = Workload.Prng.create ~seed in
+  let db = Relation.Catalog.create () in
+  let tree = Ri.create db in
+  let data = ref [] in
+  for i = 0 to n - 1 do
+    let l = Workload.Prng.int rng 100_000 in
+    let ivl = Ivl.make l (l + Workload.Prng.int rng len) in
+    ignore (Ri.insert ~id:i tree ivl);
+    data := (ivl, i) :: !data
+  done;
+  (rng, db, tree, !data)
+
+let test_estimate_accuracy () =
+  let rng, _, tree, data = build ~seed:111 ~n:5_000 ~len:2_000 in
+  let stats = CM.Stats.analyze tree in
+  check Alcotest.int "row count" 5_000 (CM.Stats.row_count stats);
+  for _ = 1 to 50 do
+    let l = Workload.Prng.int rng 100_000 in
+    let q = Ivl.make l (l + Workload.Prng.int rng 10_000) in
+    let actual =
+      List.length (List.filter (fun (i, _) -> Ivl.intersects i q) data)
+    in
+    let est = CM.Stats.estimate_result_size stats q in
+    (* histogram estimate within 15% of n or 3x of actual *)
+    let tolerance = max 750 (actual * 2) in
+    if abs (est - actual) > tolerance then
+      Alcotest.failf "estimate %d vs actual %d for %s" est actual
+        (Ivl.to_string q)
+  done
+
+let test_estimate_edges () =
+  let _, _, tree, _ = build ~seed:112 ~n:1_000 ~len:1_000 in
+  let stats = CM.Stats.analyze tree in
+  check Alcotest.int "far left" 0
+    (CM.Stats.estimate_result_size stats (Ivl.make (-9_000_000) (-8_000_000)));
+  check Alcotest.int "far right" 0
+    (CM.Stats.estimate_result_size stats (Ivl.make 8_000_000 9_000_000));
+  check Alcotest.int "everything" 1_000
+    (CM.Stats.estimate_result_size stats (Ivl.make (-9_000_000) 9_000_000));
+  check (Alcotest.float 0.001) "selectivity 1" 1.0
+    (CM.Stats.estimate_selectivity stats (Ivl.make (-9_000_000) 9_000_000))
+
+let test_empty_tree () =
+  let db = Relation.Catalog.create () in
+  let tree = Ri.create db in
+  let stats = CM.Stats.analyze tree in
+  check Alcotest.int "empty estimate" 0
+    (CM.Stats.estimate_result_size stats (Ivl.make 0 100));
+  check (Alcotest.list Alcotest.int) "adaptive on empty" []
+    (CM.adaptive_ids tree stats (Ivl.make 0 100))
+
+let test_plan_crossover () =
+  let _, _, tree, _ = build ~seed:113 ~n:20_000 ~len:2_000 in
+  let stats = CM.Stats.analyze tree in
+  (* a needle query wants the index *)
+  check Alcotest.string "selective -> index" "index"
+    (CM.plan_to_string (CM.choose tree stats (Ivl.make 50_000 50_010)));
+  (* a query covering everything wants the scan *)
+  check Alcotest.string "full -> scan" "scan"
+    (CM.plan_to_string (CM.choose tree stats (Ivl.make (-1_000_000) 2_000_000)))
+
+let test_adaptive_correct_both_ways () =
+  let rng, _, tree, data = build ~seed:114 ~n:3_000 ~len:3_000 in
+  let stats = CM.Stats.analyze tree in
+  let oracle q =
+    List.filter_map
+      (fun (i, id) -> if Ivl.intersects i q then Some id else None)
+      data
+    |> sorted
+  in
+  (* mixed batch spanning both regimes *)
+  for _ = 1 to 40 do
+    let l = Workload.Prng.int rng 100_000 in
+    let wide = Workload.Prng.int rng 2 = 0 in
+    let q =
+      if wide then Ivl.make 0 200_000
+      else Ivl.make l (l + Workload.Prng.int rng 500)
+    in
+    check (Alcotest.list Alcotest.int)
+      (Printf.sprintf "adaptive %s" (Ivl.to_string q))
+      (oracle q)
+      (sorted (CM.adaptive_ids tree stats q))
+  done
+
+let test_adaptive_io_not_worse () =
+  let _, db, tree, _ = build ~seed:115 ~n:30_000 ~len:2_000 in
+  let stats = CM.Stats.analyze tree in
+  let everything = Ivl.make (-1_000_000) 2_000_000 in
+  let io f =
+    Relation.Catalog.flush db;
+    Relation.Catalog.drop_cache db;
+    Relation.Catalog.reset_io_stats db;
+    ignore (f ());
+    (Relation.Catalog.io_stats db).Storage.Block_device.Stats.reads
+  in
+  let via_index = io (fun () -> Ri.intersecting_ids tree everything) in
+  let via_adaptive = io (fun () -> CM.adaptive_ids tree stats everything) in
+  check Alcotest.bool
+    (Printf.sprintf "scan (%d) beats index plan (%d) at selectivity 1"
+       via_adaptive via_index)
+    true
+    (via_adaptive < via_index)
+
+let () =
+  Alcotest.run "cost_model"
+    [
+      ("stats",
+       [ Alcotest.test_case "estimate accuracy" `Quick test_estimate_accuracy;
+         Alcotest.test_case "edge estimates" `Quick test_estimate_edges;
+         Alcotest.test_case "empty tree" `Quick test_empty_tree ]);
+      ("planning",
+       [ Alcotest.test_case "plan crossover" `Quick test_plan_crossover;
+         Alcotest.test_case "adaptive correctness" `Quick
+           test_adaptive_correct_both_ways;
+         Alcotest.test_case "adaptive wins at full selectivity" `Quick
+           test_adaptive_io_not_worse ]);
+    ]

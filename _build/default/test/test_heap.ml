@@ -1,0 +1,102 @@
+(* Slotted-page heap files. *)
+
+module Heap = Relation.Heap
+
+let check = Alcotest.check
+
+let mk_pool () =
+  Storage.Buffer_pool.create ~capacity:64
+    (Storage.Block_device.create ~block_size:256 ())
+
+let row = Alcotest.array Alcotest.int
+
+let test_insert_fetch () =
+  let h = Heap.create (mk_pool ()) ~row_width:3 in
+  let r1 = Heap.insert h [| 1; 2; 3 |] in
+  let r2 = Heap.insert h [| 4; 5; 6 |] in
+  check Alcotest.bool "distinct rowids" true (r1 <> r2);
+  check (Alcotest.option row) "fetch r1" (Some [| 1; 2; 3 |]) (Heap.fetch h r1);
+  check (Alcotest.option row) "fetch r2" (Some [| 4; 5; 6 |]) (Heap.fetch h r2);
+  check (Alcotest.option row) "dangling" None (Heap.fetch h (r2 + 999));
+  check Alcotest.int "count" 2 (Heap.count h);
+  Heap.check_invariants h
+
+let test_width_validation () =
+  let h = Heap.create (mk_pool ()) ~row_width:2 in
+  Alcotest.check_raises "bad width"
+    (Invalid_argument "Heap.insert: row width 3, expected 2") (fun () ->
+      ignore (Heap.insert h [| 1; 2; 3 |]))
+
+let test_delete_and_slot_reuse () =
+  let h = Heap.create (mk_pool ()) ~row_width:2 in
+  let rids = List.init 100 (fun i -> Heap.insert h [| i; i |]) in
+  let victim = List.nth rids 50 in
+  check Alcotest.bool "delete" true (Heap.delete h victim);
+  check Alcotest.bool "double delete" false (Heap.delete h victim);
+  check (Alcotest.option row) "gone" None (Heap.fetch h victim);
+  check Alcotest.int "count" 99 (Heap.count h);
+  (* the freed slot is reused by the next insertion *)
+  let fresh = Heap.insert h [| 777; 888 |] in
+  check Alcotest.int "slot reused" victim fresh;
+  check (Alcotest.option row) "new content" (Some [| 777; 888 |])
+    (Heap.fetch h fresh);
+  Heap.check_invariants h
+
+let test_no_growth_under_churn () =
+  let h = Heap.create (mk_pool ()) ~row_width:2 in
+  let rid = ref (Heap.insert h [| 0; 0 |]) in
+  let pages0 = Heap.page_count h in
+  for i = 1 to 10_000 do
+    ignore (Heap.delete h !rid);
+    rid := Heap.insert h [| i; i |]
+  done;
+  check Alcotest.int "pages stable" pages0 (Heap.page_count h);
+  check Alcotest.int "count" 1 (Heap.count h)
+
+let test_update () =
+  let h = Heap.create (mk_pool ()) ~row_width:2 in
+  let rid = Heap.insert h [| 1; 1 |] in
+  check Alcotest.bool "update" true (Heap.update h rid [| 9; 9 |]);
+  check (Alcotest.option row) "updated" (Some [| 9; 9 |]) (Heap.fetch h rid);
+  ignore (Heap.delete h rid);
+  check Alcotest.bool "update deleted" false (Heap.update h rid [| 5; 5 |])
+
+let test_iter_order_and_fold () =
+  let h = Heap.create (mk_pool ()) ~row_width:1 in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    ignore (Heap.insert h [| i |])
+  done;
+  let seen = ref [] in
+  Heap.iter h (fun _ r -> seen := r.(0) :: !seen);
+  check (Alcotest.list Alcotest.int) "page order = insertion order"
+    (List.init n Fun.id) (List.rev !seen);
+  let total = Heap.fold h (fun acc _ r -> acc + r.(0)) 0 in
+  check Alcotest.int "fold" (n * (n - 1) / 2) total;
+  check Alcotest.bool "multiple pages" true (Heap.page_count h > 1);
+  Heap.check_invariants h
+
+let test_iter_skips_deleted () =
+  let h = Heap.create (mk_pool ()) ~row_width:1 in
+  let rids = List.init 10 (fun i -> Heap.insert h [| i |]) in
+  List.iteri (fun i rid -> if i mod 2 = 0 then ignore (Heap.delete h rid)) rids;
+  let seen = ref [] in
+  Heap.iter h (fun _ r -> seen := r.(0) :: !seen);
+  check (Alcotest.list Alcotest.int) "odd survivors" [ 1; 3; 5; 7; 9 ]
+    (List.rev !seen)
+
+let () =
+  Alcotest.run "heap"
+    [
+      ("heap",
+       [ Alcotest.test_case "insert/fetch" `Quick test_insert_fetch;
+         Alcotest.test_case "width validation" `Quick test_width_validation;
+         Alcotest.test_case "delete + slot reuse" `Quick
+           test_delete_and_slot_reuse;
+         Alcotest.test_case "no growth under churn" `Quick
+           test_no_growth_under_churn;
+         Alcotest.test_case "update in place" `Quick test_update;
+         Alcotest.test_case "iter/fold order" `Quick test_iter_order_and_fold;
+         Alcotest.test_case "iter skips deleted" `Quick
+           test_iter_skips_deleted ]);
+    ]

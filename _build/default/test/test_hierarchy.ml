@@ -1,0 +1,103 @@
+(* Interval-encoded type hierarchies over the RI-tree. *)
+
+module TH = Hierarchy.Type_hierarchy
+
+let check = Alcotest.check
+
+let build () =
+  let db = Relation.Catalog.create () in
+  let t = TH.create ~root:"object" db in
+  List.iter
+    (fun (parent, child) -> TH.add t ~parent child)
+    [ ("object", "number"); ("object", "text"); ("number", "int");
+      ("number", "float"); ("int", "int32"); ("int", "int64");
+      ("text", "varchar"); ("text", "clob") ];
+  t
+
+let test_structure () =
+  let t = build () in
+  check Alcotest.int "count" 9 (TH.type_count t);
+  check Alcotest.bool "mem" true (TH.mem t "float");
+  check Alcotest.bool "not mem" false (TH.mem t "bool")
+
+let test_is_subtype () =
+  let t = build () in
+  check Alcotest.bool "int32 <: number" true
+    (TH.is_subtype t ~sub:"int32" ~super:"number");
+  check Alcotest.bool "int32 <: object" true
+    (TH.is_subtype t ~sub:"int32" ~super:"object");
+  check Alcotest.bool "reflexive" true (TH.is_subtype t ~sub:"int" ~super:"int");
+  check Alcotest.bool "not int <: text" false
+    (TH.is_subtype t ~sub:"int" ~super:"text");
+  check Alcotest.bool "not super <: sub" false
+    (TH.is_subtype t ~sub:"number" ~super:"int")
+
+let test_subtypes_supertypes () =
+  let t = build () in
+  check (Alcotest.list Alcotest.string) "subtypes of number"
+    [ "float"; "int"; "int32"; "int64"; "number" ]
+    (TH.subtypes t "number");
+  check (Alcotest.list Alcotest.string) "subtypes of a leaf" [ "clob" ]
+    (TH.subtypes t "clob");
+  check (Alcotest.list Alcotest.string) "supertypes of int32"
+    [ "int"; "int32"; "number"; "object" ]
+    (TH.supertypes t "int32");
+  check (Alcotest.list Alcotest.string) "root's supertypes" [ "object" ]
+    (TH.supertypes t "object")
+
+let test_common_supertype () =
+  let t = build () in
+  check Alcotest.string "lca int32/int64" "int"
+    (TH.common_supertype t "int32" "int64");
+  check Alcotest.string "lca int32/float" "number"
+    (TH.common_supertype t "int32" "float");
+  check Alcotest.string "lca int/clob" "object"
+    (TH.common_supertype t "int" "clob");
+  check Alcotest.string "lca with self" "int"
+    (TH.common_supertype t "int" "int");
+  check Alcotest.string "lca with ancestor" "number"
+    (TH.common_supertype t "int32" "number")
+
+let test_validation () =
+  let t = build () in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Type_hierarchy.add: int exists") (fun () ->
+      TH.add t ~parent:"object" "int");
+  Alcotest.check_raises "unknown parent"
+    (Invalid_argument "Type_hierarchy.add: unknown parent ghost") (fun () ->
+      TH.add t ~parent:"ghost" "child")
+
+let test_deep_and_wide () =
+  let db = Relation.Catalog.create () in
+  let t = TH.create ~root:"r" db in
+  (* a deep chain *)
+  let prev = ref "r" in
+  for i = 1 to 15 do
+    let name = Printf.sprintf "d%d" i in
+    TH.add t ~parent:!prev name;
+    prev := name
+  done;
+  (* a wide fan *)
+  for i = 1 to 30 do
+    TH.add t ~parent:"r" (Printf.sprintf "w%d" i)
+  done;
+  check Alcotest.bool "deep chain subtypes" true
+    (TH.is_subtype t ~sub:"d15" ~super:"r");
+  check Alcotest.int "supertype path length" 16
+    (List.length (TH.supertypes t "d15"));
+  check Alcotest.int "fan is flat" 1 (List.length (TH.subtypes t "w7"));
+  check Alcotest.string "lca across the fan" "r"
+    (TH.common_supertype t "w3" "d15")
+
+let () =
+  Alcotest.run "hierarchy"
+    [
+      ("types",
+       [ Alcotest.test_case "structure" `Quick test_structure;
+         Alcotest.test_case "is_subtype" `Quick test_is_subtype;
+         Alcotest.test_case "subtypes/supertypes" `Quick
+           test_subtypes_supertypes;
+         Alcotest.test_case "common supertype" `Quick test_common_supertype;
+         Alcotest.test_case "validation" `Quick test_validation;
+         Alcotest.test_case "deep and wide" `Quick test_deep_and_wide ]);
+    ]

@@ -1,0 +1,203 @@
+(* Interval algebra: Ivl, Allen relations, Temporal bounds. *)
+
+module Ivl = Interval.Ivl
+module Allen = Interval.Allen
+module Temporal = Interval.Temporal
+
+let check = Alcotest.check
+let ivl = Alcotest.testable Ivl.pp Ivl.equal
+
+(* All intervals over a small domain, points included. *)
+let small_domain n =
+  List.concat
+    (List.init n (fun l ->
+         List.filter_map
+           (fun u -> if l <= u then Some (Ivl.make l u) else None)
+           (List.init n Fun.id)))
+
+let qcheck_ivl ?(bound = 10_000) () =
+  QCheck.map
+    (fun (a, len) -> Ivl.make a (a + len))
+    QCheck.(pair (int_range (-bound) bound) (int_range 0 bound))
+
+(* ---- Ivl basics ---- *)
+
+let test_make_validates () =
+  Alcotest.check_raises "lower > upper" (Invalid_argument
+    "Ivl.make: lower 3 exceeds upper 2")
+    (fun () -> ignore (Ivl.make 3 2));
+  check ivl "point" (Ivl.point 5) (Ivl.make 5 5)
+
+let test_accessors () =
+  let i = Ivl.make (-3) 7 in
+  check Alcotest.int "lower" (-3) (Ivl.lower i);
+  check Alcotest.int "upper" 7 (Ivl.upper i);
+  check Alcotest.int "length" 10 (Ivl.length i);
+  check Alcotest.bool "point?" false (Ivl.is_point i);
+  check Alcotest.bool "point yes" true (Ivl.is_point (Ivl.point 0))
+
+let test_contains () =
+  let i = Ivl.make 2 5 in
+  List.iter
+    (fun (p, expect) ->
+      check Alcotest.bool (Printf.sprintf "contains %d" p) expect
+        (Ivl.contains i p))
+    [ (1, false); (2, true); (3, true); (5, true); (6, false) ]
+
+let test_intersection_hull () =
+  let a = Ivl.make 0 5 and b = Ivl.make 3 9 and c = Ivl.make 7 8 in
+  check (Alcotest.option ivl) "a^b" (Some (Ivl.make 3 5)) (Ivl.intersection a b);
+  check (Alcotest.option ivl) "a^c" None (Ivl.intersection a c);
+  check ivl "hull" (Ivl.make 0 9) (Ivl.hull a b);
+  check Alcotest.bool "subset" true (Ivl.subset (Ivl.make 4 5) a);
+  check Alcotest.bool "not subset" false (Ivl.subset b a);
+  check ivl "shift" (Ivl.make 10 15) (Ivl.shift a 10)
+
+let test_touching_intersect () =
+  (* closed intervals sharing one point intersect *)
+  check Alcotest.bool "touch" true
+    (Ivl.intersects (Ivl.make 0 5) (Ivl.make 5 9));
+  check Alcotest.bool "gap" false
+    (Ivl.intersects (Ivl.make 0 5) (Ivl.make 6 9))
+
+let prop_intersects_symmetric =
+  QCheck.Test.make ~count:500 ~name:"intersects symmetric"
+    (QCheck.pair (qcheck_ivl ()) (qcheck_ivl ()))
+    (fun (a, b) -> Ivl.intersects a b = Ivl.intersects b a)
+
+let prop_intersection_sound =
+  QCheck.Test.make ~count:500 ~name:"intersection agrees with intersects"
+    (QCheck.pair (qcheck_ivl ()) (qcheck_ivl ()))
+    (fun (a, b) ->
+      match Ivl.intersection a b with
+      | Some i ->
+          Ivl.intersects a b && Ivl.subset i a && Ivl.subset i b
+      | None -> not (Ivl.intersects a b))
+
+let test_compare_order () =
+  let sorted =
+    List.sort Ivl.compare [ Ivl.make 3 4; Ivl.make 1 9; Ivl.make 1 2 ]
+  in
+  check (Alcotest.list ivl) "lexicographic"
+    [ Ivl.make 1 2; Ivl.make 1 9; Ivl.make 3 4 ]
+    sorted
+
+(* ---- Allen relations ---- *)
+
+let test_allen_partition_exhaustive () =
+  (* The 13 relations partition all pairs over a small domain — the
+     convention for degenerate intervals included. *)
+  let all = small_domain 7 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let holding = List.filter (fun r -> Allen.holds r a b) Allen.all in
+          if List.length holding <> 1 then
+            Alcotest.failf "%s vs %s: %d relations hold (%s)"
+              (Ivl.to_string a) (Ivl.to_string b) (List.length holding)
+              (String.concat "," (List.map Allen.to_string holding)))
+        all)
+    all
+
+let test_allen_examples () =
+  let r a b = Allen.relate (Ivl.of_pair a) (Ivl.of_pair b) in
+  let open Allen in
+  check (Alcotest.testable Allen.pp ( = )) "before" Before (r (0, 2) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "meets" Meets (r (0, 4) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "overlaps" Overlaps (r (0, 5) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "finished-by" Finished_by (r (0, 6) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "contains" Contains (r (0, 7) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "starts" Starts (r (4, 5) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "equals" Equals (r (4, 6) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "started-by" Started_by (r (4, 8) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "during" During (r (5, 5) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "finishes" Finishes (r (5, 6) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "overlapped-by" Overlapped_by (r (5, 8) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "met-by" Met_by (r (6, 8) (4, 6));
+  check (Alcotest.testable Allen.pp ( = )) "after" After (r (7, 8) (4, 6))
+
+let prop_allen_inverse =
+  QCheck.Test.make ~count:1000 ~name:"inverse relation"
+    (QCheck.pair (qcheck_ivl ~bound:40 ()) (qcheck_ivl ~bound:40 ()))
+    (fun (a, b) ->
+      let r = Allen.relate a b in
+      Allen.holds (Allen.inverse r) b a)
+
+let prop_allen_intersection =
+  QCheck.Test.make ~count:1000
+    ~name:"intersects iff relation implies intersection"
+    (QCheck.pair (qcheck_ivl ~bound:40 ()) (qcheck_ivl ~bound:40 ()))
+    (fun (a, b) ->
+      Ivl.intersects a b = Allen.implies_intersection (Allen.relate a b))
+
+let test_allen_string_roundtrip () =
+  List.iter
+    (fun r ->
+      check
+        (Alcotest.option (Alcotest.testable Allen.pp ( = )))
+        (Allen.to_string r) (Some r)
+        (Allen.of_string (Allen.to_string r)))
+    Allen.all;
+  check
+    (Alcotest.option (Alcotest.testable Allen.pp ( = )))
+    "unknown" None (Allen.of_string "sideways")
+
+(* ---- Temporal ---- *)
+
+let test_temporal_resolve () =
+  let fin = Temporal.make 5 (Finite 10) in
+  let now_iv = Temporal.make 5 Now in
+  let inf = Temporal.make 5 Infinity in
+  check (Alcotest.option ivl) "finite" (Some (Ivl.make 5 10))
+    (Temporal.resolve ~now:7 fin);
+  check (Alcotest.option ivl) "now" (Some (Ivl.make 5 7))
+    (Temporal.resolve ~now:7 now_iv);
+  check (Alcotest.option ivl) "now before start" None
+    (Temporal.resolve ~now:4 now_iv);
+  check (Alcotest.option ivl) "infinity"
+    (Some (Ivl.make 5 Temporal.infinity_sentinel))
+    (Temporal.resolve ~now:7 inf)
+
+let test_temporal_validates () =
+  Alcotest.check_raises "upper < lower"
+    (Invalid_argument "Temporal.make: upper 3 precedes lower 5") (fun () ->
+      ignore (Temporal.make 5 (Finite 3)))
+
+let test_temporal_intersects () =
+  let now_iv = Temporal.make 10 Now in
+  check Alcotest.bool "grown" true
+    (Temporal.intersects ~now:50 now_iv (Ivl.make 40 60));
+  check Alcotest.bool "not yet" false
+    (Temporal.intersects ~now:30 now_iv (Ivl.make 40 60));
+  check Alcotest.bool "not valid yet" false
+    (Temporal.intersects ~now:5 now_iv (Ivl.make 0 100))
+
+let () =
+  Alcotest.run "interval"
+    [
+      ("ivl",
+       [ Alcotest.test_case "make validates" `Quick test_make_validates;
+         Alcotest.test_case "accessors" `Quick test_accessors;
+         Alcotest.test_case "contains" `Quick test_contains;
+         Alcotest.test_case "intersection/hull/subset/shift" `Quick
+           test_intersection_hull;
+         Alcotest.test_case "touching intervals intersect" `Quick
+           test_touching_intersect;
+         Alcotest.test_case "compare is lexicographic" `Quick
+           test_compare_order;
+         QCheck_alcotest.to_alcotest prop_intersects_symmetric;
+         QCheck_alcotest.to_alcotest prop_intersection_sound ]);
+      ("allen",
+       [ Alcotest.test_case "13 relations partition all pairs" `Quick
+           test_allen_partition_exhaustive;
+         Alcotest.test_case "canonical examples" `Quick test_allen_examples;
+         Alcotest.test_case "string round-trip" `Quick
+           test_allen_string_roundtrip;
+         QCheck_alcotest.to_alcotest prop_allen_inverse;
+         QCheck_alcotest.to_alcotest prop_allen_intersection ]);
+      ("temporal",
+       [ Alcotest.test_case "resolve" `Quick test_temporal_resolve;
+         Alcotest.test_case "validation" `Quick test_temporal_validates;
+         Alcotest.test_case "intersects" `Quick test_temporal_intersects ]);
+    ]

@@ -1,0 +1,90 @@
+(* Query operators. *)
+
+module Iter = Relation.Iter
+module Table = Relation.Table
+module Catalog = Relation.Catalog
+
+let check = Alcotest.check
+let rows = Alcotest.list (Alcotest.array Alcotest.int)
+
+let test_of_list_and_sinks () =
+  let it = Iter.of_list [ [| 1 |]; [| 2 |]; [| 3 |] ] in
+  check rows "to_list" [ [| 1 |]; [| 2 |]; [| 3 |] ] (Iter.to_list it);
+  check Alcotest.int "count" 2 (Iter.count (Iter.of_list [ [| 1 |]; [| 2 |] ]));
+  check Alcotest.int "fold" 6
+    (Iter.fold (fun a r -> a + r.(0)) 0 (Iter.of_array [| [| 1 |]; [| 2 |]; [| 3 |] |]));
+  check rows "empty" [] (Iter.to_list Iter.empty)
+
+let test_map_filter_project () =
+  let it () = Iter.of_list [ [| 1; 10 |]; [| 2; 20 |]; [| 3; 30 |] ] in
+  check rows "map" [ [| 2 |]; [| 4 |]; [| 6 |] ]
+    (Iter.to_list (Iter.map (fun r -> [| 2 * r.(0) |]) (it ())));
+  check rows "filter" [ [| 2; 20 |] ]
+    (Iter.to_list (Iter.filter (fun r -> r.(0) = 2) (it ())));
+  check rows "project" [ [| 10; 1 |]; [| 20; 2 |]; [| 30; 3 |] ]
+    (Iter.to_list (Iter.project [| 1; 0 |] (it ())))
+
+let test_union_all_nested_loop () =
+  let a = Iter.of_list [ [| 1 |] ] and b = Iter.of_list [ [| 2 |]; [| 3 |] ] in
+  check rows "union_all" [ [| 1 |]; [| 2 |]; [| 3 |] ]
+    (Iter.to_list (Iter.union_all [ a; Iter.empty; b ]));
+  let nl =
+    Iter.nested_loop
+      ~outer:(Iter.of_list [ [| 1 |]; [| 2 |] ])
+      ~inner:(fun o -> Iter.of_list [ [| o.(0); 0 |]; [| o.(0); 1 |] ])
+  in
+  check rows "nested loop"
+    [ [| 1; 0 |]; [| 1; 1 |]; [| 2; 0 |]; [| 2; 1 |] ]
+    (Iter.to_list nl)
+
+let test_distinct_by () =
+  let it = Iter.of_list [ [| 1 |]; [| 2 |]; [| 1 |]; [| 3 |]; [| 2 |] ] in
+  check rows "distinct" [ [| 1 |]; [| 2 |]; [| 3 |] ]
+    (Iter.to_list (Iter.distinct_by (fun r -> r.(0)) it))
+
+let test_index_range_and_fetch () =
+  let db = Catalog.create ~block_size:256 () in
+  let t = Catalog.create_table db ~name:"t" ~columns:[ "k"; "v" ] in
+  let idx = Table.create_index t ~name:"k" ~columns:[ "k" ] in
+  for i = 0 to 19 do
+    ignore (Table.insert t [| i mod 5; 100 + i |])
+  done;
+  (* entries (k, rowid) for k = 2 *)
+  let entries = Iter.to_list (Iter.index_prefix idx ~prefix:[ 2 ]) in
+  check Alcotest.int "4 entries" 4 (List.length entries);
+  List.iter (fun e -> check Alcotest.int "key" 2 e.(0)) entries;
+  (* fetch resolves rowids to base rows *)
+  let base =
+    Iter.to_list (Iter.fetch t (Iter.index_prefix idx ~prefix:[ 2 ]))
+  in
+  List.iter (fun r -> check Alcotest.int "base k" 2 r.(0)) base;
+  check Alcotest.int "4 rows" 4 (List.length base);
+  (* heap_scan appends the rowid *)
+  let scanned = Iter.to_list (Iter.heap_scan t) in
+  check Alcotest.int "scan all" 20 (List.length scanned);
+  check Alcotest.int "width+1" 3 (Array.length (List.hd scanned))
+
+let test_fetch_skips_dangling () =
+  let db = Catalog.create ~block_size:256 () in
+  let t = Catalog.create_table db ~name:"t" ~columns:[ "k" ] in
+  let rid = Table.insert t [| 1 |] in
+  ignore (Table.insert t [| 2 |]);
+  ignore (Relation.Heap.delete (Table.heap t) rid);
+  let out = Iter.to_list (Iter.fetch t (Iter.of_list [ [| rid |]; [| rid + 1 |] ])) in
+  check rows "only live row" [ [| 2 |] ] out
+
+let () =
+  Alcotest.run "iter"
+    [
+      ("operators",
+       [ Alcotest.test_case "sources and sinks" `Quick test_of_list_and_sinks;
+         Alcotest.test_case "map/filter/project" `Quick
+           test_map_filter_project;
+         Alcotest.test_case "union_all / nested_loop" `Quick
+           test_union_all_nested_loop;
+         Alcotest.test_case "distinct_by" `Quick test_distinct_by;
+         Alcotest.test_case "index_range + fetch" `Quick
+           test_index_range_and_fetch;
+         Alcotest.test_case "fetch skips dangling rowids" `Quick
+           test_fetch_skips_dangling ]);
+    ]

@@ -1,0 +1,109 @@
+(* Period sets: the interval-set algebra, model-checked against boolean
+   membership over a small domain. *)
+
+module Ivl = Interval.Ivl
+module PS = Interval.Period_set
+
+let check = Alcotest.check
+
+(* model: a period set over domain [0, 63] is its membership vector *)
+let domain = 64
+
+let model_of ps = Array.init domain (fun p -> PS.mem p ps)
+
+let qcheck_ps =
+  QCheck.map
+    (fun spec ->
+      PS.of_list
+        (List.map
+           (fun (a, len) ->
+             let a = a mod domain in
+             Ivl.make a (min (domain - 1) (a + (len mod 8))))
+           spec))
+    QCheck.(small_list (pair (int_range 0 (domain - 1)) (int_range 0 7)))
+
+let agree name f_set f_bool =
+  QCheck.Test.make ~count:500 ~name (QCheck.pair qcheck_ps qcheck_ps)
+    (fun (a, b) ->
+      let s = f_set a b in
+      let ma = model_of a and mb = model_of b in
+      let expected = Array.init domain (fun p -> f_bool ma.(p) mb.(p)) in
+      model_of s = expected)
+
+let prop_union = agree "union = or" PS.union ( || )
+let prop_inter = agree "inter = and" PS.inter ( && )
+let prop_diff = agree "diff = and-not" PS.diff (fun x y -> x && not y)
+
+let prop_canonical =
+  QCheck.Test.make ~count:500 ~name:"canonical form"
+    (QCheck.pair qcheck_ps qcheck_ps)
+    (fun (a, b) ->
+      let check_form ps =
+        let rec go = function
+          | x :: (y :: _ as rest) ->
+              Ivl.upper x + 1 < Ivl.lower y && go rest
+          | _ -> true
+        in
+        go (PS.to_list ps)
+      in
+      check_form (PS.union a b) && check_form (PS.inter a b)
+      && check_form (PS.diff a b))
+
+let prop_complement_involution =
+  QCheck.Test.make ~count:500 ~name:"complement twice = restriction"
+    qcheck_ps
+    (fun a ->
+      let u = Ivl.make 0 (domain - 1) in
+      let a' = PS.inter a (PS.singleton u) in
+      PS.equal a' (PS.complement_within u (PS.complement_within u a')))
+
+let prop_cardinal =
+  QCheck.Test.make ~count:500 ~name:"cardinal = covered points" qcheck_ps
+    (fun a ->
+      PS.cardinal a
+      = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0
+          (model_of a))
+
+let test_basics () =
+  let ps = PS.of_list [ Ivl.make 5 9; Ivl.make 0 2; Ivl.make 10 12 ] in
+  (* 5-9 and 10-12 are adjacent: coalesced *)
+  check Alcotest.int "intervals" 2 (PS.interval_count ps);
+  check
+    (Alcotest.list (Alcotest.testable Ivl.pp Ivl.equal))
+    "canonical"
+    [ Ivl.make 0 2; Ivl.make 5 12 ]
+    (PS.to_list ps);
+  check Alcotest.bool "mem" true (PS.mem 11 ps);
+  check Alcotest.bool "not mem" false (PS.mem 3 ps);
+  check Alcotest.bool "intersects" true (PS.intersects ps (Ivl.make 3 5));
+  check Alcotest.bool "no intersect" false (PS.intersects ps (Ivl.make 3 4));
+  check Alcotest.int "cardinal" 11 (PS.cardinal ps);
+  check
+    (Alcotest.option (Alcotest.testable Ivl.pp Ivl.equal))
+    "hull" (Some (Ivl.make 0 12)) (PS.hull ps);
+  check Alcotest.bool "empty" true (PS.is_empty PS.empty);
+  check Alcotest.bool "subset" true
+    (PS.subset (PS.singleton (Ivl.make 6 8)) ps)
+
+let test_diff_carving () =
+  let a = PS.singleton (Ivl.make 0 20) in
+  let b = PS.of_list [ Ivl.make 3 5; Ivl.make 10 12; Ivl.make 19 30 ] in
+  check
+    (Alcotest.list (Alcotest.testable Ivl.pp Ivl.equal))
+    "carved"
+    [ Ivl.make 0 2; Ivl.make 6 9; Ivl.make 13 18 ]
+    (PS.to_list (PS.diff a b))
+
+let () =
+  Alcotest.run "period_set"
+    [
+      ("algebra",
+       [ Alcotest.test_case "basics" `Quick test_basics;
+         Alcotest.test_case "diff carving" `Quick test_diff_carving;
+         QCheck_alcotest.to_alcotest prop_union;
+         QCheck_alcotest.to_alcotest prop_inter;
+         QCheck_alcotest.to_alcotest prop_diff;
+         QCheck_alcotest.to_alcotest prop_canonical;
+         QCheck_alcotest.to_alcotest prop_complement_involution;
+         QCheck_alcotest.to_alcotest prop_cardinal ]);
+    ]

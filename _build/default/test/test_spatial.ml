@@ -1,0 +1,174 @@
+(* Z-order curve and the spatial window-query index. *)
+
+module Z = Spatial.Zcurve
+module SI = Spatial.Spatial_index
+module Ivl = Interval.Ivl
+
+let check = Alcotest.check
+
+let rect x0 y0 x1 y1 = { Z.x0; y0; x1; y1 }
+
+let rects_intersect a b =
+  a.Z.x0 <= b.Z.x1 && b.Z.x0 <= a.Z.x1 && a.Z.y0 <= b.Z.y1 && b.Z.y0 <= a.Z.y1
+
+(* ---- curve ---- *)
+
+let test_encode_decode_roundtrip () =
+  let bits = 8 in
+  let rng = Workload.Prng.create ~seed:101 in
+  for _ = 1 to 500 do
+    let x = Workload.Prng.int rng 256 and y = Workload.Prng.int rng 256 in
+    let z = Z.encode ~bits x y in
+    check (Alcotest.pair Alcotest.int Alcotest.int) "roundtrip" (x, y)
+      (Z.decode ~bits z)
+  done;
+  Alcotest.check_raises "outside grid"
+    (Invalid_argument "Zcurve.encode: (256, 0) outside the 256x256 grid")
+    (fun () -> ignore (Z.encode ~bits 256 0))
+
+let test_encode_locality () =
+  (* within a quadrant, curve values stay within the quadrant's range *)
+  let bits = 4 in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      check Alcotest.bool "lower-left quadrant = first quarter" true
+        (Z.encode ~bits x y < 64)
+    done
+  done
+
+let brute_cells ~bits r =
+  ignore bits;
+  let acc = ref [] in
+  for x = r.Z.x0 to r.Z.x1 do
+    for y = r.Z.y0 to r.Z.y1 do
+      acc := Z.encode ~bits x y :: !acc
+    done
+  done;
+  List.sort_uniq compare !acc
+
+let segments_cells segs =
+  List.concat_map
+    (fun seg -> List.init (Ivl.length seg + 1) (fun i -> Ivl.lower seg + i))
+    segs
+
+let test_rect_segments_exact () =
+  let bits = 5 in
+  let rng = Workload.Prng.create ~seed:102 in
+  for _ = 1 to 300 do
+    let x0 = Workload.Prng.int rng 32 and y0 = Workload.Prng.int rng 32 in
+    let x1 = min 31 (x0 + Workload.Prng.int rng 12) in
+    let y1 = min 31 (y0 + Workload.Prng.int rng 12) in
+    let r = rect x0 y0 x1 y1 in
+    let segs = Z.rect_segments ~bits r in
+    (* exact cover *)
+    check (Alcotest.list Alcotest.int) "covers exactly the cells"
+      (brute_cells ~bits r)
+      (List.sort compare (segments_cells segs));
+    (* ascending, merged (maximal) *)
+    let rec ordered = function
+      | a :: (b :: _ as rest) ->
+          if Ivl.upper a + 1 >= Ivl.lower b then
+            Alcotest.failf "segments not maximal/ordered: %s then %s"
+              (Ivl.to_string a) (Ivl.to_string b);
+          ordered rest
+      | _ -> ()
+    in
+    ordered segs
+  done
+
+let test_full_grid_is_one_segment () =
+  let bits = 6 in
+  match Z.rect_segments ~bits (rect 0 0 63 63) with
+  | [ seg ] ->
+      check Alcotest.int "lo" 0 (Ivl.lower seg);
+      check Alcotest.int "hi" 4095 (Ivl.upper seg)
+  | l -> Alcotest.failf "expected one segment, got %d" (List.length l)
+
+let test_segment_count_reasonable () =
+  let bits = 10 in
+  let r = rect 100 200 400 300 in
+  let segs = Z.rect_segments ~bits r in
+  check Alcotest.bool
+    (Printf.sprintf "%d segments within bound" (List.length segs))
+    true
+    (List.length segs <= Z.segment_count_bound ~bits r)
+
+(* ---- spatial index ---- *)
+
+let test_window_queries_vs_oracle () =
+  let bits = 7 in
+  let side = 1 lsl bits in
+  let rng = Workload.Prng.create ~seed:103 in
+  let db = Relation.Catalog.create () in
+  let idx = SI.create ~bits db in
+  let objects = ref [] in
+  for i = 0 to 149 do
+    let x0 = Workload.Prng.int rng side and y0 = Workload.Prng.int rng side in
+    let r =
+      rect x0 y0
+        (min (side - 1) (x0 + Workload.Prng.int rng 20))
+        (min (side - 1) (y0 + Workload.Prng.int rng 20))
+    in
+    ignore (SI.insert ~id:i idx r);
+    objects := (r, i) :: !objects
+  done;
+  check Alcotest.int "count" 150 (SI.count idx);
+  check Alcotest.bool "segments >= objects" true
+    (SI.segment_count idx >= 150);
+  for _ = 1 to 100 do
+    let x0 = Workload.Prng.int rng side and y0 = Workload.Prng.int rng side in
+    let w =
+      rect x0 y0
+        (min (side - 1) (x0 + Workload.Prng.int rng 30))
+        (min (side - 1) (y0 + Workload.Prng.int rng 30))
+    in
+    let expected =
+      List.filter_map
+        (fun (r, id) -> if rects_intersect r w then Some id else None)
+        !objects
+      |> List.sort compare
+    in
+    let got = SI.window_ids idx w in
+    if got <> expected then
+      Alcotest.failf "window (%d,%d)-(%d,%d): %d vs %d" w.Z.x0 w.Z.y0 w.Z.x1
+        w.Z.y1 (List.length got) (List.length expected)
+  done
+
+let test_point_queries () =
+  let db = Relation.Catalog.create () in
+  let idx = SI.create ~bits:6 db in
+  let a = SI.insert idx (rect 0 0 10 10) in
+  let b = SI.insert idx (rect 5 5 20 20) in
+  check (Alcotest.list Alcotest.int) "corner overlap" [ a; b ]
+    (SI.point_ids idx 7 7);
+  check (Alcotest.list Alcotest.int) "only a" [ a ] (SI.point_ids idx 0 0);
+  check (Alcotest.list Alcotest.int) "nobody" [] (SI.point_ids idx 40 40)
+
+let test_delete () =
+  let db = Relation.Catalog.create () in
+  let idx = SI.create ~bits:6 db in
+  let r = rect 3 3 9 12 in
+  let id = SI.insert idx r in
+  check Alcotest.bool "delete" true (SI.delete idx ~id r);
+  check Alcotest.int "gone" 0 (SI.count idx);
+  check Alcotest.int "segments gone" 0 (SI.segment_count idx);
+  check (Alcotest.list Alcotest.int) "no hits" [] (SI.point_ids idx 5 5)
+
+let () =
+  Alcotest.run "spatial"
+    [
+      ("zcurve",
+       [ Alcotest.test_case "encode/decode roundtrip" `Quick
+           test_encode_decode_roundtrip;
+         Alcotest.test_case "locality" `Quick test_encode_locality;
+         Alcotest.test_case "rect decomposition exact + maximal" `Quick
+           test_rect_segments_exact;
+         Alcotest.test_case "full grid" `Quick test_full_grid_is_one_segment;
+         Alcotest.test_case "segment count bound" `Quick
+           test_segment_count_reasonable ]);
+      ("index",
+       [ Alcotest.test_case "window queries vs oracle" `Quick
+           test_window_queries_vs_oracle;
+         Alcotest.test_case "point queries" `Quick test_point_queries;
+         Alcotest.test_case "delete" `Quick test_delete ]);
+    ]

@@ -1,0 +1,432 @@
+(* SQL front end: lexer, parser, planner/executor, EXPLAIN. *)
+
+module L = Sqlfront.Lexer
+module P = Sqlfront.Parser
+module A = Sqlfront.Ast
+module E = Sqlfront.Engine
+
+let check = Alcotest.check
+let rows = Alcotest.list (Alcotest.array Alcotest.int)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- lexer ---- *)
+
+let test_lexer_tokens () =
+  let toks = L.tokenize "SELECT a.b, 42 FROM t WHERE x >= :lo -- comment" in
+  check Alcotest.int "token count" 12 (List.length toks);
+  check Alcotest.string "roundtrip"
+    "SELECT a . b , 42 FROM t WHERE x >= :lo"
+    (String.concat " " (List.map L.token_to_string toks))
+
+let test_lexer_operators () =
+  let toks = L.tokenize "= <> != < <= > >=" in
+  check
+    (Alcotest.list Alcotest.string)
+    "ops"
+    [ "="; "<>"; "<>"; "<"; "<="; ">"; ">=" ]
+    (List.map L.token_to_string toks)
+
+let test_lexer_errors () =
+  (try
+     ignore (L.tokenize "a ? b");
+     Alcotest.fail "expected lexer error"
+   with L.Error (_, off) -> check Alcotest.int "offset" 2 off);
+  try
+    ignore (L.tokenize "x = :");
+    Alcotest.fail "expected empty host var error"
+  with L.Error (msg, _) -> check Alcotest.string "msg" "empty host variable" msg
+
+(* ---- parser ---- *)
+
+let test_parse_create () =
+  (match P.parse "CREATE TABLE t (a int, b int)" with
+  | A.Create_table ("t", [ "a"; "b" ]) -> ()
+  | _ -> Alcotest.fail "create table");
+  match P.parse "CREATE INDEX i ON t (a, b)" with
+  | A.Create_index ("i", "t", [ "a"; "b" ]) -> ()
+  | _ -> Alcotest.fail "create index"
+
+let test_parse_select_structure () =
+  match
+    P.parse
+      "SELECT id FROM t i, c WHERE i.a = c.a AND i.b BETWEEN 1 AND :x OR NOT \
+       i.c < -5"
+  with
+  | A.Select
+      { A.branches =
+          [ { A.projections = [ A.Proj_col (None, "id") ];
+              froms = [ ("t", Some "i"); ("c", None) ];
+              where = Some w; group_by = [] } ];
+        order_by = [];
+        limit = None } ->
+      (* OR binds weakest: (A AND B) OR (NOT C) *)
+      (match w with
+      | A.Or (A.And _, A.Not (A.Cmp (A.Lt, _, A.Int (-5)))) -> ()
+      | _ -> Alcotest.fail "precedence")
+  | _ -> Alcotest.fail "select shape"
+
+let test_parse_union_all () =
+  match P.parse "SELECT a FROM t UNION ALL SELECT a FROM u UNION ALL SELECT a FROM v" with
+  | A.Select { A.branches = [ _; _; _ ]; _ } -> ()
+  | _ -> Alcotest.fail "three branches"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      try
+        ignore (P.parse sql);
+        Alcotest.failf "no error for %s" sql
+      with P.Error _ -> ())
+    [ "SELECT"; "SELECT a FROM"; "CREATE t"; "INSERT INTO t (1)";
+      "SELECT a FROM t WHERE"; "SELECT a FROM t extra junk here" ]
+
+let test_parse_script () =
+  let stmts = P.parse_script "CREATE TABLE a (x int); CREATE TABLE b (y int);" in
+  check Alcotest.int "two statements" 2 (List.length stmts)
+
+(* Printing an expression and re-parsing it must give the same AST:
+   expr_to_string parenthesises boolean structure fully, so this checks
+   precedence, BETWEEN, host variables and negative literals at once. *)
+let gen_expr =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [ map (fun n -> A.Int n) (int_range (-50) 50);
+        map (fun c -> A.Col (None, c)) (oneofl [ "a"; "b"; "c" ]);
+        map (fun c -> A.Col (Some "t", c)) (oneofl [ "a"; "b" ]);
+        map (fun h -> A.Host h) (oneofl [ "x"; "y" ]) ]
+  in
+  let cmp = oneofl [ A.Eq; A.Ne; A.Lt; A.Le; A.Gt; A.Ge ] in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        oneof
+          [ map3 (fun op a b -> A.Cmp (op, a, b)) cmp leaf leaf;
+            map3 (fun e lo hi -> A.Between (e, lo, hi)) leaf leaf leaf ]
+      else
+        frequency
+          [ (2, oneof
+               [ map3 (fun op a b -> A.Cmp (op, a, b)) cmp leaf leaf;
+                 map3 (fun e lo hi -> A.Between (e, lo, hi)) leaf leaf leaf ]);
+            (2, map2 (fun a b -> A.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> A.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map (fun e -> A.Not e) (self (depth - 1))) ])
+    3
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"expr print/parse round-trip"
+    (QCheck.make gen_expr) (fun e ->
+      let sql = "SELECT a FROM t WHERE " ^ A.expr_to_string e in
+      match P.parse sql with
+      | A.Select { A.branches = [ { A.where = Some e'; _ } ]; _ } -> e = e'
+      | _ -> false)
+
+(* ---- engine ---- *)
+
+let mk_session () = E.session (Relation.Catalog.create ())
+
+let seeded_session () =
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE t (a int, b int)");
+  ignore (E.exec s "CREATE INDEX t_a ON t (a, b)");
+  for i = 0 to 19 do
+    ignore
+      (E.exec s
+         (Printf.sprintf "INSERT INTO t VALUES (%d, %d)" (i mod 5) (100 + i)))
+  done;
+  s
+
+let test_insert_select () =
+  let s = seeded_session () in
+  check rows "where a = 3"
+    [ [| 103 |]; [| 108 |]; [| 113 |]; [| 118 |] ]
+    (List.sort compare (E.query s "SELECT b FROM t WHERE a = 3"));
+  check rows "count" [ [| 20 |] ] (E.query s "SELECT count(*) FROM t")
+
+let test_select_star_and_multi_proj () =
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE p (x int, y int)");
+  ignore (E.exec s "INSERT INTO p VALUES (1, 2)");
+  check rows "star" [ [| 1; 2 |] ] (E.query s "SELECT * FROM p");
+  check rows "reorder" [ [| 2; 1 |] ] (E.query s "SELECT y, x FROM p")
+
+let test_host_variables () =
+  let s = seeded_session () in
+  check rows "bind" [ [| 104 |]; [| 109 |]; [| 114 |]; [| 119 |] ]
+    (List.sort compare
+       (E.query ~binds:[ ("v", 4) ] s "SELECT b FROM t WHERE a = :v"));
+  try
+    ignore (E.query s "SELECT b FROM t WHERE a = :missing");
+    Alcotest.fail "missing bind accepted"
+  with E.Error _ -> ()
+
+let test_index_vs_scan_equivalence () =
+  (* same predicate with and without a usable index must agree *)
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE d (k int, v int)");
+  ignore (E.exec s "CREATE INDEX d_k ON d (k, v)");
+  ignore (E.exec s "CREATE TABLE d2 (k int, v int)");
+  let rng = Workload.Prng.create ~seed:61 in
+  for _ = 1 to 300 do
+    let k = Workload.Prng.int rng 40 and v = Workload.Prng.int rng 1000 in
+    ignore (E.exec s (Printf.sprintf "INSERT INTO d VALUES (%d, %d)" k v));
+    ignore (E.exec s (Printf.sprintf "INSERT INTO d2 VALUES (%d, %d)" k v))
+  done;
+  List.iter
+    (fun pred ->
+      let q t = Printf.sprintf "SELECT v FROM %s WHERE %s" t pred in
+      check rows ("pred " ^ pred)
+        (List.sort compare (E.query s (q "d2")))
+        (List.sort compare (E.query s (q "d"))))
+    [ "k = 7"; "k BETWEEN 5 AND 9"; "k >= 35"; "k < 3";
+      "k = 7 AND v >= 500"; "k BETWEEN 10 AND 20 AND v < 100";
+      "k > 15 AND k < 18"; "v = 999 OR k = 2" ]
+
+let test_join_with_collection () =
+  let s = seeded_session () in
+  E.set_collection s "probe" ~columns:[ "a" ] [ [| 1 |]; [| 4 |] ];
+  let got =
+    List.sort compare
+      (E.query s "SELECT t.b FROM t, probe WHERE t.a = probe.a")
+  in
+  check Alcotest.int "8 rows" 8 (List.length got);
+  E.clear_collection s "probe";
+  try
+    ignore (E.query s "SELECT t.b FROM t, probe WHERE t.a = probe.a");
+    Alcotest.fail "collection should be gone"
+  with E.Error _ -> ()
+
+let test_union_all_exec () =
+  let s = seeded_session () in
+  let got =
+    E.query s
+      "SELECT b FROM t WHERE a = 0 UNION ALL SELECT b FROM t WHERE a = 1"
+  in
+  check Alcotest.int "8 rows" 8 (List.length got)
+
+let test_delete_where () =
+  let s = seeded_session () in
+  (match E.exec s "DELETE FROM t WHERE a = 0" with
+  | E.Done msg -> check Alcotest.string "message" "4 rows deleted" msg
+  | _ -> Alcotest.fail "delete result");
+  check rows "count after" [ [| 16 |] ] (E.query s "SELECT count(*) FROM t")
+
+let test_explain_plan_shape () =
+  let s = seeded_session () in
+  E.set_collection s "leftNodes" ~columns:[ "min"; "max" ] [ [| 0; 1 |] ];
+  let plan =
+    E.explain s
+      "SELECT b FROM t i, leftNodes lft WHERE i.a BETWEEN lft.min AND \
+       lft.max AND i.b >= :lower"
+  in
+  List.iter
+    (fun needle ->
+      if not (contains plan needle) then
+        Alcotest.failf "plan misses %S:\n%s" needle plan)
+    [ "NESTED LOOPS"; "COLLECTION ITERATOR leftNodes"; "INDEX RANGE SCAN";
+      "start key" ];
+  (* the collection iterator must be the outer loop *)
+  let pos s sub =
+    let rec go i = if contains (String.sub s 0 i) sub then i else go (i + 1) in
+    go 0
+  in
+  check Alcotest.bool "collection before index scan" true
+    (pos plan "COLLECTION" < pos plan "INDEX RANGE SCAN")
+
+let test_covering_vs_fetch () =
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE w (a int, b int, c int)");
+  ignore (E.exec s "CREATE INDEX w_ab ON w (a, b)");
+  ignore (E.exec s "INSERT INTO w VALUES (1, 2, 3)");
+  let covering = E.explain s "SELECT b FROM w WHERE a = 1" in
+  check Alcotest.bool "covering" false
+    (contains covering "TABLE ACCESS BY ROWID");
+  let fetching = E.explain s "SELECT c FROM w WHERE a = 1" in
+  check Alcotest.bool "fetch needed" true
+    (contains fetching "TABLE ACCESS BY ROWID");
+  (* both produce correct answers *)
+  check rows "covering row" [ [| 2 |] ] (E.query s "SELECT b FROM w WHERE a = 1");
+  check rows "fetched row" [ [| 3 |] ] (E.query s "SELECT c FROM w WHERE a = 1")
+
+let test_errors () =
+  let s = mk_session () in
+  List.iter
+    (fun sql ->
+      try
+        ignore (E.exec s sql);
+        Alcotest.failf "no error for %s" sql
+      with E.Error _ -> ())
+    [ "SELECT a FROM missing"; "INSERT INTO missing VALUES (1)" ];
+  ignore (E.exec s "CREATE TABLE e (a int)");
+  ignore (E.exec s "INSERT INTO e VALUES (1)");
+  List.iter
+    (fun sql ->
+      try
+        ignore (E.exec s sql);
+        Alcotest.failf "no error for %s" sql
+      with E.Error _ -> ())
+    [ "INSERT INTO e VALUES (1, 2)"; "SELECT nope FROM e";
+      "SELECT a FROM e WHERE a" ]
+
+let test_order_by_limit () =
+  let s = seeded_session () in
+  let got = E.query s "SELECT b FROM t WHERE a = 2 ORDER BY b DESC" in
+  check rows "desc" [ [| 117 |]; [| 112 |]; [| 107 |]; [| 102 |] ] got;
+  let got = E.query s "SELECT b FROM t WHERE a = 2 ORDER BY b ASC LIMIT 2" in
+  check rows "asc limit" [ [| 102 |]; [| 107 |] ] got;
+  let got = E.query s "SELECT a, b FROM t ORDER BY a DESC, b LIMIT 3" in
+  check rows "two keys"
+    [ [| 4; 104 |]; [| 4; 109 |]; [| 4; 114 |] ]
+    got;
+  (* ORDER BY spans UNION ALL branches *)
+  let got =
+    E.query s
+      "SELECT b FROM t WHERE a = 0 UNION ALL SELECT b FROM t WHERE a = 1 \
+       ORDER BY b LIMIT 2"
+  in
+  check rows "union sorted" [ [| 100 |]; [| 101 |] ] got;
+  try
+    ignore (E.query s "SELECT b FROM t ORDER BY nope");
+    Alcotest.fail "unknown order key accepted"
+  with E.Error _ -> ()
+
+let test_aggregates () =
+  let s = seeded_session () in
+  check rows "min" [ [| 100 |] ] (E.query s "SELECT min(b) FROM t");
+  check rows "max" [ [| 119 |] ] (E.query s "SELECT max(b) FROM t");
+  check rows "sum of a=1" [ [| 101 + 106 + 111 + 116 |] ]
+    (E.query s "SELECT sum(b) FROM t WHERE a = 1");
+  check rows "count(col)" [ [| 4 |] ]
+    (E.query s "SELECT count(b) FROM t WHERE a = 1");
+  check rows "several" [ [| 4; 101; 116 |] ]
+    (E.query s "SELECT count(*), min(b), max(b) FROM t WHERE a = 1");
+  (* aggregates across UNION ALL *)
+  check rows "union agg" [ [| 8 |] ]
+    (E.query s
+       "SELECT count(*) FROM t WHERE a = 0 UNION ALL SELECT count(*) FROM t \
+        WHERE a = 1");
+  (try
+     ignore (E.query s "SELECT a, min(b) FROM t");
+     Alcotest.fail "mixed projection accepted"
+   with E.Error _ -> ());
+  try
+    ignore (E.query s "SELECT min(b) FROM t WHERE a = 99")
+    |> ignore;
+    Alcotest.fail "MIN of empty accepted"
+  with E.Error _ -> ()
+
+let test_update () =
+  let s = seeded_session () in
+  (match E.exec s "UPDATE t SET b = 0 WHERE a = 3" with
+  | E.Done msg -> check Alcotest.string "message" "4 rows updated" msg
+  | _ -> Alcotest.fail "update result");
+  check rows "updated" [ [| 0 |]; [| 0 |]; [| 0 |]; [| 0 |] ]
+    (E.query s "SELECT b FROM t WHERE a = 3");
+  (* SET may reference the old row; the index keeps working *)
+  ignore (E.exec s "UPDATE t SET b = a WHERE a = 1");
+  check rows "self reference" [ [| 1 |]; [| 1 |]; [| 1 |]; [| 1 |] ]
+    (E.query s "SELECT b FROM t WHERE a = 1");
+  check rows "index still consistent" [ [| 20 |] ]
+    (E.query s "SELECT count(*) FROM t");
+  try
+    ignore (E.exec s "UPDATE t SET nope = 1");
+    Alcotest.fail "unknown column accepted"
+  with E.Error _ -> ()
+
+let test_group_by () =
+  let s = seeded_session () in
+  (* per group: count and min/max of b *)
+  let got =
+    E.query s
+      "SELECT a, count(*), min(b), max(b) FROM t GROUP BY a ORDER BY a"
+  in
+  check rows "group rows"
+    [ [| 0; 4; 100; 115 |]; [| 1; 4; 101; 116 |]; [| 2; 4; 102; 117 |];
+      [| 3; 4; 103; 118 |]; [| 4; 4; 104; 119 |] ]
+    got;
+  (* WHERE applies before grouping; ORDER BY on an output column *)
+  let got =
+    E.query s
+      "SELECT a, sum(b) FROM t WHERE b >= 110 GROUP BY a ORDER BY a DESC \
+       LIMIT 2"
+  in
+  check rows "filtered + limited" [ [| 4; 233 |]; [| 3; 231 |] ] got;
+  (* a non-grouped plain column is rejected *)
+  (try
+     ignore (E.query s "SELECT b, count(*) FROM t GROUP BY a");
+     Alcotest.fail "non-grouped column accepted"
+   with E.Error _ -> ());
+  try
+    ignore
+      (E.query s
+         "SELECT a, count(*) FROM t GROUP BY a UNION ALL SELECT a, count(*) \
+          FROM t GROUP BY a");
+    Alcotest.fail "GROUP BY with UNION ALL accepted"
+  with E.Error _ -> ()
+
+let test_column_named_count_min_max () =
+  (* contextual aggregate parsing keeps these usable as column names —
+     the paper's leftNodes table has columns min and max *)
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE odd (min int, max int, count int)");
+  ignore (E.exec s "INSERT INTO odd VALUES (1, 2, 3)");
+  check rows "plain columns" [ [| 1; 2; 3 |] ]
+    (E.query s "SELECT min, max, count FROM odd");
+  check rows "aggregate over them" [ [| 1; 2; 3 |] ]
+    (E.query s "SELECT min(min), max(max), sum(count) FROM odd")
+
+let test_exec_script () =
+  let s = mk_session () in
+  let results =
+    E.exec_script s
+      "CREATE TABLE z (a int); INSERT INTO z VALUES (5); SELECT a FROM z;"
+  in
+  check Alcotest.int "three results" 3 (List.length results)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ("lexer",
+       [ Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+         Alcotest.test_case "operators" `Quick test_lexer_operators;
+         Alcotest.test_case "errors" `Quick test_lexer_errors ]);
+      ("parser",
+       [ Alcotest.test_case "create" `Quick test_parse_create;
+         Alcotest.test_case "select structure" `Quick
+           test_parse_select_structure;
+         Alcotest.test_case "union all" `Quick test_parse_union_all;
+         Alcotest.test_case "errors" `Quick test_parse_errors;
+         Alcotest.test_case "script" `Quick test_parse_script;
+         QCheck_alcotest.to_alcotest prop_expr_roundtrip ]);
+      ("engine",
+       [ Alcotest.test_case "insert/select" `Quick test_insert_select;
+         Alcotest.test_case "projections" `Quick
+           test_select_star_and_multi_proj;
+         Alcotest.test_case "host variables" `Quick test_host_variables;
+         Alcotest.test_case "index = scan equivalence" `Quick
+           test_index_vs_scan_equivalence;
+         Alcotest.test_case "collection join" `Quick
+           test_join_with_collection;
+         Alcotest.test_case "union all" `Quick test_union_all_exec;
+         Alcotest.test_case "delete where" `Quick test_delete_where;
+         Alcotest.test_case "explain plan shape" `Quick
+           test_explain_plan_shape;
+         Alcotest.test_case "covering index detection" `Quick
+           test_covering_vs_fetch;
+         Alcotest.test_case "errors" `Quick test_errors;
+         Alcotest.test_case "order by / limit" `Quick test_order_by_limit;
+         Alcotest.test_case "aggregates" `Quick test_aggregates;
+         Alcotest.test_case "update" `Quick test_update;
+         Alcotest.test_case "group by" `Quick test_group_by;
+         Alcotest.test_case "aggregate names as columns" `Quick
+           test_column_named_count_min_max;
+         Alcotest.test_case "script execution" `Quick test_exec_script ]);
+    ]

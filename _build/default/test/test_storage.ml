@@ -1,0 +1,182 @@
+(* Storage engine: block device counters and buffer-pool behaviour. *)
+
+module Dev = Storage.Block_device
+module Pool = Storage.Buffer_pool
+
+let check = Alcotest.check
+
+let test_device_alloc_rw () =
+  let d = Dev.create ~block_size:128 () in
+  check Alcotest.int "no blocks" 0 (Dev.allocated d);
+  let a = Dev.alloc d and b = Dev.alloc d in
+  check Alcotest.int "ids" 0 a;
+  check Alcotest.int "ids" 1 b;
+  let buf = Bytes.make 128 'x' in
+  Dev.write d a buf;
+  let out = Bytes.create 128 in
+  Dev.read d a out;
+  check Alcotest.bytes "round trip" buf out;
+  let s = Dev.Stats.get d in
+  check Alcotest.int "reads" 1 s.Dev.Stats.reads;
+  check Alcotest.int "writes" 1 s.Dev.Stats.writes;
+  Dev.Stats.reset d;
+  check Alcotest.int "reset" 0 (Dev.Stats.total (Dev.Stats.get d))
+
+let test_device_validation () =
+  let d = Dev.create ~block_size:128 () in
+  ignore (Dev.alloc d);
+  Alcotest.check_raises "bad id"
+    (Invalid_argument "Block_device.read: bad block id 7") (fun () ->
+      Dev.read d 7 (Bytes.create 128));
+  Alcotest.check_raises "bad size"
+    (Invalid_argument "Block_device.write: buffer size 4, expected 128")
+    (fun () -> Dev.write d 0 (Bytes.create 4));
+  Alcotest.check_raises "tiny blocks"
+    (Invalid_argument "Block_device.create: block size 16 too small")
+    (fun () -> ignore (Dev.create ~block_size:16 ()))
+
+let test_pool_hit_miss () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:2 d in
+  let a = Pool.alloc p in
+  Pool.flush p;
+  Dev.Stats.reset d;
+  Pool.with_page p a ~dirty:false (fun _ -> ());
+  Pool.with_page p a ~dirty:false (fun _ -> ());
+  let s = Pool.Stats.get p in
+  check Alcotest.int "both hits" 2 s.Pool.Stats.hits;
+  check Alcotest.int "no miss" 0 s.Pool.Stats.misses;
+  check Alcotest.int "no physical read" 0 (Dev.Stats.get d).Dev.Stats.reads
+
+let test_pool_lru_eviction () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:2 d in
+  let a = Pool.alloc p and b = Pool.alloc p in
+  let c = Pool.alloc p in
+  (* capacity 2: allocating c evicted the least recently used (a) *)
+  check Alcotest.int "cached" 2 (Pool.cached p);
+  Dev.Stats.reset d;
+  Pool.with_page p b ~dirty:false (fun _ -> ());
+  Pool.with_page p c ~dirty:false (fun _ -> ());
+  check Alcotest.int "b,c still resident" 0 (Dev.Stats.get d).Dev.Stats.reads;
+  Pool.with_page p a ~dirty:false (fun _ -> ());
+  check Alcotest.int "a faulted in" 1 (Dev.Stats.get d).Dev.Stats.reads
+
+let test_pool_write_back () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:1 d in
+  let a = Pool.alloc p in
+  Pool.with_page p a ~dirty:true (fun buf -> Bytes.set buf 0 'z');
+  (* evict a by allocating another page *)
+  ignore (Pool.alloc p);
+  let buf = Bytes.create 128 in
+  Dev.read d a buf;
+  check Alcotest.char "dirty page written back" 'z' (Bytes.get buf 0)
+
+let test_pool_pin_protects () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:1 d in
+  let a = Pool.alloc p in
+  let data = Pool.pin p a in
+  Bytes.set data 0 'q';
+  (* the only frame is pinned: allocating must fail to evict *)
+  Alcotest.check_raises "pool exhausted"
+    (Failure "Buffer_pool: all frames pinned, cannot evict") (fun () ->
+      ignore (Pool.alloc p));
+  Pool.unpin p a ~dirty:true;
+  ignore (Pool.alloc p);
+  let buf = Bytes.create 128 in
+  Dev.read d a buf;
+  check Alcotest.char "pinned mutation survived" 'q' (Bytes.get buf 0)
+
+let test_unpin_unpinned () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create d in
+  let a = Pool.alloc p in
+  Alcotest.check_raises "unpin too much"
+    (Invalid_argument "Buffer_pool.unpin: page 0 is not pinned") (fun () ->
+      Pool.unpin p a ~dirty:false)
+
+let test_clear () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:8 d in
+  let a = Pool.alloc p in
+  Pool.with_page p a ~dirty:true (fun buf -> Bytes.set buf 1 'k');
+  Pool.clear p;
+  check Alcotest.int "cache empty" 0 (Pool.cached p);
+  let buf = Bytes.create 128 in
+  Dev.read d a buf;
+  check Alcotest.char "flushed on clear" 'k' (Bytes.get buf 1);
+  Dev.Stats.reset d;
+  Pool.with_page p a ~dirty:false (fun _ -> ());
+  check Alcotest.int "cold after clear" 1 (Dev.Stats.get d).Dev.Stats.reads
+
+let test_with_page_exception_unpins () =
+  let d = Dev.create ~block_size:128 () in
+  let p = Pool.create ~capacity:1 d in
+  let a = Pool.alloc p in
+  (try
+     Pool.with_page p a ~dirty:false (fun _ -> failwith "boom")
+   with Failure _ -> ());
+  (* the page must have been unpinned: eviction possible again *)
+  ignore (Pool.alloc p);
+  check Alcotest.int "evicted fine" 1 (Pool.cached p)
+
+(* Model-based test: random reads/writes through a tiny pool must behave
+   like a plain array of pages, across any eviction pattern. *)
+let test_pool_model_based () =
+  let rng = Workload.Prng.create ~seed:131 in
+  let d = Dev.create ~block_size:64 () in
+  let p = Pool.create ~capacity:3 d in
+  let n_pages = 12 in
+  let pages = Array.init n_pages (fun _ -> Pool.alloc p) in
+  let model = Array.make n_pages 0 in
+  for step = 1 to 5_000 do
+    let i = Workload.Prng.int rng n_pages in
+    (match Workload.Prng.int rng 4 with
+    | 0 | 1 ->
+        (* write a fresh value through the pool, mirror it in the model *)
+        Pool.with_page p pages.(i) ~dirty:true (fun buf ->
+            Bytes.set_int32_be buf 0 (Int32.of_int step));
+        model.(i) <- step
+    | 2 ->
+        (* read must always see the model's value, cached or faulted *)
+        let v =
+          Pool.with_page p pages.(i) ~dirty:false (fun buf ->
+              Int32.to_int (Bytes.get_int32_be buf 0))
+        in
+        if v <> model.(i) then
+          Alcotest.failf "step %d: page %d read %d, model %d" step i v
+            model.(i)
+    | _ -> if Workload.Prng.int rng 20 = 0 then Pool.flush p);
+    if Workload.Prng.int rng 500 = 0 then Pool.clear p
+  done;
+  Array.iteri
+    (fun i page ->
+      let v =
+        Pool.with_page p page ~dirty:false (fun buf ->
+            Int32.to_int (Bytes.get_int32_be buf 0))
+      in
+      check Alcotest.int (Printf.sprintf "page %d content" i) model.(i) v)
+    pages
+
+let () =
+  Alcotest.run "storage"
+    [
+      ("device",
+       [ Alcotest.test_case "alloc/read/write/stats" `Quick
+           test_device_alloc_rw;
+         Alcotest.test_case "validation" `Quick test_device_validation ]);
+      ("pool",
+       [ Alcotest.test_case "hits vs misses" `Quick test_pool_hit_miss;
+         Alcotest.test_case "LRU eviction" `Quick test_pool_lru_eviction;
+         Alcotest.test_case "dirty write-back" `Quick test_pool_write_back;
+         Alcotest.test_case "pins protect pages" `Quick
+           test_pool_pin_protects;
+         Alcotest.test_case "unpin validation" `Quick test_unpin_unpinned;
+         Alcotest.test_case "clear flushes and cools" `Quick test_clear;
+         Alcotest.test_case "with_page unpins on exception" `Quick
+           test_with_page_exception_unpins;
+         Alcotest.test_case "model-based random ops" `Quick
+           test_pool_model_based ]);
+    ]

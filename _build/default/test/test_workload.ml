@@ -1,0 +1,212 @@
+(* Workload generation: PRNG, Table-1 distributions, counting oracle,
+   selectivity calibration. *)
+
+module Ivl = Interval.Ivl
+module Prng = Workload.Prng
+module Dist = Workload.Distribution
+module Oracle = Workload.Oracle
+module QG = Workload.Query_gen
+
+let check = Alcotest.check
+
+(* ---- prng ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:1 in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.int64 a) (Prng.int64 b)
+  done;
+  let c = Prng.create ~seed:2 in
+  check Alcotest.bool "different seed differs" true
+    (Prng.int64 (Prng.create ~seed:1) <> Prng.int64 c)
+
+let test_prng_ranges () =
+  let r = Prng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let v = Prng.int r 10 in
+    if v < 0 || v >= 10 then Alcotest.fail "int out of range";
+    let w = Prng.int_in r (-5) 5 in
+    if w < -5 || w > 5 then Alcotest.fail "int_in out of range";
+    let f = Prng.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of range"
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int r 0))
+
+let test_prng_uniformity () =
+  let r = Prng.create ~seed:4 in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let v = Prng.int r 10 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d" i c)
+    buckets
+
+let test_exponential_mean () =
+  let r = Prng.create ~seed:5 in
+  let n = 50_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Prng.exponential r ~mean:2000.0
+  done;
+  let mean = !total /. float_of_int n in
+  check Alcotest.bool
+    (Printf.sprintf "mean %.0f near 2000" mean)
+    true
+    (Float.abs (mean -. 2000.0) < 100.0)
+
+(* ---- distributions ---- *)
+
+let test_distribution_domain () =
+  List.iter
+    (fun kind ->
+      let data = Dist.generate kind ~n:5_000 ~d:2000 in
+      check Alcotest.int "n" 5_000 (Array.length data);
+      Array.iter
+        (fun ivl ->
+          if Ivl.lower ivl < 0 || Ivl.upper ivl > Dist.domain_max then
+            Alcotest.fail "bound outside the domain")
+        data)
+    Dist.all_kinds
+
+let test_distribution_means () =
+  (* all four have mean duration ~ d (uniform [0,2d] and exponential d) *)
+  List.iter
+    (fun kind ->
+      let data = Dist.generate kind ~n:20_000 ~d:2000 in
+      let mean = Dist.mean_length data in
+      check Alcotest.bool
+        (Printf.sprintf "%s mean %.0f" (Dist.kind_to_string kind) mean)
+        true
+        (mean > 1_700. && mean < 2_300.))
+    Dist.all_kinds
+
+let test_distribution_deterministic () =
+  let a = Dist.generate ~seed:9 Dist.D4 ~n:100 ~d:500 in
+  let b = Dist.generate ~seed:9 Dist.D4 ~n:100 ~d:500 in
+  check Alcotest.bool "same seed, same data" true (a = b);
+  let c = Dist.generate ~seed:10 Dist.D4 ~n:100 ~d:500 in
+  check Alcotest.bool "new seed, new data" true (a <> c)
+
+let test_poisson_starts_sorted () =
+  let data = Dist.generate Dist.D3 ~n:1_000 ~d:100 in
+  let sorted = ref true in
+  for i = 1 to Array.length data - 1 do
+    if Ivl.lower data.(i) < Ivl.lower data.(i - 1) then sorted := false
+  done;
+  check Alcotest.bool "arrival times ascend" true !sorted
+
+let test_restricted_lengths () =
+  let data = Dist.generate_restricted Dist.D3 ~n:2_000 ~min_len:500 ~max_len:700 in
+  Array.iter
+    (fun ivl ->
+      let len = Ivl.length ivl in
+      (* upper clamping at the domain border may shorten a few *)
+      if Ivl.upper ivl < Dist.domain_max && (len < 500 || len > 700) then
+        Alcotest.failf "length %d outside [500,700]" len)
+    data;
+  Alcotest.check_raises "bad range"
+    (Invalid_argument "Distribution.generate_restricted: bad length range")
+    (fun () ->
+      ignore (Dist.generate_restricted Dist.D1 ~n:1 ~min_len:5 ~max_len:4))
+
+let test_d0_points () =
+  let data = Dist.generate Dist.D4 ~n:100 ~d:0 in
+  Array.iter
+    (fun ivl -> if not (Ivl.is_point ivl) then Alcotest.fail "expected points")
+    data
+
+(* ---- oracle ---- *)
+
+let test_oracle_counts () =
+  let rng = Prng.create ~seed:11 in
+  let data =
+    Array.init 500 (fun _ ->
+        let l = Prng.int rng 10_000 in
+        Ivl.make l (l + Prng.int rng 500))
+  in
+  let o = Oracle.build data in
+  check Alcotest.int "size" 500 (Oracle.size o);
+  for _ = 1 to 200 do
+    let l = Prng.int rng 11_000 in
+    let q = Ivl.make l (l + Prng.int rng 1_000) in
+    let brute =
+      Array.fold_left
+        (fun acc ivl -> if Ivl.intersects ivl q then acc + 1 else acc)
+        0 data
+    in
+    check Alcotest.int "count" brute (Oracle.count_intersecting o q)
+  done
+
+let test_oracle_ids () =
+  let data = [| Ivl.make 0 5; Ivl.make 3 8; Ivl.make 10 12 |] in
+  check (Alcotest.list Alcotest.int) "ids" [ 0; 1 ]
+    (Oracle.ids_intersecting data (Ivl.make 4 6))
+
+(* ---- query generation ---- *)
+
+let test_selectivity_calibration () =
+  let data = Dist.generate Dist.D1 ~n:20_000 ~d:2000 in
+  List.iter
+    (fun target ->
+      let qs = QG.queries ~data ~count:50 target in
+      let measured = QG.measured_selectivity ~data qs in
+      check Alcotest.bool
+        (Printf.sprintf "target %.3f measured %.4f" target measured)
+        true
+        (Float.abs (measured -. target) < (target /. 4.) +. 0.002))
+    [ 0.005; 0.01; 0.03 ]
+
+let test_zero_selectivity_points () =
+  let data = Dist.generate Dist.D1 ~n:1_000 ~d:10 in
+  let qs = QG.queries ~data ~count:20 0.0 in
+  Array.iter
+    (fun q -> if not (Ivl.is_point q) then Alcotest.fail "expected points")
+    qs
+
+let test_sweep_points () =
+  let qs = QG.sweep_points ~count:5 in
+  check Alcotest.int "count" 5 (Array.length qs);
+  check Alcotest.int "starts at top" Dist.domain_max (Ivl.lower qs.(0));
+  check Alcotest.int "ends at bottom" 0 (Ivl.lower qs.(4));
+  (* descending *)
+  for i = 1 to 4 do
+    if Ivl.lower qs.(i) >= Ivl.lower qs.(i - 1) then
+      Alcotest.fail "not descending"
+  done
+
+let () =
+  Alcotest.run "workload"
+    [
+      ("prng",
+       [ Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+         Alcotest.test_case "ranges" `Quick test_prng_ranges;
+         Alcotest.test_case "uniformity" `Quick test_prng_uniformity;
+         Alcotest.test_case "exponential mean" `Quick test_exponential_mean ]);
+      ("distributions",
+       [ Alcotest.test_case "domain bounds" `Quick test_distribution_domain;
+         Alcotest.test_case "mean durations" `Quick test_distribution_means;
+         Alcotest.test_case "deterministic" `Quick
+           test_distribution_deterministic;
+         Alcotest.test_case "poisson arrivals ascend" `Quick
+           test_poisson_starts_sorted;
+         Alcotest.test_case "restricted lengths (Fig. 15)" `Quick
+           test_restricted_lengths;
+         Alcotest.test_case "d=0 gives points" `Quick test_d0_points ]);
+      ("oracle",
+       [ Alcotest.test_case "counting" `Quick test_oracle_counts;
+         Alcotest.test_case "ids" `Quick test_oracle_ids ]);
+      ("queries",
+       [ Alcotest.test_case "selectivity calibration" `Quick
+           test_selectivity_calibration;
+         Alcotest.test_case "zero selectivity" `Quick
+           test_zero_selectivity_points;
+         Alcotest.test_case "sweep points (Fig. 17)" `Quick test_sweep_points ]);
+    ]
