@@ -1,0 +1,19 @@
+# Convenience aliases; `make check` is the tier-1 gate CI runs.
+
+.PHONY: all build test check bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -223,6 +223,164 @@ let join_cmd =
        ~doc:"Compare intersection-join strategies on generated data")
     Term.(const join $ kind_arg $ n_arg $ d_arg $ seed_arg)
 
+(* ---- bench-serve ---- *)
+
+type bench_worker = {
+  latencies : float array;  (* seconds, slot per attempted query *)
+  mutable completed : int;
+  mutable results : int;
+  mutable overloaded : bool;  (* admission control rejected this client *)
+  mutable failure : string option;
+}
+
+let bench_thread ~host ~port ~queries worker =
+  try
+    let c = Server.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        (try
+           Array.iter
+             (fun q ->
+               let req =
+                 Server.Protocol.Intersect
+                   { lower = Interval.Ivl.lower q; upper = Interval.Ivl.upper q }
+               in
+               let t0 = Unix.gettimeofday () in
+               match Server.Client.rpc c req with
+               | Server.Protocol.Rows { rows; _ } ->
+                   worker.latencies.(worker.completed) <-
+                     Unix.gettimeofday () -. t0;
+                   worker.completed <- worker.completed + 1;
+                   worker.results <- worker.results + List.length rows
+               | Server.Protocol.Overloaded _ ->
+                   worker.overloaded <- true;
+                   raise Exit
+               | Server.Protocol.Error m -> failwith m
+               | _ -> failwith "unexpected response")
+             queries
+         with Exit -> ()))
+  with
+  | Server.Client.Io_error m -> worker.failure <- Some m
+  | Failure m -> worker.failure <- Some m
+
+let bench_serve_run host port clients queries_total kind n d seed selectivity =
+  if clients < 1 then failwith "need at least one client";
+  (* Reconstruct the server's dataset (same kind/n/d/seed) so the query
+     batch is calibrated to the actual stored intervals. *)
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let queries =
+    Workload.Query_gen.queries ~seed:(seed + 1) ~data ~count:queries_total
+      (selectivity /. 100.)
+  in
+  let stats0 =
+    let c = Server.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () -> Server.Client.server_stats c)
+  in
+  let per_client = (queries_total + clients - 1) / clients in
+  let workers =
+    Array.init clients (fun _ ->
+        { latencies = Array.make per_client 0.0; completed = 0; results = 0;
+          overloaded = false; failure = None })
+  in
+  let t0 = Unix.gettimeofday () in
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i worker ->
+           let lo = i * per_client in
+           let hi = min queries_total (lo + per_client) in
+           let slice = Array.sub queries lo (max 0 (hi - lo)) in
+           Thread.create (fun () -> bench_thread ~host ~port ~queries:slice worker) ())
+         workers)
+  in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats1 =
+    let c = Server.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () -> Server.Client.server_stats c)
+  in
+  let ok = Array.fold_left (fun a w -> a + w.completed) 0 workers in
+  let results = Array.fold_left (fun a w -> a + w.results) 0 workers in
+  let rejected =
+    Array.fold_left (fun a w -> a + if w.overloaded then 1 else 0) 0 workers
+  in
+  Array.iteri
+    (fun i w ->
+      match w.failure with
+      | Some m -> Printf.printf "client %d failed: %s\n" i m
+      | None -> ())
+    workers;
+  let latencies =
+    Array.concat
+      (Array.to_list
+         (Array.map (fun w -> Array.sub w.latencies 0 w.completed) workers))
+  in
+  Printf.printf
+    "bench-serve: %d clients, %d/%d queries ok, %d rejected by admission \
+     control\n"
+    clients ok queries_total rejected;
+  if ok > 0 then begin
+    let pct p = 1000. *. Harness.Measure.percentile latencies p in
+    let io_delta =
+      stats1.Server.Protocol.io_reads + stats1.Server.Protocol.io_writes
+      - stats0.Server.Protocol.io_reads - stats0.Server.Protocol.io_writes
+    in
+    Printf.printf "  throughput      %.0f queries/s (%.3f s wall)\n"
+      (float_of_int ok /. wall) wall;
+    Printf.printf "  latency (ms)    p50 %.3f  p95 %.3f  p99 %.3f  max %.3f\n"
+      (pct 0.5) (pct 0.95) (pct 0.99) (pct 1.0);
+    Printf.printf "  results         %d total, %.1f per query\n" results
+      (float_of_int results /. float_of_int ok);
+    Printf.printf "  physical I/O    %d blocks, %.2f per query\n" io_delta
+      (float_of_int io_delta /. float_of_int ok)
+  end;
+  Printf.printf "\nserver view:\n%s"
+    (Server.Server_stats.render stats1)
+
+let bench_serve host port clients queries_total kind n d seed selectivity =
+  try bench_serve_run host port clients queries_total kind n d seed selectivity
+  with Server.Client.Io_error m ->
+    Printf.eprintf "bench-serve: %s (is rikitd running on %s:%d?)\n" m host port;
+    exit 1
+
+let bench_serve_cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"Server host.")
+  in
+  let port =
+    Arg.(value & opt int 7468 & info [ "p"; "port" ] ~doc:"Server port.")
+  in
+  let clients =
+    Arg.(value & opt int 8
+         & info [ "c"; "clients" ] ~doc:"Concurrent client connections.")
+  in
+  let queries =
+    Arg.(value & opt int 1000
+         & info [ "q"; "queries" ] ~doc:"Total queries across all clients.")
+  in
+  let sel =
+    Arg.(value & opt float 1.0
+         & info [ "s"; "selectivity" ] ~doc:"Query selectivity in percent.")
+  in
+  Cmd.v
+    (Cmd.info "bench-serve"
+       ~doc:"Drive a running rikitd with N concurrent clients"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Regenerates the dataset rikitd was started with (match \
+               $(b,--kind), $(b,-n), $(b,-d) and $(b,--seed)), calibrates a \
+               query batch at the requested selectivity, fans it out over \
+               $(b,--clients) blocking connections, and reports aggregate \
+               throughput, client-side latency percentiles, and the \
+               server's physical I/O per query." ])
+    Term.(const bench_serve $ host $ port $ clients $ queries $ kind_arg
+          $ n_arg $ d_arg $ seed_arg $ sel)
+
 (* ---- sql ---- *)
 
 let run_sql file =
@@ -262,4 +420,5 @@ let () =
       ~doc:"Relational Interval Tree toolkit (VLDB 2000 reproduction)"
   in
   exit (Cmd.eval (Cmd.group info
-       [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd ]))
+       [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
+         bench_serve_cmd ]))

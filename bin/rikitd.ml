@@ -1,0 +1,112 @@
+(* rikitd — the RI-tree interval-query daemon.
+
+   Serves the wire protocol of Server.Protocol on a TCP port: SQL
+   statements and typed interval operations against one shared database
+   preloaded with a Table-1 distribution. Single-process select loop
+   with admission control; Ctrl-C (or SIGTERM) shuts down gracefully —
+   queued requests are answered, the buffer pool is flushed (a durable
+   catalog is checkpointed), and the stats dump is printed. *)
+
+open Cmdliner
+
+let kind_conv =
+  let parse s =
+    match Workload.Distribution.kind_of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown distribution %S" s))
+  in
+  Arg.conv (parse, fun ppf k ->
+      Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
+
+let serve host port kind n d seed max_sessions max_inflight max_queue durable =
+  let config =
+    { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue }
+  in
+  let sh = Server.Session.shared ~durable () in
+  if n > 0 then begin
+    let data = Workload.Distribution.generate ~seed kind ~n ~d in
+    Server.Session.preload sh data;
+    Printf.printf "loaded %d %s(d=%d) intervals into %S\n%!" n
+      (Workload.Distribution.kind_to_string kind)
+      d
+      (Ritree.Ri_tree.name (Server.Session.tree sh))
+  end;
+  let disp =
+    try Server.Dispatcher.create ~config sh
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "rikitd: cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let stop _ = Server.Dispatcher.stop disp in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf
+    "rikitd listening on %s:%d (protocol v%d, max %d sessions, %d queued%s)\n%!"
+    host
+    (Server.Dispatcher.port disp)
+    Server.Protocol.version max_sessions max_queue
+    (if durable then ", durable" else "");
+  Server.Dispatcher.serve disp;
+  let io =
+    Storage.Block_device.Stats.get
+      (Relation.Catalog.device (Server.Session.catalog sh))
+  in
+  print_newline ();
+  print_string
+    (Server.Server_stats.dump
+       (Server.Dispatcher.stats disp)
+       ~now:(Unix.gettimeofday ()) ~io);
+  Printf.printf "shutdown complete: buffer pool flushed%s\n"
+    (if durable then ", journal checkpointed" else "")
+
+let cmd =
+  let host =
+    Arg.(value & opt string "127.0.0.1"
+         & info [ "host" ] ~doc:"Bind address.")
+  in
+  let port =
+    Arg.(value & opt int 7468
+         & info [ "p"; "port" ] ~doc:"TCP port (0 picks an ephemeral one).")
+  in
+  let kind =
+    Arg.(value & opt kind_conv Workload.Distribution.D1
+         & info [ "k"; "kind" ] ~doc:"Distribution of the preloaded data.")
+  in
+  let n =
+    Arg.(value & opt int 10_000
+         & info [ "n" ] ~doc:"Intervals to preload (0 starts empty).")
+  in
+  let d =
+    Arg.(value & opt int 2000 & info [ "d" ] ~doc:"Duration parameter.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let max_sessions =
+    Arg.(value & opt int 64
+         & info [ "max-sessions" ]
+             ~doc:"Connections admitted concurrently; beyond this a \
+                   connection is answered Overloaded and closed.")
+  in
+  let max_inflight =
+    Arg.(value & opt int 32
+         & info [ "max-inflight" ]
+             ~doc:"Requests executed per event-loop round.")
+  in
+  let max_queue =
+    Arg.(value & opt int 1024
+         & info [ "max-queue" ]
+             ~doc:"Parsed-but-unexecuted request bound; beyond this a \
+                   request is answered Overloaded.")
+  in
+  let durable =
+    Arg.(value & flag
+         & info [ "durable" ]
+             ~doc:"Enable the write-ahead journal (and ROLLBACK support).")
+  in
+  Cmd.v
+    (Cmd.info "rikitd" ~version:"1.0.0"
+       ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
+    Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
+          $ max_inflight $ max_queue $ durable)
+
+let () = exit (Cmd.eval cmd)

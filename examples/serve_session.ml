@@ -1,0 +1,61 @@
+(* A complete client/server round trip in one process: start the
+   dispatcher on an ephemeral loopback port, speak the wire protocol
+   through the blocking client — typed interval ops and SQL — and shut
+   down gracefully with a stats dump.
+
+   Run with:  dune exec examples/serve_session.exe *)
+
+let () =
+  let shared = Server.Session.shared () in
+  let data =
+    Workload.Distribution.generate Workload.Distribution.D1 ~n:5000 ~d:2000
+  in
+  Server.Session.preload shared data;
+
+  (* port 0 = let the kernel pick; serve in a background thread *)
+  let disp =
+    Server.Dispatcher.create
+      ~config:{ Server.Dispatcher.default_config with port = 0 }
+      shared
+  in
+  let server = Thread.create (fun () -> Server.Dispatcher.serve disp) () in
+  let port = Server.Dispatcher.port disp in
+  Printf.printf "serving %d intervals on 127.0.0.1:%d\n\n" (Array.length data) port;
+
+  let c = Server.Client.connect ~port () in
+
+  (* a typed intersection query *)
+  let q = Interval.Ivl.make 500_000 502_000 in
+  let hits = Server.Client.intersect c q in
+  Printf.printf "%d stored intervals intersect %s; first three:\n"
+    (List.length hits) (Interval.Ivl.to_string q);
+  List.iteri
+    (fun i (ivl, id) ->
+      if i < 3 then Printf.printf "  id %d: %s\n" id (Interval.Ivl.to_string ivl))
+    hits;
+
+  (* a typed insert, visible to the next query *)
+  (match Server.Client.insert c ~id:424242 (Interval.Ivl.make 501_000 501_500) with
+  | Ok id -> Printf.printf "\ninserted interval as id %d\n" id
+  | Error m -> Printf.printf "\ninsert failed: %s\n" m);
+  Printf.printf "now %d intersecting\n" (List.length (Server.Client.intersect c q));
+
+  (* SQL rides the same session *)
+  (match Server.Client.sql c "SELECT node, lower, upper FROM intervals WHERE id = 424242" with
+  | Ok (Server.Protocol.Rows { columns; rows }) ->
+      Printf.printf "\nSQL sees it too: %s = %s\n"
+        (String.concat ", " columns)
+        (String.concat ", "
+           (List.concat_map
+              (fun r -> Array.to_list (Array.map string_of_int r))
+              rows))
+  | _ -> print_endline "SQL query failed");
+
+  (* the server-side metrics surface *)
+  let stats = Server.Client.server_stats c in
+  Printf.printf "\n%s" (Server.Server_stats.render stats);
+
+  Server.Client.close c;
+  Server.Dispatcher.stop disp;
+  Thread.join server;
+  print_endline "\nserver stopped, buffer pool flushed"

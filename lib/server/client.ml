@@ -1,0 +1,116 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int64;
+  mutable closed : bool;
+}
+
+exception Io_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     fail "connect %s:%d: %s" host port (Unix.error_message e));
+  { fd; next_id = 1L; closed = false }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let write_all t buf =
+  let len = Bytes.length buf in
+  let sent = ref 0 in
+  while !sent < len do
+    match Unix.write t.fd buf !sent (len - !sent) with
+    | 0 -> fail "connection closed while writing"
+    | n -> sent := !sent + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "write: %s" (Unix.error_message e)
+  done
+
+let read_exact t buf off len =
+  let got = ref 0 in
+  while !got < len do
+    match Unix.read t.fd buf (off + !got) (len - !got) with
+    | 0 -> fail "connection closed by server"
+    | n -> got := !got + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error (e, _, _) ->
+        fail "read: %s" (Unix.error_message e)
+  done
+
+let read_frame t =
+  let header = Bytes.create 4 in
+  read_exact t header 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  if len < 0 || len > Protocol.max_payload then
+    fail "bad frame length %d from server" len;
+  let payload = Bytes.create len in
+  read_exact t payload 0 len;
+  match Protocol.decode_response payload with
+  | Ok (id, resp) -> (id, resp)
+  | Error e -> fail "undecodable response: %s" (Protocol.error_to_string e)
+
+let rpc t req =
+  if t.closed then fail "client is closed";
+  let id = t.next_id in
+  t.next_id <- Int64.add t.next_id 1L;
+  write_all t (Protocol.encode_request ~id req);
+  let rid, resp = read_frame t in
+  (* id 0 is the server's out-of-band admission rejection. *)
+  if rid <> id && rid <> 0L then
+    fail "response id %Ld for request %Ld" rid id;
+  resp
+
+(* ---------------- typed conveniences ---------------- *)
+
+let ping t =
+  match rpc t Protocol.Ping with
+  | Protocol.Ack _ -> ()
+  | Protocol.Overloaded m -> fail "overloaded: %s" m
+  | _ -> fail "unexpected response to ping"
+
+let insert t ?id ivl =
+  match
+    rpc t
+      (Protocol.Insert
+         { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl; id })
+  with
+  | Protocol.Ack msg -> (
+      match int_of_string_opt (List.hd (List.rev (String.split_on_char ' ' msg)))
+      with
+      | Some n -> Ok n
+      | None -> Result.Error ("unparseable ack: " ^ msg))
+  | Protocol.Error m | Protocol.Overloaded m -> Result.Error m
+  | _ -> Result.Error "unexpected response to insert"
+
+let intersect t ivl =
+  match
+    rpc t
+      (Protocol.Intersect
+         { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl })
+  with
+  | Protocol.Rows { rows; _ } ->
+      List.map (fun r -> (Interval.Ivl.make r.(0) r.(1), r.(2))) rows
+  | Protocol.Error m -> fail "intersect: %s" m
+  | Protocol.Overloaded m -> fail "intersect: overloaded: %s" m
+  | _ -> fail "unexpected response to intersect"
+
+let sql t text =
+  match rpc t (Protocol.Sql text) with
+  | (Protocol.Ack _ | Protocol.Rows _) as r -> Ok r
+  | Protocol.Error m | Protocol.Overloaded m -> Result.Error m
+  | _ -> Result.Error "unexpected response to sql"
+
+let server_stats t =
+  match rpc t Protocol.Stats with
+  | Protocol.Stats_reply s -> s
+  | Protocol.Error m -> fail "stats: %s" m
+  | Protocol.Overloaded m -> fail "stats: overloaded: %s" m
+  | _ -> fail "unexpected response to stats"

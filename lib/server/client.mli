@@ -1,0 +1,40 @@
+(** Blocking client for the rikitd wire protocol.
+
+    One TCP connection, one outstanding request at a time: {!rpc}
+    assigns a fresh request id, writes the frame, and blocks until the
+    matching response arrives. An admission-control rejection at accept
+    time (the server's [Overloaded] frame with request id 0) is
+    returned as the response of whatever call observes it. Transport
+    failures and protocol violations raise {!Io_error}; {e server-side}
+    failures never raise — they are the typed [Error]/[Overloaded]
+    responses. *)
+
+type t
+
+exception Io_error of string
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Default host [127.0.0.1]. @raise Io_error when the connection is
+    refused. *)
+
+val close : t -> unit
+
+val rpc : t -> Protocol.request -> Protocol.response
+(** @raise Io_error on a closed/violated transport. *)
+
+(** {2 Typed conveniences} *)
+
+val ping : t -> unit
+(** @raise Io_error if the server answers anything but an [Ack]. *)
+
+val insert : t -> ?id:int -> Interval.Ivl.t -> (int, string) result
+(** The assigned id, or the server's error text. *)
+
+val intersect : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** @raise Io_error on a non-[Rows] response (e.g. [Overloaded]). *)
+
+val sql : t -> string -> (Protocol.response, string) result
+(** [Ok] carries [Ack] or [Rows]; [Result.Error] the server's message. *)
+
+val server_stats : t -> Protocol.stats
+(** @raise Io_error on a non-[Stats_reply] response. *)

@@ -1,0 +1,296 @@
+type config = {
+  host : string;
+  port : int;
+  max_sessions : int;
+  max_inflight : int;
+  max_queue : int;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
+    max_queue = 1024 }
+
+type conn = {
+  fd : Unix.file_descr;
+  session : Session.t;
+  framer : Protocol.Framer.t;
+  pending : (int64 * Protocol.request) Queue.t;
+  out : Buffer.t;
+  mutable out_sent : int;
+  mutable closing : bool;  (* close once the output buffer drains *)
+}
+
+type t = {
+  cfg : config;
+  sh : Session.shared;
+  st : Server_stats.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable conns : conn list;
+  mutable queued : int;  (* total pending requests across connections *)
+}
+
+let create ?(config = default_config) sh =
+  (* A peer hanging up mid-write must surface as EPIPE, not kill the
+     daemon. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port) in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd addr;
+  Unix.listen fd 128;
+  let bound_port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  {
+    cfg = config;
+    sh;
+    st = Server_stats.create ~now:(Unix.gettimeofday ());
+    listen_fd = fd;
+    bound_port;
+    stop_r;
+    stop_w;
+    stopping = false;
+    conns = [];
+    queued = 0;
+  }
+
+let port t = t.bound_port
+let stats t = t.st
+let shared t = t.sh
+
+let stop t =
+  (* A single byte on the self-pipe wakes the select; writing is
+     async-signal-safe, so Ctrl-C handlers may call this directly. *)
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+(* ---------------- output ---------------- *)
+
+let push_response conn id resp =
+  Buffer.add_bytes conn.out (Protocol.encode_response ~id resp)
+
+let try_flush conn =
+  (* Write whatever the socket accepts; the conn stays registered for
+     writability while anything is left. *)
+  let len = Buffer.length conn.out in
+  if len > conn.out_sent then begin
+    let chunk = Buffer.to_bytes conn.out in
+    match Unix.write conn.fd chunk conn.out_sent (len - conn.out_sent) with
+    | n -> conn.out_sent <- conn.out_sent + n
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        conn.closing <- true;
+        conn.out_sent <- Buffer.length conn.out
+  end;
+  if conn.out_sent = Buffer.length conn.out && conn.out_sent > 0 then begin
+    Buffer.clear conn.out;
+    conn.out_sent <- 0
+  end
+
+let output_pending conn = Buffer.length conn.out > conn.out_sent
+
+(* ---------------- connection lifecycle ---------------- *)
+
+let close_conn t conn =
+  if List.memq conn t.conns then begin
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    t.queued <- t.queued - Queue.length conn.pending;
+    Server_stats.queue_depth t.st t.queued;
+    Queue.clear conn.pending;
+    Session.close conn.session;
+    Server_stats.session_closed t.st;
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+  end
+
+let reject_connection t fd =
+  (* Over max-sessions: one typed Overloaded frame, then the door. The
+     socket is fresh and the frame small, so a blocking write is fine. *)
+  Server_stats.overloaded t.st;
+  let frame =
+    Protocol.encode_response ~id:0L
+      (Protocol.Overloaded
+         (Printf.sprintf "server at session limit (%d)" t.cfg.max_sessions))
+  in
+  (try ignore (Unix.write fd frame 0 (Bytes.length frame))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_connections t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    -> ()
+  | fd, _peer ->
+      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+      else if List.length t.conns >= t.cfg.max_sessions then
+        reject_connection t fd
+      else begin
+        Unix.set_nonblock fd;
+        let conn =
+          {
+            fd;
+            session = Session.create t.sh;
+            framer = Protocol.Framer.create ();
+            pending = Queue.create ();
+            out = Buffer.create 256;
+            out_sent = 0;
+            closing = false;
+          }
+        in
+        t.conns <- conn :: t.conns;
+        Server_stats.session_opened t.st
+      end
+
+(* ---------------- input ---------------- *)
+
+let enqueue_request t conn id req =
+  if t.queued >= t.cfg.max_queue then begin
+    Server_stats.overloaded t.st;
+    push_response conn id
+      (Protocol.Overloaded
+         (Printf.sprintf "request queue full (%d pending)" t.queued))
+  end
+  else begin
+    Queue.add (id, req) conn.pending;
+    t.queued <- t.queued + 1;
+    Server_stats.queue_depth t.st t.queued
+  end
+
+let drain_frames t conn =
+  let continue = ref true in
+  while !continue do
+    match Protocol.Framer.next conn.framer with
+    | Ok None -> continue := false
+    | Ok (Some payload) -> (
+        match Protocol.decode_request payload with
+        | Ok (id, req) -> enqueue_request t conn id req
+        | Result.Error err ->
+            push_response conn 0L
+              (Protocol.Error (Protocol.error_to_string err)))
+    | Result.Error err ->
+        (* Length prefix beyond max_payload: the byte stream is beyond
+           recovery. Answer, then close after the answer drains. *)
+        push_response conn 0L
+          (Protocol.Error (Protocol.error_to_string err));
+        conn.closing <- true;
+        continue := false
+  done
+
+let read_conn t conn =
+  let scratch = Bytes.create 65536 in
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> close_conn t conn
+  | n ->
+      Protocol.Framer.feed conn.framer scratch n;
+      drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn t conn
+
+(* ---------------- execution ---------------- *)
+
+let device_stats t =
+  Storage.Block_device.Stats.get
+    (Relation.Catalog.device (Session.catalog t.sh))
+
+let execute_one t conn id req =
+  t.queued <- t.queued - 1;
+  Server_stats.queue_depth t.st t.queued;
+  let op = Protocol.request_op_name req in
+  let resp, seconds, io =
+    match req with
+    | Protocol.Stats ->
+        let snap () =
+          Protocol.Stats_reply
+            (Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
+               ~io:(device_stats t))
+        in
+        Harness.Measure.timed_io (Session.catalog t.sh) snap
+    | req ->
+        Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
+            Session.handle conn.session req)
+  in
+  Server_stats.record t.st ~op ~seconds ~io;
+  push_response conn id resp
+
+let execute_round t ~limit =
+  (* Round-robin: one request per ready session per pass, so a chatty
+     pipeliner cannot starve its neighbours. *)
+  let budget = ref limit in
+  let progress = ref true in
+  while !budget > 0 && !progress do
+    progress := false;
+    List.iter
+      (fun conn ->
+        if !budget > 0 && not (Queue.is_empty conn.pending) then begin
+          let id, req = Queue.take conn.pending in
+          execute_one t conn id req;
+          decr budget;
+          progress := true
+        end)
+      (List.rev t.conns)
+  done
+
+(* ---------------- the loop ---------------- *)
+
+let serve t =
+  let scratch = Bytes.create 16 in
+  let finished = ref false in
+  while not !finished do
+    let reads =
+      t.stop_r
+      :: (if t.stopping then [] else [ t.listen_fd ])
+      @ List.filter_map
+          (fun c -> if c.closing then None else Some c.fd)
+          t.conns
+    in
+    let writes =
+      List.filter_map
+        (fun c -> if output_pending c then Some c.fd else None)
+        t.conns
+    in
+    let readable, writable, _ =
+      try Unix.select reads writes [] 1.0
+      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if List.mem t.stop_r readable then begin
+      (try ignore (Unix.read t.stop_r scratch 0 (Bytes.length scratch))
+       with Unix.Unix_error _ -> ());
+      t.stopping <- true
+    end;
+    if (not t.stopping) && List.mem t.listen_fd readable then
+      accept_connections t;
+    List.iter
+      (fun conn -> if List.mem conn.fd readable then read_conn t conn)
+      t.conns;
+    execute_round t
+      ~limit:(if t.stopping then t.queued else t.cfg.max_inflight);
+    List.iter
+      (fun conn ->
+        if List.mem conn.fd writable || output_pending conn then
+          try_flush conn)
+      t.conns;
+    List.iter
+      (fun conn ->
+        if conn.closing && not (output_pending conn) then close_conn t conn)
+      t.conns;
+    if t.stopping && t.queued = 0 then begin
+      (* Everything parsed has been answered; push the last bytes out
+         (sockets willing) and leave. *)
+      List.iter (fun conn -> try_flush conn) t.conns;
+      List.iter (fun conn -> close_conn t conn) t.conns;
+      finished := true
+    end
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  Session.flush_shared t.sh

@@ -1,0 +1,56 @@
+(** The rikitd event loop.
+
+    A single-process, single-writer [Unix.select] loop multiplexing many
+    client connections over the shared database — the serving shape the
+    paper assumes of its host RDBMS front end. Each round: accept new
+    connections, read and frame input, execute up to [max_inflight]
+    parsed requests round-robin across sessions, and drain output
+    buffers (sockets are non-blocking; a slow reader never stalls the
+    loop).
+
+    Admission control is typed, never silent:
+
+    - a connection beyond [max_sessions] is answered with one
+      [Overloaded] frame (request id 0) and closed;
+    - a request arriving while [max_queue] requests are already parsed
+      but unexecuted gets an [Overloaded] response instead of a seat in
+      the queue;
+    - a malformed payload gets a typed [Error] response; only a framing
+      desync (oversized length prefix) closes the connection, again
+      after a typed response.
+
+    {!stop} is thread- and signal-safe (self-pipe); {!serve} then stops
+    accepting, answers everything already queued, flushes the buffer
+    pool (checkpointing a durable catalog, so nothing acknowledged is
+    lost on restart) and returns. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  max_sessions : int;
+  max_inflight : int;  (** requests executed per loop round *)
+  max_queue : int;  (** parsed-but-unexecuted requests, across sessions *)
+}
+
+val default_config : config
+(** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued. *)
+
+type t
+
+val create : ?config:config -> Session.shared -> t
+(** Bind and listen immediately (so [port] is known before {!serve}
+    runs). @raise Unix.Unix_error if the address is unavailable. *)
+
+val port : t -> int
+(** The actual bound port — useful with [config.port = 0]. *)
+
+val stats : t -> Server_stats.t
+
+val shared : t -> Session.shared
+
+val serve : t -> unit
+(** Run the loop until {!stop}. Must be called at most once. *)
+
+val stop : t -> unit
+(** Request graceful shutdown; safe from another thread or a signal
+    handler. *)

@@ -1,0 +1,391 @@
+let version = 1
+let max_payload = 4 * 1024 * 1024
+
+type request =
+  | Sql of string
+  | Insert of { lower : int; upper : int; id : int option }
+  | Delete of { lower : int; upper : int; id : int }
+  | Intersect of { lower : int; upper : int }
+  | Allen of { relation : Interval.Allen.relation; lower : int; upper : int }
+  | Commit
+  | Rollback
+  | Stats
+  | Ping
+
+let request_op_name = function
+  | Sql _ -> "sql"
+  | Insert _ -> "insert"
+  | Delete _ -> "delete"
+  | Intersect _ -> "intersect"
+  | Allen _ -> "allen"
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+  | Stats -> "stats"
+  | Ping -> "ping"
+
+type op_stat = {
+  op : string;
+  count : int;
+  total_io : int;
+  p50_us : int;
+  p95_us : int;
+  p99_us : int;
+  max_us : int;
+}
+
+type stats = {
+  uptime_s : float;
+  sessions : int;
+  peak_sessions : int;
+  total_requests : int;
+  overload_rejections : int;
+  queue_depth : int;
+  peak_queue_depth : int;
+  io_reads : int;
+  io_writes : int;
+  ops : op_stat list;
+}
+
+type response =
+  | Ack of string
+  | Rows of { columns : string list; rows : int array list }
+  | Error of string
+  | Overloaded of string
+  | Stats_reply of stats
+
+type error =
+  | Truncated
+  | Oversized of int
+  | Malformed of string
+
+let error_to_string = function
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+  | Malformed m -> "malformed frame: " ^ m
+
+(* ---------------- encoding primitives ---------------- *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+let put_i64 b v = Buffer.add_int64_be b v
+let put_int b v = put_i64 b (Int64.of_int v)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let put_string_list b l =
+  put_u32 b (List.length l);
+  List.iter (put_string b) l
+
+let put_row b (row : int array) =
+  put_u32 b (Array.length row);
+  Array.iter (put_int b) row
+
+let put_rows b rows =
+  put_u32 b (List.length rows);
+  List.iter (put_row b) rows
+
+(* ---------------- decoding primitives ----------------
+
+   A cursor over one payload. The [Short] exception is internal: it is
+   caught at the decode entry points and mapped to the typed
+   [Truncated] error, so no exception ever escapes the codec. *)
+
+exception Short
+exception Bad of string
+
+type cursor = { buf : Bytes.t; mutable pos : int }
+
+let need c n = if c.pos + n > Bytes.length c.buf then raise Short
+
+let get_u8 c =
+  need c 1;
+  let v = Bytes.get_uint8 c.buf c.pos in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  need c 4;
+  let v = Int32.to_int (Bytes.get_int32_be c.buf c.pos) in
+  c.pos <- c.pos + 4;
+  if v < 0 then raise (Bad "negative length");
+  v
+
+let get_i64 c =
+  need c 8;
+  let v = Bytes.get_int64_be c.buf c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let get_int c =
+  let v = get_i64 c in
+  let i = Int64.to_int v in
+  if Int64.of_int i <> v then raise (Bad "integer out of native range");
+  i
+
+let get_string c =
+  let n = get_u32 c in
+  if n > max_payload then raise (Bad "string length exceeds frame bound");
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let get_list c get =
+  let n = get_u32 c in
+  (* Each element consumes at least one byte; a count beyond the
+     remaining bytes is garbage, not merely truncated. *)
+  if n > Bytes.length c.buf - c.pos then raise (Bad "list count exceeds frame");
+  List.init n (fun _ -> get c)
+
+let get_row c =
+  let n = get_u32 c in
+  if n > (Bytes.length c.buf - c.pos + 7) / 8 then
+    raise (Bad "row arity exceeds frame");
+  Array.init n (fun _ -> get_int c)
+
+let finish c v =
+  if c.pos <> Bytes.length c.buf then raise (Bad "trailing bytes");
+  v
+
+(* ---------------- opcodes ---------------- *)
+
+let op_sql = 0x01
+let op_insert = 0x02
+let op_delete = 0x03
+let op_intersect = 0x04
+let op_allen = 0x05
+let op_commit = 0x06
+let op_rollback = 0x07
+let op_stats = 0x08
+let op_ping = 0x09
+let op_ack = 0x81
+let op_rows = 0x82
+let op_error = 0x83
+let op_overloaded = 0x84
+let op_stats_reply = 0x85
+
+(* ---------------- frames ---------------- *)
+
+let frame payload_writer =
+  let b = Buffer.create 64 in
+  put_u32 b 0 (* placeholder *);
+  payload_writer b;
+  let bytes = Buffer.to_bytes b in
+  Bytes.set_int32_be bytes 0 (Int32.of_int (Bytes.length bytes - 4));
+  bytes
+
+let encode_request ~id req =
+  frame (fun b ->
+      put_i64 b id;
+      match req with
+      | Sql text ->
+          put_u8 b op_sql;
+          put_string b text
+      | Insert { lower; upper; id = iid } ->
+          put_u8 b op_insert;
+          put_int b lower;
+          put_int b upper;
+          (match iid with
+          | None -> put_u8 b 0
+          | Some v ->
+              put_u8 b 1;
+              put_int b v)
+      | Delete { lower; upper; id = iid } ->
+          put_u8 b op_delete;
+          put_int b lower;
+          put_int b upper;
+          put_int b iid
+      | Intersect { lower; upper } ->
+          put_u8 b op_intersect;
+          put_int b lower;
+          put_int b upper
+      | Allen { relation; lower; upper } ->
+          put_u8 b op_allen;
+          put_string b (Interval.Allen.to_string relation);
+          put_int b lower;
+          put_int b upper
+      | Commit -> put_u8 b op_commit
+      | Rollback -> put_u8 b op_rollback
+      | Stats -> put_u8 b op_stats
+      | Ping -> put_u8 b op_ping)
+
+let encode_response ~id resp =
+  frame (fun b ->
+      put_i64 b id;
+      match resp with
+      | Ack msg ->
+          put_u8 b op_ack;
+          put_string b msg
+      | Rows { columns; rows } ->
+          put_u8 b op_rows;
+          put_string_list b columns;
+          put_rows b rows
+      | Error msg ->
+          put_u8 b op_error;
+          put_string b msg
+      | Overloaded msg ->
+          put_u8 b op_overloaded;
+          put_string b msg
+      | Stats_reply s ->
+          put_u8 b op_stats_reply;
+          put_i64 b (Int64.bits_of_float s.uptime_s);
+          put_int b s.sessions;
+          put_int b s.peak_sessions;
+          put_int b s.total_requests;
+          put_int b s.overload_rejections;
+          put_int b s.queue_depth;
+          put_int b s.peak_queue_depth;
+          put_int b s.io_reads;
+          put_int b s.io_writes;
+          put_u32 b (List.length s.ops);
+          List.iter
+            (fun o ->
+              put_string b o.op;
+              put_int b o.count;
+              put_int b o.total_io;
+              put_int b o.p50_us;
+              put_int b o.p95_us;
+              put_int b o.p99_us;
+              put_int b o.max_us)
+            s.ops)
+
+let decode body payload =
+  if Bytes.length payload > max_payload then
+    Result.Error (Oversized (Bytes.length payload))
+  else
+    let c = { buf = payload; pos = 0 } in
+    match
+      let id = get_i64 c in
+      let opcode = get_u8 c in
+      (id, finish c (body c opcode))
+    with
+    | v -> Ok v
+    | exception Short -> Result.Error Truncated
+    | exception Bad m -> Result.Error (Malformed m)
+
+let decode_request payload =
+  decode
+    (fun c opcode ->
+      if opcode = op_sql then Sql (get_string c)
+      else if opcode = op_insert then
+        let lower = get_int c in
+        let upper = get_int c in
+        let iid =
+          match get_u8 c with
+          | 0 -> None
+          | 1 -> Some (get_int c)
+          | t -> raise (Bad (Printf.sprintf "bad option tag %d" t))
+        in
+        Insert { lower; upper; id = iid }
+      else if opcode = op_delete then
+        let lower = get_int c in
+        let upper = get_int c in
+        let iid = get_int c in
+        Delete { lower; upper; id = iid }
+      else if opcode = op_intersect then
+        let lower = get_int c in
+        let upper = get_int c in
+        Intersect { lower; upper }
+      else if opcode = op_allen then
+        let name = get_string c in
+        let relation =
+          match Interval.Allen.of_string name with
+          | Some r -> r
+          | None -> raise (Bad (Printf.sprintf "unknown Allen relation %S" name))
+        in
+        let lower = get_int c in
+        let upper = get_int c in
+        Allen { relation; lower; upper }
+      else if opcode = op_commit then Commit
+      else if opcode = op_rollback then Rollback
+      else if opcode = op_stats then Stats
+      else if opcode = op_ping then Ping
+      else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" opcode)))
+    payload
+
+let decode_response payload =
+  decode
+    (fun c opcode ->
+      if opcode = op_ack then Ack (get_string c)
+      else if opcode = op_rows then
+        let columns = get_list c get_string in
+        let rows = get_list c get_row in
+        Rows { columns; rows }
+      else if opcode = op_error then Error (get_string c)
+      else if opcode = op_overloaded then Overloaded (get_string c)
+      else if opcode = op_stats_reply then
+        let uptime_s = Int64.float_of_bits (get_i64 c) in
+        let sessions = get_int c in
+        let peak_sessions = get_int c in
+        let total_requests = get_int c in
+        let overload_rejections = get_int c in
+        let queue_depth = get_int c in
+        let peak_queue_depth = get_int c in
+        let io_reads = get_int c in
+        let io_writes = get_int c in
+        let ops =
+          get_list c (fun c ->
+              let op = get_string c in
+              let count = get_int c in
+              let total_io = get_int c in
+              let p50_us = get_int c in
+              let p95_us = get_int c in
+              let p99_us = get_int c in
+              let max_us = get_int c in
+              { op; count; total_io; p50_us; p95_us; p99_us; max_us })
+        in
+        Stats_reply
+          {
+            uptime_s;
+            sessions;
+            peak_sessions;
+            total_requests;
+            overload_rejections;
+            queue_depth;
+            peak_queue_depth;
+            io_reads;
+            io_writes;
+            ops;
+          }
+      else raise (Bad (Printf.sprintf "unknown response opcode 0x%02x" opcode)))
+    payload
+
+(* ---------------- frame splitting ---------------- *)
+
+module Framer = struct
+  type t = { mutable data : Bytes.t; mutable len : int }
+
+  let create () = { data = Bytes.create 4096; len = 0 }
+
+  let feed t buf n =
+    if n < 0 || n > Bytes.length buf then
+      invalid_arg "Protocol.Framer.feed: bad length";
+    let need = t.len + n in
+    if need > Bytes.length t.data then begin
+      let cap = max need (2 * Bytes.length t.data) in
+      let data = Bytes.create cap in
+      Bytes.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    Bytes.blit buf 0 t.data t.len n;
+    t.len <- t.len + n
+
+  let buffered t = t.len
+
+  let next t =
+    if t.len < 4 then Ok None
+    else
+      let declared = Int32.to_int (Bytes.get_int32_be t.data 0) in
+      if declared < 0 || declared > max_payload then
+        Result.Error (Oversized declared)
+      else if t.len < 4 + declared then Ok None
+      else begin
+        let payload = Bytes.sub t.data 4 declared in
+        let rest = t.len - 4 - declared in
+        Bytes.blit t.data (4 + declared) t.data 0 rest;
+        t.len <- rest;
+        Ok (Some payload)
+      end
+end

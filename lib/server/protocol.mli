@@ -1,0 +1,134 @@
+(** The rikitd wire protocol.
+
+    Transport-agnostic, length-prefixed binary frames. A frame on the
+    wire is
+
+    {v
+    | u32 payload length (big endian) | payload |
+    v}
+
+    and a payload is
+
+    {v
+    | u64 request id | u8 opcode | opcode-specific body |
+    v}
+
+    The codec is pure [Bytes] level — encoding returns a complete frame,
+    decoding consumes a payload — so it is unit-testable without
+    sockets. Decoding NEVER raises: malformed, truncated, or oversized
+    input yields a typed {!error}, which the dispatcher turns into a
+    typed {!const-Error} response instead of a dropped connection.
+
+    Integers travel as 64-bit big-endian two's complement; strings and
+    byte blobs as a u32 length followed by the raw bytes. The protocol
+    is versioned ({!version}); the client sends no handshake — frames
+    are self-describing — so version only changes when the frame layout
+    does. *)
+
+val version : int
+(** Protocol version, bumped on any incompatible frame-layout change. *)
+
+val max_payload : int
+(** Upper bound on a frame payload in bytes. A declared length above
+    this decodes to [Oversized] (a defence against garbage prefixes
+    allocating gigabytes). *)
+
+(** {2 Requests} *)
+
+type request =
+  | Sql of string
+      (** One SQL statement for the session's {!Sqlfront.Engine}. *)
+  | Insert of { lower : int; upper : int; id : int option }
+      (** Register an interval in the server's RI-tree; the response
+          carries the assigned id. *)
+  | Delete of { lower : int; upper : int; id : int }
+  | Intersect of { lower : int; upper : int }
+      (** Intersection query; responds with [(lower, upper, id)] rows. *)
+  | Allen of { relation : Interval.Allen.relation; lower : int; upper : int }
+      (** Topological query for one Allen relation. *)
+  | Commit  (** Journal-backed commit of the shared database. *)
+  | Rollback
+      (** Discard everything since the last commit (durable servers
+          only); a global boundary — the server is a single-writer. *)
+  | Stats  (** Ask for the server's {!stats} snapshot. *)
+  | Ping
+
+val request_op_name : request -> string
+(** Short lowercase tag ("sql", "insert", ...) used as the latency
+    histogram key. *)
+
+(** {2 Responses} *)
+
+type op_stat = {
+  op : string;
+  count : int;
+  total_io : int;   (** physical blocks read + written servicing this op *)
+  p50_us : int;     (** latency percentiles in microseconds *)
+  p95_us : int;
+  p99_us : int;
+  max_us : int;
+}
+
+type stats = {
+  uptime_s : float;
+  sessions : int;           (** currently connected *)
+  peak_sessions : int;
+  total_requests : int;
+  overload_rejections : int;
+  queue_depth : int;        (** requests parsed but not yet executed *)
+  peak_queue_depth : int;
+  io_reads : int;           (** device counters since server start *)
+  io_writes : int;
+  ops : op_stat list;
+}
+
+type response =
+  | Ack of string  (** acknowledgement for DDL/DML, commit, ping, ... *)
+  | Rows of { columns : string list; rows : int array list }
+  | Error of string
+      (** The statement failed; the session survives and the connection
+          stays open. *)
+  | Overloaded of string
+      (** Admission control rejected the connection or request. *)
+  | Stats_reply of stats
+
+(** {2 Codec} *)
+
+type error =
+  | Truncated  (** well-formed prefix, but the payload ends early *)
+  | Oversized of int  (** declared payload length exceeds {!max_payload} *)
+  | Malformed of string  (** unknown opcode, negative length, trailing junk *)
+
+val error_to_string : error -> string
+
+val encode_request : id:int64 -> request -> Bytes.t
+(** The complete frame, length prefix included. *)
+
+val encode_response : id:int64 -> response -> Bytes.t
+
+val decode_request : Bytes.t -> (int64 * request, error) result
+(** Decode one payload (the frame with its length prefix stripped). *)
+
+val decode_response : Bytes.t -> (int64 * response, error) result
+
+(** {2 Frame splitting}
+
+    A [Framer] accumulates raw transport bytes and yields complete
+    payloads. One per connection. *)
+
+module Framer : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> Bytes.t -> int -> unit
+  (** [feed t buf n] appends the first [n] bytes of [buf]. *)
+
+  val next : t -> (Bytes.t option, error) result
+  (** The next complete payload, [None] when more bytes are needed, or
+      [Error (Oversized _)] when the pending length prefix exceeds
+      {!max_payload} (the connection is beyond recovery — close it). *)
+
+  val buffered : t -> int
+  (** Bytes held but not yet returned. *)
+end

@@ -1,0 +1,146 @@
+let buckets = 40
+(* bucket i holds latencies in [2^i, 2^(i+1)) microseconds; bucket 39
+   tops out above 15 minutes, far beyond any single request here *)
+
+type op = {
+  mutable count : int;
+  mutable total_io : int;
+  mutable max_us : int;
+  hist : int array;
+}
+
+type t = {
+  started : float;
+  ops : (string, op) Hashtbl.t;
+  mutable sessions : int;
+  mutable peak_sessions : int;
+  mutable total_requests : int;
+  mutable overload_rejections : int;
+  mutable queue : int;
+  mutable peak_queue : int;
+}
+
+let create ~now =
+  {
+    started = now;
+    ops = Hashtbl.create 8;
+    sessions = 0;
+    peak_sessions = 0;
+    total_requests = 0;
+    overload_rejections = 0;
+    queue = 0;
+    peak_queue = 0;
+  }
+
+let bucket_of_us us =
+  let rec go i v = if v <= 1 || i = buckets - 1 then i else go (i + 1) (v lsr 1) in
+  if us <= 0 then 0 else go 0 us
+
+let bucket_mid_us i =
+  if i = 0 then 1
+  else
+    (* geometric midpoint of [2^i, 2^(i+1)) *)
+    int_of_float (Float.round (Float.sqrt 2.0 *. float_of_int (1 lsl i)))
+
+let op_for t name =
+  match Hashtbl.find_opt t.ops name with
+  | Some o -> o
+  | None ->
+      let o = { count = 0; total_io = 0; max_us = 0; hist = Array.make buckets 0 } in
+      Hashtbl.add t.ops name o;
+      o
+
+let record t ~op ~seconds ~io =
+  let us = int_of_float (Float.round (seconds *. 1e6)) in
+  let o = op_for t op in
+  o.count <- o.count + 1;
+  o.total_io <- o.total_io + io;
+  if us > o.max_us then o.max_us <- us;
+  let b = bucket_of_us us in
+  o.hist.(b) <- o.hist.(b) + 1;
+  t.total_requests <- t.total_requests + 1
+
+let overloaded t = t.overload_rejections <- t.overload_rejections + 1
+
+let session_opened t =
+  t.sessions <- t.sessions + 1;
+  if t.sessions > t.peak_sessions then t.peak_sessions <- t.sessions
+
+let session_closed t = t.sessions <- t.sessions - 1
+
+let queue_depth t d =
+  t.queue <- d;
+  if d > t.peak_queue then t.peak_queue <- d
+
+let percentile_us o p =
+  if o.count = 0 then 0
+  else begin
+    let rank = int_of_float (Float.ceil (p *. float_of_int o.count)) in
+    let rank = max 1 (min o.count rank) in
+    let acc = ref 0 and res = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + o.hist.(i);
+         if !acc >= rank then begin
+           res := bucket_mid_us i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !res
+  end
+
+let snapshot t ~now ~io : Protocol.stats =
+  let ops =
+    Hashtbl.fold
+      (fun name o acc ->
+        {
+          Protocol.op = name;
+          count = o.count;
+          total_io = o.total_io;
+          p50_us = percentile_us o 0.50;
+          p95_us = percentile_us o 0.95;
+          p99_us = percentile_us o 0.99;
+          max_us = o.max_us;
+        }
+        :: acc)
+      t.ops []
+    |> List.sort (fun a b -> String.compare a.Protocol.op b.Protocol.op)
+  in
+  {
+    Protocol.uptime_s = now -. t.started;
+    sessions = t.sessions;
+    peak_sessions = t.peak_sessions;
+    total_requests = t.total_requests;
+    overload_rejections = t.overload_rejections;
+    queue_depth = t.queue;
+    peak_queue_depth = t.peak_queue;
+    io_reads = io.Storage.Block_device.Stats.reads;
+    io_writes = io.Storage.Block_device.Stats.writes;
+    ops;
+  }
+
+let render (s : Protocol.stats) =
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "server stats (uptime %.1f s)\n\
+    \  sessions: %d (peak %d)   requests: %d   overload rejections: %d\n\
+    \  queue depth: %d (peak %d)   physical I/O: %d reads, %d writes\n"
+    s.uptime_s s.sessions s.peak_sessions s.total_requests
+    s.overload_rejections s.queue_depth s.peak_queue_depth s.io_reads
+    s.io_writes;
+  if s.ops <> [] then begin
+    Printf.bprintf b "  %-10s %8s %10s %9s %9s %9s %9s %8s\n" "op" "count"
+      "io/req" "p50(us)" "p95(us)" "p99(us)" "max(us)" "io";
+    List.iter
+      (fun (o : Protocol.op_stat) ->
+        Printf.bprintf b "  %-10s %8d %10.2f %9d %9d %9d %9d %8d\n" o.op
+          o.count
+          (if o.count = 0 then 0.0
+           else float_of_int o.total_io /. float_of_int o.count)
+          o.p50_us o.p95_us o.p99_us o.max_us o.total_io)
+      s.ops
+  end;
+  Buffer.contents b
+
+let dump t ~now ~io = render (snapshot t ~now ~io)

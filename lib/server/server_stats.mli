@@ -1,0 +1,40 @@
+(** Server-side metrics: per-op latency histograms, physical I/O per
+    request, session and queue gauges.
+
+    Latencies are kept in logarithmic (power-of-two microsecond)
+    histograms, so recording is O(1) and allocation-free on the hot
+    path; percentiles are reconstructed from the buckets (geometric
+    bucket midpoint — at most a factor [sqrt 2] off, plenty for the
+    dashboards the paper's Figs. 13/14 correspond to). Physical I/O is
+    the device-counter delta the dispatcher measures around each
+    request via {!Harness.Measure.timed_io}. *)
+
+type t
+
+val create : now:float -> t
+(** [now] is the server start time (seconds, any monotonic-enough
+    clock); {!snapshot} reports uptime against it. *)
+
+val record : t -> op:string -> seconds:float -> io:int -> unit
+(** Account one completed request. *)
+
+val overloaded : t -> unit
+(** Count one admission-control rejection. *)
+
+val session_opened : t -> unit
+val session_closed : t -> unit
+
+val queue_depth : t -> int -> unit
+(** Update the pending-request gauge (tracks the peak). *)
+
+val snapshot : t -> now:float -> io:Storage.Block_device.Stats.t -> Protocol.stats
+(** The wire-ready snapshot: gauges, counters, and per-op percentile
+    summaries, sorted by op name. *)
+
+val dump : t -> now:float -> io:Storage.Block_device.Stats.t -> string
+(** Human-readable rendering of {!snapshot} — printed by [rikitd] on
+    shutdown. *)
+
+val render : Protocol.stats -> string
+(** Render an already-taken snapshot (used by clients displaying a
+    [Stats_reply]). *)

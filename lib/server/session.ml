@@ -1,0 +1,131 @@
+type shared = {
+  mutable cat : Relation.Catalog.t;
+  mutable ritree : Ritree.Ri_tree.t;
+  tree_name : string;
+  dur : bool;
+  mutable generation : int;
+  mutable next_session : int;
+}
+
+let shared ?(durable = false) ?cache_blocks ?(tree_name = "intervals") () =
+  let cat = Relation.Catalog.create ~durable ?cache_blocks () in
+  let ritree = Ritree.Ri_tree.create ~name:tree_name cat in
+  if durable then Relation.Catalog.commit cat;
+  { cat; ritree; tree_name; dur = durable; generation = 0; next_session = 0 }
+
+let catalog sh = sh.cat
+let tree sh = sh.ritree
+let durable sh = sh.dur
+
+let preload sh data =
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id sh.ritree ivl)) data;
+  Relation.Catalog.commit sh.cat
+
+let commit_shared sh = Relation.Catalog.commit sh.cat
+
+let flush_shared sh =
+  if sh.dur then Relation.Catalog.checkpoint sh.cat
+  else Relation.Catalog.flush sh.cat
+
+let reattach sh =
+  sh.ritree <- Ritree.Ri_tree.open_existing ~name:sh.tree_name sh.cat;
+  sh.generation <- sh.generation + 1
+
+let reopen sh =
+  if not sh.dur then failwith "Session.reopen: server is not durable";
+  sh.cat <- Relation.Catalog.reopen sh.cat;
+  reattach sh
+
+let rollback_shared sh =
+  if not sh.dur then
+    Protocol.Error "rollback requires a durable server (rikitd --durable)"
+  else begin
+    sh.cat <- Relation.Catalog.simulate_crash sh.cat;
+    reattach sh;
+    Protocol.Ack "rolled back to last commit"
+  end
+
+type t = {
+  sh : shared;
+  sid : int;
+  mutable engine : Sqlfront.Engine.session;
+  mutable engine_gen : int;
+  mutable reqs : int;
+  mutable sql_stmts : int;  (* survives engine re-attach after rollback *)
+}
+
+let create sh =
+  sh.next_session <- sh.next_session + 1;
+  {
+    sh;
+    sid = sh.next_session;
+    engine = Sqlfront.Engine.session sh.cat;
+    engine_gen = sh.generation;
+    reqs = 0;
+    sql_stmts = 0;
+  }
+
+let close _t = ()
+let id t = t.sid
+let requests t = t.reqs
+
+let engine t =
+  if t.engine_gen <> t.sh.generation then begin
+    t.sql_stmts <- t.sql_stmts + Sqlfront.Engine.statements t.engine;
+    t.engine <- Sqlfront.Engine.session t.sh.cat;
+    t.engine_gen <- t.sh.generation
+  end;
+  t.engine
+
+let sql_statements t = t.sql_stmts + Sqlfront.Engine.statements t.engine
+
+let ivl lower upper =
+  if lower > upper then
+    failwith (Printf.sprintf "empty interval [%d, %d]" lower upper)
+  else Interval.Ivl.make lower upper
+
+let pair_rows pairs =
+  Protocol.Rows
+    {
+      columns = [ "lower"; "upper"; "id" ];
+      rows =
+        List.map
+          (fun (i, id) ->
+            [| Interval.Ivl.lower i; Interval.Ivl.upper i; id |])
+          pairs;
+    }
+
+let exec t = function
+  | Protocol.Sql text -> (
+      match Sqlfront.Engine.exec (engine t) text with
+      | Sqlfront.Engine.Done msg -> Protocol.Ack msg
+      | Sqlfront.Engine.Rows { columns; rows } -> Protocol.Rows { columns; rows })
+  | Insert { lower; upper; id } ->
+      let assigned = Ritree.Ri_tree.insert ?id t.sh.ritree (ivl lower upper) in
+      Ack (Printf.sprintf "inserted id %d" assigned)
+  | Delete { lower; upper; id } ->
+      if Ritree.Ri_tree.delete t.sh.ritree ~id (ivl lower upper) then
+        Ack "deleted 1 row"
+      else Error (Printf.sprintf "no row ([%d, %d], id %d)" lower upper id)
+  | Intersect { lower; upper } ->
+      pair_rows (Ritree.Ri_tree.intersecting t.sh.ritree (ivl lower upper))
+  | Allen { relation; lower; upper } ->
+      pair_rows (Ritree.Topological.query t.sh.ritree relation (ivl lower upper))
+  | Commit ->
+      commit_shared t.sh;
+      Ack "committed"
+  | Rollback -> rollback_shared t.sh
+  | Ping -> Ack "pong"
+  | Stats -> Error "stats is handled by the dispatcher"
+
+let handle t req =
+  t.reqs <- t.reqs + 1;
+  try exec t req with
+  | Sqlfront.Engine.Error m -> Protocol.Error m
+  | Sqlfront.Parser.Error m -> Protocol.Error ("parse error: " ^ m)
+  | Sqlfront.Lexer.Error (m, pos) ->
+      Protocol.Error (Printf.sprintf "lex error at %d: %s" pos m)
+  | Failure m -> Protocol.Error m
+  | Invalid_argument m -> Protocol.Error m
+  | Not_found -> Protocol.Error "not found"
+  | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e)

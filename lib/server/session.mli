@@ -1,0 +1,68 @@
+(** Per-connection sessions over the shared database state.
+
+    The server owns exactly one database — one
+    {!Relation.Catalog.t}, one RI-tree for the typed interval ops, and
+    per-session {!Sqlfront.Engine} sessions bound to that catalog (so
+    transient collections stay private to a connection while tables are
+    shared, the same split the paper assumes of its host RDBMS).
+
+    Commit and rollback are journal-backed {e global} boundaries: the
+    dispatcher is a single-writer event loop, so [Commit] force-logs the
+    shared catalog and [Rollback] (durable servers only) runs journal
+    recovery back to the last commit. Rollback swaps the underlying
+    catalog handle; sessions notice via a generation counter and
+    re-attach lazily, dropping their transient collections (which are
+    session state, not committed data). *)
+
+(** {2 Shared database state} *)
+
+type shared
+
+val shared :
+  ?durable:bool -> ?cache_blocks:int -> ?tree_name:string -> unit -> shared
+(** A fresh database with an empty RI-tree (default name
+    ["intervals"]). [durable:true] (default [false]) enables the
+    write-ahead journal and with it [Rollback]. *)
+
+val catalog : shared -> Relation.Catalog.t
+val tree : shared -> Ritree.Ri_tree.t
+val durable : shared -> bool
+
+val preload : shared -> Interval.Ivl.t array -> unit
+(** Bulk-insert a dataset into the RI-tree (ids [0..n-1]) and commit. *)
+
+val commit_shared : shared -> unit
+(** {!Relation.Catalog.commit} on the current catalog handle. *)
+
+val flush_shared : shared -> unit
+(** Write back all dirty pages (graceful-shutdown path); on a durable
+    server this checkpoints, so a reopen sees every acknowledged
+    write. *)
+
+val reopen : shared -> unit
+(** Rebuild catalog and tree handles from persistent storage after a
+    clean {!flush_shared} — the in-process equivalent of a daemon
+    restart (durable servers only). *)
+
+(** {2 Sessions} *)
+
+type t
+
+val create : shared -> t
+(** Register a new session (ids count up from 1). *)
+
+val close : t -> unit
+
+val id : t -> int
+val requests : t -> int
+(** Requests this session has executed. *)
+
+val sql_statements : t -> int
+(** SQL statements run through this session's engine (the
+    {!Sqlfront.Engine.statements} counter, surviving re-attach). *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** Execute one request. Never raises: every failure — SQL errors,
+    bad intervals, rollback on a non-durable server — comes back as a
+    typed [Error]. [Stats] is the dispatcher's job and answers
+    [Error] here. *)

@@ -5,9 +5,14 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 type session = {
   catalog : Relation.Catalog.t;
   collections : (string, string array * int array list) Hashtbl.t;
+  mutable statements : int;
 }
 
-let session catalog = { catalog; collections = Hashtbl.create 8 }
+let session catalog = { catalog; collections = Hashtbl.create 8; statements = 0 }
+
+let statements s = s.statements
+
+let catalog s = s.catalog
 
 let set_collection s name ~columns rows =
   Hashtbl.replace s.collections name (Array.of_list columns, rows)
@@ -878,10 +883,15 @@ let rec run_stmt session binds = function
           Done (explain_plan (List.map (plan_branch session) q.Ast.branches))
       | _ -> run_stmt session binds stmt)
 
-let exec ?(binds = []) session src = run_stmt session binds (Parser.parse src)
+let counted session stmt binds =
+  let r = run_stmt session binds stmt in
+  session.statements <- session.statements + 1;
+  r
+
+let exec ?(binds = []) session src = counted session (Parser.parse src) binds
 
 let exec_script ?(binds = []) session src =
-  List.map (run_stmt session binds) (Parser.parse_script src)
+  List.map (fun stmt -> counted session stmt binds) (Parser.parse_script src)
 
 let query ?binds session src =
   match exec ?binds session src with

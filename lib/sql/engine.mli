@@ -13,6 +13,14 @@ type session
 
 val session : Relation.Catalog.t -> session
 
+val catalog : session -> Relation.Catalog.t
+(** The database this session is bound to. *)
+
+val statements : session -> int
+(** Statements successfully executed via {!exec}/{!exec_script} in this
+    session — the per-session counter the server's session manager
+    reports. *)
+
 val set_collection :
   session -> string -> columns:string list -> int array list -> unit
 (** Register (or replace) a transient collection table visible to

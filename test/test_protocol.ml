@@ -1,0 +1,265 @@
+(* Wire-protocol codec: round-trips for every frame type, and the
+   guarantee that truncated / oversized / garbage input decodes to a
+   typed error — an exception must never escape into the dispatcher. *)
+
+module P = Server.Protocol
+
+let check = Alcotest.check
+
+(* strip the length prefix off a full frame *)
+let payload_of frame = Bytes.sub frame 4 (Bytes.length frame - 4)
+
+let sample_requests =
+  [
+    P.Sql "SELECT * FROM intervals WHERE node = :n";
+    P.Sql "";
+    P.Insert { lower = -5; upper = 1 lsl 19; id = None };
+    P.Insert { lower = 0; upper = 0; id = Some 123456789 };
+    P.Delete { lower = min_int / 4; upper = max_int / 4; id = 7 };
+    P.Intersect { lower = 10; upper = 20 };
+    P.Allen { relation = Interval.Allen.During; lower = 3; upper = 9 };
+    P.Commit;
+    P.Rollback;
+    P.Stats;
+    P.Ping;
+  ]
+
+let sample_stats =
+  {
+    P.uptime_s = 12.75;
+    sessions = 3;
+    peak_sessions = 9;
+    total_requests = 1234;
+    overload_rejections = 5;
+    queue_depth = 2;
+    peak_queue_depth = 17;
+    io_reads = 4096;
+    io_writes = 512;
+    ops =
+      [
+        { P.op = "intersect"; count = 1000; total_io = 16000; p50_us = 180;
+          p95_us = 350; p99_us = 900; max_us = 4300 };
+        { P.op = "sql"; count = 3; total_io = 12; p50_us = 45; p95_us = 60;
+          p99_us = 60; max_us = 61 };
+      ];
+  }
+
+let sample_responses =
+  [
+    P.Ack "pong";
+    P.Ack "";
+    P.Rows { columns = []; rows = [] };
+    P.Rows
+      {
+        columns = [ "lower"; "upper"; "id" ];
+        rows = [ [| 1; 2; 3 |]; [| -9; 0; 42 |]; [||] ];
+      };
+    P.Error "no such table";
+    P.Overloaded "server at session limit (64)";
+    P.Stats_reply sample_stats;
+    P.Stats_reply { sample_stats with ops = [] };
+  ]
+
+let req_testable =
+  Alcotest.testable
+    (fun ppf r -> Format.pp_print_string ppf (P.request_op_name r))
+    ( = )
+
+let resp_label = function
+  | P.Ack _ -> "ack"
+  | P.Rows _ -> "rows"
+  | P.Error _ -> "error"
+  | P.Overloaded _ -> "overloaded"
+  | P.Stats_reply _ -> "stats"
+
+let resp_testable =
+  Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (resp_label r)) ( = )
+
+(* ---- round trips ---- *)
+
+let test_request_roundtrip () =
+  List.iteri
+    (fun i req ->
+      let id = Int64.of_int ((i * 7919) + 1) in
+      match P.decode_request (payload_of (P.encode_request ~id req)) with
+      | Ok (id', req') ->
+          check Alcotest.int64 "id" id id';
+          check req_testable "request" req req'
+      | Error e -> Alcotest.failf "decode failed: %s" (P.error_to_string e))
+    sample_requests
+
+let test_all_allen_relations_roundtrip () =
+  List.iter
+    (fun rel ->
+      let req = P.Allen { relation = rel; lower = 1; upper = 2 } in
+      match P.decode_request (payload_of (P.encode_request ~id:1L req)) with
+      | Ok (_, req') -> check req_testable "allen" req req'
+      | Error e -> Alcotest.failf "decode failed: %s" (P.error_to_string e))
+    Interval.Allen.all
+
+let test_response_roundtrip () =
+  List.iteri
+    (fun i resp ->
+      let id = Int64.of_int (i + 100) in
+      match P.decode_response (payload_of (P.encode_response ~id resp)) with
+      | Ok (id', resp') ->
+          check Alcotest.int64 "id" id id';
+          check resp_testable "response" resp resp'
+      | Error e -> Alcotest.failf "decode failed: %s" (P.error_to_string e))
+    sample_responses
+
+(* ---- degraded input ---- *)
+
+let all_payloads () =
+  List.map (fun r -> payload_of (P.encode_request ~id:99L r)) sample_requests
+  @ List.map (fun r -> payload_of (P.encode_response ~id:99L r)) sample_responses
+
+let test_truncated_payloads () =
+  (* every strict prefix of every valid payload must yield a typed
+     error, not an exception and not a bogus success *)
+  List.iter
+    (fun payload ->
+      for len = 0 to Bytes.length payload - 1 do
+        let prefix = Bytes.sub payload 0 len in
+        (match P.decode_request prefix with
+        | Ok _ when len >= 9 -> ()
+            (* a prefix that happens to be a complete shorter frame is
+               impossible here: trailing bytes are rejected, so Ok
+               means the opcode body legitimately parsed — only the
+               9-byte header-only ops (commit/ping/...) qualify *)
+        | Ok _ -> Alcotest.fail "truncated request decoded"
+        | Error (P.Truncated | P.Malformed _) -> ()
+        | Error (P.Oversized _) -> Alcotest.fail "prefix flagged oversized");
+        match P.decode_response prefix with
+        | Ok _ when len >= 9 -> ()
+        | Ok _ -> Alcotest.fail "truncated response decoded"
+        | Error (P.Truncated | P.Malformed _) -> ()
+        | Error (P.Oversized _) -> Alcotest.fail "prefix flagged oversized"
+      done)
+    (all_payloads ())
+
+let test_trailing_bytes_rejected () =
+  List.iter
+    (fun payload ->
+      let padded = Bytes.cat payload (Bytes.make 3 'x') in
+      match P.decode_request padded with
+      | Ok _ -> Alcotest.fail "payload with trailing junk decoded"
+      | Error (P.Malformed _) -> ()
+      | Error e -> Alcotest.failf "unexpected error: %s" (P.error_to_string e))
+    (List.map (fun r -> payload_of (P.encode_request ~id:5L r)) sample_requests)
+
+let test_unknown_opcode () =
+  let b = Bytes.make 9 '\000' in
+  Bytes.set_uint8 b 8 0x7f;
+  (match P.decode_request b with
+  | Error (P.Malformed _) -> ()
+  | _ -> Alcotest.fail "unknown request opcode accepted");
+  match P.decode_response b with
+  | Error (P.Malformed _) -> ()
+  | _ -> Alcotest.fail "unknown response opcode accepted"
+
+let test_garbage_never_raises () =
+  let prng = Workload.Prng.create ~seed:2024 in
+  for _ = 1 to 2000 do
+    let len = Workload.Prng.int prng 64 in
+    let b = Bytes.init len (fun _ -> Char.chr (Workload.Prng.int prng 256)) in
+    (match P.decode_request b with Ok _ | Error _ -> ());
+    match P.decode_response b with Ok _ | Error _ -> ()
+  done
+
+let test_huge_declared_string () =
+  (* a plausible header followed by a string length pointing far past
+     the frame: must be Malformed/Truncated, not an allocation blowup *)
+  let b = Buffer.create 32 in
+  Buffer.add_int64_be b 1L;
+  Buffer.add_uint8 b 0x01 (* Sql *);
+  Buffer.add_int32_be b 0x7fff_ffffl;
+  Buffer.add_string b "abc";
+  match P.decode_request (Buffer.to_bytes b) with
+  | Error (P.Malformed _ | P.Truncated) -> ()
+  | Ok _ -> Alcotest.fail "absurd string length decoded"
+  | Error e -> Alcotest.failf "unexpected error: %s" (P.error_to_string e)
+
+(* ---- framer ---- *)
+
+let test_framer_reassembly () =
+  let f = P.Framer.create () in
+  let frames =
+    [ P.encode_request ~id:1L P.Ping;
+      P.encode_request ~id:2L (P.Sql "SELECT 1");
+      P.encode_request ~id:3L (P.Intersect { lower = 1; upper = 2 }) ]
+  in
+  let stream = Bytes.concat Bytes.empty frames in
+  let seen = ref [] in
+  (* dribble the stream in one byte at a time *)
+  Bytes.iter
+    (fun ch ->
+      P.Framer.feed f (Bytes.make 1 ch) 1;
+      match P.Framer.next f with
+      | Ok (Some payload) -> (
+          match P.decode_request payload with
+          | Ok (id, _) -> seen := id :: !seen
+          | Error e -> Alcotest.failf "bad frame: %s" (P.error_to_string e))
+      | Ok None -> ()
+      | Error e -> Alcotest.failf "framer error: %s" (P.error_to_string e))
+    stream;
+  check (Alcotest.list Alcotest.int64) "all frames surfaced" [ 1L; 2L; 3L ]
+    (List.rev !seen);
+  check Alcotest.int "nothing left over" 0 (P.Framer.buffered f)
+
+let test_framer_batch_feed () =
+  let f = P.Framer.create () in
+  let frames =
+    List.init 10 (fun i -> P.encode_request ~id:(Int64.of_int i) P.Ping)
+  in
+  let stream = Bytes.concat Bytes.empty frames in
+  P.Framer.feed f stream (Bytes.length stream);
+  let n = ref 0 in
+  let rec drain () =
+    match P.Framer.next f with
+    | Ok (Some _) ->
+        incr n;
+        drain ()
+    | Ok None -> ()
+    | Error e -> Alcotest.failf "framer error: %s" (P.error_to_string e)
+  in
+  drain ();
+  check Alcotest.int "ten frames" 10 !n
+
+let test_framer_oversized () =
+  let f = P.Framer.create () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (P.max_payload + 1));
+  P.Framer.feed f b 4;
+  match P.Framer.next f with
+  | Error (P.Oversized n) -> check Alcotest.int "length" (P.max_payload + 1) n
+  | _ -> Alcotest.fail "oversized prefix accepted"
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "requests" `Quick test_request_roundtrip;
+          Alcotest.test_case "allen relations" `Quick
+            test_all_allen_relations_roundtrip;
+          Alcotest.test_case "responses" `Quick test_response_roundtrip;
+        ] );
+      ( "degraded",
+        [
+          Alcotest.test_case "truncated payloads" `Quick test_truncated_payloads;
+          Alcotest.test_case "trailing bytes" `Quick test_trailing_bytes_rejected;
+          Alcotest.test_case "unknown opcode" `Quick test_unknown_opcode;
+          Alcotest.test_case "garbage never raises" `Quick
+            test_garbage_never_raises;
+          Alcotest.test_case "huge declared string" `Quick
+            test_huge_declared_string;
+        ] );
+      ( "framer",
+        [
+          Alcotest.test_case "byte-by-byte reassembly" `Quick
+            test_framer_reassembly;
+          Alcotest.test_case "batch feed" `Quick test_framer_batch_feed;
+          Alcotest.test_case "oversized prefix" `Quick test_framer_oversized;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* Integration tests for rikitd's serving path: a live dispatcher on an
+   ephemeral loopback port, driven by real sockets — concurrent
+   clients, admission control at the session and queue limits, framing
+   errors on the wire, and durable commit/rollback/restart. *)
+
+module P = Server.Protocol
+module D = Server.Dispatcher
+module S = Server.Session
+module C = Server.Client
+
+let check = Alcotest.check
+
+let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024) () =
+  { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue }
+
+(* Start a dispatcher on an ephemeral port; run [f port]; always stop
+   the loop and join its thread. *)
+let with_server ?config:(cfg = config ()) ?(durable = false) ?(preload = [||]) f =
+  let sh = S.shared ~durable () in
+  if Array.length preload > 0 then S.preload sh preload;
+  let disp = D.create ~config:cfg sh in
+  let thread = Thread.create (fun () -> D.serve disp) () in
+  let result =
+    try Ok (f (D.port disp) sh disp) with e -> Error e
+  in
+  D.stop disp;
+  Thread.join thread;
+  match result with Ok v -> v | Error e -> raise e
+
+let with_client port f =
+  let c = C.connect ~port () in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+let dataset = Workload.Distribution.generate ~seed:7 Workload.Distribution.D1 ~n:2000 ~d:2000
+
+let brute_force q =
+  let hits = ref [] in
+  Array.iteri
+    (fun id ivl -> if Interval.Ivl.intersects ivl q then hits := id :: !hits)
+    dataset;
+  List.sort compare !hits
+
+(* ---- basic request/response over a live socket ---- *)
+
+let test_basic_ops () =
+  with_server ~preload:dataset (fun port _sh _disp ->
+      with_client port (fun c ->
+          C.ping c;
+          (* intersection answers match a brute-force scan *)
+          let q = Interval.Ivl.make 100_000 110_000 in
+          let got = List.sort compare (List.map snd (C.intersect c q)) in
+          check (Alcotest.list Alcotest.int) "intersect" (brute_force q) got;
+          (* typed insert/delete *)
+          (match C.insert c ~id:999_999 (Interval.Ivl.make 5 6) with
+          | Ok id -> check Alcotest.int "assigned id" 999_999 id
+          | Error m -> Alcotest.failf "insert: %s" m);
+          let got =
+            List.map snd (C.intersect c (Interval.Ivl.point 5))
+            |> List.filter (fun id -> id = 999_999)
+          in
+          check (Alcotest.list Alcotest.int) "inserted visible" [ 999_999 ] got;
+          (match C.rpc c (P.Delete { lower = 5; upper = 6; id = 999_999 }) with
+          | P.Ack _ -> ()
+          | r -> Alcotest.failf "delete failed: %s"
+                   (match r with P.Error m -> m | _ -> "?"));
+          (* SQL through the per-session engine *)
+          (match C.sql c "CREATE TABLE t (a, b)" with
+          | Ok (P.Ack _) -> ()
+          | _ -> Alcotest.fail "create table");
+          (match C.sql c "INSERT INTO t VALUES (1, 2)" with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "insert row: %s" m);
+          (match C.sql c "SELECT a, b FROM t" with
+          | Ok (P.Rows { rows = [ [| 1; 2 |] ]; _ }) -> ()
+          | Ok _ -> Alcotest.fail "wrong rows"
+          | Error m -> Alcotest.failf "select: %s" m);
+          (* SQL errors come back typed, session survives *)
+          (match C.sql c "SELECT nope FROM missing" with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "bad SQL succeeded");
+          C.ping c))
+
+let test_allen_query () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          let q = Interval.Ivl.make 200_000 201_000 in
+          match C.rpc c (P.Allen { relation = Interval.Allen.During;
+                                   lower = 200_000; upper = 201_000 }) with
+          | P.Rows { rows; _ } ->
+              let expected =
+                Array.to_list dataset
+                |> List.filteri (fun _ ivl ->
+                       Interval.Allen.holds Interval.Allen.During ivl q)
+                |> List.length
+              in
+              check Alcotest.int "during count" expected (List.length rows)
+          | _ -> Alcotest.fail "allen query failed"))
+
+(* ---- stats ---- *)
+
+let test_stats_surface () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          C.ping c;
+          ignore (C.intersect c (Interval.Ivl.make 0 50_000));
+          let s = C.server_stats c in
+          check Alcotest.bool "uptime" true (s.P.uptime_s >= 0.0);
+          check Alcotest.int "sessions" 1 s.P.sessions;
+          check Alcotest.bool "requests counted" true (s.P.total_requests >= 2);
+          let ops = List.map (fun (o : P.op_stat) -> o.P.op) s.P.ops in
+          check Alcotest.bool "intersect op present" true
+            (List.mem "intersect" ops);
+          check Alcotest.bool "ping op present" true (List.mem "ping" ops);
+          let inter =
+            List.find (fun (o : P.op_stat) -> o.P.op = "intersect") s.P.ops
+          in
+          check Alcotest.bool "latency percentiles ordered" true
+            (inter.P.p50_us <= inter.P.p95_us
+            && inter.P.p95_us <= inter.P.p99_us);
+          (* the preload flush alone guarantees physical writes; reads
+             may be zero while the whole dataset fits in the cache *)
+          check Alcotest.bool "io accounted" true
+            (s.P.io_reads + s.P.io_writes > 0)))
+
+(* ---- admission control ---- *)
+
+let test_session_limit () =
+  with_server ~config:(config ~max_sessions:2 ()) (fun port _ disp ->
+      let c1 = C.connect ~port () in
+      let c2 = C.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> C.close c1; C.close c2)
+        (fun () ->
+          C.ping c1;
+          C.ping c2;
+          (* the third connection must get a typed Overloaded, not a
+             hang or a hard close *)
+          let c3 = C.connect ~port () in
+          Fun.protect
+            ~finally:(fun () -> C.close c3)
+            (fun () ->
+              match C.rpc c3 P.Ping with
+              | P.Overloaded _ -> ()
+              | _ -> Alcotest.fail "third session admitted past the limit");
+          (* the admitted sessions keep working *)
+          C.ping c1;
+          C.ping c2;
+          let s =
+            Server.Server_stats.snapshot (D.stats disp)
+              ~now:(Unix.gettimeofday ())
+              ~io:{ Storage.Block_device.Stats.reads = 0; writes = 0 }
+          in
+          check Alcotest.bool "rejection counted" true
+            (s.P.overload_rejections >= 1);
+          (* a slot frees up once a session closes *)
+          C.close c1;
+          (* the server notices the close on its next loop round *)
+          let rec retry n =
+            let c4 = C.connect ~port () in
+            match C.rpc c4 P.Ping with
+            | P.Ack _ -> C.close c4
+            | P.Overloaded _ when n > 0 ->
+                C.close c4;
+                Thread.delay 0.05;
+                retry (n - 1)
+            | _ -> C.close c4; Alcotest.fail "freed slot not reusable"
+          in
+          retry 40))
+
+let test_queue_limit () =
+  (* max_queue = 0: every request is turned away with a typed
+     Overloaded response — the knob works end to end *)
+  with_server ~config:(config ~max_queue:0 ()) (fun port _ _ ->
+      with_client port (fun c ->
+          match C.rpc c P.Ping with
+          | P.Overloaded _ -> ()
+          | _ -> Alcotest.fail "request admitted past a zero queue"))
+
+(* ---- wire-level degradation ---- *)
+
+let raw_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let raw_read_frame fd =
+  let header = Bytes.create 4 in
+  let rec exact buf off len =
+    if len > 0 then begin
+      let n = Unix.read fd buf off len in
+      if n = 0 then failwith "eof";
+      exact buf (off + n) (len - n)
+    end
+  in
+  exact header 0 4;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) in
+  let payload = Bytes.create len in
+  exact payload 0 len;
+  payload
+
+let test_malformed_payload_gets_typed_error () =
+  with_server (fun port _ _ ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* well-framed payload, unknown opcode 0x7f *)
+          let payload = Bytes.make 9 '\000' in
+          Bytes.set_uint8 payload 8 0x7f;
+          let frame = Bytes.create (4 + 9) in
+          Bytes.set_int32_be frame 0 9l;
+          Bytes.blit payload 0 frame 4 9;
+          ignore (Unix.write fd frame 0 (Bytes.length frame));
+          (match P.decode_response (raw_read_frame fd) with
+          | Ok (0L, P.Error _) -> ()
+          | _ -> Alcotest.fail "expected typed error with id 0");
+          (* the connection survives a malformed payload *)
+          let ping = P.encode_request ~id:9L P.Ping in
+          ignore (Unix.write fd ping 0 (Bytes.length ping));
+          match P.decode_response (raw_read_frame fd) with
+          | Ok (9L, P.Ack _) -> ()
+          | _ -> Alcotest.fail "connection did not survive"))
+
+let test_oversized_frame_closes_connection () =
+  with_server (fun port _ _ ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let b = Bytes.create 4 in
+          Bytes.set_int32_be b 0 (Int32.of_int (P.max_payload + 1));
+          ignore (Unix.write fd b 0 4);
+          (* a typed error first ... *)
+          (match P.decode_response (raw_read_frame fd) with
+          | Ok (0L, P.Error _) -> ()
+          | _ -> Alcotest.fail "expected typed error before close");
+          (* ... then the server hangs up (framing is unrecoverable) *)
+          match Unix.read fd (Bytes.create 1) 0 1 with
+          | 0 -> ()
+          | _ -> Alcotest.fail "server kept a desynced connection open"
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()))
+
+(* ---- concurrency ---- *)
+
+let test_concurrent_clients () =
+  with_server ~preload:dataset (fun port _ _ ->
+      let clients = 6 and per_client = 25 in
+      let errors = Array.make clients None in
+      let threads =
+        List.init clients (fun ci ->
+            Thread.create
+              (fun () ->
+                try
+                  with_client port (fun c ->
+                      for i = 0 to per_client - 1 do
+                        let base = ((ci * per_client) + i) * 400 in
+                        let q = Interval.Ivl.make base (base + 5000) in
+                        let got =
+                          List.sort compare (List.map snd (C.intersect c q))
+                        in
+                        if got <> brute_force q then
+                          failwith "wrong intersection result"
+                      done)
+                with e -> errors.(ci) <- Some (Printexc.to_string e))
+              ())
+      in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun ci -> function
+          | Some m -> Alcotest.failf "client %d: %s" ci m
+          | None -> ())
+        errors)
+
+(* ---- sessions: counters and private collections ---- *)
+
+let test_session_isolation () =
+  with_server (fun port _ _ ->
+      with_client port (fun c1 ->
+          with_client port (fun c2 ->
+              (* DDL is shared state; transient engine sessions are not *)
+              (match C.sql c1 "CREATE TABLE shared_t (x)" with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "ddl: %s" m);
+              (match C.sql c2 "INSERT INTO shared_t VALUES (42)" with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "dml other session: %s" m);
+              match C.sql c1 "SELECT x FROM shared_t" with
+              | Ok (P.Rows { rows = [ [| 42 |] ]; _ }) -> ()
+              | Ok _ -> Alcotest.fail "row not visible across sessions"
+              | Error m -> Alcotest.failf "select: %s" m)))
+
+(* ---- durability: commit, rollback, restart ---- *)
+
+let test_rollback_requires_durable () =
+  with_server (fun port _ _ ->
+      with_client port (fun c ->
+          match C.rpc c P.Rollback with
+          | P.Error _ -> ()
+          | _ -> Alcotest.fail "rollback on a non-durable server"))
+
+let test_commit_rollback () =
+  with_server ~durable:true (fun port _ _ ->
+      with_client port (fun c ->
+          (match C.insert c ~id:1 (Interval.Ivl.make 10 20) with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "insert: %s" m);
+          (match C.rpc c P.Commit with
+          | P.Ack _ -> ()
+          | _ -> Alcotest.fail "commit");
+          (match C.insert c ~id:2 (Interval.Ivl.make 10 20) with
+          | Ok _ -> ()
+          | Error m -> Alcotest.failf "insert 2: %s" m);
+          (match C.rpc c P.Rollback with
+          | P.Ack _ -> ()
+          | r ->
+              Alcotest.failf "rollback: %s"
+                (match r with P.Error m -> m | _ -> "?"));
+          (* committed row survives, uncommitted row is gone *)
+          let ids = List.sort compare (List.map snd (C.intersect c (Interval.Ivl.make 10 20))) in
+          check (Alcotest.list Alcotest.int) "rollback boundary" [ 1 ] ids;
+          (* the session keeps serving after the handle swap *)
+          C.ping c;
+          match C.sql c "SELECT node FROM intervals" with
+          | Ok (P.Rows { rows; _ }) -> check Alcotest.int "sql after rollback" 1 (List.length rows)
+          | _ -> Alcotest.fail "sql after rollback"))
+
+let test_graceful_shutdown_no_data_loss () =
+  (* insert + commit through the wire, stop the server (which
+     checkpoints), then reopen the database from persistent storage —
+     the in-process equivalent of a daemon restart *)
+  let sh = S.shared ~durable:true () in
+  let disp = D.create ~config:(config ()) sh in
+  let thread = Thread.create (fun () -> D.serve disp) () in
+  with_client (D.port disp) (fun c ->
+      (match C.insert c ~id:77 (Interval.Ivl.make 1000 2000) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "insert: %s" m);
+      match C.rpc c P.Commit with
+      | P.Ack _ -> ()
+      | _ -> Alcotest.fail "commit");
+  D.stop disp;
+  Thread.join thread;
+  S.reopen sh;
+  let ids = Ritree.Ri_tree.intersecting_ids (S.tree sh) (Interval.Ivl.make 1500 1500) in
+  check (Alcotest.list Alcotest.int) "row survived restart" [ 77 ] ids
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "ops",
+        [
+          Alcotest.test_case "basic request/response" `Quick test_basic_ops;
+          Alcotest.test_case "allen over the wire" `Quick test_allen_query;
+          Alcotest.test_case "stats surface" `Quick test_stats_surface;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "session limit" `Quick test_session_limit;
+          Alcotest.test_case "queue limit" `Quick test_queue_limit;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "malformed payload" `Quick
+            test_malformed_payload_gets_typed_error;
+          Alcotest.test_case "oversized frame" `Quick
+            test_oversized_frame_closes_connection;
+        ] );
+      ( "concurrency",
+        [ Alcotest.test_case "parallel clients" `Quick test_concurrent_clients ] );
+      ( "sessions",
+        [ Alcotest.test_case "shared tables" `Quick test_session_isolation ] );
+      ( "durability",
+        [
+          Alcotest.test_case "rollback needs durable" `Quick
+            test_rollback_requires_durable;
+          Alcotest.test_case "commit/rollback boundary" `Quick
+            test_commit_rollback;
+          Alcotest.test_case "graceful shutdown, no data loss" `Quick
+            test_graceful_shutdown_no_data_loss;
+        ] );
+    ]
