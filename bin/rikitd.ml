@@ -18,9 +18,12 @@ let kind_conv =
   Arg.conv (parse, fun ppf k ->
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
-let serve host port kind n d seed max_sessions max_inflight max_queue durable =
+let serve host port kind n d seed max_sessions max_inflight max_queue durable
+    group_commit_ms =
+  if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
   let config =
-    { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue }
+    { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
+      group_commit = group_commit_ms /. 1000. }
   in
   let sh = Server.Session.shared ~durable () in
   if n > 0 then begin
@@ -42,11 +45,14 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable =
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Printf.printf
-    "rikitd listening on %s:%d (protocol v%d, max %d sessions, %d queued%s)\n%!"
+    "rikitd listening on %s:%d (protocol v%d, max %d sessions, %d queued%s%s)\n%!"
     host
     (Server.Dispatcher.port disp)
     Server.Protocol.version max_sessions max_queue
-    (if durable then ", durable" else "");
+    (if durable then ", durable" else "")
+    (if group_commit_ms > 0. then
+       Printf.sprintf ", group commit %.1f ms" group_commit_ms
+     else "");
   Server.Dispatcher.serve disp;
   let io =
     Storage.Block_device.Stats.get
@@ -103,10 +109,18 @@ let cmd =
          & info [ "durable" ]
              ~doc:"Enable the write-ahead journal (and ROLLBACK support).")
   in
+  let group_commit =
+    Arg.(value & opt float 0.
+         & info [ "group-commit" ] ~docv:"MS"
+             ~doc:"Group-commit window in milliseconds: COMMITs arriving \
+                   within the window share one commit marker and one log \
+                   force, and are acknowledged together when it closes. \
+                   0 commits synchronously.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
-          $ max_inflight $ max_queue $ durable)
+          $ max_inflight $ max_queue $ durable $ group_commit)
 
 let () = exit (Cmd.eval cmd)

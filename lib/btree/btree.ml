@@ -506,22 +506,32 @@ let hi_pad t prefix =
 
 type cursor = {
   tree : t;
-  hi : key;
+  mutable hi : key;
   mutable buf : key array;
   mutable pos : int;
   mutable next_leaf : int;
   mutable exhausted : bool;
 }
 
-let cursor t ~lo ~hi =
-  check_width t lo;
-  check_width t hi;
-  let leaf = find_leaf t t.root lo in
-  match read_node t leaf with
+let reset c ~lo ~hi =
+  check_width c.tree lo;
+  check_width c.tree hi;
+  let leaf = find_leaf c.tree c.tree.root lo in
+  match read_node c.tree leaf with
   | Leaf { keys; next } ->
-      { tree = t; hi; buf = keys; pos = bisect_left keys lo;
-        next_leaf = next; exhausted = false }
+      c.hi <- hi;
+      c.buf <- keys;
+      c.pos <- bisect_left keys lo;
+      c.next_leaf <- next;
+      c.exhausted <- false
   | Node _ -> assert false
+
+let cursor t ~lo ~hi =
+  let c =
+    { tree = t; hi; buf = [||]; pos = 0; next_leaf = -1; exhausted = true }
+  in
+  reset c ~lo ~hi;
+  c
 
 let rec next c =
   if c.exhausted then None

@@ -95,8 +95,11 @@ let params (t : t) =
 
 let height t = Backbone.height t.roots ~min_level:t.min_level
 
+(* No [abs]: in OCaml [abs min_int = min_int] (still negative), so an
+   [abs]-based magnitude check waves [min_int] through and the backbone
+   arithmetic corrupts downstream. Compare against both limits instead. *)
 let check_bound v =
-  if abs v > max_bound_magnitude then
+  if v > max_bound_magnitude || v < -max_bound_magnitude then
     invalid_arg
       (Printf.sprintf "Ri_tree: bound %d exceeds the supported magnitude" v)
 
@@ -262,11 +265,16 @@ let intersection_iter ?node_filter t ivl =
           List.filter keep right_nodes )
   in
   let qlow = Ivl.lower ivl and qup = Ivl.upper ivl in
+  (* Each branch probes its index once per collected node; a shared
+     probe cursor (Iter.index_probe) is repositioned instead of
+     reallocated for every inner scan of the nested loop. *)
+  let probe_upper = Relation.Iter.index_probe t.upper_index in
+  let probe_lower = Relation.Iter.index_probe t.lower_index in
   let upper_branch =
     Relation.Iter.nested_loop
       ~outer:(Relation.Iter.of_list (List.map (fun (a, b) -> [| a; b |]) left_nodes))
       ~inner:(fun pair ->
-        Relation.Iter.index_range t.upper_index
+        probe_upper
           ~lo:[| pair.(0); qlow; min_int; min_int |]
           ~hi:[| pair.(1); max_int; max_int; max_int |])
   in
@@ -274,7 +282,7 @@ let intersection_iter ?node_filter t ivl =
     Relation.Iter.nested_loop
       ~outer:(Relation.Iter.of_list (List.map (fun w -> [| w |]) right_nodes))
       ~inner:(fun node ->
-        Relation.Iter.index_range t.lower_index
+        probe_lower
           ~lo:[| node.(0); min_int; min_int; min_int |]
           ~hi:[| node.(0); qup; max_int; max_int |])
   in

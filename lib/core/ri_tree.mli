@@ -128,8 +128,11 @@ val check_invariants : t -> unit
 (** {2 Hooks for the temporal extension (Sec. 4.6)} *)
 
 val max_bound_magnitude : int
-(** Bounds must satisfy [abs bound <= max_bound_magnitude]; keeps shifted
-    node values clear of the sentinels below. *)
+(** Bounds must satisfy
+    [-max_bound_magnitude <= bound <= max_bound_magnitude]; keeps shifted
+    node values clear of the sentinels below. In particular [min_int] is
+    rejected (note [abs min_int = min_int], so the check is written
+    without [abs]). *)
 
 val fork_infinity : int
 (** Reserved node value for intervals ending at [infinity]. *)

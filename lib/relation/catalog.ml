@@ -93,6 +93,9 @@ let reset_io_stats t = Storage.Block_device.Stats.reset t.device
 let flush t = Storage.Buffer_pool.flush t.pool
 let drop_cache t = Storage.Buffer_pool.clear t.pool
 let commit t = Storage.Buffer_pool.commit t.pool
+let commit_request t = Storage.Buffer_pool.commit_request t.pool
+let commit_force t = Storage.Buffer_pool.commit_force t.pool
+let pending_commits t = Storage.Buffer_pool.pending_commits t.pool
 
 let checkpoint t =
   Storage.Buffer_pool.commit t.pool;

@@ -53,6 +53,18 @@ val commit : t -> unit
 (** Force-log all dirty pages and a commit marker. On a non-durable
     catalog this is {!flush}. *)
 
+val commit_request : t -> unit
+(** Stage a commit for group commit; the dirty-page images, the marker
+    and the log force are all deferred to the batch's {!commit_force}
+    (see {!Storage.Buffer_pool.commit_request}). *)
+
+val commit_force : t -> int
+(** Emit one commit marker and one log force covering every staged
+    request; returns the batch size (0 when nothing is staged). *)
+
+val pending_commits : t -> int
+(** Commit requests staged since the last {!commit_force}. *)
+
 val checkpoint : t -> unit
 (** Commit, write everything back, and truncate the journal. *)
 

@@ -239,24 +239,54 @@ let update t rowid row =
       | exception Invalid_argument _ -> false
       | r -> r)
 
+(* External cursor: streams the heap page by page. Only the occupied
+   rows of the page under the cursor are materialized (one pin per page,
+   released before any row is handed out), so a scan holds O(slots per
+   page) memory however large the table is. *)
+type cursor = {
+  h : t;
+  mutable next_page : int;              (* -1 = chain exhausted *)
+  mutable batch : (rowid * int array) array; (* rows of the current page *)
+  mutable pos : int;
+}
+
+let cursor t = { h = t; next_page = t.first_page; batch = [||]; pos = 0 }
+
+let load_page h page =
+  Storage.Buffer_pool.with_page h.pool page ~dirty:false (fun buf ->
+      let hwm = Bytes.get_uint16_be buf 2 in
+      let rows = ref [] in
+      for slot = hwm - 1 downto 0 do
+        if bit_get buf slot then
+          rows := ((page * h.cap) + slot, read_row h buf slot) :: !rows
+      done;
+      (Array.of_list !rows, get_i64 buf 8))
+
+let rec next c =
+  if c.pos < Array.length c.batch then begin
+    let r = c.batch.(c.pos) in
+    c.pos <- c.pos + 1;
+    Some r
+  end
+  else if c.next_page < 0 then None
+  else begin
+    let batch, next_page = load_page c.h c.next_page in
+    c.batch <- batch;
+    c.pos <- 0;
+    c.next_page <- next_page;
+    next c
+  end
+
 let iter t f =
-  let rec go page =
-    if page >= 0 then begin
-      let rows, next =
-        Storage.Buffer_pool.with_page t.pool page ~dirty:false (fun buf ->
-            let hwm = Bytes.get_uint16_be buf 2 in
-            let rows = ref [] in
-            for slot = hwm - 1 downto 0 do
-              if bit_get buf slot then
-                rows := ((page * t.cap) + slot, read_row t buf slot) :: !rows
-            done;
-            (!rows, get_i64 buf 8))
-      in
-      List.iter (fun (rid, row) -> f rid row) rows;
-      go next
-    end
+  let c = cursor t in
+  let rec go () =
+    match next c with
+    | Some (rid, row) ->
+        f rid row;
+        go ()
+    | None -> ()
   in
-  go t.first_page
+  go ()
 
 let fold t f acc =
   let acc = ref acc in

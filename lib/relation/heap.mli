@@ -42,8 +42,20 @@ val fetch : t -> rowid -> int array option
 val delete : t -> rowid -> bool
 (** Clear the slot; [false] if it was already empty. *)
 
+(** {2 Scanning} *)
+
+type cursor
+(** External cursor over the heap in page order. Only the page under the
+    cursor is materialized (and its pin is released before rows are
+    handed out), so a scan never holds more than one page of rows
+    whatever the table size. Rows inserted or deleted behind the cursor
+    during the scan may or may not be seen. *)
+
+val cursor : t -> cursor
+val next : cursor -> (rowid * int array) option
+
 val iter : t -> (rowid -> int array -> unit) -> unit
-(** Full scan in page order. *)
+(** Full scan in page order (a {!cursor} drained internally). *)
 
 val fold : t -> ('a -> rowid -> int array -> 'a) -> 'a -> 'a
 

@@ -65,6 +65,22 @@ let index_range index ~lo ~hi =
   let cursor = Btree.cursor (Table.Index.tree index) ~lo ~hi in
   fun () -> Btree.next cursor
 
+let index_probe index =
+  let tree = Table.Index.tree index in
+  let cursor = ref None in
+  fun ~lo ~hi ->
+    let c =
+      match !cursor with
+      | Some c ->
+          Btree.reset c ~lo ~hi;
+          c
+      | None ->
+          let c = Btree.cursor tree ~lo ~hi in
+          cursor := Some c;
+          c
+    in
+    fun () -> Btree.next c
+
 let index_prefix index ~prefix =
   let tree = Table.Index.tree index in
   index_range index ~lo:(Btree.lo_pad tree prefix)
@@ -83,24 +99,15 @@ let fetch table it =
   pull
 
 let heap_scan table =
-  (* Materialize page by page would be nicer; the heap only offers an
-     internal iterator, so collect rowids first and fetch lazily. *)
-  let rowids =
-    List.rev (Heap.fold (Table.heap table) (fun acc rid _ -> rid :: acc) [])
-  in
-  let rest = ref rowids in
-  let rec pull () =
-    match !rest with
-    | [] -> None
-    | rid :: tl -> (
-        rest := tl;
-        match Table.fetch table rid with
-        | Some row ->
-            let n = Array.length row in
-            Some (Array.init (n + 1) (fun i -> if i < n then row.(i) else rid))
-        | None -> pull ())
-  in
-  pull
+  (* Page-at-a-time streaming off the heap's external cursor: no rowid
+     materialization, no per-row base-table re-fetch. *)
+  let c = Heap.cursor (Table.heap table) in
+  fun () ->
+    match Heap.next c with
+    | None -> None
+    | Some (rid, row) ->
+        let n = Array.length row in
+        Some (Array.init (n + 1) (fun i -> if i < n then row.(i) else rid))
 
 let project cols it =
   map (fun r -> Array.map (fun c -> r.(c)) cols) it

@@ -43,6 +43,15 @@ val index_range : Table.Index.t -> lo:int array -> hi:int array -> t
     inclusive bounds. Bound arrays must have the index key width (use
     {!Btree.lo_pad} / {!Btree.hi_pad} on [Table.Index.tree]). *)
 
+val index_probe : Table.Index.t -> lo:int array -> hi:int array -> t
+(** Like {!index_range}, but every iterator obtained from the same
+    partial application [index_probe index] shares one B+-tree cursor,
+    repositioned per call: requesting a new range invalidates the
+    previously returned iterator. Exactly the contract of the inner side
+    of {!nested_loop}, which drains each inner stream before building
+    the next — the RI-tree query plan probes dozens of backbone nodes
+    per query through a single cursor this way. *)
+
 val index_prefix : Table.Index.t -> prefix:int list -> t
 (** All entries whose key starts with [prefix]. *)
 

@@ -4,11 +4,12 @@ type config = {
   max_sessions : int;
   max_inflight : int;
   max_queue : int;
+  group_commit : float;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
-    max_queue = 1024 }
+    max_queue = 1024; group_commit = 0. }
 
 type conn = {
   fd : Unix.file_descr;
@@ -31,6 +32,10 @@ type t = {
   mutable stopping : bool;
   mutable conns : conn list;
   mutable queued : int;  (* total pending requests across connections *)
+  mutable pending_commits : (conn * int64 * float) list;
+      (* COMMITs staged in the open group-commit window, newest first;
+         the float is the staging time, for the latency histogram *)
+  mutable commit_deadline : float option;  (* when the window closes *)
 }
 
 let create ?(config = default_config) sh =
@@ -59,6 +64,8 @@ let create ?(config = default_config) sh =
     stopping = false;
     conns = [];
     queued = 0;
+    pending_commits = [];
+    commit_deadline = None;
   }
 
 let port t = t.bound_port
@@ -112,15 +119,26 @@ let close_conn t conn =
 
 let reject_connection t fd =
   (* Over max-sessions: one typed Overloaded frame, then the door. The
-     socket is fresh and the frame small, so a blocking write is fine. *)
+     socket is fresh (blocking) and the frame small, but a single write
+     is still allowed to be short — e.g. a tiny send buffer on a slow
+     client — and a truncated frame would be undecodable, so loop until
+     the whole frame is out. *)
   Server_stats.overloaded t.st;
   let frame =
     Protocol.encode_response ~id:0L
       (Protocol.Overloaded
          (Printf.sprintf "server at session limit (%d)" t.cfg.max_sessions))
   in
-  (try ignore (Unix.write fd frame 0 (Bytes.length frame))
-   with Unix.Unix_error _ -> ());
+  let len = Bytes.length frame in
+  let rec write_all off =
+    if off < len then
+      match Unix.write fd frame off (len - off) with
+      | 0 -> ()
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error _ -> ()
+  in
+  write_all 0;
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let accept_connections t =
@@ -201,25 +219,72 @@ let device_stats t =
   Storage.Block_device.Stats.get
     (Relation.Catalog.device (Session.catalog t.sh))
 
+(* Close the group-commit window: one marker and one log force cover
+   every staged COMMIT, then all of them are acknowledged at once. No
+   requester was answered before this point, so a crash inside the
+   window loses nothing a client was told is durable. *)
+let flush_group_commits t =
+  match t.pending_commits with
+  | [] -> t.commit_deadline <- None
+  | newest_first ->
+      let pending = List.rev newest_first in
+      t.pending_commits <- [];
+      t.commit_deadline <- None;
+      let batch, _, io =
+        Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
+            Session.commit_force_shared t.sh)
+      in
+      let count = List.length pending in
+      let io_share = io / count in
+      let now = Unix.gettimeofday () in
+      List.iteri
+        (fun i (conn, id, t0) ->
+          let io =
+            if i = 0 then io - (io_share * (count - 1)) else io_share
+          in
+          Server_stats.record t.st ~op:"commit" ~seconds:(now -. t0) ~io;
+          if List.memq conn t.conns then
+            push_response conn id
+              (Protocol.Ack
+                 (Printf.sprintf "committed (group commit batch of %d)" batch)))
+        pending
+
 let execute_one t conn id req =
   t.queued <- t.queued - 1;
   Server_stats.queue_depth t.st t.queued;
-  let op = Protocol.request_op_name req in
-  let resp, seconds, io =
-    match req with
-    | Protocol.Stats ->
-        let snap () =
-          Protocol.Stats_reply
-            (Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
-               ~io:(device_stats t))
-        in
-        Harness.Measure.timed_io (Session.catalog t.sh) snap
-    | req ->
-        Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
-            Session.handle conn.session req)
-  in
-  Server_stats.record t.st ~op ~seconds ~io;
-  push_response conn id resp
+  match req with
+  | Protocol.Commit when t.cfg.group_commit > 0. -> (
+      (* Stage now, answer at the window flush. *)
+      match Session.stage_commit conn.session with
+      | () ->
+          let now = Unix.gettimeofday () in
+          t.pending_commits <- (conn, id, now) :: t.pending_commits;
+          if t.commit_deadline = None then
+            t.commit_deadline <- Some (now +. t.cfg.group_commit)
+      | exception e ->
+          push_response conn id
+            (Protocol.Error ("commit failed: " ^ Printexc.to_string e)))
+  | req ->
+      (* A rollback must not outrun COMMITs already staged ahead of it:
+         force the open batch first, then let it run. *)
+      if req = Protocol.Rollback && t.pending_commits <> [] then
+        flush_group_commits t;
+      let op = Protocol.request_op_name req in
+      let resp, seconds, io =
+        match req with
+        | Protocol.Stats ->
+            let snap () =
+              Protocol.Stats_reply
+                (Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
+                   ~io:(device_stats t))
+            in
+            Harness.Measure.timed_io (Session.catalog t.sh) snap
+        | req ->
+            Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
+                Session.handle conn.session req)
+      in
+      Server_stats.record t.st ~op ~seconds ~io;
+      push_response conn id resp
 
 let execute_round t ~limit =
   (* Round-robin: one request per ready session per pass, so a chatty
@@ -257,8 +322,14 @@ let serve t =
         (fun c -> if output_pending c then Some c.fd else None)
         t.conns
     in
+    let timeout =
+      (* Never sleep past the close of an open group-commit window. *)
+      match t.commit_deadline with
+      | None -> 1.0
+      | Some dl -> Float.max 0.0 (Float.min 1.0 (dl -. Unix.gettimeofday ()))
+    in
     let readable, writable, _ =
-      try Unix.select reads writes [] 1.0
+      try Unix.select reads writes [] timeout
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
     if List.mem t.stop_r readable then begin
@@ -273,6 +344,10 @@ let serve t =
       t.conns;
     execute_round t
       ~limit:(if t.stopping then t.queued else t.cfg.max_inflight);
+    (match t.commit_deadline with
+    | Some dl when t.stopping || Unix.gettimeofday () >= dl ->
+        flush_group_commits t
+    | Some _ | None -> ());
     List.iter
       (fun conn ->
         if List.mem conn.fd writable || output_pending conn then

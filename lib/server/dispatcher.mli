@@ -30,10 +30,20 @@ type config = {
   max_sessions : int;
   max_inflight : int;  (** requests executed per loop round *)
   max_queue : int;  (** parsed-but-unexecuted requests, across sessions *)
+  group_commit : float;
+      (** group-commit window in seconds; [0.] commits synchronously.
+          When positive, a COMMIT request stages its dirty-page images
+          and waits; when the window closes (or the server drains for
+          shutdown, or a ROLLBACK arrives behind the batch), a single
+          commit marker and a single log force cover every staged
+          COMMIT, and only then are they acknowledged — so concurrent
+          sessions amortize the log force without ever being told an
+          undurable state was durable. *)
 }
 
 val default_config : config
-(** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued. *)
+(** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued, synchronous
+    commit. *)
 
 type t
 

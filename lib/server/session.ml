@@ -22,6 +22,8 @@ let preload sh data =
   Relation.Catalog.commit sh.cat
 
 let commit_shared sh = Relation.Catalog.commit sh.cat
+let commit_request_shared sh = Relation.Catalog.commit_request sh.cat
+let commit_force_shared sh = Relation.Catalog.commit_force sh.cat
 
 let flush_shared sh =
   if sh.dur then Relation.Catalog.checkpoint sh.cat
@@ -117,6 +119,12 @@ let exec t = function
   | Rollback -> rollback_shared t.sh
   | Ping -> Ack "pong"
   | Stats -> Error "stats is handled by the dispatcher"
+
+(* Group-commit staging: counts as a request for this session, but the
+   response is owed only after the dispatcher forces the batch. *)
+let stage_commit t =
+  t.reqs <- t.reqs + 1;
+  commit_request_shared t.sh
 
 let handle t req =
   t.reqs <- t.reqs + 1;

@@ -34,6 +34,15 @@ val preload : shared -> Interval.Ivl.t array -> unit
 val commit_shared : shared -> unit
 (** {!Relation.Catalog.commit} on the current catalog handle. *)
 
+val commit_request_shared : shared -> unit
+(** Stage a commit for group commit ({!Relation.Catalog.commit_request});
+    the dispatcher batches these and answers after one
+    {!commit_force_shared} covers the whole window. *)
+
+val commit_force_shared : shared -> int
+(** Force the staged batch (one marker, one log force); returns its
+    size. *)
+
 val flush_shared : shared -> unit
 (** Write back all dirty pages (graceful-shutdown path); on a durable
     server this checkpoints, so a reopen sees every acknowledged
@@ -62,7 +71,14 @@ val sql_statements : t -> int
     {!Sqlfront.Engine.statements} counter, surviving re-attach). *)
 
 val handle : t -> Protocol.request -> Protocol.response
+
 (** Execute one request. Never raises: every failure — SQL errors,
     bad intervals, rollback on a non-durable server — comes back as a
     typed [Error]. [Stats] is the dispatcher's job and answers
     [Error] here. *)
+
+val stage_commit : t -> unit
+(** A COMMIT request entering a group-commit window: counted against
+    this session, dirty images staged ({!commit_request_shared}), the
+    marker/force (and the client's Ack) deferred to the dispatcher's
+    batch flush. *)

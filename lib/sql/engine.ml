@@ -454,8 +454,13 @@ let run_step session env step (emit : env -> unit) =
       | None -> fail "collection %s disappeared" name
       | Some (columns, rows) -> List.iter (fun r -> visit columns r) rows)
   | Base tbl, Seq_scan ->
-      Relation.Table.iter tbl (fun _ row ->
-          visit (Relation.Table.columns tbl) row)
+      (* Streaming scan: the heap cursor behind Iter.heap_scan holds one
+         page of rows at a time, so a sequential scan of any size runs
+         in constant memory. The appended rowid column is dropped. *)
+      let columns = Relation.Table.columns tbl in
+      Relation.Iter.iter
+        (fun r -> visit columns (Array.sub r 0 (Array.length r - 1)))
+        (Relation.Iter.heap_scan tbl)
   | Base tbl, Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering }
     ->
       let tree = Relation.Table.Index.tree index in

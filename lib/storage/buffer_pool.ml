@@ -2,15 +2,25 @@ type frame = {
   page_id : int;
   data : Bytes.t;
   mutable dirty : bool;
+  mutable logged : bool;    (* current content already imaged in the journal *)
   mutable pins : int;
-  mutable last_use : int;
+  mutable last_use : int;   (* recency stamp; victim selection under Scan *)
+  mutable prev : frame;     (* intrusive LRU ring; self-linked = off-ring *)
+  mutable next : frame;
 }
+
+type policy = Ring | Scan
 
 type t = {
   dev : Block_device.t;
   capacity : int;
+  policy : policy;
   frames : (int, frame) Hashtbl.t; (* page id -> frame *)
+  lru : frame; (* ring sentinel: [lru.next] is MRU, [lru.prev] is LRU *)
+  mutable pinned : int; (* frames with pins > 0 *)
   mutable journal : Journal.t option;
+  mutable staged_commits : int; (* commit requests awaiting a marker *)
+  mutable commit_batches : int;
   mutable clock : int;
   mutable logical_reads : int;
   mutable hits : int;
@@ -18,11 +28,40 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(capacity = 200) dev =
+(* ---- intrusive ring ---- *)
+
+let ring_sentinel () =
+  let rec s =
+    { page_id = -1; data = Bytes.empty; dirty = false; logged = false;
+      pins = 0; last_use = 0; prev = s; next = s }
+  in
+  s
+
+let on_ring f = f.next != f || f.prev != f
+
+let ring_remove f =
+  if on_ring f then begin
+    f.prev.next <- f.next;
+    f.next.prev <- f.prev;
+    f.prev <- f;
+    f.next <- f
+  end
+
+(* Insert at the MRU end (right after the sentinel). *)
+let ring_push_mru t f =
+  ring_remove f;
+  f.next <- t.lru.next;
+  f.prev <- t.lru;
+  t.lru.next.prev <- f;
+  t.lru.next <- f
+
+let create ?(capacity = 200) ?(policy = Ring) dev =
   if capacity < 1 then
     invalid_arg "Buffer_pool.create: capacity must be positive";
-  { dev; capacity; frames = Hashtbl.create (2 * capacity); journal = None;
-    clock = 0; logical_reads = 0; hits = 0; misses = 0; evictions = 0 }
+  { dev; capacity; policy; frames = Hashtbl.create (2 * capacity);
+    lru = ring_sentinel (); pinned = 0; journal = None; staged_commits = 0;
+    commit_batches = 0; clock = 0; logical_reads = 0; hits = 0; misses = 0;
+    evictions = 0 }
 
 let attach_journal t j = t.journal <- Some j
 let journal t = t.journal
@@ -31,6 +70,7 @@ let device t = t.dev
 let block_size t = Block_device.block_size t.dev
 let capacity t = t.capacity
 let cached t = Hashtbl.length t.frames
+let pinned_frames t = t.pinned
 
 let touch t frame =
   t.clock <- t.clock + 1;
@@ -47,45 +87,66 @@ let log_write t frame =
       Block_device.read t.dev frame.page_id before;
       Journal.append j
         (Journal.Write
-           { page = frame.page_id; before; after = Bytes.copy frame.data })
+           { page = frame.page_id; before; after = Bytes.copy frame.data });
+      frame.logged <- true
 
 let write_back t frame =
   if frame.dirty then begin
-    log_write t frame;
+    (* [logged] means the journal already holds this exact content: the
+       recovery scan would reconstruct the same image, so appending it
+       again buys nothing. *)
+    if not frame.logged then log_write t frame;
     Block_device.write t.dev frame.page_id frame.data;
     frame.dirty <- false
   end
 
-(* Evict the least-recently-used unpinned frame to make room. *)
+let all_pinned () = failwith "Buffer_pool: all frames pinned, cannot evict"
+
+(* Evict the least-recently-used unpinned frame to make room. Under Ring
+   the victim is the tail of the ring, O(1); the pinned-frame count makes
+   "every frame is pinned" a comparison, not a scan. Scan is the
+   pre-overhaul O(capacity) fold, retained as the baseline that
+   `rikit bench-storage` measures the ring against. *)
 let evict_one t =
   let victim =
-    Hashtbl.fold
-      (fun _ f acc ->
-        if f.pins > 0 then acc
-        else
-          match acc with
-          | Some best when best.last_use <= f.last_use -> acc
-          | _ -> Some f)
-      t.frames None
+    match t.policy with
+    | Ring ->
+        let f = t.lru.prev in
+        if f == t.lru then all_pinned () else f
+    | Scan ->
+        if t.pinned >= Hashtbl.length t.frames then all_pinned ();
+        let best =
+          Hashtbl.fold
+            (fun _ f acc ->
+              if f.pins > 0 then acc
+              else
+                match acc with
+                | Some best when best.last_use <= f.last_use -> acc
+                | _ -> Some f)
+            t.frames None
+        in
+        (match best with Some f -> f | None -> all_pinned ())
   in
-  match victim with
-  | None -> failwith "Buffer_pool: all frames pinned, cannot evict"
-  | Some f ->
-      write_back t f;
-      Hashtbl.remove t.frames f.page_id;
-      t.evictions <- t.evictions + 1
+  write_back t victim;
+  ring_remove victim;
+  Hashtbl.remove t.frames victim.page_id;
+  t.evictions <- t.evictions + 1
 
-let install t page_id data dirty =
+let install t page_id data dirty ~pins =
   if Hashtbl.length t.frames >= t.capacity then evict_one t;
-  let frame = { page_id; data; dirty; pins = 1; last_use = 0 } in
+  let rec frame =
+    { page_id; data; dirty; logged = false; pins; last_use = 0;
+      prev = frame; next = frame }
+  in
   touch t frame;
+  if pins > 0 then t.pinned <- t.pinned + 1 else ring_push_mru t frame;
   Hashtbl.replace t.frames page_id frame;
   frame
 
 let alloc t =
   let id = Block_device.alloc t.dev in
-  let frame = install t id (Bytes.make (block_size t) '\000') true in
-  frame.pins <- 0;
+  let frame = install t id (Bytes.make (block_size t) '\000') true ~pins:0 in
+  ignore frame;
   id
 
 let pin t page_id =
@@ -93,6 +154,12 @@ let pin t page_id =
   match Hashtbl.find_opt t.frames page_id with
   | Some frame ->
       t.hits <- t.hits + 1;
+      if frame.pins = 0 then begin
+        (* Pinned frames live off the ring: they can never be reached by
+           the eviction path, whatever the replacement pressure. *)
+        ring_remove frame;
+        t.pinned <- t.pinned + 1
+      end;
       frame.pins <- frame.pins + 1;
       touch t frame;
       frame.data
@@ -100,17 +167,32 @@ let pin t page_id =
       t.misses <- t.misses + 1;
       let data = Bytes.create (block_size t) in
       Block_device.read t.dev page_id data;
-      let frame = install t page_id data false in
+      let frame = install t page_id data false ~pins:1 in
       frame.data
 
 let unpin t page_id ~dirty =
   match Hashtbl.find_opt t.frames page_id with
   | Some frame when frame.pins > 0 ->
       frame.pins <- frame.pins - 1;
-      if dirty then frame.dirty <- true
-  | Some _ | None ->
+      if dirty then begin
+        frame.dirty <- true;
+        (* Content (presumably) changed: any journaled image is stale. *)
+        frame.logged <- false
+      end;
+      if frame.pins = 0 then begin
+        t.pinned <- t.pinned - 1;
+        ring_push_mru t frame;
+        touch t frame
+      end
+  | Some _ ->
       invalid_arg
-        (Printf.sprintf "Buffer_pool.unpin: page %d is not pinned" page_id)
+        (Printf.sprintf
+           "Buffer_pool.unpin: page %d is not pinned (double unpin)" page_id)
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Buffer_pool.unpin: page %d is not resident (evicted, or never \
+            pinned)" page_id)
 
 let with_page t page_id ~dirty f =
   let data = pin t page_id in
@@ -119,10 +201,20 @@ let with_page t page_id ~dirty f =
       unpin t page_id ~dirty;
       v
   | exception e ->
-      unpin t page_id ~dirty;
-      raise e
+      let bt = Printexc.get_raw_backtrace () in
+      (* The pin is what we must release; if unpin itself fails (say the
+         frame vanished through a concurrent [clear]), the original
+         exception is still the one the caller needs to see. *)
+      (try unpin t page_id ~dirty with _ -> ());
+      Printexc.raise_with_backtrace e bt
 
 let flush t = Hashtbl.iter (fun _ f -> write_back t f) t.frames
+
+let reset_frames t =
+  Hashtbl.reset t.frames;
+  t.lru.prev <- t.lru;
+  t.lru.next <- t.lru;
+  t.pinned <- 0
 
 let clear t =
   Hashtbl.iter
@@ -133,17 +225,46 @@ let clear t =
              f.page_id);
       write_back t f)
     t.frames;
-  Hashtbl.reset t.frames
+  reset_frames t
+
+(* ---- commit & group commit ----
+
+   A commit request stages nothing but the intent: the dirty-page images
+   a commit marker must cover are captured once, at {!commit_force}, for
+   the whole batch. Requests in a batch are therefore durable only
+   together — which is sound exactly because nobody acknowledges them
+   until the force returns. The [logged] flag additionally keeps a page
+   whose content is already imaged in the journal (it stayed dirty under
+   the lazy write-back policy) from being re-logged batch after batch. *)
+
+let log_dirty t =
+  Hashtbl.iter
+    (fun _ f -> if f.dirty && not f.logged then log_write t f)
+    t.frames
+
+let commit_request t = t.staged_commits <- t.staged_commits + 1
+
+let pending_commits t = t.staged_commits
+
+let commit_force t =
+  let n = t.staged_commits in
+  if n > 0 then begin
+    (match t.journal with
+    | None -> flush t
+    | Some j ->
+        log_dirty t;
+        Journal.append j Journal.Commit;
+        Journal.force j);
+    t.staged_commits <- 0;
+    t.commit_batches <- t.commit_batches + 1
+  end;
+  n
+
+let commit_batches t = t.commit_batches
 
 let commit t =
-  match t.journal with
-  | None -> flush t
-  | Some j ->
-      (* Log force, lazy data pages: every dirty page image becomes
-         durable, then the commit marker; the pages themselves stay
-         cached and dirty. *)
-      Hashtbl.iter (fun _ f -> if f.dirty then log_write t f) t.frames;
-      Journal.append j Journal.Commit
+  commit_request t;
+  ignore (commit_force t)
 
 let crash t =
   Hashtbl.iter
@@ -153,7 +274,8 @@ let crash t =
           (Printf.sprintf "Buffer_pool.crash: page %d is still pinned"
              f.page_id))
     t.frames;
-  Hashtbl.reset t.frames
+  t.staged_commits <- 0;
+  reset_frames t
 
 module Stats = struct
   type pool = t

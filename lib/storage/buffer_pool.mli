@@ -6,11 +6,22 @@
     are evicted in least-recently-used order, writing dirty pages back to
     the device. All structures above the pool (heap tables, B+-trees)
     perform their page accesses through it, so the device counters report
-    exactly the physical I/O the paper measures. *)
+    exactly the physical I/O the paper measures.
+
+    Replacement is O(1): unpinned frames sit on an intrusive
+    doubly-linked ring in recency order (pinning unlinks a frame, so the
+    eviction path can never reach it), and a pinned-frame count detects
+    pool exhaustion without a scan. The pre-overhaul O(capacity)
+    fold-based victim search is retained as the {!policy} [Scan] solely
+    as the baseline [rikit bench-storage] measures the ring against. *)
 
 type t
 
-val create : ?capacity:int -> Block_device.t -> t
+type policy =
+  | Ring  (** intrusive LRU ring, O(1) eviction (the default) *)
+  | Scan  (** fold over every frame per eviction; benchmark baseline *)
+
+val create : ?capacity:int -> ?policy:policy -> Block_device.t -> t
 (** [create ~capacity dev] caches up to [capacity] blocks (default 200).
     @raise Invalid_argument if [capacity < 1]. *)
 
@@ -33,11 +44,14 @@ val pin : t -> int -> Bytes.t
 val unpin : t -> int -> dirty:bool -> unit
 (** Release one pin of page [id]. [dirty:true] marks the page for
     write-back on eviction or flush.
-    @raise Invalid_argument if the page is not pinned. *)
+    @raise Invalid_argument distinguishing the two misuses: the page is
+    resident but its pin count is already zero (double unpin), or it is
+    not resident at all (evicted, or never pinned). *)
 
 val with_page : t -> int -> dirty:bool -> (Bytes.t -> 'a) -> 'a
 (** [with_page t id ~dirty f] pins, applies [f], and unpins (also on
-    exception). *)
+    exception). If [f] raises and the unpin then fails too, the
+    exception of [f] — not the unpin's — is the one re-raised. *)
 
 val flush : t -> unit
 (** Write all dirty pages back to the device; pages stay cached. *)
@@ -56,18 +70,53 @@ val journal : t -> Journal.t option
 
 val commit : t -> unit
 (** Make the current logical state durable: force-log every dirty page
-    followed by a commit marker. Data pages stay cached and dirty (lazy
-    write-back). Without an attached journal this degrades to
-    {!flush}. *)
+    followed by a commit marker, then force the journal. Data pages stay
+    cached and dirty (lazy write-back). Without an attached journal this
+    degrades to {!flush}. Equivalent to {!commit_request} directly
+    followed by {!commit_force} — a group of one. *)
+
+(** {2 Group commit}
+
+    Concurrent sessions amortize the commit cost: {!commit_request}
+    stages only the intent, and one {!commit_force} captures the
+    dirty-page images of the whole batch, emits a single commit marker
+    and performs a single journal force covering every staged request. A
+    crash before the force loses the entire batch — which is sound
+    exactly because no requester is acknowledged until the force (the
+    rikitd dispatcher answers the batched COMMITs only after
+    {!commit_force} returns). Pages whose content is already imaged in
+    the journal are not re-logged, so a hot page updated by many
+    transactions in a window costs one image per batch, not one per
+    transaction. *)
+
+val commit_request : t -> unit
+(** Stage a commit for the next {!commit_force}. Nothing is logged and
+    nothing is durable yet. *)
+
+val pending_commits : t -> int
+(** Commit requests staged since the last {!commit_force}. *)
+
+val commit_force : t -> int
+(** Emit one commit marker and one journal force covering every staged
+    request; returns the batch size (0 = nothing staged, nothing
+    logged). *)
+
+val commit_batches : t -> int
+(** Number of forced batches so far (each wrote exactly one marker). *)
 
 val crash : t -> unit
 (** Simulate a crash: drop every frame {e without} writing anything
-    back. Dirty, uncommitted state is lost; {!Journal.recover} restores
-    the device to the last commit.
+    back. Dirty, uncommitted state is lost — including any commit
+    requests staged but not yet forced; {!Journal.recover} restores the
+    device to the last commit marker.
     @raise Failure if any page is still pinned. *)
 
 val cached : t -> int
 (** Number of pages currently resident. *)
+
+val pinned_frames : t -> int
+(** Number of resident frames with at least one pin — the frames the
+    eviction path must (and does, by construction) skip. *)
 
 (** Cache behaviour counters (logical accesses), distinct from the
     device's physical counters. *)

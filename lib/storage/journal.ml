@@ -6,26 +6,41 @@ type t = {
   mutable rev_records : record list;
   mutable count : int;
   mutable bytes : int;
+  mutable commits : int;
+  mutable forces : int;
+  mutable unforced : int; (* records appended since the last force *)
 }
 
-let create () = { rev_records = []; count = 0; bytes = 0 }
+let create () =
+  { rev_records = []; count = 0; bytes = 0; commits = 0; forces = 0;
+    unforced = 0 }
 
 let append t r =
   t.rev_records <- r :: t.rev_records;
   t.count <- t.count + 1;
+  t.unforced <- t.unforced + 1;
   match r with
   | Write { before; after; _ } ->
       t.bytes <- t.bytes + Bytes.length before + Bytes.length after
-  | Commit -> ()
+  | Commit -> t.commits <- t.commits + 1
+
+let force t =
+  if t.unforced > 0 then begin
+    t.forces <- t.forces + 1;
+    t.unforced <- 0
+  end
 
 let records t = List.rev t.rev_records
 let record_count t = t.count
 let byte_size t = t.bytes
+let commit_count t = t.commits
+let force_count t = t.forces
 
 let truncate t =
   t.rev_records <- [];
   t.count <- 0;
-  t.bytes <- 0
+  t.bytes <- 0;
+  t.unforced <- 0
 
 let recover t device =
   let rs = Array.of_list (records t) in

@@ -31,6 +31,18 @@ val record_count : t -> int
 val byte_size : t -> int
 (** Payload bytes logged (diagnostic). *)
 
+val force : t -> unit
+(** Make everything appended so far durable — the simulated log force
+    (fsync) whose count is what group commit amortizes. A force with
+    nothing new appended is not counted. *)
+
+val force_count : t -> int
+(** Number of (counted) forces so far. *)
+
+val commit_count : t -> int
+(** Number of commit markers appended so far; with group commit this is
+    one per batch, not one per commit request. *)
+
 val truncate : t -> unit
 (** Drop all records (after a checkpoint made the device current). *)
 

@@ -246,6 +246,71 @@ let test_random_crash_points () =
         (List.length !committed_snapshot)
   done
 
+(* ---- group commit ---- *)
+
+(* A page whose content is already imaged in the journal is not
+   re-logged: neither by a later commit (no change in between) nor by
+   its eviction write-back — and recovery still restores it. *)
+let test_logged_page_not_relogged () =
+  let dev = Storage.Block_device.create ~block_size:64 () in
+  let j = Storage.Journal.create () in
+  let pool = Storage.Buffer_pool.create ~capacity:1 dev in
+  Storage.Buffer_pool.attach_journal pool j;
+  let a = Storage.Buffer_pool.alloc pool in
+  Storage.Buffer_pool.with_page pool a ~dirty:true (fun b ->
+      Bytes.set b 0 'A');
+  Storage.Buffer_pool.commit pool;
+  (* one Write image + one Commit marker *)
+  check Alcotest.int "first commit logs the page" 2
+    (Storage.Journal.record_count j);
+  (* page unchanged (still dirty under lazy write-back): a second commit
+     must add only a marker, not another image *)
+  Storage.Buffer_pool.commit pool;
+  check Alcotest.int "second commit is marker-only" 3
+    (Storage.Journal.record_count j);
+  (* eviction write-back of the already-imaged page logs nothing new *)
+  let b = Storage.Block_device.alloc dev in
+  Storage.Buffer_pool.with_page pool b ~dirty:false (fun _ -> ());
+  check Alcotest.int "eviction logs nothing" 3
+    (Storage.Journal.record_count j);
+  (* a real change is logged again *)
+  Storage.Buffer_pool.with_page pool a ~dirty:true (fun buf ->
+      Bytes.set buf 0 'B');
+  Storage.Buffer_pool.commit pool;
+  check Alcotest.int "changed page re-imaged" 5
+    (Storage.Journal.record_count j);
+  (* and recovery still lands on the committed content *)
+  Storage.Buffer_pool.crash pool;
+  ignore (Storage.Journal.recover j dev);
+  let buf = Bytes.create 64 in
+  Storage.Block_device.read dev a buf;
+  check Alcotest.char "recovered to last commit" 'B' (Bytes.get buf 0)
+
+(* Crash with a second group-commit batch staged but never forced: the
+   forced batch survives in full, the staged one vanishes in full. *)
+let test_crash_between_group_commit_batches () =
+  let db = Catalog.create ~durable:true () in
+  let t = Catalog.create_table db ~name:"t" ~columns:[ "x" ] in
+  for i = 0 to 9 do
+    ignore (Table.insert t [| i |]);
+    Catalog.commit_request db
+  done;
+  check Alcotest.int "first batch staged" 10 (Catalog.pending_commits db);
+  check Alcotest.int "first batch forced" 10 (Catalog.commit_force db);
+  for i = 10 to 19 do
+    ignore (Table.insert t [| i |]);
+    Catalog.commit_request db
+  done;
+  check Alcotest.int "second batch staged" 10 (Catalog.pending_commits db);
+  (* no force: the crash hits between batches *)
+  let db2 = Catalog.simulate_crash db in
+  let t2 = Catalog.table db2 "t" in
+  Table.check_invariants t2;
+  check Alcotest.int "forced batch survives, staged batch vanishes" 10
+    (Table.row_count t2);
+  Table.iter t2 (fun _ row ->
+      check Alcotest.bool "only first-batch rows" true (row.(0) < 10))
+
 let test_journal_stats_and_checkpoint_truncation () =
   let db = Catalog.create ~durable:true () in
   let t = Catalog.create_table db ~name:"t" ~columns:[ "x" ] in
@@ -282,6 +347,11 @@ let () =
            test_reopen_after_checkpoint;
          Alcotest.test_case "journal stats / checkpoint truncation" `Quick
            test_journal_stats_and_checkpoint_truncation ]);
+      ("group commit",
+       [ Alcotest.test_case "unchanged dirty page not re-logged" `Quick
+           test_logged_page_not_relogged;
+         Alcotest.test_case "crash between batches" `Quick
+           test_crash_between_group_commit_batches ]);
       ("ritree",
        [ Alcotest.test_case "crash recovery end-to-end" `Quick
            test_ritree_crash_recovery;

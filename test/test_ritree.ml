@@ -279,12 +279,23 @@ let test_explain_mentions_plan () =
 let test_bound_validation () =
   let db = mk_db () in
   let t = Ri.create db in
-  Alcotest.check_raises "huge bound"
-    (Invalid_argument
-       (Printf.sprintf "Ri_tree: bound %d exceeds the supported magnitude"
-          (Ri.max_bound_magnitude + 1)))
-    (fun () ->
-      ignore (Ri.insert t (Ivl.make 0 (Ri.max_bound_magnitude + 1))))
+  let rejects name v =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (Printf.sprintf "Ri_tree: bound %d exceeds the supported magnitude" v))
+      (fun () ->
+        ignore
+          (Ri.insert t (if v < 0 then Ivl.make v 0 else Ivl.make 0 v)))
+  in
+  rejects "huge bound" (Ri.max_bound_magnitude + 1);
+  rejects "huge negative bound" (-Ri.max_bound_magnitude - 1);
+  (* regression: the check once used [abs], and [abs min_int] is
+     [min_int] itself — negative, so it slipped past the limit *)
+  rejects "min_int" min_int;
+  rejects "min_int + 1" (min_int + 1);
+  rejects "max_int" max_int;
+  (* the advertised extremes themselves are accepted *)
+  ignore (Ri.insert t (Ivl.make (-Ri.max_bound_magnitude) Ri.max_bound_magnitude))
 
 let () =
   Alcotest.run "ritree"

@@ -10,8 +10,10 @@ module C = Server.Client
 
 let check = Alcotest.check
 
-let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024) () =
-  { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue }
+let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
+    ?(group_commit = 0.) () =
+  { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue;
+    group_commit }
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
@@ -324,6 +326,51 @@ let test_commit_rollback () =
           | Ok (P.Rows { rows; _ }) -> check Alcotest.int "sql after rollback" 1 (List.length rows)
           | _ -> Alcotest.fail "sql after rollback"))
 
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_group_commit_window () =
+  (* a 20 ms group-commit window: COMMITs are staged, acknowledged only
+     when the batch is forced, and both are durable afterwards *)
+  with_server ~durable:true ~config:(config ~group_commit:0.02 ())
+    (fun port _sh _disp ->
+      let acks = Array.make 2 None in
+      let worker i =
+        with_client port (fun c ->
+            (match C.insert c ~id:(100 + i) (Interval.Ivl.make 10 20) with
+            | Ok _ -> ()
+            | Error m -> failwith m);
+            match C.rpc c P.Commit with
+            | P.Ack m -> acks.(i) <- Some m
+            | _ -> ())
+      in
+      let threads = Array.init 2 (fun i -> Thread.create worker i) in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i ack ->
+          match ack with
+          | Some m ->
+              check Alcotest.bool
+                (Printf.sprintf "client %d acked from a batch" i)
+                true
+                (contains m "group commit")
+          | None -> Alcotest.failf "client %d: commit not acknowledged" i)
+        acks;
+      (* a rollback returns to the last forced batch — which must
+         include both staged-and-acknowledged commits *)
+      with_client port (fun c ->
+          (match C.rpc c P.Rollback with
+          | P.Ack _ -> ()
+          | _ -> Alcotest.fail "rollback");
+          let ids =
+            List.sort compare
+              (List.map snd (C.intersect c (Interval.Ivl.make 10 20)))
+          in
+          check (Alcotest.list Alcotest.int) "both commits durable"
+            [ 100; 101 ] ids))
+
 let test_graceful_shutdown_no_data_loss () =
   (* insert + commit through the wire, stop the server (which
      checkpoints), then reopen the database from persistent storage —
@@ -375,6 +422,8 @@ let () =
             test_rollback_requires_durable;
           Alcotest.test_case "commit/rollback boundary" `Quick
             test_commit_rollback;
+          Alcotest.test_case "group-commit window" `Quick
+            test_group_commit_window;
           Alcotest.test_case "graceful shutdown, no data loss" `Quick
             test_graceful_shutdown_no_data_loss;
         ] );

@@ -93,9 +93,21 @@ let test_unpin_unpinned () =
   let d = Dev.create ~block_size:128 () in
   let p = Pool.create d in
   let a = Pool.alloc p in
-  Alcotest.check_raises "unpin too much"
-    (Invalid_argument "Buffer_pool.unpin: page 0 is not pinned") (fun () ->
-      Pool.unpin p a ~dirty:false)
+  (* resident but pin count zero: a double unpin, called out as such *)
+  Alcotest.check_raises "double unpin"
+    (Invalid_argument "Buffer_pool.unpin: page 0 is not pinned (double unpin)")
+    (fun () -> Pool.unpin p a ~dirty:false);
+  (* not resident at all (evicted): the other misuse, distinguished *)
+  let tiny = Pool.create ~capacity:1 d in
+  let x = Pool.alloc tiny in
+  ignore (Pool.alloc tiny);
+  check Alcotest.int "x evicted" 1 (Pool.cached tiny);
+  Alcotest.check_raises "unpin after eviction"
+    (Invalid_argument
+       (Printf.sprintf
+          "Buffer_pool.unpin: page %d is not resident (evicted, or never \
+           pinned)" x))
+    (fun () -> Pool.unpin tiny x ~dirty:false)
 
 let test_clear () =
   let d = Dev.create ~block_size:128 () in
@@ -121,6 +133,122 @@ let test_with_page_exception_unpins () =
   (* the page must have been unpinned: eviction possible again *)
   ignore (Pool.alloc p);
   check Alcotest.int "evicted fine" 1 (Pool.cached p)
+
+(* Eviction storm: a cyclic sweep over a working set 8x the capacity.
+   Every access must miss, every miss past the first [capacity] must
+   evict, and the counters must account for each one exactly. *)
+let test_eviction_storm () =
+  let d = Dev.create ~block_size:64 () in
+  let p = Pool.create ~capacity:4 d in
+  let n_pages = 32 and sweeps = 3 in
+  let pages = Array.init n_pages (fun _ -> Pool.alloc p) in
+  Pool.clear p;
+  Pool.Stats.reset p;
+  for _ = 1 to sweeps do
+    Array.iter (fun id -> Pool.with_page p id ~dirty:false (fun _ -> ())) pages
+  done;
+  let s = Pool.Stats.get p in
+  let accesses = sweeps * n_pages in
+  check Alcotest.int "logical reads" accesses s.Pool.Stats.logical_reads;
+  check Alcotest.int "no hits" 0 s.Pool.Stats.hits;
+  check Alcotest.int "all misses" accesses s.Pool.Stats.misses;
+  check Alcotest.int "evictions" (accesses - 4) s.Pool.Stats.evictions;
+  check Alcotest.int "cache full" 4 (Pool.cached p);
+  check Alcotest.int "nothing pinned" 0 (Pool.pinned_frames p)
+
+(* A pinned frame sits off the LRU ring: an eviction storm around it
+   must never touch it, however hard the replacement pressure. *)
+let test_pinned_survives_storm () =
+  let d = Dev.create ~block_size:64 () in
+  let p = Pool.create ~capacity:4 d in
+  let keep = Pool.alloc p in
+  let pages = Array.init 50 (fun _ -> Pool.alloc p) in
+  let buf = Pool.pin p keep in
+  Bytes.set buf 0 'K';
+  check Alcotest.int "one pinned frame" 1 (Pool.pinned_frames p);
+  for _ = 1 to 3 do
+    Array.iter (fun id -> Pool.with_page p id ~dirty:false (fun _ -> ())) pages
+  done;
+  (* still resident: reading it is a hit, not a device read *)
+  Dev.Stats.reset d;
+  Pool.Stats.reset p;
+  Pool.unpin p keep ~dirty:true;
+  let c = Pool.with_page p keep ~dirty:false (fun b -> Bytes.get b 0) in
+  check Alcotest.char "pinned content intact" 'K' c;
+  check Alcotest.int "served from cache" 0 (Dev.Stats.get d).Dev.Stats.reads;
+  check Alcotest.int "a hit" 1 (Pool.Stats.get p).Pool.Stats.hits;
+  check Alcotest.int "nothing pinned" 0 (Pool.pinned_frames p)
+
+(* The O(1) ring and the retained fold-based baseline implement the same
+   LRU policy: an identical random workload must produce identical
+   hit/miss/eviction counters on both. *)
+let test_ring_scan_equivalence () =
+  let run policy =
+    let rng = Workload.Prng.create ~seed:977 in
+    let d = Dev.create ~block_size:64 () in
+    let p = Pool.create ~capacity:5 ~policy d in
+    let pages = Array.init 20 (fun _ -> Pool.alloc p) in
+    Pool.clear p;
+    Pool.Stats.reset p;
+    for step = 1 to 3_000 do
+      let id = pages.(Workload.Prng.int rng (Array.length pages)) in
+      match Workload.Prng.int rng 3 with
+      | 0 ->
+          Pool.with_page p id ~dirty:true (fun b ->
+              Bytes.set b 0 (Char.chr (step land 0xff)))
+      | _ -> Pool.with_page p id ~dirty:false (fun _ -> ())
+    done;
+    Pool.Stats.get p
+  in
+  let ring = run Pool.Ring and scan = run Pool.Scan in
+  check Alcotest.int "logical" ring.Pool.Stats.logical_reads
+    scan.Pool.Stats.logical_reads;
+  check Alcotest.int "hits" ring.Pool.Stats.hits scan.Pool.Stats.hits;
+  check Alcotest.int "misses" ring.Pool.Stats.misses scan.Pool.Stats.misses;
+  check Alcotest.int "evictions" ring.Pool.Stats.evictions
+    scan.Pool.Stats.evictions
+
+(* If the body of with_page raises and the cleanup unpin then fails too,
+   the body's exception — not the unpin's — must reach the caller. *)
+let test_with_page_exception_not_masked () =
+  let d = Dev.create ~block_size:64 () in
+  let p = Pool.create ~capacity:2 d in
+  let a = Pool.alloc p in
+  Alcotest.check_raises "original exception wins" (Failure "boom") (fun () ->
+      Pool.with_page p a ~dirty:false (fun _ ->
+          (* sabotage the cleanup: with_page's own unpin will now be a
+             double unpin and raise *)
+          Pool.unpin p a ~dirty:false;
+          failwith "boom"))
+
+(* Group commit at the pool level: requests stage only intent; one force
+   writes one marker and one log force for the whole batch. *)
+let test_group_commit_batching () =
+  let d = Dev.create ~block_size:64 () in
+  let p = Pool.create ~capacity:8 d in
+  let j = Storage.Journal.create () in
+  Pool.attach_journal p j;
+  let pages = Array.init 3 (fun _ -> Pool.alloc p) in
+  Array.iteri
+    (fun i id ->
+      Pool.with_page p id ~dirty:true (fun b -> Bytes.set b 0 (Char.chr i));
+      Pool.commit_request p)
+    pages;
+  check Alcotest.int "three staged" 3 (Pool.pending_commits p);
+  check Alcotest.int "nothing logged yet" 0 (Storage.Journal.record_count j);
+  check Alcotest.int "batch size" 3 (Pool.commit_force p);
+  check Alcotest.int "one marker" 1 (Storage.Journal.commit_count j);
+  check Alcotest.int "one force" 1 (Storage.Journal.force_count j);
+  check Alcotest.int "staged drained" 0 (Pool.pending_commits p);
+  check Alcotest.int "one batch" 1 (Pool.commit_batches p);
+  (* an empty force is a no-op: no marker, no force *)
+  check Alcotest.int "empty batch" 0 (Pool.commit_force p);
+  check Alcotest.int "still one marker" 1 (Storage.Journal.commit_count j);
+  (* plain commit is a group of one *)
+  Pool.with_page p pages.(0) ~dirty:true (fun b -> Bytes.set b 1 'x');
+  Pool.commit p;
+  check Alcotest.int "commit = batch of one" 2 (Pool.commit_batches p);
+  check Alcotest.int "second marker" 2 (Storage.Journal.commit_count j)
 
 (* Model-based test: random reads/writes through a tiny pool must behave
    like a plain array of pages, across any eviction pattern. *)
@@ -179,4 +307,15 @@ let () =
            test_with_page_exception_unpins;
          Alcotest.test_case "model-based random ops" `Quick
            test_pool_model_based ]);
+      ("eviction",
+       [ Alcotest.test_case "storm counters" `Quick test_eviction_storm;
+         Alcotest.test_case "pinned frame survives storm" `Quick
+           test_pinned_survives_storm;
+         Alcotest.test_case "ring matches scan baseline" `Quick
+           test_ring_scan_equivalence;
+         Alcotest.test_case "with_page does not mask exceptions" `Quick
+           test_with_page_exception_not_masked ]);
+      ("group commit",
+       [ Alcotest.test_case "one marker per batch" `Quick
+           test_group_commit_batching ]);
     ]
