@@ -273,12 +273,21 @@ let bench_serve_run host port clients queries_total kind n d seed selectivity =
     Workload.Query_gen.queries ~seed:(seed + 1) ~data ~count:queries_total
       (selectivity /. 100.)
   in
-  let stats0 =
+  let fetch_stats () =
+    (* Stats probes ride the same admission control as real clients:
+       retry with backoff instead of giving up on a transient reject. *)
     let c = Server.Client.connect ~host ~port () in
     Fun.protect
       ~finally:(fun () -> Server.Client.close c)
-      (fun () -> Server.Client.server_stats c)
+      (fun () ->
+        match
+          Server.Client.retry (fun () -> Server.Client.server_stats c)
+        with
+        | Ok s -> s
+        | Error e ->
+            raise (Server.Client.Io_error (Server.Client.error_to_string e)))
   in
+  let stats0 = fetch_stats () in
   let per_client = (queries_total + clients - 1) / clients in
   let workers =
     Array.init clients (fun _ ->
@@ -298,12 +307,7 @@ let bench_serve_run host port clients queries_total kind n d seed selectivity =
   in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
-  let stats1 =
-    let c = Server.Client.connect ~host ~port () in
-    Fun.protect
-      ~finally:(fun () -> Server.Client.close c)
-      (fun () -> Server.Client.server_stats c)
-  in
+  let stats1 = fetch_stats () in
   let ok = Array.fold_left (fun a w -> a + w.completed) 0 workers in
   let results = Array.fold_left (fun a w -> a + w.results) 0 workers in
   let rejected =
@@ -687,6 +691,168 @@ let sql_cmd =
     (Cmd.info "sql" ~doc:"Execute a SQL script against a fresh database")
     Term.(const run_sql $ file)
 
+(* ---- scrub ---- *)
+
+let run_scrub seed flips no_repair =
+  (* Build a durable, checksummed database, damage it with seeded bit
+     flips, then let the scrubber find — and unless told otherwise,
+     repair from journal images — every one of them. Exits non-zero if
+     any injected flip goes undetected or unrepaired. *)
+  let db = Relation.Catalog.create ~durable:true () in
+  let tree = Ritree.Ri_tree.create db in
+  let rng = Workload.Prng.create ~seed in
+  for i = 0 to 1999 do
+    let l = Workload.Prng.int rng 100_000 in
+    ignore
+      (Ritree.Ri_tree.insert ~id:i tree
+         (Interval.Ivl.make l (l + 1 + Workload.Prng.int rng 4000)))
+  done;
+  Relation.Catalog.commit db;
+  Relation.Catalog.flush db;
+  let dev = Relation.Catalog.device db in
+  let blocks = Storage.Block_device.allocated dev in
+  let bs = Storage.Block_device.block_size dev in
+  Printf.printf "database: %d blocks of %d bytes (checksummed), journal %s\n"
+    blocks bs
+    (match Relation.Catalog.journal_stats db with
+    | Some (r, b) -> Printf.sprintf "%d records / %d image bytes" r b
+    | None -> "absent");
+  (* injected damage: one bit in each of [flips] distinct non-zero blocks *)
+  let buf = Bytes.create bs in
+  let victims = Hashtbl.create 16 in
+  let attempts = ref 0 in
+  while Hashtbl.length victims < flips && !attempts < 10_000 do
+    incr attempts;
+    let b = Workload.Prng.int rng blocks in
+    if not (Hashtbl.mem victims b) then begin
+      Storage.Block_device.read dev b buf;
+      if Bytes.exists (fun c -> c <> '\000') buf then begin
+        let bit = Workload.Prng.int rng (8 * bs) in
+        let byte = bit / 8 in
+        Bytes.set_uint8 buf byte
+          (Bytes.get_uint8 buf byte lxor (1 lsl (bit mod 8)));
+        Storage.Block_device.write dev b buf;
+        Hashtbl.replace victims b bit
+      end
+    end
+  done;
+  let injected =
+    Hashtbl.fold (fun b _ acc -> b :: acc) victims [] |> List.sort compare
+  in
+  Printf.printf "injected %d bit flips into blocks [%s]\n\n"
+    (List.length injected)
+    (String.concat "; " (List.map string_of_int injected));
+  let report = Relation.Catalog.scrub ~repair:(not no_repair) db in
+  Format.printf "%a@." Storage.Scrub.render report;
+  let detected = List.sort compare report.Storage.Scrub.corrupt in
+  let missed = List.filter (fun b -> not (List.mem b detected)) injected in
+  if missed <> [] then begin
+    Printf.printf "\nFAILED: %d injected flips went undetected: [%s]\n"
+      (List.length missed)
+      (String.concat "; " (List.map string_of_int missed));
+    exit 1
+  end;
+  Printf.printf "\nall %d injected flips detected" (List.length injected);
+  if no_repair then print_newline ()
+  else begin
+    let after = Relation.Catalog.scrub db in
+    if after.Storage.Scrub.corrupt <> [] then begin
+      Printf.printf "; REPAIR FAILED: %d blocks still corrupt\n"
+        (List.length after.Storage.Scrub.corrupt);
+      exit 1
+    end;
+    Printf.printf " and repaired from journal images; the image is clean\n"
+  end
+
+let scrub_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let flips =
+    Arg.(value & opt int 8
+         & info [ "flips" ] ~docv:"N"
+             ~doc:"Distinct blocks to hit with one bit flip each.")
+  in
+  let no_repair =
+    Arg.(value & flag
+         & info [ "no-repair" ]
+             ~doc:"Report checksum failures only; do not restore blocks \
+                   from journal images.")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:"Verify page checksums and repair corruption from the journal"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Builds a durable, checksummed database, injects seeded \
+               silent bit flips into allocated blocks, then walks every \
+               block verifying its CRC-32 trailer and checks the journal \
+               tail. Corrupt blocks are restored from valid journal \
+               images unless --no-repair is given. Exits non-zero if any \
+               injected flip is missed or cannot be repaired." ])
+    Term.(const run_scrub $ seed $ flips $ no_repair)
+
+(* ---- crash-schedule ---- *)
+
+let run_crash_schedule seed ops universe block_size cache commit_every torn
+    quiet =
+  let spec =
+    { Harness.Crashpoint.seed; ops; universe; block_size;
+      cache_blocks = cache; commit_every; torn }
+  in
+  let progress i n =
+    if (not quiet) && (i mod 25 = 0 || i = n - 1) then
+      Printf.printf "\rreplay %d/%d%!" (i + 1) n
+  in
+  let report = Harness.Crashpoint.run ~progress spec in
+  if not quiet then print_newline ();
+  Format.printf "%a@." Harness.Crashpoint.pp_report report;
+  if report.Harness.Crashpoint.failures <> [] then exit 1
+
+let crash_schedule_cmd =
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let ops =
+    Arg.(value & opt int 120
+         & info [ "ops" ] ~doc:"Workload operations (commits excluded).")
+  in
+  let universe =
+    Arg.(value & opt int 1000
+         & info [ "universe" ] ~doc:"Interval coordinate range.")
+  in
+  let block_size =
+    Arg.(value & opt int 256
+         & info [ "block-size" ] ~doc:"Device block size in bytes.")
+  in
+  let cache =
+    Arg.(value & opt int 8
+         & info [ "cache" ] ~doc:"Buffer-pool capacity in blocks.")
+  in
+  let commit_every =
+    Arg.(value & opt int 13
+         & info [ "commit-every" ] ~doc:"Operations per commit marker.")
+  in
+  let torn =
+    Arg.(value & flag
+         & info [ "torn" ]
+             ~doc:"The fatal write persists a random prefix (torn \
+                   in-flight write) instead of vanishing cleanly.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress line.")
+  in
+  Cmd.v
+    (Cmd.info "crash-schedule"
+       ~doc:"Exhaustive crash-point recovery check"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Runs a seeded insert/delete/commit workload once to count \
+               its physical device writes, then replays it once per write \
+               index with a crash injected there, recovering and checking \
+               the survivor against an in-memory oracle: committed rows \
+               present, uncommitted rows gone, RI-tree invariants intact, \
+               intersection queries exact. Exits non-zero on the first \
+               schedule that breaks an invariant." ])
+    Term.(const run_crash_schedule $ seed $ ops $ universe $ block_size
+          $ cache $ commit_every $ torn $ quiet)
+
 let () =
   let info =
     Cmd.info "rikit" ~version:"1.0.0"
@@ -694,4 +860,4 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
-         bench_serve_cmd; bench_storage_cmd ]))
+         bench_serve_cmd; bench_storage_cmd; scrub_cmd; crash_schedule_cmd ]))

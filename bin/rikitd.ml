@@ -19,11 +19,12 @@ let kind_conv =
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
-    group_commit_ms =
+    group_commit_ms idle_timeout =
   if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
+  if idle_timeout < 0. then failwith "--idle-timeout must be >= 0";
   let config =
     { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
-      group_commit = group_commit_ms /. 1000. }
+      group_commit = group_commit_ms /. 1000.; idle_timeout }
   in
   let sh = Server.Session.shared ~durable () in
   if n > 0 then begin
@@ -45,13 +46,16 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
   Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
   Printf.printf
-    "rikitd listening on %s:%d (protocol v%d, max %d sessions, %d queued%s%s)\n%!"
+    "rikitd listening on %s:%d (protocol v%d, max %d sessions, %d queued%s%s%s)\n%!"
     host
     (Server.Dispatcher.port disp)
     Server.Protocol.version max_sessions max_queue
     (if durable then ", durable" else "")
     (if group_commit_ms > 0. then
        Printf.sprintf ", group commit %.1f ms" group_commit_ms
+     else "")
+    (if idle_timeout > 0. then
+       Printf.sprintf ", idle timeout %.0f s" idle_timeout
      else "");
   Server.Dispatcher.serve disp;
   let io =
@@ -117,10 +121,18 @@ let cmd =
                    force, and are acknowledged together when it closes. \
                    0 commits synchronously.")
   in
+  let idle_timeout =
+    Arg.(value & opt float 0.
+         & info [ "idle-timeout" ] ~docv:"SECONDS"
+             ~doc:"Close connections idle longer than this (a typed \
+                   Goodbye frame is sent first), freeing their session \
+                   slots. 0 disables reaping.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
-          $ max_inflight $ max_queue $ durable $ group_commit)
+          $ max_inflight $ max_queue $ durable $ group_commit
+          $ idle_timeout)
 
 let () = exit (Cmd.eval cmd)

@@ -24,9 +24,13 @@ let () =
 
   let c = Server.Client.connect ~port () in
 
-  (* a typed intersection query *)
+  (* a typed intersection query; every client op returns a result *)
+  let ok = function
+    | Ok v -> v
+    | Error e -> failwith (Server.Client.error_to_string e)
+  in
   let q = Interval.Ivl.make 500_000 502_000 in
-  let hits = Server.Client.intersect c q in
+  let hits = ok (Server.Client.intersect c q) in
   Printf.printf "%d stored intervals intersect %s; first three:\n"
     (List.length hits) (Interval.Ivl.to_string q);
   List.iteri
@@ -37,8 +41,10 @@ let () =
   (* a typed insert, visible to the next query *)
   (match Server.Client.insert c ~id:424242 (Interval.Ivl.make 501_000 501_500) with
   | Ok id -> Printf.printf "\ninserted interval as id %d\n" id
-  | Error m -> Printf.printf "\ninsert failed: %s\n" m);
-  Printf.printf "now %d intersecting\n" (List.length (Server.Client.intersect c q));
+  | Error e ->
+      Printf.printf "\ninsert failed: %s\n" (Server.Client.error_to_string e));
+  Printf.printf "now %d intersecting\n"
+    (List.length (ok (Server.Client.intersect c q)));
 
   (* SQL rides the same session *)
   (match Server.Client.sql c "SELECT node, lower, upper FROM intervals WHERE id = 424242" with
@@ -52,7 +58,7 @@ let () =
   | _ -> print_endline "SQL query failed");
 
   (* the server-side metrics surface *)
-  let stats = Server.Client.server_stats c in
+  let stats = ok (Server.Client.server_stats c) in
   Printf.printf "\n%s" (Server.Server_stats.render stats);
 
   Server.Client.close c;

@@ -1,0 +1,50 @@
+(** Exhaustive crash-schedule recovery testing.
+
+    Runs a seeded insert/delete/commit workload once to count its
+    physical device writes, then replays it once per write index with a
+    {!Storage.Faulty_device} crash point armed there. Each replay dies
+    mid-write, runs journal recovery, and is checked against an
+    in-memory oracle: every row of the last completed commit is present,
+    nothing uncommitted survived, RI-tree invariants hold, and seeded
+    intersection queries match the oracle exactly.
+
+    The workload runs over a durable, checksummed catalog with a small
+    block size and cache, so evictions — the moments the steal policy
+    puts uncommitted pages on disk — happen constantly. *)
+
+type spec = {
+  seed : int;
+  ops : int;  (** workload operations (commits excluded) *)
+  universe : int;  (** interval coordinates drawn from [0, universe) *)
+  block_size : int;  (** device block size; small → many writes *)
+  cache_blocks : int;  (** pool capacity; small → constant eviction *)
+  commit_every : int;  (** a commit marker every this many operations *)
+  torn : bool;  (** the fatal write persists a random prefix *)
+}
+
+val default_spec : spec
+(** seed 42, 120 ops, universe 1000, 256-byte blocks, 8-block cache,
+    commit every 13 ops, clean (untorn) crashes. *)
+
+type failure = { crash_at : int; reason : string }
+
+type report = {
+  writes : int;  (** workload writes = crash schedules exercised *)
+  failures : failure list;  (** empty = every schedule recovered *)
+}
+
+val run : ?progress:(int -> int -> unit) -> spec -> report
+(** The full schedule: one replay per workload write index.
+    [progress i n] is called before replay [i] of [n]. *)
+
+val replay : spec -> crash_at:int -> unit
+(** One schedule: crash at physical write [crash_at] (absolute index,
+    setup writes included), recover, verify.
+    @raise Failure describing the first violated invariant. *)
+
+val count_writes : spec -> int * int * (int * Interval.Ivl.t) list
+(** Fault-free pass: [(first, count, committed)] — the first workload
+    write index, the number of workload writes, and the oracle rows at
+    the final commit. *)
+
+val pp_report : Format.formatter -> report -> unit

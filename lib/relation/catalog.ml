@@ -16,6 +16,8 @@ type t = {
   journal : Storage.Journal.t option;
   block_size : int;
   cache_blocks : int;
+  checksums : bool;
+  mutable degraded : string option; (* Some reason = read-only mode *)
 }
 
 let sys_row_width = 3 + Codec.width
@@ -40,9 +42,19 @@ let register_index t table index =
     (fun pos col -> sys_insert t 3 tree_meta pos col)
     (Table.Index.columns index)
 
-let create ?(durable = false) ?(block_size = 2048) ?(cache_blocks = 200) () =
-  let device = Storage.Block_device.create ~block_size () in
-  let pool = Storage.Buffer_pool.create ~capacity:cache_blocks device in
+let create ?device ?(durable = false) ?checksums ?(block_size = 2048)
+    ?(cache_blocks = 200) () =
+  (* Durable catalogs default to checksummed pages: the journal is only
+     trustworthy if corruption of what it protects is detectable. *)
+  let checksums = Option.value checksums ~default:durable in
+  let device =
+    match device with
+    | Some d -> d
+    | None -> Storage.Block_device.create ~block_size ()
+  in
+  let pool =
+    Storage.Buffer_pool.create ~capacity:cache_blocks ~checksums device
+  in
   let journal =
     if durable then begin
       let j = Storage.Journal.create () in
@@ -58,11 +70,18 @@ let create ?(durable = false) ?(block_size = 2048) ?(cache_blocks = 200) () =
   | Some s -> assert (Heap.meta_page s = 0)
   | None -> ());
   { device; pool; tables = Hashtbl.create 16; sys; journal; block_size;
-    cache_blocks }
+    cache_blocks; checksums; degraded = None }
 
 let durable t = t.sys <> None
 let pool t = t.pool
 let device t = t.device
+let checksums t = t.checksums
+let journal t = t.journal
+let degraded_reason t = t.degraded
+let degraded t = t.degraded <> None
+
+let degrade t reason =
+  if t.degraded = None then t.degraded <- Some reason
 
 let create_table t ~name ~columns =
   if Hashtbl.mem t.tables name then
@@ -109,8 +128,10 @@ let journal_stats t =
     t.journal
 
 (* Rebuild every table handle from the on-device dictionary. *)
-let open_from_device ~device ~journal ~block_size ~cache_blocks =
-  let pool = Storage.Buffer_pool.create ~capacity:cache_blocks device in
+let open_from_device ~device ~journal ~block_size ~cache_blocks ~checksums =
+  let pool =
+    Storage.Buffer_pool.create ~capacity:cache_blocks ~checksums device
+  in
   (match journal with
   | Some j -> Storage.Buffer_pool.attach_journal pool j
   | None -> ());
@@ -119,7 +140,7 @@ let open_from_device ~device ~journal ~block_size ~cache_blocks =
   let name_of row = Codec.decode_name (Array.sub row 3 Codec.width) in
   let catalog =
     { device; pool; tables = Hashtbl.create 16; sys = Some sys;
-      journal; block_size; cache_blocks }
+      journal; block_size; cache_blocks; checksums; degraded = None }
   in
   let table_rows = List.filter (fun r -> r.(0) = 0) rows in
   List.iter
@@ -153,16 +174,27 @@ let require_durable t op =
   if not (durable t) then
     failwith (Printf.sprintf "Catalog.%s: catalog is not durable" op)
 
-let simulate_crash t =
+let simulate_crash ?(force = false) t =
   require_durable t "simulate_crash";
-  Storage.Buffer_pool.crash t.pool;
+  Storage.Buffer_pool.crash ~force t.pool;
   let journal = Option.get t.journal in
   ignore (Storage.Journal.recover journal t.device);
   open_from_device ~device:t.device ~journal:(Some journal)
     ~block_size:t.block_size ~cache_blocks:t.cache_blocks
+    ~checksums:t.checksums
 
 let reopen t =
   require_durable t "reopen";
   checkpoint t;
   open_from_device ~device:t.device ~journal:t.journal
     ~block_size:t.block_size ~cache_blocks:t.cache_blocks
+    ~checksums:t.checksums
+
+let scrub ?(repair = false) t =
+  if not t.checksums then
+    failwith "Catalog.scrub: catalog has no page checksums";
+  (* Scrub reads the raw device; anything cached and dirty must be on
+     disk first or the walk would report stale blocks. *)
+  Storage.Buffer_pool.flush t.pool;
+  Storage.Scrub.run ~repair ?journal:t.journal ~checksums:t.checksums
+    t.device

@@ -11,13 +11,26 @@
 
 type t
 
-val create : ?durable:bool -> ?block_size:int -> ?cache_blocks:int -> unit -> t
+val create :
+  ?device:Storage.Block_device.t ->
+  ?durable:bool ->
+  ?checksums:bool ->
+  ?block_size:int ->
+  ?cache_blocks:int ->
+  unit ->
+  t
 (** Defaults match the paper's setup: 2 KB blocks, 200-block cache,
-    [durable:false] (no journaling overhead in benchmarks). *)
+    [durable:false] (no journaling overhead in benchmarks).
+    [?device] substitutes a pre-built device — how the fault-injection
+    harness slips a {!Storage.Faulty_device} underneath a catalog
+    ([block_size] is then ignored). [?checksums] defaults to [durable]:
+    recovery without corruption detection is half a guarantee. *)
 
 val durable : t -> bool
+val checksums : t -> bool
 val pool : t -> Storage.Buffer_pool.t
 val device : t -> Storage.Block_device.t
+val journal : t -> Storage.Journal.t option
 
 val create_table : t -> name:string -> columns:string list -> Table.t
 (** In a durable catalog the table, its columns, and every index later
@@ -71,14 +84,34 @@ val checkpoint : t -> unit
 val journal_stats : t -> (int * int) option
 (** [(records, payload bytes)] currently in the journal, when durable. *)
 
-val simulate_crash : t -> t
+val simulate_crash : ?force:bool -> t -> t
 (** Durable catalogs only: drop the buffer pool without writing anything
     back, run recovery on the device, and re-open every table and index
     from the system dictionary. The returned catalog is the surviving
     database; the old handle (and any [Table.t] obtained from it) must
-    not be used again.
+    not be used again. [~force:true] ignores pinned pages — for
+    recovering after a {!Storage.Block_device.Crash} that unwound
+    through structures still holding pins.
     @raise Failure on a non-durable catalog. *)
 
 val reopen : t -> t
 (** Like the recovery half of {!simulate_crash}, but after a clean
     {!checkpoint}: rebuild all handles from persistent storage. *)
+
+(** {2 Corruption handling} *)
+
+val degraded : t -> bool
+
+val degraded_reason : t -> string option
+(** [Some reason] once corruption was detected: the catalog is in
+    read-only degraded mode — reads keep serving (pages still verify on
+    fault-in), mutations must be rejected by the layer above. *)
+
+val degrade : t -> string -> unit
+(** Flip into degraded mode (idempotent; the first reason wins). *)
+
+val scrub : ?repair:bool -> t -> Storage.Scrub.report
+(** Flush the pool, then walk every device block verifying checksum
+    trailers; with [~repair:true], restore corrupt blocks from valid
+    journal images. Checksummed catalogs only.
+    @raise Failure if the catalog has no checksums. *)

@@ -8,6 +8,28 @@ exception Io_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
 
+type error =
+  | Overloaded of string
+  | Read_only of string
+  | Server of string
+  | Io of string
+  | Unexpected of string
+
+let error_to_string = function
+  | Overloaded m -> "overloaded: " ^ m
+  | Read_only m -> "read-only: " ^ m
+  | Server m -> m
+  | Io m -> "i/o: " ^ m
+  | Unexpected m -> "unexpected response: " ^ m
+
+(* Overload clears when the server drains; transport hiccups (connection
+   refused during a restart, reset mid-frame) clear when it comes back.
+   A typed [Server] or [Read_only] answer is a verdict, not weather —
+   retrying it would re-run a request the server already refused. *)
+let retryable = function
+  | Overloaded _ | Io _ -> true
+  | Read_only _ | Server _ | Unexpected _ -> false
+
 let connect ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
@@ -63,54 +85,118 @@ let rpc t req =
   t.next_id <- Int64.add t.next_id 1L;
   write_all t (Protocol.encode_request ~id req);
   let rid, resp = read_frame t in
-  (* id 0 is the server's out-of-band admission rejection. *)
+  (* id 0 is the server's out-of-band admission rejection (or an idle
+     goodbye racing the request). *)
   if rid <> id && rid <> 0L then
     fail "response id %Ld for request %Ld" rid id;
   resp
 
+let rpc_result t req =
+  match rpc t req with
+  | resp -> Ok resp
+  | exception Io_error m -> Result.Error (Io m)
+
+(* Map every non-success response shape onto the typed error; [of_ok]
+   extracts the expected success payload or rejects the shape. *)
+let typed t req of_ok =
+  match rpc_result t req with
+  | Result.Error _ as e -> e
+  | Ok (Protocol.Error m) -> Result.Error (Server m)
+  | Ok (Protocol.Overloaded m) -> Result.Error (Overloaded m)
+  | Ok (Protocol.Read_only m) -> Result.Error (Read_only m)
+  | Ok (Protocol.Goodbye m) ->
+      Result.Error (Io ("server closed the connection: " ^ m))
+  | Ok resp -> of_ok resp
+
 (* ---------------- typed conveniences ---------------- *)
 
 let ping t =
-  match rpc t Protocol.Ping with
-  | Protocol.Ack _ -> ()
-  | Protocol.Overloaded m -> fail "overloaded: %s" m
-  | _ -> fail "unexpected response to ping"
+  typed t Protocol.Ping (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to ping"))
 
 let insert t ?id ivl =
-  match
-    rpc t
-      (Protocol.Insert
-         { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl; id })
-  with
-  | Protocol.Ack msg -> (
-      match int_of_string_opt (List.hd (List.rev (String.split_on_char ' ' msg)))
-      with
-      | Some n -> Ok n
-      | None -> Result.Error ("unparseable ack: " ^ msg))
-  | Protocol.Error m | Protocol.Overloaded m -> Result.Error m
-  | _ -> Result.Error "unexpected response to insert"
+  typed t
+    (Protocol.Insert
+       { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl; id })
+    (function
+      | Protocol.Ack msg -> (
+          match
+            int_of_string_opt
+              (List.hd (List.rev (String.split_on_char ' ' msg)))
+          with
+          | Some n -> Ok n
+          | None -> Result.Error (Unexpected ("unparseable ack: " ^ msg)))
+      | _ -> Result.Error (Unexpected "to insert"))
 
 let intersect t ivl =
-  match
-    rpc t
-      (Protocol.Intersect
-         { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl })
-  with
-  | Protocol.Rows { rows; _ } ->
-      List.map (fun r -> (Interval.Ivl.make r.(0) r.(1), r.(2))) rows
-  | Protocol.Error m -> fail "intersect: %s" m
-  | Protocol.Overloaded m -> fail "intersect: overloaded: %s" m
-  | _ -> fail "unexpected response to intersect"
+  typed t
+    (Protocol.Intersect
+       { lower = Interval.Ivl.lower ivl; upper = Interval.Ivl.upper ivl })
+    (function
+      | Protocol.Rows { rows; _ } ->
+          Ok (List.map (fun r -> (Interval.Ivl.make r.(0) r.(1), r.(2))) rows)
+      | _ -> Result.Error (Unexpected "to intersect"))
 
 let sql t text =
-  match rpc t (Protocol.Sql text) with
-  | (Protocol.Ack _ | Protocol.Rows _) as r -> Ok r
-  | Protocol.Error m | Protocol.Overloaded m -> Result.Error m
-  | _ -> Result.Error "unexpected response to sql"
+  typed t (Protocol.Sql text) (function
+    | (Protocol.Ack _ | Protocol.Rows _) as r -> Ok r
+    | _ -> Result.Error (Unexpected "to sql"))
 
 let server_stats t =
-  match rpc t Protocol.Stats with
-  | Protocol.Stats_reply s -> s
-  | Protocol.Error m -> fail "stats: %s" m
-  | Protocol.Overloaded m -> fail "stats: overloaded: %s" m
-  | _ -> fail "unexpected response to stats"
+  typed t Protocol.Stats (function
+    | Protocol.Stats_reply s -> Ok s
+    | _ -> Result.Error (Unexpected "to stats"))
+
+(* ---------------- bounded retry with backoff ---------------- *)
+
+type backoff = {
+  attempts : int;
+  base_delay : float;
+  max_delay : float;
+  jitter : float;
+  seed : int;
+}
+
+let default_backoff =
+  { attempts = 5; base_delay = 0.05; max_delay = 1.0; jitter = 0.5; seed = 0 }
+
+(* splitmix64, inlined — lib/server cannot depend on lib/workload, and
+   the jitter stream must be deterministic under a given seed so tests
+   replay. *)
+let mix state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  (* uniform float in [0, 1) from the top 53 bits *)
+  Int64.to_float (Int64.shift_right_logical z 11) *. (1. /. 9007199254740992.)
+
+let retry ?(backoff = default_backoff) f =
+  let state = ref (Int64.of_int backoff.seed) in
+  let rec go attempt =
+    match f () with
+    | Ok _ as ok -> ok
+    | Result.Error e when retryable e && attempt < backoff.attempts ->
+        (* Exponential growth, capped, with jitter pulling the sleep
+           down into [(1 - jitter) * d, d] so a thundering herd of
+           clients doesn't re-arrive in lockstep. *)
+        let d =
+          Float.min backoff.max_delay
+            (backoff.base_delay *. Float.pow 2. (float_of_int (attempt - 1)))
+        in
+        let d = d *. (1. -. (backoff.jitter *. mix state)) in
+        if d > 0. then Unix.sleepf d;
+        go (attempt + 1)
+    | Result.Error _ as e -> e
+  in
+  go 1
+
+let connect_retry ?backoff ?host ~port () =
+  retry ?backoff (fun () ->
+      match connect ?host ~port () with
+      | c -> Ok c
+      | exception Io_error m -> Result.Error (Io m))

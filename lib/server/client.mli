@@ -4,14 +4,34 @@
     assigns a fresh request id, writes the frame, and blocks until the
     matching response arrives. An admission-control rejection at accept
     time (the server's [Overloaded] frame with request id 0) is
-    returned as the response of whatever call observes it. Transport
-    failures and protocol violations raise {!Io_error}; {e server-side}
-    failures never raise — they are the typed [Error]/[Overloaded]
-    responses. *)
+    returned as the response of whatever call observes it.
+
+    Every typed convenience returns a [('a, error) result] — transport
+    failures, admission rejections, degraded-mode refusals and
+    server-side errors all come back as typed {!error} values, never
+    exceptions. {!retryable} says which of them are worth retrying, and
+    {!retry} does so with bounded exponential backoff and jitter. Only
+    the low-level {!rpc} raises ({!Io_error}, transport only). *)
 
 type t
 
 exception Io_error of string
+
+(** Why a call failed. *)
+type error =
+  | Overloaded of string  (** admission control; transient *)
+  | Read_only of string
+      (** the server is in degraded read-only mode; mutations will keep
+          failing until the operator repairs the image *)
+  | Server of string  (** the typed [Error] response; not transient *)
+  | Io of string  (** transport failure; transient *)
+  | Unexpected of string  (** protocol violation / wrong response shape *)
+
+val error_to_string : error -> string
+
+val retryable : error -> bool
+(** [true] for {!Overloaded} and {!Io} — failures that clear on their
+    own. [Read_only], [Server] and [Unexpected] are verdicts. *)
 
 val connect : ?host:string -> port:int -> unit -> t
 (** Default host [127.0.0.1]. @raise Io_error when the connection is
@@ -22,19 +42,50 @@ val close : t -> unit
 val rpc : t -> Protocol.request -> Protocol.response
 (** @raise Io_error on a closed/violated transport. *)
 
-(** {2 Typed conveniences} *)
+val rpc_result : t -> Protocol.request -> (Protocol.response, error) result
+(** {!rpc} with the transport failure folded into the result. *)
 
-val ping : t -> unit
-(** @raise Io_error if the server answers anything but an [Ack]. *)
+(** {2 Typed conveniences}
 
-val insert : t -> ?id:int -> Interval.Ivl.t -> (int, string) result
-(** The assigned id, or the server's error text. *)
+    None of these raise; all failure shapes land in {!error}. *)
 
-val intersect : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
-(** @raise Io_error on a non-[Rows] response (e.g. [Overloaded]). *)
+val ping : t -> (unit, error) result
+val insert : t -> ?id:int -> Interval.Ivl.t -> (int, error) result
+(** The assigned id. *)
 
-val sql : t -> string -> (Protocol.response, string) result
-(** [Ok] carries [Ack] or [Rows]; [Result.Error] the server's message. *)
+val intersect :
+  t -> Interval.Ivl.t -> ((Interval.Ivl.t * int) list, error) result
 
-val server_stats : t -> Protocol.stats
-(** @raise Io_error on a non-[Stats_reply] response. *)
+val sql : t -> string -> (Protocol.response, error) result
+(** [Ok] carries [Ack] or [Rows]. *)
+
+val server_stats : t -> (Protocol.stats, error) result
+
+(** {2 Bounded retry with exponential backoff}
+
+    Delay before attempt [n+1] is
+    [min max_delay (base_delay * 2^(n-1))], scaled by a deterministic
+    jitter factor drawn from [seed] into [[1 - jitter, 1]] — so a herd
+    of backing-off clients spreads out instead of re-arriving in
+    lockstep. *)
+
+type backoff = {
+  attempts : int;  (** total attempts, including the first *)
+  base_delay : float;  (** seconds *)
+  max_delay : float;
+  jitter : float;  (** fraction of the delay the jitter may remove, 0..1 *)
+  seed : int;  (** jitter PRNG seed (deterministic sleeps in tests) *)
+}
+
+val default_backoff : backoff
+(** 5 attempts, 50 ms base, 1 s cap, jitter 0.5, seed 0. *)
+
+val retry :
+  ?backoff:backoff -> (unit -> ('a, error) result) -> ('a, error) result
+(** Re-run [f] while it fails with a {!retryable} error and attempts
+    remain, sleeping between tries. The first non-retryable error (or
+    exhaustion) is returned as-is. *)
+
+val connect_retry :
+  ?backoff:backoff -> ?host:string -> port:int -> unit -> (t, error) result
+(** {!connect} under {!retry} — rides out a server restart window. *)

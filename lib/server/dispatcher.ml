@@ -5,11 +5,12 @@ type config = {
   max_inflight : int;
   max_queue : int;
   group_commit : float;
+  idle_timeout : float;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
-    max_queue = 1024; group_commit = 0. }
+    max_queue = 1024; group_commit = 0.; idle_timeout = 0. }
 
 type conn = {
   fd : Unix.file_descr;
@@ -19,6 +20,7 @@ type conn = {
   out : Buffer.t;
   mutable out_sent : int;
   mutable closing : bool;  (* close once the output buffer drains *)
+  mutable last_active : float;  (* last byte received; idle reaping *)
 }
 
 type t = {
@@ -160,6 +162,7 @@ let accept_connections t =
             out = Buffer.create 256;
             out_sent = 0;
             closing = false;
+            last_active = Unix.gettimeofday ();
           }
         in
         t.conns <- conn :: t.conns;
@@ -206,6 +209,7 @@ let read_conn t conn =
   match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
   | 0 -> close_conn t conn
   | n ->
+      conn.last_active <- Unix.gettimeofday ();
       Protocol.Framer.feed conn.framer scratch n;
       drain_frames t conn
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
@@ -253,6 +257,16 @@ let execute_one t conn id req =
   t.queued <- t.queued - 1;
   Server_stats.queue_depth t.st t.queued;
   match req with
+  | Protocol.Commit
+    when Session.degraded_reason_shared t.sh <> None
+         && t.cfg.group_commit > 0. ->
+      (* Degraded COMMITs must not enter the batch: staging would dirty
+         the window for everyone and the force would touch a damaged
+         image. *)
+      let reason = Option.get (Session.degraded_reason_shared t.sh) in
+      push_response conn id
+        (Protocol.Read_only
+           (Printf.sprintf "server is read-only: %s" reason))
   | Protocol.Commit when t.cfg.group_commit > 0. -> (
       (* Stage now, answer at the window flush. *)
       match Session.stage_commit conn.session with
@@ -304,6 +318,29 @@ let execute_round t ~limit =
       (List.rev t.conns)
   done
 
+(* ---------------- idle reaping ---------------- *)
+
+(* A leaked client — connected, silent, holding a session against
+   max_sessions — gets a typed goodbye and the door. Only genuinely
+   quiescent connections qualify: anything with parsed-but-unanswered
+   requests or undrained output is still being served. *)
+let reap_idle t now =
+  if t.cfg.idle_timeout > 0. then
+    List.iter
+      (fun conn ->
+        if
+          (not conn.closing)
+          && Queue.is_empty conn.pending
+          && (not (output_pending conn))
+          && now -. conn.last_active > t.cfg.idle_timeout
+        then begin
+          push_response conn 0L
+            (Protocol.Goodbye
+               (Printf.sprintf "idle for %.0fs, closing" t.cfg.idle_timeout));
+          conn.closing <- true
+        end)
+      t.conns
+
 (* ---------------- the loop ---------------- *)
 
 let serve t =
@@ -322,11 +359,19 @@ let serve t =
         (fun c -> if output_pending c then Some c.fd else None)
         t.conns
     in
+    let base_timeout =
+      (* With idle reaping on, wake often enough that a connection is
+         closed within ~a quarter timeout of earning it. *)
+      if t.cfg.idle_timeout > 0. then
+        Float.min 1.0 (Float.max 0.02 (t.cfg.idle_timeout /. 4.))
+      else 1.0
+    in
     let timeout =
       (* Never sleep past the close of an open group-commit window. *)
       match t.commit_deadline with
-      | None -> 1.0
-      | Some dl -> Float.max 0.0 (Float.min 1.0 (dl -. Unix.gettimeofday ()))
+      | None -> base_timeout
+      | Some dl ->
+          Float.max 0.0 (Float.min base_timeout (dl -. Unix.gettimeofday ()))
     in
     let readable, writable, _ =
       try Unix.select reads writes [] timeout
@@ -348,6 +393,7 @@ let serve t =
     | Some dl when t.stopping || Unix.gettimeofday () >= dl ->
         flush_group_commits t
     | Some _ | None -> ());
+    if not t.stopping then reap_idle t (Unix.gettimeofday ());
     List.iter
       (fun conn ->
         if List.mem conn.fd writable || output_pending conn then

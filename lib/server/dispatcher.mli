@@ -39,11 +39,17 @@ type config = {
           COMMIT, and only then are they acknowledged — so concurrent
           sessions amortize the log force without ever being told an
           undurable state was durable. *)
+  idle_timeout : float;
+      (** seconds a connection may sit with no bytes received, no queued
+          requests and no undrained output before it is answered with a
+          typed [Goodbye] frame (request id 0) and closed, freeing its
+          seat against [max_sessions]. [0.] (the default) disables
+          reaping. *)
 }
 
 val default_config : config
 (** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued, synchronous
-    commit. *)
+    commit, no idle timeout. *)
 
 type t
 

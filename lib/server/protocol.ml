@@ -1,4 +1,4 @@
-let version = 1
+let version = 2
 let max_payload = 4 * 1024 * 1024
 
 type request =
@@ -52,6 +52,8 @@ type response =
   | Error of string
   | Overloaded of string
   | Stats_reply of stats
+  | Read_only of string
+  | Goodbye of string
 
 type error =
   | Truncated
@@ -165,6 +167,8 @@ let op_rows = 0x82
 let op_error = 0x83
 let op_overloaded = 0x84
 let op_stats_reply = 0x85
+let op_read_only = 0x86
+let op_goodbye = 0x87
 
 (* ---------------- frames ---------------- *)
 
@@ -227,6 +231,12 @@ let encode_response ~id resp =
           put_string b msg
       | Overloaded msg ->
           put_u8 b op_overloaded;
+          put_string b msg
+      | Read_only msg ->
+          put_u8 b op_read_only;
+          put_string b msg
+      | Goodbye msg ->
+          put_u8 b op_goodbye;
           put_string b msg
       | Stats_reply s ->
           put_u8 b op_stats_reply;
@@ -315,6 +325,8 @@ let decode_response payload =
         Rows { columns; rows }
       else if opcode = op_error then Error (get_string c)
       else if opcode = op_overloaded then Overloaded (get_string c)
+      else if opcode = op_read_only then Read_only (get_string c)
+      else if opcode = op_goodbye then Goodbye (get_string c)
       else if opcode = op_stats_reply then
         let uptime_s = Int64.float_of_bits (get_i64 c) in
         let sessions = get_int c in

@@ -91,6 +91,12 @@ type response =
   | Overloaded of string
       (** Admission control rejected the connection or request. *)
   | Stats_reply of stats
+  | Read_only of string
+      (** The server is in degraded read-only mode (corruption was
+          detected); the mutation was rejected but reads keep serving. *)
+  | Goodbye of string
+      (** The server is closing this connection deliberately — idle
+          timeout or shutdown — not an error. Sent with request id 0. *)
 
 (** {2 Codec} *)
 

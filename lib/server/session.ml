@@ -126,14 +126,56 @@ let stage_commit t =
   t.reqs <- t.reqs + 1;
   commit_request_shared t.sh
 
+(* First keyword of a SQL text, lowercased — enough to classify
+   statements for degraded mode without a parse. *)
+let sql_keyword text =
+  let n = String.length text in
+  let rec skip i = if i < n && (text.[i] = ' ' || text.[i] = '\t'
+                                || text.[i] = '\n' || text.[i] = '\r')
+    then skip (i + 1) else i in
+  let start = skip 0 in
+  let rec word i =
+    if i < n then
+      match text.[i] with
+      | 'a' .. 'z' | 'A' .. 'Z' -> word (i + 1)
+      | _ -> i
+    else i
+  in
+  String.lowercase_ascii (String.sub text start (word start - start))
+
+let mutating = function
+  | Protocol.Insert _ | Delete _ | Commit | Rollback -> true
+  | Sql text -> (
+      match sql_keyword text with "select" | "explain" -> false | _ -> true)
+  | Intersect _ | Allen _ | Stats | Ping -> false
+
+let degraded_reason_shared sh = Relation.Catalog.degraded_reason sh.cat
+
 let handle t req =
   t.reqs <- t.reqs + 1;
-  try exec t req with
-  | Sqlfront.Engine.Error m -> Protocol.Error m
-  | Sqlfront.Parser.Error m -> Protocol.Error ("parse error: " ^ m)
-  | Sqlfront.Lexer.Error (m, pos) ->
-      Protocol.Error (Printf.sprintf "lex error at %d: %s" pos m)
-  | Failure m -> Protocol.Error m
-  | Invalid_argument m -> Protocol.Error m
-  | Not_found -> Protocol.Error "not found"
-  | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e)
+  match degraded_reason_shared t.sh with
+  | Some reason when mutating req ->
+      Protocol.Read_only (Printf.sprintf "server is read-only: %s" reason)
+  | _ -> (
+      try exec t req with
+      | Storage.Buffer_pool.Corrupt_page page ->
+          (* Garbage came off the disk. Keep serving what still
+             verifies, refuse to write on top of a damaged image. *)
+          let reason = Printf.sprintf "corrupt page %d" page in
+          Relation.Catalog.degrade t.sh.cat reason;
+          Protocol.Error
+            (Printf.sprintf
+               "corruption detected (%s): server now degraded read-only; \
+                run `rikit scrub` against this image" reason)
+      | Storage.Block_device.Io_error { op; block } ->
+          Protocol.Error
+            (Printf.sprintf "transient I/O error: %s of block %d failed" op
+               block)
+      | Sqlfront.Engine.Error m -> Protocol.Error m
+      | Sqlfront.Parser.Error m -> Protocol.Error ("parse error: " ^ m)
+      | Sqlfront.Lexer.Error (m, pos) ->
+          Protocol.Error (Printf.sprintf "lex error at %d: %s" pos m)
+      | Failure m -> Protocol.Error m
+      | Invalid_argument m -> Protocol.Error m
+      | Not_found -> Protocol.Error "not found"
+      | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e))

@@ -70,12 +70,23 @@ val sql_statements : t -> int
 (** SQL statements run through this session's engine (the
     {!Sqlfront.Engine.statements} counter, surviving re-attach). *)
 
-val handle : t -> Protocol.request -> Protocol.response
+val mutating : Protocol.request -> bool
+(** Whether the request writes to the shared database. SQL is classified
+    by its first keyword ([select]/[explain] are reads). Used to enforce
+    degraded read-only mode. *)
 
+val degraded_reason_shared : shared -> string option
+(** [Some reason] once corruption flipped the catalog read-only. *)
+
+val handle : t -> Protocol.request -> Protocol.response
 (** Execute one request. Never raises: every failure — SQL errors,
     bad intervals, rollback on a non-durable server — comes back as a
     typed [Error]. [Stats] is the dispatcher's job and answers
-    [Error] here. *)
+    [Error] here. A detected {!Storage.Buffer_pool.Corrupt_page} returns
+    a typed [Error] {e and} degrades the catalog: from then on mutating
+    requests answer [Read_only] while reads keep serving. An injected
+    transient {!Storage.Block_device.Io_error} returns a typed [Error]
+    the client may retry. *)
 
 val stage_commit : t -> unit
 (** A COMMIT request entering a group-commit window: counted against

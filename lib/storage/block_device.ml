@@ -1,53 +1,73 @@
+exception Io_error of { op : string; block : int }
+exception Crash of int
+
 type t = {
   block_size : int;
-  mutable blocks : Bytes.t array;
-  mutable allocated : int;
+  impl_read : int -> Bytes.t -> unit;
+  impl_write : int -> Bytes.t -> unit;
+  impl_alloc : unit -> int;
+  impl_allocated : unit -> int;
   mutable reads : int;
   mutable writes : int;
 }
 
+let of_impl ~block_size ~read ~write ~alloc ~allocated =
+  if block_size < 64 then
+    invalid_arg
+      (Printf.sprintf "Block_device.of_impl: block size %d too small"
+         block_size);
+  { block_size; impl_read = read; impl_write = write; impl_alloc = alloc;
+    impl_allocated = allocated; reads = 0; writes = 0 }
+
+(* Default in-memory backend: an array of fixed-size blocks, as in the
+   paper's simulated U-SCSI disk. *)
 let create ?(block_size = 2048) () =
   if block_size < 64 then
     invalid_arg
       (Printf.sprintf "Block_device.create: block size %d too small"
          block_size);
-  { block_size; blocks = Array.make 64 Bytes.empty; allocated = 0;
-    reads = 0; writes = 0 }
+  let blocks = ref (Array.make 64 Bytes.empty) in
+  let allocated = ref 0 in
+  let check id buf op =
+    if id < 0 || id >= !allocated then
+      invalid_arg (Printf.sprintf "Block_device.%s: bad block id %d" op id);
+    if Bytes.length buf <> block_size then
+      invalid_arg
+        (Printf.sprintf "Block_device.%s: buffer size %d, expected %d" op
+           (Bytes.length buf) block_size)
+  in
+  let read id buf =
+    check id buf "read";
+    Bytes.blit !blocks.(id) 0 buf 0 block_size
+  in
+  let write id buf =
+    check id buf "write";
+    Bytes.blit buf 0 !blocks.(id) 0 block_size
+  in
+  let alloc () =
+    let cap = Array.length !blocks in
+    if !allocated >= cap then begin
+      let grown = Array.make (2 * cap) Bytes.empty in
+      Array.blit !blocks 0 grown 0 cap;
+      blocks := grown
+    end;
+    let id = !allocated in
+    !blocks.(id) <- Bytes.make block_size '\000';
+    allocated := id + 1;
+    id
+  in
+  of_impl ~block_size ~read ~write ~alloc ~allocated:(fun () -> !allocated)
 
 let block_size t = t.block_size
-let allocated t = t.allocated
-
-let grow t =
-  let cap = Array.length t.blocks in
-  if t.allocated >= cap then begin
-    let blocks = Array.make (2 * cap) Bytes.empty in
-    Array.blit t.blocks 0 blocks 0 cap;
-    t.blocks <- blocks
-  end
-
-let alloc t =
-  grow t;
-  let id = t.allocated in
-  t.blocks.(id) <- Bytes.make t.block_size '\000';
-  t.allocated <- id + 1;
-  id
-
-let check t id buf op =
-  if id < 0 || id >= t.allocated then
-    invalid_arg (Printf.sprintf "Block_device.%s: bad block id %d" op id);
-  if Bytes.length buf <> t.block_size then
-    invalid_arg
-      (Printf.sprintf "Block_device.%s: buffer size %d, expected %d" op
-         (Bytes.length buf) t.block_size)
+let allocated t = t.impl_allocated ()
+let alloc t = t.impl_alloc ()
 
 let read t id buf =
-  check t id buf "read";
-  Bytes.blit t.blocks.(id) 0 buf 0 t.block_size;
+  t.impl_read id buf;
   t.reads <- t.reads + 1
 
 let write t id buf =
-  check t id buf "write";
-  Bytes.blit buf 0 t.blocks.(id) 0 t.block_size;
+  t.impl_write id buf;
   t.writes <- t.writes + 1
 
 module Stats = struct

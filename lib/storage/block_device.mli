@@ -4,13 +4,42 @@
     disk block accesses (Figs. 13, 14). This module stands in for the
     U-SCSI disk of the paper's testbed: an array of fixed-size blocks
     with explicit read/write counters. Every transfer between the buffer
-    pool and the device is counted as one physical I/O. *)
+    pool and the device is counted as one physical I/O.
+
+    A device is a block-size plus four operations, so alternative
+    backends — notably the fault-injecting {!Faulty_device} — plug in
+    through {!of_impl} while the layers above keep a single concrete
+    [t]. *)
+
+exception Io_error of { op : string; block : int }
+(** A transient I/O failure on [op] ("read" or "write") of [block].
+    The mem backend never raises it; fault-injecting wrappers do.
+    Retrying the operation may succeed. *)
+
+exception Crash of int
+(** Raised by a fault-injecting backend when a programmed crash point is
+    hit; the payload is the index of the physical write that "killed the
+    machine". Everything written before it persists; the in-flight write
+    and all later state is lost. *)
 
 type t
 
 val create : ?block_size:int -> unit -> t
-(** [create ~block_size ()] makes an empty device. The default block
-    size is 2048 bytes — the 2 KB blocks of the paper's Oracle setup.
+(** [create ~block_size ()] makes an empty in-memory device. The default
+    block size is 2048 bytes — the 2 KB blocks of the paper's Oracle
+    setup.
+    @raise Invalid_argument if [block_size < 64]. *)
+
+val of_impl :
+  block_size:int ->
+  read:(int -> Bytes.t -> unit) ->
+  write:(int -> Bytes.t -> unit) ->
+  alloc:(unit -> int) ->
+  allocated:(unit -> int) ->
+  t
+(** Wrap arbitrary backend operations as a device. The wrapper owns the
+    I/O counters: a [read]/[write] that raises is {e not} counted, so
+    the counters report successful physical transfers only.
     @raise Invalid_argument if [block_size < 64]. *)
 
 val block_size : t -> int
@@ -26,11 +55,14 @@ val alloc : t -> int
 val read : t -> int -> Bytes.t -> unit
 (** [read t id buf] copies block [id] into [buf] and counts one physical
     read. [buf] must be exactly [block_size t] long.
-    @raise Invalid_argument on a bad id or buffer size. *)
+    @raise Invalid_argument on a bad id or buffer size.
+    @raise Io_error on an injected transient read failure. *)
 
 val write : t -> int -> Bytes.t -> unit
 (** [write t id buf] stores [buf] as block [id] and counts one physical
-    write. Same size discipline as {!read}. *)
+    write. Same size discipline as {!read}.
+    @raise Io_error on an injected transient write failure.
+    @raise Crash when a programmed crash point is reached. *)
 
 (** Physical I/O counters. *)
 module Stats : sig

@@ -1,3 +1,5 @@
+exception Corrupt_page of int
+
 type frame = {
   page_id : int;
   data : Bytes.t;
@@ -15,6 +17,7 @@ type t = {
   dev : Block_device.t;
   capacity : int;
   policy : policy;
+  checksums : bool;
   frames : (int, frame) Hashtbl.t; (* page id -> frame *)
   lru : frame; (* ring sentinel: [lru.next] is MRU, [lru.prev] is LRU *)
   mutable pinned : int; (* frames with pins > 0 *)
@@ -55,10 +58,10 @@ let ring_push_mru t f =
   t.lru.next.prev <- f;
   t.lru.next <- f
 
-let create ?(capacity = 200) ?(policy = Ring) dev =
+let create ?(capacity = 200) ?(policy = Ring) ?(checksums = false) dev =
   if capacity < 1 then
     invalid_arg "Buffer_pool.create: capacity must be positive";
-  { dev; capacity; policy; frames = Hashtbl.create (2 * capacity);
+  { dev; capacity; policy; checksums; frames = Hashtbl.create (2 * capacity);
     lru = ring_sentinel (); pinned = 0; journal = None; staged_commits = 0;
     commit_batches = 0; clock = 0; logical_reads = 0; hits = 0; misses = 0;
     evictions = 0 }
@@ -67,7 +70,41 @@ let attach_journal t j = t.journal <- Some j
 let journal t = t.journal
 
 let device t = t.dev
-let block_size t = Block_device.block_size t.dev
+let checksums t = t.checksums
+
+(* Physical size of a frame buffer = the device's block size. *)
+let dev_size t = Block_device.block_size t.dev
+
+(* Logical page size seen by heap/btree geometry: checksummed pools
+   reserve the last 4 bytes of every block for a CRC-32 trailer over the
+   payload. Callers never touch the trailer because every offset they
+   compute stays below this size. *)
+let block_size t = if t.checksums then dev_size t - 4 else dev_size t
+
+(* Stamp the CRC trailer so the image about to be persisted (to the
+   device or into the journal) verifies on its next read. *)
+let stamp t data =
+  if t.checksums then
+    let payload = dev_size t - 4 in
+    Bytes.set_int32_le data payload (Checksum.bytes data ~pos:0 ~len:payload)
+
+let all_zero data =
+  let n = Bytes.length data in
+  let rec go i = i >= n || (Bytes.get_uint8 data i = 0 && go (i + 1)) in
+  go 0
+
+(* A freshly allocated block is all zeroes and has never been stamped;
+   by convention it verifies (cf. Postgres treating zero pages as
+   valid). Anything else must match its trailer. *)
+let verify t page_id data =
+  if t.checksums then begin
+    let payload = dev_size t - 4 in
+    let stored = Bytes.get_int32_le data payload in
+    let actual = Checksum.bytes data ~pos:0 ~len:payload in
+    if stored <> actual && not (all_zero data) then
+      raise (Corrupt_page page_id)
+  end
+
 let capacity t = t.capacity
 let cached t = Hashtbl.length t.frames
 let pinned_frames t = t.pinned
@@ -83,7 +120,11 @@ let log_write t frame =
   match t.journal with
   | None -> ()
   | Some j ->
-      let before = Bytes.create (Block_device.block_size t.dev) in
+      (* Stamp first so the after-image carries a valid trailer — the
+         journal is the scrub repair source, and recovery writes these
+         images straight to the device. *)
+      stamp t frame.data;
+      let before = Bytes.create (dev_size t) in
       Block_device.read t.dev frame.page_id before;
       Journal.append j
         (Journal.Write
@@ -92,10 +133,17 @@ let log_write t frame =
 
 let write_back t frame =
   if frame.dirty then begin
+    stamp t frame.data;
     (* [logged] means the journal already holds this exact content: the
        recovery scan would reconstruct the same image, so appending it
        again buys nothing. *)
-    if not frame.logged then log_write t frame;
+    if not frame.logged then begin
+      log_write t frame;
+      (* WAL rule: the undo image must be durable before the page can be
+         stolen to the device, or a crash right after this write-back
+         leaves uncommitted bytes with no way to roll them back. *)
+      match t.journal with Some j -> Journal.force j | None -> ()
+    end;
     Block_device.write t.dev frame.page_id frame.data;
     frame.dirty <- false
   end
@@ -145,7 +193,7 @@ let install t page_id data dirty ~pins =
 
 let alloc t =
   let id = Block_device.alloc t.dev in
-  let frame = install t id (Bytes.make (block_size t) '\000') true ~pins:0 in
+  let frame = install t id (Bytes.make (dev_size t) '\000') true ~pins:0 in
   ignore frame;
   id
 
@@ -165,8 +213,11 @@ let pin t page_id =
       frame.data
   | None ->
       t.misses <- t.misses + 1;
-      let data = Bytes.create (block_size t) in
+      let data = Bytes.create (dev_size t) in
       Block_device.read t.dev page_id data;
+      (* Verify before installing: a corrupt block must never enter the
+         cache as if it were valid data. *)
+      verify t page_id data;
       let frame = install t page_id data false ~pins:1 in
       frame.data
 
@@ -266,15 +317,18 @@ let commit t =
   commit_request t;
   ignore (commit_force t)
 
-let crash t =
-  Hashtbl.iter
-    (fun _ f ->
-      if f.pins > 0 then
-        failwith
-          (Printf.sprintf "Buffer_pool.crash: page %d is still pinned"
-             f.page_id))
-    t.frames;
+let crash ?(force = false) t =
+  if not force then
+    Hashtbl.iter
+      (fun _ f ->
+        if f.pins > 0 then
+          failwith
+            (Printf.sprintf "Buffer_pool.crash: page %d is still pinned"
+               f.page_id))
+      t.frames;
   t.staged_commits <- 0;
+  (* Log bytes appended but never forced die with the machine. *)
+  (match t.journal with Some j -> Journal.drop_unforced j | None -> ());
   reset_frames t
 
 module Stats = struct

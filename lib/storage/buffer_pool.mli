@@ -17,16 +17,32 @@
 
 type t
 
+exception Corrupt_page of int
+(** Raised when a block read from the device fails its checksum trailer
+    (checksummed pools only): the named page holds garbage — bit rot or
+    a torn write — and was {e not} installed in the cache. *)
+
 type policy =
   | Ring  (** intrusive LRU ring, O(1) eviction (the default) *)
   | Scan  (** fold over every frame per eviction; benchmark baseline *)
 
-val create : ?capacity:int -> ?policy:policy -> Block_device.t -> t
+val create :
+  ?capacity:int -> ?policy:policy -> ?checksums:bool -> Block_device.t -> t
 (** [create ~capacity dev] caches up to [capacity] blocks (default 200).
+    With [~checksums:true] the last 4 bytes of every block hold a CRC-32
+    trailer over the payload: {!block_size} shrinks by 4, write-backs
+    stamp the trailer, and faulting a page in verifies it (raising
+    {!Corrupt_page} on mismatch; an all-zero block — freshly allocated,
+    never written — passes).
     @raise Invalid_argument if [capacity < 1]. *)
 
 val device : t -> Block_device.t
+
 val block_size : t -> int
+(** Usable page size for the structures above the pool: the device block
+    size, minus the 4-byte trailer on checksummed pools. *)
+
+val checksums : t -> bool
 val capacity : t -> int
 
 val alloc : t -> int
@@ -38,8 +54,11 @@ val pin : t -> int -> Bytes.t
     from the device if necessary. The page cannot be evicted until every
     {!pin} is matched by an {!unpin}. Mutating the returned bytes is
     allowed; pass [~dirty:true] to the matching unpin so the mutation
-    survives eviction.
-    @raise Failure if every frame is pinned (pool exhausted). *)
+    survives eviction. On checksummed pools the buffer is the full
+    device block; only the first {!block_size} bytes are the caller's.
+    @raise Failure if every frame is pinned (pool exhausted).
+    @raise Corrupt_page if the faulted-in block fails verification.
+    @raise Block_device.Io_error on an injected transient read fault. *)
 
 val unpin : t -> int -> dirty:bool -> unit
 (** Release one pin of page [id]. [dirty:true] marks the page for
@@ -104,12 +123,15 @@ val commit_force : t -> int
 val commit_batches : t -> int
 (** Number of forced batches so far (each wrote exactly one marker). *)
 
-val crash : t -> unit
+val crash : ?force:bool -> t -> unit
 (** Simulate a crash: drop every frame {e without} writing anything
     back. Dirty, uncommitted state is lost — including any commit
-    requests staged but not yet forced; {!Journal.recover} restores the
-    device to the last commit marker.
-    @raise Failure if any page is still pinned. *)
+    requests staged but not yet forced and any journal bytes appended
+    but never forced; {!Journal.recover} restores the device to the last
+    commit marker. [~force:true] skips the pinned-page check — a real
+    crash does not wait for pins, and the crash-schedule harness kills
+    the pool mid-operation.
+    @raise Failure if any page is still pinned (unless [force]). *)
 
 val cached : t -> int
 (** Number of pages currently resident. *)

@@ -1,0 +1,18 @@
+(** CRC-32 integrity checksums (IEEE 802.3 polynomial), pure OCaml.
+
+    Used as the corruption detector of the storage stack: every journal
+    record carries a CRC of its serialized body, and — on checksummed
+    buffer pools — every data page carries a CRC trailer over its
+    payload bytes. CRC-32 detects all single-bit flips and all bursts up
+    to 32 bits, which covers the bit-rot and torn-write faults
+    {!Faulty_device} injects. *)
+
+val bytes : ?crc:int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** CRC of [len] bytes starting at [pos], continuing from [crc]
+    (default [0l], the empty-message checksum).
+    @raise Invalid_argument if the range lies outside the buffer. *)
+
+val all : Bytes.t -> int32
+(** CRC of the whole buffer. *)
+
+val string : string -> int32

@@ -1,0 +1,155 @@
+(* Deterministic fault injection over any Block_device.
+
+   Faults come from two sources that compose:
+   - a seeded splitmix64 PRNG drawing "1 in N" probabilistic faults, and
+   - an explicit schedule keyed by physical operation index.
+   Both are fully deterministic for a given seed + schedule, so a failing
+   run replays exactly. *)
+
+(* splitmix64, inlined: the storage library must not depend on
+   lib/workload, which hosts the general-purpose PRNG. *)
+module Prng = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = Int64.of_int seed }
+
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  (* uniform in [0, n), n > 0; 62 bits so the value always fits a
+     non-negative native int *)
+  let int_in t n =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    v mod n
+
+  let one_in t n = n > 0 && int_in t n = 0
+end
+
+type fault =
+  | Fail  (** the operation raises a transient {!Block_device.Io_error} *)
+  | Torn of int
+      (** only the first [k] bytes of the block persist (writes only) *)
+  | Flip of int  (** bit [i] of the block is silently inverted *)
+
+type t = {
+  base : Block_device.t;
+  prng : Prng.t;
+  read_fail_1_in : int;
+  write_fail_1_in : int;
+  torn_1_in : int;
+  flip_1_in : int;
+  read_schedule : (int, fault) Hashtbl.t;
+  write_schedule : (int, fault) Hashtbl.t;
+  mutable crash_after : int option;  (** raise Crash on this write index *)
+  mutable crash_torn : bool;  (** persist a torn prefix of the fatal write *)
+  mutable crashed : bool;
+  mutable reads_done : int;
+  mutable writes_done : int;
+  mutable flips : (int * int) list;
+  mutable wrapped : Block_device.t option;
+}
+
+let create ?(seed = 0) ?(read_fail_1_in = 0) ?(write_fail_1_in = 0)
+    ?(torn_1_in = 0) ?(flip_1_in = 0) base =
+  { base; prng = Prng.create seed; read_fail_1_in; write_fail_1_in;
+    torn_1_in; flip_1_in; read_schedule = Hashtbl.create 7;
+    write_schedule = Hashtbl.create 7; crash_after = None;
+    crash_torn = false; crashed = false; reads_done = 0; writes_done = 0;
+    flips = []; wrapped = None }
+
+let schedule_read_fault t ~at fault = Hashtbl.replace t.read_schedule at fault
+let schedule_write_fault t ~at fault = Hashtbl.replace t.write_schedule at fault
+
+let set_crash_point ?(torn = false) t ~after_writes =
+  t.crash_after <- Some after_writes;
+  t.crash_torn <- torn
+
+let clear_crash_point t = t.crash_after <- None
+let disarm t = t.crashed <- false
+let reads_done t = t.reads_done
+let writes_done t = t.writes_done
+let flips t = List.rev t.flips
+let base t = t.base
+
+let bs t = Block_device.block_size t.base
+
+let flip_bit buf bit =
+  let byte = bit / 8 and mask = 1 lsl (bit mod 8) in
+  if byte < Bytes.length buf then
+    Bytes.set_uint8 buf byte (Bytes.get_uint8 buf byte lxor mask)
+
+let apply_write_fault t id buf = function
+  | Fail -> raise (Block_device.Io_error { op = "write"; block = id })
+  | Torn k ->
+      (* Persist only the first k bytes: read the current block content,
+         overlay the prefix, write that merged image through. *)
+      let k = max 0 (min k (bs t)) in
+      let merged = Bytes.create (bs t) in
+      Block_device.read t.base id merged;
+      Bytes.blit buf 0 merged 0 k;
+      Block_device.write t.base id merged
+  | Flip bit ->
+      let dirty = Bytes.copy buf in
+      flip_bit dirty bit;
+      t.flips <- (id, bit) :: t.flips;
+      Block_device.write t.base id dirty
+
+let read t id buf =
+  if t.crashed then raise (Block_device.Io_error { op = "read"; block = id });
+  let idx = t.reads_done in
+  t.reads_done <- idx + 1;
+  let scheduled = Hashtbl.find_opt t.read_schedule idx in
+  (match scheduled with
+   | Some Fail -> raise (Block_device.Io_error { op = "read"; block = id })
+   | Some (Torn _) ->
+       invalid_arg "Faulty_device: torn faults apply to writes only"
+   | Some (Flip bit) ->
+       Block_device.read t.base id buf;
+       flip_bit buf bit
+   | None ->
+       if Prng.one_in t.prng t.read_fail_1_in then
+         raise (Block_device.Io_error { op = "read"; block = id });
+       Block_device.read t.base id buf)
+
+let write t id buf =
+  if t.crashed then raise (Block_device.Io_error { op = "write"; block = id });
+  let idx = t.writes_done in
+  (match t.crash_after with
+   | Some n when idx >= n ->
+       t.crashed <- true;
+       if t.crash_torn then begin
+         let k = Prng.int_in t.prng (bs t) in
+         apply_write_fault t id buf (Torn k)
+       end;
+       raise (Block_device.Crash idx)
+   | _ -> ());
+  t.writes_done <- idx + 1;
+  match Hashtbl.find_opt t.write_schedule idx with
+  | Some fault -> apply_write_fault t id buf fault
+  | None ->
+      if Prng.one_in t.prng t.write_fail_1_in then
+        raise (Block_device.Io_error { op = "write"; block = id })
+      else if Prng.one_in t.prng t.torn_1_in then
+        apply_write_fault t id buf (Torn (Prng.int_in t.prng (bs t)))
+      else if Prng.one_in t.prng t.flip_1_in then
+        apply_write_fault t id buf (Flip (Prng.int_in t.prng (8 * bs t)))
+      else Block_device.write t.base id buf
+
+let device t =
+  match t.wrapped with
+  | Some d -> d
+  | None ->
+      let d =
+        Block_device.of_impl ~block_size:(bs t) ~read:(read t)
+          ~write:(write t)
+          ~alloc:(fun () -> Block_device.alloc t.base)
+          ~allocated:(fun () -> Block_device.allocated t.base)
+      in
+      t.wrapped <- Some d;
+      d

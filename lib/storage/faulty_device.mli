@@ -1,0 +1,74 @@
+(** Deterministic fault injection over any {!Block_device}.
+
+    Wraps a base device and misbehaves on command: transient read/write
+    {!Block_device.Io_error}s, torn writes (only a prefix of the block
+    persists), silent bit-flips, and a programmable crash point that
+    raises {!Block_device.Crash} after the N-th physical write. Faults
+    are driven by a seeded splitmix64 PRNG ("1 in N" rates) and by an
+    explicit per-operation-index schedule; both are deterministic, so a
+    failing run replays exactly from its seed. *)
+
+type t
+
+type fault =
+  | Fail  (** the operation raises a transient {!Block_device.Io_error} *)
+  | Torn of int
+      (** only the first [k] bytes of the block persist (writes only) *)
+  | Flip of int  (** bit [i] of the block is silently inverted *)
+
+val create :
+  ?seed:int ->
+  ?read_fail_1_in:int ->
+  ?write_fail_1_in:int ->
+  ?torn_1_in:int ->
+  ?flip_1_in:int ->
+  Block_device.t ->
+  t
+(** [create base] wraps [base]. The [_1_in] rates are probabilistic
+    fault frequencies (0, the default, disables that fault class):
+    e.g. [~write_fail_1_in:50] fails roughly one write in fifty. *)
+
+val device : t -> Block_device.t
+(** The wrapped device to hand to the buffer pool. All physical I/O
+    through it passes the fault machinery; its {!Block_device.Stats}
+    counters count successful operations only. *)
+
+val base : t -> Block_device.t
+(** The underlying faithful device (e.g. to inspect state after a
+    simulated crash). *)
+
+(** {2 Explicit schedule} *)
+
+val schedule_read_fault : t -> at:int -> fault -> unit
+(** Inject [fault] on the read with index [at] (0-based, counted over
+    the wrapper's lifetime). [Torn _] is invalid for reads. *)
+
+val schedule_write_fault : t -> at:int -> fault -> unit
+
+val set_crash_point : ?torn:bool -> t -> after_writes:int -> unit
+(** Arm the crash point: the write with index [after_writes] raises
+    {!Block_device.Crash} instead of persisting (so exactly
+    [after_writes] writes survive). With [~torn:true] a random prefix of
+    the fatal write persists first — a torn in-flight write. After the
+    crash every operation raises {!Block_device.Io_error} until
+    {!disarm}, modelling a machine that is down. *)
+
+val clear_crash_point : t -> unit
+
+val disarm : t -> unit
+(** "Reboot": clear the crashed flag so the device serves I/O again.
+    Does not clear the crash point; call {!clear_crash_point} too when
+    replaying past it. *)
+
+(** {2 Introspection} *)
+
+val reads_done : t -> int
+(** Physical reads attempted through the wrapper (including faulted
+    ones). *)
+
+val writes_done : t -> int
+(** Physical writes attempted through the wrapper, excluding the fatal
+    crash-point write. *)
+
+val flips : t -> (int * int) list
+(** All injected bit-flips so far as [(block, bit)], oldest first. *)

@@ -14,7 +14,13 @@
       post-commit before-image (undo of stolen, uncommitted writes);
     - untouched pages keep their device content.
 
-    Everything uncommitted at the crash vanishes atomically. *)
+    Everything uncommitted at the crash vanishes atomically.
+
+    The log is held serialized, each record ending in a CRC-32 of its
+    bytes, split into a {e durable} (forced) prefix and a {e pending}
+    unforced tail. Recovery parses the durable bytes and treats an
+    invalid tail — torn final record, bit-flipped record — as a torn
+    log: it replays the longest valid prefix and never raises. *)
 
 type t
 
@@ -23,13 +29,16 @@ type record =
   | Commit
 
 val create : unit -> t
+
 val append : t -> record -> unit
+(** Serialize the record (with its CRC) into the pending tail. *)
+
 val records : t -> record list
-(** Oldest first. *)
+(** All parseable records, durable then pending, oldest first. *)
 
 val record_count : t -> int
 val byte_size : t -> int
-(** Payload bytes logged (diagnostic). *)
+(** Payload (image) bytes logged — diagnostic, excludes framing. *)
 
 val force : t -> unit
 (** Make everything appended so far durable — the simulated log force
@@ -43,10 +52,44 @@ val commit_count : t -> int
 (** Number of commit markers appended so far; with group commit this is
     one per batch, not one per commit request. *)
 
+val drop_unforced : t -> unit
+(** Discard the pending tail — what a crash does to log bytes that were
+    never forced. Called by {!Buffer_pool.crash}. *)
+
+val durable_bytes : t -> int
+(** Size of the forced log in serialized bytes (framing included). *)
+
+val unforced_bytes : t -> int
+
+val durable_torn : t -> bool
+(** Whether the durable log ends in an invalid (torn or corrupt)
+    record — i.e. whether recovery would truncate a suffix. *)
+
 val truncate : t -> unit
 (** Drop all records (after a checkpoint made the device current). *)
 
 val recover : t -> Block_device.t -> int
 (** Restore every page of the device to its last committed image and
     truncate the journal; returns the number of pages restored. The
-    device writes performed here are counted I/O. *)
+    device writes performed here are counted I/O. Pending records are
+    forced first (an explicit recover replays everything appended); an
+    invalid durable tail is truncated at the last valid record, never an
+    exception. *)
+
+val recovery_images : t -> (int, Bytes.t) Hashtbl.t
+(** The page images {!recover} would install, without applying or
+    truncating anything — the repair source for [rikit scrub]. Only
+    records with a valid checksum contribute. *)
+
+(** {2 Test hooks}
+
+    Damage the durable log the way a lying disk would. *)
+
+val tear : t -> keep:int -> unit
+(** Truncate the durable log to its first [keep] serialized bytes,
+    modelling a torn final log write. *)
+
+val corrupt_byte : t -> off:int -> unit
+(** Flip a bit in the durable log at byte offset [off], modelling log
+    bit rot.
+    @raise Invalid_argument if [off] is outside the durable bytes. *)

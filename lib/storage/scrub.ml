@@ -1,0 +1,72 @@
+type report = {
+  blocks : int;
+  clean : int;
+  zero : int;
+  corrupt : int list;
+  repaired : int list;
+  unrepairable : int list;
+  journal_records : int;
+  journal_torn : bool;
+}
+
+let all_zero data =
+  let n = Bytes.length data in
+  let rec go i = i >= n || (Bytes.get_uint8 data i = 0 && go (i + 1)) in
+  go 0
+
+let verify_block data =
+  let payload = Bytes.length data - 4 in
+  let stored = Bytes.get_int32_le data payload in
+  stored = Checksum.bytes data ~pos:0 ~len:payload
+
+let run ?(repair = false) ?journal ~checksums device =
+  if not checksums then
+    invalid_arg "Scrub.run: device has no checksum trailers to verify";
+  let bs = Block_device.block_size device in
+  let n = Block_device.allocated device in
+  let images =
+    match journal with
+    | Some j when repair -> Journal.recovery_images j
+    | _ -> Hashtbl.create 0
+  in
+  let jrecords, jtorn =
+    match journal with
+    | Some j -> (List.length (Journal.records j), Journal.durable_torn j)
+    | None -> (0, false)
+  in
+  let clean = ref 0 and zero = ref 0 in
+  let corrupt = ref [] and repaired = ref [] and unrepairable = ref [] in
+  let buf = Bytes.create bs in
+  for id = 0 to n - 1 do
+    Block_device.read device id buf;
+    if verify_block buf then incr clean
+    else if all_zero buf then incr zero
+    else begin
+      corrupt := id :: !corrupt;
+      if repair then
+        match Hashtbl.find_opt images id with
+        | Some image when Bytes.length image = bs && verify_block image ->
+            Block_device.write device id image;
+            repaired := id :: !repaired
+        | _ -> unrepairable := id :: !unrepairable
+    end
+  done;
+  { blocks = n; clean = !clean; zero = !zero; corrupt = List.rev !corrupt;
+    repaired = List.rev !repaired; unrepairable = List.rev !unrepairable;
+    journal_records = jrecords; journal_torn = jtorn }
+
+let render ppf r =
+  Format.fprintf ppf "scrub: %d blocks, %d clean, %d zero, %d corrupt"
+    r.blocks r.clean r.zero (List.length r.corrupt);
+  if r.corrupt <> [] then begin
+    Format.fprintf ppf "@.  corrupt blocks: %s"
+      (String.concat ", " (List.map string_of_int r.corrupt));
+    Format.fprintf ppf "@.  repaired: %s"
+      (if r.repaired = [] then "none"
+       else String.concat ", " (List.map string_of_int r.repaired));
+    if r.unrepairable <> [] then
+      Format.fprintf ppf "@.  unrepairable: %s"
+        (String.concat ", " (List.map string_of_int r.unrepairable))
+  end;
+  Format.fprintf ppf "@.  journal: %d records%s" r.journal_records
+    (if r.journal_torn then " (torn tail)" else "")

@@ -1,0 +1,30 @@
+(** Offline integrity scrub: walk every allocated block of a
+    checksummed device, verify the CRC-32 trailers, and optionally
+    repair corrupt blocks from valid journal images.
+
+    This is the engine behind [rikit scrub]. It works on the raw device
+    (not through a buffer pool), so it sees exactly what is persisted —
+    including damage a cold cache would only discover at the next
+    fault-in. *)
+
+type report = {
+  blocks : int;  (** allocated blocks walked *)
+  clean : int;  (** trailer matched the payload *)
+  zero : int;  (** all-zero (never written) — valid by convention *)
+  corrupt : int list;  (** block ids failing verification *)
+  repaired : int list;  (** corrupt blocks restored from the journal *)
+  unrepairable : int list;  (** corrupt, and no valid journal image *)
+  journal_records : int;  (** parseable journal records, if one was given *)
+  journal_torn : bool;  (** the durable log ends in an invalid record *)
+}
+
+val run :
+  ?repair:bool -> ?journal:Journal.t -> checksums:bool ->
+  Block_device.t -> report
+(** Walk the device. With [~repair:true] and a journal, each corrupt
+    block whose {!Journal.recovery_images} entry verifies is written
+    back in place; repairs are counted I/O on the device.
+    @raise Invalid_argument if [checksums] is false — scrubbing an
+    unchecksummed device cannot distinguish corruption from data. *)
+
+val render : Format.formatter -> report -> unit

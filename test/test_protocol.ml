@@ -56,6 +56,8 @@ let sample_responses =
       };
     P.Error "no such table";
     P.Overloaded "server at session limit (64)";
+    P.Read_only "server is read-only: corrupt page 7";
+    P.Goodbye "idle for 30s, closing";
     P.Stats_reply sample_stats;
     P.Stats_reply { sample_stats with ops = [] };
   ]
@@ -70,6 +72,8 @@ let resp_label = function
   | P.Rows _ -> "rows"
   | P.Error _ -> "error"
   | P.Overloaded _ -> "overloaded"
+  | P.Read_only _ -> "read_only"
+  | P.Goodbye _ -> "goodbye"
   | P.Stats_reply _ -> "stats"
 
 let resp_testable =
@@ -226,6 +230,62 @@ let test_framer_batch_feed () =
   drain ();
   check Alcotest.int "ten frames" 10 !n
 
+(* Fuzz the whole input path the way a hostile or broken peer would:
+   seeded random bytes, truncated valid streams, and valid streams with
+   mutated bytes, fed through a Framer in random-size chunks. The framer
+   and codec must never raise — every payload surfaced decodes to Ok or
+   a typed error, and a framing error (oversized prefix) is terminal for
+   that framer, exactly as the dispatcher treats it. *)
+let test_framer_fuzz () =
+  let prng = Workload.Prng.create ~seed:7321 in
+  let valid_stream () =
+    let frames =
+      List.init
+        (1 + Workload.Prng.int prng 5)
+        (fun i ->
+          let reqs = Array.of_list sample_requests in
+          P.encode_request
+            ~id:(Int64.of_int (i + 1))
+            reqs.(Workload.Prng.int prng (Array.length reqs)))
+    in
+    Bytes.concat Bytes.empty frames
+  in
+  let drive stream =
+    let f = P.Framer.create () in
+    let pos = ref 0 and dead = ref false in
+    while (not !dead) && !pos < Bytes.length stream do
+      let n = min (1 + Workload.Prng.int prng 17) (Bytes.length stream - !pos) in
+      P.Framer.feed f (Bytes.sub stream !pos n) n;
+      pos := !pos + n;
+      let draining = ref true in
+      while !draining do
+        match P.Framer.next f with
+        | Ok None -> draining := false
+        | Ok (Some payload) -> (
+            match P.decode_request payload with Ok _ | Error _ -> ())
+        | Error _ ->
+            (* desynced beyond recovery: connection closes *)
+            dead := true;
+            draining := false
+      done
+    done
+  in
+  for _ = 1 to 200 do
+    (* pure noise *)
+    let len = Workload.Prng.int prng 160 in
+    drive (Bytes.init len (fun _ -> Char.chr (Workload.Prng.int prng 256)));
+    (* truncated valid stream *)
+    let s = valid_stream () in
+    drive (Bytes.sub s 0 (Workload.Prng.int prng (Bytes.length s + 1)));
+    (* valid stream with a few mutated bytes *)
+    let s = valid_stream () in
+    for _ = 0 to 2 do
+      let i = Workload.Prng.int prng (Bytes.length s) in
+      Bytes.set_uint8 s i (Workload.Prng.int prng 256)
+    done;
+    drive s
+  done
+
 let test_framer_oversized () =
   let f = P.Framer.create () in
   let b = Bytes.create 4 in
@@ -261,5 +321,7 @@ let () =
             test_framer_reassembly;
           Alcotest.test_case "batch feed" `Quick test_framer_batch_feed;
           Alcotest.test_case "oversized prefix" `Quick test_framer_oversized;
+          Alcotest.test_case "fuzz: noise, truncation, mutation" `Quick
+            test_framer_fuzz;
         ] );
     ]

@@ -11,9 +11,9 @@ module C = Server.Client
 let check = Alcotest.check
 
 let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
-    ?(group_commit = 0.) () =
+    ?(group_commit = 0.) ?(idle_timeout = 0.) () =
   { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue;
-    group_commit }
+    group_commit; idle_timeout }
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
@@ -33,6 +33,14 @@ let with_client port f =
   let c = C.connect ~port () in
   Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
 
+(* unwrap a typed client result, failing the test on any error *)
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "client error: %s" (C.error_to_string e)
+
+let ping c = ok (C.ping c)
+let intersect c q = List.map snd (ok (C.intersect c q))
+
 let dataset = Workload.Distribution.generate ~seed:7 Workload.Distribution.D1 ~n:2000 ~d:2000
 
 let brute_force q =
@@ -47,17 +55,17 @@ let brute_force q =
 let test_basic_ops () =
   with_server ~preload:dataset (fun port _sh _disp ->
       with_client port (fun c ->
-          C.ping c;
+          ping c;
           (* intersection answers match a brute-force scan *)
           let q = Interval.Ivl.make 100_000 110_000 in
-          let got = List.sort compare (List.map snd (C.intersect c q)) in
+          let got = List.sort compare (intersect c q) in
           check (Alcotest.list Alcotest.int) "intersect" (brute_force q) got;
           (* typed insert/delete *)
           (match C.insert c ~id:999_999 (Interval.Ivl.make 5 6) with
           | Ok id -> check Alcotest.int "assigned id" 999_999 id
-          | Error m -> Alcotest.failf "insert: %s" m);
+          | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
           let got =
-            List.map snd (C.intersect c (Interval.Ivl.point 5))
+            intersect c (Interval.Ivl.point 5)
             |> List.filter (fun id -> id = 999_999)
           in
           check (Alcotest.list Alcotest.int) "inserted visible" [ 999_999 ] got;
@@ -71,16 +79,16 @@ let test_basic_ops () =
           | _ -> Alcotest.fail "create table");
           (match C.sql c "INSERT INTO t VALUES (1, 2)" with
           | Ok _ -> ()
-          | Error m -> Alcotest.failf "insert row: %s" m);
+          | Error e -> Alcotest.failf "insert row: %s" (C.error_to_string e));
           (match C.sql c "SELECT a, b FROM t" with
           | Ok (P.Rows { rows = [ [| 1; 2 |] ]; _ }) -> ()
           | Ok _ -> Alcotest.fail "wrong rows"
-          | Error m -> Alcotest.failf "select: %s" m);
+          | Error e -> Alcotest.failf "select: %s" (C.error_to_string e));
           (* SQL errors come back typed, session survives *)
           (match C.sql c "SELECT nope FROM missing" with
           | Error _ -> ()
           | Ok _ -> Alcotest.fail "bad SQL succeeded");
-          C.ping c))
+          ping c))
 
 let test_allen_query () =
   with_server ~preload:dataset (fun port _ _ ->
@@ -103,9 +111,9 @@ let test_allen_query () =
 let test_stats_surface () =
   with_server ~preload:dataset (fun port _ _ ->
       with_client port (fun c ->
-          C.ping c;
-          ignore (C.intersect c (Interval.Ivl.make 0 50_000));
-          let s = C.server_stats c in
+          ping c;
+          ignore (intersect c (Interval.Ivl.make 0 50_000));
+          let s = ok (C.server_stats c) in
           check Alcotest.bool "uptime" true (s.P.uptime_s >= 0.0);
           check Alcotest.int "sessions" 1 s.P.sessions;
           check Alcotest.bool "requests counted" true (s.P.total_requests >= 2);
@@ -133,8 +141,8 @@ let test_session_limit () =
       Fun.protect
         ~finally:(fun () -> C.close c1; C.close c2)
         (fun () ->
-          C.ping c1;
-          C.ping c2;
+          ping c1;
+          ping c2;
           (* the third connection must get a typed Overloaded, not a
              hang or a hard close *)
           let c3 = C.connect ~port () in
@@ -145,8 +153,8 @@ let test_session_limit () =
               | P.Overloaded _ -> ()
               | _ -> Alcotest.fail "third session admitted past the limit");
           (* the admitted sessions keep working *)
-          C.ping c1;
-          C.ping c2;
+          ping c1;
+          ping c2;
           let s =
             Server.Server_stats.snapshot (D.stats disp)
               ~now:(Unix.gettimeofday ())
@@ -257,9 +265,7 @@ let test_concurrent_clients () =
                       for i = 0 to per_client - 1 do
                         let base = ((ci * per_client) + i) * 400 in
                         let q = Interval.Ivl.make base (base + 5000) in
-                        let got =
-                          List.sort compare (List.map snd (C.intersect c q))
-                        in
+                        let got = List.sort compare (intersect c q) in
                         if got <> brute_force q then
                           failwith "wrong intersection result"
                       done)
@@ -282,14 +288,15 @@ let test_session_isolation () =
               (* DDL is shared state; transient engine sessions are not *)
               (match C.sql c1 "CREATE TABLE shared_t (x)" with
               | Ok _ -> ()
-              | Error m -> Alcotest.failf "ddl: %s" m);
+              | Error e -> Alcotest.failf "ddl: %s" (C.error_to_string e));
               (match C.sql c2 "INSERT INTO shared_t VALUES (42)" with
               | Ok _ -> ()
-              | Error m -> Alcotest.failf "dml other session: %s" m);
+              | Error e ->
+                  Alcotest.failf "dml other session: %s" (C.error_to_string e));
               match C.sql c1 "SELECT x FROM shared_t" with
               | Ok (P.Rows { rows = [ [| 42 |] ]; _ }) -> ()
               | Ok _ -> Alcotest.fail "row not visible across sessions"
-              | Error m -> Alcotest.failf "select: %s" m)))
+              | Error e -> Alcotest.failf "select: %s" (C.error_to_string e))))
 
 (* ---- durability: commit, rollback, restart ---- *)
 
@@ -305,23 +312,23 @@ let test_commit_rollback () =
       with_client port (fun c ->
           (match C.insert c ~id:1 (Interval.Ivl.make 10 20) with
           | Ok _ -> ()
-          | Error m -> Alcotest.failf "insert: %s" m);
+          | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
           (match C.rpc c P.Commit with
           | P.Ack _ -> ()
           | _ -> Alcotest.fail "commit");
           (match C.insert c ~id:2 (Interval.Ivl.make 10 20) with
           | Ok _ -> ()
-          | Error m -> Alcotest.failf "insert 2: %s" m);
+          | Error e -> Alcotest.failf "insert 2: %s" (C.error_to_string e));
           (match C.rpc c P.Rollback with
           | P.Ack _ -> ()
           | r ->
               Alcotest.failf "rollback: %s"
                 (match r with P.Error m -> m | _ -> "?"));
           (* committed row survives, uncommitted row is gone *)
-          let ids = List.sort compare (List.map snd (C.intersect c (Interval.Ivl.make 10 20))) in
+          let ids = List.sort compare (intersect c (Interval.Ivl.make 10 20)) in
           check (Alcotest.list Alcotest.int) "rollback boundary" [ 1 ] ids;
           (* the session keeps serving after the handle swap *)
-          C.ping c;
+          ping c;
           match C.sql c "SELECT node FROM intervals" with
           | Ok (P.Rows { rows; _ }) -> check Alcotest.int "sql after rollback" 1 (List.length rows)
           | _ -> Alcotest.fail "sql after rollback"))
@@ -341,7 +348,7 @@ let test_group_commit_window () =
         with_client port (fun c ->
             (match C.insert c ~id:(100 + i) (Interval.Ivl.make 10 20) with
             | Ok _ -> ()
-            | Error m -> failwith m);
+            | Error e -> failwith (C.error_to_string e));
             match C.rpc c P.Commit with
             | P.Ack m -> acks.(i) <- Some m
             | _ -> ())
@@ -364,10 +371,7 @@ let test_group_commit_window () =
           (match C.rpc c P.Rollback with
           | P.Ack _ -> ()
           | _ -> Alcotest.fail "rollback");
-          let ids =
-            List.sort compare
-              (List.map snd (C.intersect c (Interval.Ivl.make 10 20)))
-          in
+          let ids = List.sort compare (intersect c (Interval.Ivl.make 10 20)) in
           check (Alcotest.list Alcotest.int) "both commits durable"
             [ 100; 101 ] ids))
 
@@ -381,7 +385,7 @@ let test_graceful_shutdown_no_data_loss () =
   with_client (D.port disp) (fun c ->
       (match C.insert c ~id:77 (Interval.Ivl.make 1000 2000) with
       | Ok _ -> ()
-      | Error m -> Alcotest.failf "insert: %s" m);
+      | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
       match C.rpc c P.Commit with
       | P.Ack _ -> ()
       | _ -> Alcotest.fail "commit");
@@ -390,6 +394,71 @@ let test_graceful_shutdown_no_data_loss () =
   S.reopen sh;
   let ids = Ritree.Ri_tree.intersecting_ids (S.tree sh) (Interval.Ivl.make 1500 1500) in
   check (Alcotest.list Alcotest.int) "row survived restart" [ 77 ] ids
+
+(* ---- robustness: idle reaping and degraded read-only mode ---- *)
+
+let test_idle_timeout_reaps () =
+  with_server ~config:(config ~idle_timeout:0.2 ()) (fun port _ _ ->
+      let fd = raw_connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ping = P.encode_request ~id:1L P.Ping in
+          ignore (Unix.write fd ping 0 (Bytes.length ping));
+          (match P.decode_response (raw_read_frame fd) with
+          | Ok (1L, P.Ack _) -> ()
+          | _ -> Alcotest.fail "ping before idling");
+          (* sit idle past the timeout: the server sends a typed Goodbye
+             (request id 0, like its other unsolicited frames), then
+             hangs up *)
+          (match P.decode_response (raw_read_frame fd) with
+          | Ok (0L, P.Goodbye _) -> ()
+          | _ -> Alcotest.fail "expected a typed Goodbye frame");
+          match Unix.read fd (Bytes.create 1) 0 1 with
+          | 0 -> ()
+          | _ -> Alcotest.fail "connection stayed open after Goodbye"
+          | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()))
+
+let test_corruption_degrades_to_read_only () =
+  with_server ~durable:true (fun port sh _ ->
+      with_client port (fun c ->
+          for i = 1 to 50 do
+            match C.insert c ~id:i (Interval.Ivl.make (i * 10) ((i * 10) + 5)) with
+            | Ok _ -> ()
+            | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e)
+          done;
+          (match C.rpc c P.Commit with
+          | P.Ack _ -> ()
+          | _ -> Alcotest.fail "commit");
+          (* push every page to disk, then flip one bit in each non-zero
+             block behind the server's back *)
+          let cat = S.catalog sh in
+          Relation.Catalog.drop_cache cat;
+          let dev = Relation.Catalog.device cat in
+          let buf = Bytes.create (Storage.Block_device.block_size dev) in
+          for b = 0 to Storage.Block_device.allocated dev - 1 do
+            Storage.Block_device.read dev b buf;
+            if Bytes.exists (fun ch -> ch <> '\000') buf then begin
+              Bytes.set_uint8 buf 0 (Bytes.get_uint8 buf 0 lxor 0x01);
+              Storage.Block_device.write dev b buf
+            end
+          done;
+          (* the poisoned read comes back typed, not as a crash *)
+          (match C.intersect c (Interval.Ivl.make 0 1000) with
+          | Error (C.Server m) ->
+              check Alcotest.bool "names the corruption" true
+                (contains m "corrupt")
+          | Ok _ -> Alcotest.fail "read served from a corrupt page"
+          | Error e ->
+              Alcotest.failf "wrong error shape: %s" (C.error_to_string e));
+          (* now degraded: mutations refused typed, the connection and
+             its read path keep serving *)
+          (match C.insert c ~id:999 (Interval.Ivl.make 1 2) with
+          | Error (C.Read_only _) -> ()
+          | Ok _ -> Alcotest.fail "mutation admitted in degraded mode"
+          | Error e ->
+              Alcotest.failf "wrong refusal shape: %s" (C.error_to_string e));
+          ping c))
 
 let () =
   Alcotest.run "server"
@@ -414,6 +483,13 @@ let () =
         ] );
       ( "concurrency",
         [ Alcotest.test_case "parallel clients" `Quick test_concurrent_clients ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "idle timeout reaps sessions" `Quick
+            test_idle_timeout_reaps;
+          Alcotest.test_case "corruption degrades to read-only" `Quick
+            test_corruption_degrades_to_read_only;
+        ] );
       ( "sessions",
         [ Alcotest.test_case "shared tables" `Quick test_session_isolation ] );
       ( "durability",
