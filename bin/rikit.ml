@@ -64,7 +64,7 @@ let generate_cmd =
 
 (* ---- explain ---- *)
 
-let explain kind n d seed qlow qup =
+let explain kind n d seed trace qlow qup =
   if qlow > qup then failwith "query lower exceeds upper";
   let data = Workload.Distribution.generate ~seed kind ~n ~d in
   let db = Relation.Catalog.create () in
@@ -84,20 +84,49 @@ let explain kind n d seed qlow qup =
     p.Ritree.Ri_tree.min_level
     (Ritree.Ri_tree.height tree);
   print_string (Ritree.Ri_tree.explain tree q);
-  let ids, blocks =
-    Harness.Measure.io db (fun () -> Ritree.Ri_tree.intersecting_ids tree q)
+  (* Sec. 5 cost model: predict result size and physical I/O from the
+     histograms, then measure both against a cold cache. *)
+  let stats = Ritree.Cost_model.Stats.analyze tree in
+  let pred_rows = Ritree.Cost_model.Stats.estimate_result_size stats q in
+  let pred_io = Ritree.Cost_model.index_cost tree stats q in
+  let scan_io = Ritree.Cost_model.scan_cost tree in
+  Relation.Catalog.flush db;
+  Relation.Catalog.drop_cache db;
+  if trace then Obs.Trace.set_enabled true;
+  let (ids, span), blocks =
+    Harness.Measure.io db (fun () ->
+        Obs.Trace.traced "explain.query" ~info:(Interval.Ivl.to_string q)
+          (fun () -> Ritree.Ri_tree.intersecting_ids tree q))
   in
-  Printf.printf "\n%d results, %d physical I/Os\n" (List.length ids) blocks
+  Printf.printf
+    "\nPREDICTED (Sec. 5 cost model)  rows=%d  io=%.1f  (full scan: %.0f, \
+     plan: %s)\n"
+    pred_rows pred_io scan_io
+    (Ritree.Cost_model.plan_to_string
+       (Ritree.Cost_model.choose tree stats q));
+  Printf.printf "ACTUAL    (cold cache)         rows=%d  io=%d\n"
+    (List.length ids) blocks;
+  match span with
+  | Some sp when trace -> Printf.printf "\ntrace:\n%s" (Obs.Trace.render sp)
+  | _ -> ()
 
 let explain_cmd =
   let qlow =
     Arg.(required & pos 0 (some int) None & info [] ~docv:"LOWER")
   in
   let qup = Arg.(required & pos 1 (some int) None & info [] ~docv:"UPPER") in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Print the hierarchical trace of the measured query \
+                   (per-branch joins, B+-tree descents, pool faults).")
+  in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Show the RI-tree plan and I/O for an intersection query")
-    Term.(const explain $ kind_arg $ n_arg $ d_arg $ seed_arg $ qlow $ qup)
+       ~doc:"Show the RI-tree plan, cost-model prediction and I/O for an \
+             intersection query")
+    Term.(const explain $ kind_arg $ n_arg $ d_arg $ seed_arg $ trace
+          $ qlow $ qup)
 
 (* ---- compare ---- *)
 
@@ -658,6 +687,218 @@ let bench_storage_cmd =
                and journaled bytes amortized across the batch)." ])
     Term.(const bench_storage $ tiny $ out)
 
+(* ---- bench-explain ---- *)
+
+(* Predicted-vs-actual for the Sec. 5 cost model over the Table-1
+   distributions: per query, predict result size (histograms) and
+   physical I/O (index cost formula), then measure both against a cold
+   cache, and report the relative-error distribution. One query per
+   distribution is also pushed through the SQL front end — transient
+   leftNodes/rightNodes collections plus the Fig. 9 UNION ALL — under
+   EXPLAIN ANALYZE, tying the engine's estimator to the same ground
+   truth. *)
+
+type explain_err = { ee_mean : float; ee_p50 : float; ee_p90 : float;
+                     ee_max : float }
+
+let err_stats errs =
+  if Array.length errs = 0 then
+    { ee_mean = 0.; ee_p50 = 0.; ee_p90 = 0.; ee_max = 0. }
+  else
+    { ee_mean =
+        Array.fold_left ( +. ) 0. errs /. float_of_int (Array.length errs);
+      ee_p50 = Harness.Measure.percentile errs 0.5;
+      ee_p90 = Harness.Measure.percentile errs 0.9;
+      ee_max = Array.fold_left Float.max 0. errs }
+
+type explain_row = {
+  ex_kind : string;
+  ex_n : int;
+  ex_queries : int;
+  ex_pred_io : float;
+  ex_actual_io : int;
+  ex_pred_rows : int;
+  ex_actual_rows : int;
+  ex_io_err : explain_err;
+  ex_rows_err : explain_err;
+  ex_sql_explain : string;
+}
+
+let fig9_sql =
+  "EXPLAIN ANALYZE \
+   SELECT id FROM intervals i, leftNodes lft \
+   WHERE i.node BETWEEN lft.min AND lft.max AND i.upper >= :qlow \
+   UNION ALL \
+   SELECT id FROM intervals i, rightNodes rgt \
+   WHERE i.node = rgt.node AND i.lower <= :qup"
+
+let bench_explain_kind ~tiny ~seed ~sel kind =
+  let n = if tiny then 2_000 else 10_000 in
+  let d = 2000 in
+  let qcount = if tiny then 10 else 50 in
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let stats = Ritree.Cost_model.Stats.analyze tree in
+  let queries =
+    Workload.Query_gen.queries ~seed ~data ~count:qcount (sel /. 100.)
+  in
+  let rel_err pred actual =
+    Float.abs (pred -. float_of_int actual) /. float_of_int (max 1 actual)
+  in
+  let io_errs = Array.make (Array.length queries) 0. in
+  let rows_errs = Array.make (Array.length queries) 0. in
+  let pred_io_total = ref 0. and actual_io_total = ref 0 in
+  let pred_rows_total = ref 0 and actual_rows_total = ref 0 in
+  Array.iteri
+    (fun i q ->
+      let pred_io = Ritree.Cost_model.index_cost tree stats q in
+      let pred_rows = Ritree.Cost_model.Stats.estimate_result_size stats q in
+      Relation.Catalog.flush db;
+      Relation.Catalog.drop_cache db;
+      let ids, io =
+        Harness.Measure.io db (fun () ->
+            Ritree.Ri_tree.intersecting_ids tree q)
+      in
+      let actual_rows = List.length ids in
+      io_errs.(i) <- rel_err pred_io io;
+      rows_errs.(i) <- rel_err (float_of_int pred_rows) actual_rows;
+      pred_io_total := !pred_io_total +. pred_io;
+      actual_io_total := !actual_io_total + io;
+      pred_rows_total := !pred_rows_total + pred_rows;
+      actual_rows_total := !actual_rows_total + actual_rows)
+    queries;
+  (* Fig. 9 through the SQL front end, under EXPLAIN ANALYZE. *)
+  let sql_explain =
+    if Array.length queries = 0 then "(no queries)"
+    else begin
+      let q = queries.(0) in
+      let session = Sqlfront.Engine.session db in
+      let nl = Ritree.Ri_tree.node_lists tree q in
+      Sqlfront.Engine.set_collection session "leftNodes"
+        ~columns:[ "min"; "max" ]
+        (List.map (fun (a, b) -> [| a; b |]) nl.Ritree.Ri_tree.left_nodes);
+      Sqlfront.Engine.set_collection session "rightNodes"
+        ~columns:[ "node" ]
+        (List.map (fun v -> [| v |]) nl.Ritree.Ri_tree.right_nodes);
+      Relation.Catalog.flush db;
+      Relation.Catalog.drop_cache db;
+      match
+        Sqlfront.Engine.exec
+          ~binds:
+            [ ("qlow", Interval.Ivl.lower q); ("qup", Interval.Ivl.upper q) ]
+          session fig9_sql
+      with
+      | Sqlfront.Engine.Done text -> text
+      | Sqlfront.Engine.Rows _ -> "(unexpected rows)"
+    end
+  in
+  { ex_kind = Workload.Distribution.kind_to_string kind;
+    ex_n = n;
+    ex_queries = Array.length queries;
+    ex_pred_io = !pred_io_total;
+    ex_actual_io = !actual_io_total;
+    ex_pred_rows = !pred_rows_total;
+    ex_actual_rows = !actual_rows_total;
+    ex_io_err = err_stats io_errs;
+    ex_rows_err = err_stats rows_errs;
+    ex_sql_explain = sql_explain }
+
+let bench_explain_json ~tiny ~sel rows =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"bench\": \"explain\",\n  \"tiny\": %b,\n" tiny;
+  add "  \"selectivity_pct\": %.3f,\n" sel;
+  add "  \"distributions\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",";
+      let err e =
+        Printf.sprintf
+          "{\"mean\": %.4f, \"p50\": %.4f, \"p90\": %.4f, \"max\": %.4f}"
+          e.ee_mean e.ee_p50 e.ee_p90 e.ee_max
+      in
+      add
+        "\n    {\"kind\": %S, \"n\": %d, \"queries\": %d,\n\
+        \     \"predicted_io_total\": %.1f, \"actual_io_total\": %d,\n\
+        \     \"predicted_rows_total\": %d, \"actual_rows_total\": %d,\n\
+        \     \"io_rel_err\": %s,\n\
+        \     \"rows_rel_err\": %s}"
+        r.ex_kind r.ex_n r.ex_queries r.ex_pred_io r.ex_actual_io
+        r.ex_pred_rows r.ex_actual_rows (err r.ex_io_err)
+        (err r.ex_rows_err))
+    rows;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+let bench_explain tiny sel seed out =
+  let kinds =
+    [ Workload.Distribution.D1; Workload.Distribution.D2;
+      Workload.Distribution.D3; Workload.Distribution.D4 ]
+  in
+  let rows = List.map (bench_explain_kind ~tiny ~seed ~sel) kinds in
+  let table =
+    Harness.Tbl.create
+      ~title:
+        (Printf.sprintf
+           "cost model vs. cold-cache reality (%.2f%% selectivity)" sel)
+      ~columns:
+        [ "kind"; "queries"; "pred io"; "actual io"; "pred rows";
+          "actual rows"; "io err p50"; "io err p90"; "io err max" ]
+  in
+  List.iter
+    (fun r ->
+      Harness.Tbl.add_row table
+        [ r.ex_kind; string_of_int r.ex_queries;
+          Printf.sprintf "%.0f" r.ex_pred_io; string_of_int r.ex_actual_io;
+          string_of_int r.ex_pred_rows; string_of_int r.ex_actual_rows;
+          Printf.sprintf "%.2f" r.ex_io_err.ee_p50;
+          Printf.sprintf "%.2f" r.ex_io_err.ee_p90;
+          Printf.sprintf "%.2f" r.ex_io_err.ee_max ])
+    rows;
+  Harness.Tbl.print table;
+  List.iter
+    (fun r ->
+      Printf.printf "\n%s, Fig. 9 via SQL (EXPLAIN ANALYZE):\n%s" r.ex_kind
+        r.ex_sql_explain)
+    rows;
+  let json = bench_explain_json ~tiny ~sel rows in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+let bench_explain_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ]
+             ~doc:"Small datasets and query batches for CI smoke runs.")
+  in
+  let sel =
+    Arg.(value & opt float 1.0
+         & info [ "s"; "selectivity" ] ~doc:"Query selectivity in percent.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_explain.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-explain"
+       ~doc:"Predicted-vs-actual error of the Sec. 5 cost model on D1-D4"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "For each Table-1 distribution, predicts every query's \
+               result size and physical I/O from the registered cost \
+               model, measures the true values against a cold cache, and \
+               reports the relative-error distribution (mean/p50/p90/max) \
+               to stdout and BENCH_explain.json. One query per \
+               distribution is additionally materialized as transient \
+               leftNodes/rightNodes collections and executed through the \
+               SQL front end's Fig. 9 UNION ALL under EXPLAIN ANALYZE." ])
+    Term.(const bench_explain $ tiny $ sel $ seed_arg $ out)
+
 (* ---- sql ---- *)
 
 let run_sql file =
@@ -860,4 +1101,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
-         bench_serve_cmd; bench_storage_cmd; scrub_cmd; crash_schedule_cmd ]))
+         bench_serve_cmd; bench_storage_cmd; bench_explain_cmd; scrub_cmd;
+         crash_schedule_cmd ]))

@@ -19,12 +19,14 @@ let kind_conv =
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
-    group_commit_ms idle_timeout =
+    group_commit_ms idle_timeout metrics_port slow_query_ms =
   if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
   if idle_timeout < 0. then failwith "--idle-timeout must be >= 0";
+  if slow_query_ms < 0. then failwith "--slow-query-ms must be >= 0";
   let config =
     { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
-      group_commit = group_commit_ms /. 1000.; idle_timeout }
+      group_commit = group_commit_ms /. 1000.; idle_timeout; metrics_port;
+      slow_query_ms }
   in
   let sh = Server.Session.shared ~durable () in
   if n > 0 then begin
@@ -57,6 +59,12 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
     (if idle_timeout > 0. then
        Printf.sprintf ", idle timeout %.0f s" idle_timeout
      else "");
+  if metrics_port <> None then
+    Printf.printf "metrics on http://%s:%d/metrics\n%!" host
+      (Server.Dispatcher.metrics_port disp);
+  if slow_query_ms > 0. then
+    Printf.printf "slow-query log at %.1f ms (tracing enabled)\n%!"
+      slow_query_ms;
   Server.Dispatcher.serve disp;
   let io =
     Storage.Block_device.Stats.get
@@ -128,11 +136,25 @@ let cmd =
                    Goodbye frame is sent first), freeing their session \
                    slots. 0 disables reaping.")
   in
+  let metrics_port =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~doc:"Serve a Prometheus-style text exposition over plain \
+                   HTTP GET on this port (0 picks an ephemeral one). \
+                   Off by default.")
+  in
+  let slow_query_ms =
+    Arg.(value & opt float 0.
+         & info [ "slow-query-ms" ] ~docv:"MS"
+             ~doc:"Enable tracing and print the full trace tree of any \
+                   request that takes at least this many milliseconds \
+                   to stderr. 0 disables the log.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
           $ max_inflight $ max_queue $ durable $ group_commit
-          $ idle_timeout)
+          $ idle_timeout $ metrics_port $ slow_query_ms)
 
 let () = exit (Cmd.eval cmd)

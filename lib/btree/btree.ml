@@ -513,9 +513,7 @@ type cursor = {
   mutable exhausted : bool;
 }
 
-let reset c ~lo ~hi =
-  check_width c.tree lo;
-  check_width c.tree hi;
+let do_reset c ~lo ~hi =
   let leaf = find_leaf c.tree c.tree.root lo in
   match read_node c.tree leaf with
   | Leaf { keys; next } ->
@@ -525,6 +523,15 @@ let reset c ~lo ~hi =
       c.next_leaf <- next;
       c.exhausted <- false
   | Node _ -> assert false
+
+let reset c ~lo ~hi =
+  check_width c.tree lo;
+  check_width c.tree hi;
+  (* One descent per probe: guard the span so the disabled path does
+     not allocate a closure per probe. *)
+  if Obs.Trace.enabled () then
+    Obs.Trace.with_span "btree.descend" (fun () -> do_reset c ~lo ~hi)
+  else do_reset c ~lo ~hi
 
 let cursor t ~lo ~hi =
   let c =

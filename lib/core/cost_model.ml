@@ -9,6 +9,13 @@ module Histogram = struct
     total : int;
   }
 
+  (* Bound arithmetic goes through floats: with the Sec. 4.6 infinity
+     sentinels a histogram can legitimately span [min_int, max_int], and
+     `hi - lo + 1` or `x - lo` in native ints would wrap. Floats lose
+     precision at that scale but only blur bucket boundaries, which the
+     estimate tolerates; wraparound flips signs and destroys it. *)
+  let fspan lo hi = Float.max 1.0 (float_of_int hi -. float_of_int lo +. 1.0)
+
   let build ~buckets values =
     match values with
     | [] -> { lo = 0; hi = 0; counts = Array.make buckets 0; total = 0 }
@@ -16,10 +23,14 @@ module Histogram = struct
         let lo = List.fold_left min v values in
         let hi = List.fold_left max v values in
         let counts = Array.make buckets 0 in
-        let span = max 1 (hi - lo + 1) in
+        let span = fspan lo hi in
         List.iter
           (fun x ->
-            let b = (x - lo) * buckets / span in
+            let b =
+              int_of_float
+                ((float_of_int x -. float_of_int lo)
+                 *. float_of_int buckets /. span)
+            in
             let b = min (buckets - 1) (max 0 b) in
             counts.(b) <- counts.(b) + 1)
           values;
@@ -32,8 +43,11 @@ module Histogram = struct
     else if x > t.hi then float_of_int t.total
     else begin
       let buckets = Array.length t.counts in
-      let span = max 1 (t.hi - t.lo + 1) in
-      let pos = float_of_int (x - t.lo) *. float_of_int buckets /. float_of_int span in
+      let pos =
+        (float_of_int x -. float_of_int t.lo)
+        *. float_of_int buckets /. fspan t.lo t.hi
+      in
+      let pos = Float.max 0.0 (Float.min (float_of_int buckets) pos) in
       let full = int_of_float pos in
       let frac = pos -. float_of_int full in
       let acc = ref 0.0 in
@@ -68,9 +82,17 @@ module Stats = struct
     if t.n = 0 then 0
     else begin
       let ends_before = Histogram.count_below t.uppers (Ivl.lower q) in
+      (* "count_below (upper+1)" = "count at or below upper" — but the
+         successor of the Sec. 4.6 infinity sentinel (max_int) wraps to
+         min_int and collapses the count to 0, so clamp it. At max_int
+         itself count_below may undercount by the values exactly equal
+         to max_int; an [x, infinity) query instead takes the x > hi
+         shortcut whenever the data contains no sentinel bounds. *)
+      let upper_succ =
+        if Ivl.upper q = max_int then max_int else Ivl.upper q + 1
+      in
       let starts_after =
-        float_of_int t.n
-        -. Histogram.count_below t.lowers (Ivl.upper q + 1)
+        float_of_int t.n -. Histogram.count_below t.lowers upper_succ
       in
       let est = float_of_int t.n -. ends_before -. starts_after in
       max 0 (min t.n (int_of_float (Float.round est)))

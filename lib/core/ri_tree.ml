@@ -255,19 +255,22 @@ let node_lists (t : t) ivl =
    covering — (node, bound, id, rowid) — so no base-table access.
    [node_filter] lets the skeleton extension drop probes of single nodes
    known to hold no intervals; the BETWEEN pair is never filtered. *)
-let intersection_iter ?node_filter t ivl =
+let filtered_node_lists ?node_filter t ivl =
   let { left_nodes; right_nodes } = node_lists t ivl in
-  let left_nodes, right_nodes =
-    match node_filter with
-    | None -> (left_nodes, right_nodes)
-    | Some keep ->
-        ( List.filter (fun (a, b) -> a <> b || keep a) left_nodes,
-          List.filter keep right_nodes )
-  in
+  match node_filter with
+  | None -> (left_nodes, right_nodes)
+  | Some keep ->
+      ( List.filter (fun (a, b) -> a <> b || keep a) left_nodes,
+        List.filter keep right_nodes )
+
+(* The two join branches, as separate iterators so tracing can attribute
+   time and I/O per branch. Each branch probes its index once per
+   collected node; a shared probe cursor (Iter.index_probe) is
+   repositioned instead of reallocated for every inner scan of the
+   nested loop. *)
+let intersection_branches ?node_filter t ivl =
+  let left_nodes, right_nodes = filtered_node_lists ?node_filter t ivl in
   let qlow = Ivl.lower ivl and qup = Ivl.upper ivl in
-  (* Each branch probes its index once per collected node; a shared
-     probe cursor (Iter.index_probe) is repositioned instead of
-     reallocated for every inner scan of the nested loop. *)
   let probe_upper = Relation.Iter.index_probe t.upper_index in
   let probe_lower = Relation.Iter.index_probe t.lower_index in
   let upper_branch =
@@ -286,17 +289,49 @@ let intersection_iter ?node_filter t ivl =
           ~lo:[| node.(0); min_int; min_int; min_int |]
           ~hi:[| node.(0); qup; max_int; max_int |])
   in
+  (left_nodes, right_nodes, upper_branch, lower_branch)
+
+let intersection_iter ?node_filter t ivl =
+  let _, _, upper_branch, lower_branch =
+    intersection_branches ?node_filter t ivl
+  in
   Relation.Iter.union_all [ upper_branch; lower_branch ]
 
+(* Fold both branches with per-branch spans when tracing: union_all
+   would drain them in the same order, but through one opaque iterator.
+   The span [info] carries the outer-collection cardinality — the probe
+   count of that branch. *)
+let traced_fold ?node_filter t ivl f acc =
+  Obs.Trace.with_span "ritree.intersect" ~info:(Ivl.to_string ivl)
+    (fun () ->
+      let lefts, rights, upper_branch, lower_branch =
+        intersection_branches ?node_filter t ivl
+      in
+      if not (Obs.Trace.enabled ()) then
+        Relation.Iter.fold f
+          (Relation.Iter.fold f acc upper_branch)
+          lower_branch
+      else begin
+        let acc =
+          Obs.Trace.with_span "ritree.left_join"
+            ~info:(Printf.sprintf "%d nodes" (List.length lefts))
+            (fun () -> Relation.Iter.fold f acc upper_branch)
+        in
+        Obs.Trace.with_span "ritree.right_join"
+          ~info:(Printf.sprintf "%d nodes" (List.length rights))
+          (fun () -> Relation.Iter.fold f acc lower_branch)
+      end)
+
 let intersecting_ids ?node_filter t ivl =
-  Relation.Iter.fold (fun acc key -> key.(2) :: acc) []
-    (intersection_iter ?node_filter t ivl)
+  traced_fold ?node_filter t ivl (fun acc key -> key.(2) :: acc) []
   |> List.rev
 
 let intersecting t ivl =
   let rows =
-    Relation.Iter.fetch t.table (intersection_iter t ivl)
-    |> Relation.Iter.to_list
+    Obs.Trace.with_span "ritree.intersect" ~info:(Ivl.to_string ivl)
+      (fun () ->
+        Relation.Iter.fetch t.table (intersection_iter t ivl)
+        |> Relation.Iter.to_list)
   in
   List.map
     (fun row -> (Ivl.make row.(col_lower) row.(col_upper), row.(col_id)))
@@ -305,7 +340,7 @@ let intersecting t ivl =
 let stabbing_ids t p = intersecting_ids t (Ivl.point p)
 
 let count_intersecting ?node_filter t ivl =
-  Relation.Iter.count (intersection_iter ?node_filter t ivl)
+  traced_fold ?node_filter t ivl (fun acc _ -> acc + 1) 0
 
 (* Number of single-node probes the plan would perform (diagnostic for
    the skeleton extension). *)

@@ -97,6 +97,18 @@ val probe_count : ?node_filter:(int -> bool) -> t -> Interval.Ivl.t -> int
     query (excluding the BETWEEN range scan) — the quantity the skeleton
     extension reduces. *)
 
+type node_lists = {
+  left_nodes : (int * int) list;  (** (min, max); scanned on upperIndex *)
+  right_nodes : int list;         (** scanned on lowerIndex *)
+}
+
+val node_lists : t -> Interval.Ivl.t -> node_lists
+(** The transient leftNodes/rightNodes tables the Sec. 4.2 procedure
+    would populate for this query (already shifted by the tree's
+    offset; the BETWEEN pair rides first in [left_nodes]). Exposed so
+    tools can materialize them as SQL collections and drive the Fig. 9
+    query through the front end. *)
+
 (** {2 Introspection} *)
 
 type params = {

@@ -1,0 +1,4 @@
+(* Re-export: the span machinery lives in the zero-dependency [obs]
+   library so the storage/btree/relation layers below us can emit spans;
+   [Harness.Trace] is the name the harness and tools program against. *)
+include Obs.Trace

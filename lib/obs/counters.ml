@@ -1,0 +1,45 @@
+type state = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
+  mutable journal_forces : int;
+  mutable journal_bytes : int;
+}
+
+let c =
+  { reads = 0; writes = 0; pool_hits = 0; pool_misses = 0;
+    pool_evictions = 0; journal_forces = 0; journal_bytes = 0 }
+
+let incr_read () = c.reads <- c.reads + 1
+let incr_write () = c.writes <- c.writes + 1
+let incr_pool_hit () = c.pool_hits <- c.pool_hits + 1
+let incr_pool_miss () = c.pool_misses <- c.pool_misses + 1
+let incr_pool_eviction () = c.pool_evictions <- c.pool_evictions + 1
+let incr_journal_force () = c.journal_forces <- c.journal_forces + 1
+let add_journal_bytes n = c.journal_bytes <- c.journal_bytes + n
+
+type snapshot = {
+  reads : int;
+  writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  journal_forces : int;
+  journal_bytes : int;
+}
+
+let snapshot () =
+  { reads = c.reads; writes = c.writes; pool_hits = c.pool_hits;
+    pool_misses = c.pool_misses; pool_evictions = c.pool_evictions;
+    journal_forces = c.journal_forces; journal_bytes = c.journal_bytes }
+
+let diff a b =
+  { reads = a.reads - b.reads;
+    writes = a.writes - b.writes;
+    pool_hits = a.pool_hits - b.pool_hits;
+    pool_misses = a.pool_misses - b.pool_misses;
+    pool_evictions = a.pool_evictions - b.pool_evictions;
+    journal_forces = a.journal_forces - b.journal_forces;
+    journal_bytes = a.journal_bytes - b.journal_bytes }

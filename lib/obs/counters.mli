@@ -1,0 +1,44 @@
+(** Process-wide observability counters.
+
+    The storage layer increments these alongside its per-device /
+    per-pool statistics so that {!Trace} spans (and anything else that
+    wants cross-layer attribution) can snapshot one global clock of
+    physical work without holding a reference to every device, pool and
+    journal in the process. Increments are single mutable-int bumps —
+    cheap enough to stay unconditional. *)
+
+val incr_read : unit -> unit
+(** One physical block read reached a device. *)
+
+val incr_write : unit -> unit
+(** One physical block write reached a device. *)
+
+val incr_pool_hit : unit -> unit
+(** A buffer-pool pin was satisfied from a resident frame. *)
+
+val incr_pool_miss : unit -> unit
+(** A buffer-pool pin had to fault the page in from the device. *)
+
+val incr_pool_eviction : unit -> unit
+(** A frame was evicted to make room. *)
+
+val incr_journal_force : unit -> unit
+(** A journal force made pending log bytes durable. *)
+
+val add_journal_bytes : int -> unit
+(** Payload bytes appended to a journal. *)
+
+type snapshot = {
+  reads : int;
+  writes : int;
+  pool_hits : int;
+  pool_misses : int;
+  pool_evictions : int;
+  journal_forces : int;
+  journal_bytes : int;
+}
+
+val snapshot : unit -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the component-wise delta. *)

@@ -12,6 +12,7 @@ type error =
   | Overloaded of string
   | Read_only of string
   | Server of string
+  | Invalid of string
   | Io of string
   | Unexpected of string
 
@@ -19,16 +20,18 @@ let error_to_string = function
   | Overloaded m -> "overloaded: " ^ m
   | Read_only m -> "read-only: " ^ m
   | Server m -> m
+  | Invalid m -> "invalid request: " ^ m
   | Io m -> "i/o: " ^ m
   | Unexpected m -> "unexpected response: " ^ m
 
 (* Overload clears when the server drains; transport hiccups (connection
    refused during a restart, reset mid-frame) clear when it comes back.
-   A typed [Server] or [Read_only] answer is a verdict, not weather —
-   retrying it would re-run a request the server already refused. *)
+   A typed [Server], [Read_only] or [Invalid] answer is a verdict, not
+   weather — retrying it would re-run a request the server already
+   refused. *)
 let retryable = function
   | Overloaded _ | Io _ -> true
-  | Read_only _ | Server _ | Unexpected _ -> false
+  | Read_only _ | Server _ | Invalid _ | Unexpected _ -> false
 
 let connect ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -102,6 +105,7 @@ let typed t req of_ok =
   match rpc_result t req with
   | Result.Error _ as e -> e
   | Ok (Protocol.Error m) -> Result.Error (Server m)
+  | Ok (Protocol.Invalid m) -> Result.Error (Invalid m)
   | Ok (Protocol.Overloaded m) -> Result.Error (Overloaded m)
   | Ok (Protocol.Read_only m) -> Result.Error (Read_only m)
   | Ok (Protocol.Goodbye m) ->
@@ -147,6 +151,11 @@ let server_stats t =
   typed t Protocol.Stats (function
     | Protocol.Stats_reply s -> Ok s
     | _ -> Result.Error (Unexpected "to stats"))
+
+let metrics t =
+  typed t Protocol.Metrics (function
+    | Protocol.Ack doc -> Ok doc
+    | _ -> Result.Error (Unexpected "to metrics"))
 
 (* ---------------- bounded retry with backoff ---------------- *)
 

@@ -24,6 +24,10 @@ type error =
       (** the server is in degraded read-only mode; mutations will keep
           failing until the operator repairs the image *)
   | Server of string  (** the typed [Error] response; not transient *)
+  | Invalid of string
+      (** the typed [Invalid] response — the request itself was
+          semantically wrong (e.g. an empty interval); fix the call,
+          don't retry it *)
   | Io of string  (** transport failure; transient *)
   | Unexpected of string  (** protocol violation / wrong response shape *)
 
@@ -31,7 +35,8 @@ val error_to_string : error -> string
 
 val retryable : error -> bool
 (** [true] for {!Overloaded} and {!Io} — failures that clear on their
-    own. [Read_only], [Server] and [Unexpected] are verdicts. *)
+    own. [Read_only], [Server], [Invalid] and [Unexpected] are
+    verdicts. *)
 
 val connect : ?host:string -> port:int -> unit -> t
 (** Default host [127.0.0.1]. @raise Io_error when the connection is
@@ -60,6 +65,9 @@ val sql : t -> string -> (Protocol.response, error) result
 (** [Ok] carries [Ack] or [Rows]. *)
 
 val server_stats : t -> (Protocol.stats, error) result
+
+val metrics : t -> (string, error) result
+(** The Prometheus text exposition over the wire (the [Metrics] op). *)
 
 (** {2 Bounded retry with exponential backoff}
 

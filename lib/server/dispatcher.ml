@@ -6,11 +6,14 @@ type config = {
   max_queue : int;
   group_commit : float;
   idle_timeout : float;
+  metrics_port : int option;
+  slow_query_ms : float;
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
-    max_queue = 1024; group_commit = 0.; idle_timeout = 0. }
+    max_queue = 1024; group_commit = 0.; idle_timeout = 0.;
+    metrics_port = None; slow_query_ms = 0. }
 
 type conn = {
   fd : Unix.file_descr;
@@ -29,6 +32,8 @@ type t = {
   st : Server_stats.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  metrics_fd : Unix.file_descr option;
+  metrics_bound_port : int;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
   mutable stopping : bool;
@@ -54,6 +59,25 @@ let create ?(config = default_config) sh =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  let metrics_fd, metrics_bound_port =
+    match config.metrics_port with
+    | None -> (None, 0)
+    | Some p ->
+        let mfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt mfd Unix.SO_REUSEADDR true;
+        Unix.bind mfd
+          (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, p));
+        Unix.listen mfd 16;
+        let bp =
+          match Unix.getsockname mfd with
+          | Unix.ADDR_INET (_, bp) -> bp
+          | _ -> p
+        in
+        (Some mfd, bp)
+  in
+  (* Slow-query logging reports the request's trace tree, so the tracer
+     must be on for the spans to exist. *)
+  if config.slow_query_ms > 0. then Obs.Trace.set_enabled true;
   let stop_r, stop_w = Unix.pipe () in
   {
     cfg = config;
@@ -61,6 +85,8 @@ let create ?(config = default_config) sh =
     st = Server_stats.create ~now:(Unix.gettimeofday ());
     listen_fd = fd;
     bound_port;
+    metrics_fd;
+    metrics_bound_port;
     stop_r;
     stop_w;
     stopping = false;
@@ -71,8 +97,13 @@ let create ?(config = default_config) sh =
   }
 
 let port t = t.bound_port
+let metrics_port t = t.metrics_bound_port
 let stats t = t.st
 let shared t = t.sh
+
+let metrics_doc t =
+  Metrics.render ~now:(Unix.gettimeofday ()) ~stats:t.st
+    ~cat:(Session.catalog t.sh)
 
 let stop t =
   (* A single byte on the self-pipe wakes the select; writing is
@@ -284,20 +315,34 @@ let execute_one t conn id req =
       if req = Protocol.Rollback && t.pending_commits <> [] then
         flush_group_commits t;
       let op = Protocol.request_op_name req in
-      let resp, seconds, io =
+      let (resp, span), seconds, io =
         match req with
         | Protocol.Stats ->
             let snap () =
-              Protocol.Stats_reply
-                (Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
-                   ~io:(device_stats t))
+              ( Protocol.Stats_reply
+                  (Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
+                     ~io:(device_stats t)),
+                None )
             in
             Harness.Measure.timed_io (Session.catalog t.sh) snap
-        | req ->
+        | Protocol.Metrics ->
             Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
-                Session.handle conn.session req)
+                (Protocol.Ack (metrics_doc t), None))
+        | req ->
+            (* The root span of the request's trace tree; [traced]
+               returns it only when tracing is enabled. *)
+            Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
+                Obs.Trace.traced ~info:op "request" (fun () ->
+                    Session.handle conn.session req))
       in
       Server_stats.record t.st ~op ~seconds ~io;
+      (match span with
+      | Some sp
+        when t.cfg.slow_query_ms > 0.
+             && seconds *. 1000. >= t.cfg.slow_query_ms ->
+          Printf.eprintf "[slow query] %.1f ms (threshold %.1f ms)\n%s%!"
+            (seconds *. 1000.) t.cfg.slow_query_ms (Obs.Trace.render sp)
+      | _ -> ());
       push_response conn id resp
 
 let execute_round t ~limit =
@@ -341,6 +386,52 @@ let reap_idle t now =
         end)
       t.conns
 
+(* ---------------- metrics endpoint ----------------
+
+   Plain HTTP/1.0, one request per connection: read whatever the
+   scraper sends (the request line is ignored — every path gets the
+   exposition), write the document, close. The accepted socket is
+   blocking with a short receive timeout, so a scraper that connects
+   and says nothing cannot wedge the loop for more than a second. *)
+
+let serve_metrics_conn t fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+   with Unix.Unix_error _ -> ());
+  let scratch = Bytes.create 1024 in
+  (try ignore (Unix.read fd scratch 0 (Bytes.length scratch))
+   with Unix.Unix_error _ -> ());
+  let body = metrics_doc t in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  let data = Bytes.of_string resp in
+  let len = Bytes.length data in
+  let rec write_all off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | 0 -> ()
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error _ -> ()
+  in
+  write_all 0;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_metrics t =
+  match t.metrics_fd with
+  | None -> ()
+  | Some mfd -> (
+      match Unix.accept mfd with
+      | exception Unix.Unix_error _ -> ()
+      | fd, _peer -> serve_metrics_conn t fd)
+
 (* ---------------- the loop ---------------- *)
 
 let serve t =
@@ -350,6 +441,9 @@ let serve t =
     let reads =
       t.stop_r
       :: (if t.stopping then [] else [ t.listen_fd ])
+      @ (match t.metrics_fd with
+        | Some mfd when not t.stopping -> [ mfd ]
+        | _ -> [])
       @ List.filter_map
           (fun c -> if c.closing then None else Some c.fd)
           t.conns
@@ -384,6 +478,10 @@ let serve t =
     end;
     if (not t.stopping) && List.mem t.listen_fd readable then
       accept_connections t;
+    (match t.metrics_fd with
+    | Some mfd when (not t.stopping) && List.mem mfd readable ->
+        accept_metrics t
+    | _ -> ());
     List.iter
       (fun conn -> if List.mem conn.fd readable then read_conn t conn)
       t.conns;
@@ -412,6 +510,9 @@ let serve t =
     end
   done;
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.metrics_fd with
+  | Some mfd -> ( try Unix.close mfd with Unix.Unix_error _ -> ())
+  | None -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   Session.flush_shared t.sh

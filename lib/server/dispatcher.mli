@@ -45,11 +45,21 @@ type config = {
           typed [Goodbye] frame (request id 0) and closed, freeing its
           seat against [max_sessions]. [0.] (the default) disables
           reaping. *)
+  metrics_port : int option;
+      (** when set, a second listen socket on this port answers plain
+          HTTP GETs with the Prometheus text exposition ({!Metrics});
+          [Some 0] picks an ephemeral port (see {!metrics_port}).
+          [None] (the default) disables the endpoint. *)
+  slow_query_ms : float;
+      (** when positive, tracing ({!Obs.Trace}) is switched on at
+          {!create} and any request whose execution takes at least this
+          many milliseconds has its full trace tree printed to stderr.
+          [0.] (the default) disables slow-query logging. *)
 }
 
 val default_config : config
 (** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued, synchronous
-    commit, no idle timeout. *)
+    commit, no idle timeout, no metrics endpoint, no slow-query log. *)
 
 type t
 
@@ -59,6 +69,13 @@ val create : ?config:config -> Session.shared -> t
 
 val port : t -> int
 (** The actual bound port — useful with [config.port = 0]. *)
+
+val metrics_port : t -> int
+(** The bound metrics port ([0] when the endpoint is disabled). *)
+
+val metrics_doc : t -> string
+(** The Prometheus exposition document, as the endpoint would serve it
+    right now. *)
 
 val stats : t -> Server_stats.t
 

@@ -1,0 +1,107 @@
+(* Prometheus text exposition (version 0.0.4). Hand-rolled: the format
+   is lines of `name{labels} value`, `# HELP` / `# TYPE` headers, and a
+   cumulative `_bucket{le=...}` series per histogram — nothing that
+   warrants a dependency. *)
+
+let family b ~name ~help ~typ =
+  Printf.bprintf b "# HELP %s %s\n# TYPE %s %s\n" name help name typ
+
+let gauge b ~name ~help v =
+  family b ~name ~help ~typ:"gauge";
+  Printf.bprintf b "%s %s\n" name v
+
+let counter b ~name ~help v =
+  family b ~name ~help ~typ:"counter";
+  Printf.bprintf b "%s %s\n" name v
+
+let int_ v = string_of_int v
+let float_ v = Printf.sprintf "%.6g" v
+
+let op_histograms b (ops : Server_stats.op_view list) =
+  family b ~name:"rikit_op_latency_us"
+    ~help:"Request latency by wire op, microseconds." ~typ:"histogram";
+  List.iter
+    (fun (o : Server_stats.op_view) ->
+      let acc = ref 0 in
+      Array.iteri
+        (fun i n ->
+          acc := !acc + n;
+          let le =
+            if i = Server_stats.buckets - 1 then "+Inf"
+            else string_of_int (Server_stats.bucket_limit_us i)
+          in
+          Printf.bprintf b "rikit_op_latency_us_bucket{op=%S,le=%S} %d\n"
+            o.v_op le !acc)
+        o.v_hist;
+      Printf.bprintf b "rikit_op_latency_us_sum{op=%S} %d\n" o.v_op o.v_total_us;
+      Printf.bprintf b "rikit_op_latency_us_count{op=%S} %d\n" o.v_op o.v_count)
+    ops;
+  family b ~name:"rikit_op_io_total"
+    ~help:"Physical blocks read+written servicing each wire op."
+    ~typ:"counter";
+  List.iter
+    (fun (o : Server_stats.op_view) ->
+      Printf.bprintf b "rikit_op_io_total{op=%S} %d\n" o.v_op o.v_total_io)
+    ops
+
+let render ~now ~stats ~cat =
+  let v = Server_stats.view stats in
+  let pool = Relation.Catalog.pool cat in
+  let ps = Storage.Buffer_pool.Stats.get pool in
+  let ds = Storage.Block_device.Stats.get (Relation.Catalog.device cat) in
+  let b = Buffer.create 4096 in
+  gauge b ~name:"rikit_uptime_seconds" ~help:"Seconds since server start."
+    (float_ (now -. v.v_started));
+  gauge b ~name:"rikit_sessions" ~help:"Currently connected sessions."
+    (int_ v.v_sessions);
+  gauge b ~name:"rikit_sessions_peak" ~help:"Peak concurrent sessions."
+    (int_ v.v_peak_sessions);
+  counter b ~name:"rikit_requests_total" ~help:"Requests executed."
+    (int_ v.v_total_requests);
+  counter b ~name:"rikit_overload_rejections_total"
+    ~help:"Connections or requests refused by admission control."
+    (int_ v.v_overload_rejections);
+  gauge b ~name:"rikit_queue_depth"
+    ~help:"Requests parsed but not yet executed." (int_ v.v_queue_depth);
+  gauge b ~name:"rikit_queue_depth_peak" ~help:"Peak request queue depth."
+    (int_ v.v_peak_queue_depth);
+  op_histograms b v.v_ops;
+  counter b ~name:"rikit_pool_hits_total"
+    ~help:"Buffer-pool pins satisfied from the cache." (int_ ps.hits);
+  counter b ~name:"rikit_pool_misses_total"
+    ~help:"Buffer-pool pins requiring a device read." (int_ ps.misses);
+  counter b ~name:"rikit_pool_evictions_total" ~help:"Frames evicted."
+    (int_ ps.evictions);
+  gauge b ~name:"rikit_pool_hit_rate"
+    ~help:"Fraction of pins served from the cache since start."
+    (float_
+       (if ps.logical_reads = 0 then 1.0
+        else float_of_int ps.hits /. float_of_int ps.logical_reads));
+  gauge b ~name:"rikit_pool_cached_pages" ~help:"Pages currently resident."
+    (int_ (Storage.Buffer_pool.cached pool));
+  gauge b ~name:"rikit_pool_pinned_frames"
+    ~help:"Resident frames with at least one pin."
+    (int_ (Storage.Buffer_pool.pinned_frames pool));
+  counter b ~name:"rikit_device_reads_total" ~help:"Physical block reads."
+    (int_ ds.reads);
+  counter b ~name:"rikit_device_writes_total" ~help:"Physical block writes."
+    (int_ ds.writes);
+  (match Relation.Catalog.journal cat with
+  | None -> ()
+  | Some j ->
+      counter b ~name:"rikit_journal_forces_total"
+        ~help:"Log forces (fsyncs); group commit amortizes these."
+        (int_ (Storage.Journal.force_count j));
+      counter b ~name:"rikit_journal_commits_total"
+        ~help:"Commit markers written (one per group-commit batch)."
+        (int_ (Storage.Journal.commit_count j));
+      gauge b ~name:"rikit_journal_bytes"
+        ~help:"Serialized journal size, forced plus pending."
+        (int_ (Storage.Journal.durable_bytes j + Storage.Journal.unforced_bytes j)));
+  gauge b ~name:"rikit_read_only"
+    ~help:"1 when the server has degraded to read-only after corruption."
+    (int_
+       (match Relation.Catalog.degraded_reason cat with
+       | Some _ -> 1
+       | None -> 0));
+  Buffer.contents b

@@ -1,0 +1,24 @@
+(** Prometheus-style text exposition of the server's metrics.
+
+    One document, rendered on demand — served both by the [METRICS]
+    wire op (inside an [Ack]) and by the [--metrics-port] HTTP
+    endpoint. Families:
+
+    - [rikit_uptime_seconds], [rikit_sessions], [rikit_sessions_peak],
+      [rikit_requests_total], [rikit_overload_rejections_total],
+      [rikit_queue_depth], [rikit_queue_depth_peak]
+    - [rikit_op_latency_us] — a histogram per wire op (cumulative
+      [_bucket{op,le}] over the power-of-two microsecond buckets of
+      {!Server_stats}, plus [_sum] and [_count]), and
+      [rikit_op_io_total{op}]
+    - [rikit_pool_hits_total], [rikit_pool_misses_total],
+      [rikit_pool_evictions_total], [rikit_pool_hit_rate],
+      [rikit_pool_cached_pages], [rikit_pool_pinned_frames]
+    - [rikit_device_reads_total], [rikit_device_writes_total]
+    - [rikit_journal_forces_total], [rikit_journal_commits_total],
+      [rikit_journal_bytes] (durable servers only)
+    - [rikit_read_only] *)
+
+val render :
+  now:float -> stats:Server_stats.t -> cat:Relation.Catalog.t -> string
+(** The full exposition document, trailing newline included. *)

@@ -1,4 +1,4 @@
-let version = 2
+let version = 3
 let max_payload = 4 * 1024 * 1024
 
 type request =
@@ -11,6 +11,7 @@ type request =
   | Rollback
   | Stats
   | Ping
+  | Metrics
 
 let request_op_name = function
   | Sql _ -> "sql"
@@ -22,6 +23,7 @@ let request_op_name = function
   | Rollback -> "rollback"
   | Stats -> "stats"
   | Ping -> "ping"
+  | Metrics -> "metrics"
 
 type op_stat = {
   op : string;
@@ -54,6 +56,9 @@ type response =
   | Stats_reply of stats
   | Read_only of string
   | Goodbye of string
+  | Invalid of string
+      (* the request was well-formed on the wire but semantically
+         invalid (e.g. an empty interval); the session stays usable *)
 
 type error =
   | Truncated
@@ -162,6 +167,7 @@ let op_commit = 0x06
 let op_rollback = 0x07
 let op_stats = 0x08
 let op_ping = 0x09
+let op_metrics = 0x0a
 let op_ack = 0x81
 let op_rows = 0x82
 let op_error = 0x83
@@ -169,6 +175,7 @@ let op_overloaded = 0x84
 let op_stats_reply = 0x85
 let op_read_only = 0x86
 let op_goodbye = 0x87
+let op_invalid = 0x88
 
 (* ---------------- frames ---------------- *)
 
@@ -213,7 +220,8 @@ let encode_request ~id req =
       | Commit -> put_u8 b op_commit
       | Rollback -> put_u8 b op_rollback
       | Stats -> put_u8 b op_stats
-      | Ping -> put_u8 b op_ping)
+      | Ping -> put_u8 b op_ping
+      | Metrics -> put_u8 b op_metrics)
 
 let encode_response ~id resp =
   frame (fun b ->
@@ -237,6 +245,9 @@ let encode_response ~id resp =
           put_string b msg
       | Goodbye msg ->
           put_u8 b op_goodbye;
+          put_string b msg
+      | Invalid msg ->
+          put_u8 b op_invalid;
           put_string b msg
       | Stats_reply s ->
           put_u8 b op_stats_reply;
@@ -312,6 +323,7 @@ let decode_request payload =
       else if opcode = op_rollback then Rollback
       else if opcode = op_stats then Stats
       else if opcode = op_ping then Ping
+      else if opcode = op_metrics then Metrics
       else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" opcode)))
     payload
 
@@ -327,6 +339,7 @@ let decode_response payload =
       else if opcode = op_overloaded then Overloaded (get_string c)
       else if opcode = op_read_only then Read_only (get_string c)
       else if opcode = op_goodbye then Goodbye (get_string c)
+      else if opcode = op_invalid then Invalid (get_string c)
       else if opcode = op_stats_reply then
         let uptime_s = Int64.float_of_bits (get_i64 c) in
         let sessions = get_int c in

@@ -52,6 +52,10 @@ type request =
           only); a global boundary — the server is a single-writer. *)
   | Stats  (** Ask for the server's {!stats} snapshot. *)
   | Ping
+  | Metrics
+      (** Ask for the Prometheus-style text exposition (same document
+          the [--metrics-port] HTTP endpoint serves); answered with an
+          [Ack] carrying the text. *)
 
 val request_op_name : request -> string
 (** Short lowercase tag ("sql", "insert", ...) used as the latency
@@ -97,6 +101,11 @@ type response =
   | Goodbye of string
       (** The server is closing this connection deliberately — idle
           timeout or shutdown — not an error. Sent with request id 0. *)
+  | Invalid of string
+      (** The request was well-formed on the wire but semantically
+          invalid — e.g. an empty interval with [lower > upper]. A
+          client bug, distinct from {!const-Error} (server-side failure);
+          the session survives and the connection stays open. *)
 
 (** {2 Codec} *)
 

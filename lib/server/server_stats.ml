@@ -5,6 +5,8 @@ let buckets = 40
 type op = {
   mutable count : int;
   mutable total_io : int;
+  mutable total_us : int;
+  mutable min_us : int;
   mutable max_us : int;
   hist : int array;
 }
@@ -42,20 +44,30 @@ let bucket_mid_us i =
     (* geometric midpoint of [2^i, 2^(i+1)) *)
     int_of_float (Float.round (Float.sqrt 2.0 *. float_of_int (1 lsl i)))
 
+(* Exclusive upper bound of bucket i: 2^(i+1) microseconds. The last
+   bucket is open-ended; callers render it as "+Inf". *)
+let bucket_limit_us i = 1 lsl (i + 1)
+
 let op_for t name =
   match Hashtbl.find_opt t.ops name with
   | Some o -> o
   | None ->
-      let o = { count = 0; total_io = 0; max_us = 0; hist = Array.make buckets 0 } in
+      let o =
+        { count = 0; total_io = 0; total_us = 0; min_us = max_int; max_us = 0;
+          hist = Array.make buckets 0 }
+      in
       Hashtbl.add t.ops name o;
       o
 
 let record t ~op ~seconds ~io =
   let us = int_of_float (Float.round (seconds *. 1e6)) in
+  let us = max 0 us in
   let o = op_for t op in
   o.count <- o.count + 1;
   o.total_io <- o.total_io + io;
+  o.total_us <- o.total_us + us;
   if us > o.max_us then o.max_us <- us;
+  if us < o.min_us then o.min_us <- us;
   let b = bucket_of_us us in
   o.hist.(b) <- o.hist.(b) + 1;
   t.total_requests <- t.total_requests + 1
@@ -87,7 +99,10 @@ let percentile_us o p =
          end
        done
      with Exit -> ());
-    !res
+    (* The geometric midpoint can land outside what was actually
+       observed (e.g. a single 7 us sample falls in [4, 8), whose
+       midpoint is 6). Clamp into the true envelope. *)
+    max o.min_us (min o.max_us !res)
   end
 
 let snapshot t ~now ~io : Protocol.stats =
@@ -144,3 +159,57 @@ let render (s : Protocol.stats) =
   Buffer.contents b
 
 let dump t ~now ~io = render (snapshot t ~now ~io)
+
+(* ---------------- raw view ----------------
+
+   Everything the Prometheus renderer needs, copied out so the caller
+   can't perturb the live accumulators. *)
+
+type op_view = {
+  v_op : string;
+  v_count : int;
+  v_total_io : int;
+  v_total_us : int;
+  v_min_us : int;  (** 0 when no samples *)
+  v_max_us : int;
+  v_hist : int array;
+}
+
+type view = {
+  v_started : float;
+  v_sessions : int;
+  v_peak_sessions : int;
+  v_total_requests : int;
+  v_overload_rejections : int;
+  v_queue_depth : int;
+  v_peak_queue_depth : int;
+  v_ops : op_view list;
+}
+
+let view t =
+  let v_ops =
+    Hashtbl.fold
+      (fun name o acc ->
+        {
+          v_op = name;
+          v_count = o.count;
+          v_total_io = o.total_io;
+          v_total_us = o.total_us;
+          v_min_us = (if o.count = 0 then 0 else o.min_us);
+          v_max_us = o.max_us;
+          v_hist = Array.copy o.hist;
+        }
+        :: acc)
+      t.ops []
+    |> List.sort (fun a b -> String.compare a.v_op b.v_op)
+  in
+  {
+    v_started = t.started;
+    v_sessions = t.sessions;
+    v_peak_sessions = t.peak_sessions;
+    v_total_requests = t.total_requests;
+    v_overload_rejections = t.overload_rejections;
+    v_queue_depth = t.queue;
+    v_peak_queue_depth = t.peak_queue;
+    v_ops;
+  }

@@ -81,9 +81,12 @@ let engine t =
 
 let sql_statements t = t.sql_stmts + Sqlfront.Engine.statements t.engine
 
+(* Validation failures are the client's bug, not the server's: raise
+   Invalid_argument so [handle] can answer with a typed [Invalid] frame
+   and keep the session alive, instead of the generic [Error]. *)
 let ivl lower upper =
   if lower > upper then
-    failwith (Printf.sprintf "empty interval [%d, %d]" lower upper)
+    invalid_arg (Printf.sprintf "empty interval [%d, %d]" lower upper)
   else Interval.Ivl.make lower upper
 
 let pair_rows pairs =
@@ -119,6 +122,7 @@ let exec t = function
   | Rollback -> rollback_shared t.sh
   | Ping -> Ack "pong"
   | Stats -> Error "stats is handled by the dispatcher"
+  | Metrics -> Error "metrics is handled by the dispatcher"
 
 (* Group-commit staging: counts as a request for this session, but the
    response is owed only after the dispatcher forces the batch. *)
@@ -147,7 +151,7 @@ let mutating = function
   | Protocol.Insert _ | Delete _ | Commit | Rollback -> true
   | Sql text -> (
       match sql_keyword text with "select" | "explain" -> false | _ -> true)
-  | Intersect _ | Allen _ | Stats | Ping -> false
+  | Intersect _ | Allen _ | Stats | Metrics | Ping -> false
 
 let degraded_reason_shared sh = Relation.Catalog.degraded_reason sh.cat
 
@@ -176,6 +180,6 @@ let handle t req =
       | Sqlfront.Lexer.Error (m, pos) ->
           Protocol.Error (Printf.sprintf "lex error at %d: %s" pos m)
       | Failure m -> Protocol.Error m
-      | Invalid_argument m -> Protocol.Error m
+      | Invalid_argument m -> Protocol.Invalid m
       | Not_found -> Protocol.Error "not found"
       | e -> Protocol.Error ("internal error: " ^ Printexc.to_string e))

@@ -49,7 +49,7 @@ type stmt =
   | Update of string * (string * expr) list * expr option
   | Delete of string * expr option
   | Select of query
-  | Explain of stmt
+  | Explain of { analyze : bool; target : stmt }
 
 let aggregate_to_string = function
   | Count -> "COUNT"

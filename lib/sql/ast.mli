@@ -52,7 +52,10 @@ type stmt =
   | Update of string * (string * expr) list * expr option
   | Delete of string * expr option
   | Select of query
-  | Explain of stmt
+  | Explain of { analyze : bool; target : stmt }
+      (** [EXPLAIN] shows the plan with predicted cardinalities and I/O;
+          [EXPLAIN ANALYZE] also executes the statement and reports the
+          actuals side by side. *)
 
 val aggregate_to_string : aggregate -> string
 val cmp_to_string : cmp -> string

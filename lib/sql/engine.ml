@@ -133,6 +133,7 @@ type step = {
   columns : string array; (* columns the binding exposes *)
   access : access;
   filters : Ast.expr list; (* residual conjuncts evaluated here *)
+  mutable seen : int; (* rows emitted (post-filter) in the last run *)
 }
 
 type branch_plan = {
@@ -344,10 +345,17 @@ let plan_branch session (select : Ast.select) =
   let conjuncts =
     match select.Ast.where with None -> [] | Some w -> split_and w
   in
-  let consumed : (Obj.t, unit) Hashtbl.t = Hashtbl.create 8 in
-  let is_consumed c = Hashtbl.mem consumed (Obj.repr c) in
+  (* Consumed conjuncts are tracked by PHYSICAL identity: two
+     structurally equal conjuncts (e.g. a duplicated predicate, or two
+     identical sub-scans' join conditions) are distinct list elements
+     and must be consumed independently — a structural key (hashing
+     [Obj.repr]) would conflate them, silently dropping one from the
+     residual filters. Conjunct lists are tiny, so a linear scan is
+     fine. *)
+  let consumed : Ast.expr list ref = ref [] in
+  let is_consumed c = List.memq c !consumed in
   let usable c = not (is_consumed c) in
-  let consume c = Hashtbl.replace consumed (Obj.repr c) () in
+  let consume c = if not (is_consumed c) then consumed := c :: !consumed in
   let resolve (tname, alias_opt) =
     let alias = Option.value ~default:tname alias_opt in
     match Relation.Catalog.find_table session.catalog tname with
@@ -432,7 +440,8 @@ let plan_branch session (select : Ast.select) =
               Relation.Table.Index.columns index
           | Index_scan _ | Seq_scan -> columns
         in
-        { alias; source; columns; access; filters = step_filters.(i) })
+        { alias; source; columns; access; filters = step_filters.(i);
+          seen = 0 })
       ordered
   in
   { steps; projections = select.Ast.projections;
@@ -446,7 +455,10 @@ let run_step session env step (emit : env -> unit) =
   in
   let visit columns row =
     let e2 = bind columns row in
-    if List.for_all (fun f -> eval_bool e2 f) step.filters then emit e2
+    if List.for_all (fun f -> eval_bool e2 f) step.filters then begin
+      step.seen <- step.seen + 1;
+      emit e2
+    end
   in
   match (step.source, step.access) with
   | Collection name, _ -> (
@@ -505,6 +517,9 @@ let run_step session env step (emit : env -> unit) =
             | None -> ())
 
 let run_branch session binds plan =
+  Obs.Trace.with_span "sql.branch"
+    ~info:(String.concat "," (List.map (fun s -> s.alias) plan.steps))
+  @@ fun () ->
   let rows = ref [] in
   let count = ref 0 in
   let rec loop env = function
@@ -544,9 +559,338 @@ let is_aggregate_projection = function
   | Ast.Count_star | Ast.Agg _ -> true
   | Ast.Star | Ast.Proj_col _ -> false
 
+(* ---------------- cardinality & I/O estimation ----------------
+
+   A self-contained, Sec. 5-style estimator for EXPLAIN: per-table
+   equi-width histograms and distinct counts feed selectivities; index
+   probes cost one root-to-leaf descent plus the matching leaf span
+   (plus a rowid fetch per row when the index does not cover); a
+   sequential scan costs the heap's page count. Transient collections
+   have exact, known cardinality and cost no I/O — they are the
+   leftNodes/rightNodes of the paper's Fig. 9 plan, so the predicted
+   outer cardinality is exactly the RI-tree node count. *)
+
+module Estimate = struct
+  let hbuckets = 32
+
+  type col = {
+    h_lo : int;
+    h_hi : int;
+    h_counts : int array;
+    h_total : int;
+    h_distinct : int;
+  }
+
+  (* Bound arithmetic in floats: columns may hold min_int/max_int
+     sentinels, and native-int spans would wrap. *)
+  let fspan lo hi = Float.max 1.0 (float_of_int hi -. float_of_int lo +. 1.0)
+
+  let build_col values n distinct =
+    match values with
+    | [] ->
+        { h_lo = 0; h_hi = 0; h_counts = Array.make hbuckets 0; h_total = 0;
+          h_distinct = 0 }
+    | v :: _ ->
+        let lo = List.fold_left min v values in
+        let hi = List.fold_left max v values in
+        let counts = Array.make hbuckets 0 in
+        let span = fspan lo hi in
+        List.iter
+          (fun x ->
+            let b =
+              int_of_float
+                ((float_of_int x -. float_of_int lo)
+                 *. float_of_int hbuckets /. span)
+            in
+            let b = min (hbuckets - 1) (max 0 b) in
+            counts.(b) <- counts.(b) + 1)
+          values;
+        { h_lo = lo; h_hi = hi; h_counts = counts; h_total = n;
+          h_distinct = distinct }
+
+  type table_stats = {
+    t_rows : int;
+    t_pages : int;
+    t_cols : (string * col) list;
+  }
+
+  let analyze_table tbl =
+    let columns = Relation.Table.columns tbl in
+    let ncols = Array.length columns in
+    let vals = Array.make ncols [] in
+    let distinct = Array.init ncols (fun _ -> Hashtbl.create 64) in
+    let rows = ref 0 in
+    Relation.Table.iter tbl (fun _ row ->
+        incr rows;
+        for j = 0 to ncols - 1 do
+          vals.(j) <- row.(j) :: vals.(j);
+          Hashtbl.replace distinct.(j) row.(j) ()
+        done);
+    { t_rows = !rows;
+      t_pages = Relation.Heap.page_count (Relation.Table.heap tbl);
+      t_cols =
+        List.init ncols (fun j ->
+            (columns.(j),
+             build_col vals.(j) !rows (Hashtbl.length distinct.(j)))) }
+
+  (* Estimated count of values strictly below [x]. *)
+  let count_below h x =
+    if h.h_total = 0 || x <= h.h_lo then 0.0
+    else if x > h.h_hi then float_of_int h.h_total
+    else begin
+      let pos =
+        (float_of_int x -. float_of_int h.h_lo)
+        *. float_of_int hbuckets /. fspan h.h_lo h.h_hi
+      in
+      let pos = Float.max 0.0 (Float.min (float_of_int hbuckets) pos) in
+      let full = int_of_float pos in
+      let frac = pos -. float_of_int full in
+      let acc = ref 0.0 in
+      for b = 0 to min (hbuckets - 1) (full - 1) do
+        acc := !acc +. float_of_int h.h_counts.(b)
+      done;
+      if full < hbuckets then
+        acc := !acc +. (frac *. float_of_int h.h_counts.(full));
+      !acc
+    end
+
+  let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
+  let succ_clamped v = if v = max_int then max_int else v + 1
+
+  let frac_lt h v =
+    if h.h_total = 0 then 0.0
+    else clamp01 (count_below h v /. float_of_int h.h_total)
+
+  let frac_le h v = frac_lt h (succ_clamped v)
+
+  let eq_frac h v =
+    if h.h_total = 0 then 0.0
+    else
+      Float.max (1.0 /. float_of_int h.h_total) (frac_le h v -. frac_lt h v)
+
+  let distinct_frac h =
+    if h.h_distinct <= 0 then 0.1 else 1.0 /. float_of_int h.h_distinct
+
+  (* System R-style defaults when no histogram or no evaluable value. *)
+  let default_eq = 0.1
+  let default_range = 1.0 /. 3.0
+
+  let hist_for stats c =
+    match stats with
+    | None -> None
+    | Some st -> List.assoc_opt c st.t_cols
+
+  (* Evaluate an expression that depends only on constants and host
+     variables; [None] if it references (outer) columns. *)
+  let value_of binds e =
+    match eval_value { binds; bound = [] } e with
+    | v -> Some v
+    | exception Error _ -> None
+
+  let col_of step = function
+    | Ast.Col (Some a, c) when a = step.alias -> Some c
+    | Ast.Col (None, c) when Array.exists (fun x -> x = c) step.columns ->
+        Some c
+    | _ -> None
+
+  (* Selectivity of one residual conjunct at [step]. *)
+  let rec conj_sel stats binds step conj =
+    match conj with
+    | Ast.And (a, b) ->
+        conj_sel stats binds step a *. conj_sel stats binds step b
+    | Ast.Or (a, b) ->
+        let sa = conj_sel stats binds step a
+        and sb = conj_sel stats binds step b in
+        clamp01 (sa +. sb -. (sa *. sb))
+    | Ast.Not e -> clamp01 (1.0 -. conj_sel stats binds step e)
+    | Ast.Between (e, lo, hi) ->
+        conj_sel stats binds step
+          (Ast.And (Ast.Cmp (Ast.Ge, e, lo), Ast.Cmp (Ast.Le, e, hi)))
+    | Ast.Cmp (op, a, b) -> (
+        (* constant predicate: evaluate it outright *)
+        match (value_of binds a, value_of binds b) with
+        | Some va, Some vb ->
+            let holds =
+              match op with
+              | Ast.Eq -> va = vb
+              | Ast.Ne -> va <> vb
+              | Ast.Lt -> va < vb
+              | Ast.Le -> va <= vb
+              | Ast.Gt -> va > vb
+              | Ast.Ge -> va >= vb
+            in
+            if holds then 1.0 else 0.0
+        | _ -> (
+            let directional col_side op v =
+              let h = hist_for stats col_side in
+              match (h, v) with
+              | Some h, Some v -> (
+                  match op with
+                  | Ast.Eq -> eq_frac h v
+                  | Ast.Ne -> clamp01 (1.0 -. eq_frac h v)
+                  | Ast.Lt -> frac_lt h v
+                  | Ast.Le -> frac_le h v
+                  | Ast.Gt -> clamp01 (1.0 -. frac_le h v)
+                  | Ast.Ge -> clamp01 (1.0 -. frac_lt h v))
+              | _, _ -> (
+                  match op with
+                  | Ast.Eq -> (
+                      match h with
+                      | Some h -> distinct_frac h
+                      | None -> default_eq)
+                  | Ast.Ne -> clamp01 (1.0 -. default_eq)
+                  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> default_range)
+            in
+            let mirror = function
+              | Ast.Eq -> Ast.Eq
+              | Ast.Ne -> Ast.Ne
+              | Ast.Lt -> Ast.Gt
+              | Ast.Le -> Ast.Ge
+              | Ast.Gt -> Ast.Lt
+              | Ast.Ge -> Ast.Le
+            in
+            match (col_of step a, col_of step b) with
+            | Some c, _ -> directional c op (value_of binds b)
+            | None, Some c -> directional c (mirror op) (value_of binds a)
+            | None, None -> 0.5))
+    | Ast.Int _ | Ast.Host _ | Ast.Col _ -> 1.0
+
+  let filters_sel stats binds step =
+    List.fold_left
+      (fun acc conj -> acc *. conj_sel stats binds step conj)
+      1.0 step.filters
+
+  (* Entries matched per index probe, as a fraction of the index. *)
+  let access_sel stats binds step =
+    match step.access with
+    | Seq_scan -> 1.0
+    | Index_scan { index; eq; lo; hi; _ } ->
+        let icols = Relation.Table.Index.columns index in
+        let sel = ref 1.0 in
+        List.iteri
+          (fun i e ->
+            let h = hist_for stats icols.(i) in
+            let s =
+              match (h, value_of binds e) with
+              | Some h, Some v -> eq_frac h v
+              | Some h, None -> distinct_frac h
+              | None, _ -> default_eq
+            in
+            sel := !sel *. s)
+          eq;
+        let rc = List.length eq in
+        if (lo <> None || hi <> None) && rc < Array.length icols then begin
+          let h = hist_for stats icols.(rc) in
+          let lo_frac =
+            match (lo, h) with
+            | None, _ -> 0.0
+            | Some { e; inclusive }, Some h -> (
+                match value_of binds e with
+                | Some v -> if inclusive then frac_lt h v else frac_le h v
+                | None -> default_range)
+            | Some _, None -> default_range
+          in
+          let hi_frac =
+            match (hi, h) with
+            | None, _ -> 1.0
+            | Some { e; inclusive }, Some h -> (
+                match value_of binds e with
+                | Some v -> if inclusive then frac_le h v else frac_lt h v
+                | None -> 1.0 -. default_range)
+            | Some _, None -> 1.0 -. default_range
+          in
+          sel := !sel *. clamp01 (hi_frac -. lo_frac)
+        end;
+        !sel
+
+  let index_geometry index =
+    let tree = Relation.Table.Index.tree index in
+    let bs = Storage.Buffer_pool.block_size (Btree.pool tree) in
+    let kw = Btree.key_width tree in
+    let leaf_cap = max 1 ((bs - 16) / (8 * kw)) in
+    let entries = max 1 (Btree.count tree) in
+    let depth =
+      Float.max 1.0
+        (log (float_of_int (max 2 entries)) /. log (float_of_int leaf_cap))
+    in
+    (float_of_int entries, float_of_int leaf_cap, depth)
+
+  type step_est = {
+    est_out : float;  (* rows emitted by this step across the whole run *)
+    est_io : float;   (* physical I/O attributed to this step *)
+  }
+
+  type branch_est = {
+    step_ests : step_est list;
+    out_rows : float;
+    total_io : float;
+  }
+
+  let branch session binds (plan : branch_plan) =
+    let stats_cache : (string, table_stats) Hashtbl.t = Hashtbl.create 4 in
+    let stats_for tbl =
+      let name = Relation.Table.name tbl in
+      match Hashtbl.find_opt stats_cache name with
+      | Some st -> st
+      | None ->
+          let st = analyze_table tbl in
+          Hashtbl.add stats_cache name st;
+          st
+    in
+    let loop = ref 1.0 in
+    let total = ref 0.0 in
+    let step_ests =
+      List.map
+        (fun step ->
+          let per_rows, per_io, stats =
+            match (step.source, step.access) with
+            | Collection name, _ ->
+                let n =
+                  match Hashtbl.find_opt session.collections name with
+                  | Some (_, rows) -> float_of_int (List.length rows)
+                  | None -> 0.0
+                in
+                (n, 0.0, None)
+            | Base tbl, Seq_scan ->
+                let st = stats_for tbl in
+                (float_of_int st.t_rows, float_of_int st.t_pages, Some st)
+            | Base tbl, (Index_scan { index; covering; _ } as _a) ->
+                let st = stats_for tbl in
+                let entries, leaf_cap, depth = index_geometry index in
+                let m = entries *. access_sel (Some st) binds step in
+                let io =
+                  depth
+                  +. Float.max 1.0 (m /. leaf_cap)
+                  +. if covering then 0.0 else m
+                in
+                (m, io, Some st)
+          in
+          let out = !loop *. per_rows *. filters_sel stats binds step in
+          let io = !loop *. per_io in
+          total := !total +. io;
+          loop := out;
+          { est_out = out; est_io = io })
+        plan.steps
+    in
+    { step_ests; out_rows = !loop; total_io = !total }
+
+  (* Outer-collection cardinality of a branch: the RI-tree node count
+     when the plan is the paper's Fig. 9 shape. *)
+  let node_count session plan =
+    List.fold_left
+      (fun acc step ->
+        match step.source with
+        | Collection name -> (
+            match Hashtbl.find_opt session.collections name with
+            | Some (_, rows) -> acc + List.length rows
+            | None -> acc)
+        | Base _ -> acc)
+      0 plan.steps
+end
+
 (* ---------------- explain ---------------- *)
 
-let explain_plan plans =
+let explain_plan ?(annot = fun _ -> "") plans =
   let buf = Buffer.create 256 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "SELECT STATEMENT\n";
@@ -563,9 +907,11 @@ let explain_plan plans =
             nest (indent ^ "  ") rest
       and describe indent step =
         (match (step.source, step.access) with
-        | Collection name, _ -> add "%sCOLLECTION ITERATOR %s\n" indent name
+        | Collection name, _ ->
+            add "%sCOLLECTION ITERATOR %s%s\n" indent name (annot step)
         | Base tbl, Seq_scan ->
-            add "%sTABLE ACCESS FULL %s\n" indent (Relation.Table.name tbl)
+            add "%sTABLE ACCESS FULL %s%s\n" indent (Relation.Table.name tbl)
+              (annot step)
         | Base _, Index_scan { index; eq; lo; hi; refine_lo; refine_hi;
                                covering } ->
             let icols = Relation.Table.Index.columns index in
@@ -607,10 +953,11 @@ let explain_plan plans =
                     :: !parts)
                 refine_hi
             end;
-            add "%sINDEX RANGE SCAN %s (%s)%s\n" indent
+            add "%sINDEX RANGE SCAN %s (%s)%s%s\n" indent
               (String.uppercase_ascii (Relation.Table.Index.name index))
               (String.concat ", " (List.rev !parts))
-              (if covering then "" else " + TABLE ACCESS BY ROWID"));
+              (if covering then "" else " + TABLE ACCESS BY ROWID")
+              (annot step));
         if step.filters <> [] then
           add "%s  FILTER %s\n" indent
             (String.concat " AND " (List.map Ast.expr_to_string step.filters))
@@ -782,8 +1129,7 @@ let order_and_limit plan (q : Ast.query) rows =
   | None -> rows
   | Some n -> List.filteri (fun i _ -> i < n) rows
 
-let run_select session binds (q : Ast.query) =
-  let plans = List.map (plan_branch session) q.Ast.branches in
+let run_select_plans session binds (q : Ast.query) plans =
   match plans with
   | [] -> Rows { columns = []; rows = [] }
   | first :: _ when first.group_by <> [] ->
@@ -815,6 +1161,18 @@ let run_select session binds (q : Ast.query) =
           { columns = projection_columns first;
             rows = order_and_limit first q !all_rows }
       end
+
+let run_select session binds (q : Ast.query) =
+  run_select_plans session binds q (List.map (plan_branch session) q.Ast.branches)
+
+let stmt_kind = function
+  | Ast.Create_table _ -> "CREATE TABLE"
+  | Ast.Create_index _ -> "CREATE INDEX"
+  | Ast.Insert _ -> "INSERT"
+  | Ast.Update _ -> "UPDATE"
+  | Ast.Delete _ -> "DELETE"
+  | Ast.Select _ -> "SELECT"
+  | Ast.Explain _ -> "EXPLAIN"
 
 let rec run_stmt session binds = function
   | Ast.Create_table (name, cols) ->
@@ -882,14 +1240,103 @@ let rec run_stmt session binds = function
             !victims;
           Done (Printf.sprintf "%d rows updated" (List.length !victims)))
   | Ast.Select q -> run_select session binds q
-  | Ast.Explain stmt -> (
-      match stmt with
-      | Ast.Select q ->
-          Done (explain_plan (List.map (plan_branch session) q.Ast.branches))
-      | _ -> run_stmt session binds stmt)
+  | Ast.Explain { analyze; target } -> run_explain session binds ~analyze target
+
+(* Measure a statement execution: wall time and the process-global
+   physical-I/O delta (single-threaded execution means the delta is
+   attributable to this statement). *)
+and measured f =
+  let c0 = Obs.Counters.snapshot () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
+  let d = Obs.Counters.diff (Obs.Counters.snapshot ()) c0 in
+  (r, ms, d.Obs.Counters.reads + d.Obs.Counters.writes)
+
+and run_explain session binds ~analyze = function
+  | Ast.Select q ->
+      let plans = List.map (plan_branch session) q.Ast.branches in
+      let ests = List.map (Estimate.branch session binds) plans in
+      let pred_rows =
+        List.fold_left (fun a e -> a +. e.Estimate.out_rows) 0.0 ests
+      in
+      let pred_io =
+        List.fold_left (fun a e -> a +. e.Estimate.total_io) 0.0 ests
+      in
+      let nodes =
+        List.fold_left (fun a p -> a + Estimate.node_count session p) 0 plans
+      in
+      let notes actual =
+        List.concat
+          (List.map2
+             (fun plan est ->
+               List.map2
+                 (fun step (se : Estimate.step_est) ->
+                   let s =
+                     if actual then
+                       Printf.sprintf "  (est rows=%.0f io=%.0f, actual rows=%d)"
+                         se.Estimate.est_out se.Estimate.est_io step.seen
+                     else
+                       Printf.sprintf "  (est rows=%.0f io=%.0f)"
+                         se.Estimate.est_out se.Estimate.est_io
+                   in
+                   (step, s))
+                 plan.steps est.Estimate.step_ests)
+             plans ests)
+      in
+      let footer_pred =
+        Printf.sprintf "PREDICTED  nodes=%d  rows=%.0f  io=%.0f\n" nodes
+          pred_rows pred_io
+      in
+      if not analyze then begin
+        let notes = notes false in
+        let annot step =
+          Option.value ~default:"" (List.assq_opt step notes)
+        in
+        Done (explain_plan ~annot plans ^ footer_pred)
+      end
+      else begin
+        List.iter (fun p -> List.iter (fun s -> s.seen <- 0) p.steps) plans;
+        let result, ms, io =
+          measured (fun () -> run_select_plans session binds q plans)
+        in
+        let actual_rows =
+          match result with
+          | Rows { rows; _ } -> List.length rows
+          | Done _ -> 0
+        in
+        let notes = notes true in
+        let annot step =
+          Option.value ~default:"" (List.assq_opt step notes)
+        in
+        Done
+          (explain_plan ~annot plans ^ footer_pred
+          ^ Printf.sprintf "ACTUAL     rows=%d  io=%d  time=%.1f ms\n"
+              actual_rows io ms)
+      end
+  | target ->
+      if not analyze then
+        Done
+          (Printf.sprintf
+             "%s STATEMENT (no plan; not executed — use EXPLAIN ANALYZE)"
+             (stmt_kind target))
+      else begin
+        let result, ms, io = measured (fun () -> run_stmt session binds target) in
+        let summary =
+          match result with
+          | Done msg -> msg
+          | Rows { rows; _ } -> Printf.sprintf "%d rows" (List.length rows)
+        in
+        Done
+          (Printf.sprintf "%s STATEMENT\n%s\nACTUAL     io=%d  time=%.1f ms\n"
+             (stmt_kind target) summary io ms)
+      end
 
 let counted session stmt binds =
-  let r = run_stmt session binds stmt in
+  let r =
+    Obs.Trace.with_span "sql.stmt" ~info:(stmt_kind stmt) (fun () ->
+        run_stmt session binds stmt)
+  in
   session.statements <- session.statements + 1;
   r
 

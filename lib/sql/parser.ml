@@ -41,7 +41,8 @@ let expect st tok =
 let keywords =
   [ "SELECT"; "FROM"; "WHERE"; "AND"; "OR"; "NOT"; "BETWEEN"; "UNION";
     "ALL"; "CREATE"; "TABLE"; "INDEX"; "ON"; "INSERT"; "INTO"; "VALUES";
-    "UPDATE"; "SET"; "DELETE"; "EXPLAIN"; "ORDER"; "GROUP"; "LIMIT" ]
+    "UPDATE"; "SET"; "DELETE"; "EXPLAIN"; "ANALYZE"; "ORDER"; "GROUP";
+    "LIMIT" ]
 
 let ident st =
   match next st with
@@ -292,7 +293,14 @@ let rec parse_stmt st =
   match peek st with
   | Some t when is_kw t "EXPLAIN" ->
       advance st;
-      Ast.Explain (parse_stmt st)
+      let analyze =
+        if peek_kw st "ANALYZE" then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      Ast.Explain { analyze; target = parse_stmt st }
   | Some t when is_kw t "CREATE" -> (
       advance st;
       match peek st with

@@ -64,11 +64,13 @@ let alloc t = t.impl_alloc ()
 
 let read t id buf =
   t.impl_read id buf;
-  t.reads <- t.reads + 1
+  t.reads <- t.reads + 1;
+  Obs.Counters.incr_read ()
 
 let write t id buf =
   t.impl_write id buf;
-  t.writes <- t.writes + 1
+  t.writes <- t.writes + 1;
+  Obs.Counters.incr_write ()
 
 module Stats = struct
   type device = t

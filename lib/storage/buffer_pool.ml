@@ -178,7 +178,8 @@ let evict_one t =
   write_back t victim;
   ring_remove victim;
   Hashtbl.remove t.frames victim.page_id;
-  t.evictions <- t.evictions + 1
+  t.evictions <- t.evictions + 1;
+  Obs.Counters.incr_pool_eviction ()
 
 let install t page_id data dirty ~pins =
   if Hashtbl.length t.frames >= t.capacity then evict_one t;
@@ -197,11 +198,21 @@ let alloc t =
   ignore frame;
   id
 
+let fault_in t page_id =
+  let data = Bytes.create (dev_size t) in
+  Block_device.read t.dev page_id data;
+  (* Verify before installing: a corrupt block must never enter the
+     cache as if it were valid data. *)
+  verify t page_id data;
+  let frame = install t page_id data false ~pins:1 in
+  frame.data
+
 let pin t page_id =
   t.logical_reads <- t.logical_reads + 1;
   match Hashtbl.find_opt t.frames page_id with
   | Some frame ->
       t.hits <- t.hits + 1;
+      Obs.Counters.incr_pool_hit ();
       if frame.pins = 0 then begin
         (* Pinned frames live off the ring: they can never be reached by
            the eviction path, whatever the replacement pressure. *)
@@ -213,13 +224,15 @@ let pin t page_id =
       frame.data
   | None ->
       t.misses <- t.misses + 1;
-      let data = Bytes.create (dev_size t) in
-      Block_device.read t.dev page_id data;
-      (* Verify before installing: a corrupt block must never enter the
-         cache as if it were valid data. *)
-      verify t page_id data;
-      let frame = install t page_id data false ~pins:1 in
-      frame.data
+      Obs.Counters.incr_pool_miss ();
+      (* The span (and its info string) must cost nothing when tracing
+         is off: faults dominate cold scans, so even one allocation per
+         miss shows up in bench-storage. *)
+      if Obs.Trace.enabled () then
+        Obs.Trace.with_span "pool.fault"
+          ~info:(string_of_int page_id)
+          (fun () -> fault_in t page_id)
+      else fault_in t page_id
 
 let unpin t page_id ~dirty =
   match Hashtbl.find_opt t.frames page_id with

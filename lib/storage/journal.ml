@@ -54,22 +54,33 @@ let append t r =
   t.p_count <- t.p_count + 1;
   (match r with
    | Write { before; after; _ } ->
-       t.p_bytes <- t.p_bytes + Bytes.length before + Bytes.length after
+       let payload = Bytes.length before + Bytes.length after in
+       t.p_bytes <- t.p_bytes + payload;
+       Obs.Counters.add_journal_bytes payload
    | Commit ->
        t.p_commits <- t.p_commits + 1;
        t.commits <- t.commits + 1)
 
+let do_force t =
+  t.forces <- t.forces + 1;
+  Obs.Counters.incr_journal_force ();
+  Buffer.add_buffer t.durable t.pending;
+  t.d_count <- t.d_count + t.p_count;
+  t.d_bytes <- t.d_bytes + t.p_bytes;
+  Buffer.clear t.pending;
+  t.p_count <- 0;
+  t.p_bytes <- 0;
+  t.p_commits <- 0
+
 let force t =
-  if t.p_count > 0 then begin
-    t.forces <- t.forces + 1;
-    Buffer.add_buffer t.durable t.pending;
-    t.d_count <- t.d_count + t.p_count;
-    t.d_bytes <- t.d_bytes + t.p_bytes;
-    Buffer.clear t.pending;
-    t.p_count <- 0;
-    t.p_bytes <- 0;
-    t.p_commits <- 0
-  end
+  if t.p_count > 0 then
+    (* Commit-path hot spot: never pay the sprintf (or a closure) for
+       the span unless tracing is actually on. *)
+    if Obs.Trace.enabled () then
+      Obs.Trace.with_span "journal.force"
+        ~info:(Printf.sprintf "%d records" t.p_count)
+        (fun () -> do_force t)
+    else do_force t
 
 let drop_unforced t =
   t.commits <- t.commits - t.p_commits;

@@ -50,6 +50,25 @@ let test_estimate_edges () =
   check (Alcotest.float 0.001) "selectivity 1" 1.0
     (CM.Stats.estimate_selectivity stats (Ivl.make (-9_000_000) 9_000_000))
 
+(* Regression: a query reaching to max_int used to overflow the
+   estimator ([Ivl.upper q + 1] wrapped to min_int), so an
+   infinity-bounded query — the temporal extension's [now]/[infinity]
+   idiom — estimated ~0 rows instead of ~n. *)
+let test_infinity_bounds () =
+  let _, _, tree, _ = build ~seed:116 ~n:1_000 ~len:1_000 in
+  let stats = CM.Stats.analyze tree in
+  check Alcotest.int "upper = max_int" 1_000
+    (CM.Stats.estimate_result_size stats (Ivl.make 0 max_int));
+  check Alcotest.int "whole axis" 1_000
+    (CM.Stats.estimate_result_size stats (Ivl.make min_int max_int));
+  check (Alcotest.float 0.001) "selectivity 1 on the whole axis" 1.0
+    (CM.Stats.estimate_selectivity stats (Ivl.make min_int max_int));
+  (* a degenerate query at max_int intersects nothing stored *)
+  check Alcotest.int "point at max_int" 0
+    (CM.Stats.estimate_result_size stats (Ivl.make max_int max_int));
+  check Alcotest.int "point at min_int" 0
+    (CM.Stats.estimate_result_size stats (Ivl.make min_int min_int))
+
 let test_empty_tree () =
   let db = Relation.Catalog.create () in
   let tree = Ri.create db in
@@ -117,6 +136,8 @@ let () =
       ("stats",
        [ Alcotest.test_case "estimate accuracy" `Quick test_estimate_accuracy;
          Alcotest.test_case "edge estimates" `Quick test_estimate_edges;
+         Alcotest.test_case "infinity-bounded queries" `Quick
+           test_infinity_bounds;
          Alcotest.test_case "empty tree" `Quick test_empty_tree ]);
       ("planning",
        [ Alcotest.test_case "plan crossover" `Quick test_plan_crossover;

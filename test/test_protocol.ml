@@ -22,6 +22,7 @@ let sample_requests =
     P.Rollback;
     P.Stats;
     P.Ping;
+    P.Metrics;
   ]
 
 let sample_stats =
@@ -58,6 +59,7 @@ let sample_responses =
     P.Overloaded "server at session limit (64)";
     P.Read_only "server is read-only: corrupt page 7";
     P.Goodbye "idle for 30s, closing";
+    P.Invalid "empty interval [9, 3]";
     P.Stats_reply sample_stats;
     P.Stats_reply { sample_stats with ops = [] };
   ]
@@ -74,6 +76,7 @@ let resp_label = function
   | P.Overloaded _ -> "overloaded"
   | P.Read_only _ -> "read_only"
   | P.Goodbye _ -> "goodbye"
+  | P.Invalid _ -> "invalid"
   | P.Stats_reply _ -> "stats"
 
 let resp_testable =

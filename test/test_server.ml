@@ -11,9 +11,10 @@ module C = Server.Client
 let check = Alcotest.check
 
 let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
-    ?(group_commit = 0.) ?(idle_timeout = 0.) () =
+    ?(group_commit = 0.) ?(idle_timeout = 0.) ?metrics_port
+    ?(slow_query_ms = 0.) () =
   { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue;
-    group_commit; idle_timeout }
+    group_commit; idle_timeout; metrics_port; slow_query_ms }
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
@@ -460,6 +461,87 @@ let test_corruption_degrades_to_read_only () =
               Alcotest.failf "wrong refusal shape: %s" (C.error_to_string e));
           ping c))
 
+(* ---- observability ---- *)
+
+(* Regression: an empty interval used to escape the session as a bare
+   [Failure], which the dispatcher rendered as a generic (retryable)
+   server Error. It is the client's bug: the response must be the typed
+   Invalid, and the session must keep serving. *)
+let test_invalid_interval_keeps_session () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          (match C.rpc c (P.Intersect { lower = 9; upper = 3 }) with
+          | P.Invalid m ->
+              check Alcotest.bool "names the bounds" true
+                (contains m "9" && contains m "3")
+          | P.Error m -> Alcotest.failf "generic error, not Invalid: %s" m
+          | _ -> Alcotest.fail "empty interval accepted");
+          (* the typed client cannot even build an empty Ivl, so drive
+             the insert through the raw rpc as a hand-rolled frame *)
+          (match C.rpc c (P.Insert { lower = 5; upper = 2; id = None }) with
+          | P.Invalid _ -> ()
+          | _ -> Alcotest.fail "empty insert not flagged Invalid");
+          (* connection and session still fully usable *)
+          ping c;
+          let q = Interval.Ivl.make 100_000 110_000 in
+          check (Alcotest.list Alcotest.int) "intersect after invalid"
+            (brute_force q)
+            (List.sort compare (intersect c q))))
+
+let test_metrics_wire_op () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          ping c;
+          ignore (intersect c (Interval.Ivl.make 0 50_000));
+          let doc = ok (C.metrics c) in
+          List.iter
+            (fun family ->
+              check Alcotest.bool family true (contains doc family))
+            [ "rikit_uptime_seconds"; "rikit_requests_total";
+              "rikit_op_latency_us_bucket"; "rikit_op_latency_us_count";
+              "rikit_pool_hit_rate"; "rikit_sessions" ];
+          (* the intersect we just ran is visible in its op family *)
+          check Alcotest.bool "intersect op labelled" true
+            (contains doc "op=\"intersect\"")))
+
+let test_metrics_http_endpoint () =
+  with_server ~config:(config ~metrics_port:0 ()) ~preload:dataset
+    (fun port _ disp ->
+      let mport = D.metrics_port disp in
+      check Alcotest.bool "ephemeral port bound" true (mport > 0);
+      with_client port (fun c ->
+          ping c;
+          ignore (intersect c (Interval.Ivl.make 0 10_000)));
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      let body =
+        Fun.protect
+          ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport));
+            let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+            ignore (Unix.write fd req 0 (Bytes.length req));
+            let buf = Buffer.create 4096 in
+            let chunk = Bytes.create 4096 in
+            let rec drain () =
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> ()
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  drain ()
+              | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+            in
+            drain ();
+            Buffer.contents buf)
+      in
+      check Alcotest.bool "HTTP 200" true (contains body "200 OK");
+      check Alcotest.bool "prometheus content type" true
+        (contains body "text/plain; version=0.0.4");
+      List.iter
+        (fun family ->
+          check Alcotest.bool family true (contains body family))
+        [ "rikit_op_latency_us_bucket"; "rikit_pool_hit_rate";
+          "rikit_requests_total" ])
+
 let () =
   Alcotest.run "server"
     [
@@ -483,6 +565,14 @@ let () =
         ] );
       ( "concurrency",
         [ Alcotest.test_case "parallel clients" `Quick test_concurrent_clients ] );
+      ( "observability",
+        [
+          Alcotest.test_case "invalid interval keeps session" `Quick
+            test_invalid_interval_keeps_session;
+          Alcotest.test_case "metrics wire op" `Quick test_metrics_wire_op;
+          Alcotest.test_case "metrics http endpoint" `Quick
+            test_metrics_http_endpoint;
+        ] );
       ( "robustness",
         [
           Alcotest.test_case "idle timeout reaps sessions" `Quick

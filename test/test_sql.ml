@@ -383,6 +383,75 @@ let test_column_named_count_min_max () =
   check rows "aggregate over them" [ [| 1; 2; 3 |] ]
     (E.query s "SELECT min(min), max(max), sum(count) FROM odd")
 
+(* ---- EXPLAIN / EXPLAIN ANALYZE ---- *)
+
+let explain_text s sql =
+  match E.exec s sql with
+  | E.Done text -> text
+  | E.Rows _ -> Alcotest.failf "EXPLAIN returned rows for %s" sql
+
+let test_explain_analyze () =
+  let s = seeded_session () in
+  let plain = explain_text s "EXPLAIN SELECT b FROM t WHERE a = 3" in
+  List.iter
+    (fun needle ->
+      if not (contains plain needle) then
+        Alcotest.failf "EXPLAIN misses %S:\n%s" needle plain)
+    [ "est rows="; "PREDICTED"; "nodes=" ];
+  check Alcotest.bool "no actuals without ANALYZE" false
+    (contains plain "actual rows=");
+  let analyzed =
+    explain_text s "EXPLAIN ANALYZE SELECT b FROM t WHERE a = 3"
+  in
+  List.iter
+    (fun needle ->
+      if not (contains analyzed needle) then
+        Alcotest.failf "EXPLAIN ANALYZE misses %S:\n%s" needle analyzed)
+    [ "est rows="; "actual rows=4"; "PREDICTED"; "ACTUAL     rows=4" ]
+
+let test_explain_does_not_execute () =
+  let s = seeded_session () in
+  let plain = explain_text s "EXPLAIN INSERT INTO t VALUES (9, 999)" in
+  check Alcotest.bool "refuses politely" true (contains plain "not executed");
+  check rows "count unchanged" [ [| 20 |] ]
+    (E.query s "SELECT count(*) FROM t");
+  (* ...but EXPLAIN ANALYZE runs the statement for real *)
+  let analyzed =
+    explain_text s "EXPLAIN ANALYZE INSERT INTO t VALUES (9, 999)"
+  in
+  check Alcotest.bool "reports actuals" true (contains analyzed "ACTUAL");
+  check rows "row landed" [ [| 21 |] ] (E.query s "SELECT count(*) FROM t")
+
+(* Regression: consumed conjuncts were tracked in a hashtable keyed on
+   [Obj.repr], whose generic hash/equality is structural — consuming
+   one conjunct as an access predicate also marked every structurally
+   identical twin as consumed. Here the unqualified [k = 3] appears
+   twice and resolves against two identical sub-scans; the old tracker
+   dropped the second copy, leaving rhs completely unconstrained (a
+   20-row cross join instead of 4). *)
+let test_duplicate_conjuncts () =
+  let s = mk_session () in
+  ignore (E.exec s "CREATE TABLE lhs (k int, v int)");
+  ignore (E.exec s "CREATE INDEX lhs_k ON lhs (k, v)");
+  ignore (E.exec s "CREATE TABLE rhs (k int, w int)");
+  ignore (E.exec s "CREATE INDEX rhs_k ON rhs (k, w)");
+  for i = 0 to 9 do
+    ignore
+      (E.exec s (Printf.sprintf "INSERT INTO lhs VALUES (%d, %d)" (i mod 5) i));
+    ignore
+      (E.exec s
+         (Printf.sprintf "INSERT INTO rhs VALUES (%d, %d)" (i mod 5) (100 + i)))
+  done;
+  let sql = "SELECT v, w FROM lhs, rhs WHERE k = 3 AND k = 3" in
+  check rows "each copy constrains its own table"
+    [ [| 3; 103 |]; [| 3; 108 |]; [| 8; 103 |]; [| 8; 108 |] ]
+    (List.sort compare (E.query s sql));
+  (* both copies must stay visible to the planner: two index probes,
+     no unconstrained full scan *)
+  let plan = explain_text s ("EXPLAIN " ^ sql) in
+  check Alcotest.bool "no full scan in plan" false
+    (contains plan "TABLE ACCESS FULL")
+
 let test_exec_script () =
   let s = mk_session () in
   let results =
@@ -429,4 +498,10 @@ let () =
          Alcotest.test_case "aggregate names as columns" `Quick
            test_column_named_count_min_max;
          Alcotest.test_case "script execution" `Quick test_exec_script ]);
+      ("explain",
+       [ Alcotest.test_case "explain analyze" `Quick test_explain_analyze;
+         Alcotest.test_case "explain does not execute" `Quick
+           test_explain_does_not_execute;
+         Alcotest.test_case "duplicate conjuncts" `Quick
+           test_duplicate_conjuncts ]);
     ]
