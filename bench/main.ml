@@ -569,20 +569,23 @@ let adaptive_bench () =
         s.Storage.Block_device.Stats.reads
         + s.Storage.Block_device.Stats.writes
       in
-      let index_io = io (fun () -> Ritree.Ri_tree.intersecting_ids tree q) in
+      (* all three columns run through the shared execution layer: the
+         pinned two-branch plan, the pinned sequential scan, and the
+         cost-model-selected path *)
+      let index_io =
+        io (fun () ->
+            Exec.Planner.intersecting_ids ~path:Exec.Planner.Two_branch tree q)
+      in
       let scan_io =
         io (fun () ->
-            let acc = ref 0 in
-            Relation.Table.iter (Ritree.Ri_tree.table tree) (fun _ _ -> incr acc);
-            !acc)
+            Exec.Planner.intersecting_ids ~path:Exec.Planner.Seq tree q)
       in
       let adaptive_io =
-        io (fun () -> Ritree.Cost_model.adaptive_ids tree stats q)
+        io (fun () -> Exec.Planner.intersecting_ids ~stats tree q)
       in
       Tbl.add_row t
         [ (if sel >= 1.0 then "100 (covering)" else Printf.sprintf "%.1f" (100. *. sel));
-          Ritree.Cost_model.plan_to_string
-            (Ritree.Cost_model.choose tree stats q);
+          Exec.Planner.path_to_string (Exec.Planner.choose tree stats q);
           string_of_int index_io; string_of_int scan_io;
           string_of_int adaptive_io ])
     [ 0.001; 0.01; 0.1; 0.3; 0.6; 1.0 ];

@@ -83,28 +83,24 @@ let explain kind n d seed trace qlow qup =
     p.Ritree.Ri_tree.left_root p.Ritree.Ri_tree.right_root
     p.Ritree.Ri_tree.min_level
     (Ritree.Ri_tree.height tree);
-  print_string (Ritree.Ri_tree.explain tree q);
-  (* Sec. 5 cost model: predict result size and physical I/O from the
-     histograms, then measure both against a cold cache. *)
+  (* The shared execution layer: the same renderer, estimator and plan
+     the SQL front end and the wire-op EXPLAIN use. *)
   let stats = Ritree.Cost_model.Stats.analyze tree in
-  let pred_rows = Ritree.Cost_model.Stats.estimate_result_size stats q in
-  let pred_io = Ritree.Cost_model.index_cost tree stats q in
-  let scan_io = Ritree.Cost_model.scan_cost tree in
+  print_string
+    (Exec.Planner.explain ~stats tree (Exec.Planner.Intersect_target q));
+  Printf.printf "chosen access path: %s  (full scan: %.0f blocks)\n"
+    (Exec.Planner.path_to_string (Exec.Planner.choose tree stats q))
+    (Ritree.Cost_model.scan_cost tree);
   Relation.Catalog.flush db;
   Relation.Catalog.drop_cache db;
   if trace then Obs.Trace.set_enabled true;
+  (* execute the very plan rendered above: the triple projection *)
   let (ids, span), blocks =
     Harness.Measure.io db (fun () ->
         Obs.Trace.traced "explain.query" ~info:(Interval.Ivl.to_string q)
-          (fun () -> Ritree.Ri_tree.intersecting_ids tree q))
+          (fun () -> Exec.Planner.intersecting ~stats tree q))
   in
-  Printf.printf
-    "\nPREDICTED (Sec. 5 cost model)  rows=%d  io=%.1f  (full scan: %.0f, \
-     plan: %s)\n"
-    pred_rows pred_io scan_io
-    (Ritree.Cost_model.plan_to_string
-       (Ritree.Cost_model.choose tree stats q));
-  Printf.printf "ACTUAL    (cold cache)         rows=%d  io=%d\n"
+  Printf.printf "ACTUAL (cold cache)  rows=%d  io=%d\n"
     (List.length ids) blocks;
   match span with
   | Some sp when trace -> Printf.printf "\ntrace:\n%s" (Obs.Trace.render sp)
@@ -899,6 +895,243 @@ let bench_explain_cmd =
                SQL front end's Fig. 9 UNION ALL under EXPLAIN ANALYZE." ])
     Term.(const bench_explain $ tiny $ sel $ seed_arg $ out)
 
+(* ---- bench-plan: the execution layer ----
+
+   Two measurements of the typed execution layer: statement throughput
+   with and without the plan cache (plus PREPARE/EXECUTE), and the
+   cost-based planner's access-path win rate against per-path
+   cold-cache ground truth on the Table-1 distributions. *)
+
+let fig9_host =
+  "SELECT id FROM intervals i, leftNodes lft WHERE i.node BETWEEN lft.min \
+   AND lft.max AND i.upper >= :qlow UNION ALL SELECT id FROM intervals i, \
+   rightNodes rgt WHERE i.node = rgt.node AND i.lower <= :qup"
+
+let fig9_literal q =
+  Printf.sprintf
+    "SELECT id FROM intervals i, leftNodes lft WHERE i.node BETWEEN lft.min \
+     AND lft.max AND i.upper >= %d UNION ALL SELECT id FROM intervals i, \
+     rightNodes rgt WHERE i.node = rgt.node AND i.lower <= %d"
+    (Interval.Ivl.lower q) (Interval.Ivl.upper q)
+
+(* A statement whose execution is trivial, so its throughput is bounded
+   by parse+plan: the regime where the plan cache pays. *)
+let light_sql =
+  "SELECT node FROM rightNodes WHERE node = -1 UNION ALL SELECT node FROM \
+   rightNodes WHERE node = -2 UNION ALL SELECT node FROM rightNodes WHERE \
+   node = -3"
+
+type plan_thr = {
+  th_light_uncached : float;
+  th_light_cached : float;
+  th_fig9_uncached : float;
+  th_fig9_cached : float;
+  th_prepared : float;
+}
+
+let stmts_per_sec reps f =
+  f ();
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    best := Float.min !best (Unix.gettimeofday () -. t0)
+  done;
+  float_of_int reps /. Float.max 1e-9 !best
+
+let bench_plan_throughput ~tiny ~seed =
+  let n = if tiny then 2_000 else 10_000 in
+  let data =
+    Workload.Distribution.generate ~seed Workload.Distribution.D1 ~n ~d:2000
+  in
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let q = (Workload.Query_gen.queries ~seed ~data ~count:1 0.001).(0) in
+  let setup s =
+    let nl = Ritree.Ri_tree.node_lists tree q in
+    Sqlfront.Engine.set_collection s "leftNodes" ~columns:[ "min"; "max" ]
+      (List.map (fun (a, b) -> [| a; b |]) nl.Ritree.Ri_tree.left_nodes);
+    Sqlfront.Engine.set_collection s "rightNodes" ~columns:[ "node" ]
+      (List.map (fun v -> [| v |]) nl.Ritree.Ri_tree.right_nodes);
+    s
+  in
+  let cached = setup (Sqlfront.Engine.session db) in
+  let uncached = setup (Sqlfront.Engine.session ~plan_cache:false db) in
+  let reps = if tiny then 300 else 2_000 in
+  let sql = fig9_literal q in
+  let run s text () = ignore (Sqlfront.Engine.query s text) in
+  let prepared = Sqlfront.Engine.prepare cached fig9_host in
+  let args = [ Interval.Ivl.lower q; Interval.Ivl.upper q ] in
+  { th_light_uncached = stmts_per_sec reps (run uncached light_sql);
+    th_light_cached = stmts_per_sec reps (run cached light_sql);
+    th_fig9_uncached = stmts_per_sec reps (run uncached sql);
+    th_fig9_cached = stmts_per_sec reps (run cached sql);
+    th_prepared =
+      stmts_per_sec reps (fun () ->
+          ignore (Sqlfront.Engine.execute_prepared cached prepared args)) }
+
+type plan_row = {
+  pr_kind : string;
+  pr_queries : int;
+  pr_wins : int;
+  pr_two : int;
+  pr_single : int;
+  pr_seq : int;
+}
+
+let bench_plan_kind ~tiny ~seed kind =
+  let n = if tiny then 2_000 else 10_000 in
+  let data = Workload.Distribution.generate ~seed kind ~n ~d:2000 in
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let stats = Ritree.Cost_model.Stats.analyze tree in
+  let per_sel = if tiny then 3 else 10 in
+  let queries =
+    List.concat_map
+      (fun sel ->
+        Array.to_list
+          (Workload.Query_gen.queries ~seed ~data ~count:per_sel sel))
+      [ 0.001; 0.01; 0.1 ]
+    @ Array.to_list (Workload.Query_gen.point_queries ~seed ~count:per_sel ())
+  in
+  let cold f =
+    Relation.Catalog.flush db;
+    Relation.Catalog.drop_cache db;
+    snd (Harness.Measure.io db f)
+  in
+  let wins = ref 0 and two = ref 0 and single = ref 0 and seq = ref 0 in
+  List.iter
+    (fun q ->
+      let io p =
+        cold (fun () -> Exec.Planner.intersecting_ids ~path:p tree q)
+      in
+      let candidates =
+        (Exec.Planner.Two_branch, io Exec.Planner.Two_branch)
+        :: (Exec.Planner.Seq, io Exec.Planner.Seq)
+        :: (if Interval.Ivl.lower q = Interval.Ivl.upper q then
+              [ (Exec.Planner.Single_branch, io Exec.Planner.Single_branch) ]
+            else [])
+      in
+      let best = List.fold_left (fun a (_, c) -> min a c) max_int candidates in
+      let chosen = Exec.Planner.choose tree stats q in
+      (match chosen with
+      | Exec.Planner.Two_branch -> incr two
+      | Exec.Planner.Single_branch -> incr single
+      | Exec.Planner.Seq -> incr seq);
+      let chosen_io =
+        match List.assoc_opt chosen candidates with
+        | Some c -> c
+        | None -> io chosen
+      in
+      if chosen_io <= best then incr wins)
+    queries;
+  { pr_kind = Workload.Distribution.kind_to_string kind;
+    pr_queries = List.length queries;
+    pr_wins = !wins;
+    pr_two = !two;
+    pr_single = !single;
+    pr_seq = !seq }
+
+let bench_plan_json ~tiny thr rows =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"bench\": \"plan\",\n  \"tiny\": %b,\n" tiny;
+  add "  \"throughput\": {\n";
+  add "    \"light_uncached_sps\": %.0f,\n" thr.th_light_uncached;
+  add "    \"light_cached_sps\": %.0f,\n" thr.th_light_cached;
+  add "    \"light_cache_ratio\": %.2f,\n"
+    (thr.th_light_cached /. Float.max 1.0 thr.th_light_uncached);
+  add "    \"fig9_uncached_sps\": %.0f,\n" thr.th_fig9_uncached;
+  add "    \"fig9_cached_sps\": %.0f,\n" thr.th_fig9_cached;
+  add "    \"fig9_cache_ratio\": %.2f,\n"
+    (thr.th_fig9_cached /. Float.max 1.0 thr.th_fig9_uncached);
+  add "    \"execute_prepared_sps\": %.0f\n  },\n" thr.th_prepared;
+  add "  \"distributions\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",";
+      add
+        "\n    {\"kind\": %S, \"queries\": %d, \"planner_wins\": %d,\n\
+        \     \"win_rate\": %.3f,\n\
+        \     \"choices\": {\"two_branch\": %d, \"single_branch\": %d, \
+         \"seq_scan\": %d}}"
+        r.pr_kind r.pr_queries r.pr_wins
+        (float_of_int r.pr_wins /. float_of_int (max 1 r.pr_queries))
+        r.pr_two r.pr_single r.pr_seq)
+    rows;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+let bench_plan tiny seed out =
+  let thr = bench_plan_throughput ~tiny ~seed in
+  Printf.printf
+    "statement throughput (statements/sec, best of 3):\n\
+    \  planner-bound stmt  uncached %8.0f   cached %8.0f   (%.1fx)\n\
+    \  Fig. 9 UNION ALL    uncached %8.0f   cached %8.0f   (%.1fx)\n\
+    \  EXECUTE prepared    %8.0f\n\n"
+    thr.th_light_uncached thr.th_light_cached
+    (thr.th_light_cached /. Float.max 1.0 thr.th_light_uncached)
+    thr.th_fig9_uncached thr.th_fig9_cached
+    (thr.th_fig9_cached /. Float.max 1.0 thr.th_fig9_uncached)
+    thr.th_prepared;
+  let rows =
+    List.map
+      (bench_plan_kind ~tiny ~seed)
+      [ Workload.Distribution.D1; Workload.Distribution.D2;
+        Workload.Distribution.D3; Workload.Distribution.D4 ]
+  in
+  let table =
+    Harness.Tbl.create
+      ~title:"planner choice vs per-path cold-cache I/O"
+      ~columns:
+        [ "kind"; "queries"; "wins"; "win rate"; "two-branch";
+          "single-branch"; "seq-scan" ]
+  in
+  List.iter
+    (fun r ->
+      Harness.Tbl.add_row table
+        [ r.pr_kind; string_of_int r.pr_queries; string_of_int r.pr_wins;
+          Printf.sprintf "%.0f%%"
+            (100. *. float_of_int r.pr_wins
+            /. float_of_int (max 1 r.pr_queries));
+          string_of_int r.pr_two; string_of_int r.pr_single;
+          string_of_int r.pr_seq ])
+    rows;
+  Harness.Tbl.print table;
+  let json = bench_plan_json ~tiny thr rows in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+let bench_plan_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ]
+             ~doc:"Small datasets and query batches for CI smoke runs.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_plan.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-plan"
+       ~doc:"Plan-cache throughput and access-path win rates"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Measures statement throughput through the SQL engine with \
+               the plan cache on and off (plus PREPARE/EXECUTE), then \
+               replays mixed-selectivity query batches on each Table-1 \
+               distribution and scores the cost-based planner's access \
+               path choice against the cold-cache I/O of every \
+               candidate path. Results go to stdout and BENCH_plan.json." ])
+    Term.(const bench_plan $ tiny $ seed_arg $ out)
+
 (* ---- sql ---- *)
 
 let run_sql file =
@@ -1101,5 +1334,6 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
-         bench_serve_cmd; bench_storage_cmd; bench_explain_cmd; scrub_cmd;
+         bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
+         bench_plan_cmd; scrub_cmd;
          crash_schedule_cmd ]))

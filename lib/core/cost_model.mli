@@ -30,8 +30,10 @@ type plan_choice = Index_plan | Full_scan
 
 val index_cost : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> float
 (** Estimated physical blocks for the Fig. 9 plan: one [O(log_b n)]
-    descent per transient-node probe plus the leaves holding the
-    estimated results. *)
+    descent per index (the upper levels are shared across the
+    statement's probes and stay buffer-resident), one leaf visit per
+    transient-node probe, plus the leaves holding the estimated
+    results. *)
 
 val scan_cost : Ri_tree.t -> float
 (** Blocks of a full heap scan. *)

@@ -1,0 +1,452 @@
+(* Cardinality & I/O estimation over the physical-plan IR.
+
+   A self-contained, Sec. 5-style estimator for EXPLAIN: per-table
+   equi-width histograms and distinct counts feed selectivities; index
+   probes cost the matching leaf span (plus a rowid fetch per row when
+   the index does not cover); a sequential scan costs the heap's page
+   count. Transient collections have exact, known cardinality and cost
+   no I/O — they are the leftNodes/rightNodes of the paper's Fig. 9
+   plan, so the predicted outer cardinality is exactly the RI-tree node
+   count.
+
+   Root-to-leaf descent pages are charged ONCE per statement per index,
+   not once per probe: the upper levels of a B+tree are pinned hot in
+   the buffer pool after the first probe, and the PR 4 `bench-explain`
+   calibration showed that charging a full descent per node probe
+   overshoots actual I/O by 2-5x on the Fig. 9 plans (tens of probes,
+   shared root path). *)
+
+let hbuckets = 32
+
+type col = {
+  h_lo : int;
+  h_hi : int;
+  h_counts : int array;
+  h_total : int;
+  h_distinct : int;
+  h_corr : float;
+      (* |Pearson correlation| between the column value and the row's
+         heap position — 1.0 means an index range on this column fetches
+         consecutive heap pages, 0.0 a random scatter *)
+}
+
+(* Bound arithmetic in floats: columns may hold min_int/max_int
+   sentinels, and native-int spans would wrap. *)
+let fspan lo hi = Float.max 1.0 (float_of_int hi -. float_of_int lo +. 1.0)
+
+let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
+
+(* |Pearson correlation| of value vs position in [values] (the sign is
+   irrelevant for locality: a perfectly descending column is just as
+   clustered as an ascending one). *)
+let heap_correlation values =
+  let n = ref 0.0 and sx = ref 0.0 and sy = ref 0.0 in
+  let sxx = ref 0.0 and syy = ref 0.0 and sxy = ref 0.0 in
+  List.iteri
+    (fun i v ->
+      let x = float_of_int i and y = float_of_int v in
+      n := !n +. 1.0;
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      syy := !syy +. (y *. y);
+      sxy := !sxy +. (x *. y))
+    values;
+  let cov = (!n *. !sxy) -. (!sx *. !sy) in
+  let vx = (!n *. !sxx) -. (!sx *. !sx)
+  and vy = (!n *. !syy) -. (!sy *. !sy) in
+  if vx <= 0.0 || vy <= 0.0 then 0.0
+  else clamp01 (Float.abs (cov /. sqrt (vx *. vy)))
+
+let build_col values n distinct =
+  match values with
+  | [] ->
+      { h_lo = 0; h_hi = 0; h_counts = Array.make hbuckets 0; h_total = 0;
+        h_distinct = 0; h_corr = 0.0 }
+  | v :: _ ->
+      let lo = List.fold_left min v values in
+      let hi = List.fold_left max v values in
+      let counts = Array.make hbuckets 0 in
+      let span = fspan lo hi in
+      List.iter
+        (fun x ->
+          let b =
+            int_of_float
+              ((float_of_int x -. float_of_int lo)
+               *. float_of_int hbuckets /. span)
+          in
+          let b = min (hbuckets - 1) (max 0 b) in
+          counts.(b) <- counts.(b) + 1)
+        values;
+      { h_lo = lo; h_hi = hi; h_counts = counts; h_total = n;
+        h_distinct = distinct; h_corr = heap_correlation values }
+
+type table_stats = {
+  t_rows : int;
+  t_pages : int;
+  t_cols : (string * col) list;
+}
+
+let analyze_table tbl =
+  let columns = Relation.Table.columns tbl in
+  let ncols = Array.length columns in
+  let vals = Array.make ncols [] in
+  let distinct = Array.init ncols (fun _ -> Hashtbl.create 64) in
+  let rows = ref 0 in
+  Relation.Table.iter tbl (fun _ row ->
+      incr rows;
+      for j = 0 to ncols - 1 do
+        vals.(j) <- row.(j) :: vals.(j);
+        Hashtbl.replace distinct.(j) row.(j) ()
+      done);
+  { t_rows = !rows;
+    t_pages = Relation.Heap.page_count (Relation.Table.heap tbl);
+    t_cols =
+      List.init ncols (fun j ->
+          (columns.(j),
+           build_col vals.(j) !rows (Hashtbl.length distinct.(j)))) }
+
+(* Estimated count of values strictly below [x]. *)
+let count_below h x =
+  if h.h_total = 0 || x <= h.h_lo then 0.0
+  else if x > h.h_hi then float_of_int h.h_total
+  else begin
+    let pos =
+      (float_of_int x -. float_of_int h.h_lo)
+      *. float_of_int hbuckets /. fspan h.h_lo h.h_hi
+    in
+    let pos = Float.max 0.0 (Float.min (float_of_int hbuckets) pos) in
+    let full = int_of_float pos in
+    let frac = pos -. float_of_int full in
+    let acc = ref 0.0 in
+    for b = 0 to min (hbuckets - 1) (full - 1) do
+      acc := !acc +. float_of_int h.h_counts.(b)
+    done;
+    if full < hbuckets then
+      acc := !acc +. (frac *. float_of_int h.h_counts.(full));
+    !acc
+  end
+
+let succ_clamped v = if v = max_int then max_int else v + 1
+
+let frac_lt h v =
+  if h.h_total = 0 then 0.0
+  else clamp01 (count_below h v /. float_of_int h.h_total)
+
+let frac_le h v = frac_lt h (succ_clamped v)
+
+let eq_frac h v =
+  if h.h_total = 0 then 0.0
+  else Float.max (1.0 /. float_of_int h.h_total) (frac_le h v -. frac_lt h v)
+
+let distinct_frac h =
+  if h.h_distinct <= 0 then 0.1 else 1.0 /. float_of_int h.h_distinct
+
+(* System R-style defaults when no histogram or no evaluable value. *)
+let default_eq = 0.1
+let default_range = 1.0 /. 3.0
+
+let hist_for stats c =
+  match stats with
+  | None -> None
+  | Some st -> List.assoc_opt c st.t_cols
+
+(* Evaluate a value against constants, parameters and [env] (concrete
+   outer-collection rows, when the caller enumerated them); [None] if it
+   references columns not bound there. *)
+let value_of ?(env = []) binds v =
+  match Executor.eval_value binds env v with
+  | v -> Some v
+  | exception Ir.Error _ -> None
+
+let col_of (step : Ir.step) = function
+  | Ir.Field (Some a, c) when a = step.Ir.alias -> Some c
+  | Ir.Field (None, c) when Array.exists (fun x -> x = c) step.Ir.columns ->
+      Some c
+  | _ -> None
+
+(* Selectivity of one residual conjunct at [step]. *)
+let rec conj_sel stats binds step conj =
+  match conj with
+  | Ir.And (a, b) -> conj_sel stats binds step a *. conj_sel stats binds step b
+  | Ir.Or (a, b) ->
+      let sa = conj_sel stats binds step a
+      and sb = conj_sel stats binds step b in
+      clamp01 (sa +. sb -. (sa *. sb))
+  | Ir.Not e -> clamp01 (1.0 -. conj_sel stats binds step e)
+  | Ir.Between (e, lo, hi) ->
+      conj_sel stats binds step
+        (Ir.And (Ir.Cmp (Ir.Ge, e, lo), Ir.Cmp (Ir.Le, e, hi)))
+  | Ir.Cmp (op, a, b) -> (
+      (* constant predicate: evaluate it outright *)
+      match (value_of binds a, value_of binds b) with
+      | Some va, Some vb ->
+          let holds =
+            match op with
+            | Ir.Eq -> va = vb
+            | Ir.Ne -> va <> vb
+            | Ir.Lt -> va < vb
+            | Ir.Le -> va <= vb
+            | Ir.Gt -> va > vb
+            | Ir.Ge -> va >= vb
+          in
+          if holds then 1.0 else 0.0
+      | _ -> (
+          let directional col_side op v =
+            let h = hist_for stats col_side in
+            match (h, v) with
+            | Some h, Some v -> (
+                match op with
+                | Ir.Eq -> eq_frac h v
+                | Ir.Ne -> clamp01 (1.0 -. eq_frac h v)
+                | Ir.Lt -> frac_lt h v
+                | Ir.Le -> frac_le h v
+                | Ir.Gt -> clamp01 (1.0 -. frac_le h v)
+                | Ir.Ge -> clamp01 (1.0 -. frac_lt h v))
+            | _, _ -> (
+                match op with
+                | Ir.Eq -> (
+                    match h with
+                    | Some h -> distinct_frac h
+                    | None -> default_eq)
+                | Ir.Ne -> clamp01 (1.0 -. default_eq)
+                | Ir.Lt | Ir.Le | Ir.Gt | Ir.Ge -> default_range)
+          in
+          let mirror = function
+            | Ir.Eq -> Ir.Eq
+            | Ir.Ne -> Ir.Ne
+            | Ir.Lt -> Ir.Gt
+            | Ir.Le -> Ir.Ge
+            | Ir.Gt -> Ir.Lt
+            | Ir.Ge -> Ir.Le
+          in
+          match (col_of step a, col_of step b) with
+          | Some c, _ -> directional c op (value_of binds b)
+          | None, Some c -> directional c (mirror op) (value_of binds a)
+          | None, None -> 0.5))
+
+let filters_sel stats binds (step : Ir.step) =
+  List.fold_left
+    (fun acc conj -> acc *. conj_sel stats binds step conj)
+    1.0
+    (step.Ir.key_filters @ step.Ir.filters)
+
+(* Entries matched per index probe, as a fraction of the index. [env]
+   supplies concrete outer-collection rows, so bounds like the Fig. 9
+   plan's [lft.min]/[lft.max] and [rgt.node] evaluate against the
+   histograms instead of the magic default fractions. *)
+let access_sel ?env stats binds (step : Ir.step) =
+  match step.Ir.access with
+  | Ir.Seq_scan -> 1.0
+  | Ir.Index_scan { index; eq; lo; hi; _ } ->
+      let icols = Relation.Table.Index.columns index in
+      let sel = ref 1.0 in
+      List.iteri
+        (fun i e ->
+          let h = hist_for stats icols.(i) in
+          let s =
+            match (h, value_of ?env binds e) with
+            | Some h, Some v -> eq_frac h v
+            | Some h, None -> distinct_frac h
+            | None, _ -> default_eq
+          in
+          sel := !sel *. s)
+        eq;
+      let rc = List.length eq in
+      if (lo <> None || hi <> None) && rc < Array.length icols then begin
+        let h = hist_for stats icols.(rc) in
+        let lo_frac =
+          match (lo, h) with
+          | None, _ -> 0.0
+          | Some { Ir.v; inclusive }, Some h -> (
+              match value_of ?env binds v with
+              | Some v -> if inclusive then frac_lt h v else frac_le h v
+              | None -> default_range)
+          | Some _, None -> default_range
+        in
+        let hi_frac =
+          match (hi, h) with
+          | None, _ -> 1.0
+          | Some { Ir.v; inclusive }, Some h -> (
+              match value_of ?env binds v with
+              | Some v -> if inclusive then frac_le h v else frac_lt h v
+              | None -> 1.0 -. default_range)
+          | Some _, None -> 1.0 -. default_range
+        in
+        sel := !sel *. clamp01 (hi_frac -. lo_frac)
+      end;
+      !sel
+
+let index_geometry index =
+  let tree = Relation.Table.Index.tree index in
+  let bs = Storage.Buffer_pool.block_size (Btree.pool tree) in
+  let kw = Btree.key_width tree in
+  let leaf_cap = max 1 ((bs - 16) / (8 * kw)) in
+  let entries = max 1 (Btree.count tree) in
+  let depth =
+    Float.max 1.0
+      (log (float_of_int (max 2 entries)) /. log (float_of_int leaf_cap))
+  in
+  (float_of_int entries, float_of_int leaf_cap, depth)
+
+type step_est = {
+  est_out : float;  (* rows emitted by this step across the whole run *)
+  est_io : float;   (* physical I/O attributed to this step *)
+}
+
+type branch_est = {
+  step_ests : step_est list;
+  out_rows : float;
+  total_io : float;
+}
+
+(* Estimate all branches of one statement together: the statement-wide
+   [charged] set implements descent-once costing across branches that
+   probe the same index. *)
+let branches ctx (brs : Ir.branch list) =
+  let binds = ctx.Ir.binds in
+  let stats_cache : (string, table_stats) Hashtbl.t = Hashtbl.create 4 in
+  let stats_for tbl =
+    let name = Relation.Table.name tbl in
+    match Hashtbl.find_opt stats_cache name with
+    | Some st -> st
+    | None ->
+        let st = analyze_table tbl in
+        Hashtbl.add stats_cache name st;
+        st
+  in
+  let charged : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  (* Enumerating the cross product of outer transient collections is
+     bounded: past this many concrete environments the estimator falls
+     back to the default selectivity fractions. *)
+  let max_envs = 1024 in
+  List.map
+    (fun (branch : Ir.branch) ->
+      let loop = ref 1.0 in
+      let total = ref 0.0 in
+      (* [Some envs]: the concrete outer rows this step will be probed
+         under (collections have known contents at plan time); [None]
+         once a base-table step or the cap makes them unenumerable. *)
+      let envs = ref (Some [ [] ]) in
+      let step_ests =
+        List.map
+          (fun (step : Ir.step) ->
+            let per_rows, io, stats =
+              match (step.Ir.source, step.Ir.access) with
+              | Ir.Collection name, _ ->
+                  let coll = ctx.Ir.collection name in
+                  let n =
+                    match coll with
+                    | Some (_, rows) -> List.length rows
+                    | None -> 0
+                  in
+                  (match (!envs, coll) with
+                  | Some es, Some (cols, rows)
+                    when n > 0 && List.length es * n <= max_envs ->
+                      envs :=
+                        Some
+                          (List.concat_map
+                             (fun e ->
+                               List.map
+                                 (fun r ->
+                                   e @ [ (step.Ir.alias, (cols, r)) ])
+                                 rows)
+                             es)
+                  | _ -> envs := None);
+                  (float_of_int n, 0.0, None)
+              | Ir.Base tbl, Ir.Seq_scan ->
+                  let st = stats_for tbl in
+                  envs := None;
+                  ( float_of_int st.t_rows,
+                    !loop *. float_of_int st.t_pages,
+                    Some st )
+              | Ir.Base tbl, Ir.Index_scan { index; covering; eq; _ } ->
+                  let st = stats_for tbl in
+                  let entries, leaf_cap, depth = index_geometry index in
+                  let iname = Relation.Table.Index.name index in
+                  let descent =
+                    if Hashtbl.mem charged iname then 0.0
+                    else begin
+                      Hashtbl.add charged iname ();
+                      depth
+                    end
+                  in
+                  let probe_io m = Float.max 1.0 (m /. leaf_cap) in
+                  (* Rowid fetches hit distinct heap pages, not one page
+                     per row: repeated fetches of a page are buffer-pool
+                     hits within the statement. Blend the two extremes
+                     by the scanned key column's heap correlation —
+                     consecutive pages when the column tracks insertion
+                     order (the Poisson-arrival distributions D3/D4), a
+                     Cardenas random scatter when it does not. *)
+                  let fetch_io total_rows =
+                    if covering || total_rows <= 0.0 then 0.0
+                    else begin
+                      let p = Float.max 1.0 (float_of_int st.t_pages) in
+                      let random =
+                        p *. (1.0 -. ((1.0 -. (1.0 /. p)) ** total_rows))
+                      in
+                      let rows_per_page =
+                        Float.max 1.0 (float_of_int st.t_rows /. p)
+                      in
+                      let clustered =
+                        Float.min random ((total_rows /. rows_per_page) +. 1.0)
+                      in
+                      let icols = Relation.Table.Index.columns index in
+                      let rc = min (List.length eq) (Array.length icols - 1) in
+                      let c2 =
+                        match hist_for (Some st) icols.(rc) with
+                        | Some h -> h.h_corr *. h.h_corr
+                        | None -> 0.0
+                      in
+                      (c2 *. clustered) +. ((1.0 -. c2) *. random)
+                    end
+                  in
+                  let est =
+                    match !envs with
+                    | Some (_ :: _ as es) ->
+                        (* average the per-probe span over the actual
+                           outer rows *)
+                        let k = float_of_int (List.length es) in
+                        let ms =
+                          List.map
+                            (fun env ->
+                              entries *. access_sel ~env (Some st) binds step)
+                            es
+                        in
+                        let sum f = List.fold_left (fun a m -> a +. f m) 0.0 ms in
+                        let m_avg = sum (fun m -> m) /. k in
+                        ( m_avg,
+                          descent
+                          +. (!loop *. (sum probe_io /. k))
+                          +. fetch_io (!loop *. m_avg) )
+                    | _ ->
+                        let m = entries *. access_sel (Some st) binds step in
+                        ( m,
+                          descent +. (!loop *. probe_io m)
+                          +. fetch_io (!loop *. m) )
+                  in
+                  envs := None;
+                  (fst est, snd est, Some st)
+            in
+            let out = !loop *. per_rows *. filters_sel stats binds step in
+            total := !total +. io;
+            loop := out;
+            { est_out = out; est_io = io })
+          branch.Ir.steps
+      in
+      { step_ests; out_rows = !loop; total_io = !total })
+    brs
+
+(* Outer-collection cardinality of a branch: the RI-tree node count
+   when the plan is the paper's Fig. 9 shape. *)
+let node_count ctx (branch : Ir.branch) =
+  List.fold_left
+    (fun acc (step : Ir.step) ->
+      match step.Ir.source with
+      | Ir.Collection name -> (
+          match ctx.Ir.collection name with
+          | Some (_, rows) -> acc + List.length rows
+          | None -> acc)
+      | Ir.Base _ -> acc)
+    0 branch.Ir.steps

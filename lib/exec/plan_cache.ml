@@ -1,0 +1,112 @@
+(* Normalized-statement plan cache: parse + plan once, execute many.
+
+   Keys are normalized statement texts (literals replaced by parameter
+   slots — see Sqlfront.Normalize); values are compiled plans. A small
+   LRU bounds memory; invalidation (DDL, collection schema changes,
+   stats refresh) drops everything, because plans bake in table handles,
+   index choices and collection schemas.
+
+   A raw-text memo sits in front of the normalizer: the second time the
+   *identical* statement string arrives, the hot path is two hashtable
+   lookups — no lexing, no parsing, no planning, no per-statement
+   allocation beyond the result rows.
+
+   Per-cache counters feed tests; process-global totals feed the
+   `rikit_plan_cache` families in `Server.Metrics`. *)
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable invalidations : int;
+}
+
+let totals = { hits = 0; misses = 0; inserts = 0; invalidations = 0 }
+
+type 'a entry = { value : 'a; mutable last : int }
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  (* raw statement text -> normalized key + its literal slot values *)
+  raw : (string, string * (string * int) list) Hashtbl.t;
+  mutable tick : int;
+  stats : stats;
+}
+
+let default_capacity = 128
+
+let create ?(cap = default_capacity) () =
+  { cap = max 1 cap;
+    tbl = Hashtbl.create 64;
+    raw = Hashtbl.create 64;
+    tick = 0;
+    stats = { hits = 0; misses = 0; inserts = 0; invalidations = 0 } }
+
+let size t = Hashtbl.length t.tbl
+
+let find t key =
+  t.tick <- t.tick + 1;
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      e.last <- t.tick;
+      t.stats.hits <- t.stats.hits + 1;
+      totals.hits <- totals.hits + 1;
+      Some e.value
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      totals.misses <- totals.misses + 1;
+      None
+
+(* O(size) eviction scan; the cache is small and eviction is rare. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, last) when last <= e.last -> ()
+      | _ -> victim := Some (k, e.last))
+    t.tbl;
+  match !victim with
+  | Some (k, _) -> Hashtbl.remove t.tbl k
+  | None -> ()
+
+let add t key value =
+  if not (Hashtbl.mem t.tbl key) then begin
+    if Hashtbl.length t.tbl >= t.cap then evict_lru t;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl key { value; last = t.tick };
+    t.stats.inserts <- t.stats.inserts + 1;
+    totals.inserts <- totals.inserts + 1
+  end
+
+let find_raw t src = Hashtbl.find_opt t.raw src
+
+let add_raw t src key params =
+  (* bounded alongside the plan table; a raw memo entry is tiny *)
+  if Hashtbl.length t.raw >= 4 * t.cap then Hashtbl.reset t.raw;
+  if not (Hashtbl.mem t.raw src) then Hashtbl.replace t.raw src (key, params)
+
+(* Drop every cached plan (DDL, collection schema change, stats
+   refresh): plans bake in physical handles, so staleness is corruption,
+   not slowness. *)
+let invalidate t =
+  let n = Hashtbl.length t.tbl in
+  if n > 0 then begin
+    t.stats.invalidations <- t.stats.invalidations + n;
+    totals.invalidations <- totals.invalidations + n
+  end;
+  Hashtbl.reset t.tbl;
+  Hashtbl.reset t.raw
+
+let stats t = t.stats
+let hits t = t.stats.hits
+let misses t = t.stats.misses
+
+let global_hits () = totals.hits
+let global_misses () = totals.misses
+let global_invalidations () = totals.invalidations
+
+let global_hit_rate () =
+  let total = totals.hits + totals.misses in
+  if total = 0 then 0.0 else float_of_int totals.hits /. float_of_int total

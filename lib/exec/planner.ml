@@ -1,0 +1,450 @@
+(* The typed-op planner: compiles the server's interval operations
+   (intersection, the 13 Allen relations, temporal now/infinity queries)
+   into the same physical-plan IR the SQL front end produces, so every
+   entry point executes through {!Executor} and explains through
+   {!Render}.
+
+   Access-path selection (Sec. 5): the planner consults
+   `Ritree.Cost_model` to pick the full two-branch UNION ALL plan
+   (Fig. 9/10) or a filtered sequential scan when the query is so
+   unselective that reading the heap once beats probing (tiny tables,
+   near-full coverage). A third path, the single-branch probe of the
+   query point's backbone path (Sec. 4.1), is available on request but
+   never chosen by cost — see [choose]. All paths return exactly the
+   same result set (property-tested against the brute-force oracle). *)
+
+module Ivl = Interval.Ivl
+module Allen = Interval.Allen
+module Temporal = Interval.Temporal
+module Ri = Ritree.Ri_tree
+module CM = Ritree.Cost_model
+
+type path = Two_branch | Single_branch | Seq
+
+let path_to_string = function
+  | Two_branch -> "two-branch"
+  | Single_branch -> "single-branch"
+  | Seq -> "seq-scan"
+
+(* Which columns the caller needs: ids alone keep the Fig. 9 plan fully
+   covering; triples fetch the base rows. *)
+type proj = Ids | Triples
+
+let default_path q = if Ivl.lower q = Ivl.upper q then Single_branch else Two_branch
+
+(* A compiled typed-op query: the IR plan plus the private context
+   (parameter bindings and transient node-list collections) it executes
+   against. *)
+type compiled = { plan : Ir.plan; ctx : Ir.ctx }
+
+let make_ctx binds colls =
+  { Ir.binds; collection = (fun name -> List.assoc_opt name colls) }
+
+let interval_binds q = [ ("qlow", Ivl.lower q); ("qup", Ivl.upper q) ]
+
+let projections = function
+  | Ids -> [ Ir.Col (None, "id") ]
+  | Triples ->
+      [ Ir.Col (None, "lower"); Ir.Col (None, "upper"); Ir.Col (None, "id") ]
+
+let plain_plan branches = { Ir.branches; order_by = []; limit = None }
+
+let field a c = Ir.Field (Some a, c)
+let incl v = Some { Ir.v; inclusive = true }
+
+(* ---- the Fig. 9/10 two-branch UNION ALL plan ---- *)
+
+let left_collection nl =
+  ( "leftNodes",
+    ( [| "min"; "max" |],
+      List.map (fun (a, b) -> [| a; b |]) nl.Ri.left_nodes ) )
+
+let right_collection nl =
+  ("rightNodes", ([| "node" |], List.map (fun w -> [| w |]) nl.Ri.right_nodes))
+
+(* [extra] residual filters (the Allen endpoint decompositions) apply to
+   the fetched row of the inner step of both branches. *)
+let two_branch_branches ?(extra = []) ~proj t =
+  let table = Ri.table t in
+  let tcols = Relation.Table.columns table in
+  let upper_idx = Ri.upper_index t and lower_idx = Ri.lower_index t in
+  let covering = proj = Ids && extra = [] in
+  let upper_step =
+    Ir.mk_step ~alias:"i" ~source:(Ir.Base table)
+      ~columns:
+        (if covering then Relation.Table.Index.columns upper_idx else tcols)
+      ~filters:
+        (Ir.Cmp (Ir.Ge, field "i" "upper", Ir.Param "qlow") :: extra)
+      (Ir.Index_scan
+         { index = upper_idx; eq = [];
+           lo = incl (field "lft" "min");
+           hi = incl (field "lft" "max");
+           refine_lo = incl (Ir.Param "qlow");
+           refine_hi = None; covering })
+  in
+  let lower_step =
+    Ir.mk_step ~alias:"i" ~source:(Ir.Base table)
+      ~columns:
+        (if covering then Relation.Table.Index.columns lower_idx else tcols)
+      ~filters:extra
+      (Ir.Index_scan
+         { index = lower_idx; eq = [ field "rgt" "node" ];
+           lo = None; hi = incl (Ir.Param "qup");
+           refine_lo = None; refine_hi = None; covering })
+  in
+  let projs = projections proj in
+  [ { Ir.steps =
+        [ Ir.mk_step ~alias:"lft" ~source:(Ir.Collection "leftNodes")
+            ~columns:[| "min"; "max" |] Ir.Seq_scan;
+          upper_step ];
+      projections = projs; group_by = [] };
+    { Ir.steps =
+        [ Ir.mk_step ~alias:"rgt" ~source:(Ir.Collection "rightNodes")
+            ~columns:[| "node" |] Ir.Seq_scan;
+          lower_step ];
+      projections = projs; group_by = [] } ]
+
+let two_branch ?extra ~proj t q =
+  let nl = Ri.node_lists t q in
+  { plan = plain_plan (two_branch_branches ?extra ~proj t);
+    ctx =
+      make_ctx (interval_binds q) [ left_collection nl; right_collection nl ] }
+
+(* ---- single-branch path probe for degenerate (point) queries ---- *)
+
+let path_nodes t x =
+  let p = Ri.params t in
+  match p.Ri.offset with
+  | None -> []
+  | Some off ->
+      let roots =
+        { Ritree.Backbone.left_root = p.Ri.left_root;
+          right_root = p.Ri.right_root }
+      in
+      Ritree.Backbone.path roots ~min_level:p.Ri.min_level (x - off)
+
+let single_branch ~proj t q =
+  let table = Ri.table t in
+  let probe =
+    (* Every interval containing the point is registered on its backbone
+       path (Sec. 4.1): one lower-index probe per path node, upper bound
+       checked on the fetched row. *)
+    Ir.mk_step ~alias:"i" ~source:(Ir.Base table)
+      ~columns:(Relation.Table.columns table)
+      ~filters:[ Ir.Cmp (Ir.Ge, field "i" "upper", Ir.Param "qlow") ]
+      (Ir.Index_scan
+         { index = Ri.lower_index t; eq = [ field "pth" "node" ];
+           lo = None; hi = incl (Ir.Param "qup");
+           refine_lo = None; refine_hi = None; covering = false })
+  in
+  let branch =
+    { Ir.steps =
+        [ Ir.mk_step ~alias:"pth" ~source:(Ir.Collection "pathNodes")
+            ~columns:[| "node" |] Ir.Seq_scan;
+          probe ];
+      projections = projections proj; group_by = [] }
+  in
+  let nodes = List.map (fun w -> [| w |]) (path_nodes t (Ivl.lower q)) in
+  { plan = plain_plan [ branch ];
+    ctx =
+      make_ctx (interval_binds q) [ ("pathNodes", ([| "node" |], nodes)) ] }
+
+(* ---- filtered sequential scan ---- *)
+
+let seq_scan ~proj t q =
+  let table = Ri.table t in
+  let branch =
+    { Ir.steps =
+        [ Ir.mk_step ~alias:"i" ~source:(Ir.Base table)
+            ~columns:(Relation.Table.columns table)
+            ~filters:
+              [ Ir.Cmp (Ir.Le, field "i" "lower", Ir.Param "qup");
+                Ir.Cmp (Ir.Ge, field "i" "upper", Ir.Param "qlow") ]
+            Ir.Seq_scan ];
+      projections = projections proj; group_by = [] }
+  in
+  { plan = plain_plan [ branch ]; ctx = make_ctx (interval_binds q) [] }
+
+(* Cost-based choice among the three access paths. Scan-vs-index comes
+   from the registered cost model. The single-branch stabbing probe is
+   not cost-competitive even on its home turf, point queries: it pays
+   one lower-index probe per backbone path node plus a heap fetch for
+   every candidate row — the lower index carries no upper bound, so
+   nothing about it is covering — while the two-branch plan answers the
+   same point from covering index probes that share leaf pages.
+   Cold-cache measurement across D1-D4 shows 1.2-8x more I/O for the
+   probe, so the planner emits it only on explicit request. *)
+let choose t stats q =
+  match CM.choose t stats q with
+  | CM.Full_scan -> Seq
+  | CM.Index_plan -> Two_branch
+
+let plan_intersection ?stats ?path ~proj t q =
+  let path =
+    match (path, stats) with
+    | Some p, _ -> p
+    | None, Some st -> choose t st q
+    | None, None -> default_path q
+  in
+  match path with
+  | Two_branch -> two_branch ~proj t q
+  | Single_branch -> single_branch ~proj t q
+  | Seq -> seq_scan ~proj t q
+
+(* ---- execution helpers ---- *)
+
+let run c = Executor.run c.ctx c.plan
+
+let intersecting_ids ?stats ?path t q =
+  List.map (fun (r : int array) -> r.(0))
+    (run (plan_intersection ?stats ?path ~proj:Ids t q)).Executor.rows
+
+let intersecting ?stats ?path t q =
+  List.map
+    (fun (r : int array) -> (Ivl.make r.(0) r.(1), r.(2)))
+    (run (plan_intersection ?stats ?path ~proj:Triples t q)).Executor.rows
+
+let stabbing_ids ?stats t p = intersecting_ids ?stats t (Ivl.point p)
+
+(* ---- Allen-relation decomposition (Sec. 4.5) ----
+
+   Every Allen relation is a conjunction of endpoint comparisons, so
+   each compiles to index access plus residual filters:
+   - Before/After: one ordered range scan over the nodes strictly
+     left/right of the query, with a key-level filter on the bound
+     (checked on the index entry, before any fetch);
+   - Meets/Met_by: exact-bound probes along the backbone path of the
+     shared endpoint;
+   - the nine intersection-implying relations: the two-branch plan with
+     the endpoint comparisons as extra residual filters. *)
+
+let allen_filters r =
+  let l = field "i" "lower" and u = field "i" "upper" in
+  let bl = Ir.Param "qlow" and bu = Ir.Param "qup" in
+  let ( <. ) a b = Ir.Cmp (Ir.Lt, a, b) in
+  let ( =. ) a b = Ir.Cmp (Ir.Eq, a, b) in
+  match r with
+  | Allen.Overlaps -> [ l <. bl; bl <. u; u <. bu ]
+  | Allen.Finished_by -> [ u =. bu; l <. bl ]
+  | Allen.Contains -> [ l <. bl; bu <. u ]
+  | Allen.Starts -> [ l =. bl; u <. bu ]
+  | Allen.Equals -> [ l =. bl; u =. bu ]
+  | Allen.Started_by -> [ l =. bl; bu <. u ]
+  | Allen.During -> [ bl <. l; u <. bu ]
+  | Allen.Finishes -> [ u =. bu; bl <. l ]
+  | Allen.Overlapped_by -> [ bl <. l; l <. bu; bu <. u ]
+  | Allen.Before | Allen.After | Allen.Meets | Allen.Met_by ->
+      invalid_arg "allen_filters: not an intersection-implying relation"
+
+let empty_compiled q =
+  { plan = plain_plan []; ctx = make_ctx (interval_binds q) [] }
+
+let plan_allen t r q =
+  let p = Ri.params t in
+  match p.Ri.offset with
+  | None -> empty_compiled q (* empty tree: nothing can match *)
+  | Some off -> (
+      let table = Ri.table t in
+      let tcols = Relation.Table.columns table in
+      let qlow = Ivl.lower q and qup = Ivl.upper q in
+      let single_step step =
+        { plan =
+            plain_plan
+              [ { Ir.steps = [ step ]; projections = projections Triples;
+                  group_by = [] } ];
+          ctx = make_ctx (interval_binds q) [] }
+      in
+      let path_probe ~nodes ~index ~bound_param =
+        (* exact-bound probes along a backbone path *)
+        let probe =
+          Ir.mk_step ~alias:"i" ~source:(Ir.Base table) ~columns:tcols
+            ~filters:
+              [ Ir.Cmp (Ir.Lt, field "i" "lower", field "i" "upper");
+                Ir.Cmp (Ir.Lt, Ir.Param "qlow", Ir.Param "qup") ]
+            (Ir.Index_scan
+               { index; eq = [ field "pth" "node"; Ir.Param bound_param ];
+                 lo = None; hi = None; refine_lo = None; refine_hi = None;
+                 covering = false })
+        in
+        { plan =
+            plain_plan
+              [ { Ir.steps =
+                    [ Ir.mk_step ~alias:"pth"
+                        ~source:(Ir.Collection "pathNodes")
+                        ~columns:[| "node" |] Ir.Seq_scan;
+                      probe ];
+                  projections = projections Triples; group_by = [] } ];
+          ctx =
+            make_ctx (interval_binds q)
+              [ ("pathNodes",
+                 ([| "node" |], List.map (fun w -> [| w |]) nodes)) ] }
+      in
+      match r with
+      | Allen.Before ->
+          (* i.upper < qlow implies node <= i.upper - offset < ql: one
+             ordered scan over all nodes strictly left of the query. *)
+          let ql = qlow - off in
+          single_step
+            (Ir.mk_step ~alias:"i" ~source:(Ir.Base table) ~columns:tcols
+               ~key_filters:
+                 [ Ir.Cmp (Ir.Lt, field "i" "upper", Ir.Param "qlow") ]
+               (Ir.Index_scan
+                  { index = Ri.upper_index t; eq = [];
+                    lo = None; hi = incl (Ir.Const (ql - 1));
+                    refine_lo = None; refine_hi = None; covering = false }))
+      | Allen.After ->
+          (* i.lower > qup implies node >= i.lower - offset > qu. Stop
+             short of the temporal sentinel nodes. *)
+          let qu = qup - off in
+          single_step
+            (Ir.mk_step ~alias:"i" ~source:(Ir.Base table) ~columns:tcols
+               ~key_filters:
+                 [ Ir.Cmp (Ir.Gt, field "i" "lower", Ir.Param "qup") ]
+               (Ir.Index_scan
+                  { index = Ri.lower_index t; eq = [];
+                    lo = incl (Ir.Const (qu + 1));
+                    hi = incl (Ir.Const (Ri.fork_now - 1));
+                    refine_lo = None; refine_hi = None; covering = false }))
+      | Allen.Meets ->
+          path_probe ~nodes:(path_nodes t qlow) ~index:(Ri.upper_index t)
+            ~bound_param:"qlow"
+      | Allen.Met_by ->
+          path_probe ~nodes:(path_nodes t qup) ~index:(Ri.lower_index t)
+            ~bound_param:"qup"
+      | Allen.Overlaps | Allen.Finished_by | Allen.Contains | Allen.Starts
+      | Allen.Equals | Allen.Started_by | Allen.During | Allen.Finishes
+      | Allen.Overlapped_by ->
+          two_branch ~extra:(allen_filters r) ~proj:Triples t q)
+
+let allen_matches t r q =
+  List.map
+    (fun (row : int array) -> (Ivl.make row.(0) row.(1), row.(2)))
+    (run (plan_allen t r q)).Executor.rows
+
+let allen_ids t r q = List.map snd (allen_matches t r q)
+
+(* ---- temporal now/infinity rewrite (Sec. 4.6) ----
+
+   The finite intervals run through the ordinary two-branch plan; a
+   third branch joins the reserved sentinel nodes as one more transient
+   collection carrying its own per-node lower-bound cap (fork_now is
+   capped at [now]; it only joins at all when the query begins in the
+   past). All branches project (node, lower, upper, id) so the caller
+   can decode the sentinel rows by their reserved node value. *)
+
+(* qualified: the sentinel collection [s] and the rightNodes collection
+   both carry a [node] column, so bare names would be ambiguous *)
+let temporal_projs =
+  [ Ir.Col (Some "i", "node"); Ir.Col (Some "i", "lower");
+    Ir.Col (Some "i", "upper"); Ir.Col (Some "i", "id") ]
+
+let plan_temporal store ~now q =
+  let t = Ritree.Temporal_store.ri store in
+  let nl = Ri.node_lists t q in
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  let finite =
+    List.map
+      (fun b -> { b with Ir.projections = temporal_projs })
+      (two_branch_branches ~proj:Triples t)
+  in
+  let sentinel_step =
+    Ir.mk_step ~alias:"i" ~source:(Ir.Base (Ri.table t))
+      ~columns:(Relation.Table.columns (Ri.table t))
+      (Ir.Index_scan
+         { index = Ri.lower_index t; eq = [ field "s" "node" ];
+           lo = None; hi = incl (field "s" "maxLower");
+           refine_lo = None; refine_hi = None; covering = false })
+  in
+  let sentinel_branch =
+    { Ir.steps =
+        [ Ir.mk_step ~alias:"s" ~source:(Ir.Collection "sentinelNodes")
+            ~columns:[| "node"; "maxLower" |] Ir.Seq_scan;
+          sentinel_step ];
+      projections = temporal_projs; group_by = [] }
+  in
+  let sentinels =
+    [| Ri.fork_infinity; qup |]
+    :: (if qlow <= now then [ [| Ri.fork_now; min qup now |] ] else [])
+  in
+  { plan = plain_plan (finite @ [ sentinel_branch ]);
+    ctx =
+      make_ctx (interval_binds q)
+        [ left_collection nl; right_collection nl;
+          ("sentinelNodes", ([| "node"; "maxLower" |], sentinels)) ] }
+
+let temporal_matches store ~now q =
+  List.map
+    (fun (row : int array) ->
+      let node = row.(0) and lower = row.(1) and upper = row.(2) in
+      if node = Ri.fork_infinity then (Temporal.make lower Temporal.Infinity, row.(3))
+      else if node = Ri.fork_now then (Temporal.make lower Temporal.Now, row.(3))
+      else (Temporal.fixed (Ivl.make lower upper), row.(3)))
+    (run (plan_temporal store ~now q)).Executor.rows
+
+let temporal_ids store ~now q = List.map snd (temporal_matches store ~now q)
+
+(* ---- shared EXPLAIN assembly ----
+
+   One implementation behind SQL EXPLAIN [ANALYZE] and the wire-op
+   EXPLAIN: render the plan with cost-model annotations, append the
+   PREDICTED footer, and under ANALYZE execute and append actuals. *)
+
+let explain_compiled ?(analyze = false) ctx (plan : Ir.plan) =
+  let ests = Estimate.branches ctx plan.Ir.branches in
+  let pred_rows =
+    List.fold_left (fun a e -> a +. e.Estimate.out_rows) 0.0 ests
+  in
+  let pred_io =
+    List.fold_left (fun a e -> a +. e.Estimate.total_io) 0.0 ests
+  in
+  let nodes =
+    List.fold_left
+      (fun a b -> a + Estimate.node_count ctx b)
+      0 plan.Ir.branches
+  in
+  let notes actual =
+    List.concat
+      (List.map2
+         (fun (branch : Ir.branch) est ->
+           List.map2
+             (fun (step : Ir.step) (se : Estimate.step_est) ->
+               let s =
+                 if actual then
+                   Render.est_actual_note ~rows:se.Estimate.est_out
+                     ~io:se.Estimate.est_io ~actual:step.Ir.seen
+                 else
+                   Render.est_note ~rows:se.Estimate.est_out
+                     ~io:se.Estimate.est_io
+               in
+               (step, s))
+             branch.Ir.steps est.Estimate.step_ests)
+         plan.Ir.branches ests)
+  in
+  let footer_pred =
+    Render.predicted_footer ~nodes ~rows:pred_rows ~io:pred_io
+  in
+  if not analyze then begin
+    let notes = notes false in
+    let annot step = Option.value ~default:"" (List.assq_opt step notes) in
+    Render.plan ~annot plan.Ir.branches ^ footer_pred
+  end
+  else begin
+    Executor.reset_seen plan;
+    let result, ms, io = Executor.measured (fun () -> Executor.run ctx plan) in
+    let notes = notes true in
+    let annot step = Option.value ~default:"" (List.assq_opt step notes) in
+    Render.plan ~annot plan.Ir.branches ^ footer_pred
+    ^ Render.actual_footer ~rows:(List.length result.Executor.rows) ~io ~ms
+  end
+
+type target =
+  | Intersect_target of Ivl.t
+  | Allen_target of Allen.relation * Ivl.t
+
+let plan_target ?stats t = function
+  | Intersect_target q -> plan_intersection ?stats ~proj:Triples t q
+  | Allen_target (r, q) -> plan_allen t r q
+
+let explain ?stats ?analyze t target =
+  let c = plan_target ?stats t target in
+  explain_compiled ?analyze c.ctx c.plan

@@ -10,13 +10,24 @@ type t = {
 let fresh_catalog ?block_size ?cache_blocks () =
   Relation.Catalog.create ?block_size ?cache_blocks ()
 
+(* Queries go through the shared execution layer (Exec.Planner compiles
+   the Fig. 9/10 plan onto the same IR the SQL front end uses), so the
+   harness measures the code path production queries take. The covering
+   Ids plan reads exactly the index pages count_intersecting would. *)
+let planner_queries tree =
+  ( (fun q ->
+      List.length (Exec.Planner.intersecting_ids ~path:Exec.Planner.Two_branch
+                     tree q)),
+    fun q ->
+      Exec.Planner.intersecting_ids ~path:Exec.Planner.Two_branch tree q )
+
 let ri_tree ?block_size ?cache_blocks () =
   let catalog = fresh_catalog ?block_size ?cache_blocks () in
   let tree = Ritree.Ri_tree.create catalog in
+  let count_query, query_ids = planner_queries tree in
   { label = "RI-tree"; catalog;
     insert = (fun ivl id -> ignore (Ritree.Ri_tree.insert ~id tree ivl));
-    count_query = (fun q -> Ritree.Ri_tree.count_intersecting tree q);
-    query_ids = (fun q -> Ritree.Ri_tree.intersecting_ids tree q);
+    count_query; query_ids;
     index_entries = (fun () -> Ritree.Ri_tree.index_entries tree) }
 
 let ist ?block_size ?cache_blocks ?(order = Baselines.Ist.D_order) () =
@@ -67,10 +78,10 @@ let with_ids data = Array.mapi (fun id ivl -> (ivl, id)) data
 let ri_tree_bulk ?block_size ?cache_blocks data =
   let catalog = fresh_catalog ?block_size ?cache_blocks () in
   let tree = Ritree.Ri_tree.bulk_load catalog (with_ids data) in
+  let count_query, query_ids = planner_queries tree in
   { label = "RI-tree (bulk)"; catalog;
     insert = (fun ivl id -> ignore (Ritree.Ri_tree.insert ~id tree ivl));
-    count_query = (fun q -> Ritree.Ri_tree.count_intersecting tree q);
-    query_ids = (fun q -> Ritree.Ri_tree.intersecting_ids tree q);
+    count_query; query_ids;
     index_entries = (fun () -> Ritree.Ri_tree.index_entries tree) }
 
 let ist_bulk ?block_size ?cache_blocks ?(order = Baselines.Ist.D_order) data =

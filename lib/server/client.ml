@@ -5,6 +5,7 @@ type t = {
 }
 
 exception Io_error of string
+exception Undecodable of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
 
@@ -74,30 +75,41 @@ let read_frame t =
   let header = Bytes.create 4 in
   read_exact t header 0 4;
   let len = Int32.to_int (Bytes.get_int32_be header 0) in
-  if len < 0 || len > Protocol.max_payload then
-    fail "bad frame length %d from server" len;
+  if len < 0 || len > Protocol.max_payload then begin
+    (* There is no way to find the next frame boundary in garbage: the
+       byte stream is beyond recovery, so close rather than desync. *)
+    close t;
+    fail "bad frame length %d from server" len
+  end;
   let payload = Bytes.create len in
   read_exact t payload 0 len;
-  match Protocol.decode_response payload with
-  | Ok (id, resp) -> (id, resp)
-  | Error e -> fail "undecodable response: %s" (Protocol.error_to_string e)
+  Protocol.decode_response payload
 
 let rpc t req =
   if t.closed then fail "client is closed";
   let id = t.next_id in
   t.next_id <- Int64.add t.next_id 1L;
   write_all t (Protocol.encode_request ~id req);
-  let rid, resp = read_frame t in
-  (* id 0 is the server's out-of-band admission rejection (or an idle
-     goodbye racing the request). *)
-  if rid <> id && rid <> 0L then
-    fail "response id %Ld for request %Ld" rid id;
-  resp
+  match read_frame t with
+  | Error e ->
+      (* The frame was well-delimited, so the stream is still in sync:
+         a response we cannot decode (say, an op added after this
+         client was built) rejects this one call with a typed error and
+         leaves the connection usable. *)
+      raise (Undecodable (Protocol.error_to_string e))
+  | Ok (rid, resp) ->
+      (* id 0 is the server's out-of-band admission rejection (or an
+         idle goodbye racing the request). *)
+      if rid <> id && rid <> 0L then
+        fail "response id %Ld for request %Ld" rid id;
+      resp
 
 let rpc_result t req =
   match rpc t req with
   | resp -> Ok resp
   | exception Io_error m -> Result.Error (Io m)
+  | exception Undecodable m ->
+      Result.Error (Unexpected ("undecodable response: " ^ m))
 
 (* Map every non-success response shape onto the typed error; [of_ok]
    extracts the expected success payload or rejects the shape. *)
@@ -156,6 +168,26 @@ let metrics t =
   typed t Protocol.Metrics (function
     | Protocol.Ack doc -> Ok doc
     | _ -> Result.Error (Unexpected "to metrics"))
+
+let prepare t ~name sql =
+  typed t (Protocol.Prepare { name; sql }) (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to prepare"))
+
+let execute t ~name params =
+  typed t (Protocol.Execute { name; params }) (function
+    | (Protocol.Ack _ | Protocol.Rows _) as r -> Ok r
+    | _ -> Result.Error (Unexpected "to execute"))
+
+let close_stmt t name =
+  typed t (Protocol.Close_stmt name) (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to close"))
+
+let explain t ?(analyze = false) target =
+  typed t (Protocol.Explain { analyze; target }) (function
+    | Protocol.Ack text -> Ok text
+    | _ -> Result.Error (Unexpected "to explain"))
 
 (* ---------------- bounded retry with backoff ---------------- *)
 

@@ -17,6 +17,13 @@ type t
 
 exception Io_error of string
 
+exception Undecodable of string
+(** The server answered with a well-delimited frame this client cannot
+    decode (e.g. an op added after it was built). The stream is still in
+    sync — the connection stays open and later calls keep working. Only
+    the low-level {!rpc} raises it; the typed conveniences fold it into
+    {!Unexpected}. *)
+
 (** Why a call failed. *)
 type error =
   | Overloaded of string  (** admission control; transient *)
@@ -45,7 +52,10 @@ val connect : ?host:string -> port:int -> unit -> t
 val close : t -> unit
 
 val rpc : t -> Protocol.request -> Protocol.response
-(** @raise Io_error on a closed/violated transport. *)
+(** @raise Io_error on a closed/violated transport (a garbage length
+    prefix also closes the connection — no frame boundary survives it).
+    @raise Undecodable on a well-delimited but unreadable response; the
+    connection stays open. *)
 
 val rpc_result : t -> Protocol.request -> (Protocol.response, error) result
 (** {!rpc} with the transport failure folded into the result. *)
@@ -68,6 +78,21 @@ val server_stats : t -> (Protocol.stats, error) result
 
 val metrics : t -> (string, error) result
 (** The Prometheus text exposition over the wire (the [Metrics] op). *)
+
+val prepare : t -> name:string -> string -> (unit, error) result
+(** Parse and plan a statement once under [name] in this session. *)
+
+val execute :
+  t -> name:string -> int list -> (Protocol.response, error) result
+(** Run a prepared statement with positional parameters; [Ok] carries
+    [Ack] or [Rows]. *)
+
+val close_stmt : t -> string -> (unit, error) result
+
+val explain :
+  t -> ?analyze:bool -> Protocol.explain_target -> (string, error) result
+(** The rendered plan (with cost annotations; [analyze] adds measured
+    actuals) for a SQL text or a typed op. *)
 
 (** {2 Bounded retry with exponential backoff}
 

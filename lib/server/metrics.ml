@@ -82,6 +82,18 @@ let render ~now ~stats ~cat =
   gauge b ~name:"rikit_pool_pinned_frames"
     ~help:"Resident frames with at least one pin."
     (int_ (Storage.Buffer_pool.pinned_frames pool));
+  counter b ~name:"rikit_plan_cache_hits_total"
+    ~help:"SELECT statements answered from a plan cache (no parse, no plan)."
+    (int_ (Exec.Plan_cache.global_hits ()));
+  counter b ~name:"rikit_plan_cache_misses_total"
+    ~help:"SELECT statements that had to be parsed and planned."
+    (int_ (Exec.Plan_cache.global_misses ()));
+  counter b ~name:"rikit_plan_cache_invalidations_total"
+    ~help:"Plan-cache flushes (DDL or collection schema changes)."
+    (int_ (Exec.Plan_cache.global_invalidations ()));
+  gauge b ~name:"rikit_plan_cache_hit_rate"
+    ~help:"Fraction of cacheable statements served from a plan cache."
+    (float_ (Exec.Plan_cache.global_hit_rate ()));
   counter b ~name:"rikit_device_reads_total" ~help:"Physical block reads."
     (int_ ds.reads);
   counter b ~name:"rikit_device_writes_total" ~help:"Physical block writes."

@@ -1,5 +1,14 @@
-let version = 3
+let version = 4
 let max_payload = 4 * 1024 * 1024
+
+type explain_target =
+  | Explain_sql of string
+  | Explain_intersect of { lower : int; upper : int }
+  | Explain_allen of {
+      relation : Interval.Allen.relation;
+      lower : int;
+      upper : int;
+    }
 
 type request =
   | Sql of string
@@ -12,6 +21,10 @@ type request =
   | Stats
   | Ping
   | Metrics
+  | Prepare of { name : string; sql : string }
+  | Execute of { name : string; params : int list }
+  | Close_stmt of string
+  | Explain of { analyze : bool; target : explain_target }
 
 let request_op_name = function
   | Sql _ -> "sql"
@@ -24,6 +37,10 @@ let request_op_name = function
   | Stats -> "stats"
   | Ping -> "ping"
   | Metrics -> "metrics"
+  | Prepare _ -> "prepare"
+  | Execute _ -> "execute"
+  | Close_stmt _ -> "close"
+  | Explain _ -> "explain"
 
 type op_stat = {
   op : string;
@@ -168,6 +185,10 @@ let op_rollback = 0x07
 let op_stats = 0x08
 let op_ping = 0x09
 let op_metrics = 0x0a
+let op_prepare = 0x0b
+let op_execute = 0x0c
+let op_close_stmt = 0x0d
+let op_explain = 0x0e
 let op_ack = 0x81
 let op_rows = 0x82
 let op_error = 0x83
@@ -221,7 +242,35 @@ let encode_request ~id req =
       | Rollback -> put_u8 b op_rollback
       | Stats -> put_u8 b op_stats
       | Ping -> put_u8 b op_ping
-      | Metrics -> put_u8 b op_metrics)
+      | Metrics -> put_u8 b op_metrics
+      | Prepare { name; sql } ->
+          put_u8 b op_prepare;
+          put_string b name;
+          put_string b sql
+      | Execute { name; params } ->
+          put_u8 b op_execute;
+          put_string b name;
+          put_u32 b (List.length params);
+          List.iter (put_int b) params
+      | Close_stmt name ->
+          put_u8 b op_close_stmt;
+          put_string b name
+      | Explain { analyze; target } -> (
+          put_u8 b op_explain;
+          put_u8 b (if analyze then 1 else 0);
+          match target with
+          | Explain_sql text ->
+              put_u8 b 0;
+              put_string b text
+          | Explain_intersect { lower; upper } ->
+              put_u8 b 1;
+              put_int b lower;
+              put_int b upper
+          | Explain_allen { relation; lower; upper } ->
+              put_u8 b 2;
+              put_string b (Interval.Allen.to_string relation);
+              put_int b lower;
+              put_int b upper))
 
 let encode_response ~id resp =
   frame (fun b ->
@@ -324,6 +373,44 @@ let decode_request payload =
       else if opcode = op_stats then Stats
       else if opcode = op_ping then Ping
       else if opcode = op_metrics then Metrics
+      else if opcode = op_prepare then
+        let name = get_string c in
+        let sql = get_string c in
+        Prepare { name; sql }
+      else if opcode = op_execute then
+        let name = get_string c in
+        let params = get_list c get_int in
+        Execute { name; params }
+      else if opcode = op_close_stmt then Close_stmt (get_string c)
+      else if opcode = op_explain then
+        let analyze =
+          match get_u8 c with
+          | 0 -> false
+          | 1 -> true
+          | t -> raise (Bad (Printf.sprintf "bad analyze flag %d" t))
+        in
+        let target =
+          match get_u8 c with
+          | 0 -> Explain_sql (get_string c)
+          | 1 ->
+              let lower = get_int c in
+              let upper = get_int c in
+              Explain_intersect { lower; upper }
+          | 2 ->
+              let name = get_string c in
+              let relation =
+                match Interval.Allen.of_string name with
+                | Some r -> r
+                | None ->
+                    raise
+                      (Bad (Printf.sprintf "unknown Allen relation %S" name))
+              in
+              let lower = get_int c in
+              let upper = get_int c in
+              Explain_allen { relation; lower; upper }
+          | t -> raise (Bad (Printf.sprintf "bad explain target tag %d" t))
+        in
+        Explain { analyze; target }
       else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" opcode)))
     payload
 

@@ -35,6 +35,16 @@ val max_payload : int
 
 (** {2 Requests} *)
 
+type explain_target =
+  | Explain_sql of string  (** any statement text *)
+  | Explain_intersect of { lower : int; upper : int }
+      (** the typed intersection op's plan *)
+  | Explain_allen of {
+      relation : Interval.Allen.relation;
+      lower : int;
+      upper : int;
+    }  (** the typed Allen op's plan *)
+
 type request =
   | Sql of string
       (** One SQL statement for the session's {!Sqlfront.Engine}. *)
@@ -56,6 +66,17 @@ type request =
       (** Ask for the Prometheus-style text exposition (same document
           the [--metrics-port] HTTP endpoint serves); answered with an
           [Ack] carrying the text. *)
+  | Prepare of { name : string; sql : string }
+      (** Parse and plan [sql] once under [name] in this session;
+          answered with an [Ack] carrying the parameter count. *)
+  | Execute of { name : string; params : int list }
+      (** Run a prepared statement with positional parameters (bound to
+          the statement's host variables in first-appearance order). *)
+  | Close_stmt of string  (** Discard a prepared statement. *)
+  | Explain of { analyze : bool; target : explain_target }
+      (** EXPLAIN [ANALYZE] for a SQL text or a typed op; answered with
+          an [Ack] carrying the rendered plan (the same renderer and
+          cost annotations as SQL EXPLAIN). *)
 
 val request_op_name : request -> string
 (** Short lowercase tag ("sql", "insert", ...) used as the latency

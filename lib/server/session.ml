@@ -5,13 +5,27 @@ type shared = {
   dur : bool;
   mutable generation : int;
   mutable next_session : int;
+  (* Cost-model statistics for the typed-op planner, tagged with the
+     tree's row count at analyze time; refreshed when the count drifts
+     by 2x either way ("stats refresh"). *)
+  mutable stats : (int * Ritree.Cost_model.Stats.t) option;
 }
 
 let shared ?(durable = false) ?cache_blocks ?(tree_name = "intervals") () =
   let cat = Relation.Catalog.create ~durable ?cache_blocks () in
   let ritree = Ritree.Ri_tree.create ~name:tree_name cat in
   if durable then Relation.Catalog.commit cat;
-  { cat; ritree; tree_name; dur = durable; generation = 0; next_session = 0 }
+  { cat; ritree; tree_name; dur = durable; generation = 0; next_session = 0;
+    stats = None }
+
+let stats_for sh =
+  let n = Ritree.Ri_tree.count sh.ritree in
+  match sh.stats with
+  | Some (n0, st) when n = n0 || (n0 > 0 && n < 2 * n0 && 2 * n > n0) -> st
+  | _ ->
+      let st = Ritree.Cost_model.Stats.analyze sh.ritree in
+      sh.stats <- Some (n, st);
+      st
 
 let catalog sh = sh.cat
 let tree sh = sh.ritree
@@ -31,6 +45,7 @@ let flush_shared sh =
 
 let reattach sh =
   sh.ritree <- Ritree.Ri_tree.open_existing ~name:sh.tree_name sh.cat;
+  sh.stats <- None;
   sh.generation <- sh.generation + 1
 
 let reopen sh =
@@ -47,11 +62,17 @@ let rollback_shared sh =
     Protocol.Ack "rolled back to last commit"
   end
 
+(* Prepared statements a session may hold at once: plans pin table
+   handles, so an unbounded map would let one client grow server memory
+   without limit. *)
+let max_prepared = 64
+
 type t = {
   sh : shared;
   sid : int;
   mutable engine : Sqlfront.Engine.session;
   mutable engine_gen : int;
+  prepared : (string, Sqlfront.Engine.prepared) Hashtbl.t;
   mutable reqs : int;
   mutable sql_stmts : int;  (* survives engine re-attach after rollback *)
 }
@@ -63,6 +84,7 @@ let create sh =
     sid = sh.next_session;
     engine = Sqlfront.Engine.session sh.cat;
     engine_gen = sh.generation;
+    prepared = Hashtbl.create 8;
     reqs = 0;
     sql_stmts = 0;
   }
@@ -75,6 +97,8 @@ let engine t =
   if t.engine_gen <> t.sh.generation then begin
     t.sql_stmts <- t.sql_stmts + Sqlfront.Engine.statements t.engine;
     t.engine <- Sqlfront.Engine.session t.sh.cat;
+    (* prepared plans pin tables of the replaced catalog: drop them *)
+    Hashtbl.reset t.prepared;
     t.engine_gen <- t.sh.generation
   end;
   t.engine
@@ -113,9 +137,14 @@ let exec t = function
         Ack "deleted 1 row"
       else Error (Printf.sprintf "no row ([%d, %d], id %d)" lower upper id)
   | Intersect { lower; upper } ->
-      pair_rows (Ritree.Ri_tree.intersecting t.sh.ritree (ivl lower upper))
+      (* compiled onto the shared execution IR; the planner consults the
+         cost model to pick two-branch, single-branch, or seq scan *)
+      pair_rows
+        (Exec.Planner.intersecting ~stats:(stats_for t.sh) t.sh.ritree
+           (ivl lower upper))
   | Allen { relation; lower; upper } ->
-      pair_rows (Ritree.Topological.query t.sh.ritree relation (ivl lower upper))
+      pair_rows
+        (Exec.Planner.allen_matches t.sh.ritree relation (ivl lower upper))
   | Commit ->
       commit_shared t.sh;
       Ack "committed"
@@ -123,6 +152,50 @@ let exec t = function
   | Ping -> Ack "pong"
   | Stats -> Error "stats is handled by the dispatcher"
   | Metrics -> Error "metrics is handled by the dispatcher"
+  | Prepare { name; sql } ->
+      let eng = engine t in
+      if
+        Hashtbl.length t.prepared >= max_prepared
+        && not (Hashtbl.mem t.prepared name)
+      then
+        Error
+          (Printf.sprintf "too many prepared statements (limit %d)"
+             max_prepared)
+      else begin
+        let p = Sqlfront.Engine.prepare eng sql in
+        Hashtbl.replace t.prepared name p;
+        Ack
+          (Printf.sprintf "prepared %s (%d parameters)" name
+             (List.length (Sqlfront.Engine.prepared_params p)))
+      end
+  | Execute { name; params } -> (
+      let eng = engine t in
+      match Hashtbl.find_opt t.prepared name with
+      | None -> Error (Printf.sprintf "unknown prepared statement %s" name)
+      | Some p -> (
+          match Sqlfront.Engine.execute_prepared eng p params with
+          | Sqlfront.Engine.Done msg -> Ack msg
+          | Sqlfront.Engine.Rows { columns; rows } -> Rows { columns; rows }))
+  | Close_stmt name ->
+      ignore (engine t);
+      if Hashtbl.mem t.prepared name then begin
+        Hashtbl.remove t.prepared name;
+        Ack (Printf.sprintf "closed %s" name)
+      end
+      else Error (Printf.sprintf "unknown prepared statement %s" name)
+  | Explain { analyze; target } -> (
+      match target with
+      | Protocol.Explain_sql text ->
+          Ack (Sqlfront.Engine.explain_text ~analyze (engine t) text)
+      | Protocol.Explain_intersect { lower; upper } ->
+          Ack
+            (Exec.Planner.explain ~stats:(stats_for t.sh) ~analyze
+               t.sh.ritree
+               (Exec.Planner.Intersect_target (ivl lower upper)))
+      | Protocol.Explain_allen { relation; lower; upper } ->
+          Ack
+            (Exec.Planner.explain ~analyze t.sh.ritree
+               (Exec.Planner.Allen_target (relation, ivl lower upper))))
 
 (* Group-commit staging: counts as a request for this session, but the
    response is owed only after the dispatcher forces the batch. *)
@@ -147,18 +220,29 @@ let sql_keyword text =
   in
   String.lowercase_ascii (String.sub text start (word start - start))
 
-let mutating = function
+let mutating t = function
   | Protocol.Insert _ | Delete _ | Commit | Rollback -> true
   | Sql text -> (
       match sql_keyword text with "select" | "explain" -> false | _ -> true)
-  | Intersect _ | Allen _ | Stats | Metrics | Ping -> false
+  | Execute { name; _ } -> (
+      (* classify by the prepared statement's kind; an unknown name will
+         error out downstream without touching the database *)
+      match Hashtbl.find_opt t.prepared name with
+      | None -> false
+      | Some p -> (
+          match Sqlfront.Engine.prepared_kind p with
+          | "SELECT" | "EXPLAIN" -> false
+          | _ -> true))
+  | Intersect _ | Allen _ | Stats | Metrics | Ping | Prepare _ | Close_stmt _
+  | Explain _ ->
+      false
 
 let degraded_reason_shared sh = Relation.Catalog.degraded_reason sh.cat
 
 let handle t req =
   t.reqs <- t.reqs + 1;
   match degraded_reason_shared t.sh with
-  | Some reason when mutating req ->
+  | Some reason when mutating t req ->
       Protocol.Read_only (Printf.sprintf "server is read-only: %s" reason)
   | _ -> (
       try exec t req with
@@ -176,6 +260,7 @@ let handle t req =
             (Printf.sprintf "transient I/O error: %s of block %d failed" op
                block)
       | Sqlfront.Engine.Error m -> Protocol.Error m
+      | Exec.Ir.Error m -> Protocol.Error m
       | Sqlfront.Parser.Error m -> Protocol.Error ("parse error: " ^ m)
       | Sqlfront.Lexer.Error (m, pos) ->
           Protocol.Error (Printf.sprintf "lex error at %d: %s" pos m)

@@ -70,9 +70,10 @@ val sql_statements : t -> int
 (** SQL statements run through this session's engine (the
     {!Sqlfront.Engine.statements} counter, surviving re-attach). *)
 
-val mutating : Protocol.request -> bool
+val mutating : t -> Protocol.request -> bool
 (** Whether the request writes to the shared database. SQL is classified
-    by its first keyword ([select]/[explain] are reads). Used to enforce
+    by its first keyword ([select]/[explain] are reads); [Execute] by the
+    kind of the named prepared statement in this session. Used to enforce
     degraded read-only mode. *)
 
 val degraded_reason_shared : shared -> string option

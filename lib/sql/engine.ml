@@ -1,21 +1,68 @@
+(* The SQL front end, reduced to compilation: AST -> logical planning
+   (join order, access-path selection) -> the shared physical-plan IR in
+   `Exec.Ir`. Execution, plan rendering, cost estimation and EXPLAIN
+   assembly all live in `lib/exec`; this module owns parsing, statement
+   dispatch, DDL/DML side effects, and the plan cache that lets repeated
+   statements skip the parser and planner entirely. *)
+
 exception Error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+module Ir = Exec.Ir
+module Executor = Exec.Executor
+
+(* Convert executor/planner errors into the front end's exception so
+   callers see one error type regardless of which layer failed. *)
+let guard f = try f () with Ir.Error m -> raise (Error m)
+
+(* Process-global work counters: a plan-cache hit must not touch the
+   parser or the planner, and the tests assert it through these. *)
+let parse_calls = ref 0
+let plan_calls = ref 0
+let parse_count () = !parse_calls
+let plan_count () = !plan_calls
+
+let parse src =
+  incr parse_calls;
+  Parser.parse src
 
 type session = {
   catalog : Relation.Catalog.t;
   collections : (string, string array * int array list) Hashtbl.t;
   mutable statements : int;
+  cache : Ir.plan Exec.Plan_cache.t;
+  cache_enabled : bool;
+  (* Bumped whenever cached plans are invalidated (DDL, collection
+     schema change); prepared statements recompile when stale. *)
+  mutable generation : int;
 }
 
-let session catalog = { catalog; collections = Hashtbl.create 8; statements = 0 }
+let session ?(plan_cache = true) catalog =
+  { catalog;
+    collections = Hashtbl.create 8;
+    statements = 0;
+    cache = Exec.Plan_cache.create ();
+    cache_enabled = plan_cache;
+    generation = 0 }
 
 let statements s = s.statements
 
 let catalog s = s.catalog
 
+let invalidate_plans s =
+  Exec.Plan_cache.invalidate s.cache;
+  s.generation <- s.generation + 1
+
 let set_collection s name ~columns rows =
-  Hashtbl.replace s.collections name (Array.of_list columns, rows)
+  let cols = Array.of_list columns in
+  (match Hashtbl.find_opt s.collections name with
+  | Some (old_cols, _) when old_cols = cols ->
+      (* same schema, fresh rows: cached plans resolve the rows at run
+         time, so the usual per-query node-list refresh stays a hit *)
+      ()
+  | _ -> invalidate_plans s);
+  Hashtbl.replace s.collections name (cols, rows)
 
 let clear_collection s name = Hashtbl.remove s.collections name
 
@@ -23,71 +70,48 @@ type result =
   | Done of string
   | Rows of { columns : string list; rows : int array list }
 
-(* ---------------- environments and evaluation ---------------- *)
+let plan_cache_stats s =
+  (Exec.Plan_cache.hits s.cache, Exec.Plan_cache.misses s.cache)
 
-type env = {
-  binds : (string * int) list;
-  (* alias -> (visible columns, current row) *)
-  bound : (string * (string array * int array)) list;
-}
+(* ---------------- AST -> IR expression compilation ---------------- *)
 
-let col_position columns c =
-  let rec go i =
-    if i >= Array.length columns then None
-    else if columns.(i) = c then Some i
-    else go (i + 1)
-  in
-  go 0
+let compile_cmp = function
+  | Ast.Eq -> Ir.Eq
+  | Ast.Ne -> Ir.Ne
+  | Ast.Lt -> Ir.Lt
+  | Ast.Le -> Ir.Le
+  | Ast.Gt -> Ir.Gt
+  | Ast.Ge -> Ir.Ge
 
-let lookup_col env alias col =
-  match alias with
-  | Some a -> (
-      match List.assoc_opt a env.bound with
-      | None -> fail "unknown alias %s" a
-      | Some (columns, row) -> (
-          match col_position columns col with
-          | Some i -> row.(i)
-          | None -> fail "alias %s has no column %s" a col))
-  | None -> (
-      let hits =
-        List.filter_map
-          (fun (_, (columns, row)) ->
-            Option.map (fun i -> row.(i)) (col_position columns col))
-          env.bound
-      in
-      match hits with
-      | [ v ] -> v
-      | [] -> fail "unknown column %s" col
-      | _ -> fail "ambiguous column %s" col)
-
-let rec eval_value env = function
-  | Ast.Int n -> n
-  | Ast.Host h -> (
-      match List.assoc_opt h env.binds with
-      | Some v -> v
-      | None -> fail "missing host variable :%s" h)
-  | Ast.Col (alias, col) -> lookup_col env alias col
+let rec compile_value = function
+  | Ast.Int n -> Ir.Const n
+  | Ast.Host h -> Ir.Param h
+  | Ast.Col (a, c) -> Ir.Field (a, c)
   | Ast.Cmp _ | Ast.Between _ | Ast.And _ | Ast.Or _ | Ast.Not _ ->
       fail "boolean expression used as a value"
 
-and eval_bool env = function
+and compile_pred = function
   | Ast.Cmp (op, a, b) ->
-      let va = eval_value env a and vb = eval_value env b in
-      (match op with
-      | Ast.Eq -> va = vb
-      | Ast.Ne -> va <> vb
-      | Ast.Lt -> va < vb
-      | Ast.Le -> va <= vb
-      | Ast.Gt -> va > vb
-      | Ast.Ge -> va >= vb)
+      Ir.Cmp (compile_cmp op, compile_value a, compile_value b)
   | Ast.Between (e, lo, hi) ->
-      let v = eval_value env e in
-      eval_value env lo <= v && v <= eval_value env hi
-  | Ast.And (a, b) -> eval_bool env a && eval_bool env b
-  | Ast.Or (a, b) -> eval_bool env a || eval_bool env b
-  | Ast.Not e -> not (eval_bool env e)
+      Ir.Between (compile_value e, compile_value lo, compile_value hi)
+  | Ast.And (a, b) -> Ir.And (compile_pred a, compile_pred b)
+  | Ast.Or (a, b) -> Ir.Or (compile_pred a, compile_pred b)
+  | Ast.Not e -> Ir.Not (compile_pred e)
   | Ast.Int _ | Ast.Host _ | Ast.Col _ ->
       fail "value expression used as a predicate"
+
+let compile_agg = function
+  | Ast.Count -> Ir.Count
+  | Ast.Min -> Ir.Min
+  | Ast.Max -> Ir.Max
+  | Ast.Sum -> Ir.Sum
+
+let compile_proj = function
+  | Ast.Star -> Ir.Star
+  | Ast.Count_star -> Ir.Count_star
+  | Ast.Proj_col (a, c) -> Ir.Col (a, c)
+  | Ast.Agg (g, target) -> Ir.Agg (compile_agg g, target)
 
 (* Aliases referenced by an expression. *)
 let rec expr_aliases acc = function
@@ -103,7 +127,7 @@ let rec split_and = function
   | Ast.And (a, b) -> split_and a @ split_and b
   | e -> [ e ]
 
-(* ---------------- plans ---------------- *)
+(* ---------------- logical planning ---------------- *)
 
 type source =
   | Base of Relation.Table.t
@@ -126,21 +150,6 @@ type access =
       refine_hi : bound_expr option;
       covering : bool; (* no base-table fetch needed *)
     }
-
-type step = {
-  alias : string;
-  source : source;
-  columns : string array; (* columns the binding exposes *)
-  access : access;
-  filters : Ast.expr list; (* residual conjuncts evaluated here *)
-  mutable seen : int; (* rows emitted (post-filter) in the last run *)
-}
-
-type branch_plan = {
-  steps : step list;
-  projections : Ast.projection list;
-  group_by : (string option * string) list;
-}
 
 (* Columns of [alias] referenced anywhere in the branch. [None]-alias
    column references are conservatively attributed to every alias that
@@ -341,6 +350,20 @@ let best_index_access select tbl alias columns ~outer ~usable conjuncts =
       | _ -> Some c)
     None candidates
 
+let compile_bound { e; inclusive } = { Ir.v = compile_value e; inclusive }
+
+let compile_access = function
+  | Seq_scan -> Ir.Seq_scan
+  | Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering } ->
+      Ir.Index_scan
+        { index;
+          eq = List.map compile_value eq;
+          lo = Option.map compile_bound lo;
+          hi = Option.map compile_bound hi;
+          refine_lo = Option.map compile_bound refine_lo;
+          refine_hi = Option.map compile_bound refine_hi;
+          covering }
+
 let plan_branch session (select : Ast.select) =
   let conjuncts =
     match select.Ast.where with None -> [] | Some w -> split_and w
@@ -440,730 +463,40 @@ let plan_branch session (select : Ast.select) =
               Relation.Table.Index.columns index
           | Index_scan _ | Seq_scan -> columns
         in
-        { alias; source; columns; access; filters = step_filters.(i);
-          seen = 0 })
+        let source =
+          match source with
+          | Base tbl -> Ir.Base tbl
+          | Collection name -> Ir.Collection name
+        in
+        Ir.mk_step ~alias ~source ~columns
+          ~filters:(List.map compile_pred step_filters.(i))
+          (compile_access access))
       ordered
   in
-  { steps; projections = select.Ast.projections;
+  { Ir.steps;
+    projections = List.map compile_proj select.Ast.projections;
     group_by = select.Ast.group_by }
 
-(* ---------------- execution ---------------- *)
-
-let run_step session env step (emit : env -> unit) =
-  let bind columns row =
-    { env with bound = env.bound @ [ (step.alias, (columns, row)) ] }
-  in
-  let visit columns row =
-    let e2 = bind columns row in
-    if List.for_all (fun f -> eval_bool e2 f) step.filters then begin
-      step.seen <- step.seen + 1;
-      emit e2
-    end
-  in
-  match (step.source, step.access) with
-  | Collection name, _ -> (
-      match Hashtbl.find_opt session.collections name with
-      | None -> fail "collection %s disappeared" name
-      | Some (columns, rows) -> List.iter (fun r -> visit columns r) rows)
-  | Base tbl, Seq_scan ->
-      (* Streaming scan: the heap cursor behind Iter.heap_scan holds one
-         page of rows at a time, so a sequential scan of any size runs
-         in constant memory. The appended rowid column is dropped. *)
-      let columns = Relation.Table.columns tbl in
-      Relation.Iter.iter
-        (fun r -> visit columns (Array.sub r 0 (Array.length r - 1)))
-        (Relation.Iter.heap_scan tbl)
-  | Base tbl, Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering }
-    ->
-      let tree = Relation.Table.Index.tree index in
-      let width = Btree.key_width tree in
-      let eq_vals = List.map (eval_value env) eq in
-      let k = List.length eq_vals in
-      let lo_key = Array.make width min_int in
-      let hi_key = Array.make width max_int in
-      List.iteri
-        (fun i v ->
-          lo_key.(i) <- v;
-          hi_key.(i) <- v)
-        eq_vals;
-      (match lo with
-      | Some { e; inclusive } ->
-          lo_key.(k) <- (eval_value env e + if inclusive then 0 else 1)
-      | None -> ());
-      (match hi with
-      | Some { e; inclusive } ->
-          hi_key.(k) <- (eval_value env e - if inclusive then 0 else 1)
-      | None -> ());
-      let rpos = k + if lo <> None || hi <> None then 1 else 0 in
-      if rpos > k && rpos < width then begin
-        (match refine_lo with
-        | Some { e; inclusive } ->
-            lo_key.(rpos) <- (eval_value env e + if inclusive then 0 else 1)
-        | None -> ());
-        match refine_hi with
-        | Some { e; inclusive } ->
-            hi_key.(rpos) <- (eval_value env e - if inclusive then 0 else 1)
-        | None -> ()
-      end;
-      Btree.iter_range tree ~lo:lo_key ~hi:hi_key (fun key ->
-          if covering then
-            visit
-              (Relation.Table.Index.columns index)
-              (Array.sub key 0 (Array.length key - 1))
-          else
-            let rowid = key.(Array.length key - 1) in
-            match Relation.Table.fetch tbl rowid with
-            | Some row -> visit (Relation.Table.columns tbl) row
-            | None -> ())
-
-let run_branch session binds plan =
-  Obs.Trace.with_span "sql.branch"
-    ~info:(String.concat "," (List.map (fun s -> s.alias) plan.steps))
-  @@ fun () ->
-  let rows = ref [] in
-  let count = ref 0 in
-  let rec loop env = function
-    | [] ->
-        incr count;
-        let row =
-          List.concat_map
-            (function
-              | Ast.Star ->
-                  List.concat_map
-                    (fun (_, (_, row)) -> Array.to_list row)
-                    env.bound
-              | Ast.Count_star -> []
-              | Ast.Agg _ -> fail "aggregate outside an aggregate query"
-              | Ast.Proj_col (alias, c) -> [ lookup_col env alias c ])
-            plan.projections
-        in
-        rows := Array.of_list row :: !rows
-    | step :: rest -> run_step session env step (fun e2 -> loop e2 rest)
-  in
-  loop { binds; bound = [] } plan.steps;
-  (List.rev !rows, !count)
-
-let projection_columns plan =
-  List.concat_map
-    (function
-      | Ast.Star -> List.concat_map (fun s -> Array.to_list s.columns) plan.steps
-      | Ast.Count_star -> [ "count" ]
-      | Ast.Agg (a, (_, c)) ->
-          [ Printf.sprintf "%s(%s)"
-              (String.lowercase_ascii (Ast.aggregate_to_string a))
-              c ]
-      | Ast.Proj_col (_, c) -> [ c ])
-    plan.projections
-
-let is_aggregate_projection = function
-  | Ast.Count_star | Ast.Agg _ -> true
-  | Ast.Star | Ast.Proj_col _ -> false
-
-(* ---------------- cardinality & I/O estimation ----------------
-
-   A self-contained, Sec. 5-style estimator for EXPLAIN: per-table
-   equi-width histograms and distinct counts feed selectivities; index
-   probes cost one root-to-leaf descent plus the matching leaf span
-   (plus a rowid fetch per row when the index does not cover); a
-   sequential scan costs the heap's page count. Transient collections
-   have exact, known cardinality and cost no I/O — they are the
-   leftNodes/rightNodes of the paper's Fig. 9 plan, so the predicted
-   outer cardinality is exactly the RI-tree node count. *)
-
-module Estimate = struct
-  let hbuckets = 32
-
-  type col = {
-    h_lo : int;
-    h_hi : int;
-    h_counts : int array;
-    h_total : int;
-    h_distinct : int;
-  }
-
-  (* Bound arithmetic in floats: columns may hold min_int/max_int
-     sentinels, and native-int spans would wrap. *)
-  let fspan lo hi = Float.max 1.0 (float_of_int hi -. float_of_int lo +. 1.0)
-
-  let build_col values n distinct =
-    match values with
-    | [] ->
-        { h_lo = 0; h_hi = 0; h_counts = Array.make hbuckets 0; h_total = 0;
-          h_distinct = 0 }
-    | v :: _ ->
-        let lo = List.fold_left min v values in
-        let hi = List.fold_left max v values in
-        let counts = Array.make hbuckets 0 in
-        let span = fspan lo hi in
-        List.iter
-          (fun x ->
-            let b =
-              int_of_float
-                ((float_of_int x -. float_of_int lo)
-                 *. float_of_int hbuckets /. span)
-            in
-            let b = min (hbuckets - 1) (max 0 b) in
-            counts.(b) <- counts.(b) + 1)
-          values;
-        { h_lo = lo; h_hi = hi; h_counts = counts; h_total = n;
-          h_distinct = distinct }
-
-  type table_stats = {
-    t_rows : int;
-    t_pages : int;
-    t_cols : (string * col) list;
-  }
-
-  let analyze_table tbl =
-    let columns = Relation.Table.columns tbl in
-    let ncols = Array.length columns in
-    let vals = Array.make ncols [] in
-    let distinct = Array.init ncols (fun _ -> Hashtbl.create 64) in
-    let rows = ref 0 in
-    Relation.Table.iter tbl (fun _ row ->
-        incr rows;
-        for j = 0 to ncols - 1 do
-          vals.(j) <- row.(j) :: vals.(j);
-          Hashtbl.replace distinct.(j) row.(j) ()
-        done);
-    { t_rows = !rows;
-      t_pages = Relation.Heap.page_count (Relation.Table.heap tbl);
-      t_cols =
-        List.init ncols (fun j ->
-            (columns.(j),
-             build_col vals.(j) !rows (Hashtbl.length distinct.(j)))) }
-
-  (* Estimated count of values strictly below [x]. *)
-  let count_below h x =
-    if h.h_total = 0 || x <= h.h_lo then 0.0
-    else if x > h.h_hi then float_of_int h.h_total
-    else begin
-      let pos =
-        (float_of_int x -. float_of_int h.h_lo)
-        *. float_of_int hbuckets /. fspan h.h_lo h.h_hi
-      in
-      let pos = Float.max 0.0 (Float.min (float_of_int hbuckets) pos) in
-      let full = int_of_float pos in
-      let frac = pos -. float_of_int full in
-      let acc = ref 0.0 in
-      for b = 0 to min (hbuckets - 1) (full - 1) do
-        acc := !acc +. float_of_int h.h_counts.(b)
-      done;
-      if full < hbuckets then
-        acc := !acc +. (frac *. float_of_int h.h_counts.(full));
-      !acc
-    end
-
-  let clamp01 f = Float.max 0.0 (Float.min 1.0 f)
-  let succ_clamped v = if v = max_int then max_int else v + 1
-
-  let frac_lt h v =
-    if h.h_total = 0 then 0.0
-    else clamp01 (count_below h v /. float_of_int h.h_total)
-
-  let frac_le h v = frac_lt h (succ_clamped v)
-
-  let eq_frac h v =
-    if h.h_total = 0 then 0.0
-    else
-      Float.max (1.0 /. float_of_int h.h_total) (frac_le h v -. frac_lt h v)
-
-  let distinct_frac h =
-    if h.h_distinct <= 0 then 0.1 else 1.0 /. float_of_int h.h_distinct
-
-  (* System R-style defaults when no histogram or no evaluable value. *)
-  let default_eq = 0.1
-  let default_range = 1.0 /. 3.0
-
-  let hist_for stats c =
-    match stats with
-    | None -> None
-    | Some st -> List.assoc_opt c st.t_cols
-
-  (* Evaluate an expression that depends only on constants and host
-     variables; [None] if it references (outer) columns. *)
-  let value_of binds e =
-    match eval_value { binds; bound = [] } e with
-    | v -> Some v
-    | exception Error _ -> None
-
-  let col_of step = function
-    | Ast.Col (Some a, c) when a = step.alias -> Some c
-    | Ast.Col (None, c) when Array.exists (fun x -> x = c) step.columns ->
-        Some c
-    | _ -> None
-
-  (* Selectivity of one residual conjunct at [step]. *)
-  let rec conj_sel stats binds step conj =
-    match conj with
-    | Ast.And (a, b) ->
-        conj_sel stats binds step a *. conj_sel stats binds step b
-    | Ast.Or (a, b) ->
-        let sa = conj_sel stats binds step a
-        and sb = conj_sel stats binds step b in
-        clamp01 (sa +. sb -. (sa *. sb))
-    | Ast.Not e -> clamp01 (1.0 -. conj_sel stats binds step e)
-    | Ast.Between (e, lo, hi) ->
-        conj_sel stats binds step
-          (Ast.And (Ast.Cmp (Ast.Ge, e, lo), Ast.Cmp (Ast.Le, e, hi)))
-    | Ast.Cmp (op, a, b) -> (
-        (* constant predicate: evaluate it outright *)
-        match (value_of binds a, value_of binds b) with
-        | Some va, Some vb ->
-            let holds =
-              match op with
-              | Ast.Eq -> va = vb
-              | Ast.Ne -> va <> vb
-              | Ast.Lt -> va < vb
-              | Ast.Le -> va <= vb
-              | Ast.Gt -> va > vb
-              | Ast.Ge -> va >= vb
-            in
-            if holds then 1.0 else 0.0
-        | _ -> (
-            let directional col_side op v =
-              let h = hist_for stats col_side in
-              match (h, v) with
-              | Some h, Some v -> (
-                  match op with
-                  | Ast.Eq -> eq_frac h v
-                  | Ast.Ne -> clamp01 (1.0 -. eq_frac h v)
-                  | Ast.Lt -> frac_lt h v
-                  | Ast.Le -> frac_le h v
-                  | Ast.Gt -> clamp01 (1.0 -. frac_le h v)
-                  | Ast.Ge -> clamp01 (1.0 -. frac_lt h v))
-              | _, _ -> (
-                  match op with
-                  | Ast.Eq -> (
-                      match h with
-                      | Some h -> distinct_frac h
-                      | None -> default_eq)
-                  | Ast.Ne -> clamp01 (1.0 -. default_eq)
-                  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> default_range)
-            in
-            let mirror = function
-              | Ast.Eq -> Ast.Eq
-              | Ast.Ne -> Ast.Ne
-              | Ast.Lt -> Ast.Gt
-              | Ast.Le -> Ast.Ge
-              | Ast.Gt -> Ast.Lt
-              | Ast.Ge -> Ast.Le
-            in
-            match (col_of step a, col_of step b) with
-            | Some c, _ -> directional c op (value_of binds b)
-            | None, Some c -> directional c (mirror op) (value_of binds a)
-            | None, None -> 0.5))
-    | Ast.Int _ | Ast.Host _ | Ast.Col _ -> 1.0
-
-  let filters_sel stats binds step =
-    List.fold_left
-      (fun acc conj -> acc *. conj_sel stats binds step conj)
-      1.0 step.filters
-
-  (* Entries matched per index probe, as a fraction of the index. *)
-  let access_sel stats binds step =
-    match step.access with
-    | Seq_scan -> 1.0
-    | Index_scan { index; eq; lo; hi; _ } ->
-        let icols = Relation.Table.Index.columns index in
-        let sel = ref 1.0 in
-        List.iteri
-          (fun i e ->
-            let h = hist_for stats icols.(i) in
-            let s =
-              match (h, value_of binds e) with
-              | Some h, Some v -> eq_frac h v
-              | Some h, None -> distinct_frac h
-              | None, _ -> default_eq
-            in
-            sel := !sel *. s)
-          eq;
-        let rc = List.length eq in
-        if (lo <> None || hi <> None) && rc < Array.length icols then begin
-          let h = hist_for stats icols.(rc) in
-          let lo_frac =
-            match (lo, h) with
-            | None, _ -> 0.0
-            | Some { e; inclusive }, Some h -> (
-                match value_of binds e with
-                | Some v -> if inclusive then frac_lt h v else frac_le h v
-                | None -> default_range)
-            | Some _, None -> default_range
-          in
-          let hi_frac =
-            match (hi, h) with
-            | None, _ -> 1.0
-            | Some { e; inclusive }, Some h -> (
-                match value_of binds e with
-                | Some v -> if inclusive then frac_le h v else frac_lt h v
-                | None -> 1.0 -. default_range)
-            | Some _, None -> 1.0 -. default_range
-          in
-          sel := !sel *. clamp01 (hi_frac -. lo_frac)
-        end;
-        !sel
-
-  let index_geometry index =
-    let tree = Relation.Table.Index.tree index in
-    let bs = Storage.Buffer_pool.block_size (Btree.pool tree) in
-    let kw = Btree.key_width tree in
-    let leaf_cap = max 1 ((bs - 16) / (8 * kw)) in
-    let entries = max 1 (Btree.count tree) in
-    let depth =
-      Float.max 1.0
-        (log (float_of_int (max 2 entries)) /. log (float_of_int leaf_cap))
-    in
-    (float_of_int entries, float_of_int leaf_cap, depth)
-
-  type step_est = {
-    est_out : float;  (* rows emitted by this step across the whole run *)
-    est_io : float;   (* physical I/O attributed to this step *)
-  }
-
-  type branch_est = {
-    step_ests : step_est list;
-    out_rows : float;
-    total_io : float;
-  }
-
-  let branch session binds (plan : branch_plan) =
-    let stats_cache : (string, table_stats) Hashtbl.t = Hashtbl.create 4 in
-    let stats_for tbl =
-      let name = Relation.Table.name tbl in
-      match Hashtbl.find_opt stats_cache name with
-      | Some st -> st
-      | None ->
-          let st = analyze_table tbl in
-          Hashtbl.add stats_cache name st;
-          st
-    in
-    let loop = ref 1.0 in
-    let total = ref 0.0 in
-    let step_ests =
+let compile_query session (q : Ast.query) : Ir.plan =
+  incr plan_calls;
+  { Ir.branches = List.map (plan_branch session) q.Ast.branches;
+    order_by =
       List.map
-        (fun step ->
-          let per_rows, per_io, stats =
-            match (step.source, step.access) with
-            | Collection name, _ ->
-                let n =
-                  match Hashtbl.find_opt session.collections name with
-                  | Some (_, rows) -> float_of_int (List.length rows)
-                  | None -> 0.0
-                in
-                (n, 0.0, None)
-            | Base tbl, Seq_scan ->
-                let st = stats_for tbl in
-                (float_of_int st.t_rows, float_of_int st.t_pages, Some st)
-            | Base tbl, (Index_scan { index; covering; _ } as _a) ->
-                let st = stats_for tbl in
-                let entries, leaf_cap, depth = index_geometry index in
-                let m = entries *. access_sel (Some st) binds step in
-                let io =
-                  depth
-                  +. Float.max 1.0 (m /. leaf_cap)
-                  +. if covering then 0.0 else m
-                in
-                (m, io, Some st)
-          in
-          let out = !loop *. per_rows *. filters_sel stats binds step in
-          let io = !loop *. per_io in
-          total := !total +. io;
-          loop := out;
-          { est_out = out; est_io = io })
-        plan.steps
-    in
-    { step_ests; out_rows = !loop; total_io = !total }
+        (fun { Ast.key; descending } -> { Ir.key; descending })
+        q.Ast.order_by;
+    limit = q.Ast.limit }
 
-  (* Outer-collection cardinality of a branch: the RI-tree node count
-     when the plan is the paper's Fig. 9 shape. *)
-  let node_count session plan =
-    List.fold_left
-      (fun acc step ->
-        match step.source with
-        | Collection name -> (
-            match Hashtbl.find_opt session.collections name with
-            | Some (_, rows) -> acc + List.length rows
-            | None -> acc)
-        | Base _ -> acc)
-      0 plan.steps
-end
+(* ---------------- execution via the shared executor ---------------- *)
 
-(* ---------------- explain ---------------- *)
+let ctx session binds =
+  { Ir.binds;
+    collection = (fun name -> Hashtbl.find_opt session.collections name) }
 
-let explain_plan ?(annot = fun _ -> "") plans =
-  let buf = Buffer.create 256 in
-  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "SELECT STATEMENT\n";
-  let indent0 = if List.length plans > 1 then "    " else "  " in
-  if List.length plans > 1 then add "  UNION-ALL\n";
-  List.iter
-    (fun plan ->
-      let rec nest indent = function
-        | [] -> ()
-        | [ step ] -> describe indent step
-        | step :: rest ->
-            add "%sNESTED LOOPS\n" indent;
-            describe (indent ^ "  ") step;
-            nest (indent ^ "  ") rest
-      and describe indent step =
-        (match (step.source, step.access) with
-        | Collection name, _ ->
-            add "%sCOLLECTION ITERATOR %s%s\n" indent name (annot step)
-        | Base tbl, Seq_scan ->
-            add "%sTABLE ACCESS FULL %s%s\n" indent (Relation.Table.name tbl)
-              (annot step)
-        | Base _, Index_scan { index; eq; lo; hi; refine_lo; refine_hi;
-                               covering } ->
-            let icols = Relation.Table.Index.columns index in
-            let parts = ref [] in
-            List.iteri
-              (fun i e ->
-                parts :=
-                  Printf.sprintf "%s = %s" icols.(i) (Ast.expr_to_string e)
-                  :: !parts)
-              eq;
-            let rc = List.length eq in
-            let bound_part col { e; inclusive } ge =
-              Printf.sprintf "%s %s %s" col
-                (match (ge, inclusive) with
-                | true, true -> ">="
-                | true, false -> ">"
-                | false, true -> "<="
-                | false, false -> "<")
-                (Ast.expr_to_string e)
-            in
-            Option.iter
-              (fun b -> parts := bound_part icols.(rc) b true :: !parts)
-              lo;
-            Option.iter
-              (fun b -> parts := bound_part icols.(rc) b false :: !parts)
-              hi;
-            let rpos = rc + if lo <> None || hi <> None then 1 else 0 in
-            if rpos > rc && rpos < Array.length icols then begin
-              Option.iter
-                (fun b ->
-                  parts :=
-                    (bound_part icols.(rpos) b true ^ " [start key]")
-                    :: !parts)
-                refine_lo;
-              Option.iter
-                (fun b ->
-                  parts :=
-                    (bound_part icols.(rpos) b false ^ " [stop key]")
-                    :: !parts)
-                refine_hi
-            end;
-            add "%sINDEX RANGE SCAN %s (%s)%s%s\n" indent
-              (String.uppercase_ascii (Relation.Table.Index.name index))
-              (String.concat ", " (List.rev !parts))
-              (if covering then "" else " + TABLE ACCESS BY ROWID")
-              (annot step));
-        if step.filters <> [] then
-          add "%s  FILTER %s\n" indent
-            (String.concat " AND " (List.map Ast.expr_to_string step.filters))
-      in
-      nest indent0 plan.steps)
-    plans;
-  Buffer.contents buf
+let run_plan session binds plan =
+  let out = Executor.run (ctx session binds) plan in
+  Rows { columns = out.Executor.columns; rows = out.Executor.rows }
 
 (* ---------------- statement dispatch ---------------- *)
-
-(* GROUP BY: one pass over the branch's rows, accumulating per group
-   key. Plain projections must be grouping columns; aggregate order-by
-   keys are not supported. *)
-let run_group_by session binds plan =
-  let group = plan.group_by in
-  let is_group_col (alias, c) =
-    List.exists (fun (_, gc) -> gc = c) group
-    && match alias with _ -> true
-  in
-  List.iter
-    (function
-      | Ast.Proj_col (a, c) when not (is_group_col (a, c)) ->
-          fail "column %s is not in GROUP BY" c
-      | Ast.Star -> fail "SELECT * cannot be combined with GROUP BY"
-      | Ast.Proj_col _ | Ast.Count_star | Ast.Agg _ -> ())
-    plan.projections;
-  let agg_cols =
-    List.filter_map
-      (function
-        | Ast.Agg (_, target) -> Some target
-        | Ast.Count_star | Ast.Star | Ast.Proj_col _ -> None)
-      plan.projections
-  in
-  let plan' =
-    { plan with
-      projections =
-        List.map (fun (a, c) -> Ast.Proj_col (a, c)) group
-        @ List.map (fun (a, c) -> Ast.Proj_col (a, c)) agg_cols }
-  in
-  let rows, _ = run_branch session binds plan' in
-  let karity = List.length group in
-  let groups : (int list, int * int list array) Hashtbl.t =
-    Hashtbl.create 64
-  in
-  let order = ref [] in
-  List.iter
-    (fun row ->
-      let key = Array.to_list (Array.sub row 0 karity) in
-      let vals =
-        Array.init (List.length agg_cols) (fun i -> row.(karity + i))
-      in
-      match Hashtbl.find_opt groups key with
-      | Some (count, lists) ->
-          Array.iteri (fun i v -> lists.(i) <- v :: lists.(i)) vals;
-          Hashtbl.replace groups key (count + 1, lists)
-      | None ->
-          order := key :: !order;
-          Hashtbl.replace groups key
-            (1, Array.map (fun v -> [ v ]) vals))
-    rows;
-  List.rev_map
-    (fun key ->
-      let count, lists = Hashtbl.find groups key in
-      let next = ref 0 in
-      let cells =
-        List.map
-          (fun p ->
-            match p with
-            | Ast.Proj_col (a, c) ->
-                let rec pos i = function
-                  | [] -> fail "grouping column %s missing" c
-                  | (ga, gc) :: rest ->
-                      if gc = c && (a = None || ga = None || a = ga) then i
-                      else pos (i + 1) rest
-                in
-                List.nth key (pos 0 group)
-            | Ast.Count_star -> count
-            | Ast.Agg (agg, _) -> (
-                let vs = lists.(!next) in
-                incr next;
-                match agg with
-                | Ast.Count -> List.length vs
-                | Ast.Sum -> List.fold_left ( + ) 0 vs
-                | Ast.Min -> List.fold_left min (List.hd vs) vs
-                | Ast.Max -> List.fold_left max (List.hd vs) vs)
-            | Ast.Star -> assert false)
-          plan.projections
-      in
-      Array.of_list cells)
-    !order
-
-(* Aggregates without GROUP BY are computed over the concatenation of
-   all UNION ALL branches; mixing aggregate and plain projections is
-   rejected. *)
-let run_aggregate session binds plans projections =
-  (* per branch, project the columns the aggregates read *)
-  let agg_cols =
-    List.filter_map
-      (function
-        | Ast.Agg (_, target) -> Some target
-        | Ast.Count_star | Ast.Star | Ast.Proj_col _ -> None)
-      projections
-  in
-  let count = ref 0 in
-  let values = Array.make (List.length agg_cols) [] in
-  List.iter
-    (fun plan ->
-      let plan' =
-        { plan with
-          projections = List.map (fun t -> Ast.Proj_col (fst t, snd t)) agg_cols }
-      in
-      let rows, c = run_branch session binds plan' in
-      count := !count + c;
-      List.iter
-        (fun row -> Array.iteri (fun i _ -> values.(i) <- row.(i) :: values.(i)) values)
-        rows)
-    plans;
-  let next_value = ref 0 in
-  let cells =
-    List.map
-      (fun p ->
-        match p with
-        | Ast.Count_star -> !count
-        | Ast.Agg (a, _) -> (
-            let vs = values.(!next_value) in
-            incr next_value;
-            match a with
-            | Ast.Count -> List.length vs
-            | Ast.Sum -> List.fold_left ( + ) 0 vs
-            | Ast.Min -> (
-                match vs with
-                | [] -> fail "MIN over an empty result"
-                | v :: rest -> List.fold_left min v rest)
-            | Ast.Max -> (
-                match vs with
-                | [] -> fail "MAX over an empty result"
-                | v :: rest -> List.fold_left max v rest))
-        | Ast.Star | Ast.Proj_col _ -> assert false)
-      projections
-  in
-  [ Array.of_list cells ]
-
-let order_and_limit plan (q : Ast.query) rows =
-  let rows =
-    if q.Ast.order_by = [] then rows
-    else begin
-      let names = projection_columns plan in
-      let position { Ast.key = _, col; descending } =
-        let rec go i = function
-          | [] -> fail "ORDER BY column %s is not in the projection" col
-          | c :: rest -> if c = col then (i, descending) else go (i + 1) rest
-        in
-        go 0 names
-      in
-      let keys = List.map position q.Ast.order_by in
-      List.stable_sort
-        (fun (a : int array) b ->
-          let rec cmp = function
-            | [] -> 0
-            | (i, desc) :: rest ->
-                let c = Int.compare a.(i) b.(i) in
-                if c <> 0 then if desc then -c else c else cmp rest
-          in
-          cmp keys)
-        rows
-    end
-  in
-  match q.Ast.limit with
-  | None -> rows
-  | Some n -> List.filteri (fun i _ -> i < n) rows
-
-let run_select_plans session binds (q : Ast.query) plans =
-  match plans with
-  | [] -> Rows { columns = []; rows = [] }
-  | first :: _ when first.group_by <> [] ->
-      if List.length plans > 1 then
-        fail "GROUP BY cannot be combined with UNION ALL";
-      let rows = run_group_by session binds first in
-      Rows
-        { columns = projection_columns first;
-          rows = order_and_limit first q rows }
-  | first :: _ ->
-      let aggs = List.filter is_aggregate_projection first.projections in
-      if aggs <> [] then begin
-        if List.length aggs <> List.length first.projections then
-          fail "cannot mix aggregate and plain projections";
-        if q.Ast.order_by <> [] then
-          fail "ORDER BY does not apply to an aggregate query";
-        Rows
-          { columns = projection_columns first;
-            rows = run_aggregate session binds plans first.projections }
-      end
-      else begin
-        let all_rows = ref [] in
-        List.iter
-          (fun plan ->
-            let rows, _ = run_branch session binds plan in
-            all_rows := !all_rows @ rows)
-          plans;
-        Rows
-          { columns = projection_columns first;
-            rows = order_and_limit first q !all_rows }
-      end
-
-let run_select session binds (q : Ast.query) =
-  run_select_plans session binds q (List.map (plan_branch session) q.Ast.branches)
 
 let stmt_kind = function
   | Ast.Create_table _ -> "CREATE TABLE"
@@ -1178,19 +511,25 @@ let rec run_stmt session binds = function
   | Ast.Create_table (name, cols) ->
       ignore
         (Relation.Catalog.create_table session.catalog ~name ~columns:cols);
+      invalidate_plans session;
       Done (Printf.sprintf "table %s created" name)
   | Ast.Create_index (iname, tname, cols) -> (
       match Relation.Catalog.find_table session.catalog tname with
       | None -> fail "unknown table %s" tname
       | Some tbl ->
           ignore (Relation.Table.create_index tbl ~name:iname ~columns:cols);
+          invalidate_plans session;
           Done (Printf.sprintf "index %s created" iname))
   | Ast.Insert (tname, values) -> (
       match Relation.Catalog.find_table session.catalog tname with
       | None -> fail "unknown table %s" tname
       | Some tbl ->
-          let env = { binds; bound = [] } in
-          let row = Array.of_list (List.map (eval_value env) values) in
+          let row =
+            Array.of_list
+              (List.map
+                 (fun e -> Executor.eval_value binds [] (compile_value e))
+                 values)
+          in
           if Array.length row <> Array.length (Relation.Table.columns tbl)
           then fail "INSERT arity mismatch for %s" tname;
           ignore (Relation.Table.insert tbl row);
@@ -1200,11 +539,12 @@ let rec run_stmt session binds = function
       | None -> fail "unknown table %s" tname
       | Some tbl ->
           let columns = Relation.Table.columns tbl in
+          let where = Option.map compile_pred where in
           let pred row =
             match where with
             | None -> true
             | Some w ->
-                eval_bool { binds; bound = [ (tname, (columns, row)) ] } w
+                Executor.eval_pred binds [ (tname, (columns, row)) ] w
           in
           let n = Relation.Table.delete_where tbl pred in
           Done (Printf.sprintf "%d rows deleted" n))
@@ -1216,21 +556,25 @@ let rec run_stmt session binds = function
           let set_positions =
             List.map
               (fun (c, e) ->
-                match col_position columns c with
-                | Some i -> (i, e)
+                match Executor.col_position columns c with
+                | Some i -> (i, compile_value e)
                 | None -> fail "unknown column %s in UPDATE" c)
               sets
           in
+          let where = Option.map compile_pred where in
           let victims = ref [] in
           Relation.Table.iter tbl (fun rowid row ->
-              let env = { binds; bound = [ (tname, (columns, row)) ] } in
+              let bound = [ (tname, (columns, row)) ] in
               let matches =
-                match where with None -> true | Some w -> eval_bool env w
+                match where with
+                | None -> true
+                | Some w -> Executor.eval_pred binds bound w
               in
               if matches then begin
                 let row' = Array.copy row in
                 List.iter
-                  (fun (i, e) -> row'.(i) <- eval_value env e)
+                  (fun (i, v) ->
+                    row'.(i) <- Executor.eval_value binds bound v)
                   set_positions;
                 victims := (rowid, row') :: !victims
               end);
@@ -1239,108 +583,181 @@ let rec run_stmt session binds = function
               ignore (Relation.Table.update_row tbl rowid row'))
             !victims;
           Done (Printf.sprintf "%d rows updated" (List.length !victims)))
-  | Ast.Select q -> run_select session binds q
+  | Ast.Select q -> run_plan session binds (compile_query session q)
   | Ast.Explain { analyze; target } -> run_explain session binds ~analyze target
-
-(* Measure a statement execution: wall time and the process-global
-   physical-I/O delta (single-threaded execution means the delta is
-   attributable to this statement). *)
-and measured f =
-  let c0 = Obs.Counters.snapshot () in
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  let ms = (Unix.gettimeofday () -. t0) *. 1e3 in
-  let d = Obs.Counters.diff (Obs.Counters.snapshot ()) c0 in
-  (r, ms, d.Obs.Counters.reads + d.Obs.Counters.writes)
 
 and run_explain session binds ~analyze = function
   | Ast.Select q ->
-      let plans = List.map (plan_branch session) q.Ast.branches in
-      let ests = List.map (Estimate.branch session binds) plans in
-      let pred_rows =
-        List.fold_left (fun a e -> a +. e.Estimate.out_rows) 0.0 ests
-      in
-      let pred_io =
-        List.fold_left (fun a e -> a +. e.Estimate.total_io) 0.0 ests
-      in
-      let nodes =
-        List.fold_left (fun a p -> a + Estimate.node_count session p) 0 plans
-      in
-      let notes actual =
-        List.concat
-          (List.map2
-             (fun plan est ->
-               List.map2
-                 (fun step (se : Estimate.step_est) ->
-                   let s =
-                     if actual then
-                       Printf.sprintf "  (est rows=%.0f io=%.0f, actual rows=%d)"
-                         se.Estimate.est_out se.Estimate.est_io step.seen
-                     else
-                       Printf.sprintf "  (est rows=%.0f io=%.0f)"
-                         se.Estimate.est_out se.Estimate.est_io
-                   in
-                   (step, s))
-                 plan.steps est.Estimate.step_ests)
-             plans ests)
-      in
-      let footer_pred =
-        Printf.sprintf "PREDICTED  nodes=%d  rows=%.0f  io=%.0f\n" nodes
-          pred_rows pred_io
-      in
-      if not analyze then begin
-        let notes = notes false in
-        let annot step =
-          Option.value ~default:"" (List.assq_opt step notes)
-        in
-        Done (explain_plan ~annot plans ^ footer_pred)
-      end
-      else begin
-        List.iter (fun p -> List.iter (fun s -> s.seen <- 0) p.steps) plans;
-        let result, ms, io =
-          measured (fun () -> run_select_plans session binds q plans)
-        in
-        let actual_rows =
-          match result with
-          | Rows { rows; _ } -> List.length rows
-          | Done _ -> 0
-        in
-        let notes = notes true in
-        let annot step =
-          Option.value ~default:"" (List.assq_opt step notes)
-        in
-        Done
-          (explain_plan ~annot plans ^ footer_pred
-          ^ Printf.sprintf "ACTUAL     rows=%d  io=%d  time=%.1f ms\n"
-              actual_rows io ms)
-      end
+      let plan = compile_query session q in
+      Done (Exec.Planner.explain_compiled ~analyze (ctx session binds) plan)
   | target ->
-      if not analyze then
-        Done
-          (Printf.sprintf
-             "%s STATEMENT (no plan; not executed — use EXPLAIN ANALYZE)"
-             (stmt_kind target))
+      if not analyze then Done (Exec.Render.statement_note (stmt_kind target))
       else begin
-        let result, ms, io = measured (fun () -> run_stmt session binds target) in
+        let result, ms, io =
+          Executor.measured (fun () -> run_stmt session binds target)
+        in
         let summary =
           match result with
           | Done msg -> msg
           | Rows { rows; _ } -> Printf.sprintf "%d rows" (List.length rows)
         in
         Done
-          (Printf.sprintf "%s STATEMENT\n%s\nACTUAL     io=%d  time=%.1f ms\n"
-             (stmt_kind target) summary io ms)
+          (Exec.Render.analyzed_statement ~kind:(stmt_kind target) ~summary
+             ~io ~ms)
       end
 
 let counted session stmt binds =
   let r =
     Obs.Trace.with_span "sql.stmt" ~info:(stmt_kind stmt) (fun () ->
-        run_stmt session binds stmt)
+        guard (fun () -> run_stmt session binds stmt))
   in
   session.statements <- session.statements + 1;
   r
 
-let exec ?(binds = []) session src = counted session (Parser.parse src) binds
+(* ---------------- the plan cache ---------------- *)
+
+(* Compile the normalized key text (valid SQL whose literals are now
+   :__pN parameter slots). [None] sends the statement down the uncached
+   path, which reports parse errors against the original text. *)
+let compile_key session key =
+  match parse key with
+  | Ast.Select q -> Some (compile_query session q)
+  | _ -> None
+  | exception Parser.Error _ -> None
+  | exception Lexer.Error _ -> None
+
+(* Cached-plan lookup for a raw statement text. The hot path — an
+   identical statement seen before — is two hashtable probes: the raw
+   memo yields the normalized key and literal values without lexing, and
+   the plan table yields the compiled plan without parsing or planning. *)
+let lookup_cached session src =
+  if not session.cache_enabled then None
+  else
+    let cache = session.cache in
+    match Exec.Plan_cache.find_raw cache src with
+    | Some (key, params) -> (
+        match Exec.Plan_cache.find cache key with
+        | Some plan -> Some (plan, params)
+        | None -> (
+            (* plan evicted or invalidated; the memo is still right *)
+            match compile_key session key with
+            | Some plan ->
+                Exec.Plan_cache.add cache key plan;
+                Some (plan, params)
+            | None -> None))
+    | None -> (
+        match Normalize.select src with
+        | None -> None
+        | Some { Normalize.key; params } -> (
+            match Exec.Plan_cache.find cache key with
+            | Some plan ->
+                Exec.Plan_cache.add_raw cache src key params;
+                Some (plan, params)
+            | None -> (
+                match compile_key session key with
+                | Some plan ->
+                    Exec.Plan_cache.add cache key plan;
+                    Exec.Plan_cache.add_raw cache src key params;
+                    Some (plan, params)
+                | None -> None)))
+
+(* ---------------- prepared statements ---------------- *)
+
+(* Host variables in syntactic order: the positional parameters of
+   EXECUTE bind to them first-appearance-first. *)
+let host_vars stmt =
+  let acc = ref [] in
+  let note h = if not (List.mem h !acc) then acc := h :: !acc in
+  let rec walk = function
+    | Ast.Int _ | Ast.Col _ -> ()
+    | Ast.Host h -> note h
+    | Ast.Cmp (_, a, b) | Ast.And (a, b) | Ast.Or (a, b) ->
+        walk a;
+        walk b
+    | Ast.Between (e, lo, hi) ->
+        walk e;
+        walk lo;
+        walk hi
+    | Ast.Not e -> walk e
+  in
+  let rec walk_stmt = function
+    | Ast.Create_table _ | Ast.Create_index _ -> ()
+    | Ast.Insert (_, vs) -> List.iter walk vs
+    | Ast.Update (_, sets, w) ->
+        List.iter (fun (_, e) -> walk e) sets;
+        Option.iter walk w
+    | Ast.Delete (_, w) -> Option.iter walk w
+    | Ast.Select q ->
+        List.iter (fun (s : Ast.select) -> Option.iter walk s.Ast.where)
+          q.Ast.branches
+    | Ast.Explain { target; _ } -> walk_stmt target
+  in
+  walk_stmt stmt;
+  List.rev !acc
+
+type prepared = {
+  p_stmt : Ast.stmt;
+  p_params : string list;
+  mutable p_plan : Ir.plan option; (* compiled SELECT *)
+  mutable p_gen : int; (* generation the plan was compiled under *)
+}
+
+let prepare session src =
+  let stmt = parse src in
+  let p_plan =
+    match stmt with
+    | Ast.Select q -> Some (compile_query session q)
+    | _ -> None
+  in
+  { p_stmt = stmt; p_params = host_vars stmt; p_plan;
+    p_gen = session.generation }
+
+let prepared_params p = p.p_params
+let prepared_kind p = stmt_kind p.p_stmt
+
+(* A prepared SELECT recompiles if DDL or a collection schema change
+   invalidated plans since it was compiled. *)
+let prepared_plan session p =
+  match p.p_stmt with
+  | Ast.Select q -> (
+      match p.p_plan with
+      | Some plan when p.p_gen = session.generation -> Some plan
+      | _ ->
+          let plan = compile_query session q in
+          p.p_plan <- Some plan;
+          p.p_gen <- session.generation;
+          Some plan)
+  | _ -> None
+
+let execute_prepared session p args =
+  let expected = List.length p.p_params in
+  let got = List.length args in
+  if got <> expected then
+    fail "EXECUTE arity mismatch: expected %d parameters, got %d" expected
+      got;
+  let binds = List.combine p.p_params args in
+  match prepared_plan session p with
+  | Some plan ->
+      let r =
+        Obs.Trace.with_span "sql.stmt" ~info:"SELECT" (fun () ->
+            guard (fun () -> run_plan session binds plan))
+      in
+      session.statements <- session.statements + 1;
+      r
+  | None -> counted session p.p_stmt binds
+
+(* ---------------- entry points ---------------- *)
+
+let exec ?(binds = []) session src =
+  match lookup_cached session src with
+  | Some (plan, params) ->
+      let r =
+        Obs.Trace.with_span "sql.stmt" ~info:"SELECT" (fun () ->
+            guard (fun () -> run_plan session (binds @ params) plan))
+      in
+      session.statements <- session.statements + 1;
+      r
+  | None -> counted session (parse src) binds
 
 let exec_script ?(binds = []) session src =
   List.map (fun stmt -> counted session stmt binds) (Parser.parse_script src)
@@ -1352,7 +769,15 @@ let query ?binds session src =
 
 let explain ?(binds = []) session src =
   ignore binds;
-  match Parser.parse src with
+  match parse src with
   | Ast.Select q ->
-      explain_plan (List.map (plan_branch session) q.Ast.branches)
+      guard (fun () -> Exec.Render.plan (compile_query session q).Ir.branches)
   | _ -> fail "explain: only SELECT is supported"
+
+let explain_text ?(binds = []) ?(analyze = false) session src =
+  let r =
+    Obs.Trace.with_span "sql.stmt" ~info:"EXPLAIN" (fun () ->
+        guard (fun () -> run_explain session binds ~analyze (parse src)))
+  in
+  session.statements <- session.statements + 1;
+  match r with Done s -> s | Rows _ -> assert false

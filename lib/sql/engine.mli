@@ -1,17 +1,27 @@
-(** Planner and executor for the SQL subset.
+(** The SQL front end: parsing, logical planning, and compilation onto
+    the shared execution layer.
 
-    The engine implements what the paper relies the host DBMS for:
+    The engine implements what the paper relies on the host DBMS for:
     rule-based index selection (equality prefix plus one range on the
     next key column), left-deep nested-loop joins, predicate pushdown,
     covering-index scans (a base-table fetch is skipped when every
     referenced column lives in the chosen index), transient collection
     tables for session state (the paper's [leftNodes]/[rightNodes]), host
-    variables, and UNION ALL. [EXPLAIN] renders plans in the style of
-    the paper's Fig. 10. *)
+    variables, and UNION ALL.
+
+    Statements compile to the typed physical-plan IR in {!Exec.Ir} and
+    execute through {!Exec.Executor}; [EXPLAIN] renders through
+    {!Exec.Render} with {!Exec.Estimate} annotations — the same
+    renderer and estimator the typed wire ops use. A per-session plan
+    cache keyed on normalized statement text (see {!Normalize}) lets
+    repeated SELECTs skip the parser and planner entirely; it is
+    invalidated by DDL and by collection schema changes. *)
 
 type session
 
-val session : Relation.Catalog.t -> session
+val session : ?plan_cache:bool -> Relation.Catalog.t -> session
+(** [plan_cache] (default [true]) controls whether SELECTs are cached;
+    benchmarks disable it to measure the uncached path. *)
 
 val catalog : session -> Relation.Catalog.t
 (** The database this session is bound to. *)
@@ -25,7 +35,9 @@ val set_collection :
   session -> string -> columns:string list -> int array list -> unit
 (** Register (or replace) a transient collection table visible to
     queries in this session; lives outside the catalog and costs no
-    I/O. *)
+    I/O. Replacing a collection with the same column list keeps cached
+    plans (rows are resolved at run time); changing the schema
+    invalidates them. *)
 
 val clear_collection : session -> string -> unit
 
@@ -50,3 +62,44 @@ val query :
 
 val explain : ?binds:(string * int) list -> session -> string -> string
 (** The plan text for a SELECT, without executing it. *)
+
+val explain_text :
+  ?binds:(string * int) list -> ?analyze:bool -> session -> string -> string
+(** Full [EXPLAIN [ANALYZE]] output (plan, cost-model annotations,
+    PREDICTED/ACTUAL footers) for any statement text — the wire-op
+    EXPLAIN goes through this. *)
+
+(** {1 Prepared statements} *)
+
+type prepared
+
+val prepare : session -> string -> prepared
+(** Parse and (for SELECT) compile once. @raise Parser.Error on parse
+    errors, {!Error} on planning errors. *)
+
+val prepared_params : prepared -> string list
+(** Host variables in first-appearance order; EXECUTE's positional
+    parameters bind to them in this order. *)
+
+val prepared_kind : prepared -> string
+(** Statement kind ("SELECT", "INSERT", ...) — the server uses it to
+    classify prepared executions for read-only mode. *)
+
+val execute_prepared : session -> prepared -> int list -> result
+(** @raise Error when the argument count does not match
+    {!prepared_params}. A prepared SELECT recompiles automatically if
+    DDL or a collection schema change invalidated plans since it was
+    prepared. *)
+
+(** {1 Plan-cache and planner observability} *)
+
+val plan_cache_stats : session -> int * int
+(** (hits, misses) of this session's plan cache. *)
+
+val parse_count : unit -> int
+(** Process-global count of statement parses — a plan-cache hit must
+    not move it. *)
+
+val plan_count : unit -> int
+(** Process-global count of query compilations (logical planning +
+    IR emission) — a plan-cache hit must not move it. *)

@@ -1,0 +1,53 @@
+(* Statement normalization for the plan cache: replace integer literals
+   with parameter slots (:__p0, :__p1, ...) so statements differing only
+   in their constants share one cached plan.
+
+   The normalized text is itself valid SQL — the cache compiles the plan
+   by re-parsing it — and doubles as the cache key. Two literals are
+   deliberately left in place:
+
+   - after LIMIT: the grammar wants a literal row count, not a host
+     variable;
+   - after a unary minus: [- 5] lexes as [Ident "-"; Number 5], and
+     parameterizing the operand would hide the sign from the planner for
+     no benefit.
+
+   Only SELECT statements are normalized; DDL and DML return [None] and
+   bypass the cache. *)
+
+type norm = { key : string; params : (string * int) list }
+
+let keep_literal prev =
+  match prev with
+  | Some (Lexer.Ident p) ->
+      let p = String.lowercase_ascii p in
+      p = "limit" || p = "-"
+  | _ -> false
+
+let select src =
+  match Lexer.tokenize src with
+  | exception Lexer.Error _ -> None
+  | [] -> None
+  | Lexer.Ident first :: _ as tokens
+    when String.lowercase_ascii first = "select" ->
+      let buf = Buffer.create (String.length src) in
+      let params = ref [] in
+      let slot = ref 0 in
+      let prev = ref None in
+      List.iter
+        (fun tok ->
+          let tok' =
+            match tok with
+            | Lexer.Number n when not (keep_literal !prev) ->
+                let name = "__p" ^ string_of_int !slot in
+                incr slot;
+                params := (name, n) :: !params;
+                Lexer.Host_var name
+            | t -> t
+          in
+          prev := Some tok;
+          if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          Buffer.add_string buf (Lexer.token_to_string tok'))
+        tokens;
+      Some { key = Buffer.contents buf; params = List.rev !params }
+  | _ :: _ -> None

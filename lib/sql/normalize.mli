@@ -1,0 +1,14 @@
+(** Statement normalization for the plan cache. *)
+
+type norm = {
+  key : string;  (** normalized, re-parseable SQL; the cache key *)
+  params : (string * int) list;
+      (** slot name -> literal value, in appearance order *)
+}
+
+val select : string -> norm option
+(** [select src] normalizes a SELECT statement by replacing integer
+    literals with parameter slots. Returns [None] for non-SELECT
+    statements and for inputs the lexer rejects (those take the uncached
+    path, which reports errors against the original text). Literals
+    after [LIMIT] and after a unary minus are kept in place. *)

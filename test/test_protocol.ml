@@ -23,6 +23,21 @@ let sample_requests =
     P.Stats;
     P.Ping;
     P.Metrics;
+    P.Prepare { name = "q1"; sql = "SELECT id FROM t WHERE lower <= :x" };
+    P.Prepare { name = ""; sql = "" };
+    P.Execute { name = "q1"; params = [ 1; -2; max_int / 4 ] };
+    P.Execute { name = "q1"; params = [] };
+    P.Close_stmt "q1";
+    P.Explain { analyze = false; target = P.Explain_sql "SELECT 1" };
+    P.Explain
+      { analyze = true; target = P.Explain_intersect { lower = 3; upper = 9 } };
+    P.Explain
+      {
+        analyze = true;
+        target =
+          P.Explain_allen
+            { relation = Interval.Allen.Meets; lower = 0; upper = 5 };
+      };
   ]
 
 let sample_stats =
@@ -94,6 +109,49 @@ let test_request_roundtrip () =
           check req_testable "request" req req'
       | Error e -> Alcotest.failf "decode failed: %s" (P.error_to_string e))
     sample_requests
+
+let test_protocol_version () =
+  (* v4 added prepare/execute/close/explain *)
+  check Alcotest.int "version" 4 P.version
+
+let test_explain_targets_roundtrip () =
+  let targets =
+    P.Explain_sql "EXPLAIN me"
+    :: P.Explain_intersect { lower = -4; upper = 4 }
+    :: List.map
+         (fun rel -> P.Explain_allen { relation = rel; lower = 1; upper = 2 })
+         Interval.Allen.all
+  in
+  List.iter
+    (fun target ->
+      List.iter
+        (fun analyze ->
+          let req = P.Explain { analyze; target } in
+          match P.decode_request (payload_of (P.encode_request ~id:3L req)) with
+          | Ok (_, req') -> check req_testable "explain" req req'
+          | Error e -> Alcotest.failf "decode failed: %s" (P.error_to_string e))
+        [ false; true ])
+    targets
+
+let test_bad_explain_bytes () =
+  (* a syntactically well-framed Explain with a bad analyze flag or an
+     unknown target tag must be Malformed, not an exception or a guess *)
+  let frame ~flag ~tag =
+    let b = Buffer.create 16 in
+    Buffer.add_int64_be b 1L;
+    Buffer.add_uint8 b 0x0e (* Explain *);
+    Buffer.add_uint8 b flag;
+    Buffer.add_uint8 b tag;
+    Buffer.add_int32_be b 1l;
+    Buffer.add_string b "x";
+    Buffer.to_bytes b
+  in
+  (match P.decode_request (frame ~flag:7 ~tag:0) with
+  | Error (P.Malformed _) -> ()
+  | _ -> Alcotest.fail "bad analyze flag accepted");
+  match P.decode_request (frame ~flag:1 ~tag:9) with
+  | Error (P.Malformed _ | P.Truncated) -> ()
+  | _ -> Alcotest.fail "unknown explain target tag accepted"
 
 let test_all_allen_relations_roundtrip () =
   List.iter
@@ -303,9 +361,12 @@ let () =
     [
       ( "roundtrip",
         [
+          Alcotest.test_case "version is 4" `Quick test_protocol_version;
           Alcotest.test_case "requests" `Quick test_request_roundtrip;
           Alcotest.test_case "allen relations" `Quick
             test_all_allen_relations_roundtrip;
+          Alcotest.test_case "explain targets" `Quick
+            test_explain_targets_roundtrip;
           Alcotest.test_case "responses" `Quick test_response_roundtrip;
         ] );
       ( "degraded",
@@ -317,6 +378,7 @@ let () =
             test_garbage_never_raises;
           Alcotest.test_case "huge declared string" `Quick
             test_huge_declared_string;
+          Alcotest.test_case "bad explain bytes" `Quick test_bad_explain_bytes;
         ] );
       ( "framer",
         [

@@ -542,6 +542,164 @@ let test_metrics_http_endpoint () =
         [ "rikit_op_latency_us_bucket"; "rikit_pool_hit_rate";
           "rikit_requests_total" ])
 
+(* ---- prepared statements over the wire (protocol v4) ---- *)
+
+let test_prepare_execute_close () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          ok
+            (C.prepare c ~name:"q"
+               "SELECT id FROM intervals WHERE lower <= :hi AND upper >= :lo");
+          let run lo hi =
+            match ok (C.execute c ~name:"q" [ hi; lo ]) with
+            | P.Rows { rows; _ } ->
+                List.sort compare (List.map (fun r -> r.(0)) rows)
+            | _ -> Alcotest.fail "execute did not return rows"
+          in
+          (* EXECUTE answers exactly what the typed intersect op does;
+             params bind in first-appearance order (:hi then :lo) *)
+          let q = Interval.Ivl.make 100_000 110_000 in
+          check (Alcotest.list Alcotest.int) "execute = brute force"
+            (brute_force q)
+            (run (Interval.Ivl.lower q) (Interval.Ivl.upper q));
+          (* repeated EXECUTE hits the session plan cache *)
+          let q2 = Interval.Ivl.make 150_000 152_000 in
+          check (Alcotest.list Alcotest.int) "second execute"
+            (brute_force q2)
+            (run (Interval.Ivl.lower q2) (Interval.Ivl.upper q2));
+          (* arity mismatch is a typed error, session survives *)
+          (match C.execute c ~name:"q" [ 1 ] with
+          | Error (C.Server m) ->
+              check Alcotest.bool "mentions arity" true
+                (contains m "parameters")
+          | _ -> Alcotest.fail "arity mismatch accepted");
+          (* unknown name is a typed error *)
+          (match C.execute c ~name:"nope" [] with
+          | Error (C.Server _) -> ()
+          | _ -> Alcotest.fail "unknown statement accepted");
+          ok (C.close_stmt c "q");
+          (match C.execute c ~name:"q" [ 1; 2 ] with
+          | Error (C.Server _) -> ()
+          | _ -> Alcotest.fail "closed statement still executes");
+          ping c))
+
+let test_prepared_mutation_respects_read_only () =
+  with_server ~preload:dataset (fun port sh _ ->
+      with_client port (fun c ->
+          (match C.sql c "CREATE TABLE pt (a)" with
+          | Ok (P.Ack _) -> ()
+          | _ -> Alcotest.fail "create table");
+          ok (C.prepare c ~name:"ins" "INSERT INTO pt VALUES (:v)");
+          ok (C.prepare c ~name:"rd" "SELECT a FROM pt");
+          (match ok (C.execute c ~name:"ins" [ 1 ]) with
+          | P.Ack _ -> ()
+          | _ -> Alcotest.fail "insert execute");
+          (* degrade the shared catalog: prepared mutations must be
+             refused, prepared reads keep serving *)
+          Relation.Catalog.degrade (S.catalog sh) "test";
+          (match C.execute c ~name:"ins" [ 2 ] with
+          | Error (C.Read_only _) -> ()
+          | _ -> Alcotest.fail "prepared INSERT ran on a degraded server");
+          match ok (C.execute c ~name:"rd" []) with
+          | P.Rows { rows = [ [| 1 |] ]; _ } -> ()
+          | _ -> Alcotest.fail "prepared SELECT refused on a degraded server"))
+
+let test_explain_wire_op () =
+  with_server ~preload:dataset (fun port _ _ ->
+      with_client port (fun c ->
+          (* all three targets answer with a rendered plan; ANALYZE adds
+             the measured footer. SQL text and the typed intersect op
+             render through the same plan vocabulary. *)
+          let sql_plan =
+            ok
+              (C.explain c
+                 (P.Explain_sql
+                    "SELECT lower, upper, id FROM intervals WHERE lower <= \
+                     110000 AND upper >= 100000"))
+          in
+          check Alcotest.bool "sql plan rendered" true
+            (contains sql_plan "SELECT STATEMENT");
+          let typed_plan =
+            ok (C.explain c (P.Explain_intersect { lower = 100_000; upper = 110_000 }))
+          in
+          List.iter
+            (fun fragment ->
+              check Alcotest.bool fragment true (contains typed_plan fragment))
+            [ "SELECT STATEMENT"; "UNION-ALL"; "COLLECTION ITERATOR";
+              "INDEX RANGE SCAN"; "PREDICTED" ];
+          let analyzed =
+            ok
+              (C.explain c ~analyze:true
+                 (P.Explain_intersect { lower = 100_000; upper = 110_000 }))
+          in
+          check Alcotest.bool "actual footer" true (contains analyzed "ACTUAL");
+          let allen =
+            ok
+              (C.explain c
+                 (P.Explain_allen
+                    { relation = Interval.Allen.During; lower = 1; upper = 9 }))
+          in
+          check Alcotest.bool "allen plan rendered" true
+            (contains allen "SELECT STATEMENT")))
+
+(* A response the client cannot decode (an op this client build does
+   not know) must reject that one call with a typed, non-retryable
+   error and leave the connection in sync — not raise, not desync.
+   Simulated with a raw loopback "server from the future" that answers
+   the first request with a well-delimited unknown-opcode frame and
+   then behaves normally. *)
+let test_unknown_op_typed_error_no_desync () =
+  let srv = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt srv Unix.SO_REUSEADDR true;
+  Unix.bind srv (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen srv 1;
+  let port =
+    match Unix.getsockname srv with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> assert false
+  in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        let fd, _ = Unix.accept srv in
+        let answer bytes = ignore (Unix.write fd bytes 0 (Bytes.length bytes)) in
+        let eat () = ignore (Unix.read fd (Bytes.create 4096) 0 4096) in
+        (* first request: well-delimited frame with an unknown opcode *)
+        eat ();
+        let bogus = Bytes.create 13 in
+        Bytes.set_int32_be bogus 0 9l;
+        Bytes.set_int64_be bogus 4 1L;
+        Bytes.set_uint8 bogus 12 0x6f;
+        answer bogus;
+        (* second request: a normal Ack, proving the stream is intact *)
+        eat ();
+        answer (P.encode_response ~id:2L (P.Ack "pong"));
+        Unix.close fd)
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Thread.join server_thread;
+      try Unix.close srv with Unix.Unix_error _ -> ())
+    (fun () ->
+      let c = C.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> C.close c)
+        (fun () ->
+          (match C.rpc_result c P.Ping with
+          | Error (C.Unexpected m) ->
+              check Alcotest.bool "names the decode failure" true
+                (contains m "opcode" || contains m "undecodable");
+              check Alcotest.bool "not retryable" false
+                (C.retryable (C.Unexpected m))
+          | Ok _ -> Alcotest.fail "undecodable response accepted"
+          | Error e ->
+              Alcotest.failf "wrong error class: %s" (C.error_to_string e));
+          (* the very same connection keeps working *)
+          match C.rpc_result c P.Ping with
+          | Ok (P.Ack _) -> ()
+          | _ -> Alcotest.fail "connection desynced after unknown op"))
+
 let () =
   Alcotest.run "server"
     [
@@ -550,6 +708,11 @@ let () =
           Alcotest.test_case "basic request/response" `Quick test_basic_ops;
           Alcotest.test_case "allen over the wire" `Quick test_allen_query;
           Alcotest.test_case "stats surface" `Quick test_stats_surface;
+          Alcotest.test_case "prepare/execute/close" `Quick
+            test_prepare_execute_close;
+          Alcotest.test_case "prepared mutation vs read-only" `Quick
+            test_prepared_mutation_respects_read_only;
+          Alcotest.test_case "explain wire op" `Quick test_explain_wire_op;
         ] );
       ( "admission",
         [
@@ -562,6 +725,8 @@ let () =
             test_malformed_payload_gets_typed_error;
           Alcotest.test_case "oversized frame" `Quick
             test_oversized_frame_closes_connection;
+          Alcotest.test_case "unknown op: typed error, no desync" `Quick
+            test_unknown_op_typed_error_no_desync;
         ] );
       ( "concurrency",
         [ Alcotest.test_case "parallel clients" `Quick test_concurrent_clients ] );
