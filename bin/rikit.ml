@@ -1021,7 +1021,8 @@ let bench_plan_kind ~tiny ~seed kind =
       (match chosen with
       | Exec.Planner.Two_branch -> incr two
       | Exec.Planner.Single_branch -> incr single
-      | Exec.Planner.Seq -> incr seq);
+      | Exec.Planner.Seq -> incr seq
+      | Exec.Planner.Mem_path -> () (* no hot tier in this bench *));
       let chosen_io =
         match List.assoc_opt chosen candidates with
         | Some c -> c
@@ -1131,6 +1132,254 @@ let bench_plan_cmd =
                path choice against the cold-cache I/O of every \
                candidate path. Results go to stdout and BENCH_plan.json." ])
     Term.(const bench_plan $ tiny $ seed_arg $ out)
+
+(* ---- bench-memindex: the main-memory hot tier ----
+
+   Three measurements per Table-1 distribution: query throughput of the
+   four main-memory structures (HINT vs the interval-tree, segment-tree
+   and skip-list baselines) on stabbing and intersection batches; the
+   same batch against the disk RI-tree with a cold and a warm buffer
+   pool (the memory/disk crossover the hot tier exploits); and the
+   cost model's tier choice scored against exhaustive per-tier
+   cold-cache I/O, the bench-plan methodology extended with the memory
+   tier. *)
+
+type mem_row = {
+  mm_kind : string;
+  mm_n : int;
+  mm_stab : (string * float) list; (* structure -> queries/sec *)
+  mm_inter : (string * float) list;
+  mm_cold_qps : float; (* disk RI-tree, cold buffer pool *)
+  mm_warm_qps : float;
+  mm_tier_queries : int;
+  mm_tier_wins : int;
+  mm_tier_mem : int; (* statements where the model picked memory *)
+}
+
+(* Repeat the whole batch until ~50 ms elapsed: single-query timings on
+   main-memory structures are far below timer resolution. *)
+let batch_qps queries f =
+  let n = Array.length queries in
+  if n = 0 then 0.0
+  else begin
+    Array.iter (fun q -> ignore (f q)) queries;
+    let t0 = Unix.gettimeofday () in
+    let reps = ref 0 in
+    let elapsed () = Unix.gettimeofday () -. t0 in
+    while elapsed () < 0.05 do
+      Array.iter (fun q -> ignore (f q)) queries;
+      incr reps
+    done;
+    float_of_int (!reps * n) /. elapsed ()
+  end
+
+(* Disk timing excludes the cache-dropping bookkeeping between
+   queries. *)
+let cold_disk_qps db queries f =
+  let total = ref 0.0 in
+  Array.iter
+    (fun q ->
+      Relation.Catalog.flush db;
+      Relation.Catalog.drop_cache db;
+      let t0 = Unix.gettimeofday () in
+      ignore (f q);
+      total := !total +. (Unix.gettimeofday () -. t0))
+    queries;
+  float_of_int (Array.length queries) /. Float.max 1e-9 !total
+
+let bench_memindex_kind ~tiny ~seed kind =
+  let n = if tiny then 2_000 else 10_000 in
+  let data = Workload.Distribution.generate ~seed kind ~n ~d:2000 in
+  let dlo = Array.fold_left (fun a i -> min a (Interval.Ivl.lower i)) max_int data in
+  let dhi = Array.fold_left (fun a i -> max a (Interval.Ivl.upper i)) min_int data in
+  (* the four main-memory structures over the same rows *)
+  let it = Memindex.Interval_tree.create ~lo:dlo ~hi:dhi in
+  Array.iteri (fun id ivl -> ignore (Memindex.Interval_tree.insert ~id it ivl)) data;
+  let hint =
+    Memindex.Hint.create ~lo:dlo ~hi:dhi
+      ~m:(Memindex.Hint.suggested_grid ~rows:n) ()
+  in
+  Array.iteri (fun id ivl -> ignore (Memindex.Hint.insert ~id hint ivl)) data;
+  let st = Memindex.Segment_tree.build data in
+  let sl = Memindex.Skip_list.create () in
+  Array.iteri (fun id ivl -> ignore (Memindex.Skip_list.insert ~id sl ivl)) data;
+  (* the disk RI-tree over the same rows *)
+  let db = Relation.Catalog.create () in
+  let tree = Ritree.Ri_tree.create db in
+  Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id tree ivl)) data;
+  let stats = Ritree.Cost_model.Stats.analyze tree in
+  let qcount = if tiny then 10 else 40 in
+  let inter_qs = Workload.Query_gen.queries ~seed ~data ~count:qcount 0.01 in
+  let stab_qs = Workload.Query_gen.point_queries ~seed ~count:qcount () in
+  let stab =
+    [ ("hint", batch_qps stab_qs (fun q ->
+           Memindex.Hint.stabbing_ids hint (Interval.Ivl.lower q)));
+      ("interval_tree", batch_qps stab_qs (fun q ->
+           Memindex.Interval_tree.stabbing_ids it (Interval.Ivl.lower q)));
+      ("segment_tree", batch_qps stab_qs (fun q ->
+           Memindex.Segment_tree.stabbing_ids st (Interval.Ivl.lower q)));
+      ("skip_list", batch_qps stab_qs (fun q ->
+           Memindex.Skip_list.stabbing_ids sl (Interval.Ivl.lower q))) ]
+  in
+  let inter =
+    [ ("hint", batch_qps inter_qs (Memindex.Hint.intersecting_ids hint));
+      ("interval_tree",
+       batch_qps inter_qs (Memindex.Interval_tree.intersecting_ids it));
+      ("segment_tree",
+       batch_qps inter_qs (Memindex.Segment_tree.intersecting_ids st));
+      ("skip_list",
+       batch_qps inter_qs (Memindex.Skip_list.intersecting_ids sl)) ]
+  in
+  let cold_qps =
+    cold_disk_qps db inter_qs (fun q -> Ritree.Ri_tree.intersecting_ids tree q)
+  in
+  let warm_qps =
+    batch_qps inter_qs (fun q -> Ritree.Ri_tree.intersecting_ids tree q)
+  in
+  (* Tier choice vs exhaustive per-tier cold-cache I/O: the memory tier
+     is a real Memtier residency (budget far above the collection), the
+     disk paths are the bench-plan candidates. *)
+  let memtier = Exec.Memtier.create ~budget_mb:256 in
+  let mem = Exec.Memtier.acquire memtier tree in
+  let mem_info =
+    Option.map
+      (fun (h : Exec.Ir.mem_handle) ->
+        { Ritree.Cost_model.mem_levels = h.Exec.Ir.mem_levels;
+          mem_entries = h.Exec.Ir.mem_entries })
+      mem
+  in
+  let cold f =
+    Relation.Catalog.flush db;
+    Relation.Catalog.drop_cache db;
+    snd (Harness.Measure.io db f)
+  in
+  let wins = ref 0 and mem_chosen = ref 0 in
+  Array.iter
+    (fun q ->
+      let disk_io p =
+        cold (fun () -> Exec.Planner.intersecting_ids ~path:p tree q)
+      in
+      let mem_io =
+        cold (fun () -> Exec.Planner.intersecting_ids ?mem ~path:Exec.Planner.Mem_path tree q)
+      in
+      let candidates =
+        [ (Exec.Planner.Mem_path, mem_io);
+          (Exec.Planner.Two_branch, disk_io Exec.Planner.Two_branch);
+          (Exec.Planner.Seq, disk_io Exec.Planner.Seq) ]
+      in
+      let best = List.fold_left (fun a (_, c) -> min a c) max_int candidates in
+      let chosen = Exec.Planner.choose ?mem:mem_info tree stats q in
+      if chosen = Exec.Planner.Mem_path then incr mem_chosen;
+      let chosen_io =
+        match List.assoc_opt chosen candidates with
+        | Some c -> c
+        | None -> disk_io chosen
+      in
+      if chosen_io <= best then incr wins)
+    inter_qs;
+  { mm_kind = Workload.Distribution.kind_to_string kind;
+    mm_n = n;
+    mm_stab = stab;
+    mm_inter = inter;
+    mm_cold_qps = cold_qps;
+    mm_warm_qps = warm_qps;
+    mm_tier_queries = Array.length inter_qs;
+    mm_tier_wins = !wins;
+    mm_tier_mem = !mem_chosen }
+
+let bench_memindex_json ~tiny rows =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n  \"bench\": \"memindex\",\n  \"tiny\": %b,\n" tiny;
+  add "  \"distributions\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then add ",";
+      let qps l =
+        String.concat ", "
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.0f" k v) l)
+      in
+      let hint_inter = List.assoc "hint" r.mm_inter in
+      add
+        "\n    {\"kind\": %S, \"n\": %d,\n\
+        \     \"stabbing_qps\": {%s},\n\
+        \     \"intersection_qps\": {%s},\n\
+        \     \"disk_cold_qps\": %.1f, \"disk_warm_qps\": %.1f,\n\
+        \     \"hint_vs_cold_disk\": %.1f, \"hint_vs_warm_disk\": %.1f,\n\
+        \     \"tier\": {\"queries\": %d, \"wins\": %d, \"win_rate\": %.3f, \
+         \"mem_chosen\": %d}}"
+        r.mm_kind r.mm_n (qps r.mm_stab) (qps r.mm_inter) r.mm_cold_qps
+        r.mm_warm_qps
+        (hint_inter /. Float.max 1e-9 r.mm_cold_qps)
+        (hint_inter /. Float.max 1e-9 r.mm_warm_qps)
+        r.mm_tier_queries r.mm_tier_wins
+        (float_of_int r.mm_tier_wins /. float_of_int (max 1 r.mm_tier_queries))
+        r.mm_tier_mem)
+    rows;
+  add "\n  ]\n}\n";
+  Buffer.contents b
+
+let bench_memindex tiny seed out =
+  let rows =
+    List.map
+      (bench_memindex_kind ~tiny ~seed)
+      [ Workload.Distribution.D1; Workload.Distribution.D2;
+        Workload.Distribution.D3; Workload.Distribution.D4 ]
+  in
+  let table =
+    Harness.Tbl.create ~title:"main-memory structures vs disk RI-tree (queries/sec)"
+      ~columns:
+        [ "kind"; "hint stab"; "it stab"; "st stab"; "sl stab";
+          "hint inter"; "it inter"; "st inter"; "sl inter";
+          "disk cold"; "disk warm"; "hint/cold"; "tier wins" ]
+  in
+  List.iter
+    (fun r ->
+      let g l k = Printf.sprintf "%.0f" (List.assoc k l) in
+      Harness.Tbl.add_row table
+        [ r.mm_kind;
+          g r.mm_stab "hint"; g r.mm_stab "interval_tree";
+          g r.mm_stab "segment_tree"; g r.mm_stab "skip_list";
+          g r.mm_inter "hint"; g r.mm_inter "interval_tree";
+          g r.mm_inter "segment_tree"; g r.mm_inter "skip_list";
+          Printf.sprintf "%.0f" r.mm_cold_qps;
+          Printf.sprintf "%.0f" r.mm_warm_qps;
+          Printf.sprintf "%.0fx"
+            (List.assoc "hint" r.mm_inter /. Float.max 1e-9 r.mm_cold_qps);
+          Printf.sprintf "%d/%d" r.mm_tier_wins r.mm_tier_queries ])
+    rows;
+  Harness.Tbl.print table;
+  let json = bench_memindex_json ~tiny rows in
+  let oc = open_out out in
+  output_string oc json;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+let bench_memindex_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ]
+             ~doc:"Small datasets and query batches for CI smoke runs.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_memindex.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-memindex"
+       ~doc:"Main-memory HINT vs baselines vs the disk RI-tree on D1-D4"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Builds the four main-memory interval structures (HINT and \
+               the interval-tree/segment-tree/skip-list baselines) and a \
+               disk RI-tree over each Table-1 distribution, measures \
+               stabbing and intersection query throughput for all of \
+               them (disk with both a cold and a warm buffer pool), and \
+               scores the cost model's memory-vs-disk tier choice \
+               against exhaustive per-tier cold-cache I/O. Results go to \
+               stdout and BENCH_memindex.json." ])
+    Term.(const bench_memindex $ tiny $ seed_arg $ out)
 
 (* ---- sql ---- *)
 
@@ -1335,5 +1584,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
          bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
-         bench_plan_cmd; scrub_cmd;
+         bench_plan_cmd; bench_memindex_cmd; scrub_cmd;
          crash_schedule_cmd ]))

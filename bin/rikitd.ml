@@ -19,16 +19,17 @@ let kind_conv =
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
-    group_commit_ms idle_timeout metrics_port slow_query_ms =
+    group_commit_ms idle_timeout metrics_port slow_query_ms hot_tier_mb =
   if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
   if idle_timeout < 0. then failwith "--idle-timeout must be >= 0";
   if slow_query_ms < 0. then failwith "--slow-query-ms must be >= 0";
+  if hot_tier_mb < 0 then failwith "--hot-tier must be >= 0";
   let config =
     { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
       group_commit = group_commit_ms /. 1000.; idle_timeout; metrics_port;
       slow_query_ms }
   in
-  let sh = Server.Session.shared ~durable () in
+  let sh = Server.Session.shared ~durable ~hot_tier_mb () in
   if n > 0 then begin
     let data = Workload.Distribution.generate ~seed kind ~n ~d in
     Server.Session.preload sh data;
@@ -59,6 +60,8 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
     (if idle_timeout > 0. then
        Printf.sprintf ", idle timeout %.0f s" idle_timeout
      else "");
+  if hot_tier_mb > 0 then
+    Printf.printf "hot tier: %d MB in-memory HINT budget\n%!" hot_tier_mb;
   if metrics_port <> None then
     Printf.printf "metrics on http://%s:%d/metrics\n%!" host
       (Server.Dispatcher.metrics_port disp);
@@ -150,11 +153,20 @@ let cmd =
                    request that takes at least this many milliseconds \
                    to stderr. 0 disables the log.")
   in
+  let hot_tier =
+    Arg.(value & opt int 0
+         & info [ "hot-tier" ] ~docv:"MB"
+             ~doc:"RAM budget for the in-memory hot tier: collections \
+                   are promoted to main-memory HINT indexes (LRU-demoted \
+                   to fit) and the planner serves interval queries from \
+                   RAM whenever the cost model prefers it. 0 disables \
+                   the tier.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
           $ max_inflight $ max_queue $ durable $ group_commit
-          $ idle_timeout $ metrics_port $ slow_query_ms)
+          $ idle_timeout $ metrics_port $ slow_query_ms $ hot_tier)
 
 let () = exit (Cmd.eval cmd)

@@ -26,7 +26,10 @@ module Stats : sig
   val estimate_selectivity : t -> Interval.Ivl.t -> float
 end
 
-type plan_choice = Index_plan | Full_scan
+type plan_choice = Index_plan | Full_scan | Mem_plan
+
+type mem_info = { mem_levels : int; mem_entries : int }
+(** Shape of a RAM-resident HINT replica, for tier choice. *)
 
 val index_cost : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> float
 (** Estimated physical blocks for the Fig. 9 plan: one [O(log_b n)]
@@ -38,7 +41,15 @@ val index_cost : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> float
 val scan_cost : Ri_tree.t -> float
 (** Blocks of a full heap scan. *)
 
-val choose : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> plan_choice
+val mem_cost : mem_info -> Stats.t -> Interval.Ivl.t -> float
+(** Block-equivalent cost of probing the RAM-resident replica: zero
+    physical I/O, CPU priced at a fixed in-memory-operations-per-block
+    exchange rate so tiers compare in one unit. *)
+
+val choose :
+  ?mem:mem_info -> Ri_tree.t -> Stats.t -> Interval.Ivl.t -> plan_choice
+(** Cheapest of the disk plans and, when [mem] says the collection is
+    resident, the hot-tier probe. *)
 
 val adaptive_ids : Ri_tree.t -> Stats.t -> Interval.Ivl.t -> int list
 (** Execute whichever plan {!choose} picks; both return exactly the

@@ -237,7 +237,7 @@ let filters_sel stats binds (step : Ir.step) =
    histograms instead of the magic default fractions. *)
 let access_sel ?env stats binds (step : Ir.step) =
   match step.Ir.access with
-  | Ir.Seq_scan -> 1.0
+  | Ir.Seq_scan | Ir.Mem_probe _ -> 1.0
   | Ir.Index_scan { index; eq; lo; hi; _ } ->
       let icols = Relation.Table.Index.columns index in
       let sel = ref 1.0 in
@@ -354,6 +354,19 @@ let branches ctx (brs : Ir.branch list) =
                              es)
                   | _ -> envs := None);
                   (float_of_int n, 0.0, None)
+              | Ir.Mem h, access ->
+                  (* RAM-resident probe: no physical I/O by construction;
+                     the planner already sized the result when it chose
+                     the tier. *)
+                  let rows =
+                    match access with
+                    | Ir.Mem_probe { est_rows; _ } -> est_rows
+                    | Ir.Seq_scan | Ir.Index_scan _ -> h.Ir.mem_rows
+                  in
+                  envs := None;
+                  (float_of_int rows, 0.0, None)
+              | Ir.Base _, Ir.Mem_probe _ ->
+                  Ir.fail "memory probe against a base table"
               | Ir.Base tbl, Ir.Seq_scan ->
                   let st = stats_for tbl in
                   envs := None;
@@ -448,5 +461,5 @@ let node_count ctx (branch : Ir.branch) =
           match ctx.Ir.collection name with
           | Some (_, rows) -> acc + List.length rows
           | None -> acc)
-      | Ir.Base _ -> acc)
+      | Ir.Base _ | Ir.Mem _ -> acc)
     0 branch.Ir.steps

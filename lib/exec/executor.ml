@@ -78,8 +78,10 @@ let rec eval_pred binds (bound : binding) = function
 let node_span (step : Ir.step) =
   match (step.source, step.access) with
   | Ir.Collection _, _ -> "exec.collection"
+  | Ir.Mem _, _ -> "memtier.probe"
   | Ir.Base _, Ir.Seq_scan -> "exec.seq_scan"
   | Ir.Base _, Ir.Index_scan _ -> "exec.index_scan"
+  | Ir.Base _, Ir.Mem_probe _ -> "exec.invalid"
 
 let run_step ctx bound (step : Ir.step) (emit : binding -> unit) =
   let binds = ctx.Ir.binds in
@@ -97,6 +99,14 @@ let run_step ctx bound (step : Ir.step) (emit : binding -> unit) =
         match ctx.Ir.collection name with
         | None -> fail "collection %s disappeared" name
         | Some (columns, rows) -> List.iter (fun r -> visit columns r) rows)
+    | Ir.Mem h, Ir.Mem_probe { op; lo; hi; _ } ->
+        let lo = eval_value binds bound lo
+        and up = eval_value binds bound hi in
+        List.iter
+          (fun (l, u, id) -> visit step.Ir.columns [| l; u; id |])
+          (h.Ir.mem_probe op ~lo ~up)
+    | Ir.Mem _, _ -> fail "hot-tier source requires a memory probe"
+    | Ir.Base _, Ir.Mem_probe _ -> fail "memory probe against a base table"
     | Ir.Base tbl, Ir.Seq_scan ->
         (* Streaming scan: the heap cursor behind Iter.heap_scan holds
            one page of rows at a time, so a sequential scan of any size

@@ -30,9 +30,31 @@ type pred =
   | Or of pred * pred
   | Not of pred
 
+(* The operation a hot-tier probe runs; the raw bounds come from the
+   step's [Mem_probe] access at execution time. *)
+type mem_op =
+  | Mem_intersect
+  | Mem_relation of Interval.Allen.relation
+
+(* A resident hot-tier collection, as handed out by {!Memtier}: the
+   probe closure answers against the in-memory HINT replica. Plans
+   embedding a handle are only as fresh as the residency generation
+   they were compiled under — the plan caches invalidate on any tier
+   change, so a stale handle never executes. *)
+type mem_handle = {
+  mem_name : string; (* the indexed collection, for EXPLAIN *)
+  mem_rows : int; (* resident cardinality *)
+  mem_levels : int; (* HINT hierarchy depth, for the cost model *)
+  mem_entries : int; (* registrations incl. replicas *)
+  mem_bytes : int; (* resident size *)
+  mem_probe : mem_op -> lo:int -> up:int -> (int * int * int) list;
+      (* (lower, upper, id) triples *)
+}
+
 type source =
   | Base of Relation.Table.t
   | Collection of string (* transient; resolved from the context at run time *)
+  | Mem of mem_handle (* RAM-resident hot tier *)
 
 type bound = { v : value; inclusive : bool }
 
@@ -50,6 +72,12 @@ type access =
       refine_lo : bound option;
       refine_hi : bound option;
       covering : bool; (* no base-table fetch needed *)
+    }
+  | Mem_probe of {
+      op : mem_op;
+      lo : value; (* raw query bounds, resolved at execution *)
+      hi : value;
+      est_rows : int; (* cost-model estimate, for EXPLAIN *)
     }
 
 type step = {
@@ -126,6 +154,11 @@ let rec pred_to_string = function
   | Or (a, b) ->
       Printf.sprintf "(%s OR %s)" (pred_to_string a) (pred_to_string b)
   | Not e -> Printf.sprintf "(NOT %s)" (pred_to_string e)
+
+let mem_op_to_string = function
+  | Mem_intersect -> "intersect"
+  | Mem_relation r ->
+      "allen " ^ String.lowercase_ascii (Interval.Allen.to_string r)
 
 let agg_to_string = function
   | Count -> "COUNT"

@@ -19,12 +19,13 @@ module Temporal = Interval.Temporal
 module Ri = Ritree.Ri_tree
 module CM = Ritree.Cost_model
 
-type path = Two_branch | Single_branch | Seq
+type path = Two_branch | Single_branch | Seq | Mem_path
 
 let path_to_string = function
   | Two_branch -> "two-branch"
   | Single_branch -> "single-branch"
   | Seq -> "seq-scan"
+  | Mem_path -> "mem"
 
 (* Which columns the caller needs: ids alone keep the Fig. 9 plan fully
    covering; triples fetch the base rows. *)
@@ -165,28 +166,61 @@ let seq_scan ~proj t q =
   in
   { plan = plain_plan [ branch ]; ctx = make_ctx (interval_binds q) [] }
 
-(* Cost-based choice among the three access paths. Scan-vs-index comes
-   from the registered cost model. The single-branch stabbing probe is
-   not cost-competitive even on its home turf, point queries: it pays
-   one lower-index probe per backbone path node plus a heap fetch for
-   every candidate row — the lower index carries no upper bound, so
-   nothing about it is covering — while the two-branch plan answers the
-   same point from covering index probes that share leaf pages.
-   Cold-cache measurement across D1-D4 shows 1.2-8x more I/O for the
-   probe, so the planner emits it only on explicit request. *)
-let choose t stats q =
-  match CM.choose t stats q with
+(* ---- RAM-resident hot-tier probe ---- *)
+
+let mem_info (h : Ir.mem_handle) =
+  { CM.mem_levels = h.Ir.mem_levels; mem_entries = h.Ir.mem_entries }
+
+let mem_plan ?stats ~proj (h : Ir.mem_handle) op q =
+  let est_rows =
+    match (op, stats) with
+    | Ir.Mem_intersect, Some st -> CM.Stats.estimate_result_size st q
+    | _ -> h.Ir.mem_rows
+  in
+  let step =
+    Ir.mk_step ~alias:"m" ~source:(Ir.Mem h)
+      ~columns:[| "lower"; "upper"; "id" |]
+      (Ir.Mem_probe
+         { op; lo = Ir.Param "qlow"; hi = Ir.Param "qup"; est_rows })
+  in
+  { plan =
+      plain_plan
+        [ { Ir.steps = [ step ]; projections = projections proj;
+            group_by = [] } ];
+    ctx = make_ctx (interval_binds q) [] }
+
+(* Cost-based choice among the access paths. Scan-vs-index-vs-memory
+   comes from the registered cost model; the memory tier only competes
+   when the caller holds a residency handle for this collection. The
+   single-branch stabbing probe is not cost-competitive even on its home
+   turf, point queries: it pays one lower-index probe per backbone path
+   node plus a heap fetch for every candidate row — the lower index
+   carries no upper bound, so nothing about it is covering — while the
+   two-branch plan answers the same point from covering index probes
+   that share leaf pages. Cold-cache measurement across D1-D4 shows
+   1.2-8x more I/O for the probe, so the planner emits it only on
+   explicit request. *)
+let choose ?mem t stats q =
+  match CM.choose ?mem t stats q with
   | CM.Full_scan -> Seq
   | CM.Index_plan -> Two_branch
+  | CM.Mem_plan -> Mem_path
 
-let plan_intersection ?stats ?path ~proj t q =
+let plan_intersection ?stats ?path ?mem ~proj t q =
   let path =
-    match (path, stats) with
-    | Some p, _ -> p
-    | None, Some st -> choose t st q
-    | None, None -> default_path q
+    match (path, mem, stats) with
+    | Some p, _, _ -> p
+    | None, Some h, Some st -> choose ~mem:(mem_info h) t st q
+    (* resident but uncosted: a zero-I/O probe is never the wrong pick *)
+    | None, Some _, None -> Mem_path
+    | None, None, Some st -> choose t st q
+    | None, None, None -> default_path q
   in
   match path with
+  | Mem_path -> (
+      match mem with
+      | Some h -> mem_plan ?stats ~proj h Ir.Mem_intersect q
+      | None -> invalid_arg "plan_intersection: memory path without a handle")
   | Two_branch -> two_branch ~proj t q
   | Single_branch -> single_branch ~proj t q
   | Seq -> seq_scan ~proj t q
@@ -195,14 +229,14 @@ let plan_intersection ?stats ?path ~proj t q =
 
 let run c = Executor.run c.ctx c.plan
 
-let intersecting_ids ?stats ?path t q =
+let intersecting_ids ?stats ?path ?mem t q =
   List.map (fun (r : int array) -> r.(0))
-    (run (plan_intersection ?stats ?path ~proj:Ids t q)).Executor.rows
+    (run (plan_intersection ?stats ?path ?mem ~proj:Ids t q)).Executor.rows
 
-let intersecting ?stats ?path t q =
+let intersecting ?stats ?path ?mem t q =
   List.map
     (fun (r : int array) -> (Ivl.make r.(0) r.(1), r.(2)))
-    (run (plan_intersection ?stats ?path ~proj:Triples t q)).Executor.rows
+    (run (plan_intersection ?stats ?path ?mem ~proj:Triples t q)).Executor.rows
 
 let stabbing_ids ?stats t p = intersecting_ids ?stats t (Ivl.point p)
 
@@ -239,7 +273,7 @@ let allen_filters r =
 let empty_compiled q =
   { plan = plain_plan []; ctx = make_ctx (interval_binds q) [] }
 
-let plan_allen t r q =
+let plan_allen_disk t r q =
   let p = Ri.params t in
   match p.Ri.offset with
   | None -> empty_compiled q (* empty tree: nothing can match *)
@@ -316,12 +350,20 @@ let plan_allen t r q =
       | Allen.Overlapped_by ->
           two_branch ~extra:(allen_filters r) ~proj:Triples t q)
 
-let allen_matches t r q =
+let plan_allen ?mem t r q =
+  match mem with
+  | Some h ->
+      (* A resident HINT answers every Allen relation directly (the
+         Allen_probe reduction); nothing on disk is touched. *)
+      mem_plan ~proj:Triples h (Ir.Mem_relation r) q
+  | None -> plan_allen_disk t r q
+
+let allen_matches ?mem t r q =
   List.map
     (fun (row : int array) -> (Ivl.make row.(0) row.(1), row.(2)))
-    (run (plan_allen t r q)).Executor.rows
+    (run (plan_allen ?mem t r q)).Executor.rows
 
-let allen_ids t r q = List.map snd (allen_matches t r q)
+let allen_ids ?mem t r q = List.map snd (allen_matches ?mem t r q)
 
 (* ---- temporal now/infinity rewrite (Sec. 4.6) ----
 
@@ -441,10 +483,10 @@ type target =
   | Intersect_target of Ivl.t
   | Allen_target of Allen.relation * Ivl.t
 
-let plan_target ?stats t = function
-  | Intersect_target q -> plan_intersection ?stats ~proj:Triples t q
-  | Allen_target (r, q) -> plan_allen t r q
+let plan_target ?stats ?mem t = function
+  | Intersect_target q -> plan_intersection ?stats ?mem ~proj:Triples t q
+  | Allen_target (r, q) -> plan_allen ?mem t r q
 
-let explain ?stats ?analyze t target =
-  let c = plan_target ?stats t target in
+let explain ?stats ?analyze ?mem t target =
+  let c = plan_target ?stats ?mem t target in
   explain_compiled ?analyze c.ctx c.plan

@@ -35,6 +35,15 @@ let plan ?(annot = fun (_ : Ir.step) -> "") branches =
         | Ir.Base tbl, Ir.Seq_scan ->
             add "%sTABLE ACCESS FULL %s%s%s\n" indent
               (Relation.Table.name tbl) (next_step ()) (annot step)
+        | Ir.Mem h, Ir.Mem_probe { op; lo; hi; _ } ->
+            add "%sMEM HINT PROBE %s (%s [%s, %s])%s%s\n" indent
+              h.Ir.mem_name (Ir.mem_op_to_string op) (Ir.value_to_string lo)
+              (Ir.value_to_string hi) (next_step ()) (annot step)
+        | Ir.Mem h, (Ir.Seq_scan | Ir.Index_scan _) ->
+            add "%sMEM HINT SCAN %s%s%s\n" indent h.Ir.mem_name (next_step ())
+              (annot step)
+        | Ir.Base _, Ir.Mem_probe _ ->
+            add "%sINVALID STEP%s\n" indent (next_step ())
         | ( Ir.Base _,
             Ir.Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering }
           ) ->

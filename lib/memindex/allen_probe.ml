@@ -1,0 +1,32 @@
+module Ivl = Interval.Ivl
+module Allen = Interval.Allen
+
+(* The eleven intersection-implying relations refine an intersection
+   probe directly. Before/After candidates never intersect the query,
+   so they are reached through a complement probe instead: every stored
+   interval wholly before the query intersects [min_lower, q.lower]
+   (its lower bound is at least min_lower and at most q.lower), and
+   symmetrically for After. Meets/Met_by intervals touch the query's
+   bound, so a point stab suffices. The bounds may be conservative
+   (stale-wide after deletions): a wider probe only adds candidates the
+   Allen filter rejects. *)
+let relation_matches ~intersecting ~min_lower ~max_upper r q =
+  let qlo = Ivl.lower q and qup = Ivl.upper q in
+  let filter pairs = List.filter (fun (i, _) -> Allen.holds r i q) pairs in
+  match r with
+  | Allen.Before -> (
+      match min_lower with
+      | None -> []
+      | Some ml when ml > qlo -> []
+      | Some ml -> filter (intersecting (Ivl.make ml qlo)))
+  | Allen.After -> (
+      match max_upper with
+      | None -> []
+      | Some mu when mu < qup -> []
+      | Some mu -> filter (intersecting (Ivl.make qup mu)))
+  | Allen.Meets -> filter (intersecting (Ivl.point qlo))
+  | Allen.Met_by -> filter (intersecting (Ivl.point qup))
+  | _ -> filter (intersecting q)
+
+let relation_ids ~intersecting ~min_lower ~max_upper r q =
+  List.map snd (relation_matches ~intersecting ~min_lower ~max_upper r q)

@@ -1,0 +1,32 @@
+(** Generic Allen-relation evaluation on top of any intersection-capable
+    interval store.
+
+    Sec. 4.5 of the RI-tree paper reduces the thirteen topological
+    relations to range probes plus bound predicates; the same reduction
+    works for every main-memory structure here, so it lives in one
+    place. The store only has to answer intersection probes with
+    [(interval, id)] pairs and report conservative extremes of its
+    stored bounds. *)
+
+val relation_matches :
+  intersecting:(Interval.Ivl.t -> (Interval.Ivl.t * int) list) ->
+  min_lower:int option ->
+  max_upper:int option ->
+  Interval.Allen.relation ->
+  Interval.Ivl.t ->
+  (Interval.Ivl.t * int) list
+(** [relation_matches ~intersecting ~min_lower ~max_upper r q] is the
+    stored intervals [i] (with ids) satisfying [Allen.holds r i q].
+    [min_lower] / [max_upper] are the smallest lower and largest upper
+    bound ever stored ([None] when nothing was ever inserted); they may
+    be conservative (wider than the live contents) but must never be
+    narrower. *)
+
+val relation_ids :
+  intersecting:(Interval.Ivl.t -> (Interval.Ivl.t * int) list) ->
+  min_lower:int option ->
+  max_upper:int option ->
+  Interval.Allen.relation ->
+  Interval.Ivl.t ->
+  int list
+(** Ids of {!relation_matches}. *)

@@ -1,0 +1,94 @@
+(** HINT — a hierarchical main-memory interval index
+    (Christodoulou, Bouros, Mamoulis: "HINT: A Hierarchical Index for
+    Intervals in Main Memory", arXiv 2104.10939).
+
+    The domain is mapped onto a grid of [2^m] cells; level [l] of the
+    hierarchy (for [l = 0 .. m]) splits the domain into [2^l]
+    partitions. An interval is decomposed bottom-up into at most two
+    partitions per level whose extents tile its cell range — the classic
+    segment-tree decomposition turned sideways, so a query touches at
+    most two partitions per level that need comparisons and reports
+    everything in between comparison-free.
+
+    Within every partition the stored intervals are subdivided four
+    ways, crossing two properties:
+
+    - {b originals} vs {b replicas} — the unique assigned partition
+      whose extent contains the interval's first cell holds the
+      original; every other assigned partition holds a replica. Queries
+      report middle partitions via originals only, which makes each
+      result appear exactly once without a dedup pass.
+    - ending {b in} vs {b after} the partition — whether the interval's
+      last cell still falls inside the partition's extent. This splits
+      the comparisons a boundary partition must run into the minimal
+      set (the paper's subdivision optimisation).
+
+    Partitions are stored sparsely (hash table plus an ordered set of
+    occupied slots per level), so skewed and sparse domains cost memory
+    proportional to the data, not to [2^m].
+
+    Bound values outside [±2^59] are clamped before grid mapping — the
+    grid map only needs to be monotone for correctness, all reporting
+    decisions compare raw bounds — so [min_int]/[max_int] endpoints are
+    handled exactly, with no overflow. *)
+
+type t
+
+val create : lo:int -> hi:int -> ?m:int -> unit -> t
+(** Universe of admissible bound values, inclusive. [m] is the number
+    of grid bits (levels [0..m]); it defaults to 10 and is clamped to
+    [1..24]. @raise Invalid_argument if [lo > hi]. *)
+
+val suggested_grid : rows:int -> int
+(** Grid bits tuned for a mixed stabbing/range workload over [rows]
+    intervals: one bottom cell per ~64 rows, clamped to [7..16]. Over-
+    partitioning makes wide range probes pay a lookup per near-empty
+    middle cell; this backoff keeps that walk short while stabbing
+    stays logarithmic. *)
+
+val insert : ?id:int -> t -> Interval.Ivl.t -> int
+(** @raise Invalid_argument if a bound leaves the universe. *)
+
+val delete : t -> id:int -> Interval.Ivl.t -> bool
+val count : t -> int
+
+val entry_count : t -> int
+(** Total registrations including replicas (storage redundancy;
+    at most [count * (m+1) * 2], typically far less). *)
+
+val partition_count : t -> int
+(** Occupied partitions across all levels (sparse footprint). *)
+
+val levels : t -> int
+(** Number of levels, [m + 1]. *)
+
+val approx_bytes : t -> int
+(** Rough resident-size estimate used for hot-tier budgeting. *)
+
+val intersecting_ids : t -> Interval.Ivl.t -> int list
+(** Ids of stored intervals intersecting the query, each exactly once,
+    in unspecified order. *)
+
+val intersecting : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** Like {!intersecting_ids} but with the stored intervals. *)
+
+val stabbing_ids : t -> int -> int list
+
+val relation :
+  t ->
+  Interval.Allen.relation ->
+  Interval.Ivl.t ->
+  (Interval.Ivl.t * int) list
+(** Stored intervals [i] (with ids) such that [Allen.holds r i q], for
+    any of the thirteen relations. Intersection-implying relations
+    refine an intersection probe; [Before]/[After]/[Meets]/[Met_by]
+    probe the complement range or the touching bound. *)
+
+val relation_ids :
+  t -> Interval.Allen.relation -> Interval.Ivl.t -> int list
+(** Ids of {!relation}. *)
+
+val check_invariants : t -> unit
+(** Structural audit: every entry sits in the sublist its grid prefixes
+    dictate, occupied sets match the hash tables, and counts add up.
+    @raise Failure on violation. *)

@@ -2,33 +2,53 @@ module Ivl = Interval.Ivl
 module ISet = Set.Make (Int)
 
 type node_rec = {
-  mutable by_lower : (int * int) list; (* (lower, id) ascending by lower *)
-  mutable by_upper : (int * int) list; (* (upper, id) descending by upper *)
-  mutable ivls : (Ivl.t * int) list;   (* registered intervals *)
+  mutable by_lower : (Ivl.t * int) list; (* ascending by lower bound *)
+  mutable by_upper : (Ivl.t * int) list; (* descending by upper bound *)
+  mutable ivls : (Ivl.t * int) list;     (* registered intervals *)
 }
 
 type t = {
-  offset : int; (* raw value v maps to internal v - offset + 1 >= 1 *)
+  lo : int;                 (* declared universe, raw *)
+  hi : int;
+  offset : int;             (* clamped value v maps to v - offset >= 1 *)
+  clamp_lo : int;           (* raw values are clamped into this range *)
+  clamp_hi : int;           (* before the arithmetic mapping *)
+  clamped : bool;           (* the map is non-injective at the edges *)
   root : int;
   nodes : (int, node_rec) Hashtbl.t;
   mutable nonempty : ISet.t;
   mutable count : int;
+  mutable min_lower : int;  (* conservative extremes of stored bounds *)
+  mutable max_upper : int;
 }
+
+(* The backbone is addressed arithmetically, so internal coordinates
+   must stay well under max_int. Universes wider than 2^60 (including
+   the [min_int, max_int] one) are clamped: values past the edges
+   collapse into the edge coordinates. The mapping stays monotone, and
+   every reporting decision below compares raw bounds, so clamping only
+   costs an extra filter on the report-all path — never a wrong
+   answer. *)
+let clamp_bound = 1 lsl 59
 
 let create ~lo ~hi =
   if lo > hi then invalid_arg "Interval_tree.create: empty universe";
-  let span = hi - lo + 1 in
-  let rec pow2 r = if 2 * r - 1 >= span then r else pow2 (2 * r) in
-  { offset = lo - 1; root = pow2 1; nodes = Hashtbl.create 1024;
-    nonempty = ISet.empty; count = 0 }
+  let clamp_lo = min (max lo (-clamp_bound)) (clamp_bound - 1) in
+  let clamp_hi = max (min hi (clamp_bound - 1)) clamp_lo in
+  let span = clamp_hi - clamp_lo + 1 in
+  let rec pow2 r = if (2 * r) - 1 >= span then r else pow2 (2 * r) in
+  { lo; hi; offset = clamp_lo - 1; clamp_lo; clamp_hi;
+    clamped = lo < clamp_lo || hi > clamp_hi;
+    root = pow2 1; nodes = Hashtbl.create 1024;
+    nonempty = ISet.empty; count = 0;
+    min_lower = max_int; max_upper = min_int }
 
-let internal t v = v - t.offset
+let internal t v = min (max v t.clamp_lo) t.clamp_hi - t.offset
 
 let check_universe t ivl =
-  let l = internal t (Ivl.lower ivl) and u = internal t (Ivl.upper ivl) in
-  if l < 1 || u > (2 * t.root) - 1 then
+  if Ivl.lower ivl < t.lo || Ivl.upper ivl > t.hi then
     invalid_arg "Interval_tree: interval outside the universe";
-  (l, u)
+  (internal t (Ivl.lower ivl), internal t (Ivl.upper ivl))
 
 let fork t (l, u) =
   let node = ref t.root and step = ref (t.root / 2) in
@@ -65,14 +85,18 @@ let insert ?id t ivl =
   let w = fork t (l, u) in
   let r = node_rec t w in
   r.by_lower <-
-    insert_sorted (fun (a, _) (b, _) -> Int.compare a b) (Ivl.lower ivl, id)
-      r.by_lower;
+    insert_sorted
+      (fun (a, _) (b, _) -> Int.compare (Ivl.lower a) (Ivl.lower b))
+      (ivl, id) r.by_lower;
   r.by_upper <-
-    insert_sorted (fun (a, _) (b, _) -> Int.compare b a) (Ivl.upper ivl, id)
-      r.by_upper;
+    insert_sorted
+      (fun (a, _) (b, _) -> Int.compare (Ivl.upper b) (Ivl.upper a))
+      (ivl, id) r.by_upper;
   r.ivls <- (ivl, id) :: r.ivls;
   t.nonempty <- ISet.add w t.nonempty;
   t.count <- t.count + 1;
+  if Ivl.lower ivl < t.min_lower then t.min_lower <- Ivl.lower ivl;
+  if Ivl.upper ivl > t.max_upper then t.max_upper <- Ivl.upper ivl;
   id
 
 let delete t ~id ivl =
@@ -90,11 +114,10 @@ let delete t ~id ivl =
           in
           go [] l
         in
-        r.ivls <- remove_first (fun (i, j) -> j = id && Ivl.equal i ivl) r.ivls;
-        r.by_lower <-
-          remove_first (fun (v, j) -> j = id && v = Ivl.lower ivl) r.by_lower;
-        r.by_upper <-
-          remove_first (fun (v, j) -> j = id && v = Ivl.upper ivl) r.by_upper;
+        let pred (i, j) = j = id && Ivl.equal i ivl in
+        r.ivls <- remove_first pred r.ivls;
+        r.by_lower <- remove_first pred r.by_lower;
+        r.by_upper <- remove_first pred r.by_upper;
         if r.ivls = [] then begin
           Hashtbl.remove t.nodes w;
           t.nonempty <- ISet.remove w t.nonempty
@@ -109,19 +132,23 @@ let node_count t = ISet.cardinal t.nonempty
 
 (* The classic query: scan U(w) on nodes left of the query, L(w) on
    nodes right of it, and report every interval of the nodes covered by
-   the query range (found through the tertiary structure). *)
-let intersecting_ids t q =
+   the query range (found through the tertiary structure). All
+   comparisons are on raw bounds; only when the universe was clamped do
+   report-all nodes need a filter, because distinct raw values may then
+   share an internal coordinate. *)
+let fold_intersecting t q init f =
   let ql = internal t (Ivl.lower q) and qu = internal t (Ivl.upper q) in
   let qlow = Ivl.lower q and qup = Ivl.upper q in
-  let acc = ref [] in
+  let acc = ref init in
+  let push x = acc := f !acc x in
   let scan_upper w =
     match Hashtbl.find_opt t.nodes w with
     | None -> ()
     | Some r ->
         (* descending by upper: stop at the first miss *)
         let rec go = function
-          | (u, id) :: rest when u >= qlow ->
-              acc := id :: !acc;
+          | ((i, _) as x) :: rest when Ivl.upper i >= qlow ->
+              push x;
               go rest
           | _ -> ()
         in
@@ -133,8 +160,8 @@ let intersecting_ids t q =
     | Some r ->
         (* ascending by lower: stop at the first miss *)
         let rec go = function
-          | (l, id) :: rest when l <= qup ->
-              acc := id :: !acc;
+          | ((i, _) as x) :: rest when Ivl.lower i <= qup ->
+              push x;
               go rest
           | _ -> ()
         in
@@ -161,7 +188,14 @@ let intersecting_ids t q =
     descend ql;
     descend qu
   end;
-  (* Report-all nodes inside [ql, qu] via the tertiary structure. *)
+  (* Report-all nodes inside [ql, qu] via the tertiary structure. The
+     drain is comparison-free whenever the internal mapping is injective
+     over both the universe and the query; otherwise edge coordinates
+     may mix non-intersecting intervals in and the raw filter decides. *)
+  let exact =
+    (not t.clamped) && qlow >= t.clamp_lo && qup <= t.clamp_hi
+  in
+  let report ((i, _) as x) = if exact || Ivl.intersects i q then push x in
   let rec drain seq =
     match seq () with
     | Seq.Nil -> ()
@@ -169,11 +203,28 @@ let intersecting_ids t q =
         if w <= qu then begin
           (match Hashtbl.find_opt t.nodes w with
           | None -> ()
-          | Some r -> List.iter (fun (_, id) -> acc := id :: !acc) r.ivls);
+          | Some r -> List.iter report r.ivls);
           drain rest
         end
   in
   drain (ISet.to_seq_from ql t.nonempty);
-  List.rev !acc
+  !acc
+
+let intersecting_ids t q =
+  List.rev (fold_intersecting t q [] (fun acc (_, id) -> id :: acc))
+
+let intersecting t q =
+  List.rev (fold_intersecting t q [] (fun acc x -> x :: acc))
 
 let stabbing_ids t p = intersecting_ids t (Ivl.point p)
+
+let relation_ids t r q =
+  Allen_probe.relation_ids
+    ~intersecting:(fun probe ->
+      let probe_lo = max (Ivl.lower probe) t.lo
+      and probe_up = min (Ivl.upper probe) t.hi in
+      if probe_lo > probe_up then []
+      else intersecting t (Ivl.make probe_lo probe_up))
+    ~min_lower:(if t.count = 0 then None else Some t.min_lower)
+    ~max_upper:(if t.count = 0 then None else Some t.max_upper)
+    r q

@@ -16,7 +16,10 @@
 type t
 
 val create : lo:int -> hi:int -> t
-(** Universe of admissible bound values, inclusive.
+(** Universe of admissible bound values, inclusive. Universes wider
+    than [±2^59] (e.g. [min_int..max_int]) are handled by clamping the
+    internal arithmetic mapping; query answers stay exact because
+    reporting compares raw bounds.
     @raise Invalid_argument if [lo > hi]. *)
 
 val insert : ?id:int -> t -> Interval.Ivl.t -> int
@@ -28,7 +31,16 @@ val node_count : t -> int
 (** Non-empty backbone nodes (tertiary-structure size). *)
 
 val intersecting_ids : t -> Interval.Ivl.t -> int list
+val intersecting : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** Like {!intersecting_ids} but with the stored intervals. *)
+
 val stabbing_ids : t -> int -> int list
+
+val relation_ids :
+  t -> Interval.Allen.relation -> Interval.Ivl.t -> int list
+(** Stored ids [i] with [Allen.holds r i q]; the query may lie outside
+    the declared universe. *)
+
 val fork_node : t -> Interval.Ivl.t -> int
 (** Internal (shifted) fork value — exposed for the cross-validation
     tests. *)

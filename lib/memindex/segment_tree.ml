@@ -5,6 +5,7 @@ type t = {
   m : int;            (* elementary positions: 2 * #coords - 1 *)
   lists : int list array; (* heap-layout node lists, size 4m *)
   by_lower : (int * int) array; (* (lower, id) sorted *)
+  data : Ivl.t array; (* id -> interval (ids are array indices) *)
   count : int;
   entries : int;
 }
@@ -60,7 +61,8 @@ let build data =
     data;
   let by_lower = Array.mapi (fun id ivl -> (Ivl.lower ivl, id)) data in
   Array.sort compare by_lower;
-  { coords; m; lists; by_lower; count = Array.length data; entries = !entries }
+  { coords; m; lists; by_lower; data = Array.copy data;
+    count = Array.length data; entries = !entries }
 
 let count t = t.count
 let canonical_entries t = t.entries
@@ -107,3 +109,18 @@ let intersecting_ids t q =
     incr i
   done;
   List.sort_uniq Int.compare (stab @ !acc)
+
+let intersecting t q =
+  List.map (fun id -> (t.data.(id), id)) (intersecting_ids t q)
+
+(* Endpoint coordinates bound the stored intervals exactly: the least
+   endpoint is some interval's lower bound, the greatest some upper. *)
+let relation_ids t r q =
+  Allen_probe.relation_ids
+    ~intersecting:(fun probe -> intersecting t probe)
+    ~min_lower:
+      (if Array.length t.coords = 0 then None else Some t.coords.(0))
+    ~max_upper:
+      (if Array.length t.coords = 0 then None
+       else Some t.coords.(Array.length t.coords - 1))
+    r q

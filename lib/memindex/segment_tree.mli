@@ -25,3 +25,10 @@ val stabbing_ids : t -> int -> int list
 
 val intersecting_ids : t -> Interval.Ivl.t -> int list
 (** Sorted ids of intervals intersecting the query. *)
+
+val intersecting : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** Like {!intersecting_ids} but with the stored intervals. *)
+
+val relation_ids :
+  t -> Interval.Allen.relation -> Interval.Ivl.t -> int list
+(** Stored ids [i] with [Allen.holds r i q]. *)

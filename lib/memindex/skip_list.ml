@@ -14,6 +14,8 @@ type t = {
   header : node;
   mutable rng : int64;
   mutable count : int;
+  mutable min_lower : int; (* conservative extremes of stored bounds *)
+  mutable max_upper : int;
 }
 
 let key n = (n.lower, n.upper, n.id)
@@ -24,7 +26,8 @@ let mk_node ~lower ~upper ~id height =
 
 let create ?(seed = 0x5eed) () =
   { header = mk_node ~lower:min_int ~upper:min_int ~id:min_int levels;
-    rng = Int64.of_int (seed lxor 0x9E3779B9); count = 0 }
+    rng = Int64.of_int (seed lxor 0x9E3779B9); count = 0;
+    min_lower = max_int; max_upper = min_int }
 
 (* xorshift64 for tower heights *)
 let rand_bits t =
@@ -101,6 +104,8 @@ let insert ?id t ivl =
     update.(lvl).forward.(lvl) <- Some n
   done;
   t.count <- t.count + 1;
+  if Ivl.lower ivl < t.min_lower then t.min_lower <- Ivl.lower ivl;
+  if Ivl.upper ivl > t.max_upper then t.max_upper <- Ivl.upper ivl;
   refresh_path update [ n ];
   id
 
@@ -169,6 +174,49 @@ let intersecting_ids t q =
   List.rev !acc
 
 let stabbing_ids t p = intersecting_ids t (Ivl.point p)
+
+let intersecting t q =
+  let qlow = Ivl.lower q and qup = Ivl.upper q in
+  let acc = ref [] in
+  let rec edge a lvl =
+    if a.edge_max.(lvl) >= qlow then
+      if lvl = 0 then begin
+        if a != t.header && a.lower <= qup && a.upper >= qlow then
+          acc := (Ivl.make a.lower a.upper, a.id) :: !acc
+      end
+      else begin
+        let stop = a.forward.(lvl) in
+        let cur = ref (Some a) in
+        let continue = ref true in
+        while !continue do
+          match !cur with
+          | Some c
+            when (match stop with Some s -> c != s | None -> true)
+                 && c.lower <= qup ->
+              edge c (lvl - 1);
+              cur := c.forward.(lvl - 1)
+          | _ -> continue := false
+        done
+      end
+  in
+  let top = max 1 (max_level t) in
+  let cur = ref (Some t.header) in
+  let continue = ref true in
+  while !continue do
+    match !cur with
+    | Some c when c.lower <= qup ->
+        edge c (top - 1);
+        cur := c.forward.(top - 1)
+    | _ -> continue := false
+  done;
+  List.rev !acc
+
+let relation_ids t r q =
+  Allen_probe.relation_ids
+    ~intersecting:(fun probe -> intersecting t probe)
+    ~min_lower:(if t.count = 0 then None else Some t.min_lower)
+    ~max_upper:(if t.count = 0 then None else Some t.max_upper)
+    r q
 
 let check_invariants t =
   let fail fmt = Format.kasprintf failwith fmt in

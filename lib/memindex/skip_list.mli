@@ -23,7 +23,14 @@ val count : t -> int
 val intersecting_ids : t -> Interval.Ivl.t -> int list
 (** Ascending by (lower, upper, id). *)
 
+val intersecting : t -> Interval.Ivl.t -> (Interval.Ivl.t * int) list
+(** Like {!intersecting_ids} but with the stored intervals. *)
+
 val stabbing_ids : t -> int -> int list
+
+val relation_ids :
+  t -> Interval.Allen.relation -> Interval.Ivl.t -> int list
+(** Stored ids [i] with [Allen.holds r i q]. *)
 
 val max_level : t -> int
 (** Height of the tallest tower (diagnostic). *)

@@ -23,6 +23,7 @@ type t = {
   heap : Heap.t;
   mutable indexes : Index.t list;
   on_new_index : Index.t -> unit;
+  mutable version : int; (* bumped on every mutation, for cache validity *)
 }
 
 let validate_columns columns =
@@ -41,7 +42,7 @@ let create ?(on_new_index = fun _ -> ()) pool ~name ~columns =
   validate_columns columns;
   { pool; name; columns;
     heap = Heap.create pool ~row_width:(Array.length columns); indexes = [];
-    on_new_index }
+    on_new_index; version = 0 }
 
 let name t = t.name
 let columns t = t.columns
@@ -96,7 +97,8 @@ let open_existing pool ~name ~columns ~heap_meta ~indexes =
   if Heap.row_width heap <> Array.length columns then
     invalid_arg "Table.open_existing: column count does not match the heap";
   let t =
-    { pool; name; columns; heap; indexes = []; on_new_index = (fun _ -> ()) }
+    { pool; name; columns; heap; indexes = []; on_new_index = (fun _ -> ());
+      version = 0 }
   in
   let col_pos c =
     let rec go i =
@@ -130,7 +132,10 @@ let index_on t cols =
       && Array.for_all2 ( = ) (Array.sub i.columns 0 (Array.length cols)) cols)
     t.indexes
 
+let version t = t.version
+
 let insert t row =
+  t.version <- t.version + 1;
   let rowid = Heap.insert t.heap row in
   List.iter
     (fun (i : Index.t) ->
@@ -144,6 +149,7 @@ let delete_row t rowid =
   match Heap.fetch t.heap rowid with
   | None -> false
   | Some row ->
+      t.version <- t.version + 1;
       ignore (Heap.delete t.heap rowid);
       List.iter
         (fun (i : Index.t) ->
@@ -155,6 +161,7 @@ let update_row t rowid row =
   match Heap.fetch t.heap rowid with
   | None -> false
   | Some old_row ->
+      t.version <- t.version + 1;
       ignore (Heap.update t.heap rowid row);
       List.iter
         (fun (i : Index.t) ->

@@ -53,6 +53,14 @@ val column_index : t -> string -> int
 val heap : t -> Heap.t
 val row_count : t -> int
 
+val version : t -> int
+(** Monotone mutation counter: bumped by every {!insert},
+    {!delete_row}, {!update_row} and (per victim) {!delete_where}.
+    Derived in-memory structures — the hot-tier HINT replicas in
+    particular — record the version they were built at and treat any
+    difference as staleness. Resets to 0 when a handle is re-opened, so
+    validity checks must also be keyed on the handle generation. *)
+
 val create_index :
   ?bulk:bool -> t -> name:string -> columns:string list -> Index.t
 (** Build a new index (over any rows already present). With [~bulk:true]

@@ -103,7 +103,7 @@ let shared t = t.sh
 
 let metrics_doc t =
   Metrics.render ~now:(Unix.gettimeofday ()) ~stats:t.st
-    ~cat:(Session.catalog t.sh)
+    ~cat:(Session.catalog t.sh) ~memtier:(Session.memtier t.sh)
 
 let stop t =
   (* A single byte on the self-pipe wakes the select; writing is

@@ -44,7 +44,7 @@ let op_histograms b (ops : Server_stats.op_view list) =
       Printf.bprintf b "rikit_op_io_total{op=%S} %d\n" o.v_op o.v_total_io)
     ops
 
-let render ~now ~stats ~cat =
+let render ~now ~stats ~cat ~memtier =
   let v = Server_stats.view stats in
   let pool = Relation.Catalog.pool cat in
   let ps = Storage.Buffer_pool.Stats.get pool in
@@ -110,6 +110,28 @@ let render ~now ~stats ~cat =
       gauge b ~name:"rikit_journal_bytes"
         ~help:"Serialized journal size, forced plus pending."
         (int_ (Storage.Journal.durable_bytes j + Storage.Journal.unforced_bytes j)));
+  let mt = Exec.Memtier.stats memtier in
+  gauge b ~name:"rikit_hot_tier_budget_bytes"
+    ~help:"Hot-tier byte budget (0 when the tier is disabled)."
+    (int_ mt.Exec.Memtier.s_budget_bytes);
+  gauge b ~name:"rikit_hot_tier_resident_bytes"
+    ~help:"Bytes of RAM-resident HINT replicas."
+    (int_ mt.Exec.Memtier.s_resident_bytes);
+  gauge b ~name:"rikit_hot_tier_resident_collections"
+    ~help:"Collections currently resident in the hot tier."
+    (int_ mt.Exec.Memtier.s_resident);
+  counter b ~name:"rikit_hot_tier_builds_total"
+    ~help:"Hot-tier promotions (in-memory index builds)."
+    (int_ mt.Exec.Memtier.s_builds);
+  counter b ~name:"rikit_hot_tier_demotions_total"
+    ~help:"Replicas dropped to fit the budget (LRU) or on request."
+    (int_ mt.Exec.Memtier.s_demotions);
+  counter b ~name:"rikit_hot_tier_invalidations_total"
+    ~help:"Replicas dropped because the base table mutated."
+    (int_ mt.Exec.Memtier.s_invalidations);
+  counter b ~name:"rikit_hot_tier_probes_total"
+    ~help:"Queries answered from a RAM-resident replica."
+    (int_ mt.Exec.Memtier.s_probes);
   gauge b ~name:"rikit_read_only"
     ~help:"1 when the server has degraded to read-only after corruption."
     (int_

@@ -17,8 +17,17 @@
     - [rikit_device_reads_total], [rikit_device_writes_total]
     - [rikit_journal_forces_total], [rikit_journal_commits_total],
       [rikit_journal_bytes] (durable servers only)
+    - [rikit_hot_tier_budget_bytes], [rikit_hot_tier_resident_bytes],
+      [rikit_hot_tier_resident_collections],
+      [rikit_hot_tier_builds_total], [rikit_hot_tier_demotions_total],
+      [rikit_hot_tier_invalidations_total],
+      [rikit_hot_tier_probes_total]
     - [rikit_read_only] *)
 
 val render :
-  now:float -> stats:Server_stats.t -> cat:Relation.Catalog.t -> string
+  now:float ->
+  stats:Server_stats.t ->
+  cat:Relation.Catalog.t ->
+  memtier:Exec.Memtier.t ->
+  string
 (** The full exposition document, trailing newline included. *)

@@ -9,14 +9,17 @@ type shared = {
      tree's row count at analyze time; refreshed when the count drifts
      by 2x either way ("stats refresh"). *)
   mutable stats : (int * Ritree.Cost_model.Stats.t) option;
+  (* RAM-resident hot tier (budget 0 = disabled). *)
+  memtier : Exec.Memtier.t;
 }
 
-let shared ?(durable = false) ?cache_blocks ?(tree_name = "intervals") () =
+let shared ?(durable = false) ?cache_blocks ?(tree_name = "intervals")
+    ?(hot_tier_mb = 0) () =
   let cat = Relation.Catalog.create ~durable ?cache_blocks () in
   let ritree = Ritree.Ri_tree.create ~name:tree_name cat in
   if durable then Relation.Catalog.commit cat;
   { cat; ritree; tree_name; dur = durable; generation = 0; next_session = 0;
-    stats = None }
+    stats = None; memtier = Exec.Memtier.create ~budget_mb:hot_tier_mb }
 
 let stats_for sh =
   let n = Ritree.Ri_tree.count sh.ritree in
@@ -30,6 +33,12 @@ let stats_for sh =
 let catalog sh = sh.cat
 let tree sh = sh.ritree
 let durable sh = sh.dur
+let memtier sh = sh.memtier
+
+(* Residency handle for the shared tree, if the tier serves one. Taken
+   per statement: mutation (Table.version) or a catalog swap invalidates
+   stale replicas right here. *)
+let mem_for sh = Exec.Memtier.acquire sh.memtier sh.ritree
 
 let preload sh data =
   Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id sh.ritree ivl)) data;
@@ -46,6 +55,8 @@ let flush_shared sh =
 let reattach sh =
   sh.ritree <- Ritree.Ri_tree.open_existing ~name:sh.tree_name sh.cat;
   sh.stats <- None;
+  (* the replica indexed the replaced catalog's rows *)
+  Exec.Memtier.invalidate sh.memtier sh.tree_name;
   sh.generation <- sh.generation + 1
 
 let reopen sh =
@@ -138,13 +149,15 @@ let exec t = function
       else Error (Printf.sprintf "no row ([%d, %d], id %d)" lower upper id)
   | Intersect { lower; upper } ->
       (* compiled onto the shared execution IR; the planner consults the
-         cost model to pick two-branch, single-branch, or seq scan *)
+         cost model to pick the memory tier, two-branch, single-branch,
+         or seq scan *)
       pair_rows
-        (Exec.Planner.intersecting ~stats:(stats_for t.sh) t.sh.ritree
-           (ivl lower upper))
+        (Exec.Planner.intersecting ~stats:(stats_for t.sh)
+           ?mem:(mem_for t.sh) t.sh.ritree (ivl lower upper))
   | Allen { relation; lower; upper } ->
       pair_rows
-        (Exec.Planner.allen_matches t.sh.ritree relation (ivl lower upper))
+        (Exec.Planner.allen_matches ?mem:(mem_for t.sh) t.sh.ritree relation
+           (ivl lower upper))
   | Commit ->
       commit_shared t.sh;
       Ack "committed"
@@ -190,11 +203,11 @@ let exec t = function
       | Protocol.Explain_intersect { lower; upper } ->
           Ack
             (Exec.Planner.explain ~stats:(stats_for t.sh) ~analyze
-               t.sh.ritree
+               ?mem:(mem_for t.sh) t.sh.ritree
                (Exec.Planner.Intersect_target (ivl lower upper)))
       | Protocol.Explain_allen { relation; lower; upper } ->
           Ack
-            (Exec.Planner.explain ~analyze t.sh.ritree
+            (Exec.Planner.explain ~analyze ?mem:(mem_for t.sh) t.sh.ritree
                (Exec.Planner.Allen_target (relation, ivl lower upper))))
 
 (* Group-commit staging: counts as a request for this session, but the

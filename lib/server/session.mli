@@ -19,14 +19,25 @@
 type shared
 
 val shared :
-  ?durable:bool -> ?cache_blocks:int -> ?tree_name:string -> unit -> shared
+  ?durable:bool ->
+  ?cache_blocks:int ->
+  ?tree_name:string ->
+  ?hot_tier_mb:int ->
+  unit ->
+  shared
 (** A fresh database with an empty RI-tree (default name
     ["intervals"]). [durable:true] (default [false]) enables the
-    write-ahead journal and with it [Rollback]. *)
+    write-ahead journal and with it [Rollback]. [hot_tier_mb] (default
+    [0] = disabled) budgets the RAM-resident hot tier: the typed
+    interval ops then serve from an in-memory HINT replica whenever the
+    cost model prefers it. *)
 
 val catalog : shared -> Relation.Catalog.t
 val tree : shared -> Ritree.Ri_tree.t
 val durable : shared -> bool
+
+val memtier : shared -> Exec.Memtier.t
+(** The hot-tier manager (budget 0 when disabled). *)
 
 val preload : shared -> Interval.Ivl.t array -> unit
 (** Bulk-insert a dataset into the RI-tree (ids [0..n-1]) and commit. *)

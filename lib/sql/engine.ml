@@ -36,6 +36,10 @@ type session = {
   (* Bumped whenever cached plans are invalidated (DDL, collection
      schema change); prepared statements recompile when stale. *)
   mutable generation : int;
+  (* Hot-tier residency generation the caches were last valid under:
+     any promotion/demotion/invalidation in the memory tier flips the
+     tier choice underneath compiled plans, so they are flushed. *)
+  mutable mem_generation : int;
 }
 
 let session ?(plan_cache = true) catalog =
@@ -44,7 +48,8 @@ let session ?(plan_cache = true) catalog =
     statements = 0;
     cache = Exec.Plan_cache.create ();
     cache_enabled = plan_cache;
-    generation = 0 }
+    generation = 0;
+    mem_generation = Exec.Memtier.current_generation () }
 
 let statements s = s.statements
 
@@ -53,6 +58,13 @@ let catalog s = s.catalog
 let invalidate_plans s =
   Exec.Plan_cache.invalidate s.cache;
   s.generation <- s.generation + 1
+
+let sync_mem_generation s =
+  let g = Exec.Memtier.current_generation () in
+  if g <> s.mem_generation then begin
+    s.mem_generation <- g;
+    invalidate_plans s
+  end
 
 let set_collection s name ~columns rows =
   let cols = Array.of_list columns in
@@ -632,7 +644,8 @@ let compile_key session key =
    the plan table yields the compiled plan without parsing or planning. *)
 let lookup_cached session src =
   if not session.cache_enabled then None
-  else
+  else begin
+    sync_mem_generation session;
     let cache = session.cache in
     match Exec.Plan_cache.find_raw cache src with
     | Some (key, params) -> (
@@ -660,6 +673,7 @@ let lookup_cached session src =
                     Exec.Plan_cache.add_raw cache src key params;
                     Some (plan, params)
                 | None -> None)))
+  end
 
 (* ---------------- prepared statements ---------------- *)
 
@@ -718,6 +732,7 @@ let prepared_kind p = stmt_kind p.p_stmt
 (* A prepared SELECT recompiles if DDL or a collection schema change
    invalidated plans since it was compiled. *)
 let prepared_plan session p =
+  sync_mem_generation session;
   match p.p_stmt with
   | Ast.Select q -> (
       match p.p_plan with

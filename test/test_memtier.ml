@@ -1,0 +1,197 @@
+(* The RAM-resident hot tier: golden EXPLAIN tier flip around the byte
+   budget, memory ≡ disk result identity (intersection and all 13 Allen
+   relations), invalidation on mutation, LRU demotion, and the
+   residency generation that flushes SQL plan caches. *)
+
+module Ivl = Interval.Ivl
+module Allen = Interval.Allen
+module Ri = Ritree.Ri_tree
+module CM = Ritree.Cost_model
+module Dist = Workload.Distribution
+module Pl = Exec.Planner
+module Mt = Exec.Memtier
+module E = Sqlfront.Engine
+
+let check = Alcotest.check
+let sorted = List.sort compare
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  go 0
+
+let build ?name ~n () =
+  let data = Dist.generate ~seed:11 Dist.D1 ~n ~d:2_000 in
+  let db = Relation.Catalog.create () in
+  let tree = match name with
+    | None -> Ri.create db
+    | Some name -> Ri.create ~name db
+  in
+  Array.iteri (fun id ivl -> ignore (Ri.insert ~id tree ivl)) data;
+  (db, tree, data)
+
+let q = Ivl.make 400_000 500_000
+
+(* ---- golden EXPLAIN: the tier decision flips on the budget ---- *)
+
+let test_explain_tier_flip () =
+  let mt = Mt.create ~budget_mb:1 in
+  (* small collection: resident, the plan is a memory probe *)
+  let _, small, _ = build ~n:500 () in
+  let stats = CM.Stats.analyze small in
+  let mem = Mt.acquire mt small in
+  check Alcotest.bool "small collection is admitted" true (mem <> None);
+  let plan =
+    Pl.explain ~stats ?mem small (Pl.Intersect_target q)
+  in
+  check Alcotest.bool "resident plan probes the hot tier" true
+    (contains plan "MEM HINT PROBE");
+  check Alcotest.bool "resident plan names the collection" true
+    (contains plan (Ri.name small));
+  (* oversized collection: acquire declines, the plan stays on disk.
+     1 MB admits ~9.3k rows under the pre-build gate; 20k cannot fit. *)
+  let _, big, _ = build ~n:20_000 () in
+  let stats_b = CM.Stats.analyze big in
+  let mem_b = Mt.acquire mt big in
+  check Alcotest.bool "oversized collection is declined" true (mem_b = None);
+  let plan_b =
+    Pl.explain ~stats:stats_b ?mem:mem_b big (Pl.Intersect_target q)
+  in
+  check Alcotest.bool "cold plan keeps the index range scan" true
+    (contains plan_b "INDEX RANGE SCAN");
+  check Alcotest.bool "cold plan has no memory probe" false
+    (contains plan_b "MEM HINT")
+
+(* ---- memory results ≡ disk results ---- *)
+
+let test_mem_matches_disk () =
+  let mt = Mt.create ~budget_mb:64 in
+  let _, tree, data = build ~n:2_000 () in
+  let stats = CM.Stats.analyze tree in
+  let mem = Mt.acquire mt tree in
+  check Alcotest.bool "resident" true (mem <> None);
+  let queries =
+    [ q; Ivl.point 450_000; Ivl.make 0 Dist.domain_max; Ivl.make 1 2 ]
+  in
+  List.iter
+    (fun q ->
+      check
+        (Alcotest.list Alcotest.int)
+        "intersection ids match disk"
+        (sorted (Pl.intersecting_ids ~stats tree q))
+        (sorted (Pl.intersecting_ids ?mem ~path:Pl.Mem_path tree q)))
+    queries;
+  check Alcotest.int "every row is resident" (Array.length data)
+    (List.length (Pl.intersecting_ids ?mem ~path:Pl.Mem_path tree
+                    (Ivl.make min_int max_int)));
+  List.iter
+    (fun r ->
+      check
+        (Alcotest.list Alcotest.int)
+        (Allen.to_string r ^ " ids match disk")
+        (sorted (Pl.allen_ids tree r q))
+        (sorted (Pl.allen_ids ?mem tree r q)))
+    Allen.all
+
+(* ---- mutation invalidates the replica ---- *)
+
+let test_mutation_invalidates () =
+  let mt = Mt.create ~budget_mb:64 in
+  let _, tree, _ = build ~n:300 () in
+  (match Mt.acquire mt tree with
+  | None -> Alcotest.fail "expected residency"
+  | Some _ -> ());
+  check Alcotest.int "one build" 1 (Mt.stats mt).Mt.s_builds;
+  let id = Ri.insert tree (Ivl.make 449_000 451_000) in
+  (* the stale replica is dropped and rebuilt on next acquire, and the
+     new row is served from memory *)
+  let mem = Mt.acquire mt tree in
+  let st = Mt.stats mt in
+  check Alcotest.int "rebuilt" 2 st.Mt.s_builds;
+  check Alcotest.int "stale replica invalidated" 1 st.Mt.s_invalidations;
+  check Alcotest.bool "new row served from the replica" true
+    (List.mem id (Pl.intersecting_ids ?mem ~path:Pl.Mem_path tree q))
+
+(* ---- LRU demotion under a tight budget ---- *)
+
+let test_lru_demotion () =
+  (* ~590 KB per replica at 9k rows: each passes the pre-build gate,
+     two cannot share 1 MB *)
+  let mt = Mt.create ~budget_mb:1 in
+  let _, t1, _ = build ~name:"hot_a" ~n:9_000 () in
+  let _, t2, _ = build ~name:"hot_b" ~n:9_000 () in
+  check Alcotest.bool "first admitted" true (Mt.acquire mt t1 <> None);
+  check Alcotest.bool "second admitted" true (Mt.acquire mt t2 <> None);
+  let st = Mt.stats mt in
+  check Alcotest.bool "older replica was demoted" true (st.Mt.s_demotions >= 1);
+  check Alcotest.bool "victim is the cold one" true
+    (Mt.resident mt "hot_b" && not (Mt.resident mt "hot_a"));
+  check Alcotest.bool "budget is respected" true
+    (st.Mt.s_resident_bytes <= st.Mt.s_budget_bytes)
+
+let test_disabled_tier () =
+  let mt = Mt.create ~budget_mb:0 in
+  let _, tree, _ = build ~n:50 () in
+  check Alcotest.bool "budget 0 disables the tier" true
+    (Mt.acquire mt tree = None)
+
+(* ---- residency generation and the SQL plan cache ---- *)
+
+let test_generation_bumps () =
+  let mt = Mt.create ~budget_mb:64 in
+  let _, tree, _ = build ~n:200 () in
+  let g0 = Mt.current_generation () in
+  ignore (Mt.acquire mt tree);
+  let g1 = Mt.current_generation () in
+  check Alcotest.bool "build bumps the generation" true (g1 > g0);
+  check Alcotest.bool "demote" true (Mt.demote mt (Ri.name tree));
+  let g2 = Mt.current_generation () in
+  check Alcotest.bool "demotion bumps the generation" true (g2 > g1);
+  ignore (Mt.acquire mt tree);
+  Mt.invalidate mt (Ri.name tree);
+  check Alcotest.bool "invalidation bumps the generation" true
+    (Mt.current_generation () > g2)
+
+let test_plan_cache_flush_on_tier_change () =
+  let db, tree, _ = build ~n:200 () in
+  let s = E.session db in
+  let sql = "SELECT id FROM intervals WHERE lower <= 500000 AND upper >= \
+             400000"
+  in
+  ignore (E.query s sql);
+  ignore (E.query s sql);
+  let hits0, misses0 = E.plan_cache_stats s in
+  check Alcotest.bool "repeat hits the cache" true (hits0 >= 1);
+  (* a promotion elsewhere in the process moves the residency
+     generation; the session must drop its compiled plans *)
+  let mt = Mt.create ~budget_mb:64 in
+  ignore (Mt.acquire mt tree);
+  ignore (E.query s sql);
+  let _, misses1 = E.plan_cache_stats s in
+  check Alcotest.bool "tier change forces a replan" true (misses1 > misses0);
+  (* stable generation: caching resumes *)
+  let hits1, _ = E.plan_cache_stats s in
+  ignore (E.query s sql);
+  let hits2, _ = E.plan_cache_stats s in
+  check Alcotest.bool "cache works again afterwards" true (hits2 > hits1)
+
+let () =
+  Alcotest.run "memtier"
+    [ ( "tier",
+        [ Alcotest.test_case "explain flips on the budget" `Quick
+            test_explain_tier_flip;
+          Alcotest.test_case "memory ≡ disk results" `Quick
+            test_mem_matches_disk;
+          Alcotest.test_case "mutation invalidates" `Quick
+            test_mutation_invalidates;
+          Alcotest.test_case "LRU demotion" `Quick test_lru_demotion;
+          Alcotest.test_case "budget 0 disables" `Quick test_disabled_tier ] );
+      ( "generation",
+        [ Alcotest.test_case "residency changes bump it" `Quick
+            test_generation_bumps;
+          Alcotest.test_case "plan cache flushes on tier change" `Quick
+            test_plan_cache_flush_on_tier_change ] ) ]
