@@ -1381,6 +1381,196 @@ let bench_memindex_cmd =
                stdout and BENCH_memindex.json." ])
     Term.(const bench_memindex $ tiny $ seed_arg $ out)
 
+(* ---- bench-txn: MVCC multi-writer throughput and conflict behaviour ----
+
+   Three phases against live in-process servers (real sockets, real
+   dispatcher):
+
+   1. Serialized baseline — the only safe discipline before per-session
+      write sets: one writer at a time, every COMMIT forced on its own.
+   2. Multi-writer — N concurrent sessions buffering independent write
+      sets, COMMITs validated per session and staged into a
+      group-commit window. The headline is multi/serial throughput.
+   3. Contention — every session buffers a delete of the SAME row, all
+      commit: exactly one wins per round, the rest get the typed
+      [Conflict] frame (first-committer-wins), never a silent no-op. *)
+
+let with_txn_server ?(group_commit = 0.) ?(preload = [||]) ~sessions f =
+  let cfg =
+    { Server.Dispatcher.host = "127.0.0.1"; port = 0;
+      max_sessions = sessions + 2; max_inflight = 64; max_queue = 4096;
+      group_commit; idle_timeout = 0.; metrics_port = None;
+      slow_query_ms = 0. }
+  in
+  let sh = Server.Session.shared ~durable:true () in
+  if Array.length preload > 0 then Server.Session.preload sh preload;
+  let disp = Server.Dispatcher.create ~config:cfg sh in
+  let thread = Thread.create (fun () -> Server.Dispatcher.serve disp) () in
+  let result =
+    try Ok (f (Server.Dispatcher.port disp)) with e -> Error e
+  in
+  Server.Dispatcher.stop disp;
+  Thread.join thread;
+  match result with Ok v -> v | Error e -> raise e
+
+(* One client running [txns] transactions of [writes] inserts + COMMIT;
+   returns the number of committed transactions. *)
+let txn_writer ~port ~txns ~writes ~base =
+  let c = Server.Client.connect ~port () in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      let committed = ref 0 in
+      for t = 0 to txns - 1 do
+        for w = 0 to writes - 1 do
+          let lo = base + (t * writes) + w in
+          match Server.Client.insert c (Interval.Ivl.make lo (lo + 10)) with
+          | Ok _ -> ()
+          | Error e ->
+              failwith ("insert: " ^ Server.Client.error_to_string e)
+        done;
+        match Server.Client.commit c with
+        | Ok () -> incr committed
+        | Error e -> failwith ("commit: " ^ Server.Client.error_to_string e)
+      done;
+      !committed)
+
+let bench_txn_serial ~sessions ~txns_per ~writes =
+  with_txn_server ~sessions:1 (fun port ->
+      let total = sessions * txns_per in
+      let t0 = Unix.gettimeofday () in
+      let committed = txn_writer ~port ~txns:total ~writes ~base:0 in
+      let wall = Unix.gettimeofday () -. t0 in
+      (float_of_int committed /. wall, committed))
+
+let bench_txn_multi ~sessions ~txns_per ~writes ~group_commit =
+  with_txn_server ~group_commit ~sessions (fun port ->
+      let results = Array.make sessions 0 in
+      let t0 = Unix.gettimeofday () in
+      let threads =
+        Array.to_list
+          (Array.init sessions (fun i ->
+               Thread.create
+                 (fun () ->
+                   results.(i) <-
+                     txn_writer ~port ~txns:txns_per ~writes
+                       ~base:(i * txns_per * writes * 2))
+                 ()))
+      in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let committed = Array.fold_left ( + ) 0 results in
+      (float_of_int committed /. wall, committed))
+
+let bench_txn_contention ~sessions ~rounds =
+  (* rows 0..rounds-1 preloaded committed; round r: every session
+     buffers DELETE of row r, then every session commits in turn *)
+  let preload =
+    Array.init rounds (fun i -> Interval.Ivl.make (i * 100) ((i * 100) + 50))
+  in
+  with_txn_server ~sessions ~preload (fun port ->
+      let clients =
+        Array.init sessions (fun _ -> Server.Client.connect ~port ())
+      in
+      Fun.protect
+        ~finally:(fun () -> Array.iter Server.Client.close clients)
+        (fun () ->
+          let commits = ref 0 and conflicts = ref 0 in
+          for r = 0 to rounds - 1 do
+            Array.iter
+              (fun c ->
+                match
+                  Server.Client.rpc c
+                    (Server.Protocol.Delete
+                       { lower = r * 100; upper = (r * 100) + 50; id = r })
+                with
+                | Server.Protocol.Ack _ -> ()
+                | _ -> failwith "contention: delete refused")
+              clients;
+            Array.iter
+              (fun c ->
+                incr commits;
+                match Server.Client.commit c with
+                | Ok () -> ()
+                | Error (Server.Client.Conflict _ as e) ->
+                    (* must be a verdict, not something a client retries *)
+                    if Server.Client.retryable e then
+                      failwith "Conflict classified retryable";
+                    incr conflicts
+                | Error e ->
+                    failwith ("commit: " ^ Server.Client.error_to_string e))
+              clients
+          done;
+          (!commits, !conflicts)))
+
+let bench_txn tiny sessions out =
+  let sessions = max 4 sessions in
+  let txns_per = if tiny then 25 else 150 in
+  let writes = 4 in
+  let rounds = if tiny then 10 else 50 in
+  let serial_tps, serial_n = bench_txn_serial ~sessions ~txns_per ~writes in
+  let multi_tps, multi_n =
+    bench_txn_multi ~sessions ~txns_per ~writes ~group_commit:0.002
+  in
+  let speedup = multi_tps /. Float.max 1e-9 serial_tps in
+  let commits, conflicts = bench_txn_contention ~sessions ~rounds in
+  let conflict_rate = float_of_int conflicts /. float_of_int (max 1 commits) in
+  Printf.printf "bench-txn: %d sessions, %d writes/txn\n" sessions writes;
+  Printf.printf "  serialized      %.0f txn/s (%d txns, one writer at a time)\n"
+    serial_tps serial_n;
+  Printf.printf "  multi-writer    %.0f txn/s (%d txns over %d sessions)\n"
+    multi_tps multi_n sessions;
+  Printf.printf "  speedup         %.2fx\n" speedup;
+  Printf.printf
+    "  contention      %d commits, %d conflicts (rate %.3f; expected %.3f)\n"
+    commits conflicts conflict_rate
+    (float_of_int (sessions - 1) /. float_of_int sessions);
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\n  \"bench\": \"txn\",\n  \"tiny\": %b,\n  \"sessions\": %d,\n\
+    \  \"writes_per_txn\": %d,\n  \"txns\": %d,\n\
+    \  \"serial_tps\": %.1f,\n  \"multi_tps\": %.1f,\n\
+    \  \"speedup\": %.3f,\n\
+    \  \"conflict\": {\"rounds\": %d, \"commits\": %d, \"conflicts\": %d, \
+     \"conflict_rate\": %.3f}\n}\n"
+    tiny sessions writes (sessions * txns_per) serial_tps multi_tps speedup
+    rounds commits conflicts conflict_rate;
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out
+
+let bench_txn_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ]
+             ~doc:"Small transaction counts for CI smoke runs.")
+  in
+  let sessions =
+    Arg.(value & opt int 8
+         & info [ "c"; "sessions" ]
+             ~doc:"Concurrent writer sessions (minimum 4).")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_txn.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-txn"
+       ~doc:"MVCC multi-writer commit throughput vs the serialized baseline"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Starts in-process durable servers and measures transaction \
+               throughput three ways: a serialized baseline (one writer \
+               at a time, per-commit log force — the only safe discipline \
+               before per-session write sets), N concurrent writers with \
+               MVCC validation and group-commit staging, and a contended \
+               workload where every session deletes the same row to \
+               demonstrate first-committer-wins Conflict frames. Results \
+               go to stdout and BENCH_txn.json." ])
+    Term.(const bench_txn $ tiny $ sessions $ out)
+
 (* ---- sql ---- *)
 
 let run_sql file =
@@ -1584,5 +1774,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
          bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
-         bench_plan_cmd; bench_memindex_cmd; scrub_cmd;
+         bench_plan_cmd; bench_memindex_cmd; bench_txn_cmd; scrub_cmd;
          crash_schedule_cmd ]))

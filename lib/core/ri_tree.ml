@@ -112,7 +112,14 @@ let fork_node t ivl =
   let l, u = shifted t ivl in
   Backbone.fork (Backbone.expand t.roots ~l ~u) ~l ~u
 
-let insert ?id (t : t) ivl =
+(* Fork computation and parameter maintenance WITHOUT the physical row
+   insert: MVCC sessions buffer the returned row into their write set
+   and apply it only at commit. The parameter mutations (id counter,
+   widened roots, lowered min_level) are persisted immediately and are
+   deliberately NOT rolled back on abort — all three are monotone
+   metadata whose only effect on a tree without the row is a skipped id
+   and a superset of query probes, never a wrong answer. *)
+let prepare_insert ?id (t : t) ivl =
   check_bound (Ivl.lower ivl);
   check_bound (Ivl.upper ivl);
   let id =
@@ -132,9 +139,12 @@ let insert ?id (t : t) ivl =
   t.roots <- Backbone.expand t.roots ~l ~u;
   let fork, flevel = Backbone.fork_level t.roots ~l ~u in
   if fork <> 0 && flevel < t.min_level then t.min_level <- flevel;
-  ignore
-    (Relation.Table.insert t.table [| fork; Ivl.lower ivl; Ivl.upper ivl; id |]);
   save_params t;
+  (id, [| fork; Ivl.lower ivl; Ivl.upper ivl; id |])
+
+let insert ?id (t : t) ivl =
+  let id, row = prepare_insert ?id t ivl in
+  ignore (Relation.Table.insert t.table row);
   id
 
 let open_existing ?(name = "intervals") catalog =
@@ -204,30 +214,35 @@ let bulk_load ?(name = "intervals") catalog data =
   save_params t;
   t
 
-let delete (t : t) ~id ivl =
+(* Locate the physical row a delete would remove, without removing it.
+   [ok rowid row] lets MVCC sessions reject rows outside their snapshot
+   (or already in their own delete set) and keep scanning. *)
+let find_victim ?(ok = fun _ _ -> true) (t : t) ~id ivl =
   match t.offset with
-  | None -> false
+  | None -> None
   | Some _ ->
       let fork = fork_node t ivl in
       let tree = Relation.Table.Index.tree t.lower_index in
       (* Index key: (node, lower, id, rowid). *)
       let lo = [| fork; Ivl.lower ivl; id; min_int |] in
       let hi = [| fork; Ivl.lower ivl; id; max_int |] in
-      let victim =
-        Btree.fold_range tree ~lo ~hi
-          (fun acc key ->
-            match acc with
-            | Some _ -> acc
-            | None -> (
-                let rowid = key.(3) in
-                match Relation.Table.fetch t.table rowid with
-                | Some row when row.(col_upper) = Ivl.upper ivl -> Some rowid
-                | Some _ | None -> None))
-          None
-      in
-      (match victim with
-      | Some rowid -> Relation.Table.delete_row t.table rowid
-      | None -> false)
+      Btree.fold_range tree ~lo ~hi
+        (fun acc key ->
+          match acc with
+          | Some _ -> acc
+          | None -> (
+              let rowid = key.(3) in
+              match Relation.Table.fetch t.table rowid with
+              | Some row when row.(col_upper) = Ivl.upper ivl && ok rowid row
+                ->
+                  Some (rowid, row)
+              | Some _ | None -> None))
+        None
+
+let delete (t : t) ~id ivl =
+  match find_victim t ~id ivl with
+  | Some (rowid, _) -> Relation.Table.delete_row t.table rowid
+  | None -> false
 
 (* ------------------------------------------------------------------ *)
 (* Intersection queries: the two-branch UNION ALL plan of Fig. 9. *)

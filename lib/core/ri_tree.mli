@@ -59,9 +59,24 @@ val insert : ?id:int -> t -> Interval.Ivl.t -> int
     @raise Invalid_argument if a bound exceeds {!max_bound_magnitude}
     (node values must stay clear of the temporal sentinels). *)
 
+val prepare_insert : ?id:int -> t -> Interval.Ivl.t -> int * int array
+(** {!insert} minus the physical row write: assigns the id, updates and
+    persists the backbone parameters, and returns [(id, row)] for the
+    caller to insert (MVCC sessions buffer it into their write set).
+    The parameter updates are monotone metadata — if the buffered row is
+    never applied the tree merely skips an id and probes a superset of
+    nodes; answers are unaffected. *)
+
 val delete : t -> id:int -> Interval.Ivl.t -> bool
 (** Remove one row matching the interval and id exactly; [false] if no
     such row exists. *)
+
+val find_victim :
+  ?ok:(int -> int array -> bool) ->
+  t -> id:int -> Interval.Ivl.t -> (int * int array) option
+(** The physical [(rowid, row)] {!delete} would remove, without removing
+    it. [ok rowid row] filters candidates (MVCC snapshot visibility);
+    rejected rows are skipped, not returned. *)
 
 val count : t -> int
 

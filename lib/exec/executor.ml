@@ -75,6 +75,21 @@ let rec eval_pred binds (bound : binding) = function
 
 (* ---------------- node execution ---------------- *)
 
+(* Inclusive lexicographic range check for injecting snapshot-overlay
+   rows into an index probe: an overlay row participates exactly when
+   its index entry would have fallen inside the probe's key range. *)
+let key_le a b =
+  let n = Array.length a in
+  let rec go i =
+    if i >= n then true
+    else if a.(i) < b.(i) then true
+    else if a.(i) > b.(i) then false
+    else go (i + 1)
+  in
+  go 0
+
+let key_in_range ~lo ~hi key = key_le lo key && key_le key hi
+
 let node_span (step : Ir.step) =
   match (step.source, step.access) with
   | Ir.Collection _, _ -> "exec.collection"
@@ -110,12 +125,23 @@ let run_step ctx bound (step : Ir.step) (emit : binding -> unit) =
     | Ir.Base tbl, Ir.Seq_scan ->
         (* Streaming scan: the heap cursor behind Iter.heap_scan holds
            one page of rows at a time, so a sequential scan of any size
-           runs in constant memory. The appended rowid column is
-           dropped. *)
+           runs in constant memory. The appended rowid column is used
+           for the snapshot visibility check, then dropped. *)
         let columns = Relation.Table.columns tbl in
+        let view = ctx.Ir.vis (Relation.Table.name tbl) in
+        let accept =
+          match view with
+          | None -> fun _ -> true
+          | Some v -> v.Relation.Txn.visible
+        in
         Relation.Iter.iter
-          (fun r -> visit columns (Array.sub r 0 (Array.length r - 1)))
-          (Relation.Iter.heap_scan tbl)
+          (fun r ->
+            let n = Array.length r in
+            if accept r.(n - 1) then visit columns (Array.sub r 0 (n - 1)))
+          (Relation.Iter.heap_scan tbl);
+        (match view with
+        | None -> ()
+        | Some v -> List.iter (visit columns) (v.Relation.Txn.extra ()))
     | ( Ir.Base tbl,
         Ir.Index_scan { index; eq; lo; hi; refine_lo; refine_hi; covering } )
       ->
@@ -152,24 +178,60 @@ let run_step ctx bound (step : Ir.step) (emit : binding -> unit) =
                 (eval_value binds bound v - if inclusive then 0 else 1)
           | None -> ()
         end;
+        let view = ctx.Ir.vis (Relation.Table.name tbl) in
+        let accept =
+          match view with
+          | None -> fun _ -> true
+          | Some v -> v.Relation.Txn.visible
+        in
+        let entry_visit key =
+          let entry_ok =
+            step.Ir.key_filters = []
+            ||
+            (* key filters see the index entry (sans rowid), so
+               non-matching entries are skipped without a fetch *)
+            let entry = Array.sub key 0 (Array.length key - 1) in
+            let b2 = bind icols entry in
+            List.for_all (fun f -> eval_pred binds b2 f) step.Ir.key_filters
+          in
+          if entry_ok then
+            if covering then
+              visit icols (Array.sub key 0 (Array.length key - 1))
+            else
+              let rowid = key.(Array.length key - 1) in
+              match Relation.Table.fetch tbl rowid with
+              | Some row -> visit (Relation.Table.columns tbl) row
+              | None -> ()
+        in
         Btree.iter_range tree ~lo:lo_key ~hi:hi_key (fun key ->
-            let entry_ok =
-              step.Ir.key_filters = []
-              ||
-              (* key filters see the index entry (sans rowid), so
-                 non-matching entries are skipped without a fetch *)
-              let entry = Array.sub key 0 (Array.length key - 1) in
-              let b2 = bind icols entry in
-              List.for_all (fun f -> eval_pred binds b2 f) step.Ir.key_filters
-            in
-            if entry_ok then
-              if covering then
-                visit icols (Array.sub key 0 (Array.length key - 1))
-              else
-                let rowid = key.(Array.length key - 1) in
-                match Relation.Table.fetch tbl rowid with
-                | Some row -> visit (Relation.Table.columns tbl) row
-                | None -> ())
+            if accept key.(Array.length key - 1) then entry_visit key);
+        (match view with
+        | None -> ()
+        | Some v ->
+            (* Overlay rows are injected per probe: each row's index
+               entry joins exactly the probes whose key range would have
+               contained its physical registration, so UNION ALL branch
+               disjointness and per-probe key filters behave as for
+               physical rows. The rowid slot is unconstrained in every
+               probe (min_int..max_int), so a pseudo-rowid of 0 never
+               decides the comparison. *)
+            List.iter
+              (fun row ->
+                let key = Relation.Table.Index.key_of_row index 0 row in
+                if key_in_range ~lo:lo_key ~hi:hi_key key then
+                  if covering then entry_visit key
+                  else
+                    let entry_ok =
+                      step.Ir.key_filters = []
+                      ||
+                      let entry = Array.sub key 0 (Array.length key - 1) in
+                      let b2 = bind icols entry in
+                      List.for_all
+                        (fun f -> eval_pred binds b2 f)
+                        step.Ir.key_filters
+                    in
+                    if entry_ok then visit (Relation.Table.columns tbl) row)
+              (v.Relation.Txn.extra ()))
   in
   if Obs.Trace.enabled () then
     Obs.Trace.with_span (node_span step) ~info:step.Ir.alias body

@@ -116,14 +116,22 @@ type plan = {
   limit : int option;
 }
 
-(* The run-time context a plan executes against: parameter bindings and
-   the transient collections (the SQL session's, or the planner's own). *)
+(* The run-time context a plan executes against: parameter bindings,
+   the transient collections (the SQL session's, or the planner's own),
+   and the MVCC snapshot overlay. [vis] returns the per-table view of
+   the executing session's snapshot: base-table scans filter physically
+   present rows through it and merge the rows it serves that are not
+   physically present (recently deleted rows old snapshots still see,
+   plus the session's own pending inserts). [None] — the common case —
+   means physical state is exactly the snapshot and scans pay nothing. *)
 type ctx = {
   binds : (string * int) list;
   collection : string -> (string array * int array list) option;
+  vis : string -> Relation.Txn.view option;
 }
 
-let no_collections = { binds = []; collection = (fun _ -> None) }
+let no_vis : string -> Relation.Txn.view option = fun _ -> None
+let no_collections = { binds = []; collection = (fun _ -> None); vis = no_vis }
 
 (* ---- printing (must match Sqlfront.Ast.expr_to_string verbatim: the
    renderer's FILTER and key lines are part of the EXPLAIN contract) ---- *)

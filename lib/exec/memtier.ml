@@ -25,6 +25,7 @@ type entry = {
   e_bytes : int;
   e_version : int; (* Table.version at build time *)
   e_table : Relation.Table.t; (* physical handle the version belongs to *)
+  e_lsn : int; (* commit LSN of the table state the replica reflects *)
   mutable e_tick : int; (* last-use stamp for LRU demotion *)
 }
 
@@ -118,7 +119,7 @@ let make_room t need =
   done
 
 
-let build t ri =
+let build ?(lsn = 0) t ri =
   let tbl = Ri.table ri in
   let name = Ri.name ri in
   let rows = Ri.count ri in
@@ -150,13 +151,17 @@ let build t ri =
       h
     in
     let bytes = Hint.approx_bytes hint in
-    make_room t bytes;
-    if t.resident_bytes + bytes > t.budget_bytes then None
+    (* Exact-size gate BEFORE any eviction: an oversized collection whose
+       rough pre-gate estimate undershot must not demote the whole tier
+       only to be declined anyway. Once it is known to fit the budget,
+       LRU demotion frees exactly what is needed. *)
+    if bytes > t.budget_bytes then None
     else begin
+      make_room t bytes;
       t.tick <- t.tick + 1;
       let e =
         { e_name = name; e_hint = hint; e_bytes = bytes; e_version = version;
-          e_table = tbl; e_tick = t.tick }
+          e_table = tbl; e_lsn = lsn; e_tick = t.tick }
       in
       Hashtbl.replace t.entries name e;
       t.resident_bytes <- t.resident_bytes + bytes;
@@ -189,8 +194,14 @@ let handle t (e : entry) : Ir.mem_handle =
 (* The one entry point the query paths use: a valid resident replica is
    served (and LRU-touched); a stale one is invalidated; a miss triggers
    a build when the budget allows. Returns [None] when the tier is
-   disabled, the collection does not fit, or the build was declined. *)
-let acquire t ri =
+   disabled, the collection does not fit, or the build was declined.
+
+   Snapshot gating: a replica reflects the table as of its build LSN.
+   A snapshot with [snap_high] older than that LSN must not see the
+   newer state, so the handle is withheld — WITHOUT dropping the
+   replica, which every current-snapshot reader can still use. A fresh
+   build is stamped with [lsn] (the table's last committed mutation). *)
+let acquire ?(snap_high = max_int) ?(lsn = 0) t ri =
   if t.budget_bytes <= 0 then None
   else begin
     let tbl = Ri.table ri in
@@ -209,6 +220,9 @@ let acquire t ri =
       | None -> None
     in
     match live with
-    | Some e -> Some (handle t e)
-    | None -> Option.map (handle t) (build t ri)
+    | Some e -> if snap_high >= e.e_lsn then Some (handle t e) else None
+    | None -> (
+        match build ~lsn t ri with
+        | Some e when snap_high >= e.e_lsn -> Some (handle t e)
+        | Some _ | None -> None)
   end

@@ -24,11 +24,17 @@ val create : budget_mb:int -> t
 (** A manager with the given budget; [0] disables the tier ({!acquire}
     always returns [None]). *)
 
-val acquire : t -> Ritree.Ri_tree.t -> Ir.mem_handle option
+val acquire :
+  ?snap_high:int -> ?lsn:int -> t -> Ritree.Ri_tree.t -> Ir.mem_handle option
 (** Residency handle for the collection, if it is (or can be made)
     resident within budget. Serving a handle touches the LRU clock;
     a replica staler than the table's mutation counter is dropped and
-    rebuilt. *)
+    rebuilt.
+
+    [snap_high] is the requesting snapshot's commit LSN (default: serve
+    unconditionally); a replica built from table state newer than the
+    snapshot is withheld for that request without being dropped. [lsn]
+    stamps a fresh build with the table's last committed mutation LSN. *)
 
 val resident : t -> string -> bool
 

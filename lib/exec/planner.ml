@@ -38,8 +38,8 @@ let default_path q = if Ivl.lower q = Ivl.upper q then Single_branch else Two_br
    against. *)
 type compiled = { plan : Ir.plan; ctx : Ir.ctx }
 
-let make_ctx binds colls =
-  { Ir.binds; collection = (fun name -> List.assoc_opt name colls) }
+let make_ctx ?(vis = Ir.no_vis) binds colls =
+  { Ir.binds; collection = (fun name -> List.assoc_opt name colls); vis }
 
 let interval_binds q = [ ("qlow", Ivl.lower q); ("qup", Ivl.upper q) ]
 
@@ -105,11 +105,12 @@ let two_branch_branches ?(extra = []) ~proj t =
           lower_step ];
       projections = projs; group_by = [] } ]
 
-let two_branch ?extra ~proj t q =
+let two_branch ?extra ?vis ~proj t q =
   let nl = Ri.node_lists t q in
   { plan = plain_plan (two_branch_branches ?extra ~proj t);
     ctx =
-      make_ctx (interval_binds q) [ left_collection nl; right_collection nl ] }
+      make_ctx ?vis (interval_binds q)
+        [ left_collection nl; right_collection nl ] }
 
 (* ---- single-branch path probe for degenerate (point) queries ---- *)
 
@@ -124,7 +125,7 @@ let path_nodes t x =
       in
       Ritree.Backbone.path roots ~min_level:p.Ri.min_level (x - off)
 
-let single_branch ~proj t q =
+let single_branch ?vis ~proj t q =
   let table = Ri.table t in
   let probe =
     (* Every interval containing the point is registered on its backbone
@@ -148,11 +149,11 @@ let single_branch ~proj t q =
   let nodes = List.map (fun w -> [| w |]) (path_nodes t (Ivl.lower q)) in
   { plan = plain_plan [ branch ];
     ctx =
-      make_ctx (interval_binds q) [ ("pathNodes", ([| "node" |], nodes)) ] }
+      make_ctx ?vis (interval_binds q) [ ("pathNodes", ([| "node" |], nodes)) ] }
 
 (* ---- filtered sequential scan ---- *)
 
-let seq_scan ~proj t q =
+let seq_scan ?vis ~proj t q =
   let table = Ri.table t in
   let branch =
     { Ir.steps =
@@ -164,7 +165,8 @@ let seq_scan ~proj t q =
             Ir.Seq_scan ];
       projections = projections proj; group_by = [] }
   in
-  { plan = plain_plan [ branch ]; ctx = make_ctx (interval_binds q) [] }
+  { plan = plain_plan [ branch ];
+    ctx = make_ctx ?vis (interval_binds q) [] }
 
 (* ---- RAM-resident hot-tier probe ---- *)
 
@@ -206,7 +208,7 @@ let choose ?mem t stats q =
   | CM.Index_plan -> Two_branch
   | CM.Mem_plan -> Mem_path
 
-let plan_intersection ?stats ?path ?mem ~proj t q =
+let plan_intersection ?stats ?path ?mem ?vis ~proj t q =
   let path =
     match (path, mem, stats) with
     | Some p, _, _ -> p
@@ -221,22 +223,23 @@ let plan_intersection ?stats ?path ?mem ~proj t q =
       match mem with
       | Some h -> mem_plan ?stats ~proj h Ir.Mem_intersect q
       | None -> invalid_arg "plan_intersection: memory path without a handle")
-  | Two_branch -> two_branch ~proj t q
-  | Single_branch -> single_branch ~proj t q
-  | Seq -> seq_scan ~proj t q
+  | Two_branch -> two_branch ?vis ~proj t q
+  | Single_branch -> single_branch ?vis ~proj t q
+  | Seq -> seq_scan ?vis ~proj t q
 
 (* ---- execution helpers ---- *)
 
 let run c = Executor.run c.ctx c.plan
 
-let intersecting_ids ?stats ?path ?mem t q =
+let intersecting_ids ?stats ?path ?mem ?vis t q =
   List.map (fun (r : int array) -> r.(0))
-    (run (plan_intersection ?stats ?path ?mem ~proj:Ids t q)).Executor.rows
+    (run (plan_intersection ?stats ?path ?mem ?vis ~proj:Ids t q)).Executor.rows
 
-let intersecting ?stats ?path ?mem t q =
+let intersecting ?stats ?path ?mem ?vis t q =
   List.map
     (fun (r : int array) -> (Ivl.make r.(0) r.(1), r.(2)))
-    (run (plan_intersection ?stats ?path ?mem ~proj:Triples t q)).Executor.rows
+    (run (plan_intersection ?stats ?path ?mem ?vis ~proj:Triples t q))
+      .Executor.rows
 
 let stabbing_ids ?stats t p = intersecting_ids ?stats t (Ivl.point p)
 
@@ -270,13 +273,13 @@ let allen_filters r =
   | Allen.Before | Allen.After | Allen.Meets | Allen.Met_by ->
       invalid_arg "allen_filters: not an intersection-implying relation"
 
-let empty_compiled q =
-  { plan = plain_plan []; ctx = make_ctx (interval_binds q) [] }
+let empty_compiled ?vis q =
+  { plan = plain_plan []; ctx = make_ctx ?vis (interval_binds q) [] }
 
-let plan_allen_disk t r q =
+let plan_allen_disk ?vis t r q =
   let p = Ri.params t in
   match p.Ri.offset with
-  | None -> empty_compiled q (* empty tree: nothing can match *)
+  | None -> empty_compiled ?vis q (* empty tree: nothing can match *)
   | Some off -> (
       let table = Ri.table t in
       let tcols = Relation.Table.columns table in
@@ -286,7 +289,7 @@ let plan_allen_disk t r q =
             plain_plan
               [ { Ir.steps = [ step ]; projections = projections Triples;
                   group_by = [] } ];
-          ctx = make_ctx (interval_binds q) [] }
+          ctx = make_ctx ?vis (interval_binds q) [] }
       in
       let path_probe ~nodes ~index ~bound_param =
         (* exact-bound probes along a backbone path *)
@@ -309,7 +312,7 @@ let plan_allen_disk t r q =
                       probe ];
                   projections = projections Triples; group_by = [] } ];
           ctx =
-            make_ctx (interval_binds q)
+            make_ctx ?vis (interval_binds q)
               [ ("pathNodes",
                  ([| "node" |], List.map (fun w -> [| w |]) nodes)) ] }
       in
@@ -348,22 +351,22 @@ let plan_allen_disk t r q =
       | Allen.Overlaps | Allen.Finished_by | Allen.Contains | Allen.Starts
       | Allen.Equals | Allen.Started_by | Allen.During | Allen.Finishes
       | Allen.Overlapped_by ->
-          two_branch ~extra:(allen_filters r) ~proj:Triples t q)
+          two_branch ~extra:(allen_filters r) ?vis ~proj:Triples t q)
 
-let plan_allen ?mem t r q =
+let plan_allen ?mem ?vis t r q =
   match mem with
   | Some h ->
       (* A resident HINT answers every Allen relation directly (the
          Allen_probe reduction); nothing on disk is touched. *)
       mem_plan ~proj:Triples h (Ir.Mem_relation r) q
-  | None -> plan_allen_disk t r q
+  | None -> plan_allen_disk ?vis t r q
 
-let allen_matches ?mem t r q =
+let allen_matches ?mem ?vis t r q =
   List.map
     (fun (row : int array) -> (Ivl.make row.(0) row.(1), row.(2)))
-    (run (plan_allen ?mem t r q)).Executor.rows
+    (run (plan_allen ?mem ?vis t r q)).Executor.rows
 
-let allen_ids ?mem t r q = List.map snd (allen_matches ?mem t r q)
+let allen_ids ?mem ?vis t r q = List.map snd (allen_matches ?mem ?vis t r q)
 
 (* ---- temporal now/infinity rewrite (Sec. 4.6) ----
 
@@ -483,10 +486,10 @@ type target =
   | Intersect_target of Ivl.t
   | Allen_target of Allen.relation * Ivl.t
 
-let plan_target ?stats ?mem t = function
-  | Intersect_target q -> plan_intersection ?stats ?mem ~proj:Triples t q
-  | Allen_target (r, q) -> plan_allen ?mem t r q
+let plan_target ?stats ?mem ?vis t = function
+  | Intersect_target q -> plan_intersection ?stats ?mem ?vis ~proj:Triples t q
+  | Allen_target (r, q) -> plan_allen ?mem ?vis t r q
 
-let explain ?stats ?analyze ?mem t target =
-  let c = plan_target ?stats ?mem t target in
+let explain ?stats ?analyze ?mem ?vis t target =
+  let c = plan_target ?stats ?mem ?vis t target in
   explain_compiled ?analyze c.ctx c.plan

@@ -1,0 +1,135 @@
+(** MVCC transaction manager: snapshot reads keyed by a commit LSN and
+    per-session buffered write sets, validated and applied atomically at
+    commit (first-committer-wins).
+
+    Writes are buffered in the transaction until commit, so shared heap
+    pages only ever contain committed (or being-committed) data — a
+    group-commit journal force therefore never persists another
+    session's uncommitted rows, and ROLLBACK is simply discarding one
+    write set.
+
+    Visibility: a physically present row is in a snapshot iff its
+    insert LSN is <= the snapshot high; a deleted row is still served
+    from the in-memory dead map while any live snapshot predates the
+    deleting commit. Both sidecars are GC'd against the low-water mark
+    of the live transactions.
+
+    Single-threaded by design: the server executes one statement at a
+    time, so commits and GC never interleave with a running scan. *)
+
+(** Raised by {!commit} when a buffered delete lost the race to a
+    concurrent commit. The transaction is already aborted. *)
+exception Conflict of string
+
+type mgr
+type txn
+
+(** A snapshot: every commit with LSN <= [high] is visible. Carries the
+    owning transaction (if any) so its own pending writes overlay. *)
+type snap = { high : int; owner : txn option }
+
+(** Per-table visibility overlay for scans. [visible rowid] filters
+    physically present rows; [extra ()] yields rows the snapshot sees
+    that are not physically present (recently deleted rows plus the
+    owner's pending inserts). *)
+type view = {
+  visible : int -> bool;
+  extra : unit -> int array list;
+}
+
+type counters = {
+  c_commits : int;
+  c_aborts : int;
+  c_conflicts : int; (* commits refused with {!Conflict} *)
+  c_active : int;
+  c_lsn : int;
+}
+
+val create : unit -> mgr
+val counters : mgr -> counters
+val committed_lsn : mgr -> int
+
+(** LSN of the last committed mutation of the named table (0 if never
+    mutated through the manager); the hot tier stamps replicas with it. *)
+val table_lsn : mgr -> string -> int
+
+(** {1 Lifecycle} *)
+
+val begin_txn : mgr -> txn
+val txn_id : txn -> int
+val manager : txn -> mgr
+val is_active : txn -> bool
+
+(** Freeze the snapshot at the current committed LSN (explicit BEGIN):
+    subsequent reads are stable across concurrent commits. Idempotent. *)
+val pin : txn -> unit
+
+val pinned : txn -> bool
+
+(** The transaction's current snapshot: the pinned LSN, or (implicit
+    transactions) the latest committed LSN — read-committed with
+    read-your-own-writes. *)
+val snapshot : txn -> snap
+
+(** A plain reader's snapshot (no pending-write overlay). *)
+val read_snapshot : mgr -> snap
+
+val snapshot_high : snap -> int
+
+(** {1 Write-set buffering} *)
+
+val has_writes : txn -> bool
+val writes_on : txn -> string -> bool
+val buffer_insert : txn -> table:Table.t -> tname:string -> int array -> unit
+
+(** Buffer the delete of a physically present row. [seen] is the
+    snapshot high the victim was found under; validation uses it to
+    detect delete-delete races across heap-slot reuse. Raises
+    [Invalid_argument] on a duplicate delete of the same row. *)
+val buffer_delete :
+  txn -> table:Table.t -> tname:string -> rowid:int -> row:int array ->
+  seen:int -> unit
+
+(** Buffered inserts for a table, oldest first. *)
+val pending_inserts : txn -> string -> int array list
+
+(** Rowids this transaction has pending deletes for. *)
+val own_deleted_rowids : txn -> string -> int list
+
+(** Remove and return the oldest buffered insert matching the
+    predicate — deleting your own uncommitted insert never touches the
+    shared heap. *)
+val take_pending_insert :
+  txn -> string -> (int array -> bool) -> int array option
+
+(** Remove every buffered insert matching the predicate; returns the
+    count removed. *)
+val remove_pending_inserts : txn -> string -> (int array -> bool) -> int
+
+(** {1 Visibility} *)
+
+val rowid_visible : mgr -> snap -> string -> int -> bool
+
+(** Deleted rows still visible to the snapshot, as (rowid, row). *)
+val dead_visible : mgr -> snap -> string -> (int * int array) list
+
+(** The scan overlay for one table; [None] when physical state already
+    equals the snapshot (nothing tracked, no own writes) so the common
+    case costs nothing. *)
+val view : mgr -> snap -> string -> view option
+
+(** {1 Commit / abort} *)
+
+(** Validate and apply the write set; returns the commit LSN (the
+    current LSN for an empty write set). On a lost race, aborts the
+    transaction and raises {!Conflict}. The caller owns journal
+    durability (force or group-commit staging) of the applied pages. *)
+val commit : txn -> int
+
+(** Discard the write set. Idempotent; never fails. *)
+val abort : txn -> unit
+
+(** Abort every live transaction and drop all sidecars — for
+    crash/reopen, where the physical handles were replaced and recovery
+    reinstated exactly the committed state. *)
+val reset : mgr -> unit

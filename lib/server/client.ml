@@ -12,6 +12,7 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
 type error =
   | Overloaded of string
   | Read_only of string
+  | Conflict of string
   | Server of string
   | Invalid of string
   | Io of string
@@ -20,6 +21,7 @@ type error =
 let error_to_string = function
   | Overloaded m -> "overloaded: " ^ m
   | Read_only m -> "read-only: " ^ m
+  | Conflict m -> "transaction conflict: " ^ m
   | Server m -> m
   | Invalid m -> "invalid request: " ^ m
   | Io m -> "i/o: " ^ m
@@ -32,7 +34,7 @@ let error_to_string = function
    refused. *)
 let retryable = function
   | Overloaded _ | Io _ -> true
-  | Read_only _ | Server _ | Invalid _ | Unexpected _ -> false
+  | Read_only _ | Server _ | Invalid _ | Conflict _ | Unexpected _ -> false
 
 let connect ?(host = "127.0.0.1") ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -120,6 +122,7 @@ let typed t req of_ok =
   | Ok (Protocol.Invalid m) -> Result.Error (Invalid m)
   | Ok (Protocol.Overloaded m) -> Result.Error (Overloaded m)
   | Ok (Protocol.Read_only m) -> Result.Error (Read_only m)
+  | Ok (Protocol.Conflict m) -> Result.Error (Conflict m)
   | Ok (Protocol.Goodbye m) ->
       Result.Error (Io ("server closed the connection: " ^ m))
   | Ok resp -> of_ok resp
@@ -168,6 +171,21 @@ let metrics t =
   typed t Protocol.Metrics (function
     | Protocol.Ack doc -> Ok doc
     | _ -> Result.Error (Unexpected "to metrics"))
+
+let begin_txn t =
+  typed t Protocol.Begin (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to begin"))
+
+let commit t =
+  typed t Protocol.Commit (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to commit"))
+
+let rollback t =
+  typed t Protocol.Rollback (function
+    | Protocol.Ack _ -> Ok ()
+    | _ -> Result.Error (Unexpected "to rollback"))
 
 let prepare t ~name sql =
   typed t (Protocol.Prepare { name; sql }) (function

@@ -30,6 +30,10 @@ type error =
   | Read_only of string
       (** the server is in degraded read-only mode; mutations will keep
           failing until the operator repairs the image *)
+  | Conflict of string
+      (** the transaction lost a write-write race at COMMIT and was
+          aborted; retrying the COMMIT verbatim cannot succeed — the
+          whole transaction must be re-run, so this is non-retryable *)
   | Server of string  (** the typed [Error] response; not transient *)
   | Invalid of string
       (** the typed [Invalid] response — the request itself was
@@ -42,7 +46,7 @@ val error_to_string : error -> string
 
 val retryable : error -> bool
 (** [true] for {!Overloaded} and {!Io} — failures that clear on their
-    own. [Read_only], [Server], [Invalid] and [Unexpected] are
+    own. [Read_only], [Server], [Invalid], [Conflict] and [Unexpected] are
     verdicts. *)
 
 val connect : ?host:string -> port:int -> unit -> t
@@ -78,6 +82,17 @@ val server_stats : t -> (Protocol.stats, error) result
 
 val metrics : t -> (string, error) result
 (** The Prometheus text exposition over the wire (the [Metrics] op). *)
+
+val begin_txn : t -> (unit, error) result
+(** Start an explicit transaction: pins the snapshot until COMMIT or
+    ROLLBACK. Fails with [Invalid] if one is already open. *)
+
+val commit : t -> (unit, error) result
+(** Commit the session's transaction; [Conflict] if it lost a
+    write-write race (the transaction is already aborted server-side). *)
+
+val rollback : t -> (unit, error) result
+(** Discard the session's write set; other sessions are unaffected. *)
 
 val prepare : t -> name:string -> string -> (unit, error) result
 (** Parse and plan a statement once under [name] in this session. *)

@@ -104,6 +104,7 @@ let shared t = t.sh
 let metrics_doc t =
   Metrics.render ~now:(Unix.gettimeofday ()) ~stats:t.st
     ~cat:(Session.catalog t.sh) ~memtier:(Session.memtier t.sh)
+    ~txns:(Session.txns t.sh)
 
 let stop t =
   (* A single byte on the self-pipe wakes the select; writing is
@@ -145,6 +146,22 @@ let close_conn t conn =
     t.queued <- t.queued - Queue.length conn.pending;
     Server_stats.queue_depth t.st t.queued;
     Queue.clear conn.pending;
+    (* Purge COMMITs the dead connection staged in the open window:
+       nobody is owed the Ack and its latency must not pollute the
+       histogram. The journal-staged intent is already applied and must
+       still be forced — if no live staging remains to carry the window,
+       force it now rather than leaving acknowledged-to-nobody writes
+       hanging on a deadline that was just cleared. *)
+    let mine, others =
+      List.partition (fun (c, _, _) -> c == conn) t.pending_commits
+    in
+    if mine <> [] then begin
+      t.pending_commits <- others;
+      if others = [] then begin
+        t.commit_deadline <- None;
+        ignore (Session.commit_force_shared t.sh)
+      end
+    end;
     Session.close conn.session;
     Server_stats.session_closed t.st;
     (try Unix.close conn.fd with Unix.Unix_error _ -> ())
@@ -299,13 +316,16 @@ let execute_one t conn id req =
         (Protocol.Read_only
            (Printf.sprintf "server is read-only: %s" reason))
   | Protocol.Commit when t.cfg.group_commit > 0. -> (
-      (* Stage now, answer at the window flush. *)
+      (* Stage now, answer at the window flush — except a conflict,
+         which aborted the transaction without staging anything and is
+         answered immediately. *)
       match Session.stage_commit conn.session with
-      | () ->
+      | Ok () ->
           let now = Unix.gettimeofday () in
           t.pending_commits <- (conn, id, now) :: t.pending_commits;
           if t.commit_deadline = None then
             t.commit_deadline <- Some (now +. t.cfg.group_commit)
+      | Result.Error m -> push_response conn id (Protocol.Conflict m)
       | exception e ->
           push_response conn id
             (Protocol.Error ("commit failed: " ^ Printexc.to_string e)))
@@ -487,8 +507,20 @@ let serve t =
       t.conns;
     execute_round t
       ~limit:(if t.stopping then t.queued else t.cfg.max_inflight);
+    (* Close the window at its deadline — or as soon as no live session
+       holds buffered writes: then no further COMMIT can join the batch
+       and waiting only delays the acknowledgements (the commit-siblings
+       rule). A session mid-transaction keeps the window open so its
+       COMMIT can share the force, bounded by the deadline. *)
     (match t.commit_deadline with
-    | Some dl when t.stopping || Unix.gettimeofday () >= dl ->
+    | Some dl
+      when t.stopping
+           || Unix.gettimeofday () >= dl
+           || not
+                (List.exists
+                   (fun c ->
+                     (not c.closing) && Session.has_pending_writes c.session)
+                   t.conns) ->
         flush_group_commits t
     | Some _ | None -> ());
     if not t.stopping then reap_idle t (Unix.gettimeofday ());

@@ -44,7 +44,7 @@ let op_histograms b (ops : Server_stats.op_view list) =
       Printf.bprintf b "rikit_op_io_total{op=%S} %d\n" o.v_op o.v_total_io)
     ops
 
-let render ~now ~stats ~cat ~memtier =
+let render ~now ~stats ~cat ~memtier ~txns =
   let v = Server_stats.view stats in
   let pool = Relation.Catalog.pool cat in
   let ps = Storage.Buffer_pool.Stats.get pool in
@@ -132,6 +132,21 @@ let render ~now ~stats ~cat ~memtier =
   counter b ~name:"rikit_hot_tier_probes_total"
     ~help:"Queries answered from a RAM-resident replica."
     (int_ mt.Exec.Memtier.s_probes);
+  let tc = Relation.Txn.counters txns in
+  counter b ~name:"rikit_txn_commits_total"
+    ~help:"Transactions committed (write sets applied)."
+    (int_ tc.Relation.Txn.c_commits);
+  counter b ~name:"rikit_txn_aborts_total"
+    ~help:"Transactions rolled back or aborted (write sets discarded)."
+    (int_ tc.Relation.Txn.c_aborts);
+  counter b ~name:"rikit_txn_conflicts_total"
+    ~help:"Commits refused: a buffered write lost a first-committer race."
+    (int_ tc.Relation.Txn.c_conflicts);
+  gauge b ~name:"rikit_txn_active"
+    ~help:"Transactions currently open (one per connected session)."
+    (int_ tc.Relation.Txn.c_active);
+  gauge b ~name:"rikit_txn_lsn" ~help:"Latest committed LSN."
+    (int_ tc.Relation.Txn.c_lsn);
   gauge b ~name:"rikit_read_only"
     ~help:"1 when the server has degraded to read-only after corruption."
     (int_

@@ -22,6 +22,8 @@
       [rikit_hot_tier_builds_total], [rikit_hot_tier_demotions_total],
       [rikit_hot_tier_invalidations_total],
       [rikit_hot_tier_probes_total]
+    - [rikit_txn_commits_total], [rikit_txn_aborts_total],
+      [rikit_txn_conflicts_total], [rikit_txn_active], [rikit_txn_lsn]
     - [rikit_read_only] *)
 
 val render :
@@ -29,5 +31,6 @@ val render :
   stats:Server_stats.t ->
   cat:Relation.Catalog.t ->
   memtier:Exec.Memtier.t ->
+  txns:Relation.Txn.mgr ->
   string
 (** The full exposition document, trailing newline included. *)

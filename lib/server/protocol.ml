@@ -1,4 +1,4 @@
-let version = 4
+let version = 5
 let max_payload = 4 * 1024 * 1024
 
 type explain_target =
@@ -16,6 +16,7 @@ type request =
   | Delete of { lower : int; upper : int; id : int }
   | Intersect of { lower : int; upper : int }
   | Allen of { relation : Interval.Allen.relation; lower : int; upper : int }
+  | Begin
   | Commit
   | Rollback
   | Stats
@@ -32,6 +33,7 @@ let request_op_name = function
   | Delete _ -> "delete"
   | Intersect _ -> "intersect"
   | Allen _ -> "allen"
+  | Begin -> "begin"
   | Commit -> "commit"
   | Rollback -> "rollback"
   | Stats -> "stats"
@@ -76,6 +78,10 @@ type response =
   | Invalid of string
       (* the request was well-formed on the wire but semantically
          invalid (e.g. an empty interval); the session stays usable *)
+  | Conflict of string
+      (* the transaction lost a write-write race at commit and was
+         aborted; non-retryable as-is — the client must re-run the
+         transaction against the new state *)
 
 type error =
   | Truncated
@@ -189,6 +195,7 @@ let op_prepare = 0x0b
 let op_execute = 0x0c
 let op_close_stmt = 0x0d
 let op_explain = 0x0e
+let op_begin = 0x0f
 let op_ack = 0x81
 let op_rows = 0x82
 let op_error = 0x83
@@ -197,6 +204,7 @@ let op_stats_reply = 0x85
 let op_read_only = 0x86
 let op_goodbye = 0x87
 let op_invalid = 0x88
+let op_conflict = 0x89
 
 (* ---------------- frames ---------------- *)
 
@@ -238,6 +246,7 @@ let encode_request ~id req =
           put_string b (Interval.Allen.to_string relation);
           put_int b lower;
           put_int b upper
+      | Begin -> put_u8 b op_begin
       | Commit -> put_u8 b op_commit
       | Rollback -> put_u8 b op_rollback
       | Stats -> put_u8 b op_stats
@@ -297,6 +306,9 @@ let encode_response ~id resp =
           put_string b msg
       | Invalid msg ->
           put_u8 b op_invalid;
+          put_string b msg
+      | Conflict msg ->
+          put_u8 b op_conflict;
           put_string b msg
       | Stats_reply s ->
           put_u8 b op_stats_reply;
@@ -368,6 +380,7 @@ let decode_request payload =
         let lower = get_int c in
         let upper = get_int c in
         Allen { relation; lower; upper }
+      else if opcode = op_begin then Begin
       else if opcode = op_commit then Commit
       else if opcode = op_rollback then Rollback
       else if opcode = op_stats then Stats
@@ -427,6 +440,7 @@ let decode_response payload =
       else if opcode = op_read_only then Read_only (get_string c)
       else if opcode = op_goodbye then Goodbye (get_string c)
       else if opcode = op_invalid then Invalid (get_string c)
+      else if opcode = op_conflict then Conflict (get_string c)
       else if opcode = op_stats_reply then
         let uptime_s = Int64.float_of_bits (get_i64 c) in
         let sessions = get_int c in

@@ -56,10 +56,19 @@ type request =
       (** Intersection query; responds with [(lower, upper, id)] rows. *)
   | Allen of { relation : Interval.Allen.relation; lower : int; upper : int }
       (** Topological query for one Allen relation. *)
-  | Commit  (** Journal-backed commit of the shared database. *)
+  | Begin
+      (** Start an explicit transaction: pins the session's snapshot so
+          reads are stable until COMMIT/ROLLBACK. Outside an explicit
+          transaction every statement runs in its own read-committed
+          implicit transaction. *)
+  | Commit
+      (** Validate and apply this session's write set (MVCC
+          first-committer-wins); on durable servers also a journal
+          force / group-commit stage. Answered with [Conflict] when a
+          buffered write lost a race to a concurrent commit. *)
   | Rollback
-      (** Discard everything since the last commit (durable servers
-          only); a global boundary — the server is a single-writer. *)
+      (** Discard this session's write set only; every other session's
+          committed and in-flight work is untouched. *)
   | Stats  (** Ask for the server's {!stats} snapshot. *)
   | Ping
   | Metrics
@@ -127,6 +136,12 @@ type response =
           invalid — e.g. an empty interval with [lower > upper]. A
           client bug, distinct from {!const-Error} (server-side failure);
           the session survives and the connection stays open. *)
+  | Conflict of string
+      (** The session's transaction lost a write-write race at COMMIT
+          and was aborted (first-committer-wins). Non-retryable as-is:
+          the client must re-read and re-run the transaction against
+          the new state. The session survives with a fresh
+          transaction. *)
 
 (** {2 Codec} *)
 

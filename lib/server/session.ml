@@ -3,6 +3,10 @@ type shared = {
   mutable ritree : Ritree.Ri_tree.t;
   tree_name : string;
   dur : bool;
+  (* MVCC transaction manager: one per database. Sessions buffer writes
+     into per-transaction write sets; COMMIT validates and applies them
+     under a fresh commit LSN, ROLLBACK discards one session's set. *)
+  txns : Relation.Txn.mgr;
   mutable generation : int;
   mutable next_session : int;
   (* Cost-model statistics for the typed-op planner, tagged with the
@@ -18,7 +22,8 @@ let shared ?(durable = false) ?cache_blocks ?(tree_name = "intervals")
   let cat = Relation.Catalog.create ~durable ?cache_blocks () in
   let ritree = Ritree.Ri_tree.create ~name:tree_name cat in
   if durable then Relation.Catalog.commit cat;
-  { cat; ritree; tree_name; dur = durable; generation = 0; next_session = 0;
+  { cat; ritree; tree_name; dur = durable; txns = Relation.Txn.create ();
+    generation = 0; next_session = 0;
     stats = None; memtier = Exec.Memtier.create ~budget_mb:hot_tier_mb }
 
 let stats_for sh =
@@ -34,11 +39,7 @@ let catalog sh = sh.cat
 let tree sh = sh.ritree
 let durable sh = sh.dur
 let memtier sh = sh.memtier
-
-(* Residency handle for the shared tree, if the tier serves one. Taken
-   per statement: mutation (Table.version) or a catalog swap invalidates
-   stale replicas right here. *)
-let mem_for sh = Exec.Memtier.acquire sh.memtier sh.ritree
+let txns sh = sh.txns
 
 let preload sh data =
   Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id sh.ritree ivl)) data;
@@ -54,6 +55,10 @@ let flush_shared sh =
 
 let reattach sh =
   sh.ritree <- Ritree.Ri_tree.open_existing ~name:sh.tree_name sh.cat;
+  (* The physical handles were replaced and recovery reinstated exactly
+     the committed state: every in-flight write set is void and the
+     visibility sidecars describe tables that no longer exist. *)
+  Relation.Txn.reset sh.txns;
   sh.stats <- None;
   (* the replica indexed the replaced catalog's rows *)
   Exec.Memtier.invalidate sh.memtier sh.tree_name;
@@ -63,15 +68,6 @@ let reopen sh =
   if not sh.dur then failwith "Session.reopen: server is not durable";
   sh.cat <- Relation.Catalog.reopen sh.cat;
   reattach sh
-
-let rollback_shared sh =
-  if not sh.dur then
-    Protocol.Error "rollback requires a durable server (rikitd --durable)"
-  else begin
-    sh.cat <- Relation.Catalog.simulate_crash sh.cat;
-    reattach sh;
-    Protocol.Ack "rolled back to last commit"
-  end
 
 (* Prepared statements a session may hold at once: plans pin table
    handles, so an unbounded map would let one client grow server memory
@@ -85,34 +81,78 @@ type t = {
   mutable engine_gen : int;
   prepared : (string, Sqlfront.Engine.prepared) Hashtbl.t;
   mutable reqs : int;
-  mutable sql_stmts : int;  (* survives engine re-attach after rollback *)
+  mutable sql_stmts : int;  (* survives engine re-attach after reopen *)
+  (* The session's current transaction. Always live between requests:
+     COMMIT/ROLLBACK immediately begin the successor, so every
+     statement — transactional or autocommit-style — runs inside one. *)
+  mutable txn : Relation.Txn.txn;
 }
 
 let create sh =
   sh.next_session <- sh.next_session + 1;
+  let engine = Sqlfront.Engine.session sh.cat in
+  let txn = Relation.Txn.begin_txn sh.txns in
+  Sqlfront.Engine.set_txn engine (Some txn);
   {
     sh;
     sid = sh.next_session;
-    engine = Sqlfront.Engine.session sh.cat;
+    engine;
     engine_gen = sh.generation;
     prepared = Hashtbl.create 8;
     reqs = 0;
     sql_stmts = 0;
+    txn;
   }
 
-let close _t = ()
+let close t = Relation.Txn.abort t.txn
 let id t = t.sid
 let requests t = t.reqs
+
+(* Does this session's transaction hold buffered writes — i.e. could a
+   COMMIT from it still join an open group-commit window? *)
+let has_pending_writes t = Relation.Txn.has_writes t.txn
+
+(* Replace a finished (committed/aborted) transaction with a fresh
+   implicit one and rebind the SQL engine to it. *)
+let renew t =
+  t.txn <- Relation.Txn.begin_txn t.sh.txns;
+  Sqlfront.Engine.set_txn t.engine (Some t.txn)
+
+(* After [reattach] ({!reopen}, crash recovery) the manager was reset
+   and this session's transaction force-aborted behind its back. *)
+let sync_txn t = if not (Relation.Txn.is_active t.txn) then renew t
 
 let engine t =
   if t.engine_gen <> t.sh.generation then begin
     t.sql_stmts <- t.sql_stmts + Sqlfront.Engine.statements t.engine;
     t.engine <- Sqlfront.Engine.session t.sh.cat;
+    Sqlfront.Engine.set_txn t.engine (Some t.txn);
     (* prepared plans pin tables of the replaced catalog: drop them *)
     Hashtbl.reset t.prepared;
     t.engine_gen <- t.sh.generation
   end;
   t.engine
+
+(* The session's snapshot overlay for the typed-op planner paths. *)
+let vis_for t =
+  let mgr = t.sh.txns in
+  let snap = Relation.Txn.snapshot t.txn in
+  fun name -> Relation.Txn.view mgr snap name
+
+(* Residency handle for the shared tree, if the tier serves one for
+   THIS session's snapshot. Taken per statement: mutation
+   (Table.version) or a catalog swap invalidates stale replicas right
+   here; a session with buffered writes on the tree bypasses the tier
+   (the replica cannot see its write set); a pinned snapshot older than
+   the replica's build LSN is refused the handle without dropping it. *)
+let mem_for t =
+  if Relation.Txn.writes_on t.txn t.sh.tree_name then None
+  else
+    let snap_high =
+      Relation.Txn.snapshot_high (Relation.Txn.snapshot t.txn)
+    in
+    let lsn = Relation.Txn.table_lsn t.sh.txns t.sh.tree_name in
+    Exec.Memtier.acquire ~snap_high ~lsn t.sh.memtier t.sh.ritree
 
 let sql_statements t = t.sql_stmts + Sqlfront.Engine.statements t.engine
 
@@ -141,27 +181,89 @@ let exec t = function
       | Sqlfront.Engine.Done msg -> Protocol.Ack msg
       | Sqlfront.Engine.Rows { columns; rows } -> Protocol.Rows { columns; rows })
   | Insert { lower; upper; id } ->
-      let assigned = Ritree.Ri_tree.insert ?id t.sh.ritree (ivl lower upper) in
+      (* Fork computation and parameter persistence happen now (monotone
+         metadata, safe if the transaction aborts); the physical row is
+         buffered and applied at COMMIT. *)
+      let assigned, row =
+        Ritree.Ri_tree.prepare_insert ?id t.sh.ritree (ivl lower upper)
+      in
+      Relation.Txn.buffer_insert t.txn
+        ~table:(Ritree.Ri_tree.table t.sh.ritree) ~tname:t.sh.tree_name row;
       Ack (Printf.sprintf "inserted id %d" assigned)
-  | Delete { lower; upper; id } ->
-      if Ritree.Ri_tree.delete t.sh.ritree ~id (ivl lower upper) then
-        Ack "deleted 1 row"
-      else Error (Printf.sprintf "no row ([%d, %d], id %d)" lower upper id)
+  | Delete { lower; upper; id } -> (
+      let q = ivl lower upper in
+      let tbl = Ritree.Ri_tree.table t.sh.ritree in
+      let tname = t.sh.tree_name in
+      (* Deleting your own uncommitted insert never touches the heap. *)
+      match
+        Relation.Txn.take_pending_insert t.txn tname (fun row ->
+            row.(1) = lower && row.(2) = upper && row.(3) = id)
+      with
+      | Some _ -> Ack "deleted 1 row"
+      | None -> (
+          let mgr = t.sh.txns in
+          let snap = Relation.Txn.snapshot t.txn in
+          let seen = Relation.Txn.snapshot_high snap in
+          let ok rowid _row =
+            Relation.Txn.rowid_visible mgr snap tname rowid
+          in
+          match Ritree.Ri_tree.find_victim ~ok t.sh.ritree ~id q with
+          | Some (rowid, row) ->
+              Relation.Txn.buffer_delete t.txn ~table:tbl ~tname ~rowid ~row
+                ~seen;
+              Ack "deleted 1 row"
+          | None -> (
+              (* A row this snapshot still sees but a newer commit
+                 already deleted: buffer it anyway, so the write-write
+                 race surfaces as a typed Conflict at COMMIT instead of
+                 a silent no-op. *)
+              match
+                List.find_opt
+                  (fun ((_ : int), row) ->
+                    row.(1) = lower && row.(2) = upper && row.(3) = id)
+                  (Relation.Txn.dead_visible mgr snap tname)
+              with
+              | Some (rowid, row) ->
+                  Relation.Txn.buffer_delete t.txn ~table:tbl ~tname ~rowid
+                    ~row ~seen;
+                  Ack "deleted 1 row"
+              | None ->
+                  Error
+                    (Printf.sprintf "no row ([%d, %d], id %d)" lower upper id)
+              )))
   | Intersect { lower; upper } ->
       (* compiled onto the shared execution IR; the planner consults the
          cost model to pick the memory tier, two-branch, single-branch,
          or seq scan *)
       pair_rows
-        (Exec.Planner.intersecting ~stats:(stats_for t.sh)
-           ?mem:(mem_for t.sh) t.sh.ritree (ivl lower upper))
+        (Exec.Planner.intersecting ~stats:(stats_for t.sh) ?mem:(mem_for t)
+           ~vis:(vis_for t) t.sh.ritree (ivl lower upper))
   | Allen { relation; lower; upper } ->
       pair_rows
-        (Exec.Planner.allen_matches ?mem:(mem_for t.sh) t.sh.ritree relation
-           (ivl lower upper))
-  | Commit ->
-      commit_shared t.sh;
-      Ack "committed"
-  | Rollback -> rollback_shared t.sh
+        (Exec.Planner.allen_matches ?mem:(mem_for t) ~vis:(vis_for t)
+           t.sh.ritree relation (ivl lower upper))
+  | Begin ->
+      if Relation.Txn.pinned t.txn then
+        Protocol.Invalid "transaction already in progress"
+      else begin
+        Relation.Txn.pin t.txn;
+        Ack "begin"
+      end
+  | Commit -> (
+      match Relation.Txn.commit t.txn with
+      | _lsn ->
+          commit_shared t.sh;
+          renew t;
+          Ack "committed"
+      | exception Relation.Txn.Conflict m ->
+          (* [Txn.commit] already aborted the loser. *)
+          renew t;
+          Protocol.Conflict m)
+  | Rollback ->
+      (* One session's write set only; everyone else is untouched. *)
+      Relation.Txn.abort t.txn;
+      renew t;
+      Ack "rolled back"
   | Ping -> Ack "pong"
   | Stats -> Error "stats is handled by the dispatcher"
   | Metrics -> Error "metrics is handled by the dispatcher"
@@ -203,18 +305,29 @@ let exec t = function
       | Protocol.Explain_intersect { lower; upper } ->
           Ack
             (Exec.Planner.explain ~stats:(stats_for t.sh) ~analyze
-               ?mem:(mem_for t.sh) t.sh.ritree
+               ?mem:(mem_for t) ~vis:(vis_for t) t.sh.ritree
                (Exec.Planner.Intersect_target (ivl lower upper)))
       | Protocol.Explain_allen { relation; lower; upper } ->
           Ack
-            (Exec.Planner.explain ~analyze ?mem:(mem_for t.sh) t.sh.ritree
+            (Exec.Planner.explain ~analyze ?mem:(mem_for t) ~vis:(vis_for t)
+               t.sh.ritree
                (Exec.Planner.Allen_target (relation, ivl lower upper))))
 
 (* Group-commit staging: counts as a request for this session, but the
-   response is owed only after the dispatcher forces the batch. *)
+   Ack is owed only after the dispatcher forces the batch. The MVCC
+   apply happens NOW (validation, physical writes, commit LSN); only
+   durability is deferred, so a Conflict is answered immediately and
+   never enters the window. *)
 let stage_commit t =
   t.reqs <- t.reqs + 1;
-  commit_request_shared t.sh
+  match Relation.Txn.commit t.txn with
+  | _lsn ->
+      renew t;
+      commit_request_shared t.sh;
+      Ok ()
+  | exception Relation.Txn.Conflict m ->
+      renew t;
+      Result.Error m
 
 (* First keyword of a SQL text, lowercased — enough to classify
    statements for degraded mode without a parse. *)
@@ -234,7 +347,7 @@ let sql_keyword text =
   String.lowercase_ascii (String.sub text start (word start - start))
 
 let mutating t = function
-  | Protocol.Insert _ | Delete _ | Commit | Rollback -> true
+  | Protocol.Insert _ | Delete _ | Commit -> true
   | Sql text -> (
       match sql_keyword text with "select" | "explain" -> false | _ -> true)
   | Execute { name; _ } -> (
@@ -247,13 +360,17 @@ let mutating t = function
           | "SELECT" | "EXPLAIN" -> false
           | _ -> true))
   | Intersect _ | Allen _ | Stats | Metrics | Ping | Prepare _ | Close_stmt _
-  | Explain _ ->
+  | Explain _ | Begin | Rollback ->
+      (* BEGIN pins a snapshot and ROLLBACK discards a private write
+         set: neither touches the shared database, so both stay legal
+         in degraded read-only mode. *)
       false
 
 let degraded_reason_shared sh = Relation.Catalog.degraded_reason sh.cat
 
 let handle t req =
   t.reqs <- t.reqs + 1;
+  sync_txn t;
   match degraded_reason_shared t.sh with
   | Some reason when mutating t req ->
       Protocol.Read_only (Printf.sprintf "server is read-only: %s" reason)
@@ -272,6 +389,7 @@ let handle t req =
           Protocol.Error
             (Printf.sprintf "transient I/O error: %s of block %d failed" op
                block)
+      | Relation.Txn.Conflict m -> Protocol.Conflict m
       | Sqlfront.Engine.Error m -> Protocol.Error m
       | Exec.Ir.Error m -> Protocol.Error m
       | Sqlfront.Parser.Error m -> Protocol.Error ("parse error: " ^ m)

@@ -6,13 +6,13 @@
     transient collections stay private to a connection while tables are
     shared, the same split the paper assumes of its host RDBMS).
 
-    Commit and rollback are journal-backed {e global} boundaries: the
-    dispatcher is a single-writer event loop, so [Commit] force-logs the
-    shared catalog and [Rollback] (durable servers only) runs journal
-    recovery back to the last commit. Rollback swaps the underlying
-    catalog handle; sessions notice via a generation counter and
-    re-attach lazily, dropping their transient collections (which are
-    session state, not committed data). *)
+    Transactions are per-session MVCC ({!Relation.Txn}): every session
+    runs inside a transaction whose writes are buffered until COMMIT
+    validates and applies them under a fresh commit LSN; ROLLBACK
+    discards that one write set and nothing else. Reads are
+    read-committed per statement, or snapshot-stable after an explicit
+    BEGIN pins the snapshot. On durable servers COMMIT additionally
+    forces (or group-commit stages) the journal. *)
 
 (** {2 Shared database state} *)
 
@@ -38,6 +38,10 @@ val durable : shared -> bool
 
 val memtier : shared -> Exec.Memtier.t
 (** The hot-tier manager (budget 0 when disabled). *)
+
+val txns : shared -> Relation.Txn.mgr
+(** The MVCC transaction manager (commit/abort/conflict counters live
+    here). *)
 
 val preload : shared -> Interval.Ivl.t array -> unit
 (** Bulk-insert a dataset into the RI-tree (ids [0..n-1]) and commit. *)
@@ -77,6 +81,12 @@ val id : t -> int
 val requests : t -> int
 (** Requests this session has executed. *)
 
+val has_pending_writes : t -> bool
+(** The session's transaction holds buffered (uncommitted) writes. The
+    dispatcher uses this to decide whether an open group-commit window
+    could still grow: once no live session has writes in flight, waiting
+    out the window deadline only adds latency. *)
+
 val sql_statements : t -> int
 (** SQL statements run through this session's engine (the
     {!Sqlfront.Engine.statements} counter, surviving re-attach). *)
@@ -91,17 +101,20 @@ val degraded_reason_shared : shared -> string option
 (** [Some reason] once corruption flipped the catalog read-only. *)
 
 val handle : t -> Protocol.request -> Protocol.response
-(** Execute one request. Never raises: every failure — SQL errors,
-    bad intervals, rollback on a non-durable server — comes back as a
-    typed [Error]. [Stats] is the dispatcher's job and answers
-    [Error] here. A detected {!Storage.Buffer_pool.Corrupt_page} returns
-    a typed [Error] {e and} degrades the catalog: from then on mutating
+(** Execute one request. Never raises: every failure — SQL errors, bad
+    intervals — comes back as a typed frame ([Error], [Invalid],
+    [Conflict]). [Stats] is the dispatcher's job and answers [Error]
+    here. A detected {!Storage.Buffer_pool.Corrupt_page} returns a
+    typed [Error] {e and} degrades the catalog: from then on mutating
     requests answer [Read_only] while reads keep serving. An injected
     transient {!Storage.Block_device.Io_error} returns a typed [Error]
     the client may retry. *)
 
-val stage_commit : t -> unit
+val stage_commit : t -> (unit, string) result
 (** A COMMIT request entering a group-commit window: counted against
-    this session, dirty images staged ({!commit_request_shared}), the
+    this session; the MVCC write set is validated and applied NOW and
+    the dirty images staged ({!commit_request_shared}), with the
     marker/force (and the client's Ack) deferred to the dispatcher's
-    batch flush. *)
+    batch flush. [Error msg] is a first-committer-wins conflict — the
+    transaction is already aborted and replaced, nothing was staged,
+    and the client is owed a [Conflict] frame immediately. *)

@@ -40,6 +40,10 @@ type session = {
      any promotion/demotion/invalidation in the memory tier flips the
      tier choice underneath compiled plans, so they are flushed. *)
   mutable mem_generation : int;
+  (* The MVCC transaction DML runs in, when the hosting server threads
+     one through; [None] keeps the historical direct-write behaviour of
+     standalone engine users (tools, tests). *)
+  mutable txn : Relation.Txn.txn option;
 }
 
 let session ?(plan_cache = true) catalog =
@@ -49,11 +53,19 @@ let session ?(plan_cache = true) catalog =
     cache = Exec.Plan_cache.create ();
     cache_enabled = plan_cache;
     generation = 0;
-    mem_generation = Exec.Memtier.current_generation () }
+    mem_generation = Exec.Memtier.current_generation ();
+    txn = None }
 
 let statements s = s.statements
 
 let catalog s = s.catalog
+
+let set_txn s t = s.txn <- t
+
+let active_txn s =
+  match s.txn with
+  | Some t when Relation.Txn.is_active t -> Some t
+  | _ -> None
 
 let invalidate_plans s =
   Exec.Plan_cache.invalidate s.cache;
@@ -500,9 +512,21 @@ let compile_query session (q : Ast.query) : Ir.plan =
 
 (* ---------------- execution via the shared executor ---------------- *)
 
+(* Per-statement snapshot: implicit transactions read-committed (fresh
+   high each statement), pinned ones snapshot-stable — [Txn.snapshot]
+   resolves either way at ctx construction time. *)
+let vis_of session =
+  match active_txn session with
+  | None -> Ir.no_vis
+  | Some t ->
+      let mgr = Relation.Txn.manager t in
+      let snap = Relation.Txn.snapshot t in
+      fun name -> Relation.Txn.view mgr snap name
+
 let ctx session binds =
   { Ir.binds;
-    collection = (fun name -> Hashtbl.find_opt session.collections name) }
+    collection = (fun name -> Hashtbl.find_opt session.collections name);
+    vis = vis_of session }
 
 let run_plan session binds plan =
   let out = Executor.run (ctx session binds) plan in
@@ -544,7 +568,9 @@ let rec run_stmt session binds = function
           in
           if Array.length row <> Array.length (Relation.Table.columns tbl)
           then fail "INSERT arity mismatch for %s" tname;
-          ignore (Relation.Table.insert tbl row);
+          (match active_txn session with
+          | Some t -> Relation.Txn.buffer_insert t ~table:tbl ~tname row
+          | None -> ignore (Relation.Table.insert tbl row));
           Done "1 row inserted")
   | Ast.Delete (tname, where) -> (
       match Relation.Catalog.find_table session.catalog tname with
@@ -558,8 +584,36 @@ let rec run_stmt session binds = function
             | Some w ->
                 Executor.eval_pred binds [ (tname, (columns, row)) ] w
           in
-          let n = Relation.Table.delete_where tbl pred in
-          Done (Printf.sprintf "%d rows deleted" n))
+          match active_txn session with
+          | None ->
+              let n = Relation.Table.delete_where tbl pred in
+              Done (Printf.sprintf "%d rows deleted" n)
+          | Some t ->
+              let mgr = Relation.Txn.manager t in
+              let snap = Relation.Txn.snapshot t in
+              let seen = Relation.Txn.snapshot_high snap in
+              let n = ref 0 in
+              let victims = ref [] in
+              Relation.Table.iter tbl (fun rowid row ->
+                  if
+                    Relation.Txn.rowid_visible mgr snap tname rowid
+                    && pred row
+                  then victims := (rowid, row) :: !victims);
+              (* Rows a newer commit already deleted but this snapshot
+                 still sees: buffering them surfaces the write-write
+                 race as a typed Conflict at commit. *)
+              List.iter
+                (fun (rowid, row) -> if pred row then victims := (rowid, row) :: !victims)
+                (Relation.Txn.dead_visible mgr snap tname);
+              List.iter
+                (fun (rowid, row) ->
+                  Relation.Txn.buffer_delete t ~table:tbl ~tname ~rowid ~row
+                    ~seen;
+                  incr n)
+                !victims;
+              (* Own uncommitted inserts never touch the shared heap. *)
+              let removed = Relation.Txn.remove_pending_inserts t tname pred in
+              Done (Printf.sprintf "%d rows deleted" (!n + removed)))
   | Ast.Update (tname, sets, where) -> (
       match Relation.Catalog.find_table session.catalog tname with
       | None -> fail "unknown table %s" tname
@@ -574,27 +628,67 @@ let rec run_stmt session binds = function
               sets
           in
           let where = Option.map compile_pred where in
-          let victims = ref [] in
-          Relation.Table.iter tbl (fun rowid row ->
-              let bound = [ (tname, (columns, row)) ] in
-              let matches =
-                match where with
-                | None -> true
-                | Some w -> Executor.eval_pred binds bound w
+          let matches row =
+            match where with
+            | None -> true
+            | Some w ->
+                Executor.eval_pred binds [ (tname, (columns, row)) ] w
+          in
+          let updated row =
+            let bound = [ (tname, (columns, row)) ] in
+            let row' = Array.copy row in
+            List.iter
+              (fun (i, v) -> row'.(i) <- Executor.eval_value binds bound v)
+              set_positions;
+            row'
+          in
+          match active_txn session with
+          | None ->
+              let victims = ref [] in
+              Relation.Table.iter tbl (fun rowid row ->
+                  if matches row then
+                    victims := (rowid, updated row) :: !victims);
+              List.iter
+                (fun (rowid, row') ->
+                  ignore (Relation.Table.update_row tbl rowid row'))
+                !victims;
+              Done (Printf.sprintf "%d rows updated" (List.length !victims))
+          | Some t ->
+              let mgr = Relation.Txn.manager t in
+              let snap = Relation.Txn.snapshot t in
+              let seen = Relation.Txn.snapshot_high snap in
+              let n = ref 0 in
+              let victims = ref [] in
+              Relation.Table.iter tbl (fun rowid row ->
+                  if
+                    Relation.Txn.rowid_visible mgr snap tname rowid
+                    && matches row
+                  then victims := (rowid, row) :: !victims);
+              List.iter
+                (fun (rowid, row) ->
+                  if matches row then victims := (rowid, row) :: !victims)
+                (Relation.Txn.dead_visible mgr snap tname);
+              List.iter
+                (fun (rowid, row) ->
+                  Relation.Txn.buffer_delete t ~table:tbl ~tname ~rowid ~row
+                    ~seen;
+                  Relation.Txn.buffer_insert t ~table:tbl ~tname (updated row);
+                  incr n)
+                !victims;
+              (* Drain matching pending inserts fully BEFORE re-buffering
+                 their updated forms, or an update whose result still
+                 matches the predicate would loop. *)
+              let rec drain acc =
+                match Relation.Txn.take_pending_insert t tname matches with
+                | None -> List.rev acc
+                | Some row -> drain (row :: acc)
               in
-              if matches then begin
-                let row' = Array.copy row in
-                List.iter
-                  (fun (i, v) ->
-                    row'.(i) <- Executor.eval_value binds bound v)
-                  set_positions;
-                victims := (rowid, row') :: !victims
-              end);
-          List.iter
-            (fun (rowid, row') ->
-              ignore (Relation.Table.update_row tbl rowid row'))
-            !victims;
-          Done (Printf.sprintf "%d rows updated" (List.length !victims)))
+              List.iter
+                (fun row ->
+                  Relation.Txn.buffer_insert t ~table:tbl ~tname (updated row);
+                  incr n)
+                (drain []);
+              Done (Printf.sprintf "%d rows updated" !n))
   | Ast.Select q -> run_plan session binds (compile_query session q)
   | Ast.Explain { analyze; target } -> run_explain session binds ~analyze target
 

@@ -26,6 +26,12 @@ val session : ?plan_cache:bool -> Relation.Catalog.t -> session
 val catalog : session -> Relation.Catalog.t
 (** The database this session is bound to. *)
 
+val set_txn : session -> Relation.Txn.txn option -> unit
+(** Bind (or unbind) the MVCC transaction DML and snapshot reads run
+    under. With a transaction set, INSERT/DELETE/UPDATE buffer into its
+    write set and SELECT overlays its snapshot; without one, writes go
+    straight to the shared heap (standalone tools, historical tests). *)
+
 val statements : session -> int
 (** Statements successfully executed via {!exec}/{!exec_script} in this
     session — the per-session counter the server's session manager

@@ -133,6 +133,58 @@ let test_lru_demotion () =
   check Alcotest.bool "budget is respected" true
     (st.Mt.s_resident_bytes <= st.Mt.s_budget_bytes)
 
+(* ---- a declined build must not evict anyone (regression) ----
+
+   The rough pre-build gate (2 registrations of 7 words per row) can
+   undershoot badly for long intervals, which decompose into ~2
+   registrations per HINT level. The build used to call [make_room]
+   before the exact-size check, so such a collection demoted every
+   resident replica and was then declined anyway — an empty tier for
+   nothing. The exact gate now runs first. *)
+
+let test_declined_build_keeps_residents () =
+  let budget_mb = 1 in
+  let budget = budget_mb * 1024 * 1024 in
+  let mt = Mt.create ~budget_mb in
+  let _, keep, _ = build ~name:"hot_keep" ~n:500 () in
+  check Alcotest.bool "small replica admitted" true (Mt.acquire mt keep <> None);
+  (* wide intervals: ~40% of the domain each, staggered starts *)
+  let n = 9_000 in
+  let fat_data =
+    Array.init n (fun i ->
+        let lo = i * 7919 mod 600_000 in
+        Ivl.make lo (lo + 400_000))
+  in
+  (* precondition 1: the rough gate admits it *)
+  check Alcotest.bool "rough estimate fits the budget" true
+    (n * 2 * 7 * 8 <= budget);
+  (* precondition 2: the exact size does not — measured on an identical
+     standalone HINT, same universe and grid as the tier would build *)
+  let dlo =
+    Array.fold_left (fun a i -> min a (Ivl.lower i)) max_int fat_data
+  and dhi =
+    Array.fold_left (fun a i -> max a (Ivl.upper i)) min_int fat_data
+  in
+  let h =
+    Memindex.Hint.create ~lo:dlo ~hi:dhi
+      ~m:(Memindex.Hint.suggested_grid ~rows:n) ()
+  in
+  Array.iteri (fun id ivl -> ignore (Memindex.Hint.insert ~id h ivl)) fat_data;
+  check Alcotest.bool "exact size exceeds the budget" true
+    (Memindex.Hint.approx_bytes h > budget);
+  let db = Relation.Catalog.create () in
+  let fat = Ri.create ~name:"hot_fat" db in
+  Array.iteri (fun id ivl -> ignore (Ri.insert ~id fat ivl)) fat_data;
+  let before = Mt.stats mt in
+  check Alcotest.bool "fat collection is declined" true
+    (Mt.acquire mt fat = None);
+  let after = Mt.stats mt in
+  check Alcotest.bool "resident replica survived the declined build" true
+    (Mt.resident mt "hot_keep");
+  check Alcotest.int "no demotions" before.Mt.s_demotions after.Mt.s_demotions;
+  check Alcotest.int "resident bytes unchanged" before.Mt.s_resident_bytes
+    after.Mt.s_resident_bytes
+
 let test_disabled_tier () =
   let mt = Mt.create ~budget_mb:0 in
   let _, tree, _ = build ~n:50 () in
@@ -189,6 +241,8 @@ let () =
           Alcotest.test_case "mutation invalidates" `Quick
             test_mutation_invalidates;
           Alcotest.test_case "LRU demotion" `Quick test_lru_demotion;
+          Alcotest.test_case "declined build keeps residents" `Quick
+            test_declined_build_keeps_residents;
           Alcotest.test_case "budget 0 disables" `Quick test_disabled_tier ] );
       ( "generation",
         [ Alcotest.test_case "residency changes bump it" `Quick

@@ -18,6 +18,7 @@ let sample_requests =
     P.Delete { lower = min_int / 4; upper = max_int / 4; id = 7 };
     P.Intersect { lower = 10; upper = 20 };
     P.Allen { relation = Interval.Allen.During; lower = 3; upper = 9 };
+    P.Begin;
     P.Commit;
     P.Rollback;
     P.Stats;
@@ -75,6 +76,7 @@ let sample_responses =
     P.Read_only "server is read-only: corrupt page 7";
     P.Goodbye "idle for 30s, closing";
     P.Invalid "empty interval [9, 3]";
+    P.Conflict "write-write conflict on intervals";
     P.Stats_reply sample_stats;
     P.Stats_reply { sample_stats with ops = [] };
   ]
@@ -92,6 +94,7 @@ let resp_label = function
   | P.Read_only _ -> "read_only"
   | P.Goodbye _ -> "goodbye"
   | P.Invalid _ -> "invalid"
+  | P.Conflict _ -> "conflict"
   | P.Stats_reply _ -> "stats"
 
 let resp_testable =
@@ -111,8 +114,8 @@ let test_request_roundtrip () =
     sample_requests
 
 let test_protocol_version () =
-  (* v4 added prepare/execute/close/explain *)
-  check Alcotest.int "version" 4 P.version
+  (* v5 added begin/conflict (MVCC transactions) *)
+  check Alcotest.int "version" 5 P.version
 
 let test_explain_targets_roundtrip () =
   let targets =
@@ -361,7 +364,7 @@ let () =
     [
       ( "roundtrip",
         [
-          Alcotest.test_case "version is 4" `Quick test_protocol_version;
+          Alcotest.test_case "version is 5" `Quick test_protocol_version;
           Alcotest.test_case "requests" `Quick test_request_roundtrip;
           Alcotest.test_case "allen relations" `Quick
             test_all_allen_relations_roundtrip;

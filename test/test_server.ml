@@ -18,8 +18,9 @@ let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
-let with_server ?config:(cfg = config ()) ?(durable = false) ?(preload = [||]) f =
-  let sh = S.shared ~durable () in
+let with_server ?config:(cfg = config ()) ?(durable = false)
+    ?(hot_tier_mb = 0) ?(preload = [||]) f =
+  let sh = S.shared ~durable ~hot_tier_mb () in
   if Array.length preload > 0 then S.preload sh preload;
   let disp = D.create ~config:cfg sh in
   let thread = Thread.create (fun () -> D.serve disp) () in
@@ -294,19 +295,154 @@ let test_session_isolation () =
               | Ok _ -> ()
               | Error e ->
                   Alcotest.failf "dml other session: %s" (C.error_to_string e));
+              (* uncommitted writes are private to c2's transaction *)
+              (match C.sql c1 "SELECT x FROM shared_t" with
+              | Ok (P.Rows { rows = []; _ }) -> ()
+              | Ok _ -> Alcotest.fail "uncommitted row leaked across sessions"
+              | Error e -> Alcotest.failf "select: %s" (C.error_to_string e));
+              ok (C.commit c2);
               match C.sql c1 "SELECT x FROM shared_t" with
               | Ok (P.Rows { rows = [ [| 42 |] ]; _ }) -> ()
-              | Ok _ -> Alcotest.fail "row not visible across sessions"
+              | Ok _ -> Alcotest.fail "committed row not visible"
               | Error e -> Alcotest.failf "select: %s" (C.error_to_string e))))
 
 (* ---- durability: commit, rollback, restart ---- *)
 
-let test_rollback_requires_durable () =
+(* ROLLBACK is a per-session write-set discard, so it works — and is
+   typed — on non-durable servers too (it used to answer a generic,
+   retry-tempting [Error]). *)
+let test_rollback_non_durable () =
   with_server (fun port _ _ ->
       with_client port (fun c ->
-          match C.rpc c P.Rollback with
-          | P.Error _ -> ()
-          | _ -> Alcotest.fail "rollback on a non-durable server"))
+          (match C.insert c ~id:5 (Interval.Ivl.make 1 9) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
+          (match C.rpc c P.Rollback with
+          | P.Ack _ -> ()
+          | P.Error m -> Alcotest.failf "generic error, not Ack: %s" m
+          | _ -> Alcotest.fail "rollback on a non-durable server");
+          check (Alcotest.list Alcotest.int) "write set discarded" []
+            (intersect c (Interval.Ivl.make 1 9));
+          (* the typed transaction errors are verdicts, never retried *)
+          check Alcotest.bool "conflict not retryable" false
+            (C.retryable (C.Conflict "lost the race"));
+          check Alcotest.bool "invalid not retryable" false
+            (C.retryable (C.Invalid "nested begin"))))
+
+(* Two live sessions: A's uncommitted writes are invisible to B and its
+   ROLLBACK discards only A's write set — B's committed data, prepared
+   statements and the shared hot tier all survive. *)
+let test_two_session_rollback_isolation () =
+  with_server ~hot_tier_mb:8 ~preload:dataset (fun port sh _ ->
+      with_client port (fun a ->
+          with_client port (fun b ->
+              (* warm the hot tier so we can prove ROLLBACK spares it *)
+              ignore (intersect b (Interval.Ivl.make 0 1000));
+              let tier_before = Exec.Memtier.stats (S.memtier sh) in
+              ok
+                (C.prepare b ~name:"probe"
+                   "SELECT id FROM intervals WHERE lower <= :hi AND upper                     >= :lo");
+              (* A inserts, uncommitted; B inserts and commits *)
+              (match C.insert a ~id:777_001 (Interval.Ivl.make 42 43) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "a insert: %s" (C.error_to_string e));
+              (match C.insert b ~id:777_002 (Interval.Ivl.make 42 43) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "b insert: %s" (C.error_to_string e));
+              ok (C.commit b);
+              (* A still sees both: B's is committed, its own overlays *)
+              let seen_by_a =
+                intersect a (Interval.Ivl.make 42 43)
+                |> List.filter (fun id -> id >= 777_000)
+                |> List.sort compare
+              in
+              check (Alcotest.list Alcotest.int) "a sees committed + own"
+                [ 777_001; 777_002 ] seen_by_a;
+              ok (C.rollback a);
+              (* B's committed row survives, A's is gone — in both
+                 sessions *)
+              List.iter
+                (fun c ->
+                  let got =
+                    intersect c (Interval.Ivl.make 42 43)
+                    |> List.filter (fun id -> id >= 777_000)
+                  in
+                  check (Alcotest.list Alcotest.int) "only b's row remains"
+                    [ 777_002 ] got)
+                [ a; b ];
+              (* B's prepared statement still executes *)
+              (match ok (C.execute b ~name:"probe" [ 43; 42 ]) with
+              | P.Rows { rows; _ } ->
+                  check Alcotest.bool "prepared survives" true
+                    (List.exists (fun r -> r.(0) = 777_002) rows)
+              | _ -> Alcotest.fail "prepared statement lost");
+              (* the hot tier was NOT globally invalidated by the
+                 rollback: no invalidation beyond what B's commit (a
+                 genuine mutation) caused, and none attributable to A *)
+              let tier_after = Exec.Memtier.stats (S.memtier sh) in
+              check Alcotest.bool "rollback did not nuke the tier" true
+                (tier_after.Exec.Memtier.s_invalidations
+                 <= tier_before.Exec.Memtier.s_invalidations + 1))))
+
+(* First-committer-wins: two sessions delete the same committed row;
+   the second COMMIT answers the typed Conflict frame. *)
+let test_write_write_conflict () =
+  with_server (fun port _ _ ->
+      with_client port (fun a ->
+          with_client port (fun b ->
+              (match C.insert a ~id:9 (Interval.Ivl.make 100 200) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
+              ok (C.commit a);
+              let del c =
+                C.rpc c (P.Delete { lower = 100; upper = 200; id = 9 })
+              in
+              (match (del a, del b) with
+              | P.Ack _, P.Ack _ -> ()
+              | _ -> Alcotest.fail "both deletes should buffer");
+              ok (C.commit a);
+              (match C.commit b with
+              | Error (C.Conflict _ as e) ->
+                  check Alcotest.bool "conflict not retryable" false
+                    (C.retryable e)
+              | Ok () -> Alcotest.fail "second committer won"
+              | Error e ->
+                  Alcotest.failf "wrong error shape: %s" (C.error_to_string e));
+              (* the loser's session is alive with a fresh transaction *)
+              ping b;
+              check (Alcotest.list Alcotest.int) "row deleted once" []
+                (intersect b (Interval.Ivl.make 100 200)))))
+
+(* BEGIN pins the snapshot: reads are stable across a concurrent
+   commit, and a second BEGIN is the typed Invalid. *)
+let test_begin_snapshot_stability () =
+  with_server (fun port _ _ ->
+      with_client port (fun a ->
+          with_client port (fun b ->
+              (match C.insert a ~id:1 (Interval.Ivl.make 10 20) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
+              ok (C.commit a);
+              ok (C.begin_txn b);
+              (match C.begin_txn b with
+              | Error (C.Invalid _) -> ()
+              | Ok () -> Alcotest.fail "nested BEGIN accepted"
+              | Error e ->
+                  Alcotest.failf "wrong error shape: %s" (C.error_to_string e));
+              check (Alcotest.list Alcotest.int) "pinned read" [ 1 ]
+                (intersect b (Interval.Ivl.make 10 20));
+              (match C.insert a ~id:2 (Interval.Ivl.make 10 20) with
+              | Ok _ -> ()
+              | Error e -> Alcotest.failf "insert 2: %s" (C.error_to_string e));
+              ok (C.commit a);
+              (* b's pinned snapshot predates a's second commit *)
+              check (Alcotest.list Alcotest.int) "stable across commit" [ 1 ]
+                (intersect b (Interval.Ivl.make 10 20));
+              ok (C.commit b);
+              (* a fresh implicit transaction reads the latest state *)
+              check (Alcotest.list Alcotest.int) "fresh snapshot"
+                [ 1; 2 ]
+                (List.sort compare (intersect b (Interval.Ivl.make 10 20))))))
 
 let test_commit_rollback () =
   with_server ~durable:true (fun port _ _ ->
@@ -366,8 +502,8 @@ let test_group_commit_window () =
                 (contains m "group commit")
           | None -> Alcotest.failf "client %d: commit not acknowledged" i)
         acks;
-      (* a rollback returns to the last forced batch — which must
-         include both staged-and-acknowledged commits *)
+      (* a later session's rollback cannot touch the acknowledged
+         batch — both staged-and-acknowledged commits stay visible *)
       with_client port (fun c ->
           (match C.rpc c P.Rollback with
           | P.Ack _ -> ()
@@ -375,6 +511,57 @@ let test_group_commit_window () =
           let ids = List.sort compare (intersect c (Interval.Ivl.make 10 20)) in
           check (Alcotest.list Alcotest.int) "both commits durable"
             [ 100; 101 ] ids))
+
+(* A client that stages a COMMIT into an open group-commit window and
+   disconnects before the flush: the staged journal intent must still
+   be forced (the MVCC apply already happened), the dead connection
+   must be purged from the window rather than holding the 5 s deadline,
+   and the commit must be durable. *)
+let test_disconnect_between_stage_and_force () =
+  with_server ~durable:true ~config:(config ~group_commit:5.0 ())
+    (fun port sh _disp ->
+      (* a sibling session holding an uncommitted write keeps the
+         group-commit window open (commit-siblings rule) — without it
+         the staged COMMIT below would be flushed immediately and the
+         disconnect purge would never be exercised *)
+      let sibling = C.connect ~port () in
+      (match C.insert sibling (Interval.Ivl.make 1 2) with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "sibling insert: %s" (C.error_to_string e));
+      let fd = raw_connect port in
+      let send frame = ignore (Unix.write fd frame 0 (Bytes.length frame)) in
+      send
+        (P.encode_request ~id:1L
+           (P.Insert { lower = 7; upper = 8; id = Some 321 }));
+      (match P.decode_response (raw_read_frame fd) with
+      | Ok (1L, P.Ack _) -> ()
+      | _ -> Alcotest.fail "insert not acked");
+      (* stage the COMMIT, then hang up without waiting for the Ack
+         (which is owed only at the window flush, 5 s away) *)
+      send (P.encode_request ~id:2L P.Commit);
+      (* give the dispatcher a beat to stage it before the close *)
+      Thread.delay 0.1;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (* the close must purge the window and force the staged intent
+         long before the 5 s deadline *)
+      let deadline = Unix.gettimeofday () +. 2.0 in
+      let rec wait () =
+        if Relation.Catalog.pending_commits (S.catalog sh) = 0 then ()
+        else if Unix.gettimeofday () > deadline then
+          Alcotest.fail "staged commit still pending after disconnect"
+        else begin
+          Thread.delay 0.02;
+          wait ()
+        end
+      in
+      wait ();
+      (* the write is applied and durable: visible to a fresh session;
+         the sibling's uncommitted insert stays invisible *)
+      with_client port (fun c ->
+          check (Alcotest.list Alcotest.int) "orphaned commit applied"
+            [ 321 ]
+            (intersect c (Interval.Ivl.make 7 8)));
+      C.close sibling)
 
 let test_graceful_shutdown_no_data_loss () =
   (* insert + commit through the wire, stop the server (which
@@ -746,13 +933,23 @@ let () =
             test_corruption_degrades_to_read_only;
         ] );
       ( "sessions",
-        [ Alcotest.test_case "shared tables" `Quick test_session_isolation ] );
+        [
+          Alcotest.test_case "shared tables" `Quick test_session_isolation;
+          Alcotest.test_case "two-session rollback isolation" `Quick
+            test_two_session_rollback_isolation;
+          Alcotest.test_case "write-write conflict" `Quick
+            test_write_write_conflict;
+          Alcotest.test_case "begin pins the snapshot" `Quick
+            test_begin_snapshot_stability;
+        ] );
       ( "durability",
         [
-          Alcotest.test_case "rollback needs durable" `Quick
-            test_rollback_requires_durable;
+          Alcotest.test_case "rollback works non-durable, typed" `Quick
+            test_rollback_non_durable;
           Alcotest.test_case "commit/rollback boundary" `Quick
             test_commit_rollback;
+          Alcotest.test_case "disconnect between stage and force" `Quick
+            test_disconnect_between_stage_and_force;
           Alcotest.test_case "group-commit window" `Quick
             test_group_commit_window;
           Alcotest.test_case "graceful shutdown, no data loss" `Quick

@@ -1,0 +1,311 @@
+(* Concurrent-isolation properties for the MVCC layer, checked against
+   an in-memory oracle.
+
+   Random programs interleave insert/delete/commit/rollback across
+   several in-process server sessions sharing one database. The oracle
+   tracks the committed row set plus each session's buffered write set
+   and predicts, for every step, (a) the response class — including
+   exactly which COMMITs must fail with a first-committer-wins
+   [Conflict] — and (b) what every session (and a pure reader) must see.
+   One session's ROLLBACK never perturbs anyone else's view; a pinned
+   reader's snapshot is stable across concurrent commits. *)
+
+module S = Server.Session
+module P = Server.Protocol
+
+(* ---- the abstract program ---- *)
+
+type op =
+  | Ins of int * int * int (* lower, upper, id *)
+  | Del of int (* target id (interval resolved from the id table) *)
+  | Commit
+  | Rollback
+
+type step = { who : int; op : op }
+
+let n_writers = 3
+
+(* Interval shapes: a small domain with heavy overlap, so deletes and
+   intersections actually contend. Ids are assigned globally unique at
+   generation time. *)
+let gen_program =
+  QCheck.Gen.(
+    let* len = int_range 5 40 in
+    let rec go k next_id acc =
+      if k = 0 then return (List.rev acc)
+      else
+        let* who = int_range 0 (n_writers - 1) in
+        let* pick = int_range 0 9 in
+        if pick < 4 then
+          let* lo = int_range 0 900 in
+          let* w = int_range 1 100 in
+          go (k - 1) (next_id + 1)
+            ({ who; op = Ins (lo, lo + w, next_id) } :: acc)
+        else if pick < 7 && next_id > 0 then
+          let* target = int_range 0 (next_id - 1) in
+          go (k - 1) next_id ({ who; op = Del target } :: acc)
+        else if pick < 9 then go (k - 1) next_id ({ who; op = Commit } :: acc)
+        else go (k - 1) next_id ({ who; op = Rollback } :: acc)
+    in
+    go len 0 [])
+
+let op_to_string = function
+  | Ins (lo, up, id) -> Printf.sprintf "s.ins [%d,%d] id %d" lo up id
+  | Del id -> Printf.sprintf "del id %d" id
+  | Commit -> "commit"
+  | Rollback -> "rollback"
+
+let program_to_string steps =
+  String.concat "; "
+    (List.map (fun s -> Printf.sprintf "%d:%s" s.who (op_to_string s.op)) steps)
+
+let arb_program = QCheck.make ~print:program_to_string gen_program
+
+(* ---- the oracle ---- *)
+
+module IMap = Map.Make (Int)
+module ISet = Set.Make (Int)
+
+type model = {
+  mutable committed : (int * int) IMap.t; (* id -> interval *)
+  all_rows : (int, int * int) Hashtbl.t; (* every id ever generated *)
+  pend_ins : ISet.t array; (* per-writer buffered inserts *)
+  pend_del : ISet.t array; (* per-writer buffered deletes *)
+}
+
+let model () =
+  {
+    committed = IMap.empty;
+    all_rows = Hashtbl.create 64;
+    pend_ins = Array.make n_writers ISet.empty;
+    pend_del = Array.make n_writers ISet.empty;
+  }
+
+(* What a writer's own statements see: committed state minus its pending
+   deletes, plus its pending inserts (read-your-own-writes). *)
+let own_view m who =
+  let base =
+    IMap.filter (fun id _ -> not (ISet.mem id m.pend_del.(who))) m.committed
+  in
+  ISet.fold
+    (fun id acc -> IMap.add id (Hashtbl.find m.all_rows id) acc)
+    m.pend_ins.(who) base
+
+type verdict = V_ack | V_conflict | V_error | V_invalid
+
+(* Advance the oracle and return the expected response class. *)
+let predict m { who; op } =
+  match op with
+  | Ins (lo, up, id) ->
+      Hashtbl.replace m.all_rows id (lo, up);
+      m.pend_ins.(who) <- ISet.add id m.pend_ins.(who);
+      V_ack
+  | Del id ->
+      if ISet.mem id m.pend_ins.(who) then begin
+        (* deleting your own uncommitted insert: drop it from the buffer *)
+        m.pend_ins.(who) <- ISet.remove id m.pend_ins.(who);
+        V_ack
+      end
+      else if ISet.mem id m.pend_del.(who) then
+        (* already buffered: own snapshot no longer sees the row *)
+        V_error
+      else if IMap.mem id m.committed then begin
+        m.pend_del.(who) <- ISet.add id m.pend_del.(who);
+        V_ack
+      end
+      else V_error
+  | Commit ->
+      (* first-committer-wins: a buffered delete whose victim is gone
+         from the committed state lost the race *)
+      if ISet.exists (fun id -> not (IMap.mem id m.committed)) m.pend_del.(who)
+      then begin
+        m.pend_ins.(who) <- ISet.empty;
+        m.pend_del.(who) <- ISet.empty;
+        V_conflict
+      end
+      else begin
+        m.committed <-
+          IMap.filter
+            (fun id _ -> not (ISet.mem id m.pend_del.(who)))
+            m.committed;
+        m.committed <-
+          ISet.fold
+            (fun id acc -> IMap.add id (Hashtbl.find m.all_rows id) acc)
+            m.pend_ins.(who) m.committed;
+        m.pend_ins.(who) <- ISet.empty;
+        m.pend_del.(who) <- ISet.empty;
+        V_ack
+      end
+  | Rollback ->
+      m.pend_ins.(who) <- ISet.empty;
+      m.pend_del.(who) <- ISet.empty;
+      V_ack
+
+(* ---- driving the real system ---- *)
+
+let classify = function
+  | P.Ack _ -> V_ack
+  | P.Conflict _ -> V_conflict
+  | P.Error _ -> V_error
+  | P.Invalid _ -> V_invalid
+  | _ -> V_error
+
+let verdict_name = function
+  | V_ack -> "ack"
+  | V_conflict -> "conflict"
+  | V_error -> "error"
+  | V_invalid -> "invalid"
+
+let resp_name = function
+  | P.Ack m -> "ack: " ^ m
+  | P.Conflict m -> "conflict: " ^ m
+  | P.Error m -> "error: " ^ m
+  | P.Invalid m -> "invalid: " ^ m
+  | P.Rows _ -> "rows"
+  | _ -> "other"
+
+let ids_of_response = function
+  | P.Rows { rows; _ } ->
+      List.fold_left (fun acc r -> ISet.add r.(2) acc) ISet.empty rows
+  | r -> QCheck.Test.fail_reportf "expected rows, got %s" (resp_name r)
+
+(* Covers the whole generated domain ([0, 1000]); sentinel-wide bounds
+   would overflow the backbone's range arithmetic. *)
+let intersect_all sess =
+  ids_of_response (S.handle sess (P.Intersect { lower = 0; upper = 2_000 }))
+
+let set_to_string s =
+  "{" ^ String.concat "," (List.map string_of_int (ISet.elements s)) ^ "}"
+
+let check_view ~what expected got =
+  if not (ISet.equal expected got) then
+    QCheck.Test.fail_reportf "%s: model %s, system %s" what
+      (set_to_string expected) (set_to_string got)
+
+let ids_of_map m = IMap.fold (fun id _ acc -> ISet.add id acc) m ISet.empty
+
+(* Replay one program; check the response class of every step and, after
+   every step, each writer's view plus a pure reader's committed view. *)
+let run_program steps =
+  let sh = S.shared () in
+  let sessions = Array.init n_writers (fun _ -> S.create sh) in
+  let reader = S.create sh in
+  let m = model () in
+  List.iteri
+    (fun i ({ who; op } as step) ->
+      let req =
+        match op with
+        | Ins (lo, up, id) -> P.Insert { lower = lo; upper = up; id = Some id }
+        | Del id ->
+            let lo, up = Hashtbl.find m.all_rows id in
+            P.Delete { lower = lo; upper = up; id }
+        | Commit -> P.Commit
+        | Rollback -> P.Rollback
+      in
+      (* predict BEFORE advancing the model for deletes: Del resolves
+         its interval from all_rows, which Ins populates in [predict] —
+         so resolve the request first (above), then advance. *)
+      let expected = predict m step in
+      let got = classify (S.handle sessions.(who) req) in
+      if got <> expected then
+        QCheck.Test.fail_reportf "step %d (%d:%s): model %s, system %s" i who
+          (op_to_string op) (verdict_name expected) (verdict_name got);
+      (* every writer sees committed ∪ own inserts ∖ own deletes *)
+      Array.iteri
+        (fun w sess ->
+          check_view
+            ~what:(Printf.sprintf "step %d writer %d" i w)
+            (ids_of_map (own_view m w))
+            (intersect_all sess))
+        sessions;
+      (* an innocent bystander sees exactly the committed state *)
+      check_view
+        ~what:(Printf.sprintf "step %d reader" i)
+        (ids_of_map m.committed) (intersect_all reader))
+    steps;
+  Array.iter S.close sessions;
+  S.close reader;
+  true
+
+let prop_isolation =
+  QCheck.Test.make ~count:200 ~name:"random interleavings = oracle"
+    arb_program run_program
+
+(* ---- pinned snapshots: BEGIN freezes the reader's world ---- *)
+
+let gen_pinned =
+  QCheck.Gen.(
+    let* prog = gen_program in
+    let* pin_at = int_range 0 (List.length prog) in
+    return (prog, pin_at))
+
+let arb_pinned =
+  QCheck.make
+    ~print:(fun (p, k) -> Printf.sprintf "pin@%d [%s]" k (program_to_string p))
+    gen_pinned
+
+let run_pinned (steps, pin_at) =
+  let sh = S.shared () in
+  let sessions = Array.init n_writers (fun _ -> S.create sh) in
+  let reader = S.create sh in
+  let m = model () in
+  let frozen = ref None in
+  let maybe_pin i =
+    if i = pin_at then begin
+      (match S.handle reader P.Begin with
+      | P.Ack _ -> ()
+      | r ->
+          QCheck.Test.fail_reportf "BEGIN: %s" (resp_name r));
+      (* a second BEGIN is a client bug, not a state change *)
+      (match S.handle reader P.Begin with
+      | P.Invalid _ -> ()
+      | r ->
+          QCheck.Test.fail_reportf "nested BEGIN: %s" (resp_name r));
+      frozen := Some (ids_of_map m.committed)
+    end
+  in
+  maybe_pin 0;
+  List.iteri
+    (fun i ({ who; op } as step) ->
+      let req =
+        match op with
+        | Ins (lo, up, id) -> P.Insert { lower = lo; upper = up; id = Some id }
+        | Del id ->
+            let lo, up = Hashtbl.find m.all_rows id in
+            P.Delete { lower = lo; upper = up; id }
+        | Commit -> P.Commit
+        | Rollback -> P.Rollback
+      in
+      ignore (predict m step);
+      ignore (S.handle sessions.(who) req);
+      maybe_pin (i + 1);
+      match !frozen with
+      | Some world ->
+          (* pinned: concurrent commits and rollbacks must not show *)
+          check_view
+            ~what:(Printf.sprintf "step %d pinned reader" i)
+            world (intersect_all reader)
+      | None ->
+          check_view
+            ~what:(Printf.sprintf "step %d unpinned reader" i)
+            (ids_of_map m.committed) (intersect_all reader))
+    steps;
+  (* releasing the pin catches the reader up to the present *)
+  (match S.handle reader P.Rollback with
+  | P.Ack _ -> ()
+  | r -> QCheck.Test.fail_reportf "release: %s" (resp_name r));
+  check_view ~what:"released reader" (ids_of_map m.committed)
+    (intersect_all reader);
+  Array.iter S.close sessions;
+  S.close reader;
+  true
+
+let prop_snapshot_stability =
+  QCheck.Test.make ~count:100 ~name:"pinned snapshot is stable" arb_pinned
+    run_pinned
+
+let () =
+  Alcotest.run "txn"
+    [ ( "isolation",
+        [ QCheck_alcotest.to_alcotest prop_isolation;
+          QCheck_alcotest.to_alcotest prop_snapshot_stability ] ) ]
