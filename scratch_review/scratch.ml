@@ -1,0 +1,29 @@
+module E = Sqlfront.Engine
+
+let show = function
+  | E.Done m -> print_endline ("DONE: " ^ m)
+  | E.Rows { rows; _ } ->
+      List.iter
+        (fun r ->
+          print_endline
+            (String.concat " " (Array.to_list (Array.map string_of_int r))))
+        rows
+
+let () =
+  let cat = Relation.Catalog.create () in
+  let s = E.session cat in
+  show (E.exec s "CREATE TABLE t (a INT, b INT)");
+  show (E.exec s "INSERT INTO t VALUES (5, 7)");
+  (* no transaction: baseline *)
+  show (E.exec s "UPDATE t SET a = b, b = a");
+  show (E.exec s "SELECT a, b FROM t");
+  (* now the same under an MVCC transaction, as every server session runs *)
+  let mgr = Relation.Txn.create () in
+  let txn = Relation.Txn.begin_txn mgr in
+  E.set_txn s (Some txn);
+  show (E.exec s "UPDATE t SET a = b, b = a");
+  show (E.exec s "SELECT a, b FROM t");
+  ignore (Relation.Txn.commit txn);
+  E.set_txn s None;
+  print_endline "after commit:";
+  show (E.exec s "SELECT a, b FROM t")
