@@ -1400,7 +1400,7 @@ let with_txn_server ?(group_commit = 0.) ?(preload = [||]) ~sessions f =
     { Server.Dispatcher.host = "127.0.0.1"; port = 0;
       max_sessions = sessions + 2; max_inflight = 64; max_queue = 4096;
       group_commit; idle_timeout = 0.; metrics_port = None;
-      slow_query_ms = 0. }
+      slow_query_ms = 0.; replica_of = None }
   in
   let sh = Server.Session.shared ~durable:true () in
   if Array.length preload > 0 then Server.Session.preload sh preload;
@@ -1430,7 +1430,7 @@ let txn_writer ~port ~txns ~writes ~base =
               failwith ("insert: " ^ Server.Client.error_to_string e)
         done;
         match Server.Client.commit c with
-        | Ok () -> incr committed
+        | Ok _ -> incr committed
         | Error e -> failwith ("commit: " ^ Server.Client.error_to_string e)
       done;
       !committed)
@@ -1491,7 +1491,7 @@ let bench_txn_contention ~sessions ~rounds =
               (fun c ->
                 incr commits;
                 match Server.Client.commit c with
-                | Ok () -> ()
+                | Ok _ -> ()
                 | Error (Server.Client.Conflict _ as e) ->
                     (* must be a verdict, not something a client retries *)
                     if Server.Client.retryable e then
@@ -1766,6 +1766,262 @@ let crash_schedule_cmd =
     Term.(const run_crash_schedule $ seed $ ops $ universe $ block_size
           $ cache $ commit_every $ torn $ quiet)
 
+(* ---- chaos-net: network fault sweep over a primary/replica pair ---- *)
+
+let run_chaos_net tiny txns deadline_ms quiet =
+  let spec = if tiny then Chaos.tiny_spec else Chaos.default_spec in
+  let spec =
+    { spec with
+      txns = (if txns > 0 then txns else spec.txns);
+      deadline_ms =
+        (if deadline_ms > 0. then deadline_ms else spec.deadline_ms) }
+  in
+  let progress i n fault =
+    if not quiet then
+      Printf.printf "\rtrial %d/%d (%-9s)%!" (i + 1) n fault
+  in
+  let report = Chaos.run ~progress spec in
+  if not quiet then print_newline ();
+  Format.printf "%a@." Chaos.pp_report report;
+  if report.Chaos.failures <> [] then exit 1
+
+let chaos_net_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ] ~doc:"Small sweep for CI smoke runs.")
+  in
+  let txns =
+    Arg.(value & opt int 0
+         & info [ "txns" ]
+             ~doc:"Transactions per trial (0 = spec default). Each adds \
+                   three injection points.")
+  in
+  let deadline =
+    Arg.(value & opt float 0.
+         & info [ "deadline-ms" ]
+             ~doc:"Failover client per-request deadline (0 = default).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No progress line.")
+  in
+  Cmd.v
+    (Cmd.info "chaos-net"
+       ~doc:"Network chaos sweep: one injected fault per request frame"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Boots a durable primary with a journal-shipping replica and \
+               a frame-aligned chaos proxy, then replays a deterministic \
+               two-row-transaction workload once per injection point, \
+               cycling delay, drop, duplication, truncation, partition \
+               and primary-kill faults. After each trial the surviving \
+               nodes are compared with an in-memory oracle: acknowledged \
+               writes present everywhere, unsent commits absent, lost \
+               commit answers atomically present-or-absent. Exits \
+               non-zero on the first violated trial." ])
+    Term.(const run_chaos_net $ tiny $ txns $ deadline $ quiet)
+
+(* ---- bench-replica: replication lag, failover time, read scale-out ---- *)
+
+let with_repl_node ?replica_of () =
+  let cfg =
+    { Server.Dispatcher.host = "127.0.0.1"; port = 0; max_sessions = 16;
+      max_inflight = 64; max_queue = 4096; group_commit = 0.002;
+      idle_timeout = 0.; metrics_port = None; slow_query_ms = 0.;
+      replica_of }
+  in
+  let sh = Server.Session.shared ~durable:true () in
+  let disp = Server.Dispatcher.create ~config:cfg sh in
+  let thread = Thread.create (fun () -> Server.Dispatcher.serve disp) () in
+  (disp, thread)
+
+let repl_status_of ~port =
+  let c = Server.Client.connect ~deadline_ms:1000. ~port () in
+  Fun.protect
+    ~finally:(fun () -> Server.Client.close c)
+    (fun () ->
+      match Server.Client.repl_status c with
+      | Ok (_, durable, applied) -> (durable, applied)
+      | Error e -> failwith (Server.Client.error_to_string e))
+
+let wait_repl_applied ?(timeout = 30.) ~port lsn =
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. timeout in
+  let rec go () =
+    let _, applied = repl_status_of ~port in
+    if applied >= lsn then Some (Unix.gettimeofday () -. t0)
+    else if Unix.gettimeofday () > deadline then None
+    else begin
+      Thread.delay 0.002;
+      go ()
+    end
+  in
+  go ()
+
+let bench_replica tiny out =
+  let txns = if tiny then 60 else 400 in
+  let writes = 4 in
+  let reads = if tiny then 400 else 2000 in
+  let pdisp, pthread = with_repl_node () in
+  let pport = Server.Dispatcher.port pdisp in
+  let rdisp, rthread =
+    with_repl_node ~replica_of:("127.0.0.1", pport) ()
+  in
+  let rport = Server.Dispatcher.port rdisp in
+  (* settle the subscription before measuring anything *)
+  let c0 = Server.Client.connect ~port:pport () in
+  (match
+     ( Server.Client.insert c0 (Interval.Ivl.make 0 1),
+       Server.Client.commit c0 )
+   with
+  | Ok _, Ok lsn -> ignore (wait_repl_applied ~port:rport lsn)
+  | _ -> failwith "settle write failed");
+  Server.Client.close c0;
+  (* load phase: sample replica lag while a writer streams commits *)
+  let lag_samples = ref [] in
+  let loading = ref true in
+  let sampler =
+    Thread.create
+      (fun () ->
+        while !loading do
+          (try
+             let durable, applied = repl_status_of ~port:rport in
+             lag_samples := max 0 (durable - applied) :: !lag_samples
+           with _ -> ());
+          Thread.delay 0.005
+        done)
+      ()
+  in
+  let t0 = Unix.gettimeofday () in
+  let committed = txn_writer ~port:pport ~txns ~writes ~base:1000 in
+  let load_wall = Unix.gettimeofday () -. t0 in
+  loading := false;
+  Thread.join sampler;
+  let lag_max = List.fold_left max 0 !lag_samples in
+  let lag_mean =
+    match !lag_samples with
+    | [] -> 0.
+    | l ->
+        float_of_int (List.fold_left ( + ) 0 l) /. float_of_int (List.length l)
+  in
+  let durable_lsn, _ = repl_status_of ~port:pport in
+  (* late joiner: a second replica replays the whole history *)
+  let jdisp, jthread =
+    with_repl_node ~replica_of:("127.0.0.1", pport) ()
+  in
+  let jport = Server.Dispatcher.port jdisp in
+  let catchup = wait_repl_applied ~port:jport durable_lsn in
+  (* read throughput: primary alone, then the same reads split across
+     primary + replica *)
+  let read_burst ~port n =
+    let c = Server.Client.connect ~port () in
+    Fun.protect
+      ~finally:(fun () -> Server.Client.close c)
+      (fun () ->
+        for i = 0 to n - 1 do
+          let lo = 1000 + (i mod 500) in
+          match Server.Client.intersect c (Interval.Ivl.make lo (lo + 20))
+          with
+          | Ok _ -> ()
+          | Error e -> failwith (Server.Client.error_to_string e)
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  read_burst ~port:pport reads;
+  let primary_rps = float_of_int reads /. (Unix.gettimeofday () -. t0) in
+  let t0 = Unix.gettimeofday () in
+  let half = Thread.create (fun () -> read_burst ~port:rport (reads / 2)) ()
+  in
+  read_burst ~port:pport (reads - (reads / 2));
+  Thread.join half;
+  let scaled_rps = float_of_int reads /. (Unix.gettimeofday () -. t0) in
+  (* failover: kill the primary, time the first successful read on the
+     standby through the failover client *)
+  let f =
+    Server.Failover.create ~deadline_ms:500.
+      ~endpoints:[ ("127.0.0.1", pport); ("127.0.0.1", rport) ]
+      ()
+  in
+  (match Server.Failover.intersect f (Interval.Ivl.make 1000 1020) with
+  | Ok _ -> ()
+  | Error e -> failwith (Server.Client.error_to_string e));
+  Server.Failover.note_lsn f durable_lsn;
+  Server.Dispatcher.stop pdisp;
+  Thread.join pthread;
+  let t0 = Unix.gettimeofday () in
+  let failover_deadline = t0 +. 10. in
+  let rec first_read () =
+    match Server.Failover.intersect f (Interval.Ivl.make 1000 1020) with
+    | Ok _ -> Some (Unix.gettimeofday () -. t0)
+    | Error _ when Unix.gettimeofday () < failover_deadline ->
+        Thread.delay 0.01;
+        first_read ()
+    | Error _ -> None
+  in
+  let failover = first_read () in
+  Server.Failover.close f;
+  Server.Dispatcher.stop rdisp;
+  Thread.join rthread;
+  Server.Dispatcher.stop jdisp;
+  Thread.join jthread;
+  let ms = function Some s -> s *. 1000. | None -> -1. in
+  Printf.printf "bench-replica: %d txns of %d writes (%.0f txn/s load)\n"
+    committed writes
+    (float_of_int committed /. load_wall);
+  Printf.printf "  steady-state lag   max %d bytes, mean %.0f bytes\n"
+    lag_max lag_mean;
+  Printf.printf "  late-join catchup  %.1f ms to lsn %d (%s)\n"
+    (ms catchup) durable_lsn
+    (if catchup <> None then "caught up" else "TIMED OUT");
+  Printf.printf "  reads              %.0f/s primary alone, %.0f/s with \
+                 one replica\n"
+    primary_rps scaled_rps;
+  Printf.printf "  failover           %.1f ms to first standby read (%s)\n"
+    (ms failover)
+    (if failover <> None then "ok" else "NEVER SUCCEEDED");
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\n  \"bench\": \"replica\",\n  \"tiny\": %b,\n  \"txns\": %d,\n\
+    \  \"writes_per_txn\": %d,\n  \"durable_lsn\": %d,\n\
+    \  \"steady_lag_bytes\": {\"max\": %d, \"mean\": %.1f},\n\
+    \  \"late_join_catchup_ms\": %.1f,\n  \"caught_up\": %b,\n\
+    \  \"reads\": {\"primary_rps\": %.1f, \"with_replica_rps\": %.1f},\n\
+    \  \"failover_ms\": %.1f,\n  \"failover_ok\": %b\n}\n"
+    tiny committed writes durable_lsn lag_max lag_mean (ms catchup)
+    (catchup <> None) primary_rps scaled_rps (ms failover)
+    (failover <> None);
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out;
+  if catchup = None || failover = None then exit 1
+
+let bench_replica_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ] ~doc:"Small load for CI smoke runs.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_replica.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-replica"
+       ~doc:"Replication lag, late-join catch-up, failover time, read \
+             scale-out"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Boots a durable primary with one journal-shipping replica, \
+               streams a commit-heavy load while sampling the replica's \
+               byte lag, starts a second replica late to time a \
+               full-history catch-up, measures read throughput with the \
+               reads split across primary and replica, then kills the \
+               primary and times the failover client's first successful \
+               standby read. Results go to stdout and \
+               BENCH_replica.json; exits non-zero if catch-up or \
+               failover never completes." ])
+    Term.(const bench_replica $ tiny $ out)
+
 let () =
   let info =
     Cmd.info "rikit" ~version:"1.0.0"
@@ -1775,4 +2031,4 @@ let () =
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
          bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
          bench_plan_cmd; bench_memindex_cmd; bench_txn_cmd; scrub_cmd;
-         crash_schedule_cmd ]))
+         crash_schedule_cmd; chaos_net_cmd; bench_replica_cmd ]))

@@ -19,15 +19,19 @@ let kind_conv =
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
-    group_commit_ms idle_timeout metrics_port slow_query_ms hot_tier_mb =
+    group_commit_ms idle_timeout metrics_port slow_query_ms hot_tier_mb
+    replica_of =
   if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
   if idle_timeout < 0. then failwith "--idle-timeout must be >= 0";
   if slow_query_ms < 0. then failwith "--slow-query-ms must be >= 0";
   if hot_tier_mb < 0 then failwith "--hot-tier must be >= 0";
+  (* A replica is meaningless without the journal: implied --durable. *)
+  let durable = durable || replica_of <> None in
+  let n = if replica_of <> None then 0 else n in
   let config =
     { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
       group_commit = group_commit_ms /. 1000.; idle_timeout; metrics_port;
-      slow_query_ms }
+      slow_query_ms; replica_of }
   in
   let sh = Server.Session.shared ~durable ~hot_tier_mb () in
   if n > 0 then begin
@@ -68,6 +72,10 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
   if slow_query_ms > 0. then
     Printf.printf "slow-query log at %.1f ms (tracing enabled)\n%!"
       slow_query_ms;
+  (match replica_of with
+  | Some (h, p) ->
+      Printf.printf "replica of %s:%d (read-only; tailing journal)\n%!" h p
+  | None -> ());
   Server.Dispatcher.serve disp;
   let io =
     Storage.Block_device.Stats.get
@@ -162,11 +170,34 @@ let cmd =
                    RAM whenever the cost model prefers it. 0 disables \
                    the tier.")
   in
+  let replica_of =
+    let parse s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && host <> "" -> Ok (host, p)
+          | _ -> Error (`Msg (Printf.sprintf "bad HOST:PORT %S" s)))
+      | None -> Error (`Msg (Printf.sprintf "bad HOST:PORT %S" s))
+    in
+    let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+    Arg.(value & opt (some (conv (parse, print))) None
+         & info [ "replica-of" ] ~docv:"HOST:PORT"
+             ~doc:"Run as a hot standby of the primary at HOST:PORT: \
+                   subscribe to its journal stream, replay committed \
+                   batches locally, and serve reads while answering \
+                   mutations with a typed Read_only. Implies --durable; \
+                   starts empty (all data arrives via the stream). The \
+                   link is redialled automatically when the primary \
+                   goes away.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
           $ max_inflight $ max_queue $ durable $ group_commit
-          $ idle_timeout $ metrics_port $ slow_query_ms $ hot_tier)
+          $ idle_timeout $ metrics_port $ slow_query_ms $ hot_tier
+          $ replica_of)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,51 @@
+(** Network chaos sweep over a primary/replica pair.
+
+    Each trial boots a fresh durable primary, a replica tailing it, and
+    a {!Harness.Netchaos} proxy between the client and the primary,
+    then drives a deterministic workload of two-row transactions
+    through a {!Server.Failover} client with exactly one fault
+    scheduled at one request-frame index. After the workload, surviving
+    nodes are read back and compared with the in-memory oracle:
+
+    - acknowledged transactions must be present on every survivor;
+    - transactions whose COMMIT was never dispatched must be absent;
+    - transactions with a lost COMMIT answer must be atomically
+      present-or-absent (both rows or neither).
+
+    The sweep runs one trial per injection point (three request frames
+    per transaction), cycling through the fault list. *)
+
+type spec = {
+  txns : int;  (** transactions per trial; 3 request frames each *)
+  deadline_ms : float;  (** failover client per-request deadline *)
+  faults : Harness.Netchaos.fault list;  (** cycled over points *)
+}
+
+val default_faults : Harness.Netchaos.fault list
+(** Benign delay, drop, duplicate, truncate, partition, primary kill,
+    and a past-deadline delay (the classic ambiguous commit). *)
+
+val default_spec : spec
+(** 4 transactions -> 12 injection points, 250 ms deadline. *)
+
+val tiny_spec : spec
+(** CI smoke: 2 transactions -> 6 points, 150 ms deadline. *)
+
+type failure = { point : int; fault : string; reason : string }
+
+type report = {
+  trials : int;
+  acked : int;  (** acked transactions verified, summed over trials *)
+  ambiguous : int;
+  aborted : int;
+  failures : failure list;  (** empty = the contract held everywhere *)
+}
+
+val points : spec -> int
+(** Injection points (= trials) the sweep will run. *)
+
+val run : ?progress:(int -> int -> string -> unit) -> spec -> report
+(** The sweep. [progress point total fault] is called before each
+    trial. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -190,6 +190,21 @@ let reopen t =
     ~block_size:t.block_size ~cache_blocks:t.cache_blocks
     ~checksums:t.checksums
 
+let reload t =
+  require_durable t "reload";
+  (* The device was rewritten underneath us (replica apply): every
+     cached frame is stale, and writing any of them back would clobber
+     the newer applied images — drop the pool without write-back. *)
+  Storage.Buffer_pool.crash t.pool;
+  let fresh =
+    open_from_device ~device:t.device ~journal:t.journal
+      ~block_size:t.block_size ~cache_blocks:t.cache_blocks
+      ~checksums:t.checksums
+  in
+  (* keep the read-only flag (replica mode) across the handle swap *)
+  (match t.degraded with Some r -> fresh.degraded <- Some r | None -> ());
+  fresh
+
 let scrub ?(repair = false) t =
   if not t.checksums then
     failwith "Catalog.scrub: catalog has no page checksums";

@@ -98,6 +98,14 @@ val reopen : t -> t
 (** Like the recovery half of {!simulate_crash}, but after a clean
     {!checkpoint}: rebuild all handles from persistent storage. *)
 
+val reload : t -> t
+(** Rebuild all handles after the device was rewritten {e underneath}
+    this catalog — the replica apply path. Drops every cached frame
+    without write-back (cached pages are stale, and a write-back would
+    clobber the newer applied images), re-opens the dictionary from the
+    device, and carries the degraded (read-only) flag over to the fresh
+    handle. Durable catalogs only. *)
+
 (** {2 Corruption handling} *)
 
 val degraded : t -> bool

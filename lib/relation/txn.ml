@@ -149,10 +149,23 @@ let buffer_insert t ~table ~tname row =
 
 let buffer_delete t ~table ~tname ~rowid ~row ~seen =
   active_guard t "buffer_delete";
+  (* Generation-aware double-delete check, mirroring [own_delete]: a
+     buffered delete refers to the occupant it was found under
+     ([born <= seen]). Once that victim died and a concurrent commit
+     reused the slot, the occupant is a DIFFERENT row — deleting it is
+     legitimate, and the stale buffered delete surfaces as a typed
+     Conflict at commit validation (its dead record is pinned by
+     [low_water] until then). *)
+  let born =
+    match Hashtbl.find_opt t.mgr.vtables tname with
+    | None -> 0
+    | Some v -> (
+        match Hashtbl.find_opt v.xmin rowid with Some l -> l | None -> 0)
+  in
   if
     List.exists
       (function
-        | W_delete w -> w.tname = tname && w.rowid = rowid
+        | W_delete w -> w.tname = tname && w.rowid = rowid && born <= w.seen
         | W_insert _ -> false)
       t.writes
   then invalid_arg "Txn.buffer_delete: row already deleted by this transaction";

@@ -76,6 +76,15 @@ val read_snapshot : mgr -> snap
 
 val snapshot_high : snap -> int
 
+(** The dead-row GC low-water mark: the lowest snapshot high any live
+    transaction may still read at — the minimum over every pinned
+    (explicit BEGIN) snapshot, however long idle, and over the
+    snapshots buffered deletes were found under (commit validation
+    must still find their dead records). Sidecar entries that died at
+    or below it are unreachable by everyone and reclaimed; everything
+    newer survives. With no live readers it equals {!committed_lsn}. *)
+val low_water : mgr -> int
+
 (** {1 Write-set buffering} *)
 
 val has_writes : txn -> bool

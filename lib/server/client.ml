@@ -2,10 +2,14 @@ type t = {
   fd : Unix.file_descr;
   mutable next_id : int64;
   mutable closed : bool;
+  (* per-request deadline: every rpc must complete within this budget or
+     the connection is closed and the call fails with [Timeout] *)
+  deadline_ms : float option;
 }
 
 exception Io_error of string
 exception Undecodable of string
+exception Timed_out of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Io_error s)) fmt
 
@@ -16,6 +20,7 @@ type error =
   | Server of string
   | Invalid of string
   | Io of string
+  | Timeout of string
   | Unexpected of string
 
 let error_to_string = function
@@ -25,24 +30,87 @@ let error_to_string = function
   | Server m -> m
   | Invalid m -> "invalid request: " ^ m
   | Io m -> "i/o: " ^ m
+  | Timeout m -> "timeout: " ^ m
   | Unexpected m -> "unexpected response: " ^ m
 
 (* Overload clears when the server drains; transport hiccups (connection
-   refused during a restart, reset mid-frame) clear when it comes back.
-   A typed [Server], [Read_only] or [Invalid] answer is a verdict, not
+   refused during a restart, reset mid-frame) clear when it comes back;
+   a timeout may be a hung server or a partition that heals. A typed
+   [Server], [Read_only] or [Invalid] answer is a verdict, not
    weather — retrying it would re-run a request the server already
    refused. *)
 let retryable = function
-  | Overloaded _ | Io _ -> true
+  | Overloaded _ | Io _ | Timeout _ -> true
   | Read_only _ | Server _ | Invalid _ | Conflict _ | Unexpected _ -> false
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* A timed-out connection is unusable: the response may still arrive
+   later and would answer the wrong request. Close before raising. *)
+let timeout_fail t fmt =
+  Printf.ksprintf
+    (fun s ->
+      if not t.closed then begin
+        t.closed <- true;
+        (try Unix.close t.fd with Unix.Unix_error _ -> ())
+      end;
+      raise (Timed_out s))
+    fmt
+
+(* Wait (select) until [t.fd] is ready for [dir], or the absolute
+   [deadline] passes. [deadline = None] returns immediately — the
+   subsequent blocking syscall provides the wait. *)
+let wait_ready t deadline dir =
+  match deadline with
+  | None -> ()
+  | Some dl ->
+      let rec loop () =
+        let remain = dl -. Unix.gettimeofday () in
+        if remain <= 0. then timeout_fail t "request deadline expired";
+        let rd, wr =
+          match dir with `Read -> ([ t.fd ], []) | `Write -> ([], [ t.fd ])
+        in
+        match Unix.select rd wr [] remain with
+        | [], [], _ -> timeout_fail t "request deadline expired"
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      in
+      loop ()
+
+let connect ?(host = "127.0.0.1") ?deadline_ms ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with Unix.Unix_error (e, _, _) ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     fail "connect %s:%d: %s" host port (Unix.error_message e));
-  { fd; next_id = 1L; closed = false }
+  let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+  let cleanup () = try Unix.close fd with Unix.Unix_error _ -> () in
+  (match deadline_ms with
+  | None -> (
+      try Unix.connect fd addr
+      with Unix.Unix_error (e, _, _) ->
+        cleanup ();
+        fail "connect %s:%d: %s" host port (Unix.error_message e))
+  | Some ms -> (
+      (* Bounded connect: non-blocking connect, select for writability,
+         then read the socket error out. A dead-but-routing host would
+         otherwise hold us in the kernel's SYN retry loop. *)
+      Unix.set_nonblock fd;
+      (try Unix.connect fd addr with
+      | Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+          match Unix.select [] [ fd ] [] (ms /. 1000.) with
+          | _, _ :: _, _ -> (
+              match Unix.getsockopt_error fd with
+              | None -> ()
+              | Some e ->
+                  cleanup ();
+                  fail "connect %s:%d: %s" host port (Unix.error_message e))
+          | _ ->
+              cleanup ();
+              raise
+                (Timed_out
+                   (Printf.sprintf "connect %s:%d: deadline expired" host port))
+          )
+      | Unix.Unix_error (e, _, _) ->
+          cleanup ();
+          fail "connect %s:%d: %s" host port (Unix.error_message e));
+      try Unix.clear_nonblock fd
+      with Unix.Unix_error _ -> ()));
+  { fd; next_id = 1L; closed = false; deadline_ms }
 
 let close t =
   if not t.closed then begin
@@ -50,32 +118,36 @@ let close t =
     try Unix.close t.fd with Unix.Unix_error _ -> ()
   end
 
-let write_all t buf =
+let write_all t deadline buf =
   let len = Bytes.length buf in
   let sent = ref 0 in
   while !sent < len do
+    wait_ready t deadline `Write;
     match Unix.write t.fd buf !sent (len - !sent) with
     | 0 -> fail "connection closed while writing"
     | n -> sent := !sent + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (e, _, _) ->
         fail "write: %s" (Unix.error_message e)
   done
 
-let read_exact t buf off len =
+let read_exact t deadline buf off len =
   let got = ref 0 in
   while !got < len do
+    wait_ready t deadline `Read;
     match Unix.read t.fd buf (off + !got) (len - !got) with
     | 0 -> fail "connection closed by server"
     | n -> got := !got + n
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (e, _, _) ->
         fail "read: %s" (Unix.error_message e)
   done
 
-let read_frame t =
+let read_frame ?deadline t =
   let header = Bytes.create 4 in
-  read_exact t header 0 4;
+  read_exact t deadline header 0 4;
   let len = Int32.to_int (Bytes.get_int32_be header 0) in
   if len < 0 || len > Protocol.max_payload then begin
     (* There is no way to find the next frame boundary in garbage: the
@@ -84,15 +156,19 @@ let read_frame t =
     fail "bad frame length %d from server" len
   end;
   let payload = Bytes.create len in
-  read_exact t payload 0 len;
+  read_exact t deadline payload 0 len;
   Protocol.decode_response payload
+
+let deadline_of t =
+  Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) t.deadline_ms
 
 let rpc t req =
   if t.closed then fail "client is closed";
+  let deadline = deadline_of t in
   let id = t.next_id in
   t.next_id <- Int64.add t.next_id 1L;
-  write_all t (Protocol.encode_request ~id req);
-  match read_frame t with
+  write_all t deadline (Protocol.encode_request ~id req);
+  match read_frame ?deadline t with
   | Error e ->
       (* The frame was well-delimited, so the stream is still in sync:
          a response we cannot decode (say, an op added after this
@@ -110,6 +186,7 @@ let rpc_result t req =
   match rpc t req with
   | resp -> Ok resp
   | exception Io_error m -> Result.Error (Io m)
+  | exception Timed_out m -> Result.Error (Timeout m)
   | exception Undecodable m ->
       Result.Error (Unexpected ("undecodable response: " ^ m))
 
@@ -179,8 +256,23 @@ let begin_txn t =
 
 let commit t =
   typed t Protocol.Commit (function
-    | Protocol.Ack _ -> Ok ()
+    | Protocol.Ack msg -> (
+        (* "committed lsn N" / "committed (group commit batch of k) lsn
+           N": the trailing token is the durable-log LSN the failover
+           client carries for read-your-writes. Non-durable servers say
+           "committed lsn 0". *)
+        match
+          int_of_string_opt (List.hd (List.rev (String.split_on_char ' ' msg)))
+        with
+        | Some lsn -> Ok lsn
+        | None -> Ok 0)
     | _ -> Result.Error (Unexpected "to commit"))
+
+let repl_status t =
+  typed t Protocol.Repl_status (function
+    | Protocol.Repl_state { role; durable_lsn; applied_lsn } ->
+        Ok (role, durable_lsn, applied_lsn)
+    | _ -> Result.Error (Unexpected "to repl_status"))
 
 let rollback t =
   typed t Protocol.Rollback (function
@@ -254,8 +346,9 @@ let retry ?(backoff = default_backoff) f =
   in
   go 1
 
-let connect_retry ?backoff ?host ~port () =
+let connect_retry ?backoff ?host ?deadline_ms ~port () =
   retry ?backoff (fun () ->
-      match connect ?host ~port () with
+      match connect ?host ?deadline_ms ~port () with
       | c -> Ok c
-      | exception Io_error m -> Result.Error (Io m))
+      | exception Io_error m -> Result.Error (Io m)
+      | exception Timed_out m -> Result.Error (Timeout m))

@@ -17,6 +17,12 @@ type t
 
 exception Io_error of string
 
+exception Timed_out of string
+(** A per-request deadline ({!connect}'s [?deadline_ms]) expired. The
+    connection was closed before raising: a response arriving after its
+    deadline would answer the wrong request. Only the low-level {!rpc}
+    raises it; the typed conveniences fold it into {!Timeout}. *)
+
 exception Undecodable of string
 (** The server answered with a well-delimited frame this client cannot
     decode (e.g. an op added after it was built). The stream is still in
@@ -40,18 +46,30 @@ type error =
           semantically wrong (e.g. an empty interval); fix the call,
           don't retry it *)
   | Io of string  (** transport failure; transient *)
+  | Timeout of string
+      (** the per-request deadline expired — a hung server, a partition,
+          or an overloaded commit path; the connection is closed.
+          Retryable (typically against another endpoint: see
+          {!Failover}) *)
   | Unexpected of string  (** protocol violation / wrong response shape *)
 
 val error_to_string : error -> string
 
 val retryable : error -> bool
-(** [true] for {!Overloaded} and {!Io} — failures that clear on their
-    own. [Read_only], [Server], [Invalid], [Conflict] and [Unexpected] are
-    verdicts. *)
+(** [true] for {!Overloaded}, {!Io} and {!Timeout} — failures that clear
+    on their own. [Read_only], [Server], [Invalid], [Conflict] and
+    [Unexpected] are verdicts. *)
 
-val connect : ?host:string -> port:int -> unit -> t
-(** Default host [127.0.0.1]. @raise Io_error when the connection is
-    refused. *)
+val connect : ?host:string -> ?deadline_ms:float -> port:int -> unit -> t
+(** Default host [127.0.0.1]. [?deadline_ms] arms a per-request
+    deadline: the connect itself and every subsequent call on this
+    connection must complete within that many milliseconds (select-based
+    waits around each read/write), else the call fails with {!Timeout}
+    and the connection is closed. Without it, calls block forever — a
+    hung or partitioned server then also hangs the client, which is
+    exactly what failover cannot afford.
+    @raise Io_error when the connection is refused.
+    @raise Timed_out when [?deadline_ms] expires during connect. *)
 
 val close : t -> unit
 
@@ -87,9 +105,16 @@ val begin_txn : t -> (unit, error) result
 (** Start an explicit transaction: pins the snapshot until COMMIT or
     ROLLBACK. Fails with [Invalid] if one is already open. *)
 
-val commit : t -> (unit, error) result
-(** Commit the session's transaction; [Conflict] if it lost a
-    write-write race (the transaction is already aborted server-side). *)
+val commit : t -> (int, error) result
+(** Commit the session's transaction; [Ok lsn] carries the durable-log
+    byte offset the commit is covered by (0 on non-durable servers) —
+    the token a failover client uses to wait out replica lag
+    (read-your-writes). [Conflict] if it lost a write-write race (the
+    transaction is already aborted server-side). *)
+
+val repl_status : t -> (Protocol.role * int * int, error) result
+(** [(role, durable_lsn, applied_lsn)] — the server's replication
+    position (the [Repl_status] op). *)
 
 val rollback : t -> (unit, error) result
 (** Discard the session's write set; other sessions are unaffected. *)
@@ -135,5 +160,10 @@ val retry :
     exhaustion) is returned as-is. *)
 
 val connect_retry :
-  ?backoff:backoff -> ?host:string -> port:int -> unit -> (t, error) result
+  ?backoff:backoff ->
+  ?host:string ->
+  ?deadline_ms:float ->
+  port:int ->
+  unit ->
+  (t, error) result
 (** {!connect} under {!retry} — rides out a server restart window. *)

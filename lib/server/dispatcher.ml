@@ -8,12 +8,14 @@ type config = {
   idle_timeout : float;
   metrics_port : int option;
   slow_query_ms : float;
+  replica_of : (string * int) option;
+      (* run as a hot standby tailing this primary's journal stream *)
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
     max_queue = 1024; group_commit = 0.; idle_timeout = 0.;
-    metrics_port = None; slow_query_ms = 0. }
+    metrics_port = None; slow_query_ms = 0.; replica_of = None }
 
 type conn = {
   fd : Unix.file_descr;
@@ -24,6 +26,24 @@ type conn = {
   mutable out_sent : int;
   mutable closing : bool;  (* close once the output buffer drains *)
   mutable last_active : float;  (* last byte received; idle reaping *)
+  mutable repl_from : int option;
+      (* Some lsn: this connection subscribed to the journal stream and
+         the next frame shipped to it starts at [lsn] *)
+  mutable repl_id : int64;  (* request id the frames answer under *)
+  mutable repl_acked : int;  (* highest Repl_ack received *)
+}
+
+(* The replica's link back to its primary: one client connection
+   carrying the Repl_subscribe and the frame stream, re-dialled with a
+   fixed short delay whenever it drops (the chaos harness kills it
+   constantly). *)
+type upstream = {
+  uhost : string;
+  uport : int;
+  mutable ufd : Unix.file_descr option;
+  mutable uframer : Protocol.Framer.t;
+  engine : Replica.t;
+  mutable next_attempt : float;  (* earliest next connect try *)
 }
 
 type t = {
@@ -43,6 +63,12 @@ type t = {
       (* COMMITs staged in the open group-commit window, newest first;
          the float is the staging time, for the latency histogram *)
   mutable commit_deadline : float option;  (* when the window closes *)
+  mutable parked_acks : (conn * int64 * int * Protocol.response) list;
+      (* semi-synchronous replication: commit Acks held back until every
+         live subscriber has acknowledged applying through the commit's
+         LSN (the int). Released immediately when no subscriber is
+         connected (asynchronous fallback). *)
+  upstream : upstream option;  (* Some _ iff cfg.replica_of is set *)
 }
 
 let create ?(config = default_config) sh =
@@ -78,6 +104,29 @@ let create ?(config = default_config) sh =
   (* Slow-query logging reports the request's trace tree, so the tracer
      must be on for the spans to exist. *)
   if config.slow_query_ms > 0. then Obs.Trace.set_enabled true;
+  let upstream =
+    match config.replica_of with
+    | None -> None
+    | Some (uhost, uport) ->
+        if not (Session.durable sh) then
+          invalid_arg "Dispatcher.create: a replica must be durable";
+        (* A standby never accepts local mutations: every write must
+           arrive through the journal stream, or primary and replica
+           histories fork. Session.reload carries the flag across
+           applied batches. *)
+        Relation.Catalog.degrade (Session.catalog sh)
+          (Printf.sprintf "replica of %s:%d (serving reads only)" uhost
+             uport);
+        Some
+          {
+            uhost;
+            uport;
+            ufd = None;
+            uframer = Protocol.Framer.create ();
+            engine = Replica.create ();
+            next_attempt = 0.;
+          }
+  in
   let stop_r, stop_w = Unix.pipe () in
   {
     cfg = config;
@@ -94,6 +143,8 @@ let create ?(config = default_config) sh =
     queued = 0;
     pending_commits = [];
     commit_deadline = None;
+    parked_acks = [];
+    upstream;
   }
 
 let port t = t.bound_port
@@ -101,10 +152,37 @@ let metrics_port t = t.metrics_bound_port
 let stats t = t.st
 let shared t = t.sh
 
+let subscribers t =
+  List.filter (fun c -> c.repl_from <> None && not c.closing) t.conns
+
 let metrics_doc t =
-  Metrics.render ~now:(Unix.gettimeofday ()) ~stats:t.st
+  let repl =
+    match t.upstream with
+    | Some u ->
+        Some
+          {
+            Metrics.r_role = "replica";
+            r_lag_bytes = Replica.lag_bytes u.engine;
+            r_applied_lsn = Replica.applied_lsn u.engine;
+            r_durable_lsn = Replica.primary_lsn u.engine;
+            r_subscribers = 0;
+          }
+    | None ->
+        if Session.durable t.sh then
+          let lsn = Session.durable_lsn_shared t.sh in
+          Some
+            {
+              Metrics.r_role = "primary";
+              r_lag_bytes = 0;
+              r_applied_lsn = lsn;
+              r_durable_lsn = lsn;
+              r_subscribers = List.length (subscribers t);
+            }
+        else None
+  in
+  Metrics.render ?repl ~now:(Unix.gettimeofday ()) ~stats:t.st
     ~cat:(Session.catalog t.sh) ~memtier:(Session.memtier t.sh)
-    ~txns:(Session.txns t.sh)
+    ~txns:(Session.txns t.sh) ()
 
 let stop t =
   (* A single byte on the self-pipe wakes the select; writing is
@@ -138,6 +216,39 @@ let try_flush conn =
 
 let output_pending conn = Buffer.length conn.out > conn.out_sent
 
+(* ---------------- semi-synchronous commit acks ---------------- *)
+
+(* Push every parked commit Ack whose LSN every live subscriber has
+   acknowledged applying. With no subscribers left the floor is +inf:
+   everything parked is released (asynchronous fallback — a dead
+   standby must not wedge the primary's commits forever). *)
+let release_parked_acks t =
+  match t.parked_acks with
+  | [] -> ()
+  | parked ->
+      let floor =
+        List.fold_left
+          (fun acc c -> min acc c.repl_acked)
+          max_int (subscribers t)
+      in
+      let ready, still =
+        List.partition (fun (_, _, lsn, _) -> lsn <= floor) parked
+      in
+      t.parked_acks <- still;
+      List.iter
+        (fun (conn, id, _, resp) ->
+          if List.memq conn t.conns then push_response conn id resp)
+        (List.rev ready)
+
+(* Park a commit Ack until the subscribers catch up — or push it right
+   away when nobody subscribes. The write itself is already durable
+   locally; only the acknowledgement waits, so a primary crash between
+   force and ack can lose nothing a client was told was committed, and
+   a replica promoted after a primary kill holds every acked write. *)
+let park_or_push t conn id ~lsn resp =
+  if subscribers t = [] then push_response conn id resp
+  else t.parked_acks <- (conn, id, lsn, resp) :: t.parked_acks
+
 (* ---------------- connection lifecycle ---------------- *)
 
 let close_conn t conn =
@@ -162,9 +273,15 @@ let close_conn t conn =
         ignore (Session.commit_force_shared t.sh)
       end
     end;
+    (* Acks parked for the dead connection are owed to nobody. *)
+    t.parked_acks <-
+      List.filter (fun (c, _, _, _) -> c != conn) t.parked_acks;
     Session.close conn.session;
     Server_stats.session_closed t.st;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ())
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* A dead subscriber no longer holds the ack floor down; recompute
+       it over the survivors (or release everything if none remain). *)
+    if conn.repl_from <> None then release_parked_acks t
   end
 
 let reject_connection t fd =
@@ -211,6 +328,9 @@ let accept_connections t =
             out_sent = 0;
             closing = false;
             last_active = Unix.gettimeofday ();
+            repl_from = None;
+            repl_id = 0L;
+            repl_acked = 0;
           }
         in
         t.conns <- conn :: t.conns;
@@ -289,6 +409,7 @@ let flush_group_commits t =
       let count = List.length pending in
       let io_share = io / count in
       let now = Unix.gettimeofday () in
+      let lsn = Session.durable_lsn_shared t.sh in
       List.iteri
         (fun i (conn, id, t0) ->
           let io =
@@ -296,15 +417,75 @@ let flush_group_commits t =
           in
           Server_stats.record t.st ~op:"commit" ~seconds:(now -. t0) ~io;
           if List.memq conn t.conns then
-            push_response conn id
+            park_or_push t conn id ~lsn
               (Protocol.Ack
-                 (Printf.sprintf "committed (group commit batch of %d)" batch)))
+                 (Printf.sprintf
+                    "committed (group commit batch of %d) lsn %d" batch lsn)))
         pending
+
+(* The replication ops live in the dispatcher, not the session: they
+   concern connections and the shared journal, never a session's
+   transaction. *)
+let handle_repl t conn id req =
+  match req with
+  | Protocol.Repl_subscribe { from_lsn } -> (
+      if t.upstream <> None then
+        push_response conn id
+          (Protocol.Error "this server is a replica; subscribe to the primary")
+      else
+        match Relation.Catalog.journal (Session.catalog t.sh) with
+        | None ->
+            push_response conn id
+              (Protocol.Error "replication requires a durable server")
+        | Some j ->
+            let base = Storage.Journal.base_lsn j in
+            let dur = Storage.Journal.durable_lsn j in
+            if from_lsn < base || from_lsn > dur then
+              push_response conn id
+                (Protocol.Invalid
+                   (Printf.sprintf
+                      "from_lsn %d outside retained log [%d, %d]" from_lsn
+                      base dur))
+            else begin
+              conn.repl_from <- Some from_lsn;
+              conn.repl_id <- id;
+              conn.repl_acked <- from_lsn;
+              push_response conn id
+                (Protocol.Repl_state
+                   { role = Protocol.Primary; durable_lsn = dur;
+                     applied_lsn = dur })
+            end)
+  | Protocol.Repl_ack { lsn } ->
+      (* Fire-and-forget: no response frame. Only meaningful from a
+         subscribed connection; raising the floor may free parked
+         commit Acks. *)
+      if conn.repl_from <> None && lsn > conn.repl_acked then begin
+        conn.repl_acked <- lsn;
+        release_parked_acks t
+      end
+  | Protocol.Repl_status ->
+      let state =
+        match t.upstream with
+        | Some u ->
+            Protocol.Repl_state
+              { role = Protocol.Replica;
+                durable_lsn = Replica.primary_lsn u.engine;
+                applied_lsn = Replica.applied_lsn u.engine }
+        | None ->
+            let lsn = Session.durable_lsn_shared t.sh in
+            Protocol.Repl_state
+              { role = Protocol.Primary; durable_lsn = lsn;
+                applied_lsn = lsn }
+      in
+      push_response conn id state
+  | _ -> assert false
 
 let execute_one t conn id req =
   t.queued <- t.queued - 1;
   Server_stats.queue_depth t.st t.queued;
   match req with
+  | Protocol.Repl_subscribe _ | Protocol.Repl_ack _ | Protocol.Repl_status ->
+      handle_repl t conn id req
   | Protocol.Commit
     when Session.degraded_reason_shared t.sh <> None
          && t.cfg.group_commit > 0. ->
@@ -363,7 +544,12 @@ let execute_one t conn id req =
           Printf.eprintf "[slow query] %.1f ms (threshold %.1f ms)\n%s%!"
             (seconds *. 1000.) t.cfg.slow_query_ms (Obs.Trace.render sp)
       | _ -> ());
-      push_response conn id resp
+      (* A synchronous COMMIT that succeeded is durable now; its Ack
+         rides the same semi-sync rule as a group-commit batch. *)
+      (match (req, resp) with
+      | Protocol.Commit, Protocol.Ack _ ->
+          park_or_push t conn id ~lsn:(Session.durable_lsn_shared t.sh) resp
+      | _ -> push_response conn id resp)
 
 let execute_round t ~limit =
   (* Round-robin: one request per ready session per pass, so a chatty
@@ -383,6 +569,40 @@ let execute_round t ~limit =
       (List.rev t.conns)
   done
 
+(* ---------------- replication fan-out (primary side) ---------------- *)
+
+(* Ship newly durable journal bytes to every subscriber, chunked well
+   under the frame payload cap. Bytes go out in LSN order on each
+   connection, so a subscriber's stream is always a contiguous prefix;
+   a frame lost to a dead socket just leaves its cursor behind until
+   the replica reconnects and resubscribes from its applied LSN. *)
+let repl_chunk_bytes = 1 lsl 20
+
+let pump_replication t =
+  match Relation.Catalog.journal (Session.catalog t.sh) with
+  | None -> ()
+  | Some j ->
+      let dur = Storage.Journal.durable_lsn j in
+      List.iter
+        (fun conn ->
+          match conn.repl_from with
+          | Some cur when cur < dur ->
+              let cursor = ref cur in
+              while !cursor < dur do
+                let payload =
+                  Storage.Journal.stream_from ~max_bytes:repl_chunk_bytes j
+                    !cursor
+                in
+                push_response conn conn.repl_id
+                  (Protocol.Repl_frame
+                     { lsn = !cursor;
+                       payload = Bytes.unsafe_to_string payload });
+                cursor := !cursor + Bytes.length payload
+              done;
+              conn.repl_from <- Some dur
+          | _ -> ())
+        (subscribers t)
+
 (* ---------------- idle reaping ---------------- *)
 
 (* A leaked client — connected, silent, holding a session against
@@ -395,6 +615,10 @@ let reap_idle t now =
       (fun conn ->
         if
           (not conn.closing)
+          && conn.repl_from = None
+          (* a subscriber legitimately sends nothing for long stretches
+             on an idle primary — reaping it would force a pointless
+             resubscribe cycle *)
           && Queue.is_empty conn.pending
           && (not (output_pending conn))
           && now -. conn.last_active > t.cfg.idle_timeout
@@ -452,6 +676,113 @@ let accept_metrics t =
       | exception Unix.Unix_error _ -> ()
       | fd, _peer -> serve_metrics_conn t fd)
 
+(* ---------------- the upstream link (replica side) ---------------- *)
+
+let retry_delay = 0.2
+
+let drop_upstream u =
+  (match u.ufd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ());
+  u.ufd <- None;
+  u.uframer <- Protocol.Framer.create ();
+  u.next_attempt <- Unix.gettimeofday () +. retry_delay
+
+(* The requests a replica sends upstream (one subscribe, then acks) are
+   tiny and rare; write them whole. A full socket buffer here means the
+   primary is gone or wedged — drop the link and let the retry loop
+   take over rather than blocking the serve loop. *)
+let send_upstream u req =
+  match u.ufd with
+  | None -> ()
+  | Some fd -> (
+      let frame = Protocol.encode_request ~id:1L req in
+      let len = Bytes.length frame in
+      let rec write_all off =
+        if off < len then
+          match Unix.write fd frame off (len - off) with
+          | 0 -> drop_upstream u
+          | n -> write_all (off + n)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+          | exception Unix.Unix_error _ -> drop_upstream u
+      in
+      try write_all 0 with Unix.Unix_error _ -> drop_upstream u)
+
+(* Dial the primary (bounded by a short select so an unresponsive
+   address cannot wedge the serve loop) and resubscribe from the LSN
+   applied so far. A record half-received when the old link died is
+   simply refetched — Replica.reset dropped the buffered tail — so a
+   torn frame can never desync the apply position. *)
+let tend_upstream t now =
+  match t.upstream with
+  | Some u when u.ufd = None && now >= u.next_attempt -> (
+      u.next_attempt <- now +. retry_delay;
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      match
+        let addr =
+          Unix.ADDR_INET (Unix.inet_addr_of_string u.uhost, u.uport)
+        in
+        Unix.set_nonblock fd;
+        (try Unix.connect fd addr
+         with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
+        let _, w, _ = Unix.select [] [ fd ] [] 0.25 in
+        if w = [] then failwith "connect timed out";
+        (match Unix.getsockopt_error fd with
+        | Some e -> raise (Unix.Unix_error (e, "connect", ""))
+        | None -> ());
+        fd
+      with
+      | fd ->
+          u.ufd <- Some fd;
+          u.uframer <- Protocol.Framer.create ();
+          let from_lsn = Replica.reset u.engine in
+          send_upstream u (Protocol.Repl_subscribe { from_lsn })
+      | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
+  | _ -> ()
+
+let apply_upstream_frame t u ~lsn payload =
+  let device = Relation.Catalog.device (Session.catalog t.sh) in
+  match Replica.feed u.engine device ~lsn payload with
+  | Ok 0 -> ()
+  | Ok _batches ->
+      (* Committed batches landed on the device: rebind catalog and
+         tree handles so readers see them, then tell the primary how
+         far we are (releasing its semi-sync parked acks). *)
+      Session.reload t.sh;
+      send_upstream u (Protocol.Repl_ack { lsn = Replica.applied_lsn u.engine })
+  | Result.Error msg ->
+      Printf.eprintf "rikitd: replication stream broken (%s), redialling\n%!"
+        msg;
+      drop_upstream u
+
+let read_upstream t u fd =
+  let scratch = Bytes.create 65536 in
+  match Unix.read fd scratch 0 (Bytes.length scratch) with
+  | 0 -> drop_upstream u
+  | n ->
+      Protocol.Framer.feed u.uframer scratch n;
+      let continue = ref true in
+      while !continue && u.ufd <> None do
+        match Protocol.Framer.next u.uframer with
+        | Ok None -> continue := false
+        | Ok (Some payload) -> (
+            match Protocol.decode_response payload with
+            | Ok (_, Protocol.Repl_state { durable_lsn; _ }) ->
+                Replica.note_primary u.engine durable_lsn
+            | Ok (_, Protocol.Repl_frame { lsn; payload }) ->
+                apply_upstream_frame t u ~lsn payload
+            | Ok (_, (Protocol.Error m | Protocol.Invalid m)) ->
+                Printf.eprintf
+                  "rikitd: primary refused subscription: %s\n%!" m;
+                drop_upstream u
+            | Ok _ -> ()
+            | Result.Error _ -> drop_upstream u)
+        | Result.Error _ -> drop_upstream u
+      done
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> drop_upstream u
+
 (* ---------------- the loop ---------------- *)
 
 let serve t =
@@ -463,6 +794,9 @@ let serve t =
       :: (if t.stopping then [] else [ t.listen_fd ])
       @ (match t.metrics_fd with
         | Some mfd when not t.stopping -> [ mfd ]
+        | _ -> [])
+      @ (match t.upstream with
+        | Some { ufd = Some fd; _ } -> [ fd ]
         | _ -> [])
       @ List.filter_map
           (fun c -> if c.closing then None else Some c.fd)
@@ -479,6 +813,12 @@ let serve t =
       if t.cfg.idle_timeout > 0. then
         Float.min 1.0 (Float.max 0.02 (t.cfg.idle_timeout /. 4.))
       else 1.0
+    in
+    let base_timeout =
+      (* A replica with its upstream down must wake for the redial. *)
+      match t.upstream with
+      | Some { ufd = None; _ } -> Float.min base_timeout retry_delay
+      | _ -> base_timeout
     in
     let timeout =
       (* Never sleep past the close of an open group-commit window. *)
@@ -502,6 +842,13 @@ let serve t =
     | Some mfd when (not t.stopping) && List.mem mfd readable ->
         accept_metrics t
     | _ -> ());
+    (match t.upstream with
+    | Some u -> (
+        if not t.stopping then tend_upstream t (Unix.gettimeofday ());
+        match u.ufd with
+        | Some fd when List.mem fd readable -> read_upstream t u fd
+        | _ -> ())
+    | None -> ());
     List.iter
       (fun conn -> if List.mem conn.fd readable then read_conn t conn)
       t.conns;
@@ -523,6 +870,9 @@ let serve t =
                    t.conns) ->
         flush_group_commits t
     | Some _ | None -> ());
+    (* Ship anything the window flush (or a synchronous commit, or a
+       write-back) just made durable. *)
+    pump_replication t;
     if not t.stopping then reap_idle t (Unix.gettimeofday ());
     List.iter
       (fun conn ->
@@ -535,12 +885,25 @@ let serve t =
       t.conns;
     if t.stopping && t.queued = 0 then begin
       (* Everything parsed has been answered; push the last bytes out
-         (sockets willing) and leave. *)
+         (sockets willing) and leave. Parked semi-sync acks are
+         released as-is — their writes are durable locally and the
+         stream to any subscriber was already pumped. *)
+      List.iter
+        (fun (conn, id, _, resp) ->
+          if List.memq conn t.conns then push_response conn id resp)
+        (List.rev t.parked_acks);
+      t.parked_acks <- [];
       List.iter (fun conn -> try_flush conn) t.conns;
       List.iter (fun conn -> close_conn t conn) t.conns;
       finished := true
     end
   done;
+  (match t.upstream with
+  | Some u -> (
+      match u.ufd with
+      | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+      | None -> ())
+  | None -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (match t.metrics_fd with
   | Some mfd -> ( try Unix.close mfd with Unix.Unix_error _ -> ())

@@ -55,11 +55,28 @@ type config = {
           {!create} and any request whose execution takes at least this
           many milliseconds has its full trace tree printed to stderr.
           [0.] (the default) disables slow-query logging. *)
+  replica_of : (string * int) option;
+      (** when set, run as a hot standby of the primary at this
+          [(host, port)]: the catalog is flipped read-only at {!create}
+          (local mutations answer [Read_only]; reads serve normally),
+          and the serve loop dials the primary, subscribes to its
+          journal stream from the locally applied LSN, replays each
+          committed batch onto the local device ({!Replica}) and
+          acknowledges it. The link is redialled with a fixed short
+          delay whenever it drops, resubscribing from the applied LSN —
+          a torn frame or dropped connection never desyncs the replica.
+          Requires a durable {!Session.shared}. [None] (the default) is
+          a plain primary, which accepts [Repl_subscribe] from any
+          number of replicas and holds each commit Ack until all live
+          subscribers have applied past it (semi-synchronous; falls
+          back to asynchronous the moment no subscriber is
+          connected). *)
 }
 
 val default_config : config
 (** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued, synchronous
-    commit, no idle timeout, no metrics endpoint, no slow-query log. *)
+    commit, no idle timeout, no metrics endpoint, no slow-query log,
+    not a replica. *)
 
 type t
 

@@ -44,7 +44,15 @@ let op_histograms b (ops : Server_stats.op_view list) =
       Printf.bprintf b "rikit_op_io_total{op=%S} %d\n" o.v_op o.v_total_io)
     ops
 
-let render ~now ~stats ~cat ~memtier ~txns =
+type repl = {
+  r_role : string;  (* "primary" | "replica" *)
+  r_lag_bytes : int;
+  r_applied_lsn : int;
+  r_durable_lsn : int;
+  r_subscribers : int;
+}
+
+let render ?repl ~now ~stats ~cat ~memtier ~txns () =
   let v = Server_stats.view stats in
   let pool = Relation.Catalog.pool cat in
   let ps = Storage.Buffer_pool.Stats.get pool in
@@ -153,4 +161,24 @@ let render ~now ~stats ~cat ~memtier ~txns =
        (match Relation.Catalog.degraded_reason cat with
        | Some _ -> 1
        | None -> 0));
+  (match repl with
+  | None -> ()
+  | Some r ->
+      gauge b ~name:"rikit_repl_role"
+        ~help:"0 on a primary, 1 on a replica."
+        (int_ (if r.r_role = "replica" then 1 else 0));
+      gauge b ~name:"rikit_repl_lag_bytes"
+        ~help:"Journal bytes durable on the primary but not yet applied \
+               here (0 on a primary)."
+        (int_ r.r_lag_bytes);
+      gauge b ~name:"rikit_repl_applied_lsn"
+        ~help:"Primary-stream byte offset applied locally (on a primary: \
+               the durable log position itself)."
+        (int_ r.r_applied_lsn);
+      gauge b ~name:"rikit_repl_durable_lsn"
+        ~help:"The primary's durable log position as last known."
+        (int_ r.r_durable_lsn);
+      gauge b ~name:"rikit_repl_subscribers"
+        ~help:"Live replication subscribers (0 on a replica)."
+        (int_ r.r_subscribers));
   Buffer.contents b

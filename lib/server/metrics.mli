@@ -24,13 +24,27 @@
       [rikit_hot_tier_probes_total]
     - [rikit_txn_commits_total], [rikit_txn_aborts_total],
       [rikit_txn_conflicts_total], [rikit_txn_active], [rikit_txn_lsn]
-    - [rikit_read_only] *)
+    - [rikit_read_only]
+    - [rikit_repl_role], [rikit_repl_lag_bytes],
+      [rikit_repl_applied_lsn], [rikit_repl_durable_lsn],
+      [rikit_repl_subscribers] (when the dispatcher passes [?repl] —
+      durable servers only) *)
+
+type repl = {
+  r_role : string;  (** ["primary"] or ["replica"] *)
+  r_lag_bytes : int;
+  r_applied_lsn : int;
+  r_durable_lsn : int;
+  r_subscribers : int;
+}
 
 val render :
+  ?repl:repl ->
   now:float ->
   stats:Server_stats.t ->
   cat:Relation.Catalog.t ->
   memtier:Exec.Memtier.t ->
   txns:Relation.Txn.mgr ->
+  unit ->
   string
 (** The full exposition document, trailing newline included. *)

@@ -1,4 +1,4 @@
-let version = 5
+let version = 6
 let max_payload = 4 * 1024 * 1024
 
 type explain_target =
@@ -26,6 +26,9 @@ type request =
   | Execute of { name : string; params : int list }
   | Close_stmt of string
   | Explain of { analyze : bool; target : explain_target }
+  | Repl_subscribe of { from_lsn : int }
+  | Repl_ack of { lsn : int }
+  | Repl_status
 
 let request_op_name = function
   | Sql _ -> "sql"
@@ -43,6 +46,9 @@ let request_op_name = function
   | Execute _ -> "execute"
   | Close_stmt _ -> "close"
   | Explain _ -> "explain"
+  | Repl_subscribe _ -> "repl_subscribe"
+  | Repl_ack _ -> "repl_ack"
+  | Repl_status -> "repl_status"
 
 type op_stat = {
   op : string;
@@ -67,6 +73,8 @@ type stats = {
   ops : op_stat list;
 }
 
+type role = Primary | Replica
+
 type response =
   | Ack of string
   | Rows of { columns : string list; rows : int array list }
@@ -82,6 +90,10 @@ type response =
       (* the transaction lost a write-write race at commit and was
          aborted; non-retryable as-is — the client must re-run the
          transaction against the new state *)
+  | Repl_frame of { lsn : int; payload : string }
+      (* a slice of the primary's durable journal: [payload] holds the
+         serialized bytes [lsn, lsn + length payload) of the log stream *)
+  | Repl_state of { role : role; durable_lsn : int; applied_lsn : int }
 
 type error =
   | Truncated
@@ -196,6 +208,9 @@ let op_execute = 0x0c
 let op_close_stmt = 0x0d
 let op_explain = 0x0e
 let op_begin = 0x0f
+let op_repl_subscribe = 0x10
+let op_repl_ack = 0x11
+let op_repl_status = 0x12
 let op_ack = 0x81
 let op_rows = 0x82
 let op_error = 0x83
@@ -205,6 +220,8 @@ let op_read_only = 0x86
 let op_goodbye = 0x87
 let op_invalid = 0x88
 let op_conflict = 0x89
+let op_repl_frame = 0x8a
+let op_repl_state = 0x8b
 
 (* ---------------- frames ---------------- *)
 
@@ -279,7 +296,14 @@ let encode_request ~id req =
               put_u8 b 2;
               put_string b (Interval.Allen.to_string relation);
               put_int b lower;
-              put_int b upper))
+              put_int b upper)
+      | Repl_subscribe { from_lsn } ->
+          put_u8 b op_repl_subscribe;
+          put_int b from_lsn
+      | Repl_ack { lsn } ->
+          put_u8 b op_repl_ack;
+          put_int b lsn
+      | Repl_status -> put_u8 b op_repl_status)
 
 let encode_response ~id resp =
   frame (fun b ->
@@ -310,6 +334,15 @@ let encode_response ~id resp =
       | Conflict msg ->
           put_u8 b op_conflict;
           put_string b msg
+      | Repl_frame { lsn; payload } ->
+          put_u8 b op_repl_frame;
+          put_int b lsn;
+          put_string b payload
+      | Repl_state { role; durable_lsn; applied_lsn } ->
+          put_u8 b op_repl_state;
+          put_u8 b (match role with Primary -> 0 | Replica -> 1);
+          put_int b durable_lsn;
+          put_int b applied_lsn
       | Stats_reply s ->
           put_u8 b op_stats_reply;
           put_i64 b (Int64.bits_of_float s.uptime_s);
@@ -424,6 +457,15 @@ let decode_request payload =
           | t -> raise (Bad (Printf.sprintf "bad explain target tag %d" t))
         in
         Explain { analyze; target }
+      else if opcode = op_repl_subscribe then
+        let from_lsn = get_int c in
+        if from_lsn < 0 then raise (Bad "negative lsn");
+        Repl_subscribe { from_lsn }
+      else if opcode = op_repl_ack then
+        let lsn = get_int c in
+        if lsn < 0 then raise (Bad "negative lsn");
+        Repl_ack { lsn }
+      else if opcode = op_repl_status then Repl_status
       else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" opcode)))
     payload
 
@@ -441,6 +483,22 @@ let decode_response payload =
       else if opcode = op_goodbye then Goodbye (get_string c)
       else if opcode = op_invalid then Invalid (get_string c)
       else if opcode = op_conflict then Conflict (get_string c)
+      else if opcode = op_repl_frame then
+        let lsn = get_int c in
+        if lsn < 0 then raise (Bad "negative lsn");
+        let payload = get_string c in
+        Repl_frame { lsn; payload }
+      else if opcode = op_repl_state then
+        let role =
+          match get_u8 c with
+          | 0 -> Primary
+          | 1 -> Replica
+          | t -> raise (Bad (Printf.sprintf "bad role tag %d" t))
+        in
+        let durable_lsn = get_int c in
+        let applied_lsn = get_int c in
+        if durable_lsn < 0 || applied_lsn < 0 then raise (Bad "negative lsn");
+        Repl_state { role; durable_lsn; applied_lsn }
       else if opcode = op_stats_reply then
         let uptime_s = Int64.float_of_bits (get_i64 c) in
         let sessions = get_int c in

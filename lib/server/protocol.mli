@@ -86,6 +86,24 @@ type request =
       (** EXPLAIN [ANALYZE] for a SQL text or a typed op; answered with
           an [Ack] carrying the rendered plan (the same renderer and
           cost annotations as SQL EXPLAIN). *)
+  | Repl_subscribe of { from_lsn : int }
+      (** Subscribe this connection to the primary's durable journal
+          stream, starting at byte-offset LSN [from_lsn]. Answered with
+          one [Repl_state] frame (confirming the primary's role and
+          durable LSN), then a stream of [Repl_frame]s under the same
+          request id, pushed after every commit force. The connection
+          becomes a replication feed; the subscriber is exempt from
+          idle reaping. [Invalid] if [from_lsn] falls outside the
+          retained log; [Error] on a non-durable or replica server. *)
+  | Repl_ack of { lsn : int }
+      (** Fire-and-forget: the subscriber has durably applied the log up
+          to byte [lsn]. No response frame — the primary uses these to
+          release semi-synchronously parked COMMIT acknowledgements. *)
+  | Repl_status
+      (** Ask for this server's replication position; answered with
+          [Repl_state]. On a primary [applied_lsn = durable_lsn]; on a
+          replica [durable_lsn] is the primary's last-heard durable LSN
+          (so [durable_lsn - applied_lsn] is the lag in bytes). *)
 
 val request_op_name : request -> string
 (** Short lowercase tag ("sql", "insert", ...) used as the latency
@@ -116,6 +134,8 @@ type stats = {
   ops : op_stat list;
 }
 
+type role = Primary | Replica
+
 type response =
   | Ack of string  (** acknowledgement for DDL/DML, commit, ping, ... *)
   | Rows of { columns : string list; rows : int array list }
@@ -142,6 +162,13 @@ type response =
           the client must re-read and re-run the transaction against
           the new state. The session survives with a fresh
           transaction. *)
+  | Repl_frame of { lsn : int; payload : string }
+      (** A slice of the primary's durable journal: [payload] holds the
+          serialized log bytes [lsn, lsn + length payload). Slices are
+          contiguous per subscription; chunked below {!max_payload}. *)
+  | Repl_state of { role : role; durable_lsn : int; applied_lsn : int }
+      (** Replication position (see {!const-Repl_status}). Also the
+          confirmation frame for {!const-Repl_subscribe}. *)
 
 (** {2 Codec} *)
 

@@ -1,0 +1,97 @@
+(* Replica apply engine: consume the primary's journal byte stream and
+   replay committed batches onto the local device.
+
+   The primary ships its durable journal verbatim ([Journal.stream_from]
+   chunks carried in [Repl_frame]s). Frames are contiguous: each carries
+   the LSN of its first byte, and the engine refuses gaps — a dropped or
+   reordered frame forces a reconnect-and-resubscribe from [applied_lsn]
+   rather than a silent desync.
+
+   Application mirrors crash recovery's redo rule: buffered bytes are
+   parsed ([Journal.parse], CRC-checked, stops at the first torn record)
+   and after-images are written to the device only up to the LAST commit
+   marker in the buffer. Bytes past that marker — a batch still in
+   flight, or the front half of a record split across frames — stay
+   buffered until the rest arrives. MVCC guarantees heap pages carry
+   only committed rows, so replaying whole batches in order reproduces
+   exactly the primary's post-commit images. *)
+
+type t = {
+  buf : Buffer.t;  (* received, CRC-unverified tail not yet applied *)
+  mutable next_lsn : int;  (* LSN the next frame must start at *)
+  mutable applied_lsn : int;  (* primary-stream offset fully applied *)
+  mutable primary_lsn : int;  (* primary's durable_lsn, last heard *)
+  mutable batches : int;  (* commit batches applied *)
+  mutable records : int;  (* write records applied *)
+}
+
+let create ?(from_lsn = 0) () =
+  {
+    buf = Buffer.create 4096;
+    next_lsn = from_lsn;
+    applied_lsn = from_lsn;
+    primary_lsn = from_lsn;
+    batches = 0;
+    records = 0;
+  }
+
+let applied_lsn t = t.applied_lsn
+let primary_lsn t = t.primary_lsn
+let note_primary t lsn = if lsn > t.primary_lsn then t.primary_lsn <- lsn
+let lag_bytes t = max 0 (t.primary_lsn - t.applied_lsn)
+let batches t = t.batches
+let records t = t.records
+let buffered t = Buffer.length t.buf
+
+let reset t =
+  Buffer.clear t.buf;
+  t.next_lsn <- t.applied_lsn;
+  t.applied_lsn
+
+(* The primary's heap can be larger than ours (we start empty): extend
+   the device so the after-image's block id exists before writing it. *)
+let ensure_block device page =
+  while Storage.Block_device.allocated device <= page do
+    ignore (Storage.Block_device.alloc device)
+  done
+
+let feed t device ~lsn payload =
+  if lsn <> t.next_lsn then
+    Error
+      (Printf.sprintf "replication gap: frame at lsn %d, expected %d" lsn
+         t.next_lsn)
+  else begin
+    Buffer.add_string t.buf payload;
+    t.next_lsn <- t.next_lsn + String.length payload;
+    note_primary t t.next_lsn;
+    let data = Bytes.unsafe_of_string (Buffer.contents t.buf) in
+    let parsed = Storage.Journal.parse data ~len:(Bytes.length data) in
+    (* Redo rule: apply only up to the last commit marker. *)
+    let upto =
+      List.fold_left
+        (fun acc (r, fin) ->
+          match r with Storage.Journal.Commit -> fin | _ -> acc)
+        0 parsed
+    in
+    if upto = 0 then Ok 0
+    else begin
+      let applied_batches = ref 0 in
+      List.iter
+        (fun (r, fin) ->
+          if fin <= upto then
+            match r with
+            | Storage.Journal.Write { page; after; _ } ->
+                ensure_block device page;
+                Storage.Block_device.write device page after;
+                t.records <- t.records + 1
+            | Storage.Journal.Commit ->
+                t.batches <- t.batches + 1;
+                incr applied_batches)
+        parsed;
+      let rest = Buffer.sub t.buf upto (Buffer.length t.buf - upto) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.applied_lsn <- t.applied_lsn + upto;
+      Ok !applied_batches
+    end
+  end

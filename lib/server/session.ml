@@ -49,6 +49,14 @@ let commit_shared sh = Relation.Catalog.commit sh.cat
 let commit_request_shared sh = Relation.Catalog.commit_request sh.cat
 let commit_force_shared sh = Relation.Catalog.commit_force sh.cat
 
+(* The durable-log byte offset — the LSN token commit acks carry so a
+   failover client can wait out replica lag (read-your-writes). 0 on a
+   non-durable server. *)
+let durable_lsn_shared sh =
+  match Relation.Catalog.journal sh.cat with
+  | Some j -> Storage.Journal.durable_lsn j
+  | None -> 0
+
 let flush_shared sh =
   if sh.dur then Relation.Catalog.checkpoint sh.cat
   else Relation.Catalog.flush sh.cat
@@ -67,6 +75,14 @@ let reattach sh =
 let reopen sh =
   if not sh.dur then failwith "Session.reopen: server is not durable";
   sh.cat <- Relation.Catalog.reopen sh.cat;
+  reattach sh
+
+(* Replica apply refresh: the device was rewritten by a replicated
+   batch, so swap in handles that see it. Like [reopen] but without a
+   checkpoint (the replica never owns dirty pages worth keeping). *)
+let reload sh =
+  if not sh.dur then failwith "Session.reload: server is not durable";
+  sh.cat <- Relation.Catalog.reload sh.cat;
   reattach sh
 
 (* Prepared statements a session may hold at once: plans pin table
@@ -254,7 +270,7 @@ let exec t = function
       | _lsn ->
           commit_shared t.sh;
           renew t;
-          Ack "committed"
+          Ack (Printf.sprintf "committed lsn %d" (durable_lsn_shared t.sh))
       | exception Relation.Txn.Conflict m ->
           (* [Txn.commit] already aborted the loser. *)
           renew t;
@@ -267,6 +283,8 @@ let exec t = function
   | Ping -> Ack "pong"
   | Stats -> Error "stats is handled by the dispatcher"
   | Metrics -> Error "metrics is handled by the dispatcher"
+  | Repl_subscribe _ | Repl_ack _ | Repl_status ->
+      Error "replication ops are handled by the dispatcher"
   | Prepare { name; sql } ->
       let eng = engine t in
       if
@@ -360,7 +378,8 @@ let mutating t = function
           | "SELECT" | "EXPLAIN" -> false
           | _ -> true))
   | Intersect _ | Allen _ | Stats | Metrics | Ping | Prepare _ | Close_stmt _
-  | Explain _ | Begin | Rollback ->
+  | Explain _ | Begin | Rollback | Repl_subscribe _ | Repl_ack _
+  | Repl_status ->
       (* BEGIN pins a snapshot and ROLLBACK discards a private write
          set: neither touches the shared database, so both stay legal
          in degraded read-only mode. *)

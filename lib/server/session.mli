@@ -58,6 +58,11 @@ val commit_force_shared : shared -> int
 (** Force the staged batch (one marker, one log force); returns its
     size. *)
 
+val durable_lsn_shared : shared -> int
+(** The durable-log byte offset ({!Storage.Journal.durable_lsn}) — the
+    LSN token commit acks carry so a failover client can wait out
+    replica lag. [0] on a non-durable server. *)
+
 val flush_shared : shared -> unit
 (** Write back all dirty pages (graceful-shutdown path); on a durable
     server this checkpoints, so a reopen sees every acknowledged
@@ -67,6 +72,14 @@ val reopen : shared -> unit
 (** Rebuild catalog and tree handles from persistent storage after a
     clean {!flush_shared} — the in-process equivalent of a daemon
     restart (durable servers only). *)
+
+val reload : shared -> unit
+(** Rebuild catalog and tree handles after the device was rewritten
+    underneath them — the replica apply path, run after each replicated
+    commit batch lands on the device. Cached pages are dropped without
+    write-back, live transactions are force-aborted (a replica's pinned
+    snapshots do not survive an applied batch), and the hot tier is
+    invalidated. Durable servers only. *)
 
 (** {2 Sessions} *)
 

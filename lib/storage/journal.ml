@@ -16,6 +16,7 @@ type record =
 type t = {
   durable : Buffer.t;
   pending : Buffer.t;
+  mutable base_lsn : int;
   mutable d_count : int;
   mutable d_bytes : int;
   mutable p_count : int;
@@ -27,6 +28,7 @@ type t = {
 
 let create () =
   { durable = Buffer.create 4096; pending = Buffer.create 1024;
+    base_lsn = 0;
     d_count = 0; d_bytes = 0; p_count = 0; p_bytes = 0; p_commits = 0;
     commits = 0; forces = 0 }
 
@@ -96,7 +98,39 @@ let force_count t = t.forces
 let durable_bytes t = Buffer.length t.durable
 let unforced_bytes t = Buffer.length t.pending
 
+(* {2 LSN addressing}
+
+   The durable log is a byte stream; an LSN is simply a byte offset into
+   the all-time durable stream. [base_lsn] is the LSN of the first byte
+   still held in [durable] — a truncate (checkpoint) discards the bytes
+   but advances the base, so LSNs stay monotone across checkpoints and a
+   replication subscriber can detect that its resume point fell off the
+   retained log. *)
+
+let base_lsn t = t.base_lsn
+let durable_lsn t = t.base_lsn + Buffer.length t.durable
+
+let stream_from ?max_bytes t lsn =
+  if lsn < t.base_lsn then
+    invalid_arg
+      (Printf.sprintf
+         "Journal.stream_from: lsn %d before retained base %d (truncated)"
+         lsn t.base_lsn);
+  let dur = durable_lsn t in
+  if lsn > dur then
+    invalid_arg
+      (Printf.sprintf "Journal.stream_from: lsn %d beyond durable end %d"
+         lsn dur);
+  let off = lsn - t.base_lsn in
+  let avail = Buffer.length t.durable - off in
+  let len = match max_bytes with
+    | Some m when m < avail -> max 0 m
+    | _ -> avail
+  in
+  Bytes.unsafe_of_string (Buffer.sub t.durable off len)
+
 let truncate t =
+  t.base_lsn <- t.base_lsn + Buffer.length t.durable;
   Buffer.clear t.durable;
   Buffer.clear t.pending;
   t.d_count <- 0;
@@ -153,6 +187,23 @@ let scan_bytes data len =
      done
    with Exit -> torn := true);
   { records = List.rev !out; valid_bytes = !pos; torn = !torn }
+
+let parse data ~len =
+  let scan = scan_bytes data len in
+  (* Re-walk to attach each record's end offset: the serialized sizes
+     are recomputable from the records themselves. *)
+  let pos = ref 0 in
+  List.map
+    (fun r ->
+      let body =
+        match r with
+        | Write { before; after; _ } ->
+            13 + Bytes.length before + Bytes.length after
+        | Commit -> 1
+      in
+      pos := !pos + body + 4;
+      (r, !pos))
+    scan.records
 
 let scan_durable t =
   scan_bytes (Buffer.to_bytes t.durable) (Buffer.length t.durable)

@@ -61,6 +61,39 @@ val durable_bytes : t -> int
 
 val unforced_bytes : t -> int
 
+(** {2 LSN addressing and streaming}
+
+    The durable log is an append-only byte stream, so an LSN is simply a
+    byte offset into the all-time durable stream — exactly what
+    journal-shipping replication needs. A checkpoint ({!truncate})
+    discards retained bytes but advances {!base_lsn}, keeping LSNs
+    monotone for the life of the process. *)
+
+val base_lsn : t -> int
+(** LSN of the first durable byte still retained (grows at every
+    {!truncate}). A subscriber whose resume LSN is below this must full
+    resync. *)
+
+val durable_lsn : t -> int
+(** LSN one past the last durable byte — the total number of bytes ever
+    forced. Grows exactly at {!force}; the commit marker for a batch is
+    always the last record below the post-force [durable_lsn], so
+    streaming to this offset ships whole committed batches. *)
+
+val stream_from : ?max_bytes:int -> t -> int -> Bytes.t
+(** [stream_from t lsn] reads the durable bytes from byte-offset LSN
+    [lsn] to {!durable_lsn} (or at most [max_bytes] of them) — the
+    replication feed. Never includes unforced pending bytes.
+    @raise Invalid_argument if [lsn] is below {!base_lsn} (truncated
+    away) or beyond {!durable_lsn}. *)
+
+val parse : Bytes.t -> len:int -> (record * int) list
+(** Parse the longest valid prefix of a serialized record stream (the
+    format {!stream_from} ships): each complete, CRC-valid record paired
+    with the byte offset one past its serialized end. Stops at the first
+    torn or corrupt record; never raises. The replica apply path uses the
+    offsets to consume exactly the applied prefix and resume cleanly. *)
+
 val durable_torn : t -> bool
 (** Whether the durable log ends in an invalid (torn or corrupt)
     record — i.e. whether recovery would truncate a suffix. *)

@@ -39,6 +39,12 @@ let sample_requests =
           P.Explain_allen
             { relation = Interval.Allen.Meets; lower = 0; upper = 5 };
       };
+    (* v6 replication ops *)
+    P.Repl_subscribe { from_lsn = 0 };
+    P.Repl_subscribe { from_lsn = 123456789 };
+    P.Repl_ack { lsn = 0 };
+    P.Repl_ack { lsn = max_int / 4 };
+    P.Repl_status;
   ]
 
 let sample_stats =
@@ -79,6 +85,12 @@ let sample_responses =
     P.Conflict "write-write conflict on intervals";
     P.Stats_reply sample_stats;
     P.Stats_reply { sample_stats with ops = [] };
+    (* v6 replication frames *)
+    P.Repl_frame { lsn = 0; payload = "" };
+    P.Repl_frame
+      { lsn = 4096; payload = String.init 257 (fun i -> Char.chr (i land 0xff)) };
+    P.Repl_state { role = P.Primary; durable_lsn = 8192; applied_lsn = 8192 };
+    P.Repl_state { role = P.Replica; durable_lsn = 8192; applied_lsn = 4096 };
   ]
 
 let req_testable =
@@ -96,6 +108,8 @@ let resp_label = function
   | P.Invalid _ -> "invalid"
   | P.Conflict _ -> "conflict"
   | P.Stats_reply _ -> "stats"
+  | P.Repl_frame _ -> "repl_frame"
+  | P.Repl_state _ -> "repl_state"
 
 let resp_testable =
   Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (resp_label r)) ( = )
@@ -114,8 +128,8 @@ let test_request_roundtrip () =
     sample_requests
 
 let test_protocol_version () =
-  (* v5 added begin/conflict (MVCC transactions) *)
-  check Alcotest.int "version" 5 P.version
+  (* v6 added the replication ops (journal-shipping hot standby) *)
+  check Alcotest.int "version" 6 P.version
 
 let test_explain_targets_roundtrip () =
   let targets =
@@ -364,7 +378,7 @@ let () =
     [
       ( "roundtrip",
         [
-          Alcotest.test_case "version is 5" `Quick test_protocol_version;
+          Alcotest.test_case "version is 6" `Quick test_protocol_version;
           Alcotest.test_case "requests" `Quick test_request_roundtrip;
           Alcotest.test_case "allen relations" `Quick
             test_all_allen_relations_roundtrip;

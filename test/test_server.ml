@@ -12,9 +12,9 @@ let check = Alcotest.check
 
 let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
     ?(group_commit = 0.) ?(idle_timeout = 0.) ?metrics_port
-    ?(slow_query_ms = 0.) () =
+    ?(slow_query_ms = 0.) ?replica_of () =
   { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue;
-    group_commit; idle_timeout; metrics_port; slow_query_ms }
+    group_commit; idle_timeout; metrics_port; slow_query_ms; replica_of }
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
@@ -300,7 +300,7 @@ let test_session_isolation () =
               | Ok (P.Rows { rows = []; _ }) -> ()
               | Ok _ -> Alcotest.fail "uncommitted row leaked across sessions"
               | Error e -> Alcotest.failf "select: %s" (C.error_to_string e));
-              ok (C.commit c2);
+              ignore (ok (C.commit c2) : int);
               match C.sql c1 "SELECT x FROM shared_t" with
               | Ok (P.Rows { rows = [ [| 42 |] ]; _ }) -> ()
               | Ok _ -> Alcotest.fail "committed row not visible"
@@ -349,7 +349,7 @@ let test_two_session_rollback_isolation () =
               (match C.insert b ~id:777_002 (Interval.Ivl.make 42 43) with
               | Ok _ -> ()
               | Error e -> Alcotest.failf "b insert: %s" (C.error_to_string e));
-              ok (C.commit b);
+              ignore (ok (C.commit b) : int);
               (* A still sees both: B's is committed, its own overlays *)
               let seen_by_a =
                 intersect a (Interval.Ivl.make 42 43)
@@ -393,19 +393,19 @@ let test_write_write_conflict () =
               (match C.insert a ~id:9 (Interval.Ivl.make 100 200) with
               | Ok _ -> ()
               | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
-              ok (C.commit a);
+              ignore (ok (C.commit a) : int);
               let del c =
                 C.rpc c (P.Delete { lower = 100; upper = 200; id = 9 })
               in
               (match (del a, del b) with
               | P.Ack _, P.Ack _ -> ()
               | _ -> Alcotest.fail "both deletes should buffer");
-              ok (C.commit a);
+              ignore (ok (C.commit a) : int);
               (match C.commit b with
               | Error (C.Conflict _ as e) ->
                   check Alcotest.bool "conflict not retryable" false
                     (C.retryable e)
-              | Ok () -> Alcotest.fail "second committer won"
+              | Ok _ -> Alcotest.fail "second committer won"
               | Error e ->
                   Alcotest.failf "wrong error shape: %s" (C.error_to_string e));
               (* the loser's session is alive with a fresh transaction *)
@@ -422,7 +422,7 @@ let test_begin_snapshot_stability () =
               (match C.insert a ~id:1 (Interval.Ivl.make 10 20) with
               | Ok _ -> ()
               | Error e -> Alcotest.failf "insert: %s" (C.error_to_string e));
-              ok (C.commit a);
+              ignore (ok (C.commit a) : int);
               ok (C.begin_txn b);
               (match C.begin_txn b with
               | Error (C.Invalid _) -> ()
@@ -434,11 +434,11 @@ let test_begin_snapshot_stability () =
               (match C.insert a ~id:2 (Interval.Ivl.make 10 20) with
               | Ok _ -> ()
               | Error e -> Alcotest.failf "insert 2: %s" (C.error_to_string e));
-              ok (C.commit a);
+              ignore (ok (C.commit a) : int);
               (* b's pinned snapshot predates a's second commit *)
               check (Alcotest.list Alcotest.int) "stable across commit" [ 1 ]
                 (intersect b (Interval.Ivl.make 10 20));
-              ok (C.commit b);
+              ignore (ok (C.commit b) : int);
               (* a fresh implicit transaction reads the latest state *)
               check (Alcotest.list Alcotest.int) "fresh snapshot"
                 [ 1; 2 ]

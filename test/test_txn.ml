@@ -304,8 +304,76 @@ let prop_snapshot_stability =
   QCheck.Test.make ~count:100 ~name:"pinned snapshot is stable" arb_pinned
     run_pinned
 
+(* ---- GC low-water regression: an idle session pinned at BEGIN holds
+   the dead-row sidecar's low-water mark at its snapshot, so heavy
+   churn and rowid reuse by everyone else never reclaims the dead rows
+   it still reads. Releasing the pin lets the mark catch up. ---- *)
+
+let test_pinned_low_water () =
+  let sh = S.shared () in
+  let mgr = S.txns sh in
+  let writer = S.create sh in
+  let reader = S.create sh in
+  let exp_ack what = function
+    | P.Ack _ -> ()
+    | r -> Alcotest.failf "%s: %s" what (resp_name r)
+  in
+  (* ten committed rows the pinned reader will hold on to *)
+  for id = 0 to 9 do
+    exp_ack "insert"
+      (S.handle writer
+         (P.Insert { lower = id * 10; upper = (id * 10) + 5; id = Some id }))
+  done;
+  exp_ack "commit" (S.handle writer P.Commit);
+  exp_ack "begin" (S.handle reader P.Begin);
+  let pin = Relation.Txn.low_water mgr in
+  (* churn: everything the reader sees dies, then twenty generations of
+     fresh rows (each commit runs sidecar GC and recycles rowids) *)
+  for id = 0 to 9 do
+    exp_ack "delete"
+      (S.handle writer
+         (P.Delete { lower = id * 10; upper = (id * 10) + 5; id }))
+  done;
+  exp_ack "commit" (S.handle writer P.Commit);
+  for round = 0 to 19 do
+    for k = 0 to 4 do
+      let id = 100 + (round * 5) + k in
+      exp_ack "insert"
+        (S.handle writer (P.Insert { lower = id; upper = id + 3; id = Some id }))
+    done;
+    exp_ack "commit" (S.handle writer P.Commit)
+  done;
+  (* the idle pinned session — no statement since BEGIN — still floors
+     the low-water mark at its pin *)
+  Alcotest.(check int) "low water held at the pin" pin
+    (Relation.Txn.low_water mgr);
+  Alcotest.(check bool) "churn advanced committed_lsn past the pin" true
+    (Relation.Txn.committed_lsn mgr > pin);
+  (* so its world is still exactly the ten original rows *)
+  let expected =
+    List.fold_left (fun a i -> ISet.add i a) ISet.empty
+      [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+  in
+  let seen = intersect_all reader in
+  if not (ISet.equal expected seen) then
+    Alcotest.failf "pinned reader lost rows after churn: %s"
+      (set_to_string seen);
+  (* releasing the pin releases the floor and shows the present *)
+  exp_ack "release" (S.handle reader P.Rollback);
+  Alcotest.(check int) "low water caught up on release"
+    (Relation.Txn.committed_lsn mgr)
+    (Relation.Txn.low_water mgr);
+  let now = intersect_all reader in
+  Alcotest.(check bool) "old rows gone after release" false (ISet.mem 0 now);
+  Alcotest.(check bool) "new rows visible after release" true
+    (ISet.mem 100 now);
+  S.close writer;
+  S.close reader
+
 let () =
   Alcotest.run "txn"
     [ ( "isolation",
         [ QCheck_alcotest.to_alcotest prop_isolation;
-          QCheck_alcotest.to_alcotest prop_snapshot_stability ] ) ]
+          QCheck_alcotest.to_alcotest prop_snapshot_stability;
+          Alcotest.test_case "idle pinned session floors dead-row GC" `Quick
+            test_pinned_low_water ] ) ]
