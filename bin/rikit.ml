@@ -1766,6 +1766,73 @@ let crash_schedule_cmd =
     Term.(const run_crash_schedule $ seed $ ops $ universe $ block_size
           $ cache $ commit_every $ torn $ quiet)
 
+(* ---- shard-process helpers (chaos-net --router, bench-shard) ---- *)
+
+(* One shard process: preload the slice in the parent (cheap, and the
+   child inherits it copy-on-write), bind the port pre-fork so the
+   parent learns it, then fork and serve in the child. Shards must be
+   processes, not threads: the whole point is that the kernel preempts
+   a shard pinned by a fat scan, which one cooperative event loop — or
+   one OCaml runtime lock — cannot do. *)
+let spawn_shard_procs ~slices =
+  let disps =
+    List.map
+      (fun slice ->
+        let sh = Server.Session.shared () in
+        Server.Session.preload_ids sh slice;
+        Server.Dispatcher.create
+          ~config:{ Server.Dispatcher.default_config with port = 0 }
+          sh)
+      slices
+  in
+  let procs =
+    List.map
+      (fun disp ->
+        let port = Server.Dispatcher.port disp in
+        match Unix.fork () with
+        | 0 ->
+            (* Every process except the serving child must drop its
+               inherited copy of the listen fd, or a killed shard's port
+               stays accept-able (a black hole) instead of refusing. *)
+            List.iter
+              (fun d -> if d != disp then Server.Dispatcher.release_listener d)
+              disps;
+            Sys.set_signal Sys.sigterm
+              (Sys.Signal_handle (fun _ -> Server.Dispatcher.stop disp));
+            Sys.set_signal Sys.sigint Sys.Signal_ignore;
+            Server.Dispatcher.serve disp;
+            Unix._exit 0
+        | pid -> (pid, port))
+      disps
+  in
+  List.iter Server.Dispatcher.release_listener disps;
+  procs
+
+let stop_shard_proc (pid, _port) =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+(* The slice a shard preloads: every interval overlapping its range,
+   under its global id — boundary spanners land on both neighbours and
+   collapse at merge time by that shared identity. *)
+let shard_slice data (lo, hi) =
+  let out = ref [] in
+  Array.iteri
+    (fun id ivl ->
+      if Interval.Ivl.lower ivl <= hi && Interval.Ivl.upper ivl >= lo then
+        out := (id, ivl) :: !out)
+    data;
+  Array.of_list (List.rev !out)
+
+let resp_label = function
+  | Server.Protocol.Ack _ -> "ack"
+  | Server.Protocol.Rows _ -> "rows"
+  | Server.Protocol.Error m -> "error: " ^ m
+  | Server.Protocol.Invalid m -> "invalid: " ^ m
+  | Server.Protocol.Overloaded m -> "overloaded: " ^ m
+  | Server.Protocol.Partial { msg; _ } -> "partial: " ^ msg
+  | _ -> "unexpected response"
+
 (* ---- chaos-net: network fault sweep over a primary/replica pair ---- *)
 
 let run_chaos_net tiny txns deadline_ms quiet =
@@ -1785,10 +1852,163 @@ let run_chaos_net tiny txns deadline_ms quiet =
   Format.printf "%a@." Chaos.pp_report report;
   if report.Chaos.failures <> [] then exit 1
 
+(* Router chaos: a proxy in front of shard 0 of a two-shard routed
+   cluster partitions, then kills, the shard mid-scatter. The contract
+   under test: a query touching the faulted shard degrades to a typed
+   Partial within the router's deadline — never a hang — while queries
+   confined to the healthy shard keep answering fast, and the faulted
+   shard is readopted once it heals. Runs from bin (not lib/chaos)
+   because it forks real shard processes. *)
+let run_chaos_router quiet =
+  let say fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+  in
+  let failures = ref [] in
+  let check name cond detail =
+    if cond then say "  ok    %s\n%!" name
+    else begin
+      say "  FAIL  %s: %s\n%!" name detail;
+      failures := (name, detail) :: !failures
+    end
+  in
+  let domain_max = Workload.Distribution.domain_max in
+  let data = Workload.Distribution.generate ~seed:42 Workload.Distribution.D1 ~n:2000 ~d:2000 in
+  let cuts = Server.Router.Map.backbone_cuts ~domain_max ~shards:2 in
+  let geometry =
+    Server.Router.Map.create ~cuts
+      ~endpoints:[ [ ("127.0.0.1", 1) ]; [ ("127.0.0.1", 1) ] ]
+  in
+  let slice i = shard_slice data (Server.Router.Map.range geometry i) in
+  let s0, s1 =
+    match spawn_shard_procs ~slices:[ slice 0; slice 1 ] with
+    | [ a; b ] -> (a, b)
+    | _ -> assert false
+  in
+  Thread.delay 0.3;
+  (* frames 0-2 pass through; the 4th shard-0 request hits the fault *)
+  let deadline_ms = 300. in
+  let partition_s = 1.5 in
+  let proxy =
+    Harness.Netchaos.create
+      ~target:("127.0.0.1", snd s0)
+      ~schedule:[ (3, Harness.Netchaos.Partition partition_s) ]
+      ()
+  in
+  let proxy_thread = Thread.create (fun () -> Harness.Netchaos.run proxy) () in
+  let map =
+    Server.Router.Map.create ~cuts
+      ~endpoints:
+        [ [ ("127.0.0.1", Harness.Netchaos.port proxy) ];
+          [ ("127.0.0.1", snd s1) ] ]
+  in
+  let router =
+    Server.Router.create
+      { Server.Router.default_config with port = 0;
+        shard_deadline_ms = deadline_ms }
+      ~map
+  in
+  let router_thread = Thread.create (fun () -> Server.Router.serve router) () in
+  let c = Server.Client.connect ~port:(Server.Router.port router) () in
+  let q0 = Server.Protocol.Intersect { lower = 1000; upper = 2000 } in
+  let q1 = Server.Protocol.Intersect { lower = 600_000; upper = 601_000 } in
+  let timed req =
+    let t0 = Unix.gettimeofday () in
+    let r = Server.Client.rpc_result c req in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let is_rows = function Ok (Server.Protocol.Rows _) -> true | _ -> false in
+  let show = function
+    | Ok r -> resp_label r
+    | Error e -> Server.Client.error_to_string e
+  in
+  say "chaos-net --router: 2 shards, fault proxy on shard 0 (deadline %.0f ms)\n%!"
+    deadline_ms;
+  (* warm-up: 3 shard-0 frames through the proxy, plus shard-1 traffic *)
+  let w1, _ = timed q0 in
+  let w2, _ = timed q1 in
+  let w3, _ = timed q0 in
+  let w4, _ = timed q0 in
+  check "baseline scatter answers" (List.for_all is_rows [ w1; w2; w3; w4 ])
+    (String.concat "; " (List.map show [ w1; w2; w3; w4 ]));
+  (* frame 3: the partition fires mid-scatter *)
+  let (r, dt) = timed q0 in
+  let partial_0 = function
+    | Ok (Server.Protocol.Partial { missing; _ }) -> List.mem 0 missing
+    | _ -> false
+  in
+  check "partitioned shard degrades to typed Partial" (partial_0 r) (show r);
+  check "partial arrives within the deadline budget, not a hang"
+    (dt < (4. *. deadline_ms /. 1000.) +. 0.5)
+    (Printf.sprintf "%.2f s" dt);
+  let (r1, dt1) = timed q1 in
+  check "healthy shard keeps serving during the partition"
+    (is_rows r1 && dt1 < 0.25)
+    (Printf.sprintf "%s after %.2f s" (show r1) dt1);
+  (* heal: the proxy readmits connections after the partition window *)
+  Thread.delay (partition_s +. 0.3);
+  let rec recover tries =
+    let (r, _) = timed q0 in
+    if is_rows r then r
+    else if tries = 0 then r
+    else begin
+      Thread.delay 0.2;
+      recover (tries - 1)
+    end
+  in
+  let healed = recover 10 in
+  check "healed shard is readopted" (is_rows healed) (show healed);
+  (* now kill the shard process outright: its port must refuse, and the
+     router must turn that into Partial verdicts, not hangs *)
+  (try Unix.kill (fst s0) Sys.sigkill with Unix.Unix_error _ -> ());
+  ignore (Unix.waitpid [] (fst s0));
+  let (rk, dtk) = timed q0 in
+  let rk =
+    (* the dying socket may surface one transport error on the proxied
+       leg before the router's failover settles into Partial verdicts *)
+    if partial_0 rk then rk else fst (timed q0)
+  in
+  check "killed shard degrades to typed Partial" (partial_0 rk) (show rk);
+  check "kill verdict is bounded too"
+    (dtk < (4. *. deadline_ms /. 1000.) +. 0.5)
+    (Printf.sprintf "%.2f s" dtk);
+  let (r1k, dt1k) = timed q1 in
+  check "healthy shard keeps serving after the kill"
+    (is_rows r1k && dt1k < 0.25)
+    (Printf.sprintf "%s after %.2f s" (show r1k) dt1k);
+  Server.Client.close c;
+  Server.Router.stop router;
+  Thread.join router_thread;
+  Harness.Netchaos.stop proxy;
+  Thread.join proxy_thread;
+  stop_shard_proc s0;
+  stop_shard_proc s1;
+  if !failures <> [] then begin
+    Printf.printf "chaos-net --router: %d check(s) FAILED\n"
+      (List.length !failures);
+    exit 1
+  end;
+  say "chaos-net --router: all checks passed\n%!"
+
+let chaos_net_dispatch tiny txns deadline_ms quiet router =
+  if router then run_chaos_router quiet
+  else run_chaos_net tiny txns deadline_ms quiet
+
 let chaos_net_cmd =
   let tiny =
     Arg.(value & flag
          & info [ "tiny" ] ~doc:"Small sweep for CI smoke runs.")
+  in
+  let router =
+    Arg.(value & flag
+         & info [ "router" ]
+             ~doc:"Run the routed-cluster scenario instead of the \
+                   primary/replica sweep: a fault proxy in front of one \
+                   shard of a two-shard cluster partitions, then kills, \
+                   the shard mid-scatter, asserting every affected query \
+                   degrades to a typed Partial within the router's \
+                   deadline while the healthy shard keeps serving, and \
+                   that the shard is readopted after the partition \
+                   heals.")
   in
   let txns =
     Arg.(value & opt int 0
@@ -1818,7 +2038,7 @@ let chaos_net_cmd =
                writes present everywhere, unsent commits absent, lost \
                commit answers atomically present-or-absent. Exits \
                non-zero on the first violated trial." ])
-    Term.(const run_chaos_net $ tiny $ txns $ deadline $ quiet)
+    Term.(const chaos_net_dispatch $ tiny $ txns $ deadline $ quiet $ router)
 
 (* ---- bench-replica: replication lag, failover time, read scale-out ---- *)
 
@@ -2022,6 +2242,258 @@ let bench_replica_cmd =
                failover never completes." ])
     Term.(const bench_replica $ tiny $ out)
 
+(* ---- bench-shard: scatter-gather scale-out under head-of-line load ---- *)
+
+type shard_load = {
+  mutable sl_smalls : int;  (* small queries completed *)
+  mutable sl_fats : int;  (* fat scans completed *)
+  sl_pings : float list ref;  (* ping round-trip seconds *)
+  mutable sl_error : string option;
+}
+
+(* Drive one topology for [window] seconds: [fat_clients] run
+   back-to-back fat scans over [fat_range] (a one-shard hotspot),
+   [small_clients] cycle through range-local small queries, and a
+   sampler measures PING round-trips — the head-of-line probe. *)
+let drive_topology ~port ~window ~fat_range ~fat_clients ~small_clients
+    ~queries =
+  let load =
+    { sl_smalls = 0; sl_fats = 0; sl_pings = ref []; sl_error = None }
+  in
+  let mu = Mutex.create () in
+  let note f = Mutex.lock mu; f (); Mutex.unlock mu in
+  let stop = ref false in
+  let fail m = note (fun () -> if load.sl_error = None then load.sl_error <- Some m) in
+  let fat_thread () =
+    try
+      let c = Server.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let lo, hi = fat_range in
+          while not !stop do
+            match
+              Server.Client.rpc_result c
+                (Server.Protocol.Intersect { lower = lo; upper = hi })
+            with
+            | Ok (Server.Protocol.Rows _) ->
+                note (fun () -> load.sl_fats <- load.sl_fats + 1)
+            | Ok r ->
+                fail ("fat scan: unexpected " ^ resp_label r)
+            | Error e -> fail (Server.Client.error_to_string e)
+          done)
+    with Server.Client.Io_error m -> fail m
+  in
+  let small_thread i () =
+    try
+      let c = Server.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          let k = Array.length queries in
+          let j = ref (i * 7) in
+          while not !stop do
+            let q = queries.(!j mod k) in
+            incr j;
+            match
+              Server.Client.rpc_result c
+                (Server.Protocol.Intersect
+                   { lower = Interval.Ivl.lower q;
+                     upper = Interval.Ivl.upper q })
+            with
+            | Ok (Server.Protocol.Rows _) ->
+                note (fun () -> load.sl_smalls <- load.sl_smalls + 1)
+            | Ok r ->
+                fail ("small query: unexpected " ^ resp_label r)
+            | Error e -> fail (Server.Client.error_to_string e)
+          done)
+    with Server.Client.Io_error m -> fail m
+  in
+  let ping_thread () =
+    try
+      let c = Server.Client.connect ~port () in
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close c)
+        (fun () ->
+          while not !stop do
+            let t0 = Unix.gettimeofday () in
+            (match Server.Client.ping c with
+            | Ok () ->
+                let dt = Unix.gettimeofday () -. t0 in
+                note (fun () -> load.sl_pings := dt :: !(load.sl_pings))
+            | Error e -> fail (Server.Client.error_to_string e));
+            Thread.delay 0.005
+          done)
+    with Server.Client.Io_error m -> fail m
+  in
+  let threads =
+    List.init fat_clients (fun _ -> Thread.create fat_thread ())
+    @ List.init small_clients (fun i -> Thread.create (small_thread i) ())
+    @ [ Thread.create ping_thread () ]
+  in
+  Thread.delay window;
+  stop := true;
+  List.iter Thread.join threads;
+  load
+
+let pings_pct pings p =
+  match pings with
+  | [] -> 0.
+  | l -> 1000. *. Harness.Measure.percentile (Array.of_list l) p
+
+let bench_shard tiny out =
+  let kind = Workload.Distribution.D1 in
+  let n = if tiny then 10_000 else 60_000 in
+  let d = 2000 in
+  let seed = 42 in
+  let shards = 4 in
+  let window = if tiny then 2.0 else 6.0 in
+  let fat_clients = 2 in
+  let small_clients = 4 in
+  let domain_max = Workload.Distribution.domain_max in
+  let data = Workload.Distribution.generate ~seed kind ~n ~d in
+  let cuts = Server.Router.Map.backbone_cuts ~domain_max ~shards in
+  let dummy_eps = List.init shards (fun _ -> [ ("127.0.0.1", 1) ]) in
+  let geometry = Server.Router.Map.create ~cuts ~endpoints:dummy_eps in
+  (* Small queries confined inside one shard's range each (fan-out 1),
+     round-robin across shards; the hotspot is shard 0's whole range. *)
+  let queries =
+    let per = 256 in
+    let batches =
+      List.init shards (fun i ->
+          let lo, hi = Server.Router.Map.range geometry i in
+          Workload.Query_gen.queries_within ~seed:(seed + i)
+            ~range:(max 0 lo, min domain_max hi)
+            ~count:per ~len:64 ())
+    in
+    Array.init (shards * per) (fun j ->
+        (List.nth batches (j mod shards)).(j / shards))
+  in
+  let fat_range =
+    let lo, hi = Server.Router.Map.range geometry 0 in
+    (max 0 lo, min domain_max hi)
+  in
+  Printf.printf
+    "bench-shard: D1 n=%d, %d shards, %.0f s window, hotspot = shard 0 \
+     [%d, %d]\n%!"
+    n shards window (fst fat_range) (snd fat_range);
+  (* ---- topology A: one process holds everything ---- *)
+  let single =
+    List.hd
+      (spawn_shard_procs ~slices:[ Array.mapi (fun i x -> (i, x)) data ])
+  in
+  Thread.delay 0.3;
+  let single_load =
+    drive_topology ~port:(snd single) ~window ~fat_range ~fat_clients
+      ~small_clients ~queries
+  in
+  stop_shard_proc single;
+  (* ---- topology B: four shard processes behind a router ---- *)
+  let procs =
+    spawn_shard_procs
+      ~slices:
+        (List.init shards (fun i ->
+             shard_slice data (Server.Router.Map.range geometry i)))
+  in
+  Thread.delay 0.3;
+  let map =
+    Server.Router.Map.create ~cuts
+      ~endpoints:(List.map (fun (_, p) -> [ ("127.0.0.1", p) ]) procs)
+  in
+  let router =
+    Server.Router.create
+      { Server.Router.default_config with port = 0 }
+      ~map
+  in
+  let router_thread = Thread.create (fun () -> Server.Router.serve router) () in
+  let sharded_load =
+    drive_topology ~port:(Server.Router.port router) ~window ~fat_range
+      ~fat_clients ~small_clients ~queries
+  in
+  Server.Router.stop router;
+  Thread.join router_thread;
+  List.iter stop_shard_proc procs;
+  (match (single_load.sl_error, sharded_load.sl_error) with
+  | Some m, _ -> Printf.printf "  single topology error: %s\n" m
+  | _, Some m -> Printf.printf "  sharded topology error: %s\n" m
+  | None, None -> ());
+  let qps l = float_of_int l.sl_smalls /. window in
+  let single_qps = qps single_load and sharded_qps = qps sharded_load in
+  let speedup = if single_qps > 0. then sharded_qps /. single_qps else 0. in
+  let report label l =
+    Printf.printf
+      "  %-8s %6.0f small q/s  (%d fat scans)  ping p50 %.2f ms  p99 %.2f \
+       ms  max %.2f ms\n"
+      label (qps l) l.sl_fats
+      (pings_pct !(l.sl_pings) 0.5)
+      (pings_pct !(l.sl_pings) 0.99)
+      (pings_pct !(l.sl_pings) 1.0)
+  in
+  report "single" single_load;
+  report "sharded" sharded_load;
+  let sharded_p99 = pings_pct !(sharded_load.sl_pings) 0.99 in
+  let need = if tiny then 2.0 else 3.0 in
+  let speedup_ok = speedup >= need in
+  let hol_ok = sharded_p99 < 50. in
+  Printf.printf
+    "  speedup %.2fx under the hotspot load (need >= %.1fx)%s; sharded \
+     ping p99 %.2f ms (need < 50 ms)%s\n"
+    speedup need
+    (if speedup_ok then "" else " FAILED")
+    sharded_p99
+    (if hol_ok then "" else " FAILED");
+  let b = Buffer.create 512 in
+  Printf.bprintf b
+    "{\n  \"bench\": \"shard\",\n  \"tiny\": %b,\n  \"kind\": \"D1\",\n\
+    \  \"n\": %d,\n  \"shards\": %d,\n  \"window_s\": %.1f,\n\
+    \  \"single\": {\"small_qps\": %.1f, \"fat_scans\": %d,\n\
+    \    \"ping_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f}},\n\
+    \  \"sharded\": {\"small_qps\": %.1f, \"fat_scans\": %d,\n\
+    \    \"ping_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"max\": %.3f}},\n\
+    \  \"speedup\": %.2f,\n  \"speedup_ok\": %b,\n  \"hol_ok\": %b\n}\n"
+    tiny n shards window single_qps single_load.sl_fats
+    (pings_pct !(single_load.sl_pings) 0.5)
+    (pings_pct !(single_load.sl_pings) 0.99)
+    (pings_pct !(single_load.sl_pings) 1.0)
+    sharded_qps sharded_load.sl_fats
+    (pings_pct !(sharded_load.sl_pings) 0.5)
+    sharded_p99
+    (pings_pct !(sharded_load.sl_pings) 1.0)
+    speedup speedup_ok hol_ok;
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out;
+  if not (speedup_ok && hol_ok) then exit 1
+
+let bench_shard_cmd =
+  let tiny =
+    Arg.(value & flag & info [ "tiny" ] ~doc:"Small load for CI smoke runs.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_shard.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-shard"
+       ~doc:"Sharded scatter-gather throughput under a head-of-line hotspot"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Measures the head-of-line-blocking fix: a D1 dataset is \
+               served first by one process, then by four shard processes \
+               (split along the RI-tree backbone) behind the \
+               scatter-gather router. Both topologies take the same \
+               load — clients hammering fat scans over shard 0's whole \
+               range while others run range-local small queries and a \
+               sampler measures PING round-trips. On the single process \
+               every small query and ping queues behind the fat scans; \
+               behind the router only shard 0 does. Reports small-query \
+               throughput, the speedup, and ping percentiles to stdout \
+               and BENCH_shard.json; exits non-zero when the speedup or \
+               the sharded ping p99 misses the acceptance bar." ])
+    Term.(const bench_shard $ tiny $ out)
+
 let () =
   let info =
     Cmd.info "rikit" ~version:"1.0.0"
@@ -2031,4 +2503,5 @@ let () =
        [ generate_cmd; explain_cmd; compare_cmd; topo_cmd; join_cmd; sql_cmd;
          bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
          bench_plan_cmd; bench_memindex_cmd; bench_txn_cmd; scrub_cmd;
-         crash_schedule_cmd; chaos_net_cmd; bench_replica_cmd ]))
+         crash_schedule_cmd; chaos_net_cmd; bench_replica_cmd;
+         bench_shard_cmd ]))

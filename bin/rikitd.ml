@@ -18,9 +18,76 @@ let kind_conv =
   Arg.conv (parse, fun ppf k ->
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
+(* Router mode: no local database at all — fan queries out to the
+   shard processes listed with --shard and merge the answers. *)
+let serve_router host port max_sessions metrics_port shards domain_max
+    shard_deadline_ms =
+  if shards = [] then failwith "--router needs at least one --shard";
+  if domain_max < 1 then failwith "--domain-max must be >= 1";
+  if shard_deadline_ms <= 0. then failwith "--shard-deadline must be > 0";
+  let cuts =
+    Server.Router.Map.backbone_cuts ~domain_max ~shards:(List.length shards)
+  in
+  (* Nearest-backbone-multiple cuts can collide when there are very many
+     shards over a small domain; the surviving cuts define the map, so
+     trailing endpoint lists fold into the last shard. *)
+  let shards =
+    let keep = List.length cuts + 1 in
+    List.filteri (fun i _ -> i < keep) shards
+  in
+  let map = Server.Router.Map.create ~cuts ~endpoints:shards in
+  let config =
+    { Server.Router.host; port; max_sessions;
+      shard_deadline_ms; metrics_port }
+  in
+  let router =
+    try Server.Router.create config ~map
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "rikitd: cannot listen on %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+  in
+  let stop _ = Server.Router.stop router in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Printf.printf
+    "rikitd router listening on %s:%d (protocol v%d, %d shards, max %d \
+     sessions)\n%!"
+    host
+    (Server.Router.port router)
+    Server.Protocol.version
+    (Server.Router.Map.shards map)
+    max_sessions;
+  List.iteri
+    (fun i eps ->
+      let lo, hi = Server.Router.Map.range map i in
+      Printf.printf "  shard %d: [%s, %s] -> %s\n%!" i
+        (if lo = min_int then "-inf" else string_of_int lo)
+        (if hi = max_int then "+inf" else string_of_int hi)
+        (String.concat ","
+           (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) eps)))
+    shards;
+  if metrics_port <> None then
+    Printf.printf "metrics on http://%s:%d/metrics\n%!" host
+      (Server.Router.metrics_port router);
+  Server.Router.serve router;
+  print_newline ();
+  print_string
+    (Server.Server_stats.dump
+       (Server.Router.stats router)
+       ~now:(Unix.gettimeofday ())
+       ~io:{ Storage.Block_device.Stats.reads = 0; writes = 0 });
+  print_string "shutdown complete: shard legs closed\n"
+
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
     group_commit_ms idle_timeout metrics_port slow_query_ms hot_tier_mb
-    replica_of =
+    replica_of router shards domain_max shard_deadline_ms =
+  if router then
+    serve_router host port max_sessions metrics_port shards domain_max
+      shard_deadline_ms
+  else if shards <> [] then
+    failwith "--shard is only meaningful with --router"
+  else begin
   if group_commit_ms < 0. then failwith "--group-commit must be >= 0";
   if idle_timeout < 0. then failwith "--idle-timeout must be >= 0";
   if slow_query_ms < 0. then failwith "--slow-query-ms must be >= 0";
@@ -88,6 +155,7 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
        ~now:(Unix.gettimeofday ()) ~io);
   Printf.printf "shutdown complete: buffer pool flushed%s\n"
     (if durable then ", journal checkpointed" else "")
+  end
 
 let cmd =
   let host =
@@ -192,12 +260,75 @@ let cmd =
                    link is redialled automatically when the primary \
                    goes away.")
   in
+  let router =
+    Arg.(value & flag
+         & info [ "router" ]
+             ~doc:"Serve as a scatter-gather router over the shard \
+                   processes listed with --shard instead of hosting a \
+                   database: queries fan out to the shards whose ranges \
+                   they overlap and the results are merged, so one fat \
+                   scan saturates one shard while the rest keep \
+                   answering. Requires at least one --shard.")
+  in
+  let shard =
+    let parse_hostport s =
+      match String.rindex_opt s ':' with
+      | Some i -> (
+          let host = String.sub s 0 i in
+          let port = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p > 0 && host <> "" -> Ok (host, p)
+          | _ -> Error (`Msg (Printf.sprintf "bad HOST:PORT %S" s)))
+      | None -> Error (`Msg (Printf.sprintf "bad HOST:PORT %S" s))
+    in
+    let parse s =
+      let parts = String.split_on_char ',' s in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | hp :: tl -> (
+            match parse_hostport hp with
+            | Ok e -> go (e :: acc) tl
+            | Error _ as e -> e)
+      in
+      if parts = [] || List.exists (fun p -> p = "") parts then
+        Error (`Msg (Printf.sprintf "bad endpoint list %S" s))
+      else go [] parts
+    in
+    let print ppf eps =
+      Format.pp_print_string ppf
+        (String.concat ","
+           (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) eps))
+    in
+    Arg.(value & opt_all (conv (parse, print)) []
+         & info [ "shard" ] ~docv:"HOST:PORT[,HOST:PORT...]"
+             ~doc:"A shard of the cluster (repeat once per shard, in \
+                   range order). Each occurrence lists the endpoints of \
+                   one shard — primary first, standbys after — which \
+                   the router rotates through on failure. The interval \
+                   domain is split into one contiguous range per shard \
+                   along the RI-tree backbone.")
+  in
+  let domain_max =
+    Arg.(value & opt int Workload.Distribution.domain_max
+         & info [ "domain-max" ] ~docv:"N"
+             ~doc:"Upper bound of the interval domain the router \
+                   partitions among its shards (split points are \
+                   backbone-aligned within [1, N]).")
+  in
+  let shard_deadline =
+    Arg.(value & opt float 15000.
+         & info [ "shard-deadline" ] ~docv:"MS"
+             ~doc:"Router-mode per-RPC deadline for each shard leg, in \
+                   milliseconds: a shard that stays silent this long is \
+                   failed over, then reported as missing in a typed \
+                   Partial response rather than hanging the query.")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
           $ max_inflight $ max_queue $ durable $ group_commit
           $ idle_timeout $ metrics_port $ slow_query_ms $ hot_tier
-          $ replica_of)
+          $ replica_of $ router $ shard $ domain_max $ shard_deadline)
 
 let () = exit (Cmd.eval cmd)

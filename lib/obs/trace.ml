@@ -122,8 +122,10 @@ let annotate s =
     | [] -> ()
     | f :: _ -> f.f_info <- (if f.f_info = "" then s else f.f_info ^ " " ^ s)
 
-let render sp =
+let render ?max_bytes sp =
   let b = Buffer.create 256 in
+  let budget = match max_bytes with Some n -> max n 0 | None -> max_int in
+  let suppressed = ref 0 in
   let io_suffix (io : Counters.snapshot) =
     let parts = ref [] in
     let add label v = if v > 0 then parts := Printf.sprintf "%s=%d" label v :: !parts in
@@ -136,11 +138,23 @@ let render sp =
     if !parts = [] then "" else "  [" ^ String.concat " " !parts ^ "]"
   in
   let rec go indent sp =
-    Buffer.add_string b
-      (Printf.sprintf "%s%s%s  %d us%s\n" indent sp.name
-         (if sp.info = "" then "" else " (" ^ sp.info ^ ")")
-         sp.elapsed_us (io_suffix sp.io));
+    if !suppressed > 0 then incr suppressed
+    else begin
+      let line =
+        Printf.sprintf "%s%s%s  %d us%s\n" indent sp.name
+          (if sp.info = "" then "" else " (" ^ sp.info ^ ")")
+          sp.elapsed_us (io_suffix sp.io)
+      in
+      (* Truncate only at line boundaries: a span line either fits whole
+         or is suppressed (and counted) along with everything after it. *)
+      if Buffer.length b + String.length line > budget then incr suppressed
+      else Buffer.add_string b line
+    end;
     List.iter (go (indent ^ "  ")) sp.children
   in
   go "" sp;
+  if !suppressed > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "… (%d span%s truncated)\n" !suppressed
+         (if !suppressed = 1 then "" else "s"));
   Buffer.contents b

@@ -53,6 +53,10 @@ val clear : unit -> unit
 
 val ring_capacity : int
 
-val render : span -> string
+val render : ?max_bytes:int -> span -> string
 (** Multi-line tree rendering: one line per span with elapsed time and
-    any non-zero I/O deltas. *)
+    any non-zero I/O deltas. [max_bytes] caps the rendered tree:
+    truncation happens only at line boundaries and appends a final
+    "… (N spans truncated)" marker line (the marker may exceed the cap
+    by its own length). Used by the slow-query log so a pathological
+    plan tree cannot stall the event loop. *)

@@ -21,6 +21,7 @@ type error =
   | Invalid of string
   | Io of string
   | Timeout of string
+  | Partial of { missing : int list; msg : string }
   | Unexpected of string
 
 let error_to_string = function
@@ -31,6 +32,10 @@ let error_to_string = function
   | Invalid m -> "invalid request: " ^ m
   | Io m -> "i/o: " ^ m
   | Timeout m -> "timeout: " ^ m
+  | Partial { missing; msg } ->
+      Printf.sprintf "partial result (shards [%s] missing): %s"
+        (String.concat "," (List.map string_of_int missing))
+        msg
   | Unexpected m -> "unexpected response: " ^ m
 
 (* Overload clears when the server drains; transport hiccups (connection
@@ -41,7 +46,13 @@ let error_to_string = function
    refused. *)
 let retryable = function
   | Overloaded _ | Io _ | Timeout _ -> true
-  | Read_only _ | Server _ | Invalid _ | Conflict _ | Unexpected _ -> false
+  | Read_only _ | Server _ | Invalid _ | Conflict _ | Partial _
+  | Unexpected _ ->
+      (* A partial answer means a shard stayed unreachable through the
+         router's own failover attempts: an immediate retry would just
+         burn the deadline again. The caller decides whether partial
+         data is acceptable. *)
+      false
 
 (* A timed-out connection is unusable: the response may still arrive
    later and would answer the wrong request. Close before raising. *)
@@ -200,6 +211,8 @@ let typed t req of_ok =
   | Ok (Protocol.Overloaded m) -> Result.Error (Overloaded m)
   | Ok (Protocol.Read_only m) -> Result.Error (Read_only m)
   | Ok (Protocol.Conflict m) -> Result.Error (Conflict m)
+  | Ok (Protocol.Partial { missing; msg }) ->
+      Result.Error (Partial { missing; msg })
   | Ok (Protocol.Goodbye m) ->
       Result.Error (Io ("server closed the connection: " ^ m))
   | Ok resp -> of_ok resp
@@ -267,6 +280,11 @@ let commit t =
         | Some lsn -> Ok lsn
         | None -> Ok 0)
     | _ -> Result.Error (Unexpected "to commit"))
+
+let shard_map t =
+  typed t Protocol.Shard_map_req (function
+    | Protocol.Shard_map entries -> Ok entries
+    | _ -> Result.Error (Unexpected "to shard_map"))
 
 let repl_status t =
   typed t Protocol.Repl_status (function

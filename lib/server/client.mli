@@ -51,14 +51,19 @@ type error =
           or an overloaded commit path; the connection is closed.
           Retryable (typically against another endpoint: see
           {!Failover}) *)
+  | Partial of { missing : int list; msg : string }
+      (** a router's scatter-gather answer was incomplete: the shards at
+          the listed indices stayed unreachable through the router's own
+          failover attempts. Non-retryable as-is — the caller decides
+          whether partial data is acceptable *)
   | Unexpected of string  (** protocol violation / wrong response shape *)
 
 val error_to_string : error -> string
 
 val retryable : error -> bool
 (** [true] for {!Overloaded}, {!Io} and {!Timeout} — failures that clear
-    on their own. [Read_only], [Server], [Invalid], [Conflict] and
-    [Unexpected] are verdicts. *)
+    on their own. [Read_only], [Server], [Invalid], [Conflict],
+    [Partial] and [Unexpected] are verdicts. *)
 
 val connect : ?host:string -> ?deadline_ms:float -> port:int -> unit -> t
 (** Default host [127.0.0.1]. [?deadline_ms] arms a per-request
@@ -111,6 +116,10 @@ val commit : t -> (int, error) result
     the token a failover client uses to wait out replica lag
     (read-your-writes). [Conflict] if it lost a write-write race (the
     transaction is already aborted server-side). *)
+
+val shard_map : t -> (Protocol.shard_entry list, error) result
+(** The serving topology (the [Shard_map_req] op): one entry per shard
+    from a router, a single whole-space entry from a plain rikitd. *)
 
 val repl_status : t -> (Protocol.role * int * int, error) result
 (** [(role, durable_lsn, applied_lsn)] — the server's replication

@@ -190,6 +190,9 @@ let stop t =
   try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
 
+let release_listener t =
+  try Unix.close t.listen_fd with Unix.Unix_error _ -> ()
+
 (* ---------------- output ---------------- *)
 
 let push_response conn id resp =
@@ -423,6 +426,33 @@ let flush_group_commits t =
                     "committed (group commit batch of %d) lsn %d" batch lsn)))
         pending
 
+(* Slow-query logging must never stall the event loop: the span tree is
+   rendered under a byte cap (a pathological plan can hold thousands of
+   spans) and written best-effort — if stderr's pipe is full (a wedged
+   log collector), the entry is dropped and counted rather than parking
+   every session behind a blocking write. *)
+let slow_query_max_bytes = 4096
+let slow_queries_dropped = ref 0
+
+let log_slow_query t ~seconds sp =
+  let doc =
+    Printf.sprintf "[slow query] %.1f ms (threshold %.1f ms)\n%s"
+      (seconds *. 1000.) t.cfg.slow_query_ms
+      (Obs.Trace.render ~max_bytes:slow_query_max_bytes sp)
+  in
+  let writable =
+    match Unix.select [] [ Unix.stderr ] [] 0. with
+    | _, w, _ -> w <> []
+    | exception Unix.Unix_error _ -> false
+  in
+  if not writable then incr slow_queries_dropped
+  else
+    (* One capped write; a short write (the pipe filled mid-entry) loses
+       the tail of this entry only, never progress. *)
+    match Unix.write_substring Unix.stderr doc 0 (String.length doc) with
+    | _ -> ()
+    | exception Unix.Unix_error _ -> incr slow_queries_dropped
+
 (* The replication ops live in the dispatcher, not the session: they
    concern connections and the shared journal, never a session's
    transaction. *)
@@ -478,13 +508,22 @@ let handle_repl t conn id req =
                 applied_lsn = lsn }
       in
       push_response conn id state
+  | Protocol.Shard_map_req ->
+      (* An unsharded server is a degenerate one-shard cluster: a single
+         range covering the whole interval space. Clients discover
+         topology the same way against rikitd and the router. *)
+      push_response conn id
+        (Protocol.Shard_map
+           [ { Protocol.shard_lo = min_int; shard_hi = max_int;
+               endpoints = [ (t.cfg.host, t.bound_port) ] } ])
   | _ -> assert false
 
 let execute_one t conn id req =
   t.queued <- t.queued - 1;
   Server_stats.queue_depth t.st t.queued;
   match req with
-  | Protocol.Repl_subscribe _ | Protocol.Repl_ack _ | Protocol.Repl_status ->
+  | Protocol.Repl_subscribe _ | Protocol.Repl_ack _ | Protocol.Repl_status
+  | Protocol.Shard_map_req ->
       handle_repl t conn id req
   | Protocol.Commit
     when Session.degraded_reason_shared t.sh <> None
@@ -541,8 +580,7 @@ let execute_one t conn id req =
       | Some sp
         when t.cfg.slow_query_ms > 0.
              && seconds *. 1000. >= t.cfg.slow_query_ms ->
-          Printf.eprintf "[slow query] %.1f ms (threshold %.1f ms)\n%s%!"
-            (seconds *. 1000.) t.cfg.slow_query_ms (Obs.Trace.render sp)
+          log_slow_query t ~seconds sp
       | _ -> ());
       (* A synchronous COMMIT that succeeded is durable now; its Ack
          rides the same semi-sync rule as a group-commit batch. *)
@@ -553,7 +591,11 @@ let execute_one t conn id req =
 
 let execute_round t ~limit =
   (* Round-robin: one request per ready session per pass, so a chatty
-     pipeliner cannot starve its neighbours. *)
+     pipeliner cannot starve its neighbours. The accept-order snapshot
+     is taken once — re-reversing [t.conns] every pass made a 64-session
+     pipelined tick quadratic in allocation. A connection closed by an
+     earlier pass is skipped naturally: close_conn clears its queue. *)
+  let order = List.rev t.conns in
   let budget = ref limit in
   let progress = ref true in
   while !budget > 0 && !progress do
@@ -566,7 +608,7 @@ let execute_round t ~limit =
           decr budget;
           progress := true
         end)
-      (List.rev t.conns)
+      order
   done
 
 (* ---------------- replication fan-out (primary side) ---------------- *)
@@ -831,27 +873,33 @@ let serve t =
       try Unix.select reads writes [] timeout
       with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
     in
-    if List.mem t.stop_r readable then begin
+    (* One hash set per direction per tick: readiness checks below are
+       O(1) instead of List.mem per connection (O(sessions × ready)). *)
+    let fd_set l =
+      let h = Hashtbl.create (List.length l * 2 + 1) in
+      List.iter (fun fd -> Hashtbl.replace h fd ()) l;
+      h
+    in
+    let rset = fd_set readable and wset = fd_set writable in
+    let ready_r fd = Hashtbl.mem rset fd in
+    let ready_w fd = Hashtbl.mem wset fd in
+    if ready_r t.stop_r then begin
       (try ignore (Unix.read t.stop_r scratch 0 (Bytes.length scratch))
        with Unix.Unix_error _ -> ());
       t.stopping <- true
     end;
-    if (not t.stopping) && List.mem t.listen_fd readable then
-      accept_connections t;
+    if (not t.stopping) && ready_r t.listen_fd then accept_connections t;
     (match t.metrics_fd with
-    | Some mfd when (not t.stopping) && List.mem mfd readable ->
-        accept_metrics t
+    | Some mfd when (not t.stopping) && ready_r mfd -> accept_metrics t
     | _ -> ());
     (match t.upstream with
     | Some u -> (
         if not t.stopping then tend_upstream t (Unix.gettimeofday ());
         match u.ufd with
-        | Some fd when List.mem fd readable -> read_upstream t u fd
+        | Some fd when ready_r fd -> read_upstream t u fd
         | _ -> ())
     | None -> ());
-    List.iter
-      (fun conn -> if List.mem conn.fd readable then read_conn t conn)
-      t.conns;
+    List.iter (fun conn -> if ready_r conn.fd then read_conn t conn) t.conns;
     execute_round t
       ~limit:(if t.stopping then t.queued else t.cfg.max_inflight);
     (* Close the window at its deadline — or as soon as no live session
@@ -876,8 +924,7 @@ let serve t =
     if not t.stopping then reap_idle t (Unix.gettimeofday ());
     List.iter
       (fun conn ->
-        if List.mem conn.fd writable || output_pending conn then
-          try_flush conn)
+        if ready_w conn.fd || output_pending conn then try_flush conn)
       t.conns;
     List.iter
       (fun conn ->

@@ -104,3 +104,12 @@ val serve : t -> unit
 val stop : t -> unit
 (** Request graceful shutdown; safe from another thread or a signal
     handler. *)
+
+val release_listener : t -> unit
+(** Close this process's copy of the listening socket without touching
+    the rest of the dispatcher. For fork-based topologies only: a parent
+    that binds the port (to learn it) and forks a child to {!serve} must
+    release its inherited copy — and so must sibling children — or the
+    port stays accept-able after the serving child dies, turning a dead
+    shard into a black hole instead of a connection refusal. Never call
+    it in the process that will run {!serve}. *)

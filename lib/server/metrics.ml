@@ -182,3 +182,80 @@ let render ?repl ~now ~stats ~cat ~memtier ~txns () =
         ~help:"Live replication subscribers (0 on a replica)."
         (int_ r.r_subscribers));
   Buffer.contents b
+
+(* ---------------- router exposition ----------------
+
+   The router holds no catalog, pool, or journal — its document is the
+   request-side families plus per-shard fan-out health. Per-shard RPC
+   latency rides the ordinary op histograms under op="shard:<i>" (the
+   router records one sample per shard leg call), so one family serves
+   both the client-facing ops and the fan-out legs. *)
+
+type shard = {
+  s_lo : int;
+  s_hi : int;
+  s_endpoints : (string * int) list;
+  s_lsn : int;  (* highest commit LSN routed to this shard (RYW token) *)
+  s_rpcs : int;
+  s_errors : int;
+}
+
+let render_router ~now ~stats ~shards ~partials () =
+  let v = Server_stats.view stats in
+  let b = Buffer.create 4096 in
+  gauge b ~name:"rikit_uptime_seconds" ~help:"Seconds since router start."
+    (float_ (now -. v.v_started));
+  gauge b ~name:"rikit_sessions" ~help:"Currently connected sessions."
+    (int_ v.v_sessions);
+  gauge b ~name:"rikit_sessions_peak" ~help:"Peak concurrent sessions."
+    (int_ v.v_peak_sessions);
+  counter b ~name:"rikit_requests_total" ~help:"Requests executed."
+    (int_ v.v_total_requests);
+  counter b ~name:"rikit_overload_rejections_total"
+    ~help:"Connections refused by admission control."
+    (int_ v.v_overload_rejections);
+  op_histograms b v.v_ops;
+  gauge b ~name:"rikit_shard_count" ~help:"Shards in the serving topology."
+    (int_ (Array.length shards));
+  family b ~name:"rikit_shard_range_lo"
+    ~help:"Inclusive lower bound of each shard's interval-space range."
+    ~typ:"gauge";
+  Array.iteri
+    (fun i s -> Printf.bprintf b "rikit_shard_range_lo{shard=\"%d\"} %d\n" i s.s_lo)
+    shards;
+  family b ~name:"rikit_shard_range_hi"
+    ~help:"Inclusive upper bound of each shard's interval-space range."
+    ~typ:"gauge";
+  Array.iteri
+    (fun i s -> Printf.bprintf b "rikit_shard_range_hi{shard=\"%d\"} %d\n" i s.s_hi)
+    shards;
+  family b ~name:"rikit_shard_endpoints"
+    ~help:"Endpoints configured per shard (first is preferred)." ~typ:"gauge";
+  Array.iteri
+    (fun i s ->
+      Printf.bprintf b "rikit_shard_endpoints{shard=\"%d\"} %d\n" i
+        (List.length s.s_endpoints))
+    shards;
+  family b ~name:"rikit_shard_rpcs_total"
+    ~help:"Fan-out RPCs issued to each shard." ~typ:"counter";
+  Array.iteri
+    (fun i s -> Printf.bprintf b "rikit_shard_rpcs_total{shard=\"%d\"} %d\n" i s.s_rpcs)
+    shards;
+  family b ~name:"rikit_shard_errors_total"
+    ~help:"Fan-out RPCs that failed after endpoint failover." ~typ:"counter";
+  Array.iteri
+    (fun i s ->
+      Printf.bprintf b "rikit_shard_errors_total{shard=\"%d\"} %d\n" i s.s_errors)
+    shards;
+  family b ~name:"rikit_shard_last_lsn"
+    ~help:"Highest commit LSN acknowledged by each shard (read-your-writes \
+           token)."
+    ~typ:"gauge";
+  Array.iteri
+    (fun i s ->
+      Printf.bprintf b "rikit_shard_last_lsn{shard=\"%d\"} %d\n" i s.s_lsn)
+    shards;
+  counter b ~name:"rikit_router_partial_results_total"
+    ~help:"Scatter-gather answers degraded to typed partial results."
+    (int_ partials);
+  Buffer.contents b

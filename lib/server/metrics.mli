@@ -48,3 +48,25 @@ val render :
   unit ->
   string
 (** The full exposition document, trailing newline included. *)
+
+(** Per-shard health snapshot for the router exposition. *)
+type shard = {
+  s_lo : int;  (** inclusive range lower bound *)
+  s_hi : int;  (** inclusive range upper bound *)
+  s_endpoints : (string * int) list;
+  s_lsn : int;  (** highest commit LSN routed to this shard *)
+  s_rpcs : int;  (** fan-out RPCs issued *)
+  s_errors : int;  (** RPCs failed after endpoint failover *)
+}
+
+val render_router :
+  now:float ->
+  stats:Server_stats.t ->
+  shards:shard array ->
+  partials:int ->
+  unit ->
+  string
+(** The router's exposition: request families plus [rikit_shard_*]
+    gauges/counters and [rikit_router_partial_results_total]. Per-shard
+    fan-out latency appears in the op histograms under
+    [op="shard:<i>"]. *)

@@ -1,4 +1,4 @@
-let version = 6
+let version = 7
 let max_payload = 4 * 1024 * 1024
 
 type explain_target =
@@ -29,6 +29,7 @@ type request =
   | Repl_subscribe of { from_lsn : int }
   | Repl_ack of { lsn : int }
   | Repl_status
+  | Shard_map_req
 
 let request_op_name = function
   | Sql _ -> "sql"
@@ -49,6 +50,7 @@ let request_op_name = function
   | Repl_subscribe _ -> "repl_subscribe"
   | Repl_ack _ -> "repl_ack"
   | Repl_status -> "repl_status"
+  | Shard_map_req -> "shard_map"
 
 type op_stat = {
   op : string;
@@ -75,6 +77,12 @@ type stats = {
 
 type role = Primary | Replica
 
+type shard_entry = {
+  shard_lo : int;  (** inclusive lower bound of the shard's range *)
+  shard_hi : int;  (** inclusive upper bound *)
+  endpoints : (string * int) list;  (** host, port — first is preferred *)
+}
+
 type response =
   | Ack of string
   | Rows of { columns : string list; rows : int array list }
@@ -94,6 +102,13 @@ type response =
       (* a slice of the primary's durable journal: [payload] holds the
          serialized bytes [lsn, lsn + length payload) of the log stream *)
   | Repl_state of { role : role; durable_lsn : int; applied_lsn : int }
+  | Shard_map of shard_entry list
+      (* the serving topology: contiguous interval-space ranges and the
+         endpoints that own them; a plain rikitd answers with a single
+         entry covering the whole space *)
+  | Partial of { missing : int list; msg : string }
+      (* a scatter-gather answer is incomplete: the listed shard indices
+         could not be reached within the deadline; non-retryable as-is *)
 
 type error =
   | Truncated
@@ -211,6 +226,7 @@ let op_begin = 0x0f
 let op_repl_subscribe = 0x10
 let op_repl_ack = 0x11
 let op_repl_status = 0x12
+let op_shard_map_req = 0x13
 let op_ack = 0x81
 let op_rows = 0x82
 let op_error = 0x83
@@ -222,6 +238,8 @@ let op_invalid = 0x88
 let op_conflict = 0x89
 let op_repl_frame = 0x8a
 let op_repl_state = 0x8b
+let op_shard_map = 0x8c
+let op_partial = 0x8d
 
 (* ---------------- frames ---------------- *)
 
@@ -303,7 +321,8 @@ let encode_request ~id req =
       | Repl_ack { lsn } ->
           put_u8 b op_repl_ack;
           put_int b lsn
-      | Repl_status -> put_u8 b op_repl_status)
+      | Repl_status -> put_u8 b op_repl_status
+      | Shard_map_req -> put_u8 b op_shard_map_req)
 
 let encode_response ~id resp =
   frame (fun b ->
@@ -343,6 +362,25 @@ let encode_response ~id resp =
           put_u8 b (match role with Primary -> 0 | Replica -> 1);
           put_int b durable_lsn;
           put_int b applied_lsn
+      | Shard_map entries ->
+          put_u8 b op_shard_map;
+          put_u32 b (List.length entries);
+          List.iter
+            (fun e ->
+              put_int b e.shard_lo;
+              put_int b e.shard_hi;
+              put_u32 b (List.length e.endpoints);
+              List.iter
+                (fun (host, port) ->
+                  put_string b host;
+                  put_u32 b port)
+                e.endpoints)
+            entries
+      | Partial { missing; msg } ->
+          put_u8 b op_partial;
+          put_u32 b (List.length missing);
+          List.iter (put_u32 b) missing;
+          put_string b msg
       | Stats_reply s ->
           put_u8 b op_stats_reply;
           put_i64 b (Int64.bits_of_float s.uptime_s);
@@ -466,6 +504,7 @@ let decode_request payload =
         if lsn < 0 then raise (Bad "negative lsn");
         Repl_ack { lsn }
       else if opcode = op_repl_status then Repl_status
+      else if opcode = op_shard_map_req then Shard_map_req
       else raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" opcode)))
     payload
 
@@ -499,6 +538,26 @@ let decode_response payload =
         let applied_lsn = get_int c in
         if durable_lsn < 0 || applied_lsn < 0 then raise (Bad "negative lsn");
         Repl_state { role; durable_lsn; applied_lsn }
+      else if opcode = op_shard_map then
+        let entries =
+          get_list c (fun c ->
+              let shard_lo = get_int c in
+              let shard_hi = get_int c in
+              if shard_lo > shard_hi then raise (Bad "empty shard range");
+              let endpoints =
+                get_list c (fun c ->
+                    let host = get_string c in
+                    let port = get_u32 c in
+                    if port > 0xffff then raise (Bad "port out of range");
+                    (host, port))
+              in
+              { shard_lo; shard_hi; endpoints })
+        in
+        Shard_map entries
+      else if opcode = op_partial then
+        let missing = get_list c get_u32 in
+        let msg = get_string c in
+        Partial { missing; msg }
       else if opcode = op_stats_reply then
         let uptime_s = Int64.float_of_bits (get_i64 c) in
         let sessions = get_int c in

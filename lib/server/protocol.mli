@@ -104,6 +104,11 @@ type request =
           [Repl_state]. On a primary [applied_lsn = durable_lsn]; on a
           replica [durable_lsn] is the primary's last-heard durable LSN
           (so [durable_lsn - applied_lsn] is the lag in bytes). *)
+  | Shard_map_req
+      (** Ask for the serving topology; answered with [Shard_map]. A
+          router reports one entry per shard; a plain rikitd reports a
+          single entry covering the whole interval space, so clients
+          can discover topology uniformly. *)
 
 val request_op_name : request -> string
 (** Short lowercase tag ("sql", "insert", ...) used as the latency
@@ -135,6 +140,16 @@ type stats = {
 }
 
 type role = Primary | Replica
+
+type shard_entry = {
+  shard_lo : int;
+      (** inclusive lower bound of the shard's interval-space range
+          ([min_int] on the leftmost shard) *)
+  shard_hi : int;  (** inclusive upper bound ([max_int] on the rightmost) *)
+  endpoints : (string * int) list;
+      (** (host, port) serving this range; first is preferred, the rest
+          are failover standbys *)
+}
 
 type response =
   | Ack of string  (** acknowledgement for DDL/DML, commit, ping, ... *)
@@ -169,6 +184,18 @@ type response =
   | Repl_state of { role : role; durable_lsn : int; applied_lsn : int }
       (** Replication position (see {!const-Repl_status}). Also the
           confirmation frame for {!const-Repl_subscribe}. *)
+  | Shard_map of shard_entry list
+      (** The serving topology, in range order. Ranges are contiguous
+          and cover the whole interval space; an interval is stored on
+          every shard whose range its extent overlaps, so any query can
+          be answered by fanning out to the overlapping ranges. *)
+  | Partial of { missing : int list; msg : string }
+      (** A scatter-gather answer is incomplete: the shards at the
+          listed indices could not be reached within the deadline
+          (after endpoint failover). Typed so a degraded cluster
+          answers deterministically instead of hanging; non-retryable
+          as-is — the client decides whether a partial answer is
+          acceptable. *)
 
 (** {2 Codec} *)
 

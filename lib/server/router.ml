@@ -1,0 +1,832 @@
+(* The router tier: the structural fix for head-of-line blocking.
+
+   The interval space is partitioned into contiguous ranges along the
+   RI-tree's virtual backbone (split points are backbone node values,
+   so an interval strictly inside a shard's range forks inside that
+   shard's subtree forest — the paper's natural partition points). One
+   rikitd process serves each range; the router fans queries out to the
+   shards whose ranges overlap the query extent and merges the streams.
+   A multi-second scan then pins one shard process while every other
+   shard — and the router itself — keeps answering.
+
+   Placement rule: an interval is stored on EVERY shard whose range its
+   extent overlaps (boundary spanners are replicated, identified by
+   their (lower, upper, id) triple at merge). Correctness of
+   scatter-gather follows from ranges partitioning the integer line: a
+   match m of a query with bounding extent E satisfies m ∩ E ≠ ∅, and
+   the shard owning any point of m ∩ E both stores m and is a fan-out
+   target.
+
+   Unlike the shard dispatcher (one select loop), the router is
+   thread-per-connection: its work is waiting on shard sockets, which
+   OCaml threads overlap freely (the runtime lock is released around
+   blocking syscalls), so one stalled client cannot block another. Each
+   connection keeps one {!Failover} leg per shard — per-request
+   deadlines, endpoint rotation towards a standby, and per-shard
+   read-your-writes LSN tokens all come from that machinery. A shard
+   that stays unreachable through failover degrades the answer to a
+   typed [Partial] frame, never a hang. *)
+
+(* ---------------- the shard map ---------------- *)
+
+module Map = struct
+  type t = {
+    ranges : (int * int) array;  (* inclusive, contiguous, ascending *)
+    eps : (string * int) list array;
+  }
+
+  let floor_pow2 n =
+    let rec go p = if p * 2 <= n then go (p * 2) else p in
+    go 1
+
+  (* Split points aligned to the virtual backbone: every cut is a
+     multiple of a power-of-two granularity g, i.e. a backbone node
+     value at level log2 g (Backbone.level), chosen nearest to the
+     equal-width ideal so uniform load stays balanced even when
+     [domain_max + 1] is not a power of two. *)
+  let backbone_cuts ~domain_max ~shards =
+    if shards < 1 then invalid_arg "Router.Map.backbone_cuts: shards < 1";
+    if domain_max < 1 then invalid_arg "Router.Map.backbone_cuts: domain_max < 1";
+    let span = domain_max + 1 in
+    let g = floor_pow2 (max 1 (span / (2 * shards))) in
+    let cuts = ref [] in
+    for i = shards - 1 downto 1 do
+      let ideal = i * span / shards in
+      let cut = (ideal + (g / 2)) / g * g in
+      let cut = max 1 (min cut domain_max) in
+      cuts := cut :: !cuts
+    done;
+    let rec ascending last = function
+      | [] -> []
+      | c :: tl -> if c > last then c :: ascending c tl else ascending last tl
+    in
+    ascending min_int !cuts
+
+  let create ~cuts ~endpoints =
+    let k = List.length endpoints in
+    if k = 0 then invalid_arg "Router.Map.create: no shards";
+    if List.length cuts <> k - 1 then
+      invalid_arg "Router.Map.create: need exactly one cut per shard boundary";
+    ignore
+      (List.fold_left
+         (fun prev c ->
+           if c <= prev then
+             invalid_arg "Router.Map.create: cuts must be strictly increasing";
+           c)
+         min_int cuts);
+    let cuts_a = Array.of_list cuts in
+    let ranges =
+      Array.init k (fun i ->
+          let lo = if i = 0 then min_int else cuts_a.(i - 1) in
+          let hi = if i = k - 1 then max_int else cuts_a.(i) - 1 in
+          (lo, hi))
+    in
+    { ranges; eps = Array.of_list endpoints }
+
+  let shards t = Array.length t.ranges
+  let range t i = t.ranges.(i)
+  let endpoints t i = t.eps.(i)
+
+  let entries t =
+    Array.to_list
+      (Array.mapi
+         (fun i (lo, hi) ->
+           { Protocol.shard_lo = lo; shard_hi = hi; endpoints = t.eps.(i) })
+         t.ranges)
+
+  (* Shard indices whose ranges overlap [lower, upper], ascending. The
+     ranges are contiguous, so this is always a consecutive run. *)
+  let targets t ~lower ~upper =
+    let out = ref [] in
+    Array.iteri
+      (fun i (lo, hi) -> if lower <= hi && upper >= lo then out := i :: !out)
+      t.ranges;
+    List.rev !out
+
+  let owner t point =
+    let rec go i =
+      if i >= Array.length t.ranges - 1 then Array.length t.ranges - 1
+      else
+        let _, hi = t.ranges.(i) in
+        if point <= hi then i else go (i + 1)
+    in
+    go 0
+
+  (* Conservative bounding extent for the stored matches of an Allen
+     query [q] (matches m satisfy [holds r m q], stored first): the
+     eleven intersection-implying relations force m to overlap q, while
+     Before/Meets (m ends at or before q's start) and After/Met_by
+     (m starts at or after q's end) bound m to one side. [None] means
+     no interval can match (the extent is empty at the domain edge). *)
+  let allen_extent r ~lower ~upper =
+    match r with
+    | Interval.Allen.Before ->
+        if lower = min_int then None else Some (min_int, lower - 1)
+    | Interval.Allen.Meets -> Some (min_int, lower)
+    | Interval.Allen.After ->
+        if upper = max_int then None else Some (upper + 1, max_int)
+    | Interval.Allen.Met_by -> Some (upper, max_int)
+    | _ -> Some (lower, upper)
+
+  (* Merge scattered result sets: replicated boundary spanners come back
+     from several shards as identical (lower, upper, id) triples — keep
+     one — and the union is re-sorted so the merged answer is
+     deterministic regardless of shard arrival order. *)
+  let merge_rows lists =
+    let seen = Hashtbl.create 256 in
+    let keep (row : int array) =
+      if Array.length row < 3 then true
+      else begin
+        let key = (row.(0), row.(1), row.(2)) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end
+      end
+    in
+    let rows = List.concat_map (List.filter keep) lists in
+    List.sort
+      (fun (a : int array) (b : int array) ->
+        if Array.length a < 3 || Array.length b < 3 then compare a b
+        else compare (a.(0), a.(1), a.(2)) (b.(0), b.(1), b.(2)))
+      rows
+end
+
+(* ---------------- the router server ---------------- *)
+
+type config = {
+  host : string;
+  port : int;  (* 0 binds an ephemeral port; see [port] *)
+  max_sessions : int;
+  shard_deadline_ms : float;
+      (* per-request budget for each shard leg; a partitioned shard
+         surfaces as a typed Partial after at most roughly this long *)
+  metrics_port : int option;
+}
+
+let default_config =
+  { host = "127.0.0.1"; port = 7654; max_sessions = 64;
+    shard_deadline_ms = 15_000.; metrics_port = None }
+
+type t = {
+  cfg : config;
+  map : Map.t;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  metrics_fd : Unix.file_descr option;
+  metrics_bound_port : int;
+  st : Server_stats.t;
+  mu : Mutex.t;
+      (* guards st, sessions, client_fds, threads, shard_* counters:
+         every client thread records into them *)
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable sessions : int;
+  mutable client_fds : Unix.file_descr list;
+  mutable threads : Thread.t list;
+  shard_lsn : int array;
+      (* highest commit LSN acked per shard, router-global: a fresh
+         connection's legs are seeded with these so read-your-writes
+         holds across clients that observe each other's commits *)
+  shard_rpcs : int array;
+  shard_errors : int array;
+  mutable partials : int;
+}
+
+let locked t f =
+  Mutex.lock t.mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
+
+let listen_on host port backlog =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd backlog;
+  let bound =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | _ -> port
+  in
+  (fd, bound)
+
+let create cfg ~map =
+  let listen_fd, bound_port = listen_on cfg.host cfg.port 128 in
+  let metrics_fd, metrics_bound_port =
+    match cfg.metrics_port with
+    | None -> (None, 0)
+    | Some p ->
+        let fd, bp = listen_on cfg.host p 16 in
+        (Some fd, bp)
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let k = Map.shards map in
+  {
+    cfg;
+    map;
+    listen_fd;
+    bound_port;
+    metrics_fd;
+    metrics_bound_port;
+    st = Server_stats.create ~now:(Unix.gettimeofday ());
+    mu = Mutex.create ();
+    stop_r;
+    stop_w;
+    stopping = false;
+    sessions = 0;
+    client_fds = [];
+    threads = [];
+    shard_lsn = Array.make k 0;
+    shard_rpcs = Array.make k 0;
+    shard_errors = Array.make k 0;
+    partials = 0;
+  }
+
+let port t = t.bound_port
+let metrics_port t = t.metrics_bound_port
+let stats t = t.st
+let map t = t.map
+
+let stop t =
+  try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let metrics_doc t =
+  locked t (fun () ->
+      let shards =
+        Array.init (Map.shards t.map) (fun i ->
+            let lo, hi = Map.range t.map i in
+            { Metrics.s_lo = lo; s_hi = hi;
+              s_endpoints = Map.endpoints t.map i;
+              s_lsn = t.shard_lsn.(i);
+              s_rpcs = t.shard_rpcs.(i);
+              s_errors = t.shard_errors.(i) })
+      in
+      Metrics.render_router ~now:(Unix.gettimeofday ()) ~stats:t.st ~shards
+        ~partials:t.partials ())
+
+(* ---------------- per-connection state ---------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  framer : Protocol.Framer.t;
+  legs : Failover.t option array;  (* lazily dialled, one per shard *)
+  begun : bool array;  (* leg has an open BEGIN on its shard session *)
+  mutable in_txn : bool;
+}
+
+exception Conn_dead
+
+let send conn id resp =
+  let frame = Protocol.encode_response ~id resp in
+  let len = Bytes.length frame in
+  let rec go off =
+    if off < len then
+      match Unix.write conn.fd frame off (len - off) with
+      | 0 -> raise Conn_dead
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error _ -> raise Conn_dead
+  in
+  go 0
+
+(* The connection's leg to shard [i], dialled lazily. A fresh leg is
+   seeded with the router-global LSN token for that shard, so even a
+   brand-new connection only adopts an endpoint that has applied every
+   commit the router ever acked there. *)
+let leg t conn i =
+  match conn.legs.(i) with
+  | Some l -> l
+  | None ->
+      let l =
+        Failover.create ~deadline_ms:t.cfg.shard_deadline_ms
+          ~endpoints:(Map.endpoints t.map i) ()
+      in
+      Failover.note_lsn l (locked t (fun () -> t.shard_lsn.(i)));
+      conn.legs.(i) <- Some l;
+      l
+
+(* An open client transaction pins each shard's snapshot lazily, at the
+   transaction's first touch of that shard (documented semantics: the
+   per-shard snapshots are taken at first use, not all at BEGIN). *)
+let ensure_begun conn l i =
+  if conn.in_txn && not conn.begun.(i) then
+    match Failover.begin_txn l with
+    | Ok () ->
+        conn.begun.(i) <- true;
+        Ok ()
+    | Result.Error _ as e -> e
+  else Ok ()
+
+let note_shard_result t i ok =
+  locked t (fun () ->
+      t.shard_rpcs.(i) <- t.shard_rpcs.(i) + 1;
+      if not ok then t.shard_errors.(i) <- t.shard_errors.(i) + 1)
+
+(* One RPC to shard [i] on this connection's leg, with per-shard
+   latency recorded under op "shard:<i>". Reads retry across the
+   shard's endpoints; mutations keep Failover's contract — a mid-flight
+   transport death is ambiguous and comes back as the typed error. *)
+let shard_rpc t conn i ~mutation req =
+  let t0 = Unix.gettimeofday () in
+  let l = leg t conn i in
+  let res =
+    match ensure_begun conn l i with
+    | Result.Error _ as e -> e
+    | Ok () ->
+        let run = if mutation then Failover.mutate else Failover.read in
+        run l (fun c -> Client.rpc_result c req)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  locked t (fun () ->
+      Server_stats.record t.st ~op:(Printf.sprintf "shard:%d" i) ~seconds:dt
+        ~io:0);
+  note_shard_result t i (Result.is_ok res);
+  res
+
+(* Commit this connection's transaction on shard [i]; the leg notes the
+   ack LSN and the router lifts it into the global per-shard token. *)
+let shard_commit t conn i =
+  let t0 = Unix.gettimeofday () in
+  let l = leg t conn i in
+  let res = Failover.commit l in
+  let dt = Unix.gettimeofday () -. t0 in
+  locked t (fun () ->
+      Server_stats.record t.st ~op:(Printf.sprintf "shard:%d" i) ~seconds:dt
+        ~io:0;
+      (match res with
+      | Ok lsn -> if lsn > t.shard_lsn.(i) then t.shard_lsn.(i) <- lsn
+      | Result.Error _ -> ()));
+  note_shard_result t i (Result.is_ok res);
+  res
+
+let count_partial t =
+  locked t (fun () -> t.partials <- t.partials + 1)
+
+(* Map a leg's typed error back onto the wire. Transport-level failures
+   (the shard stayed unreachable through failover) become the typed
+   partial-result frame; semantic verdicts pass through unchanged. *)
+let response_of_error t missing e =
+  match (e : Client.error) with
+  | Client.Io m | Client.Timeout m ->
+      count_partial t;
+      Protocol.Partial { missing; msg = m }
+  | Client.Server m -> Protocol.Error m
+  | Client.Invalid m -> Protocol.Invalid m
+  | Client.Overloaded m -> Protocol.Overloaded m
+  | Client.Read_only m -> Protocol.Read_only m
+  | Client.Conflict m -> Protocol.Conflict m
+  | Client.Partial { missing; msg } -> Protocol.Partial { missing; msg }
+  | Client.Unexpected m -> Protocol.Error m
+
+(* Scatter a read to every target shard concurrently — the first target
+   runs on this thread, the rest on short-lived ones. Results come back
+   in target order. Legs are per-connection and targets are distinct,
+   so the threads never share a leg. *)
+let scatter t conn targets req =
+  match targets with
+  | [] -> []
+  | [ i ] -> [ (i, shard_rpc t conn i ~mutation:false req) ]
+  | first :: rest ->
+      let slots = Array.make (List.length targets) None in
+      let threads =
+        List.mapi
+          (fun j i ->
+            Thread.create
+              (fun () ->
+                slots.(j + 1) <- Some (i, shard_rpc t conn i ~mutation:false req))
+              ())
+          rest
+      in
+      slots.(0) <- Some (first, shard_rpc t conn first ~mutation:false req);
+      List.iter Thread.join threads;
+      List.filter_map Fun.id (Array.to_list slots)
+
+let default_columns = [ "lower"; "upper"; "id" ]
+
+(* Gather scattered query answers into one response. Precedence: a
+   semantic verdict from any shard (Error/Invalid/...) is forwarded
+   first — it is deterministic and would have been the single-node
+   answer; then unreachable shards degrade the answer to Partial; only
+   a full sweep merges. *)
+let gather_query t conn req extent =
+  match extent with
+  | None -> Protocol.Rows { columns = default_columns; rows = [] }
+  | Some (lo, hi) -> (
+      let targets = Map.targets t.map ~lower:lo ~upper:hi in
+      let results = scatter t conn targets req in
+      let verdict =
+        List.find_map
+          (function
+            | _, Ok (Protocol.Rows _) -> None
+            | _, Ok r -> Some r
+            | _ -> None)
+          results
+      in
+      match verdict with
+      | Some r -> r
+      | None -> (
+          let missing =
+            List.filter_map
+              (function i, Result.Error _ -> Some i | _ -> None)
+              results
+          in
+          match missing with
+          | _ :: _ ->
+              let msg =
+                List.find_map
+                  (function
+                    | _, Result.Error e -> Some (Client.error_to_string e)
+                    | _ -> None)
+                  results
+                |> Option.value ~default:"shard unreachable"
+              in
+              count_partial t;
+              Protocol.Partial { missing; msg }
+          | [] ->
+              let columns =
+                List.find_map
+                  (function
+                    | _, Ok (Protocol.Rows { columns; _ }) -> Some columns
+                    | _ -> None)
+                  results
+                |> Option.value ~default:default_columns
+              in
+              let rows =
+                List.filter_map
+                  (function
+                    | _, Ok (Protocol.Rows { rows; _ }) -> Some rows
+                    | _ -> None)
+                  results
+              in
+              (* A fan-out-1 query cannot see a spanner twice — forward
+                 the shard's rows verbatim instead of paying the dedup
+                 hash on the common (range-local) case. *)
+              match rows with
+              | [ only ] -> Protocol.Rows { columns; rows = only }
+              | _ -> Protocol.Rows { columns; rows = Map.merge_rows rows }))
+
+let trailing_int msg =
+  int_of_string_opt (List.hd (List.rev (String.split_on_char ' ' msg)))
+
+(* Insert: the owning shard (the first whose range the extent overlaps)
+   assigns the id, then the row is replicated to every other
+   overlapping shard under that id — so replicas of one logical row
+   carry one identity and collapse at merge time. *)
+let handle_insert t conn ~lower ~upper ~id:iid =
+  let targets = Map.targets t.map ~lower ~upper in
+  let own = List.hd targets in
+  let req = Protocol.Insert { lower; upper; id = iid } in
+  match shard_rpc t conn own ~mutation:true req with
+  | Result.Error e -> response_of_error t [ own ] e
+  | Ok (Protocol.Ack msg as ack) -> (
+      let rest = List.tl targets in
+      if rest = [] then ack
+      else
+        let assigned =
+          match iid with Some v -> Some v | None -> trailing_int msg
+        in
+        match assigned with
+        | None -> Protocol.Error ("unparseable insert ack from owner: " ^ msg)
+        | Some aid ->
+            let replica = Protocol.Insert { lower; upper; id = Some aid } in
+            let missing =
+              List.filter_map
+                (fun i ->
+                  match shard_rpc t conn i ~mutation:true replica with
+                  | Ok (Protocol.Ack _) -> None
+                  | Ok _ | Result.Error _ -> Some i)
+                rest
+            in
+            if missing = [] then ack
+            else begin
+              count_partial t;
+              Protocol.Partial
+                { missing;
+                  msg =
+                    Printf.sprintf
+                      "inserted id %d on the owning shard but not every \
+                       boundary shard"
+                      aid }
+            end)
+  | Ok other -> other
+
+let handle_delete t conn ~lower ~upper ~id:iid =
+  let targets = Map.targets t.map ~lower ~upper in
+  let req = Protocol.Delete { lower; upper; id = iid } in
+  let results =
+    List.map (fun i -> (i, shard_rpc t conn i ~mutation:true req)) targets
+  in
+  match results with
+  | [] -> Protocol.Invalid "no shard covers the interval"
+  | (own, own_res) :: rest -> (
+      match own_res with
+      | Result.Error e -> response_of_error t [ own ] e
+      | Ok own_resp ->
+          let missing =
+            List.filter_map
+              (function i, Result.Error _ -> Some i | _ -> None)
+              rest
+          in
+          if missing = [] then own_resp
+          else begin
+            count_partial t;
+            Protocol.Partial
+              { missing;
+                msg = "deleted on the owning shard but not every boundary shard"
+              }
+          end)
+
+(* COMMIT/ROLLBACK fan to every leg this connection ever dialled: a leg
+   holds that shard's session (its implicit transaction and any BEGUN
+   snapshot), and closing the transaction on an untouched shard is
+   harmless. Cross-shard commits are NOT atomic — each shard commits
+   independently (first-committer-wins locally); a Conflict or an
+   unreachable shard after others committed is reported as-is. *)
+let handle_commit t conn =
+  let legs =
+    List.filter_map
+      (fun i -> if conn.legs.(i) <> None then Some i else None)
+      (List.init (Map.shards t.map) Fun.id)
+  in
+  let results = List.map (fun i -> (i, shard_commit t conn i)) legs in
+  conn.in_txn <- false;
+  Array.fill conn.begun 0 (Array.length conn.begun) false;
+  let conflict =
+    List.find_map
+      (function _, Result.Error (Client.Conflict m) -> Some m | _ -> None)
+      results
+  in
+  match conflict with
+  | Some m -> Protocol.Conflict m
+  | None -> (
+      let missing =
+        List.filter_map
+          (function i, Result.Error _ -> Some i | _ -> None)
+          results
+      in
+      match missing with
+      | _ :: _ ->
+          count_partial t;
+          Protocol.Partial
+            { missing; msg = "commit not acknowledged by every shard" }
+      | [] ->
+          let lsn =
+            List.fold_left
+              (fun acc -> function _, Ok l -> max acc l | _ -> acc)
+              0 results
+          in
+          Protocol.Ack (Printf.sprintf "committed lsn %d" lsn))
+
+let handle_rollback t conn =
+  let legs =
+    List.filter_map
+      (fun i -> if conn.legs.(i) <> None then Some i else None)
+      (List.init (Map.shards t.map) Fun.id)
+  in
+  let results =
+    List.map
+      (fun i ->
+        let l = leg t conn i in
+        (i, Failover.rollback l))
+      legs
+  in
+  conn.in_txn <- false;
+  Array.fill conn.begun 0 (Array.length conn.begun) false;
+  let missing =
+    List.filter_map (function i, Result.Error _ -> Some i | _ -> None) results
+  in
+  if missing = [] then Protocol.Ack "rolled back"
+  else begin
+    count_partial t;
+    Protocol.Partial { missing; msg = "rollback not acknowledged by every shard" }
+  end
+
+let unsupported = "not supported by the router; connect to a shard directly"
+
+let dispatch t conn id req =
+  match req with
+  | Protocol.Ping -> send conn id (Protocol.Ack "pong")
+  | Protocol.Shard_map_req ->
+      send conn id (Protocol.Shard_map (Map.entries t.map))
+  | Protocol.Stats ->
+      let snap =
+        locked t (fun () ->
+            Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
+              ~io:{ Storage.Block_device.Stats.reads = 0; writes = 0 })
+      in
+      send conn id (Protocol.Stats_reply snap)
+  | Protocol.Metrics -> send conn id (Protocol.Ack (metrics_doc t))
+  | Protocol.Intersect { lower; upper } ->
+      if lower > upper then
+        send conn id
+          (Protocol.Invalid
+             (Printf.sprintf "empty interval [%d, %d]" lower upper))
+      else send conn id (gather_query t conn req (Some (lower, upper)))
+  | Protocol.Allen { relation; lower; upper } ->
+      if lower > upper then
+        send conn id
+          (Protocol.Invalid
+             (Printf.sprintf "empty interval [%d, %d]" lower upper))
+      else
+        send conn id
+          (gather_query t conn req (Map.allen_extent relation ~lower ~upper))
+  | Protocol.Insert { lower; upper; id = iid } ->
+      if lower > upper then
+        send conn id
+          (Protocol.Invalid
+             (Printf.sprintf "empty interval [%d, %d]" lower upper))
+      else send conn id (handle_insert t conn ~lower ~upper ~id:iid)
+  | Protocol.Delete { lower; upper; id = iid } ->
+      if lower > upper then
+        send conn id
+          (Protocol.Invalid
+             (Printf.sprintf "empty interval [%d, %d]" lower upper))
+      else send conn id (handle_delete t conn ~lower ~upper ~id:iid)
+  | Protocol.Begin ->
+      if conn.in_txn then
+        send conn id (Protocol.Invalid "transaction already in progress")
+      else begin
+        conn.in_txn <- true;
+        send conn id (Protocol.Ack "begin")
+      end
+  | Protocol.Commit -> send conn id (handle_commit t conn)
+  | Protocol.Rollback -> send conn id (handle_rollback t conn)
+  | Protocol.Sql _ | Protocol.Prepare _ | Protocol.Execute _
+  | Protocol.Close_stmt _ | Protocol.Explain _ ->
+      send conn id (Protocol.Error unsupported)
+  | Protocol.Repl_subscribe _ | Protocol.Repl_status ->
+      send conn id
+        (Protocol.Error "replication ops are not supported by the router")
+  | Protocol.Repl_ack _ -> ()  (* fire-and-forget, mirrored from rikitd *)
+
+let handle_frame t conn payload =
+  match Protocol.decode_request payload with
+  | Result.Error e ->
+      send conn 0L (Protocol.Error (Protocol.error_to_string e))
+  | Ok (id, req) ->
+      let t0 = Unix.gettimeofday () in
+      dispatch t conn id req;
+      let dt = Unix.gettimeofday () -. t0 in
+      locked t (fun () ->
+          Server_stats.record t.st ~op:(Protocol.request_op_name req)
+            ~seconds:dt ~io:0)
+
+let handle_conn t conn =
+  let scratch = Bytes.create 65536 in
+  let running = ref true in
+  while !running do
+    match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+    | 0 -> running := false
+    | n ->
+        Protocol.Framer.feed conn.framer scratch n;
+        let draining = ref true in
+        while !draining && !running do
+          match Protocol.Framer.next conn.framer with
+          | Ok None -> draining := false
+          | Ok (Some payload) -> handle_frame t conn payload
+          | Result.Error e ->
+              (* a bad length prefix is beyond recovery: answer typed,
+                 then close *)
+              send conn 0L (Protocol.Error (Protocol.error_to_string e));
+              running := false
+        done
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error _ -> running := false
+    | exception Conn_dead -> running := false
+  done
+
+let close_conn t conn =
+  Array.iter (function Some l -> Failover.close l | None -> ()) conn.legs;
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  locked t (fun () ->
+      t.sessions <- t.sessions - 1;
+      Server_stats.session_closed t.st;
+      t.client_fds <- List.filter (fun fd -> fd <> conn.fd) t.client_fds)
+
+let accept_client t =
+  match Unix.accept t.listen_fd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _peer ->
+      let admitted =
+        locked t (fun () ->
+            if t.sessions >= t.cfg.max_sessions then begin
+              Server_stats.overloaded t.st;
+              false
+            end
+            else begin
+              t.sessions <- t.sessions + 1;
+              Server_stats.session_opened t.st;
+              t.client_fds <- fd :: t.client_fds;
+              true
+            end)
+      in
+      if not admitted then begin
+        let frame =
+          Protocol.encode_response ~id:0L
+            (Protocol.Overloaded
+               (Printf.sprintf "router at session limit (%d)"
+                  t.cfg.max_sessions))
+        in
+        (try ignore (Unix.write fd frame 0 (Bytes.length frame))
+         with Unix.Unix_error _ -> ());
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      end
+      else begin
+        let conn =
+          { fd;
+            framer = Protocol.Framer.create ();
+            legs = Array.make (Map.shards t.map) None;
+            begun = Array.make (Map.shards t.map) false;
+            in_txn = false }
+        in
+        let th =
+          Thread.create
+            (fun () ->
+              Fun.protect
+                ~finally:(fun () -> close_conn t conn)
+                (fun () -> try handle_conn t conn with Conn_dead | _ -> ()))
+            ()
+        in
+        locked t (fun () -> t.threads <- th :: t.threads)
+      end
+
+(* Metrics endpoint: same plain HTTP/1.0 contract as the dispatcher's,
+   but served from a short-lived thread so a slow scraper cannot stall
+   the accept loop. *)
+let serve_metrics_conn t fd =
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
+   with Unix.Unix_error _ -> ());
+  let scratch = Bytes.create 1024 in
+  (try ignore (Unix.read fd scratch 0 (Bytes.length scratch))
+   with Unix.Unix_error _ -> ());
+  let body = metrics_doc t in
+  let resp =
+    Printf.sprintf
+      "HTTP/1.0 200 OK\r\n\
+       Content-Type: text/plain; version=0.0.4\r\n\
+       Content-Length: %d\r\n\
+       Connection: close\r\n\
+       \r\n\
+       %s"
+      (String.length body) body
+  in
+  let data = Bytes.of_string resp in
+  let len = Bytes.length data in
+  let rec write_all off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | 0 -> ()
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error _ -> ()
+  in
+  write_all 0;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_metrics t mfd =
+  match Unix.accept mfd with
+  | exception Unix.Unix_error _ -> ()
+  | fd, _peer ->
+      let th = Thread.create (fun () -> serve_metrics_conn t fd) () in
+      locked t (fun () -> t.threads <- th :: t.threads)
+
+let serve t =
+  let scratch = Bytes.create 16 in
+  let finished = ref false in
+  while not !finished do
+    let reads =
+      t.stop_r :: t.listen_fd
+      :: (match t.metrics_fd with Some m -> [ m ] | None -> [])
+    in
+    match Unix.select reads [] [] 1.0 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, _, _ ->
+        if List.mem t.stop_r readable then begin
+          (try ignore (Unix.read t.stop_r scratch 0 (Bytes.length scratch))
+           with Unix.Unix_error _ -> ());
+          t.stopping <- true;
+          finished := true
+        end
+        else begin
+          if List.mem t.listen_fd readable then accept_client t;
+          match t.metrics_fd with
+          | Some m when List.mem m readable -> accept_metrics t m
+          | _ -> ()
+        end
+  done;
+  (* Shutdown: stop accepting, then shut every client socket down so
+     the per-connection threads observe EOF (or a failed write), close
+     their legs, and exit; join them all before returning. *)
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  let fds = locked t (fun () -> t.client_fds) in
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    fds;
+  let threads = locked t (fun () -> t.threads) in
+  List.iter Thread.join threads;
+  (match t.metrics_fd with
+  | Some m -> ( try Unix.close m with Unix.Unix_error _ -> ())
+  | None -> ());
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  try Unix.close t.stop_w with Unix.Unix_error _ -> ()

@@ -45,6 +45,12 @@ let preload sh data =
   Array.iteri (fun id ivl -> ignore (Ritree.Ri_tree.insert ~id sh.ritree ivl)) data;
   Relation.Catalog.commit sh.cat
 
+let preload_ids sh data =
+  Array.iter
+    (fun (id, ivl) -> ignore (Ritree.Ri_tree.insert ~id sh.ritree ivl))
+    data;
+  Relation.Catalog.commit sh.cat
+
 let commit_shared sh = Relation.Catalog.commit sh.cat
 let commit_request_shared sh = Relation.Catalog.commit_request sh.cat
 let commit_force_shared sh = Relation.Catalog.commit_force sh.cat
@@ -285,6 +291,7 @@ let exec t = function
   | Metrics -> Error "metrics is handled by the dispatcher"
   | Repl_subscribe _ | Repl_ack _ | Repl_status ->
       Error "replication ops are handled by the dispatcher"
+  | Shard_map_req -> Error "shard map is handled by the dispatcher"
   | Prepare { name; sql } ->
       let eng = engine t in
       if
@@ -379,7 +386,7 @@ let mutating t = function
           | _ -> true))
   | Intersect _ | Allen _ | Stats | Metrics | Ping | Prepare _ | Close_stmt _
   | Explain _ | Begin | Rollback | Repl_subscribe _ | Repl_ack _
-  | Repl_status ->
+  | Repl_status | Shard_map_req ->
       (* BEGIN pins a snapshot and ROLLBACK discards a private write
          set: neither touches the shared database, so both stay legal
          in degraded read-only mode. *)

@@ -46,6 +46,12 @@ val txns : shared -> Relation.Txn.mgr
 val preload : shared -> Interval.Ivl.t array -> unit
 (** Bulk-insert a dataset into the RI-tree (ids [0..n-1]) and commit. *)
 
+val preload_ids : shared -> (int * Interval.Ivl.t) array -> unit
+(** Bulk-insert with explicit ids and commit. A shard of a routed
+    cluster preloads its slice of a global dataset this way, so a
+    boundary spanner replicated on several shards carries one global
+    identity — the key the router's merge deduplicates on. *)
+
 val commit_shared : shared -> unit
 (** {!Relation.Catalog.commit} on the current catalog handle. *)
 

@@ -47,6 +47,18 @@ let queries ?(seed = 123) ~data ~count selectivity =
     Array.map (fun s -> make_query s len) starts
   end
 
+let queries_within ?(seed = 123) ~range:(lo, hi) ~count ~len () =
+  if count <= 0 then [||]
+  else begin
+    let lo = clamp lo and hi = clamp hi in
+    if lo > hi then invalid_arg "Query_gen.queries_within: empty range";
+    let len = max 0 len in
+    let rng = Prng.create ~seed in
+    Array.init count (fun _ ->
+        let start = lo + Prng.int rng (hi - lo + 1) in
+        Ivl.make start (clamp (min (start + len) hi)))
+  end
+
 let point_queries ?(seed = 123) ~count () =
   let rng = Prng.create ~seed in
   Array.init count (fun _ -> Ivl.point (Prng.int rng (domain_max + 1)))

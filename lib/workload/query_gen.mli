@@ -18,6 +18,20 @@ val queries :
     the dataset approximates [sel] (a fraction, e.g. [0.005]). A zero selectivity yields
     point queries. *)
 
+val queries_within :
+  ?seed:int ->
+  range:int * int ->
+  count:int ->
+  len:int ->
+  unit ->
+  Interval.Ivl.t array
+(** [count] fixed-length query intervals confined to the inclusive
+    [range] (clamped to the domain): starts are uniform in the range
+    and extents never cross its upper bound. The shard-locality
+    workload — routed through a shard map, every query fans to exactly
+    the one shard owning its range.
+    @raise Invalid_argument when the clamped range is empty. *)
+
 val point_queries :
   ?seed:int -> count:int -> unit -> Interval.Ivl.t array
 (** Degenerate query intervals uniform over the domain. *)

@@ -45,6 +45,8 @@ let sample_requests =
     P.Repl_ack { lsn = 0 };
     P.Repl_ack { lsn = max_int / 4 };
     P.Repl_status;
+    (* v7 sharding ops *)
+    P.Shard_map_req;
   ]
 
 let sample_stats =
@@ -91,6 +93,17 @@ let sample_responses =
       { lsn = 4096; payload = String.init 257 (fun i -> Char.chr (i land 0xff)) };
     P.Repl_state { role = P.Primary; durable_lsn = 8192; applied_lsn = 8192 };
     P.Repl_state { role = P.Replica; durable_lsn = 8192; applied_lsn = 4096 };
+    (* v7 sharding frames *)
+    P.Shard_map
+      [ { P.shard_lo = min_int; shard_hi = max_int;
+          endpoints = [ ("127.0.0.1", 7654) ] } ];
+    P.Shard_map
+      [ { P.shard_lo = min_int; shard_hi = 499_999;
+          endpoints = [ ("127.0.0.1", 7654); ("10.0.0.2", 7654) ] };
+        { P.shard_lo = 500_000; shard_hi = max_int; endpoints = [] } ];
+    P.Shard_map [];
+    P.Partial { missing = [ 2 ]; msg = "shard 2 unreachable" };
+    P.Partial { missing = [ 0; 1; 3 ]; msg = "" };
   ]
 
 let req_testable =
@@ -110,6 +123,8 @@ let resp_label = function
   | P.Stats_reply _ -> "stats"
   | P.Repl_frame _ -> "repl_frame"
   | P.Repl_state _ -> "repl_state"
+  | P.Shard_map _ -> "shard_map"
+  | P.Partial _ -> "partial"
 
 let resp_testable =
   Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (resp_label r)) ( = )
@@ -128,8 +143,8 @@ let test_request_roundtrip () =
     sample_requests
 
 let test_protocol_version () =
-  (* v6 added the replication ops (journal-shipping hot standby) *)
-  check Alcotest.int "version" 6 P.version
+  (* v7 added the sharding ops (shard map, partial results) *)
+  check Alcotest.int "version" 7 P.version
 
 let test_explain_targets_roundtrip () =
   let targets =
@@ -378,7 +393,7 @@ let () =
     [
       ( "roundtrip",
         [
-          Alcotest.test_case "version is 6" `Quick test_protocol_version;
+          Alcotest.test_case "version is 7" `Quick test_protocol_version;
           Alcotest.test_case "requests" `Quick test_request_roundtrip;
           Alcotest.test_case "allen relations" `Quick
             test_all_allen_relations_roundtrip;

@@ -887,6 +887,26 @@ let test_unknown_op_typed_error_no_desync () =
           | Ok (P.Ack _) -> ()
           | _ -> Alcotest.fail "connection desynced after unknown op"))
 
+(* An unsharded rikitd answers SHARD_MAP as a degenerate one-shard
+   cluster: a single range covering all of interval space, pointing
+   back at itself — so a router-aware client can bootstrap against
+   either server shape with the same handshake. *)
+let test_shard_map_degenerate () =
+  with_server (fun port _ _ ->
+      with_client port (fun c ->
+          match ok (C.rpc_result c P.Shard_map_req) with
+          | P.Shard_map [ e ] ->
+              check Alcotest.int "covers from the left edge" min_int
+                e.P.shard_lo;
+              check Alcotest.int "covers to the right edge" max_int
+                e.P.shard_hi;
+              check Alcotest.bool "points back at itself" true
+                (e.P.endpoints = [ ("127.0.0.1", port) ])
+          | P.Shard_map entries ->
+              Alcotest.failf "expected one entry, got %d"
+                (List.length entries)
+          | _ -> Alcotest.fail "unexpected response to SHARD_MAP"))
+
 let () =
   Alcotest.run "server"
     [
@@ -900,6 +920,8 @@ let () =
           Alcotest.test_case "prepared mutation vs read-only" `Quick
             test_prepared_mutation_respects_read_only;
           Alcotest.test_case "explain wire op" `Quick test_explain_wire_op;
+          Alcotest.test_case "shard map of an unsharded server" `Quick
+            test_shard_map_degenerate;
         ] );
       ( "admission",
         [

@@ -1,0 +1,656 @@
+(* The sharded serving tier: the Router.Map partition geometry, the
+   scatter-gather merge against a single-catalog oracle (QCheck over
+   D1-D4, intersection and all thirteen Allen relations), and a live
+   routed cluster of forked shard processes — end-to-end parity,
+   boundary-spanner dedup, transactions, typed partial results when a
+   shard is unreachable, and the head-of-line regression: PING stays
+   bounded through the router while fat scans pin a shard, and
+   measurably does not on a single process. *)
+
+module P = Server.Protocol
+module R = Server.Router
+module C = Server.Client
+
+let check = Alcotest.check
+
+let domain_max = Workload.Distribution.domain_max
+
+let dataset kind = Workload.Distribution.generate ~seed:11 kind ~n:1500 ~d:2000
+
+(* ---- Map geometry ---- *)
+
+let test_backbone_cuts () =
+  List.iter
+    (fun shards ->
+      let cuts = R.Map.backbone_cuts ~domain_max ~shards in
+      let span = domain_max + 1 in
+      let g =
+        let rec go p = if p * 2 <= max 1 (span / (2 * shards)) then go (p * 2) else p in
+        go 1
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d shards: at most %d cuts" shards (shards - 1))
+        true
+        (List.length cuts <= shards - 1);
+      ignore
+        (List.fold_left
+           (fun prev c ->
+             Alcotest.(check bool) "cut strictly increasing" true (c > prev);
+             Alcotest.(check bool) "cut within the domain" true
+               (c >= 1 && c <= domain_max);
+             check Alcotest.int "cut is backbone-aligned (multiple of g)" 0
+               (c mod g);
+             c)
+           min_int cuts))
+    [ 1; 2; 3; 4; 7; 8; 16 ]
+
+let test_map_ranges_cover () =
+  let mk shards =
+    let cuts = R.Map.backbone_cuts ~domain_max ~shards in
+    let eps = List.init (List.length cuts + 1) (fun i -> [ ("h", i + 1) ]) in
+    R.Map.create ~cuts ~endpoints:eps
+  in
+  List.iter
+    (fun shards ->
+      let m = mk shards in
+      let k = R.Map.shards m in
+      let lo0, _ = R.Map.range m 0 in
+      let _, hik = R.Map.range m (k - 1) in
+      check Alcotest.int "first range starts at min_int" min_int lo0;
+      check Alcotest.int "last range ends at max_int" max_int hik;
+      for i = 0 to k - 2 do
+        let _, hi = R.Map.range m i in
+        let lo', _ = R.Map.range m (i + 1) in
+        check Alcotest.int "ranges contiguous" (hi + 1) lo'
+      done)
+    [ 1; 2; 4; 8 ]
+
+let test_map_create_invalid () =
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "no shards rejected" true
+    (raises (fun () -> R.Map.create ~cuts:[] ~endpoints:[]));
+  Alcotest.(check bool) "cut count mismatch rejected" true
+    (raises (fun () -> R.Map.create ~cuts:[ 5; 9 ] ~endpoints:[ [ ("h", 1) ] ]));
+  Alcotest.(check bool) "non-increasing cuts rejected" true
+    (raises (fun () ->
+         R.Map.create ~cuts:[ 9; 5 ]
+           ~endpoints:[ [ ("h", 1) ]; [ ("h", 2) ]; [ ("h", 3) ] ]))
+
+let geometry shards =
+  let cuts = R.Map.backbone_cuts ~domain_max ~shards in
+  R.Map.create ~cuts
+    ~endpoints:(List.init (List.length cuts + 1) (fun i -> [ ("h", i + 1) ]))
+
+let prop_targets =
+  let m = geometry 4 in
+  QCheck.Test.make ~count:2000 ~name:"targets = exactly the overlapping shards"
+    QCheck.(pair (int_range (-1000) (domain_max + 1000)) (int_range 0 5000))
+    (fun (lo, len) ->
+      let hi = lo + len in
+      let ts = R.Map.targets m ~lower:lo ~upper:hi in
+      (* exact: i targeted iff its range overlaps *)
+      List.for_all
+        (fun i ->
+          let rlo, rhi = R.Map.range m i in
+          let overlaps = lo <= rhi && hi >= rlo in
+          overlaps = List.mem i ts)
+        (List.init (R.Map.shards m) Fun.id)
+      (* consecutive and ascending *)
+      && (match ts with
+         | [] -> false
+         | first :: _ ->
+             List.for_all2 ( = ) ts
+               (List.init (List.length ts) (fun j -> first + j)))
+      (* the owner of any in-range point is a target *)
+      && List.mem (R.Map.owner m lo) ts
+      && List.mem (R.Map.owner m hi) ts)
+
+(* The fan-out guarantee behind Allen scatter: any stored interval
+   satisfying [holds r stored query] overlaps the extent computed for
+   (r, query) — so the shards overlapping the extent collectively hold
+   every match. *)
+let prop_allen_extent =
+  QCheck.Test.make ~count:5000
+    ~name:"allen_extent bounds every stored match"
+    QCheck.(
+      quad (int_range 0 2000) (int_range 0 300) (int_range 0 2000)
+        (int_range 0 300))
+    (fun (sl, slen, ql, qlen) ->
+      let s = Interval.Ivl.make sl (sl + slen) in
+      let q = Interval.Ivl.make ql (ql + qlen) in
+      List.for_all
+        (fun r ->
+          (not (Interval.Allen.holds r s q))
+          ||
+          match R.Map.allen_extent r ~lower:ql ~upper:(ql + qlen) with
+          | None -> false
+          | Some (elo, ehi) -> sl <= ehi && sl + slen >= elo)
+        Interval.Allen.all)
+
+let test_merge_rows_dedup () =
+  let row l u id = [| l; u; id |] in
+  let merged =
+    R.Map.merge_rows
+      [ [ row 5 9 2; row 1 3 0 ];
+        [ row 1 3 0; row 7 20 1 ];  (* row (1,3,0) replicated *)
+        [] ]
+  in
+  check
+    Alcotest.(list (array int))
+    "triple-dedup and deterministic order"
+    [ row 1 3 0; row 5 9 2; row 7 20 1 ]
+    merged
+
+(* ---- scatter-gather merge vs single-catalog oracle (pure) ---- *)
+
+(* Simulate the router's read path over in-memory shard slices: place
+   each interval on every shard its extent overlaps (the real placement
+   rule), answer each shard's share of the scatter by brute force, and
+   merge. The single-catalog oracle is brute force over the whole
+   dataset. Exact equality of the (lower, upper, id) triples — for
+   intersection queries and all thirteen Allen relations, across
+   D1-D4. *)
+let scatter_oracle_parity m data ~extent ~matches =
+  let slices =
+    Array.init (R.Map.shards m) (fun i ->
+        let lo, hi = R.Map.range m i in
+        let keep = ref [] in
+        Array.iteri
+          (fun id ivl ->
+            if Interval.Ivl.lower ivl <= hi && Interval.Ivl.upper ivl >= lo
+            then keep := (id, ivl) :: !keep)
+          data;
+        !keep)
+  in
+  let shard_answer i =
+    List.filter_map
+      (fun (id, ivl) ->
+        if matches ivl then
+          Some [| Interval.Ivl.lower ivl; Interval.Ivl.upper ivl; id |]
+        else None)
+      slices.(i)
+  in
+  let scattered =
+    match extent with
+    | None -> []
+    | Some (lo, hi) ->
+        R.Map.merge_rows
+          (List.map shard_answer (R.Map.targets m ~lower:lo ~upper:hi))
+  in
+  let oracle =
+    Array.to_list data
+    |> List.mapi (fun id ivl -> (id, ivl))
+    |> List.filter_map (fun (id, ivl) ->
+           if matches ivl then
+             Some [| Interval.Ivl.lower ivl; Interval.Ivl.upper ivl; id |]
+           else None)
+    |> List.sort (fun a b -> compare (a.(0), a.(1), a.(2)) (b.(0), b.(1), b.(2)))
+  in
+  scattered = oracle
+
+let prop_scatter_intersect =
+  let m = geometry 4 in
+  let datasets =
+    List.map dataset
+      Workload.Distribution.[ D1; D2; D3; D4 ]
+  in
+  QCheck.Test.make ~count:400
+    ~name:"scatter-gather intersect = single-catalog oracle (D1-D4)"
+    QCheck.(
+      triple (int_range 0 3) (int_range 0 domain_max) (int_range 0 40_000))
+    (fun (di, lo, len) ->
+      let data = List.nth datasets di in
+      let hi = min domain_max (lo + len) in
+      let q = Interval.Ivl.make lo hi in
+      scatter_oracle_parity (geometry 3) data ~extent:(Some (lo, hi))
+        ~matches:(fun ivl -> Interval.Ivl.intersects ivl q)
+      && scatter_oracle_parity m data ~extent:(Some (lo, hi))
+           ~matches:(fun ivl -> Interval.Ivl.intersects ivl q))
+
+let prop_scatter_allen =
+  let m = geometry 4 in
+  let datasets =
+    List.map dataset
+      Workload.Distribution.[ D1; D2; D3; D4 ]
+  in
+  let rels = Array.of_list Interval.Allen.all in
+  QCheck.Test.make ~count:400
+    ~name:"scatter-gather Allen = single-catalog oracle (13 relations, D1-D4)"
+    QCheck.(
+      quad (int_range 0 3) (int_range 0 12) (int_range 0 domain_max)
+        (int_range 0 40_000))
+    (fun (di, ri, lo, len) ->
+      let data = List.nth datasets di in
+      let r = rels.(ri) in
+      let hi = min domain_max (lo + len) in
+      let q = Interval.Ivl.make lo hi in
+      scatter_oracle_parity m data
+        ~extent:(R.Map.allen_extent r ~lower:lo ~upper:hi)
+        ~matches:(fun ivl -> Interval.Allen.holds r ivl q))
+
+(* ---- live routed cluster: forked shards + in-process router ---- *)
+
+(* Real processes, not threads: the head-of-line regression needs the
+   kernel to preempt a pinned shard, which threads under one OCaml
+   runtime lock cannot model. The parent binds each port (to learn it)
+   pre-fork; every process then drops the listen-fd copies it does not
+   serve, so a dead shard's port refuses instead of black-holing. *)
+let spawn_shards slices =
+  let disps =
+    List.map
+      (fun slice ->
+        let sh = Server.Session.shared () in
+        Server.Session.preload_ids sh slice;
+        Server.Dispatcher.create
+          ~config:
+            { Server.Dispatcher.default_config with
+              host = "127.0.0.1"; port = 0 }
+          sh)
+      slices
+  in
+  flush stdout;
+  flush stderr;
+  let procs =
+    List.map
+      (fun disp ->
+        let port = Server.Dispatcher.port disp in
+        match Unix.fork () with
+        | 0 ->
+            List.iter
+              (fun d ->
+                if d != disp then Server.Dispatcher.release_listener d)
+              disps;
+            Sys.set_signal Sys.sigterm
+              (Sys.Signal_handle (fun _ -> Server.Dispatcher.stop disp));
+            Server.Dispatcher.serve disp;
+            Unix._exit 0
+        | pid -> (pid, port))
+      disps
+  in
+  List.iter Server.Dispatcher.release_listener disps;
+  procs
+
+let stop_shards procs =
+  List.iter
+    (fun (pid, _) ->
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+    procs
+
+let slice_of data (lo, hi) =
+  let out = ref [] in
+  Array.iteri
+    (fun id ivl ->
+      if Interval.Ivl.lower ivl <= hi && Interval.Ivl.upper ivl >= lo then
+        out := (id, ivl) :: !out)
+    data;
+  Array.of_list (List.rev !out)
+
+(* Boot [shards] forked shard processes preloaded with [data]'s slices
+   and a router over them; run [f router map data]; always tear down. *)
+let with_cluster ?(shards = 2) ?(deadline_ms = 2000.) ?(data = [||]) f =
+  let cuts = R.Map.backbone_cuts ~domain_max ~shards in
+  let n_shards = List.length cuts + 1 in
+  let geometry =
+    R.Map.create ~cuts
+      ~endpoints:(List.init n_shards (fun i -> [ ("h", i + 1) ]))
+  in
+  let procs =
+    spawn_shards
+      (List.init n_shards (fun i -> slice_of data (R.Map.range geometry i)))
+  in
+  Thread.delay 0.2;
+  let map =
+    R.Map.create ~cuts
+      ~endpoints:(List.map (fun (_, p) -> [ ("127.0.0.1", p) ]) procs)
+  in
+  let router =
+    R.create
+      { R.default_config with port = 0; shard_deadline_ms = deadline_ms }
+      ~map
+  in
+  let thread = Thread.create (fun () -> R.serve router) () in
+  let result = try Ok (f (R.port router) map) with e -> Error e in
+  R.stop router;
+  Thread.join thread;
+  stop_shards procs;
+  match result with Ok v -> v | Error e -> raise e
+
+let with_client port f =
+  let c = C.connect ~port () in
+  Fun.protect ~finally:(fun () -> C.close c) (fun () -> f c)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "client error: %s" (C.error_to_string e)
+
+let live_data = dataset Workload.Distribution.D1
+
+let response_label = function
+  | P.Ack m -> "ack: " ^ m
+  | P.Rows _ -> "rows"
+  | P.Error m -> "error: " ^ m
+  | P.Invalid m -> "invalid: " ^ m
+  | P.Overloaded m -> "overloaded: " ^ m
+  | P.Partial { missing; msg } ->
+      Printf.sprintf "partial (%d missing): %s" (List.length missing) msg
+  | _ -> "unexpected response"
+
+let sorted_rows = function
+  | P.Rows { rows; _ } ->
+      List.sort (fun a b -> compare (a.(0), a.(1), a.(2)) (b.(0), b.(1), b.(2))) rows
+  | r -> Alcotest.failf "expected rows, got %s" (response_label r)
+
+let oracle_rows data matches =
+  Array.to_list data
+  |> List.mapi (fun id ivl -> (id, ivl))
+  |> List.filter_map (fun (id, ivl) ->
+         if matches ivl then
+           Some [| Interval.Ivl.lower ivl; Interval.Ivl.upper ivl; id |]
+         else None)
+  |> List.sort (fun a b -> compare (a.(0), a.(1), a.(2)) (b.(0), b.(1), b.(2)))
+
+let test_live_parity () =
+  with_cluster ~shards:4 ~data:live_data (fun port _map ->
+      with_client port (fun c ->
+          (* intersect: a run of extents from point to half the domain,
+             including ones straddling every cut *)
+          List.iter
+            (fun (lo, hi) ->
+              let q = Interval.Ivl.make lo hi in
+              check
+                Alcotest.(list (array int))
+                (Printf.sprintf "intersect [%d, %d]" lo hi)
+                (oracle_rows live_data (fun ivl ->
+                     Interval.Ivl.intersects ivl q))
+                (sorted_rows
+                   (ok (C.rpc_result c (P.Intersect { lower = lo; upper = hi })))))
+            [ (0, 0); (262_143, 262_144); (100_000, 700_000);
+              (0, domain_max); (524_288, 524_288); (777_777, 888_888) ];
+          (* Allen: every relation against a mid-domain query interval *)
+          List.iter
+            (fun r ->
+              let lo, hi = (260_000, 530_000) in
+              let q = Interval.Ivl.make lo hi in
+              check
+                Alcotest.(list (array int))
+                "allen relation parity"
+                (oracle_rows live_data (fun ivl -> Interval.Allen.holds r ivl q))
+                (sorted_rows
+                   (ok
+                      (C.rpc_result c
+                         (P.Allen { relation = r; lower = lo; upper = hi })))))
+            Interval.Allen.all))
+
+let test_live_shard_map () =
+  with_cluster ~shards:4 ~data:live_data (fun port map ->
+      with_client port (fun c ->
+          let entries = ok (C.shard_map c) in
+          check Alcotest.int "entry per shard" (R.Map.shards map)
+            (List.length entries);
+          List.iteri
+            (fun i e ->
+              let lo, hi = R.Map.range map i in
+              check Alcotest.int "entry lower" lo e.P.shard_lo;
+              check Alcotest.int "entry upper" hi e.P.shard_hi;
+              check
+                Alcotest.(list (pair string int))
+                "entry endpoints" (R.Map.endpoints map i) e.P.endpoints)
+            entries))
+
+let test_live_spanner_once () =
+  with_cluster ~shards:2 ~data:live_data (fun port _map ->
+      with_client port (fun c ->
+          (* an interval straddling the cut (524288 for 2 shards) is
+             replicated on both shards but must be reported once *)
+          let id = ok (C.insert c (Interval.Ivl.make 524_000 525_000)) in
+          let hits =
+            sorted_rows
+              (ok
+                 (C.rpc_result c
+                    (P.Intersect { lower = 524_100; upper = 524_200 })))
+            |> List.filter (fun row -> row.(2) = id)
+          in
+          check Alcotest.int "spanner reported exactly once" 1
+            (List.length hits);
+          (* both halves of its extent find it *)
+          List.iter
+            (fun (lo, hi) ->
+              let hits =
+                sorted_rows
+                  (ok (C.rpc_result c (P.Intersect { lower = lo; upper = hi })))
+                |> List.filter (fun row -> row.(2) = id)
+              in
+              check Alcotest.int "found from either side" 1 (List.length hits))
+            [ (524_000, 524_010); (524_900, 525_000) ];
+          (* delete removes every replica *)
+          (match
+             C.rpc_result c
+               (P.Delete { lower = 524_000; upper = 525_000; id })
+           with
+          | Ok (P.Ack _) -> ()
+          | r ->
+              Alcotest.failf "delete failed: %s"
+                (match r with
+                | Ok resp -> response_label resp
+                | Error e -> C.error_to_string e));
+          List.iter
+            (fun (lo, hi) ->
+              let hits =
+                sorted_rows
+                  (ok (C.rpc_result c (P.Intersect { lower = lo; upper = hi })))
+                |> List.filter (fun row -> row.(2) = id)
+              in
+              check Alcotest.int "gone everywhere after delete" 0
+                (List.length hits))
+            [ (524_000, 524_010); (524_900, 525_000) ]))
+
+let test_live_txn () =
+  with_cluster ~shards:2 ~data:[||] (fun port _map ->
+      with_client port (fun c ->
+          ok (C.begin_txn c);
+          let id = ok (C.insert c (Interval.Ivl.make 10 20)) in
+          (match C.begin_txn c with
+          | Error (C.Invalid _) -> ()
+          | _ -> Alcotest.fail "nested BEGIN must be Invalid");
+          let _lsn = ok (C.commit c) in
+          let hits = ok (C.intersect c (Interval.Ivl.make 0 100)) in
+          check Alcotest.int "committed row visible" 1 (List.length hits);
+          check Alcotest.int "with its id" id (snd (List.hd hits));
+          (* rollback discards *)
+          ok (C.begin_txn c);
+          let _ = ok (C.insert c (Interval.Ivl.make 700_000 700_100)) in
+          ok (C.rollback c);
+          let hits = ok (C.intersect c (Interval.Ivl.make 699_000 701_000)) in
+          check Alcotest.int "rolled-back row gone" 0 (List.length hits)))
+
+let test_live_partial () =
+  (* Shard 1's endpoint is a freshly closed port: queries overlapping it
+     degrade to a typed Partial naming it; queries confined to shard 0
+     still answer with rows. *)
+  let dead_port =
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    let p =
+      match Unix.getsockname fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    Unix.close fd;
+    p
+  in
+  let cuts = R.Map.backbone_cuts ~domain_max ~shards:2 in
+  let geometry =
+    R.Map.create ~cuts ~endpoints:[ [ ("h", 1) ]; [ ("h", 2) ] ]
+  in
+  let procs = spawn_shards [ slice_of live_data (R.Map.range geometry 0) ] in
+  let map =
+    R.Map.create ~cuts
+      ~endpoints:
+        [ [ ("127.0.0.1", snd (List.hd procs)) ];
+          [ ("127.0.0.1", dead_port) ] ]
+  in
+  let router =
+    R.create
+      { R.default_config with port = 0; shard_deadline_ms = 500. }
+      ~map
+  in
+  let thread = Thread.create (fun () -> R.serve router) () in
+  Fun.protect
+    ~finally:(fun () ->
+      R.stop router;
+      Thread.join thread;
+      stop_shards procs)
+    (fun () ->
+      with_client (R.port router) (fun c ->
+          (match C.rpc_result c (P.Intersect { lower = 0; upper = 1000 }) with
+          | Ok (P.Rows _) -> ()
+          | r ->
+              Alcotest.failf "healthy-shard query: %s"
+                (match r with
+                | Ok resp -> response_label resp
+                | Error e -> C.error_to_string e));
+          match
+            C.rpc_result c (P.Intersect { lower = 0; upper = domain_max })
+          with
+          | Ok (P.Partial { missing; _ }) ->
+              check
+                Alcotest.(list int)
+                "the dead shard is named" [ 1 ] missing
+          | r ->
+              Alcotest.failf "expected Partial, got %s"
+                (match r with
+                | Ok resp -> response_label resp
+                | Error e -> C.error_to_string e)))
+
+(* ---- the head-of-line regression itself ---- *)
+
+(* Ping percentiles measured while fat scans hammer the serving tier.
+   Through the router (shards = processes) the p99 stays bounded; on a
+   single process the same load drives it past the fat-scan duration.
+   The sharded bound is the PR's acceptance bar (50 ms); the single
+   bound only asserts the contrast is real (>= 2x the sharded p99), not
+   an absolute number, to keep the test robust on slow machines. *)
+let hol_pings ~port ~seconds ~fat_range:(flo, fhi) =
+  let stop = ref false in
+  let fat () =
+    with_client port (fun c ->
+        while not !stop do
+          match C.rpc_result c (P.Intersect { lower = flo; upper = fhi }) with
+          | Ok (P.Rows _) -> ()
+          | Ok _ | Error _ -> Thread.delay 0.01
+        done)
+  in
+  let pings = ref [] in
+  let sampler () =
+    with_client port (fun c ->
+        while not !stop do
+          let t0 = Unix.gettimeofday () in
+          (match C.ping c with
+          | Ok () -> pings := (Unix.gettimeofday () -. t0) :: !pings
+          | Error _ -> ());
+          Thread.delay 0.003
+        done)
+  in
+  let threads =
+    [ Thread.create fat (); Thread.create fat (); Thread.create sampler () ]
+  in
+  Thread.delay seconds;
+  stop := true;
+  List.iter Thread.join threads;
+  Array.of_list !pings
+
+(* A hotspot dataset: every interval inside shard 0's range (of the
+   4-shard geometry), so a scan of that range is fat — tens of
+   thousands of result rows — while fanning out to exactly one shard.
+   The single process serves the same scans from the same event loop
+   every ping shares; the router does not. *)
+let hol_range =
+  let m = geometry 4 in
+  let _, hi = R.Map.range m 0 in
+  (0, hi)
+
+let hol_data =
+  let _, hi = hol_range in
+  Workload.Distribution.generate ~seed:5 Workload.Distribution.D1 ~n:25_000
+    ~d:2000
+  |> Array.map (fun ivl ->
+         let len = Interval.Ivl.upper ivl - Interval.Ivl.lower ivl in
+         let lo = Interval.Ivl.lower ivl mod (hi - 3000) in
+         Interval.Ivl.make lo (min hi (lo + len)))
+
+let test_hol_regression () =
+  let seconds = 1.5 in
+  let sharded =
+    with_cluster ~shards:4 ~data:hol_data (fun port _ ->
+        hol_pings ~port ~seconds ~fat_range:hol_range)
+  in
+  (* The red path is the pre-sharding shape: one plain dispatcher
+     holding all the data, no router in front — every ping queues in
+     the same loop as the fat scans. *)
+  let single =
+    let procs =
+      spawn_shards [ Array.mapi (fun id ivl -> (id, ivl)) hol_data ]
+    in
+    Thread.delay 0.2;
+    let port = snd (List.hd procs) in
+    Fun.protect
+      ~finally:(fun () -> stop_shards procs)
+      (fun () -> hol_pings ~port ~seconds ~fat_range:hol_range)
+  in
+  Alcotest.(check bool) "sampler got pings through the router" true
+    (Array.length sharded > 20);
+  let p99 a = 1000. *. Harness.Measure.percentile a 0.99 in
+  let sp99 = p99 sharded and up99 = p99 single in
+  Alcotest.(check bool)
+    (Printf.sprintf "router ping p99 %.2f ms < 50 ms during fat scans" sp99)
+    true (sp99 < 50.);
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "single-process ping p99 %.2f ms shows the head-of-line block \
+        (>= 2x router's %.2f ms)"
+       up99 sp99)
+    true
+    (up99 >= 2. *. sp99)
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "backbone cuts" `Quick test_backbone_cuts;
+          Alcotest.test_case "ranges cover the line" `Quick
+            test_map_ranges_cover;
+          Alcotest.test_case "invalid maps rejected" `Quick
+            test_map_create_invalid;
+          QCheck_alcotest.to_alcotest prop_targets;
+          QCheck_alcotest.to_alcotest prop_allen_extent;
+          Alcotest.test_case "merge dedups by triple" `Quick
+            test_merge_rows_dedup;
+        ] );
+      ( "scatter-gather parity",
+        [
+          QCheck_alcotest.to_alcotest prop_scatter_intersect;
+          QCheck_alcotest.to_alcotest prop_scatter_allen;
+        ] );
+      ( "live cluster",
+        [
+          Alcotest.test_case "query parity over forked shards" `Quick
+            test_live_parity;
+          Alcotest.test_case "shard map over the wire" `Quick
+            test_live_shard_map;
+          Alcotest.test_case "boundary spanner stored twice, reported once"
+            `Quick test_live_spanner_once;
+          Alcotest.test_case "transactions through the router" `Quick
+            test_live_txn;
+          Alcotest.test_case "unreachable shard yields typed Partial" `Quick
+            test_live_partial;
+          Alcotest.test_case "head-of-line regression: ping bounded during \
+                              fat scans"
+            `Quick test_hol_regression;
+        ] );
+    ]

@@ -189,12 +189,53 @@ let prop_percentiles_bounded =
           && o.P.p95_us <= o.P.p99_us
           && o.P.max_us = mx)
 
+(* A wide span tree rendered under a byte cap: truncation happens at
+   line boundaries, a marker counts what was dropped, and the output
+   stays near the budget — the slow-query log's guarantee that a
+   pathological plan tree cannot stall the event loop. *)
+let test_render_cap () =
+  with_tracing (fun () ->
+      let (), span =
+        T.traced "request" (fun () ->
+            for i = 0 to 199 do
+              T.with_span (Printf.sprintf "child.%03d" i) (fun () -> ())
+            done)
+      in
+      match span with
+      | None -> Alcotest.fail "expected a root span"
+      | Some root ->
+          let full = T.render root in
+          check Alcotest.bool "full render has every child" true
+            (String.length full > 200 * 10);
+          let contains ~needle hay =
+            let n = String.length needle and h = String.length hay in
+            let rec go i =
+              i + n <= h && (String.sub hay i n = needle || go (i + 1))
+            in
+            go 0
+          in
+          check Alcotest.bool "full render is unmarked" false
+            (contains ~needle:"truncated" full);
+          let cap = 512 in
+          let capped = T.render ~max_bytes:cap root in
+          check Alcotest.bool "capped render is bounded" true
+            (String.length capped < cap + 64);
+          check Alcotest.bool "capped render carries the marker" true
+            (contains ~needle:"spans truncated" capped);
+          check Alcotest.bool "root line survives the cap" true
+            (contains ~needle:"request" capped);
+          check Alcotest.string "zero budget keeps only the marker"
+            "\xe2\x80\xa6 (201 spans truncated)\n"
+            (T.render ~max_bytes:0 root))
+
 let () =
   Alcotest.run "trace"
     [
       ("spans",
        [ Alcotest.test_case "disabled returns no span" `Quick
            test_disabled_returns_no_span;
+         Alcotest.test_case "render honours max_bytes" `Quick
+           test_render_cap;
          Alcotest.test_case "nesting and attribution" `Quick
            test_nesting_and_attribution;
          Alcotest.test_case "only roots returned" `Quick
