@@ -1,6 +1,6 @@
 # Convenience aliases; `make check` is the tier-1 gate CI runs.
 
-.PHONY: all build test check bench clean
+.PHONY: all build test check bench bench-connections clean
 
 all: build
 
@@ -14,6 +14,12 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# Connection-scaling sweep of the reactor event core (needs a high fd
+# soft limit; levels above the limit are skipped with a note).
+bench-connections:
+	bash -c 'ulimit -n 20000 2>/dev/null; \
+	  dune exec bin/rikit.exe -- bench-connections -o BENCH_reactor.json'
 
 clean:
 	dune clean

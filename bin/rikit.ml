@@ -1400,7 +1400,8 @@ let with_txn_server ?(group_commit = 0.) ?(preload = [||]) ~sessions f =
     { Server.Dispatcher.host = "127.0.0.1"; port = 0;
       max_sessions = sessions + 2; max_inflight = 64; max_queue = 4096;
       group_commit; idle_timeout = 0.; metrics_port = None;
-      slow_query_ms = 0.; replica_of = None }
+      slow_query_ms = 0.; replica_of = None; backend = None;
+      write_high_water = Server.Dispatcher.default_config.write_high_water }
   in
   let sh = Server.Session.shared ~durable:true () in
   if Array.length preload > 0 then Server.Session.preload sh preload;
@@ -2047,7 +2048,8 @@ let with_repl_node ?replica_of () =
     { Server.Dispatcher.host = "127.0.0.1"; port = 0; max_sessions = 16;
       max_inflight = 64; max_queue = 4096; group_commit = 0.002;
       idle_timeout = 0.; metrics_port = None; slow_query_ms = 0.;
-      replica_of }
+      replica_of; backend = None;
+      write_high_water = Server.Dispatcher.default_config.write_high_water }
   in
   let sh = Server.Session.shared ~durable:true () in
   let disp = Server.Dispatcher.create ~config:cfg sh in
@@ -2494,6 +2496,332 @@ let bench_shard_cmd =
                the sharded ping p99 misses the acceptance bar." ])
     Term.(const bench_shard $ tiny $ out)
 
+(* ---- bench-connections: connection scaling on the reactor core ---- *)
+
+(* The payoff measurement for the poll-backed event core: one daemon,
+   a sweep of concurrent live connections, and three numbers per level
+   — ping throughput, ping p99, and the server's OS-thread count read
+   from /proc/<pid>/status. The thread count must stay flat across the
+   sweep (the reactor multiplexes every socket; nothing spawns per
+   connection), and every opened connection must actually be served. *)
+
+let proc_threads pid =
+  let path = Printf.sprintf "/proc/%d/status" pid in
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | line ->
+              if String.length line > 8 && String.sub line 0 8 = "Threads:"
+              then
+                int_of_string
+                  (String.trim
+                     (String.sub line 8 (String.length line - 8)))
+              else go ()
+          | exception End_of_file -> 0
+        in
+        go ())
+  with Sys_error _ -> 0
+
+(* Soft fd limit of this process (the connecting side holds one fd per
+   live connection, same as the daemon). *)
+let fd_soft_limit () =
+  try
+    let ic = open_in "/proc/self/limits" in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go () =
+          match input_line ic with
+          | line ->
+              if String.length line > 14
+                 && String.sub line 0 14 = "Max open files"
+              then
+                Scanf.sscanf
+                  (String.sub line 14 (String.length line - 14))
+                  " %d" (fun n -> n)
+              else go ()
+          | exception End_of_file -> max_int
+        in
+        go ())
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> max_int
+
+let spawn_dispatcher_proc ~config ~preload =
+  let sh = Server.Session.shared () in
+  if Array.length preload > 0 then Server.Session.preload sh preload;
+  let disp = Server.Dispatcher.create ~config sh in
+  let port = Server.Dispatcher.port disp in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Server.Dispatcher.stop disp));
+      Sys.set_signal Sys.sigint Sys.Signal_ignore;
+      Server.Dispatcher.serve disp;
+      Unix._exit 0
+  | pid ->
+      Server.Dispatcher.release_listener disp;
+      (pid, port)
+
+let spawn_router_proc ~config ~map =
+  let router = Server.Router.create config ~map in
+  let port = Server.Router.port router in
+  match Unix.fork () with
+  | 0 ->
+      Sys.set_signal Sys.sigterm
+        (Sys.Signal_handle (fun _ -> Server.Router.stop router));
+      Sys.set_signal Sys.sigint Sys.Signal_ignore;
+      Server.Router.serve router;
+      Unix._exit 0
+  | pid -> (pid, port)
+
+type conn_level = {
+  cl_conns : int;  (* requested *)
+  cl_connected : int;
+  cl_served : int;  (* connections whose ping round-tripped *)
+  cl_qps : float;
+  cl_p50_ms : float;
+  cl_p99_ms : float;
+  cl_threads : int;
+}
+
+(* Open [n] connections, ping every one (served check), then measure a
+   burst of round-robin pings across them for throughput/latency, and
+   read the daemon's thread count while all [n] are live. *)
+let drive_level ~pid ~port n =
+  let conns =
+    Array.init n (fun _ ->
+        try Some (Server.Client.connect ~deadline_ms:15_000. ~port ())
+        with Server.Client.Io_error _ | Server.Client.Timed_out _ -> None)
+  in
+  let connected = Array.fold_left
+      (fun a c -> if c = None then a else a + 1) 0 conns in
+  let served = ref 0 in
+  Array.iter
+    (function
+      | None -> ()
+      | Some c -> (
+          match Server.Client.ping c with Ok () -> incr served | Error _ -> ()))
+    conns;
+  let live =
+    Array.of_list
+      (Array.to_list conns |> List.filter_map Fun.id)
+  in
+  let shots = if Array.length live = 0 then 0 else min 20_000 (4 * n) in
+  let lats = Array.make (max shots 1) 0. in
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to shots - 1 do
+    let c = live.(i mod Array.length live) in
+    let s = Unix.gettimeofday () in
+    (match Server.Client.ping c with Ok () -> () | Error _ -> ());
+    lats.(i) <- Unix.gettimeofday () -. s
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let threads = proc_threads pid in
+  Array.iter (function Some c -> Server.Client.close c | None -> ()) conns;
+  { cl_conns = n;
+    cl_connected = connected;
+    cl_served = !served;
+    cl_qps = (if elapsed > 0. then float_of_int shots /. elapsed else 0.);
+    cl_p50_ms = 1000. *. Harness.Measure.percentile lats 0.5;
+    cl_p99_ms = 1000. *. Harness.Measure.percentile lats 0.99;
+    cl_threads = threads }
+
+let bench_connections tiny out =
+  let fd_limit = fd_soft_limit () in
+  let headroom = 192 in
+  let levels =
+    let all = if tiny then [ 2048 ] else [ 100; 500; 1000; 2000; 5000 ] in
+    List.filter (fun n -> n + headroom <= fd_limit) all
+  in
+  if levels = [] then begin
+    Printf.eprintf
+      "bench-connections: fd soft limit %d too low for any sweep level \
+       (raise it with `ulimit -n`)\n"
+      fd_limit;
+    exit 1
+  end;
+  let top = List.fold_left max 0 levels in
+  let data = Workload.Distribution.generate ~seed:42 Workload.Distribution.D1 ~n:2000 ~d:2000 in
+  let config =
+    { Server.Dispatcher.default_config with
+      port = 0; max_sessions = top + 64; idle_timeout = 0. }
+  in
+  let pid, port = spawn_dispatcher_proc ~config ~preload:data in
+  (* wait for a forked daemon to start accepting *)
+  let rec await_up ?(tries = 50) port =
+    match Server.Client.connect ~deadline_ms:2000. ~port () with
+    | c -> Server.Client.close c
+    | exception (Server.Client.Io_error _ | Server.Client.Timed_out _)
+      when tries > 0 ->
+        Thread.delay 0.1;
+        await_up ~tries:(tries - 1) port
+  in
+  await_up port;
+  (* the child inherits this process's env, so it selects the same
+     backend this build does *)
+  let backend = Reactor.Backend.kind_to_string (Reactor.Backend.default ()) in
+  Printf.printf
+    "bench-connections: reactor backend %s, sweep %s (fd limit %d)\n%!"
+    backend
+    (String.concat " " (List.map string_of_int levels))
+    (if fd_limit = max_int then -1 else fd_limit);
+  let results = List.map (fun n ->
+      let r = drive_level ~pid ~port n in
+      Printf.printf
+        "  %5d conns: %5d connected, %5d served, %7.0f ping/s, p50 %.3f \
+         ms, p99 %.3f ms, %d server threads\n%!"
+        r.cl_conns r.cl_connected r.cl_served r.cl_qps r.cl_p50_ms
+        r.cl_p99_ms r.cl_threads;
+      r)
+      levels
+  in
+  stop_shard_proc (pid, port);
+  (* ---- router phase: thread flatness under many idle clients ---- *)
+  let domain_max = Workload.Distribution.domain_max in
+  let cuts = Server.Router.Map.backbone_cuts ~domain_max ~shards:2 in
+  let geometry =
+    Server.Router.Map.create ~cuts
+      ~endpoints:[ [ ("127.0.0.1", 1) ]; [ ("127.0.0.1", 1) ] ]
+  in
+  let shard_procs =
+    spawn_shard_procs
+      ~slices:
+        (List.init 2 (fun i ->
+             shard_slice data (Server.Router.Map.range geometry i)))
+  in
+  Thread.delay 0.3;
+  let map =
+    Server.Router.Map.create ~cuts
+      ~endpoints:(List.map (fun (_, p) -> [ ("127.0.0.1", p) ]) shard_procs)
+  in
+  let router_levels =
+    let lo = 100 and hi = min top 2000 in
+    if tiny then [ lo; hi ] else [ lo; 1000; hi ]
+  in
+  let rtop = List.fold_left max 0 router_levels in
+  let r_pid, r_port =
+    spawn_router_proc
+      ~config:
+        { Server.Router.default_config with
+          port = 0; max_sessions = rtop + 64 }
+      ~map
+  in
+  await_up r_port;
+  let router_results =
+    List.map
+      (fun n ->
+        let r = drive_level ~pid:r_pid ~port:r_port n in
+        (* a scatter across both shards must also work under full load *)
+        let scatter_ok =
+          let c = Server.Client.connect ~deadline_ms:15_000. ~port:r_port () in
+          Fun.protect
+            ~finally:(fun () -> Server.Client.close c)
+            (fun () ->
+              match
+                Server.Client.rpc_result c
+                  (Server.Protocol.Intersect
+                     { lower = 0; upper = domain_max })
+              with
+              | Ok (Server.Protocol.Rows _) -> true
+              | _ -> false)
+        in
+        Printf.printf
+          "  router %5d conns: %5d served, %7.0f ping/s, p99 %.3f ms, %d \
+           router threads, scatter %s\n%!"
+          r.cl_conns r.cl_served r.cl_qps r.cl_p99_ms r.cl_threads
+          (if scatter_ok then "ok" else "FAILED");
+        (r, scatter_ok))
+      router_levels
+  in
+  stop_shard_proc (r_pid, r_port);
+  List.iter stop_shard_proc shard_procs;
+  (* ---- acceptance ---- *)
+  let served_ok =
+    List.for_all (fun r -> r.cl_connected = r.cl_conns && r.cl_served = r.cl_conns)
+      results
+  in
+  let top_level_ok = top >= 2000 in
+  let threads_of rs = List.map (fun r -> r.cl_threads) rs in
+  let flat ts =
+    match ts with
+    | [] -> true
+    | t0 :: _ ->
+        List.for_all (fun t -> abs (t - t0) <= 1) ts
+        && List.for_all (fun t -> t > 0 && t <= 16) ts
+  in
+  let disp_flat = flat (threads_of results) in
+  let router_flat = flat (threads_of (List.map fst router_results)) in
+  let router_served_ok =
+    List.for_all
+      (fun (r, sc) -> r.cl_served = r.cl_conns && sc)
+      router_results
+  in
+  Printf.printf
+    "  served %s; >=2000-conn level %s; dispatcher threads flat %s; \
+     router threads flat %s; router served %s\n"
+    (if served_ok then "ok" else "FAILED")
+    (if top_level_ok then "ok" else "MISSING")
+    (if disp_flat then "ok" else "FAILED")
+    (if router_flat then "ok" else "FAILED")
+    (if router_served_ok then "ok" else "FAILED");
+  let b = Buffer.create 1024 in
+  let level_json r =
+    Printf.sprintf
+      "    {\"conns\": %d, \"connected\": %d, \"served\": %d, \"qps\": \
+       %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"threads\": %d}"
+      r.cl_conns r.cl_connected r.cl_served r.cl_qps r.cl_p50_ms r.cl_p99_ms
+      r.cl_threads
+  in
+  Printf.bprintf b
+    "{\n  \"bench\": \"connections\",\n  \"tiny\": %b,\n  \"backend\": \
+     %S,\n  \"dispatcher\": [\n%s\n  ],\n  \"router\": [\n%s\n  ],\n\
+    \  \"served_ok\": %b,\n  \"threads_flat\": %b,\n\
+    \  \"router_threads_flat\": %b,\n  \"router_served_ok\": %b\n}\n"
+    tiny backend
+    (String.concat ",\n" (List.map level_json results))
+    (String.concat ",\n" (List.map (fun (r, _) -> level_json r) router_results))
+    served_ok disp_flat router_flat router_served_ok;
+  let oc = open_out out in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Printf.printf "\nwrote %s\n" out;
+  if not (served_ok && top_level_ok && disp_flat && router_flat
+          && router_served_ok)
+  then exit 1
+
+let bench_connections_cmd =
+  let tiny =
+    Arg.(value & flag
+         & info [ "tiny" ]
+             ~doc:"CI smoke: one 2048-connection level instead of the \
+                   full sweep.")
+  in
+  let out =
+    Arg.(value & opt string "BENCH_reactor.json"
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Where to write the JSON results.")
+  in
+  Cmd.v
+    (Cmd.info "bench-connections"
+       ~doc:"Connection scaling of the poll-backed event core"
+       ~man:
+         [ `S Manpage.s_description;
+           `P "Sweeps concurrent live connections (100 to 5000) against \
+               one forked rikitd daemon and reports ping throughput, ping \
+               p99 and the daemon's OS-thread count at each level, then \
+               repeats the thread-count check against the scatter-gather \
+               router over two shard processes. Asserts every opened \
+               connection is served and the server thread counts stay \
+               flat across the sweep — the reactor multiplexes every \
+               socket on one thread, so nothing scales with connection \
+               count. Results go to stdout and BENCH_reactor.json; exits \
+               non-zero when an assertion fails. Needs an fd soft limit \
+               comfortably above the largest level (`ulimit -n`)." ])
+    Term.(const bench_connections $ tiny $ out)
+
 let () =
   let info =
     Cmd.info "rikit" ~version:"1.0.0"
@@ -2504,4 +2832,4 @@ let () =
          bench_serve_cmd; bench_storage_cmd; bench_explain_cmd;
          bench_plan_cmd; bench_memindex_cmd; bench_txn_cmd; scrub_cmd;
          crash_schedule_cmd; chaos_net_cmd; bench_replica_cmd;
-         bench_shard_cmd ]))
+         bench_shard_cmd; bench_connections_cmd ]))

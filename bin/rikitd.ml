@@ -18,10 +18,24 @@ let kind_conv =
   Arg.conv (parse, fun ppf k ->
       Format.pp_print_string ppf (Workload.Distribution.kind_to_string k))
 
+let backend_conv =
+  let parse = function
+    | "poll" -> Ok Reactor.Backend.Poll
+    | "select" -> Ok Reactor.Backend.Select
+    | s -> Error (`Msg (Printf.sprintf "unknown reactor backend %S" s))
+  in
+  Arg.conv
+    ( parse,
+      fun ppf k ->
+        Format.pp_print_string ppf
+          (match k with
+          | Reactor.Backend.Poll -> "poll"
+          | Reactor.Backend.Select -> "select") )
+
 (* Router mode: no local database at all — fan queries out to the
    shard processes listed with --shard and merge the answers. *)
 let serve_router host port max_sessions metrics_port shards domain_max
-    shard_deadline_ms =
+    shard_deadline_ms workers backend =
   if shards = [] then failwith "--router needs at least one --shard";
   if domain_max < 1 then failwith "--domain-max must be >= 1";
   if shard_deadline_ms <= 0. then failwith "--shard-deadline must be > 0";
@@ -38,7 +52,7 @@ let serve_router host port max_sessions metrics_port shards domain_max
   let map = Server.Router.Map.create ~cuts ~endpoints:shards in
   let config =
     { Server.Router.host; port; max_sessions;
-      shard_deadline_ms; metrics_port }
+      shard_deadline_ms; metrics_port; workers; backend }
   in
   let router =
     try Server.Router.create config ~map
@@ -81,10 +95,10 @@ let serve_router host port max_sessions metrics_port shards domain_max
 
 let serve host port kind n d seed max_sessions max_inflight max_queue durable
     group_commit_ms idle_timeout metrics_port slow_query_ms hot_tier_mb
-    replica_of router shards domain_max shard_deadline_ms =
+    replica_of router shards domain_max shard_deadline_ms workers backend =
   if router then
     serve_router host port max_sessions metrics_port shards domain_max
-      shard_deadline_ms
+      shard_deadline_ms workers backend
   else if shards <> [] then
     failwith "--shard is only meaningful with --router"
   else begin
@@ -98,7 +112,8 @@ let serve host port kind n d seed max_sessions max_inflight max_queue durable
   let config =
     { Server.Dispatcher.host; port; max_sessions; max_inflight; max_queue;
       group_commit = group_commit_ms /. 1000.; idle_timeout; metrics_port;
-      slow_query_ms; replica_of }
+      slow_query_ms; replica_of; backend;
+      write_high_water = Server.Dispatcher.default_config.write_high_water }
   in
   let sh = Server.Session.shared ~durable ~hot_tier_mb () in
   if n > 0 then begin
@@ -323,12 +338,28 @@ let cmd =
                    failed over, then reported as missing in a typed \
                    Partial response rather than hanging the query.")
   in
+  let workers =
+    Arg.(value & opt int Server.Router.default_config.workers
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Router-mode shard-RPC worker threads. Together with \
+                   the reactor thread this is the router's entire \
+                   OS-thread budget, independent of connection count.")
+  in
+  let backend =
+    Arg.(value & opt (some backend_conv) None
+         & info [ "reactor" ] ~docv:"poll|select"
+             ~doc:"Readiness backend for the event loop. Default \
+                   auto-selects poll(2) where the stub works and falls \
+                   back to select (also overridable via the \
+                   RIKIT_REACTOR_BACKEND environment variable).")
+  in
   Cmd.v
     (Cmd.info "rikitd" ~version:"1.0.0"
        ~doc:"Concurrent interval-query server (RI-tree, VLDB 2000)")
     Term.(const serve $ host $ port $ kind $ n $ d $ seed $ max_sessions
           $ max_inflight $ max_queue $ durable $ group_commit
           $ idle_timeout $ metrics_port $ slow_query_ms $ hot_tier
-          $ replica_of $ router $ shard $ domain_max $ shard_deadline)
+          $ replica_of $ router $ shard $ domain_max $ shard_deadline
+          $ workers $ backend)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,100 @@
+module Backend = Backend
+module Timer_wheel = Timer_wheel
+module Writer = Writer
+
+type entry = {
+  mutable want_r : bool;
+  mutable want_w : bool;
+  on_r : unit -> unit;
+  on_w : unit -> unit;
+}
+
+type t = {
+  bk : Backend.kind;
+  tbl : (Unix.file_descr, entry) Hashtbl.t;
+  wheel : Timer_wheel.t;
+}
+
+type timer = Timer_wheel.timer
+
+let create ?backend () =
+  let bk = match backend with Some k -> k | None -> Backend.default () in
+  {
+    bk;
+    tbl = Hashtbl.create 64;
+    wheel = Timer_wheel.create ~now:(Unix.gettimeofday ());
+  }
+
+let backend t = t.bk
+let nop () = ()
+
+let register t fd ?readable ?writable () =
+  Hashtbl.replace t.tbl fd
+    {
+      want_r = readable <> None;
+      want_w = writable <> None;
+      on_r = Option.value readable ~default:nop;
+      on_w = Option.value writable ~default:nop;
+    }
+
+let deregister t fd = Hashtbl.remove t.tbl fd
+let is_registered t fd = Hashtbl.mem t.tbl fd
+let fd_count t = Hashtbl.length t.tbl
+
+let set_read_interest t fd v =
+  match Hashtbl.find_opt t.tbl fd with
+  | Some e -> e.want_r <- v
+  | None -> ()
+
+let set_write_interest t fd v =
+  match Hashtbl.find_opt t.tbl fd with
+  | Some e -> e.want_w <- v
+  | None -> ()
+
+let after t delay f =
+  let now = Unix.gettimeofday () in
+  Timer_wheel.add t.wheel ~now ~at:(now +. max 0. delay) f
+
+let at t when_ f =
+  Timer_wheel.add t.wheel ~now:(Unix.gettimeofday ()) ~at:when_ f
+
+let cancel t tm = Timer_wheel.cancel t.wheel tm
+let timer_count t = Timer_wheel.pending t.wheel
+
+let run_once ?(max_timeout = 1.0) t =
+  let now = Unix.gettimeofday () in
+  let timeout =
+    match Timer_wheel.next_deadline t.wheel with
+    | None -> max_timeout
+    | Some dl -> max 0. (min max_timeout (dl -. now))
+  in
+  let entries =
+    let n = Hashtbl.length t.tbl in
+    let buf = Array.make (max n 1) (Unix.stdin, false, false) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun fd e ->
+        if (e.want_r || e.want_w) && !i < n then begin
+          buf.(!i) <- (fd, e.want_r, e.want_w);
+          incr i
+        end)
+      t.tbl;
+    Array.sub buf 0 !i
+  in
+  let ready = Backend.wait t.bk entries ~timeout in
+  ignore (Timer_wheel.advance t.wheel ~now:(Unix.gettimeofday ()));
+  List.iter
+    (fun (fd, r, w) ->
+      match Hashtbl.find_opt t.tbl fd with
+      | None -> () (* deregistered by a timer or earlier callback *)
+      | Some e ->
+          if r && e.want_r then e.on_r ();
+          if w then begin
+            (* Re-check: on_r may have deregistered this fd, or even
+               closed it and had the number reused by a fresh
+               registration — only fire on the same entry. *)
+            match Hashtbl.find_opt t.tbl fd with
+            | Some e2 when e2 == e && e2.want_w -> e2.on_w ()
+            | _ -> ()
+          end)
+    ready

@@ -10,21 +10,27 @@ type config = {
   slow_query_ms : float;
   replica_of : (string * int) option;
       (* run as a hot standby tailing this primary's journal stream *)
+  backend : Reactor.Backend.kind option;
+      (* readiness backend; None = poll(2) when available *)
+  write_high_water : int;
+      (* per-connection output buffer bound; crossing it is backpressure *)
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7468; max_sessions = 64; max_inflight = 32;
     max_queue = 1024; group_commit = 0.; idle_timeout = 0.;
-    metrics_port = None; slow_query_ms = 0.; replica_of = None }
+    metrics_port = None; slow_query_ms = 0.; replica_of = None;
+    backend = None; write_high_water = 4 * 1024 * 1024 }
 
 type conn = {
   fd : Unix.file_descr;
   session : Session.t;
   framer : Protocol.Framer.t;
   pending : (int64 * Protocol.request) Queue.t;
-  out : Buffer.t;
-  mutable out_sent : int;
+  wr : Reactor.Writer.t;
   mutable closing : bool;  (* close once the output buffer drains *)
+  mutable force_close : bool;  (* close this tick, drained or not *)
+  mutable overflow : bool;  (* write buffer burst its high-water mark *)
   mutable last_active : float;  (* last byte received; idle reaping *)
   mutable repl_from : int option;
       (* Some lsn: this connection subscribed to the journal stream and
@@ -34,22 +40,26 @@ type conn = {
 }
 
 (* The replica's link back to its primary: one client connection
-   carrying the Repl_subscribe and the frame stream, re-dialled with a
-   fixed short delay whenever it drops (the chaos harness kills it
-   constantly). *)
+   carrying the Repl_subscribe and the frame stream. The dial is fully
+   event-driven — non-blocking connect completed by a writability
+   callback, bounded by a connect timer, re-dialled by a backoff timer
+   whenever it drops — so an unresponsive primary costs the loop
+   nothing and commit-ack latency is never quantized to a poll tick. *)
 type upstream = {
   uhost : string;
   uport : int;
   mutable ufd : Unix.file_descr option;
+  mutable uconnected : bool;
   mutable uframer : Protocol.Framer.t;
   engine : Replica.t;
-  mutable next_attempt : float;  (* earliest next connect try *)
+  mutable utimer : Reactor.timer option;  (* redial backoff or connect bound *)
 }
 
 type t = {
   cfg : config;
   sh : Session.shared;
   st : Server_stats.t;
+  reactor : Reactor.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   metrics_fd : Unix.file_descr option;
@@ -58,18 +68,31 @@ type t = {
   stop_w : Unix.file_descr;
   mutable stopping : bool;
   mutable conns : conn list;
+  mutable nconns : int;  (* length of [conns]; admission is O(1) *)
   mutable queued : int;  (* total pending requests across connections *)
   mutable pending_commits : (conn * int64 * float) list;
       (* COMMITs staged in the open group-commit window, newest first;
          the float is the staging time, for the latency histogram *)
-  mutable commit_deadline : float option;  (* when the window closes *)
+  mutable commit_timer : Reactor.timer option;  (* window-close timer *)
   mutable parked_acks : (conn * int64 * int * Protocol.response) list;
       (* semi-synchronous replication: commit Acks held back until every
          live subscriber has acknowledged applying through the commit's
          LSN (the int). Released immediately when no subscriber is
          connected (asynchronous fallback). *)
   upstream : upstream option;  (* Some _ iff cfg.replica_of is set *)
+  mutable http : Http_endpoint.t option;  (* live while serving *)
 }
+
+(* A standby that stops draining its stream holds the semi-sync ack
+   floor down and would pin its bounded write buffer full forever; past
+   this stall it is cut loose (it resubscribes from its applied LSN on
+   reconnect, losing nothing). *)
+let repl_stall_timeout = 5.0
+
+(* A non-subscriber whose socket accepts nothing for this long while
+   output is pending is gone in all but name. With idle reaping on,
+   the idle timeout governs instead. *)
+let default_stall_grace = 5.0
 
 let create ?(config = default_config) sh =
   (* A peer hanging up mid-write must surface as EPIPE, not kill the
@@ -122,9 +145,10 @@ let create ?(config = default_config) sh =
             uhost;
             uport;
             ufd = None;
+            uconnected = false;
             uframer = Protocol.Framer.create ();
             engine = Replica.create ();
-            next_attempt = 0.;
+            utimer = None;
           }
   in
   let stop_r, stop_w = Unix.pipe () in
@@ -132,6 +156,7 @@ let create ?(config = default_config) sh =
     cfg = config;
     sh;
     st = Server_stats.create ~now:(Unix.gettimeofday ());
+    reactor = Reactor.create ?backend:config.backend ();
     listen_fd = fd;
     bound_port;
     metrics_fd;
@@ -140,17 +165,20 @@ let create ?(config = default_config) sh =
     stop_w;
     stopping = false;
     conns = [];
+    nconns = 0;
     queued = 0;
     pending_commits = [];
-    commit_deadline = None;
+    commit_timer = None;
     parked_acks = [];
     upstream;
+    http = None;
   }
 
 let port t = t.bound_port
 let metrics_port t = t.metrics_bound_port
 let stats t = t.st
 let shared t = t.sh
+let backend t = Reactor.backend t.reactor
 
 let subscribers t =
   List.filter (fun c -> c.repl_from <> None && not c.closing) t.conns
@@ -185,7 +213,7 @@ let metrics_doc t =
     ~txns:(Session.txns t.sh) ()
 
 let stop t =
-  (* A single byte on the self-pipe wakes the select; writing is
+  (* A single byte on the self-pipe wakes the reactor; writing is
      async-signal-safe, so Ctrl-C handlers may call this directly. *)
   try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
   with Unix.Unix_error _ -> ()
@@ -195,29 +223,52 @@ let release_listener t =
 
 (* ---------------- output ---------------- *)
 
-let push_response conn id resp =
-  Buffer.add_bytes conn.out (Protocol.encode_response ~id resp)
+let output_pending conn = Reactor.Writer.has_pending conn.wr
 
-let try_flush conn =
-  (* Write whatever the socket accepts; the conn stays registered for
-     writability while anything is left. *)
-  let len = Buffer.length conn.out in
-  if len > conn.out_sent then begin
-    let chunk = Buffer.to_bytes conn.out in
-    match Unix.write conn.fd chunk conn.out_sent (len - conn.out_sent) with
-    | n -> conn.out_sent <- conn.out_sent + n
-    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
-      -> ()
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        conn.closing <- true;
-        conn.out_sent <- Buffer.length conn.out
-  end;
-  if conn.out_sent = Buffer.length conn.out && conn.out_sent > 0 then begin
-    Buffer.clear conn.out;
-    conn.out_sent <- 0
+(* Queue a frame under the backpressure contract. A connection whose
+   buffer bursts the high-water mark is a consumer slower than the
+   server for longer than the bound can absorb: it gets one typed
+   Overloaded frame (allowed past the mark so the close is explicable
+   on the wire), its unanswered requests are dropped, and the
+   connection closes once — and only if — the client drains what was
+   already owed. Replication subscribers are never cut here: shipping
+   is flow-controlled in [pump_replication] and a genuinely stalled
+   standby is reaped by [repl_stall_timeout]. *)
+let push_frame t conn frame =
+  if not (conn.force_close || conn.overflow) then begin
+    let under_hw = Reactor.Writer.push conn.wr frame in
+    if (not under_hw) && conn.repl_from = None then begin
+      conn.overflow <- true;
+      conn.closing <- true;
+      Server_stats.overloaded t.st;
+      ignore
+        (Reactor.Writer.push conn.wr
+           (Protocol.encode_response ~id:0L
+              (Protocol.Overloaded
+                 (Printf.sprintf
+                    "slow consumer: write buffer over %d bytes, closing"
+                    (Reactor.Writer.high_water conn.wr)))));
+      t.queued <- t.queued - Queue.length conn.pending;
+      Queue.clear conn.pending;
+      Server_stats.queue_depth t.st t.queued
+    end
   end
 
-let output_pending conn = Buffer.length conn.out > conn.out_sent
+let push_response t conn id resp =
+  push_frame t conn (Protocol.encode_response ~id resp)
+
+(* Write what the socket accepts and keep poll interest equal to "has
+   pending bytes" — write interest on an idle socket would spin the
+   loop. *)
+let flush_conn t conn =
+  if output_pending conn then begin
+    match Reactor.Writer.flush conn.wr ~now:(Unix.gettimeofday ()) with
+    | Reactor.Writer.Drained | Reactor.Writer.Pending -> ()
+    | Reactor.Writer.Peer_gone ->
+        conn.closing <- true;
+        conn.force_close <- true
+  end;
+  Reactor.set_write_interest t.reactor conn.fd (output_pending conn)
 
 (* ---------------- semi-synchronous commit acks ---------------- *)
 
@@ -240,7 +291,7 @@ let release_parked_acks t =
       t.parked_acks <- still;
       List.iter
         (fun (conn, id, _, resp) ->
-          if List.memq conn t.conns then push_response conn id resp)
+          if List.memq conn t.conns then push_response t conn id resp)
         (List.rev ready)
 
 (* Park a commit Ack until the subscribers catch up — or push it right
@@ -249,162 +300,29 @@ let release_parked_acks t =
    force and ack can lose nothing a client was told was committed, and
    a replica promoted after a primary kill holds every acked write. *)
 let park_or_push t conn id ~lsn resp =
-  if subscribers t = [] then push_response conn id resp
+  if subscribers t = [] then push_response t conn id resp
   else t.parked_acks <- (conn, id, lsn, resp) :: t.parked_acks
 
-(* ---------------- connection lifecycle ---------------- *)
+(* ---------------- group-commit window ---------------- *)
 
-let close_conn t conn =
-  if List.memq conn t.conns then begin
-    t.conns <- List.filter (fun c -> c != conn) t.conns;
-    t.queued <- t.queued - Queue.length conn.pending;
-    Server_stats.queue_depth t.st t.queued;
-    Queue.clear conn.pending;
-    (* Purge COMMITs the dead connection staged in the open window:
-       nobody is owed the Ack and its latency must not pollute the
-       histogram. The journal-staged intent is already applied and must
-       still be forced — if no live staging remains to carry the window,
-       force it now rather than leaving acknowledged-to-nobody writes
-       hanging on a deadline that was just cleared. *)
-    let mine, others =
-      List.partition (fun (c, _, _) -> c == conn) t.pending_commits
-    in
-    if mine <> [] then begin
-      t.pending_commits <- others;
-      if others = [] then begin
-        t.commit_deadline <- None;
-        ignore (Session.commit_force_shared t.sh)
-      end
-    end;
-    (* Acks parked for the dead connection are owed to nobody. *)
-    t.parked_acks <-
-      List.filter (fun (c, _, _, _) -> c != conn) t.parked_acks;
-    Session.close conn.session;
-    Server_stats.session_closed t.st;
-    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-    (* A dead subscriber no longer holds the ack floor down; recompute
-       it over the survivors (or release everything if none remain). *)
-    if conn.repl_from <> None then release_parked_acks t
-  end
-
-let reject_connection t fd =
-  (* Over max-sessions: one typed Overloaded frame, then the door. The
-     socket is fresh (blocking) and the frame small, but a single write
-     is still allowed to be short — e.g. a tiny send buffer on a slow
-     client — and a truncated frame would be undecodable, so loop until
-     the whole frame is out. *)
-  Server_stats.overloaded t.st;
-  let frame =
-    Protocol.encode_response ~id:0L
-      (Protocol.Overloaded
-         (Printf.sprintf "server at session limit (%d)" t.cfg.max_sessions))
-  in
-  let len = Bytes.length frame in
-  let rec write_all off =
-    if off < len then
-      match Unix.write fd frame off (len - off) with
-      | 0 -> ()
-      | n -> write_all (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-      | exception Unix.Unix_error _ -> ()
-  in
-  write_all 0;
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_connections t =
-  match Unix.accept t.listen_fd with
-  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
-    -> ()
-  | fd, _peer ->
-      if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
-      else if List.length t.conns >= t.cfg.max_sessions then
-        reject_connection t fd
-      else begin
-        Unix.set_nonblock fd;
-        let conn =
-          {
-            fd;
-            session = Session.create t.sh;
-            framer = Protocol.Framer.create ();
-            pending = Queue.create ();
-            out = Buffer.create 256;
-            out_sent = 0;
-            closing = false;
-            last_active = Unix.gettimeofday ();
-            repl_from = None;
-            repl_id = 0L;
-            repl_acked = 0;
-          }
-        in
-        t.conns <- conn :: t.conns;
-        Server_stats.session_opened t.st
-      end
-
-(* ---------------- input ---------------- *)
-
-let enqueue_request t conn id req =
-  if t.queued >= t.cfg.max_queue then begin
-    Server_stats.overloaded t.st;
-    push_response conn id
-      (Protocol.Overloaded
-         (Printf.sprintf "request queue full (%d pending)" t.queued))
-  end
-  else begin
-    Queue.add (id, req) conn.pending;
-    t.queued <- t.queued + 1;
-    Server_stats.queue_depth t.st t.queued
-  end
-
-let drain_frames t conn =
-  let continue = ref true in
-  while !continue do
-    match Protocol.Framer.next conn.framer with
-    | Ok None -> continue := false
-    | Ok (Some payload) -> (
-        match Protocol.decode_request payload with
-        | Ok (id, req) -> enqueue_request t conn id req
-        | Result.Error err ->
-            push_response conn 0L
-              (Protocol.Error (Protocol.error_to_string err)))
-    | Result.Error err ->
-        (* Length prefix beyond max_payload: the byte stream is beyond
-           recovery. Answer, then close after the answer drains. *)
-        push_response conn 0L
-          (Protocol.Error (Protocol.error_to_string err));
-        conn.closing <- true;
-        continue := false
-  done
-
-let read_conn t conn =
-  let scratch = Bytes.create 65536 in
-  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
-  | 0 -> close_conn t conn
-  | n ->
-      conn.last_active <- Unix.gettimeofday ();
-      Protocol.Framer.feed conn.framer scratch n;
-      drain_frames t conn
-  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
-    -> ()
-  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
-      close_conn t conn
-
-(* ---------------- execution ---------------- *)
-
-let device_stats t =
-  Storage.Block_device.Stats.get
-    (Relation.Catalog.device (Session.catalog t.sh))
+let clear_commit_timer t =
+  match t.commit_timer with
+  | Some tm ->
+      Reactor.cancel t.reactor tm;
+      t.commit_timer <- None
+  | None -> ()
 
 (* Close the group-commit window: one marker and one log force cover
    every staged COMMIT, then all of them are acknowledged at once. No
    requester was answered before this point, so a crash inside the
    window loses nothing a client was told is durable. *)
 let flush_group_commits t =
+  clear_commit_timer t;
   match t.pending_commits with
-  | [] -> t.commit_deadline <- None
+  | [] -> ()
   | newest_first ->
       let pending = List.rev newest_first in
       t.pending_commits <- [];
-      t.commit_deadline <- None;
       let batch, _, io =
         Harness.Measure.timed_io (Session.catalog t.sh) (fun () ->
             Session.commit_force_shared t.sh)
@@ -426,6 +344,192 @@ let flush_group_commits t =
                     "committed (group commit batch of %d) lsn %d" batch lsn)))
         pending
 
+(* ---------------- connection lifecycle ---------------- *)
+
+let close_conn t conn =
+  if List.memq conn t.conns then begin
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    t.nconns <- t.nconns - 1;
+    t.queued <- t.queued - Queue.length conn.pending;
+    Server_stats.queue_depth t.st t.queued;
+    Queue.clear conn.pending;
+    (* Purge COMMITs the dead connection staged in the open window:
+       nobody is owed the Ack and its latency must not pollute the
+       histogram. The journal-staged intent is already applied and must
+       still be forced — if no live staging remains to carry the window,
+       force it now rather than leaving acknowledged-to-nobody writes
+       hanging on a deadline that was just cleared. *)
+    let mine, others =
+      List.partition (fun (c, _, _) -> c == conn) t.pending_commits
+    in
+    if mine <> [] then begin
+      t.pending_commits <- others;
+      if others = [] then begin
+        clear_commit_timer t;
+        ignore (Session.commit_force_shared t.sh)
+      end
+    end;
+    (* Acks parked for the dead connection are owed to nobody. *)
+    t.parked_acks <-
+      List.filter (fun (c, _, _, _) -> c != conn) t.parked_acks;
+    Session.close conn.session;
+    Server_stats.session_closed t.st;
+    Reactor.deregister t.reactor conn.fd;
+    (* Drain unread inbound bytes before closing: close(2) with data
+       still in the receive queue makes the kernel answer with RST,
+       which destroys the typed goodbye frame in flight to the peer.
+       Bounded — a peer still spraying bytes gets the reset it earned. *)
+    (let scratch = Bytes.create 65536 in
+     let rec drain n =
+       if n > 0 then
+         match Unix.read conn.fd scratch 0 65536 with
+         | 0 -> ()
+         | _ -> drain (n - 1)
+         | exception Unix.Unix_error _ -> ()
+     in
+     drain 16);
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* A dead subscriber no longer holds the ack floor down; recompute
+       it over the survivors (or release everything if none remain). *)
+    if conn.repl_from <> None then release_parked_acks t
+  end
+
+let reject_connection t fd reason =
+  (* One typed Overloaded frame, then the door. The socket is fresh
+     (blocking) and the frame small, but a single write is still
+     allowed to be short — e.g. a tiny send buffer on a slow client —
+     and a truncated frame would be undecodable, so loop until the
+     whole frame is out. *)
+  Server_stats.overloaded t.st;
+  let frame = Protocol.encode_response ~id:0L (Protocol.Overloaded reason) in
+  let len = Bytes.length frame in
+  let rec write_all off =
+    if off < len then
+      match Unix.write fd frame off (len - off) with
+      | 0 -> ()
+      | n -> write_all (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
+      | exception Unix.Unix_error _ -> ()
+  in
+  write_all 0;
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* ---------------- input ---------------- *)
+
+let enqueue_request t conn id req =
+  if t.queued >= t.cfg.max_queue then begin
+    Server_stats.overloaded t.st;
+    push_response t conn id
+      (Protocol.Overloaded
+         (Printf.sprintf "request queue full (%d pending)" t.queued))
+  end
+  else begin
+    Queue.add (id, req) conn.pending;
+    t.queued <- t.queued + 1;
+    Server_stats.queue_depth t.st t.queued
+  end
+
+let drain_frames t conn =
+  let continue = ref true in
+  while !continue do
+    match Protocol.Framer.next conn.framer with
+    | Ok None -> continue := false
+    | Ok (Some payload) -> (
+        match Protocol.decode_request payload with
+        | Ok (id, req) -> enqueue_request t conn id req
+        | Result.Error err ->
+            push_response t conn 0L
+              (Protocol.Error (Protocol.error_to_string err)))
+    | Result.Error err ->
+        (* Length prefix beyond max_payload: the byte stream is beyond
+           recovery. Answer, then close after the answer drains. *)
+        push_response t conn 0L
+          (Protocol.Error (Protocol.error_to_string err));
+        conn.closing <- true;
+        continue := false
+  done
+
+let read_conn t conn =
+  let scratch = Bytes.create 65536 in
+  match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
+  | 0 -> close_conn t conn
+  | n when conn.closing ->
+      (* A cut-off consumer gets no further service; discarding (rather
+         than ignoring) its bytes keeps the receive queue empty so the
+         eventual close delivers the final typed frame instead of an
+         RST. *)
+      ignore n
+  | n ->
+      conn.last_active <- Unix.gettimeofday ();
+      Protocol.Framer.feed conn.framer scratch n;
+      drain_frames t conn
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      close_conn t conn
+
+let accept_connections t =
+  (* Drain the whole accept backlog: with thousands of clients dialling
+     at once, one accept per readiness wakeup would leave most of the
+     burst waiting a full loop turn each. *)
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.listen_fd with
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      -> continue := false
+    | exception Unix.Unix_error _ -> continue := false
+    | fd, _peer ->
+        if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else if t.nconns >= t.cfg.max_sessions then
+          reject_connection t fd
+            (Printf.sprintf "server at session limit (%d)" t.cfg.max_sessions)
+        else if
+          Reactor.backend t.reactor = Reactor.Backend.Select
+          && Reactor.Backend.fd_int fd > Reactor.Backend.select_fd_limit
+        then
+          (* The select fallback cannot wait on fds this high; a typed
+             refusal beats a crashed loop. The poll backend has no such
+             ceiling. *)
+          reject_connection t fd
+            (Printf.sprintf "select backend cannot serve fd %d (limit %d)"
+               (Reactor.Backend.fd_int fd) Reactor.Backend.select_fd_limit)
+        else begin
+          Unix.set_nonblock fd;
+          let conn =
+            {
+              fd;
+              session = Session.create t.sh;
+              framer = Protocol.Framer.create ();
+              pending = Queue.create ();
+              wr =
+                Reactor.Writer.create ~high_water:t.cfg.write_high_water
+                  ~now:(Unix.gettimeofday ()) fd;
+              closing = false;
+              force_close = false;
+              overflow = false;
+              last_active = Unix.gettimeofday ();
+              repl_from = None;
+              repl_id = 0L;
+              repl_acked = 0;
+            }
+          in
+          t.conns <- conn :: t.conns;
+          t.nconns <- t.nconns + 1;
+          Reactor.register t.reactor fd
+            ~readable:(fun () -> read_conn t conn)
+            ~writable:(fun () -> flush_conn t conn)
+            ();
+          Reactor.set_write_interest t.reactor fd false;
+          Server_stats.session_opened t.st
+        end
+  done
+
+(* ---------------- execution ---------------- *)
+
+let device_stats t =
+  Storage.Block_device.Stats.get
+    (Relation.Catalog.device (Session.catalog t.sh))
+
 (* Slow-query logging must never stall the event loop: the span tree is
    rendered under a byte cap (a pathological plan can hold thousands of
    spans) and written best-effort — if stderr's pipe is full (a wedged
@@ -441,9 +545,8 @@ let log_slow_query t ~seconds sp =
       (Obs.Trace.render ~max_bytes:slow_query_max_bytes sp)
   in
   let writable =
-    match Unix.select [] [ Unix.stderr ] [] 0. with
-    | _, w, _ -> w <> []
-    | exception Unix.Unix_error _ -> false
+    try Reactor.Backend.wait_fd Unix.stderr `Write ~timeout:0.
+    with _ -> false
   in
   if not writable then incr slow_queries_dropped
   else
@@ -460,18 +563,18 @@ let handle_repl t conn id req =
   match req with
   | Protocol.Repl_subscribe { from_lsn } -> (
       if t.upstream <> None then
-        push_response conn id
+        push_response t conn id
           (Protocol.Error "this server is a replica; subscribe to the primary")
       else
         match Relation.Catalog.journal (Session.catalog t.sh) with
         | None ->
-            push_response conn id
+            push_response t conn id
               (Protocol.Error "replication requires a durable server")
         | Some j ->
             let base = Storage.Journal.base_lsn j in
             let dur = Storage.Journal.durable_lsn j in
             if from_lsn < base || from_lsn > dur then
-              push_response conn id
+              push_response t conn id
                 (Protocol.Invalid
                    (Printf.sprintf
                       "from_lsn %d outside retained log [%d, %d]" from_lsn
@@ -480,7 +583,7 @@ let handle_repl t conn id req =
               conn.repl_from <- Some from_lsn;
               conn.repl_id <- id;
               conn.repl_acked <- from_lsn;
-              push_response conn id
+              push_response t conn id
                 (Protocol.Repl_state
                    { role = Protocol.Primary; durable_lsn = dur;
                      applied_lsn = dur })
@@ -507,12 +610,12 @@ let handle_repl t conn id req =
               { role = Protocol.Primary; durable_lsn = lsn;
                 applied_lsn = lsn }
       in
-      push_response conn id state
+      push_response t conn id state
   | Protocol.Shard_map_req ->
       (* An unsharded server is a degenerate one-shard cluster: a single
          range covering the whole interval space. Clients discover
          topology the same way against rikitd and the router. *)
-      push_response conn id
+      push_response t conn id
         (Protocol.Shard_map
            [ { Protocol.shard_lo = min_int; shard_hi = max_int;
                endpoints = [ (t.cfg.host, t.bound_port) ] } ])
@@ -532,22 +635,27 @@ let execute_one t conn id req =
          the window for everyone and the force would touch a damaged
          image. *)
       let reason = Option.get (Session.degraded_reason_shared t.sh) in
-      push_response conn id
+      push_response t conn id
         (Protocol.Read_only
            (Printf.sprintf "server is read-only: %s" reason))
   | Protocol.Commit when t.cfg.group_commit > 0. -> (
       (* Stage now, answer at the window flush — except a conflict,
          which aborted the transaction without staging anything and is
-         answered immediately. *)
+         answered immediately. The window close is a reactor timer, not
+         loop timeout math. *)
       match Session.stage_commit conn.session with
       | Ok () ->
           let now = Unix.gettimeofday () in
           t.pending_commits <- (conn, id, now) :: t.pending_commits;
-          if t.commit_deadline = None then
-            t.commit_deadline <- Some (now +. t.cfg.group_commit)
-      | Result.Error m -> push_response conn id (Protocol.Conflict m)
+          if t.commit_timer = None then
+            t.commit_timer <-
+              Some
+                (Reactor.after t.reactor t.cfg.group_commit (fun () ->
+                     t.commit_timer <- None;
+                     flush_group_commits t))
+      | Result.Error m -> push_response t conn id (Protocol.Conflict m)
       | exception e ->
-          push_response conn id
+          push_response t conn id
             (Protocol.Error ("commit failed: " ^ Printexc.to_string e)))
   | req ->
       (* A rollback must not outrun COMMITs already staged ahead of it:
@@ -587,7 +695,7 @@ let execute_one t conn id req =
       (match (req, resp) with
       | Protocol.Commit, Protocol.Ack _ ->
           park_or_push t conn id ~lsn:(Session.durable_lsn_shared t.sh) resp
-      | _ -> push_response conn id resp)
+      | _ -> push_response t conn id resp)
 
 let execute_round t ~limit =
   (* Round-robin: one request per ready session per pass, so a chatty
@@ -615,9 +723,12 @@ let execute_round t ~limit =
 
 (* Ship newly durable journal bytes to every subscriber, chunked well
    under the frame payload cap. Bytes go out in LSN order on each
-   connection, so a subscriber's stream is always a contiguous prefix;
-   a frame lost to a dead socket just leaves its cursor behind until
-   the replica reconnects and resubscribes from its applied LSN. *)
+   connection, so a subscriber's stream is always a contiguous prefix.
+   Shipping is flow-controlled by the subscriber's bounded writer: a
+   standby that stops draining keeps its cursor parked (and is
+   eventually reaped by the stall timeout) instead of growing an
+   unbounded buffer or wedging the loop — other subscribers and the
+   semi-sync ack path continue unimpeded. *)
 let repl_chunk_bytes = 1 lsl 20
 
 let pump_replication t =
@@ -630,22 +741,26 @@ let pump_replication t =
           match conn.repl_from with
           | Some cur when cur < dur ->
               let cursor = ref cur in
-              while !cursor < dur do
+              while
+                !cursor < dur
+                && Reactor.Writer.pending_bytes conn.wr
+                   < Reactor.Writer.high_water conn.wr
+              do
                 let payload =
                   Storage.Journal.stream_from ~max_bytes:repl_chunk_bytes j
                     !cursor
                 in
-                push_response conn conn.repl_id
+                push_response t conn conn.repl_id
                   (Protocol.Repl_frame
                      { lsn = !cursor;
                        payload = Bytes.unsafe_to_string payload });
                 cursor := !cursor + Bytes.length payload
               done;
-              conn.repl_from <- Some dur
+              conn.repl_from <- Some !cursor
           | _ -> ())
         (subscribers t)
 
-(* ---------------- idle reaping ---------------- *)
+(* ---------------- housekeeping (idle + stalled consumers) ------------ *)
 
 (* A leaked client — connected, silent, holding a session against
    max_sessions — gets a typed goodbye and the door. Only genuinely
@@ -665,76 +780,67 @@ let reap_idle t now =
           && (not (output_pending conn))
           && now -. conn.last_active > t.cfg.idle_timeout
         then begin
-          push_response conn 0L
+          push_response t conn 0L
             (Protocol.Goodbye
                (Printf.sprintf "idle for %.0fs, closing" t.cfg.idle_timeout));
           conn.closing <- true
         end)
       t.conns
 
-(* ---------------- metrics endpoint ----------------
-
-   Plain HTTP/1.0, one request per connection: read whatever the
-   scraper sends (the request line is ignored — every path gets the
-   exposition), write the document, close. The accepted socket is
-   blocking with a short receive timeout, so a scraper that connects
-   and says nothing cannot wedge the loop for more than a second. *)
-
-let serve_metrics_conn t fd =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
-   with Unix.Unix_error _ -> ());
-  let scratch = Bytes.create 1024 in
-  (try ignore (Unix.read fd scratch 0 (Bytes.length scratch))
-   with Unix.Unix_error _ -> ());
-  let body = metrics_doc t in
-  let resp =
-    Printf.sprintf
-      "HTTP/1.0 200 OK\r\n\
-       Content-Type: text/plain; version=0.0.4\r\n\
-       Content-Length: %d\r\n\
-       Connection: close\r\n\
-       \r\n\
-       %s"
-      (String.length body) body
-  in
-  let data = Bytes.of_string resp in
-  let len = Bytes.length data in
-  let rec write_all off =
-    if off < len then
-      match Unix.write fd data off (len - off) with
-      | 0 -> ()
-      | n -> write_all (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-      | exception Unix.Unix_error _ -> ()
-  in
-  write_all 0;
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_metrics t =
-  match t.metrics_fd with
-  | None -> ()
-  | Some mfd -> (
-      match Unix.accept mfd with
-      | exception Unix.Unix_error _ -> ()
-      | fd, _peer -> serve_metrics_conn t fd)
+(* Consumers with pending output that accept no bytes at all: bounded
+   buffers stop the memory bleed, this stops the fd bleed. *)
+let reap_stalled t now =
+  List.iter
+    (fun conn ->
+      let stalled = Reactor.Writer.stalled_for conn.wr ~now in
+      let limit =
+        if conn.repl_from <> None then repl_stall_timeout
+        else if t.cfg.idle_timeout > 0. then t.cfg.idle_timeout
+        else default_stall_grace
+      in
+      if stalled > limit then begin
+        conn.closing <- true;
+        conn.force_close <- true
+      end)
+    t.conns
 
 (* ---------------- the upstream link (replica side) ---------------- *)
 
 let retry_delay = 0.2
+let connect_timeout = 0.25
 
-let drop_upstream u =
+let clear_utimer t u =
+  match u.utimer with
+  | Some tm ->
+      Reactor.cancel t.reactor tm;
+      u.utimer <- None
+  | None -> ()
+
+let rec schedule_redial t u delay =
+  clear_utimer t u;
+  if not t.stopping then
+    u.utimer <-
+      Some
+        (Reactor.after t.reactor delay (fun () ->
+             u.utimer <- None;
+             dial_upstream t u))
+
+and drop_upstream t u =
   (match u.ufd with
-  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | Some fd ->
+      Reactor.deregister t.reactor fd;
+      (try Unix.close fd with Unix.Unix_error _ -> ())
   | None -> ());
   u.ufd <- None;
+  u.uconnected <- false;
   u.uframer <- Protocol.Framer.create ();
-  u.next_attempt <- Unix.gettimeofday () +. retry_delay
+  schedule_redial t u retry_delay
 
 (* The requests a replica sends upstream (one subscribe, then acks) are
    tiny and rare; write them whole. A full socket buffer here means the
-   primary is gone or wedged — drop the link and let the retry loop
+   primary is gone or wedged — drop the link and let the redial timer
    take over rather than blocking the serve loop. *)
-let send_upstream u req =
+and send_upstream t u req =
   match u.ufd with
   | None -> ()
   | Some fd -> (
@@ -743,46 +849,67 @@ let send_upstream u req =
       let rec write_all off =
         if off < len then
           match Unix.write fd frame off (len - off) with
-          | 0 -> drop_upstream u
+          | 0 -> drop_upstream t u
           | n -> write_all (off + n)
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-          | exception Unix.Unix_error _ -> drop_upstream u
+          | exception Unix.Unix_error _ -> drop_upstream t u
       in
-      try write_all 0 with Unix.Unix_error _ -> drop_upstream u)
+      try write_all 0 with Unix.Unix_error _ -> drop_upstream t u)
 
-(* Dial the primary (bounded by a short select so an unresponsive
-   address cannot wedge the serve loop) and resubscribe from the LSN
-   applied so far. A record half-received when the old link died is
-   simply refetched — Replica.reset dropped the buffered tail — so a
-   torn frame can never desync the apply position. *)
-let tend_upstream t now =
-  match t.upstream with
-  | Some u when u.ufd = None && now >= u.next_attempt -> (
-      u.next_attempt <- now +. retry_delay;
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      match
-        let addr =
-          Unix.ADDR_INET (Unix.inet_addr_of_string u.uhost, u.uport)
-        in
-        Unix.set_nonblock fd;
-        (try Unix.connect fd addr
-         with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> ());
-        let _, w, _ = Unix.select [] [ fd ] [] 0.25 in
-        if w = [] then failwith "connect timed out";
-        (match Unix.getsockopt_error fd with
-        | Some e -> raise (Unix.Unix_error (e, "connect", ""))
-        | None -> ());
-        fd
-      with
-      | fd ->
-          u.ufd <- Some fd;
-          u.uframer <- Protocol.Framer.create ();
-          let from_lsn = Replica.reset u.engine in
-          send_upstream u (Protocol.Repl_subscribe { from_lsn })
-      | exception _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()))
-  | _ -> ()
+and on_upstream_connected t u fd =
+  clear_utimer t u;
+  u.uconnected <- true;
+  u.uframer <- Protocol.Framer.create ();
+  Reactor.register t.reactor fd
+    ~readable:(fun () -> read_upstream t u fd)
+    ();
+  (* Resubscribe from the LSN applied so far. A record half-received
+     when the old link died is simply refetched — Replica.reset dropped
+     the buffered tail — so a torn frame can never desync the apply
+     position. *)
+  let from_lsn = Replica.reset u.engine in
+  send_upstream t u (Protocol.Repl_subscribe { from_lsn })
 
-let apply_upstream_frame t u ~lsn payload =
+(* Dial the primary without ever blocking the loop: non-blocking
+   connect, completion reported by writability, bounded by a connect
+   timer instead of the old fixed 0.25 s select that froze every
+   session (and quantized commit-ack latency) per attempt. *)
+and dial_upstream t u =
+  if not (t.stopping || u.ufd <> None) then begin
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match
+      let addr = Unix.ADDR_INET (Unix.inet_addr_of_string u.uhost, u.uport) in
+      Unix.set_nonblock fd;
+      match Unix.connect fd addr with
+      | () -> `Connected
+      | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> `In_progress
+    with
+    | `Connected ->
+        u.ufd <- Some fd;
+        on_upstream_connected t u fd
+    | `In_progress ->
+        u.ufd <- Some fd;
+        u.uconnected <- false;
+        Reactor.register t.reactor fd
+          ~writable:(fun () -> complete_upstream_connect t u fd)
+          ();
+        u.utimer <-
+          Some
+            (Reactor.after t.reactor connect_timeout (fun () ->
+                 u.utimer <- None;
+                 drop_upstream t u))
+    | exception _ ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        schedule_redial t u retry_delay
+  end
+
+and complete_upstream_connect t u fd =
+  match Unix.getsockopt_error fd with
+  | Some _ -> drop_upstream t u
+  | None -> on_upstream_connected t u fd
+  | exception Unix.Unix_error _ -> drop_upstream t u
+
+and apply_upstream_frame t u ~lsn payload =
   let device = Relation.Catalog.device (Session.catalog t.sh) in
   match Replica.feed u.engine device ~lsn payload with
   | Ok 0 -> ()
@@ -791,16 +918,17 @@ let apply_upstream_frame t u ~lsn payload =
          tree handles so readers see them, then tell the primary how
          far we are (releasing its semi-sync parked acks). *)
       Session.reload t.sh;
-      send_upstream u (Protocol.Repl_ack { lsn = Replica.applied_lsn u.engine })
+      send_upstream t u
+        (Protocol.Repl_ack { lsn = Replica.applied_lsn u.engine })
   | Result.Error msg ->
       Printf.eprintf "rikitd: replication stream broken (%s), redialling\n%!"
         msg;
-      drop_upstream u
+      drop_upstream t u
 
-let read_upstream t u fd =
+and read_upstream t u fd =
   let scratch = Bytes.create 65536 in
   match Unix.read fd scratch 0 (Bytes.length scratch) with
-  | 0 -> drop_upstream u
+  | 0 -> drop_upstream t u
   | n ->
       Protocol.Framer.feed u.uframer scratch n;
       let continue = ref true in
@@ -816,119 +944,79 @@ let read_upstream t u fd =
             | Ok (_, (Protocol.Error m | Protocol.Invalid m)) ->
                 Printf.eprintf
                   "rikitd: primary refused subscription: %s\n%!" m;
-                drop_upstream u
+                drop_upstream t u
             | Ok _ -> ()
-            | Result.Error _ -> drop_upstream u)
-        | Result.Error _ -> drop_upstream u
+            | Result.Error _ -> drop_upstream t u)
+        | Result.Error _ -> drop_upstream t u
       done
   | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
     -> ()
-  | exception Unix.Unix_error _ -> drop_upstream u
+  | exception Unix.Unix_error _ -> drop_upstream t u
 
 (* ---------------- the loop ---------------- *)
 
 let serve t =
   let scratch = Bytes.create 16 in
   let finished = ref false in
-  while not !finished do
-    let reads =
-      t.stop_r
-      :: (if t.stopping then [] else [ t.listen_fd ])
-      @ (match t.metrics_fd with
-        | Some mfd when not t.stopping -> [ mfd ]
-        | _ -> [])
-      @ (match t.upstream with
-        | Some { ufd = Some fd; _ } -> [ fd ]
-        | _ -> [])
-      @ List.filter_map
-          (fun c -> if c.closing then None else Some c.fd)
-          t.conns
-    in
-    let writes =
-      List.filter_map
-        (fun c -> if output_pending c then Some c.fd else None)
-        t.conns
-    in
-    let base_timeout =
-      (* With idle reaping on, wake often enough that a connection is
-         closed within ~a quarter timeout of earning it. *)
-      if t.cfg.idle_timeout > 0. then
-        Float.min 1.0 (Float.max 0.02 (t.cfg.idle_timeout /. 4.))
-      else 1.0
-    in
-    let base_timeout =
-      (* A replica with its upstream down must wake for the redial. *)
-      match t.upstream with
-      | Some { ufd = None; _ } -> Float.min base_timeout retry_delay
-      | _ -> base_timeout
-    in
-    let timeout =
-      (* Never sleep past the close of an open group-commit window. *)
-      match t.commit_deadline with
-      | None -> base_timeout
-      | Some dl ->
-          Float.max 0.0 (Float.min base_timeout (dl -. Unix.gettimeofday ()))
-    in
-    let readable, writable, _ =
-      try Unix.select reads writes [] timeout
-      with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    (* One hash set per direction per tick: readiness checks below are
-       O(1) instead of List.mem per connection (O(sessions × ready)). *)
-    let fd_set l =
-      let h = Hashtbl.create (List.length l * 2 + 1) in
-      List.iter (fun fd -> Hashtbl.replace h fd ()) l;
-      h
-    in
-    let rset = fd_set readable and wset = fd_set writable in
-    let ready_r fd = Hashtbl.mem rset fd in
-    let ready_w fd = Hashtbl.mem wset fd in
-    if ready_r t.stop_r then begin
+  let r = t.reactor in
+  Unix.set_nonblock t.listen_fd;
+  Reactor.register r t.stop_r
+    ~readable:(fun () ->
       (try ignore (Unix.read t.stop_r scratch 0 (Bytes.length scratch))
        with Unix.Unix_error _ -> ());
-      t.stopping <- true
-    end;
-    if (not t.stopping) && ready_r t.listen_fd then accept_connections t;
-    (match t.metrics_fd with
-    | Some mfd when (not t.stopping) && ready_r mfd -> accept_metrics t
-    | _ -> ());
-    (match t.upstream with
-    | Some u -> (
-        if not t.stopping then tend_upstream t (Unix.gettimeofday ());
-        match u.ufd with
-        | Some fd when ready_r fd -> read_upstream t u fd
-        | _ -> ())
-    | None -> ());
-    List.iter (fun conn -> if ready_r conn.fd then read_conn t conn) t.conns;
+      t.stopping <- true;
+      Reactor.set_read_interest r t.listen_fd false;
+      match t.http with Some h -> Http_endpoint.stop_accepting h | None -> ())
+    ();
+  Reactor.register r t.listen_fd ~readable:(fun () -> accept_connections t) ();
+  (match t.metrics_fd with
+  | Some mfd ->
+      t.http <- Some (Http_endpoint.attach r ~fd:mfd ~doc:(fun () -> metrics_doc t))
+  | None -> ());
+  (match t.upstream with Some u -> dial_upstream t u | None -> ());
+  (* Housekeeping cadence: with idle reaping on, wake often enough that
+     a connection is closed within ~a quarter timeout of earning it. *)
+  let housekeeping_period =
+    if t.cfg.idle_timeout > 0. then
+      Float.min 1.0 (Float.max 0.02 (t.cfg.idle_timeout /. 4.))
+    else 0.5
+  in
+  let rec housekeeping () =
+    let now = Unix.gettimeofday () in
+    if not t.stopping then reap_idle t now;
+    reap_stalled t now;
+    if not !finished then
+      ignore (Reactor.after r housekeeping_period housekeeping)
+  in
+  ignore (Reactor.after r housekeeping_period housekeeping);
+  while not !finished do
+    (* Sleep only when idle: with requests still queued (an execute
+       round is inflight-capped) the next round must run immediately. *)
+    let timeout = if t.queued > 0 || t.stopping then 0. else 1.0 in
+    Reactor.run_once r ~max_timeout:timeout;
     execute_round t
       ~limit:(if t.stopping then t.queued else t.cfg.max_inflight);
-    (* Close the window at its deadline — or as soon as no live session
-       holds buffered writes: then no further COMMIT can join the batch
-       and waiting only delays the acknowledgements (the commit-siblings
-       rule). A session mid-transaction keeps the window open so its
-       COMMIT can share the force, bounded by the deadline. *)
-    (match t.commit_deadline with
-    | Some dl
-      when t.stopping
-           || Unix.gettimeofday () >= dl
-           || not
-                (List.exists
-                   (fun c ->
-                     (not c.closing) && Session.has_pending_writes c.session)
-                   t.conns) ->
-        flush_group_commits t
-    | Some _ | None -> ());
+    (* The window's deadline is a timer; what remains inline is the
+       early close — as soon as no live session holds buffered writes,
+       no further COMMIT can join the batch and waiting only delays the
+       acknowledgements (the commit-siblings rule). *)
+    if
+      t.pending_commits <> []
+      && (t.stopping
+         || not
+              (List.exists
+                 (fun c ->
+                   (not c.closing) && Session.has_pending_writes c.session)
+                 t.conns))
+    then flush_group_commits t;
     (* Ship anything the window flush (or a synchronous commit, or a
        write-back) just made durable. *)
     pump_replication t;
-    if not t.stopping then reap_idle t (Unix.gettimeofday ());
+    List.iter (fun conn -> flush_conn t conn) t.conns;
     List.iter
       (fun conn ->
-        if ready_w conn.fd || output_pending conn then try_flush conn)
-      t.conns;
-    List.iter
-      (fun conn ->
-        if conn.closing && not (output_pending conn) then close_conn t conn)
+        if conn.force_close || (conn.closing && not (output_pending conn))
+        then close_conn t conn)
       t.conns;
     if t.stopping && t.queued = 0 then begin
       (* Everything parsed has been answered; push the last bytes out
@@ -937,19 +1025,25 @@ let serve t =
          stream to any subscriber was already pumped. *)
       List.iter
         (fun (conn, id, _, resp) ->
-          if List.memq conn t.conns then push_response conn id resp)
+          if List.memq conn t.conns then push_response t conn id resp)
         (List.rev t.parked_acks);
       t.parked_acks <- [];
-      List.iter (fun conn -> try_flush conn) t.conns;
+      List.iter (fun conn -> flush_conn t conn) t.conns;
       List.iter (fun conn -> close_conn t conn) t.conns;
       finished := true
     end
   done;
   (match t.upstream with
   | Some u -> (
+      clear_utimer t u;
       match u.ufd with
       | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
       | None -> ())
+  | None -> ());
+  (match t.http with
+  | Some h ->
+      Http_endpoint.close_all h;
+      t.http <- None
   | None -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
   (match t.metrics_fd with

@@ -1,12 +1,26 @@
 (** The rikitd event loop.
 
-    A single-process, single-writer [Unix.select] loop multiplexing many
+    A single-process, single-writer {!Reactor} loop multiplexing many
     client connections over the shared database — the serving shape the
-    paper assumes of its host RDBMS front end. Each round: accept new
-    connections, read and frame input, execute up to [max_inflight]
+    paper assumes of its host RDBMS front end. Readiness comes from the
+    reactor's poll(2) backend (no [FD_SETSIZE] ceiling; a select
+    fallback exists for tests and stub-less platforms), and every
+    time-driven behaviour — the group-commit window, idle reaping,
+    upstream redial backoff and connect bounds — is a timer on the
+    reactor's wheel rather than loop timeout math. Each round: accept
+    new connections, read and frame input, execute up to [max_inflight]
     parsed requests round-robin across sessions, and drain output
     buffers (sockets are non-blocking; a slow reader never stalls the
     loop).
+
+    Output is bounded: each connection writes through a
+    {!Reactor.Writer} capped at [write_high_water] bytes. A consumer
+    that lets the buffer burst the cap gets one typed [Overloaded]
+    frame and is closed once what it was owed drains (or when it stalls
+    outright); a replication subscriber is instead flow-controlled —
+    shipping pauses until it drains — and cut only after a hard stall,
+    so one wedged standby can never grow an unbounded buffer or hold
+    every session's commit acks hostage.
 
     Admission control is typed, never silent:
 
@@ -71,12 +85,23 @@ type config = {
           subscribers have applied past it (semi-synchronous; falls
           back to asynchronous the moment no subscriber is
           connected). *)
+  backend : Reactor.Backend.kind option;
+      (** readiness backend. [None] (the default) auto-selects: the
+          poll(2) stub when functional, else the [Unix.select]
+          fallback. Forcing [Select] (also reachable via the
+          [RIKIT_REACTOR_BACKEND] environment variable) caps the server
+          at select's fd ceiling — connections whose fd number exceeds
+          it are refused with a typed [Overloaded] frame instead of
+          crashing the loop. *)
+  write_high_water : int;
+      (** per-connection output buffer bound in bytes. See the
+          backpressure contract above. *)
 }
 
 val default_config : config
 (** [127.0.0.1:7468], 64 sessions, 32 inflight, 1024 queued, synchronous
     commit, no idle timeout, no metrics endpoint, no slow-query log,
-    not a replica. *)
+    not a replica, auto-selected backend, 4 MiB write high-water. *)
 
 type t
 
@@ -97,6 +122,9 @@ val metrics_doc : t -> string
 val stats : t -> Server_stats.t
 
 val shared : t -> Session.shared
+
+val backend : t -> Reactor.Backend.kind
+(** The readiness backend actually in use. *)
 
 val serve : t -> unit
 (** Run the loop until {!stop}. Must be called at most once. *)

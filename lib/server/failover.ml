@@ -128,6 +128,15 @@ let ensure t =
       in
       go 0
 
+(* The multiplexed scatter path drives legs' sockets directly: it needs
+   the dialled connection out, and a way to report a transport fault it
+   observed itself so the next [ensure] re-dials. *)
+let connection t = ensure t
+
+let fault t =
+  drop t;
+  rotate t
+
 let rec with_conn t ~mutation ~attempts f =
   match ensure t with
   | Result.Error e -> Result.Error e

@@ -51,6 +51,17 @@ val mutate :
 (** Run a mutation: [Read_only] rotates and retries; [Timeout]/[Io]
     after dispatch returns the error (ambiguous — caller decides). *)
 
+val connection : t -> (Client.t, Client.error) result
+(** The live dialled connection (dialling with read-your-writes
+    verification if there is none) — for callers that drive the socket
+    directly, e.g. {!Client.rpc_many} over several legs. Report any
+    transport fault observed on it with {!fault}. *)
+
+val fault : t -> unit
+(** Drop the current connection and rotate to the next endpoint — the
+    out-of-band counterpart of the rotation {!read}/{!mutate} perform
+    on [Timeout]/[Io]. *)
+
 (** {2 Typed conveniences} — {!Client} calls lifted over failover. *)
 
 val insert : t -> ?id:int -> Interval.Ivl.t -> (int, Client.error) result

@@ -1,0 +1,125 @@
+(* One-shot HTTP/1.0 exposition endpoint served directly on a reactor.
+
+   Replaces the dispatcher's inline blocking metrics handler and the
+   router's thread-per-scrape listener: every scrape is now a plain
+   reactor connection — accept, wait for the first request bytes (or
+   one second of silence, matching the old SO_RCVTIMEO behaviour),
+   write the document through a buffered writer, close once drained.
+   A scraper that connects and says nothing costs one idle fd, never a
+   thread and never a blocked loop. *)
+
+type hconn = {
+  hfd : Unix.file_descr;
+  hwr : Reactor.Writer.t;
+  mutable responded : bool;
+  mutable dead : bool;
+  mutable htimer : Reactor.timer option;
+}
+
+type t = {
+  r : Reactor.t;
+  lfd : Unix.file_descr;
+  doc : unit -> string;
+  mutable conns : hconn list;
+  mutable accepting : bool;
+}
+
+(* Answer even a silent scraper after this long (the old receive
+   timeout), and abandon an unread response after the grace. *)
+let silent_after = 1.0
+let drain_grace = 5.0
+
+let conn_count t = List.length t.conns
+
+let close_hconn t hc =
+  if not hc.dead then begin
+    hc.dead <- true;
+    (match hc.htimer with Some tm -> Reactor.cancel t.r tm | None -> ());
+    hc.htimer <- None;
+    Reactor.deregister t.r hc.hfd;
+    (try Unix.close hc.hfd with Unix.Unix_error _ -> ());
+    t.conns <- List.filter (fun c -> c != hc) t.conns
+  end
+
+let flush_hconn t hc =
+  match Reactor.Writer.flush hc.hwr ~now:(Unix.gettimeofday ()) with
+  | Reactor.Writer.Drained ->
+      if hc.responded then close_hconn t hc
+      else Reactor.set_write_interest t.r hc.hfd false
+  | Reactor.Writer.Pending -> Reactor.set_write_interest t.r hc.hfd true
+  | Reactor.Writer.Peer_gone -> close_hconn t hc
+
+let respond t hc =
+  if not (hc.responded || hc.dead) then begin
+    hc.responded <- true;
+    (match hc.htimer with Some tm -> Reactor.cancel t.r tm | None -> ());
+    let body = t.doc () in
+    let resp =
+      Printf.sprintf
+        "HTTP/1.0 200 OK\r\n\
+         Content-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: %d\r\n\
+         Connection: close\r\n\
+         \r\n\
+         %s"
+        (String.length body) body
+    in
+    ignore (Reactor.Writer.push hc.hwr (Bytes.of_string resp));
+    Reactor.set_read_interest t.r hc.hfd false;
+    hc.htimer <- Some (Reactor.after t.r drain_grace (fun () -> close_hconn t hc));
+    flush_hconn t hc
+  end
+
+let read_hconn t hc =
+  let scratch = Bytes.create 1024 in
+  match Unix.read hc.hfd scratch 0 (Bytes.length scratch) with
+  | 0 -> if hc.responded then close_hconn t hc else respond t hc
+  | _n -> respond t hc
+  | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+    -> ()
+  | exception Unix.Unix_error _ -> close_hconn t hc
+
+let accept_loop t =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.lfd with
+    | exception Unix.Unix_error ((Unix.EWOULDBLOCK | Unix.EAGAIN | Unix.EINTR), _, _)
+      -> continue := false
+    | exception Unix.Unix_error _ -> continue := false
+    | fd, _peer ->
+        if not t.accepting then (try Unix.close fd with Unix.Unix_error _ -> ())
+        else begin
+          Unix.set_nonblock fd;
+          let hc =
+            {
+              hfd = fd;
+              hwr = Reactor.Writer.create ~now:(Unix.gettimeofday ()) fd;
+              responded = false;
+              dead = false;
+              htimer = None;
+            }
+          in
+          t.conns <- hc :: t.conns;
+          Reactor.register t.r fd
+            ~readable:(fun () -> read_hconn t hc)
+            ~writable:(fun () -> flush_hconn t hc)
+            ();
+          Reactor.set_write_interest t.r fd false;
+          hc.htimer <- Some (Reactor.after t.r silent_after (fun () -> respond t hc))
+        end
+  done
+
+let attach r ~fd ~doc =
+  Unix.set_nonblock fd;
+  let t = { r; lfd = fd; doc; conns = []; accepting = true } in
+  Reactor.register r fd ~readable:(fun () -> accept_loop t) ();
+  t
+
+let stop_accepting t =
+  t.accepting <- false;
+  Reactor.set_read_interest t.r t.lfd false
+
+let close_all t =
+  t.accepting <- false;
+  Reactor.deregister t.r t.lfd;
+  List.iter (fun hc -> close_hconn t hc) t.conns

@@ -17,15 +17,20 @@
    the shard owning any point of m ∩ E both stores m and is a fan-out
    target.
 
-   Unlike the shard dispatcher (one select loop), the router is
-   thread-per-connection: its work is waiting on shard sockets, which
-   OCaml threads overlap freely (the runtime lock is released around
-   blocking syscalls), so one stalled client cannot block another. Each
-   connection keeps one {!Failover} leg per shard — per-request
-   deadlines, endpoint rotation towards a standby, and per-shard
-   read-your-writes LSN tokens all come from that machinery. A shard
-   that stays unreachable through failover degrades the answer to a
-   typed [Partial] frame, never a hang. *)
+   Threading: one reactor thread owns every client socket (framing,
+   buffered writes, backpressure, metrics scrapes) and a FIXED pool of
+   worker threads runs the shard RPCs — so the OS thread count is a
+   constant chosen at create time, independent of how many clients are
+   connected. Each connection's requests execute one at a time in
+   arrival order (the reactor hands a worker at most one job per
+   connection and queues the rest), while a scatter's legs are
+   multiplexed on a single readiness wait ({!Client.rpc_many}) — a
+   slow shard delays only that connection's merge, never a pool
+   thread per leg. Each connection keeps one {!Failover} leg per
+   shard — per-request deadlines, endpoint rotation towards a standby,
+   and per-shard read-your-writes LSN tokens all come from that
+   machinery. A shard that stays unreachable through failover degrades
+   the answer to a typed [Partial] frame, never a hang. *)
 
 (* ---------------- the shard map ---------------- *)
 
@@ -163,29 +168,63 @@ type config = {
       (* per-request budget for each shard leg; a partitioned shard
          surfaces as a typed Partial after at most roughly this long *)
   metrics_port : int option;
+  workers : int;
+      (* shard-RPC worker threads — the router's whole OS-thread budget
+         besides the reactor thread, regardless of connection count *)
+  backend : Reactor.Backend.kind option;  (* None = auto-select *)
 }
 
 let default_config =
   { host = "127.0.0.1"; port = 7654; max_sessions = 64;
-    shard_deadline_ms = 15_000.; metrics_port = None }
+    shard_deadline_ms = 15_000.; metrics_port = None;
+    workers = 8; backend = None }
+
+(* ---------------- per-connection state ---------------- *)
+
+type conn = {
+  c_fd : Unix.file_descr;
+  framer : Protocol.Framer.t;
+  wr : Reactor.Writer.t;
+  legs : Failover.t option array;  (* lazily dialled, one per shard *)
+  begun : bool array;  (* leg has an open BEGIN on its shard session *)
+  mutable in_txn : bool;
+  jobs : (int64 * Protocol.request) Queue.t;
+      (* decoded requests waiting their turn (reactor thread only) *)
+  mutable inflight : bool;  (* a worker owns this connection's head job *)
+  mutable closing : bool;  (* drain the write buffer, then close *)
+  mutable force_close : bool;
+  mutable dead : bool;  (* fd closed and deregistered *)
+}
+
+type job = conn * int64 * Protocol.request
+type done_msg = conn * (int64 * Protocol.response) option
 
 type t = {
   cfg : config;
   map : Map.t;
+  reactor : Reactor.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   metrics_fd : Unix.file_descr option;
   metrics_bound_port : int;
   st : Server_stats.t;
   mu : Mutex.t;
-      (* guards st, sessions, client_fds, threads, shard_* counters:
-         every client thread records into them *)
+      (* guards st and the shard_* / partials counters: worker threads
+         record into them while the reactor thread snapshots *)
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
+  wake_r : Unix.file_descr;  (* workers → reactor: completions pending *)
+  wake_w : Unix.file_descr;
+  wq : job Queue.t;  (* reactor → workers *)
+  wq_mu : Mutex.t;
+  wq_cond : Condition.t;
+  mutable wq_stop : bool;
+  dq : done_msg Queue.t;  (* workers → reactor *)
+  dq_mu : Mutex.t;
+  conns : (Unix.file_descr, conn) Hashtbl.t;  (* reactor thread only *)
+  mutable http : Http_endpoint.t option;
+  mutable worker_threads : Thread.t list;
   mutable stopping : bool;
-  mutable sessions : int;
-  mutable client_fds : Unix.file_descr list;
-  mutable threads : Thread.t list;
   shard_lsn : int array;
       (* highest commit LSN acked per shard, router-global: a fresh
          connection's legs are seeded with these so read-your-writes
@@ -219,10 +258,14 @@ let create cfg ~map =
         (Some fd, bp)
   in
   let stop_r, stop_w = Unix.pipe () in
+  let wake_r, wake_w = Unix.pipe () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
   let k = Map.shards map in
   {
     cfg;
     map;
+    reactor = Reactor.create ?backend:cfg.backend ();
     listen_fd;
     bound_port;
     metrics_fd;
@@ -231,10 +274,18 @@ let create cfg ~map =
     mu = Mutex.create ();
     stop_r;
     stop_w;
+    wake_r;
+    wake_w;
+    wq = Queue.create ();
+    wq_mu = Mutex.create ();
+    wq_cond = Condition.create ();
+    wq_stop = false;
+    dq = Queue.create ();
+    dq_mu = Mutex.create ();
+    conns = Hashtbl.create 64;
+    http = None;
+    worker_threads = [];
     stopping = false;
-    sessions = 0;
-    client_fds = [];
-    threads = [];
     shard_lsn = Array.make k 0;
     shard_rpcs = Array.make k 0;
     shard_errors = Array.make k 0;
@@ -245,6 +296,7 @@ let port t = t.bound_port
 let metrics_port t = t.metrics_bound_port
 let stats t = t.st
 let map t = t.map
+let backend t = Reactor.backend t.reactor
 
 let stop t =
   try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
@@ -264,35 +316,14 @@ let metrics_doc t =
       Metrics.render_router ~now:(Unix.gettimeofday ()) ~stats:t.st ~shards
         ~partials:t.partials ())
 
-(* ---------------- per-connection state ---------------- *)
-
-type conn = {
-  fd : Unix.file_descr;
-  framer : Protocol.Framer.t;
-  legs : Failover.t option array;  (* lazily dialled, one per shard *)
-  begun : bool array;  (* leg has an open BEGIN on its shard session *)
-  mutable in_txn : bool;
-}
-
-exception Conn_dead
-
-let send conn id resp =
-  let frame = Protocol.encode_response ~id resp in
-  let len = Bytes.length frame in
-  let rec go off =
-    if off < len then
-      match Unix.write conn.fd frame off (len - off) with
-      | 0 -> raise Conn_dead
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error _ -> raise Conn_dead
-  in
-  go 0
+(* ---------------- shard legs (worker threads) ---------------- *)
 
 (* The connection's leg to shard [i], dialled lazily. A fresh leg is
    seeded with the router-global LSN token for that shard, so even a
    brand-new connection only adopts an endpoint that has applied every
-   commit the router ever acked there. *)
+   commit the router ever acked there. Legs are only ever touched by
+   the one worker that owns the connection's in-flight job (or by the
+   reactor thread once no job is in flight). *)
 let leg t conn i =
   match conn.legs.(i) with
   | Some l -> l
@@ -322,6 +353,11 @@ let note_shard_result t i ok =
       t.shard_rpcs.(i) <- t.shard_rpcs.(i) + 1;
       if not ok then t.shard_errors.(i) <- t.shard_errors.(i) + 1)
 
+let record_shard t i ~seconds =
+  locked t (fun () ->
+      Server_stats.record t.st ~op:(Printf.sprintf "shard:%d" i) ~seconds
+        ~io:0)
+
 (* One RPC to shard [i] on this connection's leg, with per-shard
    latency recorded under op "shard:<i>". Reads retry across the
    shard's endpoints; mutations keep Failover's contract — a mid-flight
@@ -336,10 +372,7 @@ let shard_rpc t conn i ~mutation req =
         let run = if mutation then Failover.mutate else Failover.read in
         run l (fun c -> Client.rpc_result c req)
   in
-  let dt = Unix.gettimeofday () -. t0 in
-  locked t (fun () ->
-      Server_stats.record t.st ~op:(Printf.sprintf "shard:%d" i) ~seconds:dt
-        ~io:0);
+  record_shard t i ~seconds:(Unix.gettimeofday () -. t0);
   note_shard_result t i (Result.is_ok res);
   res
 
@@ -378,28 +411,68 @@ let response_of_error t missing e =
   | Client.Partial { missing; msg } -> Protocol.Partial { missing; msg }
   | Client.Unexpected m -> Protocol.Error m
 
-(* Scatter a read to every target shard concurrently — the first target
-   runs on this thread, the rest on short-lived ones. Results come back
-   in target order. Legs are per-connection and targets are distinct,
-   so the threads never share a leg. *)
+(* Scatter a read to every target shard as ONE multiplexed readiness
+   wait: dial (or reuse) each leg's connection, fire all the requests,
+   and let {!Client.rpc_many} collect the responses on a single
+   backend wait — k legs cost zero extra threads. A leg whose
+   multiplexed attempt died in transport is rotated ({!Failover.fault})
+   and retried through the leg's sequential endpoint-failover path, so
+   the read-retry contract survives on the rare path without giving up
+   the fast one. *)
 let scatter t conn targets req =
   match targets with
   | [] -> []
   | [ i ] -> [ (i, shard_rpc t conn i ~mutation:false req) ]
-  | first :: rest ->
-      let slots = Array.make (List.length targets) None in
-      let threads =
-        List.mapi
-          (fun j i ->
-            Thread.create
-              (fun () ->
-                slots.(j + 1) <- Some (i, shard_rpc t conn i ~mutation:false req))
-              ())
-          rest
+  | _ ->
+      let t0 = Unix.gettimeofday () in
+      let prepped =
+        List.map
+          (fun i ->
+            let l = leg t conn i in
+            match ensure_begun conn l i with
+            | Result.Error e -> (i, l, Result.Error e)
+            | Ok () -> (
+                match Failover.connection l with
+                | Result.Error e -> (i, l, Result.Error e)
+                | Ok c -> (i, l, Ok c)))
+          targets
       in
-      slots.(0) <- Some (first, shard_rpc t conn first ~mutation:false req);
-      List.iter Thread.join threads;
-      List.filter_map Fun.id (Array.to_list slots)
+      let live =
+        List.filter_map
+          (fun (i, l, r) ->
+            match r with Ok c -> Some (i, l, c) | Result.Error _ -> None)
+          prepped
+      in
+      let answers =
+        Client.rpc_many (List.map (fun (_, _, c) -> (c, req)) live)
+      in
+      let by_shard = Hashtbl.create 8 in
+      List.iter2
+        (fun (i, l, _) ans ->
+          let ans =
+            match ans with
+            | Result.Error (Client.Io _ | Client.Timeout _) ->
+                Failover.fault l;
+                Failover.read l (fun c -> Client.rpc_result c req)
+            | other -> other
+          in
+          Hashtbl.replace by_shard i ans)
+        live answers;
+      let dt = Unix.gettimeofday () -. t0 in
+      List.map
+        (fun (i, _, prep) ->
+          let res =
+            match prep with
+            | Result.Error _ as e -> e
+            | Ok _ -> (
+                match Hashtbl.find_opt by_shard i with
+                | Some a -> a
+                | None -> Result.Error (Client.Io "scatter leg unresolved"))
+          in
+          record_shard t i ~seconds:dt;
+          note_shard_result t i (Result.is_ok res);
+          (i, res))
+        prepped
 
 let default_columns = [ "lower"; "upper"; "id" ]
 
@@ -601,232 +674,456 @@ let handle_rollback t conn =
     Protocol.Partial { missing; msg = "rollback not acknowledged by every shard" }
   end
 
+(* ---------------- request execution ---------------- *)
+
 let unsupported = "not supported by the router; connect to a shard directly"
 
-let dispatch t conn id req =
+(* Requests that never touch shard legs or this connection's
+   transaction state — cheap enough to answer on the reactor thread
+   when the connection has nothing queued. *)
+let pure_answer t req =
   match req with
-  | Protocol.Ping -> send conn id (Protocol.Ack "pong")
-  | Protocol.Shard_map_req ->
-      send conn id (Protocol.Shard_map (Map.entries t.map))
+  | Protocol.Ping -> Some (Protocol.Ack "pong")
+  | Protocol.Shard_map_req -> Some (Protocol.Shard_map (Map.entries t.map))
   | Protocol.Stats ->
       let snap =
         locked t (fun () ->
             Server_stats.snapshot t.st ~now:(Unix.gettimeofday ())
               ~io:{ Storage.Block_device.Stats.reads = 0; writes = 0 })
       in
-      send conn id (Protocol.Stats_reply snap)
-  | Protocol.Metrics -> send conn id (Protocol.Ack (metrics_doc t))
-  | Protocol.Intersect { lower; upper } ->
-      if lower > upper then
-        send conn id
-          (Protocol.Invalid
-             (Printf.sprintf "empty interval [%d, %d]" lower upper))
-      else send conn id (gather_query t conn req (Some (lower, upper)))
-  | Protocol.Allen { relation; lower; upper } ->
-      if lower > upper then
-        send conn id
-          (Protocol.Invalid
-             (Printf.sprintf "empty interval [%d, %d]" lower upper))
-      else
-        send conn id
-          (gather_query t conn req (Map.allen_extent relation ~lower ~upper))
-  | Protocol.Insert { lower; upper; id = iid } ->
-      if lower > upper then
-        send conn id
-          (Protocol.Invalid
-             (Printf.sprintf "empty interval [%d, %d]" lower upper))
-      else send conn id (handle_insert t conn ~lower ~upper ~id:iid)
-  | Protocol.Delete { lower; upper; id = iid } ->
-      if lower > upper then
-        send conn id
-          (Protocol.Invalid
-             (Printf.sprintf "empty interval [%d, %d]" lower upper))
-      else send conn id (handle_delete t conn ~lower ~upper ~id:iid)
-  | Protocol.Begin ->
-      if conn.in_txn then
-        send conn id (Protocol.Invalid "transaction already in progress")
-      else begin
-        conn.in_txn <- true;
-        send conn id (Protocol.Ack "begin")
-      end
-  | Protocol.Commit -> send conn id (handle_commit t conn)
-  | Protocol.Rollback -> send conn id (handle_rollback t conn)
+      Some (Protocol.Stats_reply snap)
+  | Protocol.Metrics -> Some (Protocol.Ack (metrics_doc t))
   | Protocol.Sql _ | Protocol.Prepare _ | Protocol.Execute _
   | Protocol.Close_stmt _ | Protocol.Explain _ ->
-      send conn id (Protocol.Error unsupported)
+      Some (Protocol.Error unsupported)
   | Protocol.Repl_subscribe _ | Protocol.Repl_status ->
-      send conn id
-        (Protocol.Error "replication ops are not supported by the router")
-  | Protocol.Repl_ack _ -> ()  (* fire-and-forget, mirrored from rikitd *)
+      Some (Protocol.Error "replication ops are not supported by the router")
+  | Protocol.Repl_ack _ | Protocol.Begin | Protocol.Commit | Protocol.Rollback
+  | Protocol.Intersect _ | Protocol.Allen _ | Protocol.Insert _
+  | Protocol.Delete _ ->
+      None
+
+let invalid_interval lower upper =
+  Protocol.Invalid (Printf.sprintf "empty interval [%d, %d]" lower upper)
+
+let do_begin conn =
+  if conn.in_txn then Protocol.Invalid "transaction already in progress"
+  else begin
+    conn.in_txn <- true;
+    Protocol.Ack "begin"
+  end
+
+(* Run one request to completion — worker-thread context (the reactor
+   hands a worker at most one job per connection, so conn state and
+   legs are owned for the duration). Returns the frame to send, if
+   any. *)
+let execute t conn id req =
+  let t0 = Unix.gettimeofday () in
+  let resp =
+    match req with
+    | Protocol.Repl_ack _ -> None  (* fire-and-forget *)
+    | Protocol.Begin -> Some (do_begin conn)
+    | Protocol.Commit -> Some (handle_commit t conn)
+    | Protocol.Rollback -> Some (handle_rollback t conn)
+    | Protocol.Intersect { lower; upper } ->
+        Some
+          (if lower > upper then invalid_interval lower upper
+           else gather_query t conn req (Some (lower, upper)))
+    | Protocol.Allen { relation; lower; upper } ->
+        Some
+          (if lower > upper then invalid_interval lower upper
+           else gather_query t conn req (Map.allen_extent relation ~lower ~upper))
+    | Protocol.Insert { lower; upper; id = iid } ->
+        Some
+          (if lower > upper then invalid_interval lower upper
+           else handle_insert t conn ~lower ~upper ~id:iid)
+    | Protocol.Delete { lower; upper; id = iid } ->
+        Some
+          (if lower > upper then invalid_interval lower upper
+           else handle_delete t conn ~lower ~upper ~id:iid)
+    | other -> pure_answer t other
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  locked t (fun () ->
+      Server_stats.record t.st ~op:(Protocol.request_op_name req) ~seconds:dt
+        ~io:0);
+  Option.map (fun r -> (id, r)) resp
+
+(* ---------------- worker pool ---------------- *)
+
+let wake t =
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '.') 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      ()  (* pipe full: the reactor is already due to wake *)
+  | Unix.Unix_error _ -> ()
+
+let worker_loop t () =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.wq_mu;
+    while Queue.is_empty t.wq && not t.wq_stop do
+      Condition.wait t.wq_cond t.wq_mu
+    done;
+    if t.wq_stop then begin
+      running := false;
+      Mutex.unlock t.wq_mu
+    end
+    else begin
+      let conn, id, req = Queue.pop t.wq in
+      Mutex.unlock t.wq_mu;
+      let resp =
+        try execute t conn id req
+        with e ->
+          Some (id, Protocol.Error ("router: " ^ Printexc.to_string e))
+      in
+      Mutex.lock t.dq_mu;
+      Queue.push (conn, resp) t.dq;
+      Mutex.unlock t.dq_mu;
+      wake t
+    end
+  done
+
+let enqueue_work t conn id req =
+  Mutex.lock t.wq_mu;
+  Queue.push (conn, id, req) t.wq;
+  Condition.signal t.wq_cond;
+  Mutex.unlock t.wq_mu
+
+(* ---------------- reactor side ---------------- *)
+
+(* A client may pipeline this many requests beyond the in-flight one
+   before admission control cuts it off. *)
+let max_pipeline = 256
+
+(* How long undrained output may sit with no write progress before the
+   peer is declared a stalled consumer and reaped. *)
+let stall_grace = 5.0
+
+let close_legs conn =
+  Array.iter (function Some l -> Failover.close l | None -> ()) conn.legs
+
+let close_conn t conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    Reactor.deregister t.reactor conn.c_fd;
+    Hashtbl.remove t.conns conn.c_fd;
+    (* Drain unread inbound bytes first: close(2) with data in the
+       receive queue makes the kernel send RST, destroying the typed
+       goodbye frame still in flight to the peer. Bounded. *)
+    (let scratch = Bytes.create 65536 in
+     let rec drain n =
+       if n > 0 then
+         match Unix.read conn.c_fd scratch 0 65536 with
+         | 0 -> ()
+         | _ -> drain (n - 1)
+         | exception Unix.Unix_error _ -> ()
+     in
+     drain 16);
+    (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
+    locked t (fun () -> Server_stats.session_closed t.st);
+    (* a worker may still be running this connection's job and using
+       its legs — defer leg teardown to the completion delivery *)
+    if not conn.inflight then close_legs conn
+  end
+
+let maybe_close t conn =
+  if
+    (not conn.dead)
+    && (conn.force_close
+       || (conn.closing && not (Reactor.Writer.has_pending conn.wr)))
+  then close_conn t conn
+
+let flush_conn t conn =
+  if not conn.dead then
+    match Reactor.Writer.flush conn.wr ~now:(Unix.gettimeofday ()) with
+    | Reactor.Writer.Drained ->
+        Reactor.set_write_interest t.reactor conn.c_fd false
+    | Reactor.Writer.Pending ->
+        Reactor.set_write_interest t.reactor conn.c_fd true
+    | Reactor.Writer.Peer_gone -> conn.force_close <- true
+
+(* Queue a frame on the connection's bounded writer. Crossing the
+   high-water mark is the slow-consumer verdict: pending requests are
+   dropped and a final typed [Overloaded] frame rides out past the
+   mark before the connection is drained-then-closed. *)
+let push_frame t conn id resp =
+  if (not conn.dead) && not conn.force_close then begin
+    let frame = Protocol.encode_response ~id resp in
+    if (not (Reactor.Writer.push conn.wr frame)) && not conn.closing then begin
+      Queue.clear conn.jobs;
+      conn.closing <- true;
+      locked t (fun () -> Server_stats.overloaded t.st);
+      ignore
+        (Reactor.Writer.push conn.wr
+           (Protocol.encode_response ~id:0L
+              (Protocol.Overloaded
+                 (Printf.sprintf
+                    "slow consumer: write buffer over %d bytes, closing"
+                    (Reactor.Writer.high_water conn.wr)))))
+    end;
+    flush_conn t conn
+  end
+
+let next_job t conn =
+  if
+    (not conn.inflight) && (not conn.dead) && (not conn.closing)
+    && not (Queue.is_empty conn.jobs)
+  then begin
+    let id, req = Queue.pop conn.jobs in
+    conn.inflight <- true;
+    enqueue_work t conn id req
+  end
+
+(* A worker finished a job: deliver the response (if the client is
+   still there) and start the connection's next queued request. *)
+let deliver t (conn, resp) =
+  conn.inflight <- false;
+  if conn.dead then close_legs conn
+  else begin
+    (match resp with
+    | Some (id, r) -> push_frame t conn id r
+    | None -> ());
+    maybe_close t conn;
+    if (not conn.dead) && not conn.closing then next_job t conn
+  end
+
+let drain_done t =
+  let batch = Queue.create () in
+  Mutex.lock t.dq_mu;
+  Queue.transfer t.dq batch;
+  Mutex.unlock t.dq_mu;
+  Queue.iter (fun msg -> deliver t msg) batch
+
+let record_op t req ~seconds =
+  locked t (fun () ->
+      Server_stats.record t.st ~op:(Protocol.request_op_name req) ~seconds
+        ~io:0)
 
 let handle_frame t conn payload =
   match Protocol.decode_request payload with
   | Result.Error e ->
-      send conn 0L (Protocol.Error (Protocol.error_to_string e))
+      (* a bad frame is beyond recovery: answer typed, drain, close *)
+      push_frame t conn 0L (Protocol.Error (Protocol.error_to_string e));
+      conn.closing <- true;
+      maybe_close t conn
   | Ok (id, req) ->
-      let t0 = Unix.gettimeofday () in
-      dispatch t conn id req;
-      let dt = Unix.gettimeofday () -. t0 in
-      locked t (fun () ->
-          Server_stats.record t.st ~op:(Protocol.request_op_name req)
-            ~seconds:dt ~io:0)
-
-let handle_conn t conn =
-  let scratch = Bytes.create 65536 in
-  let running = ref true in
-  while !running do
-    match Unix.read conn.fd scratch 0 (Bytes.length scratch) with
-    | 0 -> running := false
-    | n ->
-        Protocol.Framer.feed conn.framer scratch n;
-        let draining = ref true in
-        while !draining && !running do
-          match Protocol.Framer.next conn.framer with
-          | Ok None -> draining := false
-          | Ok (Some payload) -> handle_frame t conn payload
-          | Result.Error e ->
-              (* a bad length prefix is beyond recovery: answer typed,
-                 then close *)
-              send conn 0L (Protocol.Error (Protocol.error_to_string e));
-              running := false
-        done
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error _ -> running := false
-    | exception Conn_dead -> running := false
-  done
-
-let close_conn t conn =
-  Array.iter (function Some l -> Failover.close l | None -> ()) conn.legs;
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
-  locked t (fun () ->
-      t.sessions <- t.sessions - 1;
-      Server_stats.session_closed t.st;
-      t.client_fds <- List.filter (fun fd -> fd <> conn.fd) t.client_fds)
-
-let accept_client t =
-  match Unix.accept t.listen_fd with
-  | exception Unix.Unix_error _ -> ()
-  | fd, _peer ->
-      let admitted =
-        locked t (fun () ->
-            if t.sessions >= t.cfg.max_sessions then begin
-              Server_stats.overloaded t.st;
-              false
-            end
-            else begin
-              t.sessions <- t.sessions + 1;
-              Server_stats.session_opened t.st;
-              t.client_fds <- fd :: t.client_fds;
-              true
-            end)
-      in
-      if not admitted then begin
-        let frame =
-          Protocol.encode_response ~id:0L
-            (Protocol.Overloaded
-               (Printf.sprintf "router at session limit (%d)"
-                  t.cfg.max_sessions))
-        in
-        (try ignore (Unix.write fd frame 0 (Bytes.length frame))
-         with Unix.Unix_error _ -> ());
-        try Unix.close fd with Unix.Unix_error _ -> ()
-      end
-      else begin
-        let conn =
-          { fd;
-            framer = Protocol.Framer.create ();
-            legs = Array.make (Map.shards t.map) None;
-            begun = Array.make (Map.shards t.map) false;
-            in_txn = false }
-        in
-        let th =
-          Thread.create
-            (fun () ->
-              Fun.protect
-                ~finally:(fun () -> close_conn t conn)
-                (fun () -> try handle_conn t conn with Conn_dead | _ -> ()))
-            ()
-        in
-        locked t (fun () -> t.threads <- th :: t.threads)
-      end
-
-(* Metrics endpoint: same plain HTTP/1.0 contract as the dispatcher's,
-   but served from a short-lived thread so a slow scraper cannot stall
-   the accept loop. *)
-let serve_metrics_conn t fd =
-  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 1.0
-   with Unix.Unix_error _ -> ());
-  let scratch = Bytes.create 1024 in
-  (try ignore (Unix.read fd scratch 0 (Bytes.length scratch))
-   with Unix.Unix_error _ -> ());
-  let body = metrics_doc t in
-  let resp =
-    Printf.sprintf
-      "HTTP/1.0 200 OK\r\n\
-       Content-Type: text/plain; version=0.0.4\r\n\
-       Content-Length: %d\r\n\
-       Connection: close\r\n\
-       \r\n\
-       %s"
-      (String.length body) body
-  in
-  let data = Bytes.of_string resp in
-  let len = Bytes.length data in
-  let rec write_all off =
-    if off < len then
-      match Unix.write fd data off (len - off) with
-      | 0 -> ()
-      | n -> write_all (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all off
-      | exception Unix.Unix_error _ -> ()
-  in
-  write_all 0;
-  try Unix.close fd with Unix.Unix_error _ -> ()
-
-let accept_metrics t mfd =
-  match Unix.accept mfd with
-  | exception Unix.Unix_error _ -> ()
-  | fd, _peer ->
-      let th = Thread.create (fun () -> serve_metrics_conn t fd) () in
-      locked t (fun () -> t.threads <- th :: t.threads)
-
-let serve t =
-  let scratch = Bytes.create 16 in
-  let finished = ref false in
-  while not !finished do
-    let reads =
-      t.stop_r :: t.listen_fd
-      :: (match t.metrics_fd with Some m -> [ m ] | None -> [])
-    in
-    match Unix.select reads [] [] 1.0 with
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | readable, _, _ ->
-        if List.mem t.stop_r readable then begin
-          (try ignore (Unix.read t.stop_r scratch 0 (Bytes.length scratch))
-           with Unix.Unix_error _ -> ());
-          t.stopping <- true;
-          finished := true
+      if conn.inflight || not (Queue.is_empty conn.jobs) then
+        if Queue.length conn.jobs >= max_pipeline then begin
+          Queue.clear conn.jobs;
+          conn.closing <- true;
+          locked t (fun () -> Server_stats.overloaded t.st);
+          ignore
+            (Reactor.Writer.push conn.wr
+               (Protocol.encode_response ~id:0L
+                  (Protocol.Overloaded
+                     (Printf.sprintf "pipeline limit (%d requests) exceeded"
+                        max_pipeline))));
+          flush_conn t conn;
+          maybe_close t conn
         end
         else begin
-          if List.mem t.listen_fd readable then accept_client t;
-          match t.metrics_fd with
-          | Some m when List.mem m readable -> accept_metrics t m
-          | _ -> ()
+          Queue.push (id, req) conn.jobs;
+          next_job t conn
         end
-  done;
-  (* Shutdown: stop accepting, then shut every client socket down so
-     the per-connection threads observe EOF (or a failed write), close
-     their legs, and exit; join them all before returning. *)
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  let fds = locked t (fun () -> t.client_fds) in
+      else begin
+        (* idle connection: cheap ops answered right here on the loop,
+           anything that talks to a shard goes to a worker *)
+        match req with
+        | Protocol.Repl_ack _ -> ()
+        | Protocol.Begin ->
+            let t0 = Unix.gettimeofday () in
+            push_frame t conn id (do_begin conn);
+            record_op t req ~seconds:(Unix.gettimeofday () -. t0)
+        | req -> (
+            match pure_answer t req with
+            | Some resp ->
+                let t0 = Unix.gettimeofday () in
+                push_frame t conn id resp;
+                record_op t req ~seconds:(Unix.gettimeofday () -. t0)
+            | None ->
+                conn.inflight <- true;
+                enqueue_work t conn id req)
+      end
+
+let on_readable t conn scratch =
+  match Unix.read conn.c_fd scratch 0 (Bytes.length scratch) with
+  | 0 ->
+      conn.force_close <- true;
+      maybe_close t conn
+  | n when conn.closing ->
+      (* a cut-off consumer's bytes are read and discarded so the
+         eventual close finds an empty receive queue (no RST — the
+         final typed frame must survive the trip) *)
+      ignore n
+  | n ->
+      Protocol.Framer.feed conn.framer scratch n;
+      let rec drain () =
+        if (not conn.dead) && not conn.closing then
+          match Protocol.Framer.next conn.framer with
+          | Ok None -> ()
+          | Ok (Some payload) ->
+              handle_frame t conn payload;
+              drain ()
+          | Result.Error e ->
+              push_frame t conn 0L
+                (Protocol.Error (Protocol.error_to_string e));
+              conn.closing <- true;
+              maybe_close t conn
+      in
+      drain ()
+  | exception
+      Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+      ()
+  | exception Unix.Unix_error _ ->
+      conn.force_close <- true;
+      maybe_close t conn
+
+let reject_connection t fd reason =
+  locked t (fun () -> Server_stats.overloaded t.st);
+  let frame = Protocol.encode_response ~id:0L (Protocol.Overloaded reason) in
+  (try ignore (Unix.write fd frame 0 (Bytes.length frame))
+   with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let admit t =
+  if Hashtbl.length t.conns >= t.cfg.max_sessions then
+    Some (Printf.sprintf "router at session limit (%d)" t.cfg.max_sessions)
+  else if
+    Reactor.backend t.reactor = Reactor.Backend.Select
+    && Reactor.fd_count t.reactor >= Reactor.Backend.select_fd_limit - 8
+  then Some "router over the select backend fd ceiling"
+  else None
+
+let rec accept_loop t scratch =
+  if not t.stopping then
+    match Unix.accept t.listen_fd with
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _peer ->
+        (match admit t with
+        | Some reason -> reject_connection t fd reason
+        | None ->
+            Unix.set_nonblock fd;
+            let conn =
+              { c_fd = fd;
+                framer = Protocol.Framer.create ();
+                wr = Reactor.Writer.create ~now:(Unix.gettimeofday ()) fd;
+                legs = Array.make (Map.shards t.map) None;
+                begun = Array.make (Map.shards t.map) false;
+                in_txn = false;
+                jobs = Queue.create ();
+                inflight = false;
+                closing = false;
+                force_close = false;
+                dead = false }
+            in
+            Hashtbl.replace t.conns fd conn;
+            locked t (fun () -> Server_stats.session_opened t.st);
+            Reactor.register t.reactor fd
+              ~readable:(fun () -> on_readable t conn scratch)
+              ~writable:(fun () ->
+                flush_conn t conn;
+                maybe_close t conn)
+              ();
+            Reactor.set_write_interest t.reactor fd false);
+        accept_loop t scratch
+
+(* Reap connections whose peer stopped reading: undrained output that
+   has made no write progress for [stall_grace] seconds. *)
+let rec housekeeping t () =
+  let now = Unix.gettimeofday () in
+  let victims =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if Reactor.Writer.stalled_for c.wr ~now > stall_grace then c :: acc
+        else acc)
+      t.conns []
+  in
   List.iter
-    (fun fd ->
-      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
-    fds;
-  let threads = locked t (fun () -> t.threads) in
-  List.iter Thread.join threads;
+    (fun c ->
+      c.force_close <- true;
+      maybe_close t c)
+    victims;
+  if not t.stopping then
+    ignore (Reactor.after t.reactor 1.0 (housekeeping t))
+
+let drain_pipe fd =
+  let buf = Bytes.create 64 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | n when n = Bytes.length buf -> go ()
+    | _ -> ()
+    | exception
+        Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      ->
+        ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  go ()
+
+let cleanup t =
+  Reactor.deregister t.reactor t.listen_fd;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (match t.http with Some h -> Http_endpoint.close_all h | None -> ());
   (match t.metrics_fd with
   | Some m -> ( try Unix.close m with Unix.Unix_error _ -> ())
   | None -> ());
-  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
-  try Unix.close t.stop_w with Unix.Unix_error _ -> ()
+  (* stop the pool: workers abandon queued jobs and exit after the one
+     they are running; join before touching any connection's legs *)
+  Mutex.lock t.wq_mu;
+  t.wq_stop <- true;
+  Queue.clear t.wq;
+  Condition.broadcast t.wq_cond;
+  Mutex.unlock t.wq_mu;
+  List.iter Thread.join t.worker_threads;
+  t.worker_threads <- [];
+  (* final completions: release the inflight marks (and the legs of
+     clients that disconnected mid-request) *)
+  Mutex.lock t.dq_mu;
+  Queue.iter
+    (fun ((conn : conn), _) ->
+      conn.inflight <- false;
+      if conn.dead then close_legs conn)
+    t.dq;
+  Queue.clear t.dq;
+  Mutex.unlock t.dq_mu;
+  let conns = Hashtbl.fold (fun _ c acc -> c :: acc) t.conns [] in
+  List.iter (fun c -> close_conn t c) conns;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.stop_r; t.stop_w; t.wake_r; t.wake_w ]
+
+let serve t =
+  let scratch = Bytes.create 65536 in
+  Unix.set_nonblock t.listen_fd;
+  Reactor.register t.reactor t.listen_fd
+    ~readable:(fun () -> accept_loop t scratch)
+    ();
+  Reactor.register t.reactor t.stop_r
+    ~readable:(fun () ->
+      drain_pipe t.stop_r;
+      t.stopping <- true)
+    ();
+  Reactor.register t.reactor t.wake_r
+    ~readable:(fun () ->
+      drain_pipe t.wake_r;
+      drain_done t)
+    ();
+  (match t.metrics_fd with
+  | Some m ->
+      Unix.set_nonblock m;
+      t.http <-
+        Some
+          (Http_endpoint.attach t.reactor ~fd:m ~doc:(fun () -> metrics_doc t))
+  | None -> ());
+  ignore (Reactor.after t.reactor 1.0 (housekeeping t));
+  t.worker_threads <-
+    List.init (max 1 t.cfg.workers) (fun _ -> Thread.create (worker_loop t) ());
+  while not t.stopping do
+    Reactor.run_once ~max_timeout:1.0 t.reactor
+  done;
+  cleanup t

@@ -9,7 +9,21 @@
     and fans each query out to only the shards whose ranges the query
     extent overlaps, merging the answers. A multi-second scan then
     saturates one shard process while the others — and the router's
-    thread-per-connection frontend — keep answering in milliseconds.
+    reactor frontend — keep answering in milliseconds.
+
+    {2 Threading}
+
+    One reactor thread owns every client socket (framing, bounded
+    buffered writes, the metrics endpoint) and a fixed pool of
+    [workers] threads runs the shard RPCs, so the router's OS-thread
+    count is a constant picked at create time — independent of how
+    many clients are connected or scraping. Each connection's
+    requests execute one at a time in arrival order; a scatter's legs
+    are multiplexed on a single readiness wait ({!Client.rpc_many}),
+    so a slow shard delays only that connection's merge, never a pool
+    thread per leg. Slow consumers (peers that stop reading) are cut
+    off with a typed [Overloaded] frame when their write buffer
+    crosses the high-water mark, and reaped if they stall.
 
     {2 Placement and correctness}
 
@@ -112,10 +126,18 @@ type config = {
           partitioned shard can stall a scatter before degrading the
           answer to [Partial] *)
   metrics_port : int option;
+  workers : int;
+      (** shard-RPC worker threads — the router's entire OS-thread
+          budget besides the reactor thread *)
+  backend : Reactor.Backend.kind option;
+      (** readiness backend for the reactor; [None] auto-selects
+          ([poll(2)] where the stub works, [Unix.select] otherwise,
+          overridable via [RIKIT_REACTOR_BACKEND]) *)
 }
 
 val default_config : config
-(** 127.0.0.1:7654, 64 sessions, 15 s shard deadline, no metrics. *)
+(** 127.0.0.1:7654, 64 sessions, 15 s shard deadline, no metrics,
+    8 workers, auto-selected backend. *)
 
 type t
 
@@ -137,10 +159,13 @@ val map : t -> Map.t
 val metrics_doc : t -> string
 (** The router's Prometheus exposition ({!Metrics.render_router}). *)
 
+val backend : t -> Reactor.Backend.kind
+(** The readiness backend the reactor actually selected. *)
+
 val serve : t -> unit
-(** Accept loop; one thread per client connection. Returns after
-    {!stop}: closes the listener, shuts down every client socket, and
-    joins all connection threads. *)
+(** Run the reactor loop on the calling thread and start the worker
+    pool. Returns after {!stop}: closes the listener, joins the
+    workers, and tears down every client connection and shard leg. *)
 
 val stop : t -> unit
 (** Signal {!serve} to shut down (safe from a signal handler or another

@@ -10,11 +10,22 @@ module C = Server.Client
 
 let check = Alcotest.check
 
+(* Which reactor backend the servers under test run on. The whole live
+   suite is registered twice — once per backend — so the poll(2) stub
+   and the pure-OCaml select fallback stay behaviorally identical. *)
+let backend_under_test : Reactor.Backend.kind option ref = ref None
+
 let config ?(max_sessions = 8) ?(max_inflight = 32) ?(max_queue = 1024)
     ?(group_commit = 0.) ?(idle_timeout = 0.) ?metrics_port
-    ?(slow_query_ms = 0.) ?replica_of () =
+    ?(slow_query_ms = 0.) ?replica_of ?write_high_water () =
+  let write_high_water =
+    match write_high_water with
+    | Some hw -> hw
+    | None -> D.default_config.write_high_water
+  in
   { D.host = "127.0.0.1"; port = 0; max_sessions; max_inflight; max_queue;
-    group_commit; idle_timeout; metrics_port; slow_query_ms; replica_of }
+    group_commit; idle_timeout; metrics_port; slow_query_ms; replica_of;
+    backend = !backend_under_test; write_high_water }
 
 (* Start a dispatcher on an ephemeral port; run [f port]; always stop
    the loop and join its thread. *)
@@ -907,74 +918,142 @@ let test_shard_map_degenerate () =
                 (List.length entries)
           | _ -> Alcotest.fail "unexpected response to SHARD_MAP"))
 
+(* ---- backpressure: a consumer that stops reading ---- *)
+
+(* A client pipelines fat queries and stops reading. The server's write
+   buffer crosses the (deliberately tiny) high-water mark on the first
+   fat response: the remaining requests are dropped, one typed
+   Overloaded frame is queued past the mark, and the connection closes
+   once the client drains what it was owed — while every other client
+   keeps getting served. *)
+let test_slow_consumer_backpressure () =
+  with_server
+    ~config:(config ~write_high_water:32_768 ())
+    ~preload:dataset
+    (fun port _ _ ->
+      let stalled = raw_connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close stalled with Unix.Unix_error _ -> ())
+        (fun () ->
+          let fat =
+            P.Intersect { lower = 0; upper = Workload.Distribution.domain_max }
+          in
+          for i = 1 to 200 do
+            let f = P.encode_request ~id:(Int64.of_int i) fat in
+            ignore (Unix.write stalled f 0 (Bytes.length f))
+          done;
+          (* while it is wedged, the loop serves everyone else *)
+          let c = C.connect ~deadline_ms:5000. ~port () in
+          Fun.protect
+            ~finally:(fun () -> C.close c)
+            (fun () ->
+              for _ = 1 to 20 do
+                ping c
+              done;
+              let q = Interval.Ivl.make 100_000 110_000 in
+              check (Alcotest.list Alcotest.int) "other clients still answered"
+                (brute_force q)
+                (List.sort compare (intersect c q)));
+          (* resume reading: the owed frames, the typed cut-off, EOF *)
+          Unix.setsockopt_float stalled Unix.SO_RCVTIMEO 10.;
+          let rows = ref 0 and overloaded = ref 0 and eof = ref false in
+          (try
+             while not !eof do
+               match P.decode_response (raw_read_frame stalled) with
+               | Ok (_, P.Overloaded _) -> incr overloaded
+               | Ok (_, P.Rows _) -> incr rows
+               | Ok _ | Error _ -> ()
+             done
+           with
+          | Failure _ -> eof := true
+          | Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+              eof := true);
+          check Alcotest.bool "typed Overloaded frame rode out" true
+            (!overloaded = 1);
+          check Alcotest.bool "server hung up after the cut-off" true !eof;
+          check Alcotest.bool "unanswered requests were dropped" true
+            (!rows < 10)))
+
+let raw_suite =
+  [
+    ( "ops",
+      [
+        ("basic request/response", test_basic_ops);
+        ("allen over the wire", test_allen_query);
+        ("stats surface", test_stats_surface);
+        ("prepare/execute/close", test_prepare_execute_close);
+        ("prepared mutation vs read-only",
+         test_prepared_mutation_respects_read_only);
+        ("explain wire op", test_explain_wire_op);
+        ("shard map of an unsharded server", test_shard_map_degenerate);
+      ] );
+    ( "admission",
+      [
+        ("session limit", test_session_limit);
+        ("queue limit", test_queue_limit);
+      ] );
+    ( "wire",
+      [
+        ("malformed payload", test_malformed_payload_gets_typed_error);
+        ("oversized frame", test_oversized_frame_closes_connection);
+        ("unknown op: typed error, no desync",
+         test_unknown_op_typed_error_no_desync);
+      ] );
+    ( "concurrency",
+      [
+        ("parallel clients", test_concurrent_clients);
+        ("slow consumer backpressure", test_slow_consumer_backpressure);
+      ] );
+    ( "observability",
+      [
+        ("invalid interval keeps session", test_invalid_interval_keeps_session);
+        ("metrics wire op", test_metrics_wire_op);
+        ("metrics http endpoint", test_metrics_http_endpoint);
+      ] );
+    ( "robustness",
+      [
+        ("idle timeout reaps sessions", test_idle_timeout_reaps);
+        ("corruption degrades to read-only",
+         test_corruption_degrades_to_read_only);
+      ] );
+    ( "sessions",
+      [
+        ("shared tables", test_session_isolation);
+        ("two-session rollback isolation", test_two_session_rollback_isolation);
+        ("write-write conflict", test_write_write_conflict);
+        ("begin pins the snapshot", test_begin_snapshot_stability);
+      ] );
+    ( "durability",
+      [
+        ("rollback works non-durable, typed", test_rollback_non_durable);
+        ("commit/rollback boundary", test_commit_rollback);
+        ("disconnect between stage and force",
+         test_disconnect_between_stage_and_force);
+        ("group-commit window", test_group_commit_window);
+        ("graceful shutdown, no data loss",
+         test_graceful_shutdown_no_data_loss);
+      ] );
+  ]
+
+(* The whole live suite runs once per readiness backend: the poll(2)
+   stub and the pure-OCaml select fallback must be behaviorally
+   indistinguishable through the wire. *)
 let () =
+  let under kind =
+    let tag = Reactor.Backend.kind_to_string kind in
+    List.map
+      (fun (group, tests) ->
+        ( Printf.sprintf "%s [%s]" group tag,
+          List.map
+            (fun (name, f) ->
+              Alcotest.test_case name `Quick (fun () ->
+                  backend_under_test := Some kind;
+                  Fun.protect
+                    ~finally:(fun () -> backend_under_test := None)
+                    f))
+            tests ))
+      raw_suite
+  in
   Alcotest.run "server"
-    [
-      ( "ops",
-        [
-          Alcotest.test_case "basic request/response" `Quick test_basic_ops;
-          Alcotest.test_case "allen over the wire" `Quick test_allen_query;
-          Alcotest.test_case "stats surface" `Quick test_stats_surface;
-          Alcotest.test_case "prepare/execute/close" `Quick
-            test_prepare_execute_close;
-          Alcotest.test_case "prepared mutation vs read-only" `Quick
-            test_prepared_mutation_respects_read_only;
-          Alcotest.test_case "explain wire op" `Quick test_explain_wire_op;
-          Alcotest.test_case "shard map of an unsharded server" `Quick
-            test_shard_map_degenerate;
-        ] );
-      ( "admission",
-        [
-          Alcotest.test_case "session limit" `Quick test_session_limit;
-          Alcotest.test_case "queue limit" `Quick test_queue_limit;
-        ] );
-      ( "wire",
-        [
-          Alcotest.test_case "malformed payload" `Quick
-            test_malformed_payload_gets_typed_error;
-          Alcotest.test_case "oversized frame" `Quick
-            test_oversized_frame_closes_connection;
-          Alcotest.test_case "unknown op: typed error, no desync" `Quick
-            test_unknown_op_typed_error_no_desync;
-        ] );
-      ( "concurrency",
-        [ Alcotest.test_case "parallel clients" `Quick test_concurrent_clients ] );
-      ( "observability",
-        [
-          Alcotest.test_case "invalid interval keeps session" `Quick
-            test_invalid_interval_keeps_session;
-          Alcotest.test_case "metrics wire op" `Quick test_metrics_wire_op;
-          Alcotest.test_case "metrics http endpoint" `Quick
-            test_metrics_http_endpoint;
-        ] );
-      ( "robustness",
-        [
-          Alcotest.test_case "idle timeout reaps sessions" `Quick
-            test_idle_timeout_reaps;
-          Alcotest.test_case "corruption degrades to read-only" `Quick
-            test_corruption_degrades_to_read_only;
-        ] );
-      ( "sessions",
-        [
-          Alcotest.test_case "shared tables" `Quick test_session_isolation;
-          Alcotest.test_case "two-session rollback isolation" `Quick
-            test_two_session_rollback_isolation;
-          Alcotest.test_case "write-write conflict" `Quick
-            test_write_write_conflict;
-          Alcotest.test_case "begin pins the snapshot" `Quick
-            test_begin_snapshot_stability;
-        ] );
-      ( "durability",
-        [
-          Alcotest.test_case "rollback works non-durable, typed" `Quick
-            test_rollback_non_durable;
-          Alcotest.test_case "commit/rollback boundary" `Quick
-            test_commit_rollback;
-          Alcotest.test_case "disconnect between stage and force" `Quick
-            test_disconnect_between_stage_and_force;
-          Alcotest.test_case "group-commit window" `Quick
-            test_group_commit_window;
-          Alcotest.test_case "graceful shutdown, no data loss" `Quick
-            test_graceful_shutdown_no_data_loss;
-        ] );
-    ]
+    (under Reactor.Backend.Poll @ under Reactor.Backend.Select)

@@ -617,6 +617,105 @@ let test_hol_regression () =
     true
     (up99 >= 2. *. sp99)
 
+(* ---- metrics scrapes cost zero threads ---- *)
+
+let self_threads () =
+  let ic = open_in "/proc/self/status" in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go () =
+        match input_line ic with
+        | line ->
+            if String.length line > 8 && String.sub line 0 8 = "Threads:"
+            then
+              int_of_string
+                (String.trim (String.sub line 8 (String.length line - 8)))
+            else go ()
+        | exception End_of_file -> 0
+      in
+      go ())
+
+let read_to_eof fd =
+  let buf = Bytes.create 8192 in
+  let out = Buffer.create 8192 in
+  let rec go () =
+    match Unix.read fd buf 0 8192 with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes out buf 0 n;
+        go ()
+    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ()
+  in
+  go ();
+  Buffer.contents out
+
+(* The metrics listener used to spawn a thread per scrape, so a
+   monitoring fleet (or a probe loop) could bloat the router to
+   hundreds of OS threads. Scrapes are now reactor connections on the
+   serving loop: 100 concurrent in-flight scrapes must leave the
+   process thread count exactly where it was. *)
+let test_metrics_scrape_thread_bound () =
+  let procs = spawn_shards [ slice_of live_data (min_int, max_int) ] in
+  Thread.delay 0.2;
+  let map =
+    R.Map.create ~cuts:[]
+      ~endpoints:[ [ ("127.0.0.1", snd (List.hd procs)) ] ]
+  in
+  let router =
+    R.create
+      { R.default_config with port = 0; metrics_port = Some 0 }
+      ~map
+  in
+  let thread = Thread.create (fun () -> R.serve router) () in
+  Fun.protect
+    ~finally:(fun () ->
+      R.stop router;
+      Thread.join thread;
+      stop_shards procs)
+    (fun () ->
+      let mport = R.metrics_port router in
+      let dial () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, mport));
+        fd
+      in
+      (* one warm scrape settles the pool and proves the endpoint *)
+      let warm = dial () in
+      let req = Bytes.of_string "GET /metrics HTTP/1.0\r\n\r\n" in
+      ignore (Unix.write warm req 0 (Bytes.length req));
+      let doc = read_to_eof warm in
+      Unix.close warm;
+      Alcotest.(check bool) "exposition served" true
+        (let re = "rikit_router_partial_results_total" in
+         let rec find i =
+           i + String.length re <= String.length doc
+           && (String.sub doc i (String.length re) = re || find (i + 1))
+         in
+         find 0);
+      let baseline = self_threads () in
+      (* 100 concurrent scrapes, all held open mid-request *)
+      let fds = Array.init 100 (fun _ -> dial ()) in
+      Array.iter
+        (fun fd -> ignore (Unix.write fd req 0 (Bytes.length req)))
+        fds;
+      let peak = self_threads () in
+      (* every scrape completes, none answered by a fresh thread *)
+      let served = ref 0 in
+      Array.iter
+        (fun fd ->
+          let body = read_to_eof fd in
+          if String.length body > 0 then incr served;
+          Unix.close fd)
+        fds;
+      let after = self_threads () in
+      Alcotest.(check int) "all scrapes answered" 100 !served;
+      Alcotest.(check bool)
+        (Printf.sprintf "threads flat under load (%d -> %d -> %d)" baseline
+           peak after)
+        true
+        (peak <= baseline && after <= baseline))
+
 let () =
   Alcotest.run "shard"
     [
@@ -652,5 +751,7 @@ let () =
           Alcotest.test_case "head-of-line regression: ping bounded during \
                               fat scans"
             `Quick test_hol_regression;
+          Alcotest.test_case "100 concurrent metrics scrapes add no threads"
+            `Quick test_metrics_scrape_thread_bound;
         ] );
     ]
